@@ -1,0 +1,87 @@
+// Shared helpers for the table/figure reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/registry.hh"
+#include "datagen/datasets.hh"
+#include "metrics/stats.hh"
+
+namespace szi::bench {
+
+/// Dataset cache: generators are deterministic but not free; every bench
+/// touches the same fields.
+inline const std::vector<Field>& dataset(const std::string& name) {
+  static std::map<std::string, std::vector<Field>> cache;
+  auto it = cache.find(name);
+  if (it == cache.end())
+    it = cache.emplace(name, datagen::make_dataset(name, datagen::size_from_env()))
+             .first;
+  return it->second;
+}
+
+/// One measured compression run.
+struct Run {
+  double ratio = 0;         ///< original/compressed
+  double bit_rate = 0;      ///< bits per element
+  double psnr = 0;
+  double max_err = 0;
+  double comp_seconds = 0;  ///< end-to-end
+  double kernel_seconds = 0;///< excluding the CPU codebook build (§VI-A)
+  double decomp_seconds = 0;
+  std::size_t bytes = 0;
+};
+
+/// Compress + decompress `f`, measuring everything the figures need.
+inline Run measure(Compressor& c, const Field& f, const CompressParams& p) {
+  Run r;
+  const auto enc = c.compress(f, p);
+  r.bytes = enc.bytes.size();
+  r.ratio = metrics::compression_ratio(f.bytes(), enc.bytes.size());
+  r.bit_rate = metrics::bit_rate(f.size(), enc.bytes.size());
+  r.comp_seconds = enc.timings.total;
+  r.kernel_seconds = enc.timings.kernel_time();
+  const auto dec = c.decompress(enc.bytes, &r.decomp_seconds);
+  const auto d = metrics::distortion(f.data, dec);
+  r.psnr = d.psnr;
+  r.max_err = d.max_err;
+  return r;
+}
+
+/// Dataset-average of per-field runs (TABLE III aggregates whole datasets).
+inline Run measure_dataset(Compressor& c, const std::vector<Field>& fields,
+                           const CompressParams& p) {
+  Run agg;
+  std::size_t raw = 0, comp = 0;
+  double psnr_sum = 0;
+  for (const auto& f : fields) {
+    const Run r = measure(c, f, p);
+    raw += f.bytes();
+    comp += r.bytes;
+    psnr_sum += r.psnr;
+    agg.comp_seconds += r.comp_seconds;
+    agg.kernel_seconds += r.kernel_seconds;
+    agg.decomp_seconds += r.decomp_seconds;
+  }
+  agg.bytes = comp;
+  agg.ratio = metrics::compression_ratio(raw, comp);
+  agg.bit_rate = 32.0 / agg.ratio;
+  agg.psnr = psnr_sum / static_cast<double>(fields.size());
+  return agg;
+}
+
+/// GB/s for `bytes` of input processed in `seconds`.
+inline double throughput_gbps(std::size_t bytes, double seconds) {
+  return seconds > 0 ? static_cast<double>(bytes) / 1e9 / seconds : 0.0;
+}
+
+inline void print_rule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace szi::bench

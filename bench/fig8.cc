@@ -1,0 +1,102 @@
+// Fig. 8 reproduction: decompression quality at an *aligned compression
+// ratio*. For each showcase snapshot (JHTDB velocity, S3D CO), every
+// compressor's knob (error bound, or rate for cuZFP) is bisected until its
+// with-pass ratio matches the target CR; the bench then reports PSNR and
+// dumps a mid-volume slice of each reconstruction as PGM images —
+// the textual + visual equivalent of the paper's rendered comparison.
+//
+// Images land in ./fig8_out/.
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <functional>
+
+#include "bench_common.hh"
+#include "io/bin_io.hh"
+#include "metrics/ssim.hh"
+
+namespace {
+
+using namespace szi;
+using namespace szi::bench;
+
+/// Bisects `knob` (log-scale) until ratio(knob) ~ target. `increasing` says
+/// whether ratio grows with the knob.
+double align_cr(const std::function<double(double)>& ratio_of, double lo,
+                double hi, double target, bool increasing) {
+  for (int it = 0; it < 12; ++it) {
+    const double mid = std::sqrt(lo * hi);
+    const double r = ratio_of(mid);
+    const bool too_small = r < target;
+    if (too_small == increasing)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return std::sqrt(lo * hi);
+}
+
+void showcase(const Field& f, double target_cr, const std::string& out_dir) {
+  std::printf("%s: aligning all compressors to CR ~ %.0fx\n", f.label().c_str(),
+              target_cr);
+  std::printf("%-22s %8s %9s %9s %9s\n", "pipeline", "CR", "PSNR dB",
+              "SSIM", "max err");
+  print_rule(62);
+
+  io::write_pgm_slice(out_dir + "/" + f.dataset + "_original.pgm", f,
+                      f.dims.z / 2);
+
+  for (const std::string name :
+       {"cusz-i", "cuzfp", "cuszx", "cusz", "fz-gpu", "cuszp"}) {
+    auto c = name == "cuzfp"
+                 ? baselines::make_compressor(name)
+                 : with_bitcomp(baselines::make_compressor(name));
+    CompressParams p;
+    if (name == "cuzfp") {
+      p.mode = ErrorMode::FixedRate;
+      p.value = align_cr(
+          [&](double rate) {
+            return measure(*c, f, {ErrorMode::FixedRate, rate}).ratio;
+          },
+          0.5, 32.0, target_cr, /*increasing=*/false);
+    } else {
+      p.mode = ErrorMode::Rel;
+      p.value = align_cr(
+          [&](double rel) {
+            return measure(*c, f, {ErrorMode::Rel, rel}).ratio;
+          },
+          1e-6, 0.3, target_cr, /*increasing=*/true);
+    }
+    const auto enc = c->compress(f, p);
+    const auto dec = c->decompress(enc.bytes);
+    const auto d = metrics::distortion(f.data, dec);
+    const double s = metrics::ssim(f.data, dec, f.dims);
+    std::printf("%-22s %7.1fx %9.2f %9.5f %9.2e\n", c->name().c_str(),
+                metrics::compression_ratio(f.bytes(), enc.bytes.size()),
+                d.psnr, s, d.max_err);
+    Field rf = f;
+    rf.data = dec;
+    io::write_pgm_slice(out_dir + "/" + f.dataset + "_" + name + ".pgm", rf,
+                        f.dims.z / 2);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const std::string out_dir = "fig8_out";
+  std::filesystem::create_directories(out_dir);
+  std::printf("Fig. 8: fixed-CR visual comparison (PGM slices in %s/)\n\n",
+              out_dir.c_str());
+
+  // JHTDB showcase (paper aligns ~27x) and S3D CO (paper ~80x PSNR gap).
+  showcase(dataset("jhtdb").front(), 27.0, out_dir);
+  for (const auto& f : dataset("s3d"))
+    if (f.name == "CO") showcase(f, 60.0, out_dir);
+
+  std::printf(
+      "Shape target: at the same CR, cuSZ-i has the highest PSNR (paper:\n"
+      "+8 dB over second-best cuZFP on JHTDB; 81.3 vs 37.8 dB on S3D-CO).\n");
+  return 0;
+}

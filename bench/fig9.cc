@@ -1,0 +1,90 @@
+// Fig. 9 reproduction: compression and decompression throughput (GB/s) for
+// cuSZ-i (with and without the de-redundancy pass), cuSZ, cuZFP, cuSZp,
+// cuSZx, and FZ-GPU at error bounds 1e-2 and 1e-3.
+//
+// The paper profiles CUDA kernels on A100/A40; this reproduction runs the
+// same pipelines on the CPU device model, so absolute numbers are ~2 orders
+// of magnitude lower — the reproduction target is the *ordering*:
+// monolithic codecs (cuSZx, cuSZp, FZ-GPU) fastest, cuSZ next, cuSZ-i at the
+// same magnitude but slower (60-90% of cuSZ), and the extra pass nearly
+// free. As in the paper (§VI-A), the host-side Huffman codebook build is
+// excluded from kernel throughput.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hh"
+
+namespace {
+using namespace szi;
+using namespace szi::bench;
+}
+
+int main() {
+  std::printf("Fig. 9: kernel throughputs (GB/s), dataset-aggregated\n\n");
+
+  struct Pipe {
+    std::string label;
+    std::string name;
+    bool bitcomp;
+    bool fixed_rate;
+  };
+  const Pipe pipes[] = {
+      {"cuSZ-i", "cusz-i", false, false},
+      {"cuSZ-i w/ Bitcomp", "cusz-i", true, false},
+      {"cuSZ", "cusz", false, false},
+      {"cuZFP (rate 4)", "cuzfp", false, true},
+      {"cuSZp", "cuszp", false, false},
+      {"cuSZx", "cuszx", false, false},
+      {"FZ-GPU", "fz-gpu", false, false},
+  };
+
+  for (const double rel : {1e-2, 1e-3}) {
+    std::printf("relative eb = %.0e\n", rel);
+    std::printf("%-20s %14s %14s\n", "pipeline", "comp GB/s", "decomp GB/s");
+    print_rule(50);
+    // Per-dataset compression throughput, the grouped bars of the paper's
+    // figure (printed after the aggregate table).
+    std::vector<std::vector<double>> per_dataset(std::size(pipes));
+    std::size_t pi = 0;
+    for (const auto& pipe : pipes) {
+      auto c = baselines::make_compressor(pipe.name);
+      if (pipe.bitcomp) c = with_bitcomp(std::move(c));
+      std::size_t total_bytes = 0;
+      double comp_s = 0, decomp_s = 0;
+      for (const auto& ds : datagen::dataset_names()) {
+        const auto& fields = dataset(ds);
+        const CompressParams p = pipe.fixed_rate
+                                     ? CompressParams{ErrorMode::FixedRate, 4.0}
+                                     : CompressParams{ErrorMode::Rel, rel};
+        const Run r = measure_dataset(*c, fields, p);
+        std::size_t ds_bytes = 0;
+        for (const auto& f : fields) ds_bytes += f.bytes();
+        total_bytes += ds_bytes;
+        comp_s += r.kernel_seconds;
+        decomp_s += r.decomp_seconds;
+        per_dataset[pi].push_back(
+            throughput_gbps(ds_bytes, r.kernel_seconds));
+      }
+      ++pi;
+      std::printf("%-20s %14.3f %14.3f\n", pipe.label.c_str(),
+                  throughput_gbps(total_bytes, comp_s),
+                  throughput_gbps(total_bytes, decomp_s));
+    }
+    std::printf("\nper-dataset compression GB/s:\n%-20s", "pipeline");
+    for (const auto& ds : datagen::dataset_names())
+      std::printf(" %8.8s", ds.c_str());
+    std::printf("\n");
+    print_rule(74);
+    for (std::size_t k = 0; k < std::size(pipes); ++k) {
+      std::printf("%-20s", pipes[k].label.c_str());
+      for (const double v : per_dataset[k]) std::printf(" %8.3f", v);
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Shape targets (paper, A100/A40): cuSZ-i at 60-90%% of cuSZ; the\n"
+      "de-redundancy pass adds negligible overhead; cuSZx/cuSZp/FZ-GPU\n"
+      "faster but with far lower ratios (Table III / Fig. 7).\n");
+  return 0;
+}

@@ -1,0 +1,193 @@
+// google-benchmark microbenchmarks for the individual kernels: the §VI-A
+// histogram ablation (baseline vs top-k hot-band caching), Huffman
+// encode/decode, the de-redundancy codec on Huffman-like streams, bitshuffle,
+// and the two predictors.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "datagen/datasets.hh"
+#include "datagen/rng.hh"
+#include "huffman/codebook.hh"
+#include "huffman/histogram.hh"
+#include "huffman/huffman.hh"
+#include "lossless/bitio.hh"
+#include "lossless/bitshuffle.hh"
+#include "lossless/lzss.hh"
+#include "lossless/rle.hh"
+#include "predictor/autotune.hh"
+#include "predictor/ginterp.hh"
+#include "predictor/lorenzo.hh"
+
+namespace {
+
+using szi::quant::Code;
+
+/// Quant-code stream with a controllable concentration (p close to 1 =>
+/// nearly all zero codes, the G-Interp regime).
+std::vector<Code> codes_with_concentration(std::size_t n, double p) {
+  szi::datagen::Rng rng(42);
+  std::vector<Code> codes(n);
+  for (auto& c : codes) {
+    if (rng.uniform() < p) {
+      c = 512;
+    } else {
+      c = static_cast<Code>(512 + static_cast<int>(rng.gaussian() * 40));
+    }
+  }
+  return codes;
+}
+
+const szi::Field& miranda_field() {
+  static const auto fields = szi::datagen::miranda(szi::datagen::Size::Small);
+  return fields.front();
+}
+
+void BM_HistogramBaseline(benchmark::State& state) {
+  const auto codes = codes_with_concentration(1 << 22, 0.95);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(szi::huffman::histogram(codes, 1024));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(codes.size() * 2));
+}
+BENCHMARK(BM_HistogramBaseline);
+
+void BM_HistogramTopK(benchmark::State& state) {
+  const auto codes = codes_with_concentration(1 << 22, 0.95);
+  const auto k = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(szi::huffman::histogram_topk(codes, 1024, 512, k));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(codes.size() * 2));
+}
+BENCHMARK(BM_HistogramTopK)->Arg(1)->Arg(8)->Arg(16);
+
+void BM_HuffmanEncode(benchmark::State& state) {
+  const auto codes = codes_with_concentration(1 << 21, 0.9);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(szi::huffman::encode(codes, 1024));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(codes.size() * 2));
+}
+BENCHMARK(BM_HuffmanEncode);
+
+void BM_HuffmanDecode(benchmark::State& state) {
+  const auto codes = codes_with_concentration(1 << 21, 0.9);
+  const auto enc = szi::huffman::encode(codes, 1024);
+  for (auto _ : state) benchmark::DoNotOptimize(szi::huffman::decode(enc));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(codes.size() * 2));
+}
+BENCHMARK(BM_HuffmanDecode);
+
+void BM_HuffmanDecodeBitSerial(benchmark::State& state) {
+  // Ablation partner of BM_HuffmanDecode: the canonical bit-serial decoder
+  // vs the LUT-accelerated default.
+  const auto codes = codes_with_concentration(1 << 21, 0.9);
+  const auto hist = szi::huffman::histogram(codes, 1024);
+  const auto book = szi::huffman::Codebook::build(hist);
+  const auto enc = szi::huffman::encode_with_book(codes, book);
+  // Re-decode through the slow table directly on the raw payload is not
+  // exposed; emulate by timing table.decode over a rebuilt bitstream.
+  std::vector<std::uint8_t> bits;
+  {
+    szi::lossless::BitWriter bw(bits);
+    for (const auto c : codes) bw.put(book.codes[c], book.lengths[c]);
+    bw.align();
+  }
+  const auto table = szi::huffman::DecodeTable::from(book);
+  for (auto _ : state) {
+    szi::lossless::BitReader br(bits);
+    std::uint64_t sink = 0;
+    for (std::size_t i = 0; i < codes.size(); ++i) sink += table.decode(br);
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(codes.size() * 2));
+}
+BENCHMARK(BM_HuffmanDecodeBitSerial);
+
+void BM_LzssOnHuffmanStream(benchmark::State& state) {
+  // The §VI-B input: a Huffman stream dominated by zero-runs.
+  const auto codes = codes_with_concentration(1 << 21, 0.97);
+  const auto huff = szi::huffman::encode(codes, 1024);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(szi::lossless::lzss_compress(huff));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(huff.size()));
+}
+BENCHMARK(BM_LzssOnHuffmanStream);
+
+void BM_ZeroRleOnShuffledCodes(benchmark::State& state) {
+  const auto codes = codes_with_concentration(1 << 21, 0.97);
+  std::vector<std::uint8_t> shuffled(
+      szi::lossless::bitshuffle16_size(codes.size()));
+  szi::lossless::bitshuffle16(codes, shuffled);
+  const std::span<const std::byte> view{
+      reinterpret_cast<const std::byte*>(shuffled.data()), shuffled.size()};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(szi::lossless::zero_rle_compress(view));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(shuffled.size()));
+}
+BENCHMARK(BM_ZeroRleOnShuffledCodes);
+
+void BM_Bitshuffle(benchmark::State& state) {
+  const auto codes = codes_with_concentration(1 << 21, 0.9);
+  std::vector<std::uint8_t> out(szi::lossless::bitshuffle16_size(codes.size()));
+  for (auto _ : state) {
+    szi::lossless::bitshuffle16(codes, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(codes.size() * 2));
+}
+BENCHMARK(BM_Bitshuffle);
+
+void BM_GInterpPredict(benchmark::State& state) {
+  const auto& f = miranda_field();
+  const double eb = 1e-3 * 2.0;  // ~rel 1e-3 on the [1,3] density field
+  const auto prof = szi::predictor::autotune(f.data, f.dims, eb);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        szi::predictor::ginterp_compress(f.data, f.dims, eb, prof.config));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.bytes()));
+}
+BENCHMARK(BM_GInterpPredict);
+
+void BM_LorenzoPredict(benchmark::State& state) {
+  const auto& f = miranda_field();
+  const double eb = 1e-3 * 2.0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        szi::predictor::lorenzo_compress(f.data, f.dims, eb));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.bytes()));
+}
+BENCHMARK(BM_LorenzoPredict);
+
+void BM_GInterpDecompress(benchmark::State& state) {
+  const auto& f = miranda_field();
+  const double eb = 1e-3 * 2.0;
+  const auto prof = szi::predictor::autotune(f.data, f.dims, eb);
+  const auto enc =
+      szi::predictor::ginterp_compress(f.data, f.dims, eb, prof.config);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(szi::predictor::ginterp_decompress(
+        enc.codes, enc.anchors, enc.outliers, f.dims, eb, prof.config));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.bytes()));
+}
+BENCHMARK(BM_GInterpDecompress);
+
+void BM_AutotuneKernel(benchmark::State& state) {
+  const auto& f = miranda_field();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(szi::predictor::autotune(f.data, f.dims, 1e-3));
+}
+BENCHMARK(BM_AutotuneKernel);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,127 @@
+#include "baselines/cpu_interp.hh"
+
+#include <array>
+#include <stdexcept>
+
+#include "predictor/anchor.hh"
+#include "predictor/spline.hh"
+
+namespace szi::baselines {
+
+namespace {
+
+std::size_t dim_of(const dev::Dim3& d, int i) {
+  return i == 0 ? d.x : (i == 1 ? d.y : d.z);
+}
+
+/// One (stride, dim) pass over the whole grid. `work` holds reconstructed
+/// values for already-processed points (and originals for pending ones
+/// during compression).
+template <bool kCompress>
+void global_pass(std::span<float> work, std::span<const float> original,
+                 const dev::Dim3& dims, int d, std::size_t s,
+                 const std::array<bool, 3>& done, const quant::Quantizer& qz,
+                 predictor::CubicKind kind, std::span<quant::Code> codes,
+                 std::span<const quant::Code> codes_in) {
+  std::array<std::size_t, 3> start{0, 0, 0}, step{1, 1, 1};
+  for (int i = 0; i < 3; ++i) step[i] = done[static_cast<std::size_t>(i)] ? s : 2 * s;
+  start[static_cast<std::size_t>(d)] = s;
+  step[static_cast<std::size_t>(d)] = 2 * s;
+
+  const std::array<std::size_t, 3> stride{1, dims.x, dims.x * dims.y};
+  const std::size_t ls = stride[static_cast<std::size_t>(d)];
+  const std::size_t nd = dim_of(dims, d);
+
+  for (std::size_t z = start[2]; z < dims.z; z += step[2])
+    for (std::size_t y = start[1]; y < dims.y; y += step[1])
+      for (std::size_t x = start[0]; x < dims.x; x += step[0]) {
+        const std::size_t idx = dev::linearize(dims, x, y, z);
+        const std::array<std::size_t, 3> c{x, y, z};
+        const std::size_t cd = c[static_cast<std::size_t>(d)];
+        const bool hb = cd >= s;
+        const bool hc = cd + s < nd;
+        const bool ha = cd >= 3 * s;
+        const bool hd = cd + 3 * s < nd;
+        const float a = ha ? work[idx - 3 * s * ls] : 0.0f;
+        const float b = hb ? work[idx - s * ls] : 0.0f;
+        const float cc = hc ? work[idx + s * ls] : 0.0f;
+        const float dd = hd ? work[idx + 3 * s * ls] : 0.0f;
+        const float pred =
+            predictor::spline_predict(ha, a, hb, b, hc, cc, hd, dd, kind);
+        if constexpr (kCompress) {
+          const auto r = qz.quantize(original[idx], pred);
+          work[idx] = r.recon;
+          codes[idx] = r.stored;
+        } else {
+          work[idx] = qz.dequantize(codes_in[idx], pred, work[idx]);
+        }
+      }
+}
+
+template <bool kCompress>
+void run_levels(std::span<float> work, std::span<const float> original,
+                const dev::Dim3& dims, double eb, const CpuInterpParams& p,
+                std::span<quant::Code> codes,
+                std::span<const quant::Code> codes_in) {
+  for (std::size_t s = p.anchor_stride / 2; s >= 1; s >>= 1) {
+    const quant::Quantizer qz(
+        predictor::level_eb(eb, p.alpha, predictor::level_of_stride(s)),
+        p.radius);
+    std::array<bool, 3> done{false, false, false};
+    for (int k = 0; k < 3; ++k) {
+      const int d = p.config.dim_order[static_cast<std::size_t>(k)];
+      if (dim_of(dims, d) == 1) continue;
+      global_pass<kCompress>(work, original, dims, d, s, done, qz,
+                             p.config.cubic[static_cast<std::size_t>(d)], codes,
+                             codes_in);
+      done[static_cast<std::size_t>(d)] = true;
+    }
+  }
+}
+
+dev::Dim3 anchor_stride_dims(const CpuInterpParams& p) {
+  return {p.anchor_stride, p.anchor_stride, p.anchor_stride};
+}
+
+}  // namespace
+
+std::size_t pow2_at_least(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+CpuInterpOutput cpu_interp_compress(std::span<const float> data,
+                                    const dev::Dim3& dims, double eb,
+                                    const CpuInterpParams& p) {
+  if (data.size() != dims.volume())
+    throw std::invalid_argument("cpu_interp: size/dims mismatch");
+  if (eb <= 0 || p.anchor_stride < 2 ||
+      (p.anchor_stride & (p.anchor_stride - 1)) != 0)
+    throw std::invalid_argument("cpu_interp: bad parameters");
+
+  CpuInterpOutput out;
+  out.anchors =
+      predictor::gather_anchors(data, dims, anchor_stride_dims(p));
+  out.codes.assign(data.size(), static_cast<quant::Code>(p.radius));
+  std::vector<float> work(data.begin(), data.end());
+  run_levels<true>(work, data, dims, eb, p, out.codes, {});
+  out.outliers = quant::OutlierSet::gather(out.codes, data);
+  return out;
+}
+
+std::vector<float> cpu_interp_decompress(std::span<const quant::Code> codes,
+                                         std::span<const float> anchors,
+                                         const quant::OutlierSet& outliers,
+                                         const dev::Dim3& dims, double eb,
+                                         const CpuInterpParams& p) {
+  if (codes.size() != dims.volume())
+    throw std::invalid_argument("cpu_interp: size/dims mismatch");
+  std::vector<float> work(dims.volume(), 0.0f);
+  predictor::scatter_anchors<float>(anchors, work, dims, anchor_stride_dims(p));
+  outliers.scatter(work);
+  run_levels<false>(work, {}, dims, eb, p, {}, codes);
+  return work;
+}
+
+}  // namespace szi::baselines

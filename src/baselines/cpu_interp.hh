@@ -1,0 +1,49 @@
+// CPU interpolation predictor — the SZ3 [4] / QoZ [7] reference designs the
+// paper compares against (Fig. 5, Fig. 6, Fig. 7's QoZ curve).
+//
+// Unlike G-Interp, interpolation runs over the *global* grid (no tiles), so
+// cubic stencils almost always have all four neighbors — the reason the
+// paper's §VII-C.2 finds CPU-QoZ still ahead of cuSZ-i in ratio ("larger
+// interpolation blocks"). SZ3 uses a single error bound across levels and a
+// sparse anchor set (stride >= the whole grid: only the origin); QoZ adds a
+// dense anchor grid and the level-wise eb reduction + auto-tuning that
+// G-Interp inherited.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "device/dims.hh"
+#include "predictor/interp_config.hh"
+#include "quant/outlier.hh"
+#include "quant/quantizer.hh"
+
+namespace szi::baselines {
+
+struct CpuInterpParams {
+  std::size_t anchor_stride;  ///< power of two; >= max dim collapses to origin
+  double alpha;               ///< 1.0 = constant eb across levels (SZ3)
+  predictor::InterpConfig config;
+  int radius = 32768;  ///< SZ-style 65536-entry dictionary
+};
+
+struct CpuInterpOutput {
+  std::vector<quant::Code> codes;
+  std::vector<float> anchors;
+  quant::OutlierSet outliers;
+};
+
+[[nodiscard]] CpuInterpOutput cpu_interp_compress(std::span<const float> data,
+                                                  const dev::Dim3& dims,
+                                                  double eb,
+                                                  const CpuInterpParams& p);
+
+[[nodiscard]] std::vector<float> cpu_interp_decompress(
+    std::span<const quant::Code> codes, std::span<const float> anchors,
+    const quant::OutlierSet& outliers, const dev::Dim3& dims, double eb,
+    const CpuInterpParams& p);
+
+/// Smallest power of two >= n (the SZ3 top-level stride rule).
+[[nodiscard]] std::size_t pow2_at_least(std::size_t n);
+
+}  // namespace szi::baselines

@@ -1,0 +1,84 @@
+#include "baselines/cusz.hh"
+
+#include <stdexcept>
+
+#include "core/bytes.hh"
+#include "core/timer.hh"
+#include "huffman/histogram.hh"
+#include "huffman/huffman.hh"
+#include "metrics/stats.hh"
+#include "predictor/lorenzo.hh"
+
+namespace szi::baselines {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x5A535543;  // "CUSZ"
+
+class Cusz final : public Compressor {
+ public:
+  [[nodiscard]] std::string name() const override { return "cuSZ"; }
+
+  [[nodiscard]] CompressResult compress(const Field& field,
+                                        const CompressParams& p) override {
+    core::Timer total;
+    core::Timer stage;
+    CompressResult r;
+
+    const double eb = resolve_abs_eb(p, field.data, "cuSZ");
+
+    constexpr int kRadius = quant::kDefaultRadius;
+    const auto pred = predictor::lorenzo_compress(field.data, field.dims, eb,
+                                                  kRadius);
+    r.timings.predict = stage.lap();
+
+    const auto hist = huffman::histogram(pred.codes, 2 * kRadius);
+    r.timings.histogram = stage.lap();
+    const auto book = huffman::Codebook::build(hist);
+    r.timings.codebook = stage.lap();
+    const auto huff = huffman::encode_with_book(pred.codes, book);
+    r.timings.encode = stage.lap();
+
+    core::ByteWriter w;
+    w.put(kMagic);
+    w.put(static_cast<std::uint64_t>(field.dims.x));
+    w.put(static_cast<std::uint64_t>(field.dims.y));
+    w.put(static_cast<std::uint64_t>(field.dims.z));
+    w.put(eb);
+    w.put(static_cast<std::uint16_t>(kRadius));
+    w.put_blob(pred.outliers.serialize());
+    w.put_blob(huff);
+    r.bytes = w.take();
+    r.timings.total = total.lap();
+    return r;
+  }
+
+  [[nodiscard]] std::vector<float> decompress(std::span<const std::byte> bytes,
+                                              double* decode_seconds) override {
+    core::Timer total;
+    core::ByteReader rd(bytes);
+    if (rd.get<std::uint32_t>() != kMagic)
+      throw std::runtime_error("cuSZ: bad magic");
+    dev::Dim3 dims;
+    dims.x = rd.get<std::uint64_t>();
+    dims.y = rd.get<std::uint64_t>();
+    dims.z = rd.get<std::uint64_t>();
+    const auto eb = rd.get<double>();
+    const auto radius = rd.get<std::uint16_t>();
+    std::size_t consumed = 0;
+    const auto outliers =
+        quant::OutlierSet::deserialize(rd.get_blob(), &consumed);
+    const auto codes = huffman::decode(rd.get_blob());
+    if (codes.size() != dims.volume())
+      throw std::runtime_error("cuSZ: code count mismatch");
+    auto out = predictor::lorenzo_decompress(codes, outliers, dims, eb, radius);
+    if (decode_seconds) *decode_seconds = total.lap();
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Compressor> make_cusz() { return std::make_unique<Cusz>(); }
+
+}  // namespace szi::baselines

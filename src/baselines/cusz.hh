@@ -1,0 +1,15 @@
+// cuSZ baseline [16, 17] (§III-A): fully parallel Lorenzo dual-quant
+// prediction + outlier compaction + coarse-grained Huffman. No further
+// de-redundancy pass — the paper calls this out as cuSZ's
+// throughput/ratio tradeoff.
+#pragma once
+
+#include <memory>
+
+#include "core/compressor_iface.hh"
+
+namespace szi::baselines {
+
+[[nodiscard]] std::unique_ptr<Compressor> make_cusz();
+
+}  // namespace szi::baselines

@@ -1,0 +1,15 @@
+// cuSZp baseline [20]: prediction-quantization and 1D blockwise fixed-length
+// encoding fused into one monolithic kernel (§II). Per 32-element block, the
+// zigzag-folded 1D Lorenzo residuals are packed at the block's maximum
+// significant bit width; all-zero blocks cost one header byte.
+#pragma once
+
+#include <memory>
+
+#include "core/compressor_iface.hh"
+
+namespace szi::baselines {
+
+[[nodiscard]] std::unique_ptr<Compressor> make_cuszp();
+
+}  // namespace szi::baselines

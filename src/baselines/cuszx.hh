@@ -1,0 +1,16 @@
+// cuSZx baseline [18]: the SZx ultra-fast monolithic design. Each
+// 128-element block is either "constant" (its value range fits inside 2eb:
+// store the midpoint only) or "nonconstant" (store a base value plus
+// fixed-point offsets truncated to exactly the bits the error bound
+// requires). Maximum throughput, lowest ratio/quality of the baselines (§II).
+#pragma once
+
+#include <memory>
+
+#include "core/compressor_iface.hh"
+
+namespace szi::baselines {
+
+[[nodiscard]] std::unique_ptr<Compressor> make_cuszx();
+
+}  // namespace szi::baselines

@@ -1,0 +1,44 @@
+#include "baselines/cuzfp.hh"
+
+#include <stdexcept>
+
+#include "baselines/zfp_codec.hh"
+#include "core/timer.hh"
+
+namespace szi::baselines {
+
+namespace {
+
+class CuZfp final : public Compressor {
+ public:
+  [[nodiscard]] std::string name() const override { return "cuZFP"; }
+  [[nodiscard]] bool supports_error_bound() const override { return false; }
+  [[nodiscard]] bool supports_fixed_rate() const override { return true; }
+
+  [[nodiscard]] CompressResult compress(const Field& field,
+                                        const CompressParams& p) override {
+    if (p.mode != ErrorMode::FixedRate)
+      throw std::invalid_argument(
+          "cuZFP: only fixed-rate mode is supported (no absolute error "
+          "bound; see TABLE III note)");
+    core::Timer total;
+    CompressResult r;
+    r.bytes = zfp::compress(field.data, field.dims, p.value);
+    r.timings.encode = r.timings.total = total.lap();
+    return r;
+  }
+
+  [[nodiscard]] std::vector<float> decompress(std::span<const std::byte> bytes,
+                                              double* decode_seconds) override {
+    core::Timer total;
+    auto out = zfp::decompress(bytes);
+    if (decode_seconds) *decode_seconds = total.lap();
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Compressor> make_cuzfp() { return std::make_unique<CuZfp>(); }
+
+}  // namespace szi::baselines

@@ -1,0 +1,14 @@
+// cuZFP baseline [21]: the CUDA implementation of fixed-rate ZFP. Only the
+// FixedRate error mode is supported (the paper's TABLE III lists cuZFP as
+// N/A because it cannot honor an absolute error bound).
+#pragma once
+
+#include <memory>
+
+#include "core/compressor_iface.hh"
+
+namespace szi::baselines {
+
+[[nodiscard]] std::unique_ptr<Compressor> make_cuzfp();
+
+}  // namespace szi::baselines

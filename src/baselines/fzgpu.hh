@@ -1,0 +1,14 @@
+// FZ-GPU baseline [19]: Lorenzo dual-quant prediction, then the lossless
+// encoding stage is replaced wholesale by bitshuffle + zero-block dictionary
+// removal — trading ratio for throughput (§II).
+#pragma once
+
+#include <memory>
+
+#include "core/compressor_iface.hh"
+
+namespace szi::baselines {
+
+[[nodiscard]] std::unique_ptr<Compressor> make_fzgpu();
+
+}  // namespace szi::baselines

@@ -1,0 +1,39 @@
+#include "baselines/registry.hh"
+
+#include <stdexcept>
+
+#include "baselines/cusz.hh"
+#include "baselines/cuszp.hh"
+#include "baselines/cuszx.hh"
+#include "baselines/cuzfp.hh"
+#include "baselines/fzgpu.hh"
+#include "baselines/sz3.hh"
+#include "core/cuszi.hh"
+
+namespace szi::baselines {
+
+std::unique_ptr<Compressor> make_compressor(const std::string& name) {
+  if (name == "cusz-i") return make_cuszi();
+  if (name == "cusz") return make_cusz();
+  if (name == "cuszp") return make_cuszp();
+  if (name == "cuszx") return make_cuszx();
+  if (name == "fz-gpu") return make_fzgpu();
+  if (name == "cuzfp") return make_cuzfp();
+  if (name == "sz3") return make_sz3();
+  if (name == "qoz") return make_qoz();
+  throw std::invalid_argument("unknown compressor: " + name);
+}
+
+const std::vector<std::string>& table3_compressors() {
+  static const std::vector<std::string> names = {"cusz", "cuszp", "cuszx",
+                                                 "fz-gpu", "cusz-i"};
+  return names;
+}
+
+const std::vector<std::string>& gpu_compressors() {
+  static const std::vector<std::string> names = {
+      "cusz", "cuszp", "cuszx", "fz-gpu", "cuzfp", "cusz-i"};
+  return names;
+}
+
+}  // namespace szi::baselines

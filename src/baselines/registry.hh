@@ -1,0 +1,26 @@
+// Factory for every compressor in the evaluation (§VII-A "Baselines"):
+// cuSZ-i plus cuSZ, cuSZp, cuSZx, FZ-GPU, cuZFP, and the CPU references
+// SZ3 and QoZ. Names match the paper's.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/compressor_iface.hh"
+
+namespace szi::baselines {
+
+/// "cusz-i", "cusz", "cuszp", "cuszx", "fz-gpu", "cuzfp", "sz3", "qoz".
+/// Throws std::invalid_argument for unknown names.
+[[nodiscard]] std::unique_ptr<Compressor> make_compressor(
+    const std::string& name);
+
+/// The GPU compressors of TABLE III, in column order (no cuZFP: it has no
+/// absolute-error-bound mode).
+[[nodiscard]] const std::vector<std::string>& table3_compressors();
+
+/// All GPU compressors (rate-distortion / throughput figures).
+[[nodiscard]] const std::vector<std::string>& gpu_compressors();
+
+}  // namespace szi::baselines

@@ -1,0 +1,130 @@
+#include "baselines/sz3.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "baselines/cpu_interp.hh"
+#include "core/bytes.hh"
+#include "core/timer.hh"
+#include "huffman/huffman.hh"
+#include "lossless/lzss.hh"
+#include "metrics/stats.hh"
+#include "predictor/autotune.hh"
+
+namespace szi::baselines {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4C335A53;  // "SZ3L"
+
+class CpuSz final : public Compressor {
+ public:
+  explicit CpuSz(bool qoz) : qoz_(qoz) {}
+
+  [[nodiscard]] std::string name() const override {
+    return qoz_ ? "QoZ" : "SZ3";
+  }
+
+  [[nodiscard]] CompressResult compress(const Field& field,
+                                        const CompressParams& p) override {
+    core::Timer total;
+    core::Timer stage;
+    CompressResult r;
+
+    const double range = metrics::value_range(field.data);
+    const double eb = resolve_abs_eb(p, field.data, name());
+
+    CpuInterpParams ip;
+    const std::size_t max_dim =
+        std::max({field.dims.x, field.dims.y, field.dims.z});
+    if (qoz_) {
+      // QoZ: dense anchors every 64 points, level-wise eb, tuned splines.
+      ip.anchor_stride = std::min<std::size_t>(64, pow2_at_least(max_dim));
+      const auto prof = predictor::autotune(field.data, field.dims, eb);
+      ip.config = prof.config;
+      ip.alpha = predictor::alpha_of_epsilon(range > 0 ? eb / range : 1.0);
+    } else {
+      // SZ3: one stored point (top stride covers the grid), constant eb.
+      ip.anchor_stride = pow2_at_least(max_dim);
+      ip.alpha = 1.0;
+    }
+    r.timings.predict += stage.lap();
+
+    const auto pred = cpu_interp_compress(field.data, field.dims, eb, ip);
+    r.timings.predict += stage.lap();
+    const auto huff =
+        huffman::encode(pred.codes, 2 * static_cast<std::size_t>(ip.radius));
+    r.timings.encode += stage.lap();
+
+    core::ByteWriter inner;
+    inner.put(static_cast<std::uint64_t>(field.dims.x));
+    inner.put(static_cast<std::uint64_t>(field.dims.y));
+    inner.put(static_cast<std::uint64_t>(field.dims.z));
+    inner.put(eb);
+    inner.put(static_cast<std::uint64_t>(ip.anchor_stride));
+    inner.put(ip.alpha);
+    inner.put(static_cast<std::uint32_t>(ip.radius));
+    for (int i = 0; i < 3; ++i) {
+      inner.put(static_cast<std::uint8_t>(
+          ip.config.cubic[static_cast<std::size_t>(i)]));
+      inner.put(ip.config.dim_order[static_cast<std::size_t>(i)]);
+    }
+    inner.put_vector(pred.anchors);
+    inner.put_blob(pred.outliers.serialize());
+    inner.put_blob(huff);
+
+    // The Zstd-equivalent stage: CPU SZ always de-redundifies its archive.
+    core::ByteWriter w;
+    w.put(kMagic);
+    w.put_blob(lossless::lzss_compress(inner.take()));
+    r.bytes = w.take();
+    r.timings.encode += stage.lap();
+    r.timings.total = total.lap();
+    return r;
+  }
+
+  [[nodiscard]] std::vector<float> decompress(std::span<const std::byte> bytes,
+                                              double* decode_seconds) override {
+    core::Timer total;
+    core::ByteReader outer(bytes);
+    if (outer.get<std::uint32_t>() != kMagic)
+      throw std::runtime_error(name() + ": bad magic");
+    const auto inner_bytes = lossless::lzss_decompress(outer.get_blob());
+    core::ByteReader rd(inner_bytes);
+    dev::Dim3 dims;
+    dims.x = rd.get<std::uint64_t>();
+    dims.y = rd.get<std::uint64_t>();
+    dims.z = rd.get<std::uint64_t>();
+    const auto eb = rd.get<double>();
+    CpuInterpParams ip;
+    ip.anchor_stride = rd.get<std::uint64_t>();
+    ip.alpha = rd.get<double>();
+    ip.radius = static_cast<int>(rd.get<std::uint32_t>());
+    for (int i = 0; i < 3; ++i) {
+      ip.config.cubic[static_cast<std::size_t>(i)] =
+          static_cast<predictor::CubicKind>(rd.get<std::uint8_t>());
+      ip.config.dim_order[static_cast<std::size_t>(i)] = rd.get<std::uint8_t>();
+    }
+    const auto anchors = rd.get_vector<float>();
+    std::size_t consumed = 0;
+    const auto outliers =
+        quant::OutlierSet::deserialize(rd.get_blob(), &consumed);
+    const auto codes = huffman::decode(rd.get_blob());
+    if (codes.size() != dims.volume())
+      throw std::runtime_error(name() + ": code count mismatch");
+    auto out =
+        cpu_interp_decompress(codes, anchors, outliers, dims, eb, ip);
+    if (decode_seconds) *decode_seconds = total.lap();
+    return out;
+  }
+
+ private:
+  bool qoz_;
+};
+
+}  // namespace
+
+std::unique_ptr<Compressor> make_sz3() { return std::make_unique<CpuSz>(false); }
+std::unique_ptr<Compressor> make_qoz() { return std::make_unique<CpuSz>(true); }
+
+}  // namespace szi::baselines

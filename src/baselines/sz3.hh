@@ -1,0 +1,15 @@
+// SZ3 [4, 6] and QoZ [7] CPU reference compressors: global multi-level
+// interpolation + Huffman (65536-entry dictionary) + an LZ de-redundancy
+// stage standing in for Zstd (§III-A notes CPU SZ always runs one).
+#pragma once
+
+#include <memory>
+
+#include "core/compressor_iface.hh"
+
+namespace szi::baselines {
+
+[[nodiscard]] std::unique_ptr<Compressor> make_sz3();
+[[nodiscard]] std::unique_ptr<Compressor> make_qoz();
+
+}  // namespace szi::baselines

@@ -1,0 +1,336 @@
+#include "baselines/zfp_codec.hh"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/bytes.hh"
+#include "device/launch.hh"
+
+namespace szi::baselines::zfp {
+
+namespace {
+
+using Int = std::int64_t;    // transform arithmetic (int32 range, no UB)
+using UInt = std::uint32_t;  // negabinary coefficients
+
+constexpr std::uint32_t kMagic = 0x50465A43;  // "CZFP"
+constexpr int kIntPrec = 32;
+
+/// ZFP forward decorrelating lift on 4 elements with stride s.
+void fwd_lift(Int* p, std::size_t s) {
+  Int x = p[0], y = p[s], z = p[2 * s], w = p[3 * s];
+  x += w; x >>= 1; w -= x;
+  z += y; z >>= 1; y -= z;
+  x += z; x >>= 1; z -= x;
+  w += y; w >>= 1; y -= w;
+  w += y >> 1; y -= w >> 1;
+  p[0] = x; p[s] = y; p[2 * s] = z; p[3 * s] = w;
+}
+
+/// Inverse lift (zfp's inv_lift).
+void inv_lift(Int* p, std::size_t s) {
+  Int x = p[0], y = p[s], z = p[2 * s], w = p[3 * s];
+  y += w >> 1; w -= y >> 1;
+  y += w; w <<= 1; w -= y;
+  z += x; x <<= 1; x -= z;
+  y += z; z <<= 1; z -= y;
+  w += x; x <<= 1; x -= w;
+  p[0] = x; p[s] = y; p[2 * s] = z; p[3 * s] = w;
+}
+
+/// Negabinary mapping and its inverse (sign-free, order-preserving in
+/// absolute magnitude across bit planes).
+UInt int2uint(Int i) {
+  const auto u = static_cast<std::uint32_t>(static_cast<std::int32_t>(i));
+  return (u + 0xaaaaaaaau) ^ 0xaaaaaaaau;
+}
+Int uint2int(UInt u) {
+  return static_cast<std::int32_t>((u ^ 0xaaaaaaaau) - 0xaaaaaaaau);
+}
+
+/// Total-sequency permutation: coefficients ordered by i+j+k (then linear
+/// index), mirroring zfp's static tables.
+template <int D>
+const std::array<std::uint8_t, (D == 3 ? 64 : D == 2 ? 16 : 4)>& perm() {
+  static const auto table = [] {
+    constexpr std::size_t n = D == 3 ? 64 : D == 2 ? 16 : 4;
+    std::array<std::uint8_t, n> t{};
+    std::array<std::uint8_t, n> idx{};
+    std::iota(idx.begin(), idx.end(), 0);
+    auto degree = [](std::size_t i) {
+      if constexpr (D == 3) return (i & 3) + ((i >> 2) & 3) + ((i >> 4) & 3);
+      else if constexpr (D == 2) return (i & 3) + ((i >> 2) & 3);
+      else return i;
+    };
+    std::stable_sort(idx.begin(), idx.end(), [&](std::uint8_t a, std::uint8_t b) {
+      return degree(a) < degree(b);
+    });
+    for (std::size_t k = 0; k < n; ++k) t[k] = idx[k];
+    return t;
+  }();
+  return table;
+}
+
+/// LSB-first bit writer over a fixed per-block byte region.
+struct BlockWriter {
+  std::uint8_t* buf;
+  std::size_t pos = 0;
+  void put1(unsigned bit) {
+    if (bit) buf[pos >> 3] |= static_cast<std::uint8_t>(1u << (pos & 7));
+    ++pos;
+  }
+  /// Writes n low bits of x, LSB first; returns x >> n (zfp semantics).
+  std::uint64_t put(std::uint64_t x, unsigned n) {
+    for (unsigned i = 0; i < n; ++i, x >>= 1) put1(x & 1u);
+    return x;
+  }
+};
+
+struct BlockReader {
+  const std::uint8_t* buf;
+  std::size_t pos = 0;
+  [[nodiscard]] unsigned get1() {
+    const unsigned b = (buf[pos >> 3] >> (pos & 7)) & 1u;
+    ++pos;
+    return b;
+  }
+  [[nodiscard]] std::uint64_t get(unsigned n) {
+    std::uint64_t x = 0;
+    for (unsigned i = 0; i < n; ++i) x |= static_cast<std::uint64_t>(get1()) << i;
+    return x;
+  }
+};
+
+/// zfp encode_ints: embedded group-tested bit-plane coder, transcribed from
+/// zfp's encode loop with the comma-operator control flow made explicit.
+/// `n` persists across planes: it is the count of values already known
+/// significant, whose plane bits are emitted verbatim.
+void encode_ints(BlockWriter& bw, std::size_t budget_bits,
+                 const UInt* data, std::size_t size) {
+  std::size_t bits = budget_bits;
+  std::size_t n = 0;
+  for (int k = kIntPrec; bits && k-- > 0;) {
+    // Gather bit plane k (value i contributes bit i of x).
+    std::uint64_t x = 0;
+    for (std::size_t i = 0; i < size; ++i)
+      x += static_cast<std::uint64_t>((data[i] >> k) & 1u) << i;
+    // First n bits verbatim.
+    const std::size_t m = std::min<std::size_t>(n, bits);
+    bits -= m;
+    x = bw.put(x, static_cast<unsigned>(m));
+    // Unary run-length encode the remainder.
+    while (n < size && bits) {
+      --bits;
+      const bool any = (x != 0);
+      bw.put1(any);
+      if (!any) break;  // group test: plane finished
+      // Emit value bits until a 1 is written or only the last position
+      // remains (its 1 is implied by the group test).
+      bool found = false;
+      while (n < size - 1 && bits) {
+        --bits;
+        const unsigned b = static_cast<unsigned>(x & 1u);
+        bw.put1(b);
+        if (b) {
+          found = true;
+          break;
+        }
+        x >>= 1;
+        ++n;
+      }
+      (void)found;
+      // Consume the significant position (explicit 1, implied last, or
+      // budget exhaustion — all advance, matching zfp's outer increment).
+      x >>= 1;
+      ++n;
+    }
+  }
+}
+
+/// zfp decode_ints — the exact mirror of encode_ints.
+void decode_ints(BlockReader& br, std::size_t budget_bits, UInt* data,
+                 std::size_t size) {
+  std::size_t bits = budget_bits;
+  for (std::size_t i = 0; i < size; ++i) data[i] = 0;
+  std::size_t n = 0;
+  for (int k = kIntPrec; bits && k-- > 0;) {
+    const std::size_t m = std::min<std::size_t>(n, bits);
+    bits -= m;
+    std::uint64_t x = br.get(static_cast<unsigned>(m));
+    while (n < size && bits) {
+      --bits;
+      if (!br.get1()) break;  // group test said plane finished
+      while (n < size - 1 && bits) {
+        --bits;
+        if (br.get1()) break;
+        ++n;
+      }
+      x += std::uint64_t{1} << n;
+      ++n;
+    }
+    for (std::size_t i = 0; x; ++i, x >>= 1)
+      data[i] += static_cast<UInt>(x & 1u) << k;
+  }
+}
+
+}  // namespace
+
+std::vector<std::byte> compress(std::span<const float> data,
+                                const dev::Dim3& dims, double rate) {
+  if (data.size() != dims.volume())
+    throw std::invalid_argument("zfp: size/dims mismatch");
+  rate = std::clamp(rate, 0.5, 32.0);
+  const int d = dims.rank();
+  const std::size_t bsize = d == 3 ? 64 : d == 2 ? 16 : 4;
+  // Byte-aligned per-block budget, as CUDA zfp word-aligns blocks.
+  const std::size_t block_bits =
+      ((static_cast<std::size_t>(rate * static_cast<double>(bsize)) + 7) / 8) *
+      8;
+  const dev::Dim3 blocks = dev::grid_for(dims, {4, 4, 4});
+  const std::size_t nblocks = blocks.volume();
+  const std::size_t block_bytes = block_bits / 8;
+
+  core::ByteWriter hw;
+  hw.put(kMagic);
+  hw.put(static_cast<std::uint64_t>(dims.x));
+  hw.put(static_cast<std::uint64_t>(dims.y));
+  hw.put(static_cast<std::uint64_t>(dims.z));
+  hw.put(static_cast<std::uint32_t>(block_bits));
+  auto out = hw.take();
+  const std::size_t payload_pos = out.size();
+  out.resize(out.size() + nblocks * block_bytes, std::byte{0});
+  auto* payload = reinterpret_cast<std::uint8_t*>(out.data() + payload_pos);
+
+  dev::launch_blocks(blocks, [&](const dev::BlockIdx& blk) {
+    // Gather with edge clamping (partial blocks replicate boundary values).
+    float vals[64];
+    std::size_t vi = 0;
+    for (std::size_t dz = 0; dz < (d >= 3 ? 4u : 1u); ++dz)
+      for (std::size_t dy = 0; dy < (d >= 2 ? 4u : 1u); ++dy)
+        for (std::size_t dx = 0; dx < 4; ++dx) {
+          const std::size_t x = std::min(blk.x * 4 + dx, dims.x - 1);
+          const std::size_t y = std::min(blk.y * 4 + dy, dims.y - 1);
+          const std::size_t z = std::min(blk.z * 4 + dz, dims.z - 1);
+          vals[vi++] = data[dev::linearize(dims, x, y, z)];
+        }
+
+    BlockWriter bw{payload + blk.linear * block_bytes};
+    float maxabs = 0;
+    for (std::size_t i = 0; i < bsize; ++i)
+      maxabs = std::max(maxabs, std::abs(vals[i]));
+    if (maxabs == 0 || !std::isfinite(maxabs)) {
+      bw.put1(0);  // empty block
+      return;
+    }
+    bw.put1(1);
+    int emax;
+    (void)std::frexp(maxabs, &emax);  // maxabs = f * 2^emax, f in [0.5, 1)
+    bw.put(static_cast<std::uint64_t>(emax + 1023), 11);
+
+    // Block floating point: |vals| < 2^emax -> 30-bit integers.
+    Int ints[64];
+    const double scale = std::ldexp(1.0, 30 - emax);
+    for (std::size_t i = 0; i < bsize; ++i)
+      ints[i] = static_cast<Int>(static_cast<double>(vals[i]) * scale);
+
+    // Forward transform along x, then y, then z.
+    if (d == 1) {
+      fwd_lift(ints, 1);
+    } else if (d == 2) {
+      for (std::size_t y = 0; y < 4; ++y) fwd_lift(ints + 4 * y, 1);
+      for (std::size_t x = 0; x < 4; ++x) fwd_lift(ints + x, 4);
+    } else {
+      for (std::size_t z = 0; z < 4; ++z)
+        for (std::size_t y = 0; y < 4; ++y) fwd_lift(ints + 16 * z + 4 * y, 1);
+      for (std::size_t z = 0; z < 4; ++z)
+        for (std::size_t x = 0; x < 4; ++x) fwd_lift(ints + 16 * z + x, 4);
+      for (std::size_t y = 0; y < 4; ++y)
+        for (std::size_t x = 0; x < 4; ++x) fwd_lift(ints + 4 * y + x, 16);
+    }
+
+    // Reorder + negabinary.
+    UInt coeffs[64];
+    auto reorder = [&](const auto& p) {
+      for (std::size_t i = 0; i < bsize; ++i) coeffs[i] = int2uint(ints[p[i]]);
+    };
+    if (d == 3) reorder(perm<3>());
+    else if (d == 2) reorder(perm<2>());
+    else reorder(perm<1>());
+
+    encode_ints(bw, block_bits - bw.pos, coeffs, bsize);
+  });
+  return out;
+}
+
+std::vector<float> decompress(std::span<const std::byte> bytes) {
+  core::ByteReader rd(bytes);
+  if (rd.get<std::uint32_t>() != kMagic)
+    throw std::runtime_error("zfp: bad magic");
+  dev::Dim3 dims;
+  dims.x = rd.get<std::uint64_t>();
+  dims.y = rd.get<std::uint64_t>();
+  dims.z = rd.get<std::uint64_t>();
+  const auto block_bits = rd.get<std::uint32_t>();
+  const int d = dims.rank();
+  const std::size_t bsize = d == 3 ? 64 : d == 2 ? 16 : 4;
+  const dev::Dim3 blocks = dev::grid_for(dims, {4, 4, 4});
+  const std::size_t block_bytes = block_bits / 8;
+  if (rd.remaining() < blocks.volume() * block_bytes)
+    throw std::runtime_error("zfp: truncated payload");
+  const auto* payload =
+      reinterpret_cast<const std::uint8_t*>(rd.rest().data());
+
+  std::vector<float> out(dims.volume());
+  dev::launch_blocks(blocks, [&](const dev::BlockIdx& blk) {
+    BlockReader br{payload + blk.linear * block_bytes};
+    float vals[64] = {};
+    if (br.get1()) {
+      const int emax = static_cast<int>(br.get(11)) - 1023;
+      UInt coeffs[64];
+      decode_ints(br, block_bits - br.pos, coeffs, bsize);
+      Int ints[64];
+      auto unorder = [&](const auto& p) {
+        for (std::size_t i = 0; i < bsize; ++i) ints[p[i]] = uint2int(coeffs[i]);
+      };
+      if (d == 3) unorder(perm<3>());
+      else if (d == 2) unorder(perm<2>());
+      else unorder(perm<1>());
+
+      if (d == 1) {
+        inv_lift(ints, 1);
+      } else if (d == 2) {
+        for (std::size_t x = 0; x < 4; ++x) inv_lift(ints + x, 4);
+        for (std::size_t y = 0; y < 4; ++y) inv_lift(ints + 4 * y, 1);
+      } else {
+        for (std::size_t y = 0; y < 4; ++y)
+          for (std::size_t x = 0; x < 4; ++x) inv_lift(ints + 4 * y + x, 16);
+        for (std::size_t z = 0; z < 4; ++z)
+          for (std::size_t x = 0; x < 4; ++x) inv_lift(ints + 16 * z + x, 4);
+        for (std::size_t z = 0; z < 4; ++z)
+          for (std::size_t y = 0; y < 4; ++y) inv_lift(ints + 16 * z + 4 * y, 1);
+      }
+      const double scale = std::ldexp(1.0, emax - 30);
+      for (std::size_t i = 0; i < bsize; ++i)
+        vals[i] = static_cast<float>(static_cast<double>(ints[i]) * scale);
+    }
+
+    // Scatter valid positions only.
+    std::size_t vi = 0;
+    for (std::size_t dz = 0; dz < (d >= 3 ? 4u : 1u); ++dz)
+      for (std::size_t dy = 0; dy < (d >= 2 ? 4u : 1u); ++dy)
+        for (std::size_t dx = 0; dx < 4; ++dx, ++vi) {
+          const std::size_t x = blk.x * 4 + dx;
+          const std::size_t y = blk.y * 4 + dy;
+          const std::size_t z = blk.z * 4 + dz;
+          if (x < dims.x && y < dims.y && z < dims.z)
+            out[dev::linearize(dims, x, y, z)] = vals[vi];
+        }
+  });
+  return out;
+}
+
+}  // namespace szi::baselines::zfp

@@ -1,0 +1,27 @@
+// Fixed-rate ZFP codec [23] — the algorithm behind the cuZFP baseline [21].
+//
+// Per 4^d block: block-floating-point normalization (common exponent),
+// the ZFP non-orthogonal decorrelating integer lifting transform along each
+// dimension, total-sequency coefficient reordering, negabinary mapping, and
+// embedded group-tested bit-plane coding truncated at the per-block bit
+// budget (rate * 4^d bits, byte-aligned so blocks stay independently
+// addressable, as in CUDA zfp). Fixed rate means no error bound — the
+// reason cuZFP is absent from the paper's TABLE III.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "device/dims.hh"
+
+namespace szi::baselines::zfp {
+
+/// Compresses at `rate` bits per value (clamped to [0.5, 32]).
+[[nodiscard]] std::vector<std::byte> compress(std::span<const float> data,
+                                              const dev::Dim3& dims,
+                                              double rate);
+
+[[nodiscard]] std::vector<float> decompress(std::span<const std::byte> bytes);
+
+}  // namespace szi::baselines::zfp

@@ -1,0 +1,260 @@
+#include "cli/cli.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "baselines/registry.hh"
+#include "core/cuszi.hh"
+#include "core/timer.hh"
+#include "io/bin_io.hh"
+#include "metrics/stats.hh"
+
+namespace szi::cli {
+
+namespace {
+
+double parse_double(const std::string& s, const std::string& flag) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument("");
+    return v;
+  } catch (...) {
+    throw std::invalid_argument("bad number for " + flag + ": " + s);
+  }
+}
+
+std::size_t parse_size(const std::string& s, const std::string& flag) {
+  try {
+    std::size_t pos = 0;
+    const long long v = std::stoll(s, &pos);
+    if (pos != s.size() || v <= 0) throw std::invalid_argument("");
+    return static_cast<std::size_t>(v);
+  } catch (...) {
+    throw std::invalid_argument("bad dimension for " + flag + ": " + s);
+  }
+}
+
+}  // namespace
+
+std::string usage() {
+  return R"(szi — scientific error-bounded lossy compression (cuSZ-i reproduction)
+
+compress:    szi -z -i <file.f32> -d NX [NY [NZ]] [-m abs|rel|rate] [-e VALUE]
+                 [-c COMPRESSOR] [-t f32|f64] [--bitcomp] [-o <file.szi>]
+                 [--verify]
+decompress:  szi -x -i <file.szi> -o <file.f32> [-c COMPRESSOR] [-t f32|f64]
+                 [--bitcomp]
+info:        szi --info -i <file.szi>  (identify the pipeline of an archive)
+list:        szi --list               (available compressors)
+
+options:
+  -m abs|rel|rate   error mode: absolute bound, value-range-relative bound
+                    (default), or fixed rate in bits/value (cuzfp only)
+  -e VALUE          bound / rate (default 1e-3)
+  -c NAME           cusz-i (default), cusz, cuszp, cuszx, fz-gpu, cuzfp,
+                    sz3, qoz
+  -t f32|f64        value type (default f32; f64 supports cusz-i only)
+  --bitcomp         wrap with the de-redundancy pass (must match on -x)
+  --verify          after -z, decompress and report PSNR / max error
+)";
+}
+
+Options parse(const std::vector<std::string>& args) {
+  Options opt;
+  bool have_command = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto next = [&](const char* flag) -> const std::string& {
+      if (i + 1 >= args.size())
+        throw std::invalid_argument(std::string(flag) + " needs an argument");
+      return args[++i];
+    };
+    if (a == "-z") {
+      opt.command = Command::Compress;
+      have_command = true;
+    } else if (a == "-x") {
+      opt.command = Command::Decompress;
+      have_command = true;
+    } else if (a == "--list") {
+      opt.command = Command::List;
+      have_command = true;
+    } else if (a == "--info") {
+      opt.command = Command::Info;
+      have_command = true;
+    } else if (a == "-h" || a == "--help") {
+      opt.command = Command::Help;
+      have_command = true;
+    } else if (a == "-i") {
+      opt.input = next("-i");
+    } else if (a == "-o") {
+      opt.output = next("-o");
+    } else if (a == "-c") {
+      opt.compressor = next("-c");
+    } else if (a == "-t") {
+      const std::string t = next("-t");
+      if (t == "f32") opt.f64 = false;
+      else if (t == "f64") opt.f64 = true;
+      else throw std::invalid_argument("unknown type: " + t);
+    } else if (a == "-e") {
+      opt.value = parse_double(next("-e"), "-e");
+    } else if (a == "-m") {
+      const std::string m = next("-m");
+      if (m == "abs") opt.mode = ErrorMode::Abs;
+      else if (m == "rel") opt.mode = ErrorMode::Rel;
+      else if (m == "rate") opt.mode = ErrorMode::FixedRate;
+      else throw std::invalid_argument("unknown mode: " + m);
+    } else if (a == "-d") {
+      opt.dims.x = parse_size(next("-d"), "-d");
+      opt.dims.y = opt.dims.z = 1;
+      // Up to two more bare numbers.
+      for (std::size_t* d : {&opt.dims.y, &opt.dims.z}) {
+        if (i + 1 < args.size() && !args[i + 1].empty() &&
+            args[i + 1][0] != '-') {
+          *d = parse_size(args[++i], "-d");
+        }
+      }
+    } else if (a == "--bitcomp") {
+      opt.bitcomp = true;
+    } else if (a == "--verify") {
+      opt.verify = true;
+    } else {
+      throw std::invalid_argument("unknown option: " + a);
+    }
+  }
+  if (!have_command)
+    throw std::invalid_argument("one of -z, -x, --list is required");
+  if (opt.command == Command::Compress) {
+    if (opt.input.empty()) throw std::invalid_argument("-z requires -i");
+    if (opt.dims.volume() == 0 || opt.dims.x == 0)
+      throw std::invalid_argument("-z requires -d NX [NY [NZ]]");
+    if (opt.value <= 0) throw std::invalid_argument("-e must be positive");
+  }
+  if (opt.command == Command::Decompress) {
+    if (opt.input.empty()) throw std::invalid_argument("-x requires -i");
+    if (opt.output.empty()) throw std::invalid_argument("-x requires -o");
+  }
+  if (opt.command == Command::Info && opt.input.empty())
+    throw std::invalid_argument("--info requires -i");
+  if (opt.f64 && opt.compressor != "cusz-i")
+    throw std::invalid_argument("-t f64 supports only -c cusz-i");
+  if (opt.f64 && opt.bitcomp)
+    throw std::invalid_argument(
+        "-t f64 with --bitcomp is not supported (wrap externally)");
+  if (opt.f64 && opt.mode == ErrorMode::FixedRate)
+    throw std::invalid_argument("-t f64 has no fixed-rate mode");
+  return opt;
+}
+
+int run(const Options& opt) {
+  switch (opt.command) {
+    case Command::Help:
+      std::fputs(usage().c_str(), stdout);
+      return 0;
+    case Command::List: {
+      for (const auto& name : baselines::gpu_compressors())
+        std::printf("%s\n", name.c_str());
+      std::printf("sz3\nqoz\n");
+      return 0;
+    }
+    case Command::Info: {
+      const auto bytes = io::read_bytes(opt.input);
+      if (bytes.size() < 4) {
+        std::printf("%s: too short to be an archive\n", opt.input.c_str());
+        return 1;
+      }
+      std::uint32_t magic = 0;
+      std::memcpy(&magic, bytes.data(), 4);
+      struct Known {
+        std::uint32_t magic;
+        const char* what;
+      };
+      static constexpr Known kKnown[] = {
+          {0x31495A53, "cusz-i"},          {0x5A535543, "cusz"},
+          {0x505A5543, "cuszp"},           {0x585A5543, "cuszx"},
+          {0x55505A46, "fz-gpu"},          {0x50465A43, "cuzfp"},
+          {0x4C335A53, "sz3/qoz"},         {0x50434242, "de-redundancy wrapper"},
+          {0x4C525750, "pointwise-rel wrapper"}, {0x42495A53, "bundle"},
+      };
+      const char* what = "unknown";
+      for (const auto& k : kKnown)
+        if (k.magic == magic) what = k.what;
+      std::printf("%s: %zu bytes, pipeline: %s\n", opt.input.c_str(),
+                  bytes.size(), what);
+      if (magic == 0x31495A53)
+        std::printf("precision: %s\n",
+                    cuszi_archive_precision(bytes) == Precision::F64 ? "f64"
+                                                                     : "f32");
+      return 0;
+    }
+    case Command::Compress: {
+      if (opt.f64) {
+        const auto data = io::read_f64(opt.input, opt.dims.volume());
+        StageTimings t;
+        const auto bytes =
+            cuszi_compress(std::span<const double>(data), opt.dims,
+                           {opt.mode, opt.value}, &t);
+        const std::string out =
+            opt.output.empty() ? opt.input + ".szi" : opt.output;
+        io::write_bytes(out, bytes);
+        std::printf("cuSZ-i (f64): %zu -> %zu bytes (%.2fx) in %.3f s\n",
+                    data.size() * sizeof(double), bytes.size(),
+                    metrics::compression_ratio(data.size() * sizeof(double),
+                                               bytes.size()),
+                    t.total);
+        if (opt.verify) {
+          const auto dec = cuszi_decompress_f64(bytes);
+          const auto d = metrics::distortion(data, dec);
+          std::printf("verify: PSNR %.2f dB, max err %.4e\n", d.psnr,
+                      d.max_err);
+        }
+        return 0;
+      }
+      auto c = baselines::make_compressor(opt.compressor);
+      if (opt.bitcomp) c = with_bitcomp(std::move(c));
+      Field field("cli", opt.input, opt.dims);
+      field.data = io::read_f32(opt.input, opt.dims.volume());
+      const auto enc = c->compress(field, {opt.mode, opt.value});
+      const std::string out =
+          opt.output.empty() ? opt.input + ".szi" : opt.output;
+      io::write_bytes(out, enc.bytes);
+      std::printf("%s: %zu -> %zu bytes (%.2fx, %.2f bits/val) in %.3f s\n",
+                  c->name().c_str(), field.bytes(), enc.bytes.size(),
+                  metrics::compression_ratio(field.bytes(), enc.bytes.size()),
+                  metrics::bit_rate(field.size(), enc.bytes.size()),
+                  enc.timings.total);
+      if (opt.verify) {
+        const auto dec = c->decompress(enc.bytes);
+        const auto d = metrics::distortion(field.data, dec);
+        std::printf("verify: PSNR %.2f dB, max err %.4e\n", d.psnr, d.max_err);
+      }
+      return 0;
+    }
+    case Command::Decompress: {
+      if (opt.f64) {
+        const auto bytes = io::read_bytes(opt.input);
+        core::Timer t;
+        const auto data = cuszi_decompress_f64(bytes);
+        const double secs = t.lap();
+        io::write_f64(opt.output, data);
+        std::printf("cuSZ-i (f64): %zu values -> %s in %.3f s\n", data.size(),
+                    opt.output.c_str(), secs);
+        return 0;
+      }
+      auto c = baselines::make_compressor(opt.compressor);
+      if (opt.bitcomp) c = with_bitcomp(std::move(c));
+      const auto bytes = io::read_bytes(opt.input);
+      core::Timer t;
+      const auto data = c->decompress(bytes);
+      const double secs = t.lap();
+      io::write_f32(opt.output, data);
+      std::printf("%s: %zu values -> %s in %.3f s\n", c->name().c_str(),
+                  data.size(), opt.output.c_str(), secs);
+      return 0;
+    }
+  }
+  return 2;
+}
+
+}  // namespace szi::cli

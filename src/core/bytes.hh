@@ -1,0 +1,95 @@
+// Tiny byte-stream serializer for archive headers and sections. Everything
+// is little-endian POD; readers throw std::runtime_error on truncation so a
+// corrupt archive can never drive out-of-bounds reads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace szi::core {
+
+class ByteWriter {
+ public:
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void put(const T& v) {
+    const auto* p = reinterpret_cast<const std::byte*>(&v);
+    buf_.insert(buf_.end(), p, p + sizeof(T));
+  }
+
+  /// Length-prefixed blob (u64 size + bytes).
+  void put_blob(std::span<const std::byte> blob) {
+    put(static_cast<std::uint64_t>(blob.size()));
+    buf_.insert(buf_.end(), blob.begin(), blob.end());
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void put_vector(const std::vector<T>& v) {
+    put(static_cast<std::uint64_t>(v.size()));
+    const auto* p = reinterpret_cast<const std::byte*>(v.data());
+    buf_.insert(buf_.end(), p, p + v.size() * sizeof(T));
+  }
+
+  [[nodiscard]] std::vector<std::byte> take() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> data) : data_(data) {}
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  [[nodiscard]] T get() {
+    need(sizeof(T));
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  [[nodiscard]] std::span<const std::byte> get_blob() {
+    const auto n = get<std::uint64_t>();
+    need(n);
+    const auto s = data_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  [[nodiscard]] std::vector<T> get_vector() {
+    const auto n = get<std::uint64_t>();
+    need(n * sizeof(T));
+    std::vector<T> v(n);
+    std::memcpy(v.data(), data_.data() + pos_, n * sizeof(T));
+    pos_ += n * sizeof(T);
+    return v;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] std::span<const std::byte> rest() const {
+    return data_.subspan(pos_);
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (pos_ + n > data_.size())
+      throw std::runtime_error("archive truncated (need " + std::to_string(n) +
+                               " bytes at offset " + std::to_string(pos_) + ")");
+  }
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace szi::core

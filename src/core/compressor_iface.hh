@@ -1,0 +1,82 @@
+// The interface every compressor in this repository implements — cuSZ-i and
+// all five baselines — so the benches can sweep them uniformly (§VII-A).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/field.hh"
+
+namespace szi {
+
+/// Error-control mode. Rel is value-range-relative (the paper's ε); the
+/// pipeline converts it to an absolute bound using the field's range.
+/// PwRel bounds each point's relative error |v'-v| <= rel*|v| and is served
+/// by the with_pointwise_rel() decorator (log-domain transform), not by the
+/// base compressors. FixedRate is cuZFP's mode (bits per element).
+/// Compressors that don't support a mode throw std::invalid_argument.
+enum class ErrorMode { Abs, Rel, PwRel, FixedRate };
+
+struct CompressParams {
+  ErrorMode mode = ErrorMode::Rel;
+  double value = 1e-3;  ///< eb (Abs/Rel) or bits-per-element (FixedRate)
+};
+
+/// Per-stage wall-clock seconds. `codebook` is reported separately because
+/// the paper excludes the ~200 us CPU codebook build from kernel throughput
+/// (§VI-A, §VII-C.4).
+struct StageTimings {
+  double predict = 0;
+  double histogram = 0;
+  double codebook = 0;
+  double encode = 0;
+  double total = 0;
+
+  [[nodiscard]] double kernel_time() const { return total - codebook; }
+};
+
+struct CompressResult {
+  std::vector<std::byte> bytes;
+  StageTimings timings;
+};
+
+class Compressor {
+ public:
+  virtual ~Compressor() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Whether absolute/relative error bounds are supported (cuZFP: no — the
+  /// paper's TABLE III lists it as N/A for this reason).
+  [[nodiscard]] virtual bool supports_error_bound() const { return true; }
+  [[nodiscard]] virtual bool supports_fixed_rate() const { return false; }
+
+  [[nodiscard]] virtual CompressResult compress(const Field& field,
+                                                const CompressParams& p) = 0;
+  /// Archives are self-describing; `decode_seconds` (optional) receives the
+  /// wall time.
+  [[nodiscard]] virtual std::vector<float> decompress(
+      std::span<const std::byte> bytes, double* decode_seconds = nullptr) = 0;
+};
+
+/// Wraps any compressor with the de-redundancy pass (§VI-B); TABLE III's
+/// right half applies it "fairly to all compressors' outputs".
+[[nodiscard]] std::unique_ptr<Compressor> with_bitcomp(
+    std::unique_ptr<Compressor> inner);
+
+/// Serves ErrorMode::PwRel on top of any error-bounded compressor by
+/// compressing log|v| at an absolute bound of log(1+rel), with sign and
+/// zero classes stored as RLE bitmaps (the SZ-family log-transform scheme).
+[[nodiscard]] std::unique_ptr<Compressor> with_pointwise_rel(
+    std::unique_ptr<Compressor> inner);
+
+/// Resolves Abs/Rel to an absolute bound for `data`; throws
+/// std::invalid_argument for PwRel/FixedRate or non-positive results.
+/// Shared by every error-bounded pipeline.
+[[nodiscard]] double resolve_abs_eb(const CompressParams& p,
+                                    std::span<const float> data,
+                                    const std::string& who);
+
+}  // namespace szi

@@ -1,0 +1,195 @@
+#include "core/cuszi.hh"
+
+#include <stdexcept>
+
+#include "core/bytes.hh"
+#include "core/timer.hh"
+#include "huffman/histogram.hh"
+#include "huffman/huffman.hh"
+#include "metrics/stats.hh"
+#include "predictor/autotune.hh"
+#include "predictor/ginterp.hh"
+
+namespace szi {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x31495A53;  // "SZI1"
+
+struct PackedConfig {
+  double alpha;
+  std::uint8_t cubic[3];
+  std::uint8_t order[3];
+  std::uint16_t radius;
+};
+
+template <typename T>
+constexpr Precision precision_of() {
+  return sizeof(T) == 4 ? Precision::F32 : Precision::F64;
+}
+
+template <typename T>
+std::vector<std::byte> compress_typed(std::span<const T> data,
+                                      const dev::Dim3& dims,
+                                      const CompressParams& p,
+                                      StageTimings* timings, bool topk) {
+  if (p.mode == ErrorMode::FixedRate)
+    throw std::invalid_argument("cuSZ-i: fixed-rate mode not supported");
+  if (p.mode == ErrorMode::PwRel)
+    throw std::invalid_argument(
+        "cuSZ-i: pointwise-relative mode requires with_pointwise_rel()");
+  if (data.size() != dims.volume())
+    throw std::invalid_argument("cuSZ-i: size/dims mismatch");
+  core::Timer total;
+  core::Timer stage;
+  StageTimings t;
+
+  // Profiling + auto-tuning kernel (also resolves Rel -> Abs).
+  auto prof = predictor::autotune(data, dims, p.value);
+  const double eb =
+      p.mode == ErrorMode::Rel ? p.value * prof.value_range : p.value;
+  if (eb <= 0) throw std::invalid_argument("cuSZ-i: non-positive error bound");
+  if (p.mode == ErrorMode::Rel) {
+    // ε changed meaning: recompute α for the absolute bound.
+    prof.epsilon = p.value;
+    prof.config.alpha = predictor::alpha_of_epsilon(prof.epsilon);
+  }
+  t.predict += stage.lap();
+
+  // G-Interp prediction + quantization.
+  constexpr int kRadius = quant::kDefaultRadius;
+  const auto pred = predictor::ginterp_compress(data, dims, eb, prof.config,
+                                                kRadius);
+  t.predict += stage.lap();
+
+  // Huffman: histogram & encode are device kernels; the codebook build is
+  // the host-side step the paper times separately (§VI-A).
+  const auto hist =
+      topk ? huffman::histogram_topk(pred.codes, 2 * kRadius, kRadius, 16)
+           : huffman::histogram(pred.codes, 2 * kRadius);
+  t.histogram = stage.lap();
+  const auto book = huffman::Codebook::build(hist);
+  t.codebook = stage.lap();
+  auto huff = huffman::encode_with_book(pred.codes, book);
+  t.encode = stage.lap();
+
+  core::ByteWriter w;
+  w.put(kMagic);
+  w.put(static_cast<std::uint8_t>(precision_of<T>()));
+  w.put(static_cast<std::uint64_t>(dims.x));
+  w.put(static_cast<std::uint64_t>(dims.y));
+  w.put(static_cast<std::uint64_t>(dims.z));
+  w.put(eb);
+  PackedConfig pc{};
+  pc.alpha = prof.config.alpha;
+  for (int i = 0; i < 3; ++i) {
+    pc.cubic[i] = static_cast<std::uint8_t>(
+        prof.config.cubic[static_cast<std::size_t>(i)]);
+    pc.order[i] = prof.config.dim_order[static_cast<std::size_t>(i)];
+  }
+  pc.radius = kRadius;
+  w.put(pc);
+  w.put_vector(pred.anchors);
+  w.put_blob(pred.outliers.serialize());
+  w.put_blob(huff);
+  t.total = total.lap();
+  if (timings) *timings = t;
+  return w.take();
+}
+
+template <typename T>
+std::vector<T> decompress_typed(std::span<const std::byte> bytes) {
+  core::ByteReader rd(bytes);
+  if (rd.get<std::uint32_t>() != kMagic)
+    throw std::runtime_error("cuSZ-i: bad magic");
+  const auto prec = static_cast<Precision>(rd.get<std::uint8_t>());
+  if (prec != precision_of<T>())
+    throw std::runtime_error("cuSZ-i: archive precision mismatch");
+  dev::Dim3 dims;
+  dims.x = rd.get<std::uint64_t>();
+  dims.y = rd.get<std::uint64_t>();
+  dims.z = rd.get<std::uint64_t>();
+  const auto eb = rd.get<double>();
+  const auto pc = rd.get<PackedConfig>();
+  predictor::InterpConfig cfg;
+  cfg.alpha = pc.alpha;
+  for (int i = 0; i < 3; ++i) {
+    cfg.cubic[static_cast<std::size_t>(i)] =
+        static_cast<predictor::CubicKind>(pc.cubic[i]);
+    cfg.dim_order[static_cast<std::size_t>(i)] = pc.order[i];
+  }
+  const auto anchors = rd.get_vector<T>();
+  std::size_t consumed = 0;
+  const auto outliers =
+      quant::OutlierSetT<T>::deserialize(rd.get_blob(), &consumed);
+  const auto codes = huffman::decode(rd.get_blob());
+  if (codes.size() != dims.volume())
+    throw std::runtime_error("cuSZ-i: code count mismatch");
+
+  return predictor::ginterp_decompress(codes, std::span<const T>(anchors),
+                                       outliers, dims, eb, cfg, pc.radius);
+}
+
+/// The Compressor-interface adapter over the f32 typed API.
+class Cuszi final : public Compressor {
+ public:
+  explicit Cuszi(bool topk) : topk_(topk) {}
+
+  [[nodiscard]] std::string name() const override { return "cuSZ-i"; }
+
+  [[nodiscard]] CompressResult compress(const Field& field,
+                                        const CompressParams& p) override {
+    CompressResult r;
+    r.bytes = compress_typed<float>(field.data, field.dims, p, &r.timings,
+                                    topk_);
+    return r;
+  }
+
+  [[nodiscard]] std::vector<float> decompress(std::span<const std::byte> bytes,
+                                              double* decode_seconds) override {
+    core::Timer total;
+    auto out = decompress_typed<float>(bytes);
+    if (decode_seconds) *decode_seconds = total.lap();
+    return out;
+  }
+
+ private:
+  bool topk_;
+};
+
+}  // namespace
+
+std::unique_ptr<Compressor> make_cuszi(bool use_topk_histogram) {
+  return std::make_unique<Cuszi>(use_topk_histogram);
+}
+
+std::vector<std::byte> cuszi_compress(std::span<const float> data,
+                                      const dev::Dim3& dims,
+                                      const CompressParams& params,
+                                      StageTimings* timings) {
+  return compress_typed<float>(data, dims, params, timings, true);
+}
+
+std::vector<std::byte> cuszi_compress(std::span<const double> data,
+                                      const dev::Dim3& dims,
+                                      const CompressParams& params,
+                                      StageTimings* timings) {
+  return compress_typed<double>(data, dims, params, timings, true);
+}
+
+Precision cuszi_archive_precision(std::span<const std::byte> bytes) {
+  core::ByteReader rd(bytes);
+  if (rd.get<std::uint32_t>() != kMagic)
+    throw std::runtime_error("cuSZ-i: bad magic");
+  return static_cast<Precision>(rd.get<std::uint8_t>());
+}
+
+std::vector<float> cuszi_decompress_f32(std::span<const std::byte> bytes) {
+  return decompress_typed<float>(bytes);
+}
+
+std::vector<double> cuszi_decompress_f64(std::span<const std::byte> bytes) {
+  return decompress_typed<double>(bytes);
+}
+
+}  // namespace szi

@@ -1,0 +1,50 @@
+// cuSZ-i: the paper's full compressor (§IV).
+//
+// Pipeline: profiling auto-tune (§V-C) → G-Interp prediction + level-wise
+// error quantization (§V) → outlier compaction + coarse-grained Huffman
+// (§VI-A). The optional Bitcomp-style de-redundancy pass (§VI-B) is applied
+// through szi::with_bitcomp(), uniformly available to every compressor.
+//
+// Archive layout (see cuszi.cc):
+//   magic 'SZI1' | precision | dims | eb_abs | radius | InterpConfig |
+//   anchors | outliers | huffman stream
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/compressor_iface.hh"
+#include "device/dims.hh"
+
+namespace szi {
+
+/// Factory for the cuSZ-i compressor (f32 fields through the common
+/// Compressor interface). `use_topk_histogram` toggles the §VI-A histogram
+/// optimization (the ablation bench flips it).
+[[nodiscard]] std::unique_ptr<Compressor> make_cuszi(
+    bool use_topk_histogram = true);
+
+/// Typed free-function API — the paper's datasets are f32, but SDRBench
+/// also ships f64 fields (QMCPack, some Nyx runs); both precisions share
+/// the same archive format, distinguished by a header byte.
+[[nodiscard]] std::vector<std::byte> cuszi_compress(
+    std::span<const float> data, const dev::Dim3& dims,
+    const CompressParams& params, StageTimings* timings = nullptr);
+[[nodiscard]] std::vector<std::byte> cuszi_compress(
+    std::span<const double> data, const dev::Dim3& dims,
+    const CompressParams& params, StageTimings* timings = nullptr);
+
+enum class Precision : std::uint8_t { F32 = 0, F64 = 1 };
+
+/// Reads the precision byte of a cuSZ-i archive (throws on bad magic).
+[[nodiscard]] Precision cuszi_archive_precision(std::span<const std::byte> b);
+
+/// Decompression, typed; throws std::runtime_error if the archive's
+/// precision does not match the requested function.
+[[nodiscard]] std::vector<float> cuszi_decompress_f32(
+    std::span<const std::byte> bytes);
+[[nodiscard]] std::vector<double> cuszi_decompress_f64(
+    std::span<const std::byte> bytes);
+
+}  // namespace szi

@@ -1,0 +1,43 @@
+// The in-memory representation of one scientific field (a 1/2/3-D array of
+// single-precision values), shared by generators, compressors, and benches.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "device/dims.hh"
+
+namespace szi {
+
+/// One named scalar field on a regular grid, row-major with x fastest — the
+/// layout of every dataset in the paper's TABLE II.
+struct Field {
+  std::string dataset;  ///< e.g. "miranda"
+  std::string name;     ///< e.g. "pressure"
+  dev::Dim3 dims;
+  std::vector<float> data;
+
+  Field() = default;
+  Field(std::string dataset_, std::string name_, dev::Dim3 dims_)
+      : dataset(std::move(dataset_)),
+        name(std::move(name_)),
+        dims(dims_),
+        data(dims_.volume()) {}
+
+  [[nodiscard]] std::size_t size() const { return data.size(); }
+  [[nodiscard]] std::size_t bytes() const { return data.size() * sizeof(float); }
+  [[nodiscard]] std::span<const float> view() const { return data; }
+  [[nodiscard]] std::string label() const { return dataset + "/" + name; }
+
+  [[nodiscard]] float& at(std::size_t x, std::size_t y, std::size_t z) {
+    return data[dev::linearize(dims, x, y, z)];
+  }
+  [[nodiscard]] float at(std::size_t x, std::size_t y, std::size_t z) const {
+    return data[dev::linearize(dims, x, y, z)];
+  }
+};
+
+}  // namespace szi

@@ -1,0 +1,25 @@
+// Monotonic wall-clock stopwatch for stage timings.
+#pragma once
+
+#include <chrono>
+
+namespace szi::core {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  /// Seconds since construction or the last lap().
+  double lap() {
+    const auto now = clock::now();
+    const std::chrono::duration<double> d = now - start_;
+    start_ = now;
+    return d.count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace szi::core

@@ -1,0 +1,58 @@
+// Synthetic stand-ins for the paper's six evaluation datasets (TABLE II).
+//
+// SDRBench data is not available offline; each generator reproduces the
+// signal *character* that drives compressor behaviour on the real dataset —
+// smoothness, spectral content, dynamic range, and feature sharpness — with
+// fully deterministic output. DESIGN.md §1 documents the substitution.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/field.hh"
+
+namespace szi::datagen {
+
+/// Grid-size preset. `Small` targets a single-core CI box; `Paper` uses the
+/// dimensions of TABLE II (QMCPack capped at 8 orbitals for memory reasons).
+enum class Size { Small, Paper };
+
+/// Reads SZI_LARGE=1 from the environment; benches use this to pick a preset.
+[[nodiscard]] Size size_from_env();
+
+/// JHTDB: forced isotropic turbulence — Kolmogorov-spectrum velocity and
+/// pressure (k^-5/3 and k^-7/3 power laws), broadband and noisy.
+[[nodiscard]] std::vector<Field> jhtdb(Size size);
+
+/// Miranda: radiation hydrodynamics — very smooth fields with diffuse
+/// material interfaces (the dataset interpolation likes most).
+[[nodiscard]] std::vector<Field> miranda(Size size);
+
+/// Nyx: cosmological hydrodynamics — log-normal baryon density with extreme
+/// dynamic range, power-law correlated large-scale structure.
+[[nodiscard]] std::vector<Field> nyx(Size size);
+
+/// QMCPack: einspline orbital coefficients — stacked oscillatory 3D orbitals
+/// (one per 115-plane slab), dims (n_orbitals*115) x 69 x 69.
+[[nodiscard]] std::vector<Field> qmcpack(Size size);
+
+/// RTM: reverse-time-migration wavefield snapshots — expanding band-limited
+/// wavefronts; see rtm_snapshot() for the time series of Fig. 6.
+[[nodiscard]] std::vector<Field> rtm(Size size);
+
+/// One RTM snapshot at simulation step `t` in [0, 3700). Early steps are the
+/// near-empty initialization phase the paper's Fig. 6 excludes.
+[[nodiscard]] Field rtm_snapshot(int t, Size size);
+
+/// S3D: compressible combustion — species mass fractions with a wrinkled
+/// flame front, smooth on either side, sharp across it.
+[[nodiscard]] std::vector<Field> s3d(Size size);
+
+/// All six dataset names in the paper's order.
+[[nodiscard]] const std::vector<std::string>& dataset_names();
+
+/// Dispatch by name ("jhtdb", "miranda", "nyx", "qmcpack", "rtm", "s3d").
+[[nodiscard]] std::vector<Field> make_dataset(const std::string& name,
+                                              Size size);
+
+}  // namespace szi::datagen

@@ -1,0 +1,41 @@
+#include <cstddef>
+
+#include "datagen/datasets.hh"
+#include "datagen/synth.hh"
+
+namespace szi::datagen {
+
+namespace {
+Field turbulence_field(const char* name, dev::Dim3 dims, std::uint64_t seed,
+                       double slope, float noise_amp) {
+  Field f("jhtdb", name, dims);
+  Rng rng(seed);
+  // Inertial range: wavelengths from the box scale down to ~10 cells. A DNS
+  // resolves its smallest eddies over several cells, so the spectrum is cut
+  // well above the grid scale — never white noise at 1-2 cells.
+  const auto modes = draw_modes(rng, 48, 1.5, static_cast<double>(dims.x) / 24.0,
+                                slope);
+  add_modes(f, modes);
+  // Dissipation-range tail: steeper decay toward the cutoff.
+  const auto tail =
+      draw_modes(rng, 16, static_cast<double>(dims.x) / 24.0,
+                 static_cast<double>(dims.x) / 16.0, slope - 2.0);
+  add_modes(f, tail);
+  add_lattice_noise(f, rng, dims.x / 8, noise_amp * 0.05f);
+  return f;
+}
+}  // namespace
+
+std::vector<Field> jhtdb(Size size) {
+  const dev::Dim3 dims =
+      size == Size::Paper ? dev::Dim3{512, 512, 512} : dev::Dim3{96, 96, 96};
+  std::vector<Field> fields;
+  // Velocity components: amplitude ~ k^-5/6 gives a k^-5/3 energy spectrum.
+  fields.push_back(turbulence_field("velocityx", dims, 0x4a485430, -5.0 / 6.0, 0.06f));
+  fields.push_back(turbulence_field("velocityy", dims, 0x4a485431, -5.0 / 6.0, 0.06f));
+  // Pressure: steeper k^-7/3 spectrum, slightly smoother.
+  fields.push_back(turbulence_field("pressure", dims, 0x4a485432, -7.0 / 6.0, 0.03f));
+  return fields;
+}
+
+}  // namespace szi::datagen

@@ -1,0 +1,88 @@
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "datagen/datasets.hh"
+#include "datagen/synth.hh"
+#include "device/launch.hh"
+
+namespace szi::datagen {
+
+namespace {
+
+/// Smooth 2D perturbation surface z0(x, y) for the mixing-layer interface,
+/// built from a coarse bilinear lattice.
+std::vector<float> interface_surface(Rng& rng, std::size_t nx, std::size_t ny,
+                                     std::size_t cells, float amplitude) {
+  std::vector<float> lattice((cells + 1) * (cells + 1));
+  for (auto& v : lattice) v = static_cast<float>(rng.gaussian());
+  std::vector<float> surf(nx * ny);
+  for (std::size_t y = 0; y < ny; ++y) {
+    const double fy = static_cast<double>(y) / ny * cells;
+    const std::size_t y0 = static_cast<std::size_t>(fy);
+    const float ty = static_cast<float>(fy - y0);
+    for (std::size_t x = 0; x < nx; ++x) {
+      const double fx = static_cast<double>(x) / nx * cells;
+      const std::size_t x0 = static_cast<std::size_t>(fx);
+      const float tx = static_cast<float>(fx - x0);
+      auto at = [&](std::size_t i, std::size_t j) {
+        return lattice[j * (cells + 1) + i];
+      };
+      const float a = at(x0, y0) * (1 - tx) + at(x0 + 1, y0) * tx;
+      const float b = at(x0, y0 + 1) * (1 - tx) + at(x0 + 1, y0 + 1) * tx;
+      surf[y * nx + x] = amplitude * (a * (1 - ty) + b * ty);
+    }
+  }
+  return surf;
+}
+
+/// Diffuse-interface hydrodynamics field: lo below the perturbed interface,
+/// hi above, blended over `width` cells, plus a gentle large-scale component.
+Field hydro_field(const char* name, dev::Dim3 dims, std::uint64_t seed,
+                  float lo, float hi, float width, float background_amp) {
+  Field f("miranda", name, dims);
+  Rng rng(seed);
+  const auto surf =
+      interface_surface(rng, dims.x, dims.y, 6, 0.08f * static_cast<float>(dims.z));
+  const float zc = 0.5f * static_cast<float>(dims.z);
+  dev::launch_linear(
+      dims.z,
+      [&](std::size_t z) {
+        for (std::size_t y = 0; y < dims.y; ++y) {
+          float* row = f.data.data() + (z * dims.y + y) * dims.x;
+          for (std::size_t x = 0; x < dims.x; ++x) {
+            const float z0 = zc + surf[y * dims.x + x];
+            const float t = std::tanh((static_cast<float>(z) - z0) / width);
+            row[x] = 0.5f * (lo + hi) + 0.5f * (hi - lo) * t;
+          }
+        }
+      },
+      1);
+  if (background_amp > 0) {
+    const auto modes = draw_modes(rng, 10, 1.0, 4.0, -1.5);
+    Field bg("miranda", "bg", dims);
+    add_modes(bg, modes);
+    rescale(bg, -background_amp, background_amp);
+    dev::launch_linear(
+        f.size(), [&](std::size_t i) { f.data[i] += bg.data[i]; }, 1 << 14);
+  }
+  return f;
+}
+
+}  // namespace
+
+std::vector<Field> miranda(Size size) {
+  const dev::Dim3 dims = size == Size::Paper ? dev::Dim3{384, 384, 256}
+                                             : dev::Dim3{128, 128, 96};
+  std::vector<Field> fields;
+  // Miranda's hallmark is smoothness: wide diffuse interfaces, low noise.
+  fields.push_back(hydro_field("density", dims, 0x4d495231, 1.0f, 3.0f,
+                               0.12f * dims.z, 0.05f));
+  fields.push_back(hydro_field("pressure", dims, 0x4d495232, 0.8f, 1.2f,
+                               0.20f * dims.z, 0.02f));
+  fields.push_back(hydro_field("velocityx", dims, 0x4d495233, -0.4f, 0.4f,
+                               0.16f * dims.z, 0.08f));
+  return fields;
+}
+
+}  // namespace szi::datagen

@@ -1,0 +1,75 @@
+#include <cmath>
+#include <cstddef>
+
+#include "datagen/datasets.hh"
+#include "datagen/synth.hh"
+#include "device/launch.hh"
+
+namespace szi::datagen {
+
+namespace {
+
+/// Correlated Gaussian field g with a shallow power-law spectrum — the seed
+/// of the log-normal density transform.
+Field gaussian_overdensity(dev::Dim3 dims, std::uint64_t seed) {
+  Field g("nyx", "g", dims);
+  Rng rng(seed);
+  const auto modes =
+      draw_modes(rng, 40, 1.0, static_cast<double>(dims.x) / 8.0, -1.0);
+  add_modes(g, modes);
+  add_lattice_noise(g, rng, dims.x / 10, 0.12f);
+  rescale(g, -1.6f, 2.4f);  // skewed: rare strong overdensities (halos)
+  return g;
+}
+
+}  // namespace
+
+std::vector<Field> nyx(Size size) {
+  const dev::Dim3 dims =
+      size == Size::Paper ? dev::Dim3{512, 512, 512} : dev::Dim3{96, 96, 96};
+  std::vector<Field> fields;
+
+  const Field g = gaussian_overdensity(dims, 0x4e595830);
+
+  // Baryon density: log-normal, several orders of magnitude of dynamic range
+  // (this is what makes Nyx stress quantizers).
+  Field density("nyx", "baryon_density", dims);
+  dev::launch_linear(
+      density.size(),
+      [&](std::size_t i) {
+        density.data[i] = 2.0e10f * std::exp(2.2f * g.data[i]);
+      },
+      1 << 14);
+  fields.push_back(std::move(density));
+
+  // Temperature: adiabatic relation T ~ rho^(2/3) with its own fluctuations.
+  Field temp("nyx", "temperature", dims);
+  {
+    Rng rng(0x4e595831);
+    Field fluct("nyx", "tf", dims);
+    add_lattice_noise(fluct, rng, dims.x / 8, 0.1f);
+    dev::launch_linear(
+        temp.size(),
+        [&](std::size_t i) {
+          temp.data[i] = 1.0e4f *
+                         std::exp((2.0f / 3.0f) * 2.2f * g.data[i]) *
+                         (1.0f + fluct.data[i]);
+        },
+        1 << 14);
+  }
+  fields.push_back(std::move(temp));
+
+  // Peculiar velocity: smooth, large-scale, zero-mean.
+  Field vel("nyx", "velocity_x", dims);
+  {
+    Rng rng(0x4e595832);
+    const auto modes = draw_modes(rng, 24, 1.0, 5.0, -1.5);
+    add_modes(vel, modes);
+    rescale(vel, -2.5e7f, 2.5e7f);
+  }
+  fields.push_back(std::move(vel));
+
+  return fields;
+}
+
+}  // namespace szi::datagen

@@ -1,0 +1,61 @@
+#include <cmath>
+#include <cstddef>
+
+#include "datagen/datasets.hh"
+#include "datagen/synth.hh"
+#include "device/launch.hh"
+
+namespace szi::datagen {
+
+namespace {
+constexpr std::size_t kPlanesPerOrbital = 115;
+constexpr std::size_t kNy = 69, kNx = 69;
+}  // namespace
+
+// The real file stacks 288 orbitals of 115x69x69 einspline coefficients along
+// z. Each orbital is a band-limited oscillatory wavefunction under a smooth
+// envelope; adjacent orbitals differ (higher quantum numbers → higher spatial
+// frequency), so the stacked z-direction is only piecewise smooth — the trait
+// that distinguishes QMCPack from the fluid datasets.
+std::vector<Field> qmcpack(Size size) {
+  const std::size_t n_orbitals = size == Size::Paper ? 8 : 4;
+  const dev::Dim3 dims{kNx, kNy, n_orbitals * kPlanesPerOrbital};
+  Field f("qmcpack", "einspline", dims);
+
+  dev::launch_linear(
+      n_orbitals,
+      [&](std::size_t orb) {
+        Rng rng(0x514d4330 + orb);
+        // Quantum numbers grow with the orbital index.
+        const double k1 = 1.0 + 0.7 * orb + rng.uniform(0.0, 0.4);
+        const double k2 = 1.0 + 0.5 * orb + rng.uniform(0.0, 0.4);
+        const double k3 = 0.8 + 0.6 * orb + rng.uniform(0.0, 0.4);
+        const double p1 = rng.uniform(0.0, 6.28), p2 = rng.uniform(0.0, 6.28);
+        const double p3 = rng.uniform(0.0, 6.28);
+        const double amp = 1.0 / (1.0 + 0.2 * orb);
+        for (std::size_t zz = 0; zz < kPlanesPerOrbital; ++zz) {
+          const std::size_t z = orb * kPlanesPerOrbital + zz;
+          const double uz = (static_cast<double>(zz) / kPlanesPerOrbital - 0.5);
+          for (std::size_t y = 0; y < kNy; ++y) {
+            const double uy = (static_cast<double>(y) / kNy - 0.5);
+            float* row = f.data.data() + (z * dims.y + y) * dims.x;
+            for (std::size_t x = 0; x < kNx; ++x) {
+              const double ux = (static_cast<double>(x) / kNx - 0.5);
+              const double envelope =
+                  std::exp(-3.5 * (ux * ux + uy * uy + uz * uz));
+              const double wave = std::sin(6.28318 * k1 * ux + p1) *
+                                  std::sin(6.28318 * k2 * uy + p2) *
+                                  std::sin(6.28318 * k3 * uz + p3);
+              row[x] = static_cast<float>(amp * envelope * wave);
+            }
+          }
+        }
+      },
+      1);
+
+  std::vector<Field> fields;
+  fields.push_back(std::move(f));
+  return fields;
+}
+
+}  // namespace szi::datagen

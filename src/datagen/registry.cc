@@ -1,0 +1,29 @@
+#include <cstdlib>
+#include <stdexcept>
+
+#include "datagen/datasets.hh"
+
+namespace szi::datagen {
+
+Size size_from_env() {
+  const char* v = std::getenv("SZI_LARGE");
+  return (v && v[0] == '1') ? Size::Paper : Size::Small;
+}
+
+const std::vector<std::string>& dataset_names() {
+  static const std::vector<std::string> names = {"jhtdb", "miranda",  "nyx",
+                                                 "qmcpack", "rtm", "s3d"};
+  return names;
+}
+
+std::vector<Field> make_dataset(const std::string& name, Size size) {
+  if (name == "jhtdb") return jhtdb(size);
+  if (name == "miranda") return miranda(size);
+  if (name == "nyx") return nyx(size);
+  if (name == "qmcpack") return qmcpack(size);
+  if (name == "rtm") return rtm(size);
+  if (name == "s3d") return s3d(size);
+  throw std::invalid_argument("unknown dataset: " + name);
+}
+
+}  // namespace szi::datagen

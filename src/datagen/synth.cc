@@ -1,0 +1,111 @@
+#include "datagen/synth.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "device/launch.hh"
+#include "device/reduce.hh"
+
+namespace szi::datagen {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586;
+}
+
+std::vector<Mode> draw_modes(Rng& rng, std::size_t count, double kmin,
+                             double kmax, double spectral_slope) {
+  std::vector<Mode> modes;
+  modes.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    // Isotropic direction, log-uniform magnitude in [kmin, kmax].
+    const double k =
+        kmin * std::pow(kmax / kmin, rng.uniform());
+    const double cos_t = rng.uniform(-1.0, 1.0);
+    const double sin_t = std::sqrt(std::max(0.0, 1.0 - cos_t * cos_t));
+    const double phi = rng.uniform(0.0, kTwoPi);
+    Mode m;
+    m.kx = static_cast<float>(k * sin_t * std::cos(phi));
+    m.ky = static_cast<float>(k * sin_t * std::sin(phi));
+    m.kz = static_cast<float>(k * cos_t);
+    m.amp = static_cast<float>(std::pow(k, spectral_slope));
+    m.phase = static_cast<float>(rng.uniform(0.0, kTwoPi));
+    modes.push_back(m);
+  }
+  return modes;
+}
+
+void add_modes(Field& out, const std::vector<Mode>& modes) {
+  const auto dims = out.dims;
+  const double sx = kTwoPi / static_cast<double>(dims.x);
+  const double sy = kTwoPi / static_cast<double>(dims.y);
+  const double sz = kTwoPi / static_cast<double>(dims.z);
+  dev::launch_linear(
+      dims.z,
+      [&](std::size_t z) {
+        for (std::size_t y = 0; y < dims.y; ++y) {
+          float* row = out.data.data() + (z * dims.y + y) * dims.x;
+          for (const Mode& m : modes) {
+            // Incremental phase along x: one sin per point per mode.
+            float p = static_cast<float>(m.kz * (z * sz) + m.ky * (y * sy)) +
+                      m.phase;
+            const float dp = static_cast<float>(m.kx * sx);
+            for (std::size_t x = 0; x < dims.x; ++x)
+              row[x] += m.amp * std::sin(p + dp * static_cast<float>(x));
+          }
+        }
+      },
+      1);
+}
+
+void add_lattice_noise(Field& out, Rng& rng, std::size_t cells,
+                       float amplitude) {
+  cells = std::max<std::size_t>(2, cells);
+  const std::size_t lx = cells + 1, ly = cells + 1, lz = cells + 1;
+  std::vector<float> lattice(lx * ly * lz);
+  for (auto& v : lattice) v = static_cast<float>(rng.gaussian());
+
+  const auto dims = out.dims;
+  dev::launch_linear(
+      dims.z,
+      [&](std::size_t z) {
+        const double fz = static_cast<double>(z) / dims.z * cells;
+        const std::size_t z0 = static_cast<std::size_t>(fz);
+        const float tz = static_cast<float>(fz - z0);
+        for (std::size_t y = 0; y < dims.y; ++y) {
+          const double fy = static_cast<double>(y) / dims.y * cells;
+          const std::size_t y0 = static_cast<std::size_t>(fy);
+          const float ty = static_cast<float>(fy - y0);
+          float* row = out.data.data() + (z * dims.y + y) * dims.x;
+          for (std::size_t x = 0; x < dims.x; ++x) {
+            const double fx = static_cast<double>(x) / dims.x * cells;
+            const std::size_t x0 = static_cast<std::size_t>(fx);
+            const float tx = static_cast<float>(fx - x0);
+            auto at = [&](std::size_t i, std::size_t j, std::size_t k) {
+              return lattice[(k * ly + j) * lx + i];
+            };
+            const float c00 = at(x0, y0, z0) * (1 - tx) + at(x0 + 1, y0, z0) * tx;
+            const float c10 =
+                at(x0, y0 + 1, z0) * (1 - tx) + at(x0 + 1, y0 + 1, z0) * tx;
+            const float c01 =
+                at(x0, y0, z0 + 1) * (1 - tx) + at(x0 + 1, y0, z0 + 1) * tx;
+            const float c11 = at(x0, y0 + 1, z0 + 1) * (1 - tx) +
+                              at(x0 + 1, y0 + 1, z0 + 1) * tx;
+            const float c0 = c00 * (1 - ty) + c10 * ty;
+            const float c1 = c01 * (1 - ty) + c11 * ty;
+            row[x] += amplitude * (c0 * (1 - tz) + c1 * tz);
+          }
+        }
+      },
+      1);
+}
+
+void rescale(Field& f, float lo, float hi) {
+  const auto mm = dev::minmax<float>(f.data);
+  const float span = mm.max - mm.min;
+  const float scale = span > 0 ? (hi - lo) / span : 0.0f;
+  dev::launch_linear(
+      f.size(), [&](std::size_t i) { f.data[i] = lo + (f.data[i] - mm.min) * scale; },
+      1 << 14);
+}
+
+}  // namespace szi::datagen

@@ -1,0 +1,42 @@
+// Shared building blocks for the synthetic dataset generators: random-phase
+// Fourier superpositions with a prescribed power spectrum (turbulence-like
+// fields) and trilinearly interpolated coarse random lattices (cheap smooth
+// noise for backgrounds and interface perturbations).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/field.hh"
+#include "datagen/rng.hh"
+
+namespace szi::datagen {
+
+/// One Fourier mode: value += amp * sin(kx*x + ky*y + kz*z + phase), with
+/// x,y,z in grid units scaled to [0, 2*pi).
+struct Mode {
+  float kx, ky, kz;
+  float amp;
+  float phase;
+};
+
+/// Draws `count` isotropic modes with wavenumber magnitudes in
+/// [kmin, kmax] and amplitude ~ |k|^spectral_slope (e.g. -5/6 per velocity
+/// component gives a Kolmogorov-like k^-5/3 energy spectrum).
+[[nodiscard]] std::vector<Mode> draw_modes(Rng& rng, std::size_t count,
+                                           double kmin, double kmax,
+                                           double spectral_slope);
+
+/// Evaluates the sum of `modes` over the whole grid into `out` (+= semantics).
+/// Parallel over z-planes.
+void add_modes(Field& out, const std::vector<Mode>& modes);
+
+/// A coarse random lattice of `cells`^3 Gaussian values, trilinearly
+/// interpolated to the fine grid and scaled by `amplitude` (+= semantics).
+void add_lattice_noise(Field& out, Rng& rng, std::size_t cells,
+                       float amplitude);
+
+/// Affine-rescales the field to [lo, hi].
+void rescale(Field& f, float lo, float hi);
+
+}  // namespace szi::datagen

@@ -1,0 +1,71 @@
+// Stream compaction: gather the sparse elements a predicate selects into a
+// dense output, preserving order. This is the primitive §VI-A of the paper
+// uses to collect quantization outliers ("we gather them as outliers and
+// losslessly store them ... using the stream compaction technique").
+//
+// The implementation is the canonical GPU scheme: per-chunk flag counting,
+// an exclusive scan over chunk counts, then a parallel scatter. An
+// atomic-append variant is provided as well (order-relaxed, like an
+// atomicAdd-based compactor) for workloads that don't need ordering.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "device/launch.hh"
+
+namespace szi::dev {
+
+/// Order-preserving compaction. `pred(i)` selects index i; `emit(i, slot)`
+/// writes element i to dense position `slot`. Returns the number selected.
+template <typename Pred, typename Emit>
+std::size_t compact_indices(std::size_t n, Pred&& pred, Emit&& emit,
+                            std::size_t chunk = 1 << 15) {
+  if (n == 0) return 0;
+  const std::size_t nchunks = ceil_div(n, chunk);
+  std::vector<std::size_t> counts(nchunks);
+
+  launch_linear(
+      nchunks,
+      [&](std::size_t c) {
+        const std::size_t begin = c * chunk;
+        const std::size_t end = std::min(begin + chunk, n);
+        std::size_t cnt = 0;
+        for (std::size_t i = begin; i < end; ++i) cnt += pred(i) ? 1 : 0;
+        counts[c] = cnt;
+      },
+      1);
+
+  std::size_t total = 0;
+  for (auto& c : counts) {
+    const std::size_t t = c;
+    c = total;
+    total += t;
+  }
+
+  launch_linear(
+      nchunks,
+      [&](std::size_t c) {
+        const std::size_t begin = c * chunk;
+        const std::size_t end = std::min(begin + chunk, n);
+        std::size_t slot = counts[c];
+        for (std::size_t i = begin; i < end; ++i)
+          if (pred(i)) emit(i, slot++);
+      },
+      1);
+  return total;
+}
+
+/// Unordered compaction via an atomic cursor (the GPU atomicAdd idiom).
+template <typename Pred, typename Emit>
+std::size_t compact_indices_unordered(std::size_t n, Pred&& pred, Emit&& emit) {
+  std::atomic<std::size_t> cursor{0};
+  launch_linear(n, [&](std::size_t i) {
+    if (pred(i)) emit(i, cursor.fetch_add(1, std::memory_order_relaxed));
+  });
+  return cursor.load();
+}
+
+}  // namespace szi::dev

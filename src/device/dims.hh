@@ -1,0 +1,70 @@
+// Basic index-space types for the CUDA-like execution model.
+//
+// The paper's kernels are written against CUDA's grid/block hierarchy; this
+// header provides the equivalent portable vocabulary (Dim3, Extent3, row-major
+// linearization with x fastest, as in cuSZ's memory layout).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace szi::dev {
+
+/// 3D size/index triple; `x` is the fastest-varying dimension.
+struct Dim3 {
+  std::size_t x = 1, y = 1, z = 1;
+
+  constexpr Dim3() = default;
+  constexpr Dim3(std::size_t x_, std::size_t y_ = 1, std::size_t z_ = 1)
+      : x(x_), y(y_), z(z_) {}
+
+  [[nodiscard]] constexpr std::size_t volume() const { return x * y * z; }
+  [[nodiscard]] constexpr bool operator==(const Dim3&) const = default;
+
+  /// Number of significant dimensions (trailing 1s dropped, x always counts).
+  [[nodiscard]] constexpr int rank() const {
+    if (z > 1) return 3;
+    if (y > 1) return 2;
+    return 1;
+  }
+};
+
+/// Row-major linear index with x fastest.
+[[nodiscard]] constexpr std::size_t linearize(const Dim3& dims, std::size_t x,
+                                              std::size_t y, std::size_t z) {
+  return (z * dims.y + y) * dims.x + x;
+}
+
+/// Inverse of linearize().
+struct Coord3 {
+  std::size_t x = 0, y = 0, z = 0;
+  [[nodiscard]] constexpr bool operator==(const Coord3&) const = default;
+};
+
+[[nodiscard]] constexpr Coord3 delinearize(const Dim3& dims, std::size_t i) {
+  Coord3 c;
+  c.x = i % dims.x;
+  c.y = (i / dims.x) % dims.y;
+  c.z = i / (dims.x * dims.y);
+  return c;
+}
+
+/// Ceiling division, used for grid sizing.
+template <typename T = std::size_t>
+[[nodiscard]] constexpr T ceil_div(T a, T b) {
+  return (a + b - 1) / b;
+}
+
+/// Grid dimensions covering `data` with blocks of `block` elements per axis.
+[[nodiscard]] constexpr Dim3 grid_for(const Dim3& data, const Dim3& block) {
+  return Dim3{ceil_div(data.x, block.x), ceil_div(data.y, block.y),
+              ceil_div(data.z, block.z)};
+}
+
+[[nodiscard]] inline std::string to_string(const Dim3& d) {
+  return std::to_string(d.x) + "x" + std::to_string(d.y) + "x" +
+         std::to_string(d.z);
+}
+
+}  // namespace szi::dev

@@ -1,0 +1,73 @@
+// Device-style reductions: each "block" reduces a contiguous chunk into a
+// partial, partials are combined by the launching thread — the standard
+// two-phase GPU reduction.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "device/launch.hh"
+
+namespace szi::dev {
+
+/// Two-phase reduction of `data` with a binary op and identity element.
+template <typename T, typename Op>
+[[nodiscard]] T reduce(std::span<const T> data, T identity, Op op,
+                       std::size_t chunk = 1 << 16) {
+  if (data.empty()) return identity;
+  const std::size_t nchunks = ceil_div(data.size(), chunk);
+  std::vector<T> partial(nchunks, identity);
+  launch_linear(
+      nchunks,
+      [&](std::size_t c) {
+        const std::size_t begin = c * chunk;
+        const std::size_t end = std::min(begin + chunk, data.size());
+        T acc = identity;
+        for (std::size_t i = begin; i < end; ++i) acc = op(acc, data[i]);
+        partial[c] = acc;
+      },
+      1);
+  T acc = identity;
+  for (const T& p : partial) acc = op(acc, p);
+  return acc;
+}
+
+/// Minimum and maximum in one pass (used by the value-range profiler).
+template <typename T>
+struct MinMax {
+  T min, max;
+};
+
+template <typename T>
+[[nodiscard]] MinMax<T> minmax(std::span<const T> data) {
+  struct Pair {
+    T lo, hi;
+  };
+  if (data.empty()) return {T{}, T{}};
+  const Pair identity{data[0], data[0]};
+  const std::size_t chunk = 1 << 16;
+  const std::size_t nchunks = ceil_div(data.size(), chunk);
+  std::vector<Pair> partial(nchunks, identity);
+  launch_linear(
+      nchunks,
+      [&](std::size_t c) {
+        const std::size_t begin = c * chunk;
+        const std::size_t end = std::min(begin + chunk, data.size());
+        Pair p{data[begin], data[begin]};
+        for (std::size_t i = begin + 1; i < end; ++i) {
+          if (data[i] < p.lo) p.lo = data[i];
+          if (data[i] > p.hi) p.hi = data[i];
+        }
+        partial[c] = p;
+      },
+      1);
+  Pair acc = partial[0];
+  for (const Pair& p : partial) {
+    if (p.lo < acc.lo) acc.lo = p.lo;
+    if (p.hi > acc.hi) acc.hi = p.hi;
+  }
+  return {acc.lo, acc.hi};
+}
+
+}  // namespace szi::dev

@@ -1,0 +1,116 @@
+#include "device/thread_pool.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+namespace szi::dev {
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("SZI_THREADS")) {
+      const long n = std::strtol(env, nullptr, 10);
+      if (n >= 1 && n <= 1024) return static_cast<unsigned>(n);
+    }
+    return std::max(1u, std::thread::hardware_concurrency());
+  }());
+  return pool;
+}
+
+ThreadPool::ThreadPool(unsigned workers) : workers_(std::max(1u, workers)) {
+  // Worker 0 is the calling thread; only spawn the extras.
+  threads_.reserve(workers_ - 1);
+  for (unsigned i = 1; i < workers_; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+namespace {
+// Set while a thread is inside a launch; nested launches (a kernel spawning
+// another) degrade to inline execution instead of deadlocking the pool.
+thread_local bool g_in_launch = false;
+}  // namespace
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body,
+                              std::size_t grain) {
+  if (count == 0) return;
+  grain = std::max<std::size_t>(1, grain);
+  if (workers_ == 1 || count <= grain || g_in_launch) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  g_in_launch = true;
+  struct Reset {
+    ~Reset() { g_in_launch = false; }
+  } reset;
+
+  std::size_t my_generation;
+  {
+    std::lock_guard lk(mu_);
+    body_ = &body;
+    count_ = count;
+    grain_ = grain;
+    next_.store(0, std::memory_order_relaxed);
+    error_ = nullptr;
+    active_ = workers_ - 1;
+    my_generation = ++generation_;
+  }
+  cv_start_.notify_all();
+
+  drain(body);  // the caller works too
+
+  std::unique_lock lk(mu_);
+  cv_done_.wait(lk, [&] { return active_ == 0 && generation_ == my_generation; });
+  body_ = nullptr;
+  if (error_) std::rethrow_exception(std::exchange(error_, nullptr));
+}
+
+void ThreadPool::drain(const std::function<void(std::size_t)>& body) {
+  try {
+    for (;;) {
+      const std::size_t begin =
+          next_.fetch_add(grain_, std::memory_order_relaxed);
+      if (begin >= count_) break;
+      const std::size_t end = std::min(begin + grain_, count_);
+      for (std::size_t i = begin; i < end; ++i) body(i);
+    }
+  } catch (...) {
+    // Record the first failure and stop handing out work; the caller
+    // rethrows once the launch drains.
+    std::lock_guard lk(mu_);
+    if (!error_) error_ = std::current_exception();
+    next_.store(count_, std::memory_order_relaxed);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::size_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* body = nullptr;
+    {
+      std::unique_lock lk(mu_);
+      cv_start_.wait(lk, [&] { return stop_ || (body_ && generation_ != seen_generation); });
+      if (stop_) return;
+      seen_generation = generation_;
+      body = body_;
+    }
+    g_in_launch = true;
+    drain(*body);
+    g_in_launch = false;
+    {
+      std::lock_guard lk(mu_);
+      if (--active_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace szi::dev

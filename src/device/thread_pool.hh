@@ -1,0 +1,63 @@
+// A small persistent worker pool used as the "device" behind kernel launches.
+//
+// Workers are created once (lazily, on first use) and parked on a condition
+// variable between launches, mirroring how a GPU's SMs persist across kernel
+// invocations. Work is handed out as a half-open index range consumed through
+// an atomic counter (dynamic scheduling), which maps naturally onto the
+// block-index iteration the kernels in this codebase use.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace szi::dev {
+
+class ThreadPool {
+ public:
+  /// Global pool shared by all kernel launches. Sized to the hardware, or
+  /// to SZI_THREADS if set (read once, at first use).
+  static ThreadPool& instance();
+
+  explicit ThreadPool(unsigned workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Invokes `body(i)` for every i in [0, count), distributing chunks of
+  /// `grain` indices across workers. The calling thread participates, so the
+  /// call is synchronous — on return every index has been processed. If any
+  /// body throws, one of the exceptions is rethrown on the caller after the
+  /// launch drains.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
+                    std::size_t grain = 1);
+
+  [[nodiscard]] unsigned worker_count() const { return workers_; }
+
+ private:
+  void worker_loop();
+  void drain(const std::function<void(std::size_t)>& body);
+
+  unsigned workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(std::size_t)>* body_ = nullptr;
+  std::size_t count_ = 0;
+  std::size_t grain_ = 1;
+  std::atomic<std::size_t> next_{0};
+  std::exception_ptr error_;
+  std::size_t generation_ = 0;
+  unsigned active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace szi::dev

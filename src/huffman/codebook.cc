@@ -1,0 +1,206 @@
+#include "huffman/codebook.hh"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+namespace szi::huffman {
+
+namespace {
+
+/// Computes optimal code lengths for the non-zero-count symbols via the
+/// classic pairing heap; returns max length.
+unsigned tree_lengths(std::span<const std::uint64_t> counts,
+                      std::span<std::uint8_t> lengths) {
+  struct Node {
+    std::uint64_t weight;
+    int left = -1, right = -1;
+    int symbol = -1;
+  };
+  std::vector<Node> nodes;
+  using QE = std::pair<std::uint64_t, int>;  // (weight, node id); id breaks ties
+  std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
+
+  for (std::size_t s = 0; s < counts.size(); ++s)
+    if (counts[s] > 0) {
+      nodes.push_back({counts[s], -1, -1, static_cast<int>(s)});
+      pq.emplace(counts[s], static_cast<int>(nodes.size() - 1));
+    }
+  if (nodes.empty()) return 0;
+  if (nodes.size() == 1) {
+    lengths[static_cast<std::size_t>(nodes[0].symbol)] = 1;
+    return 1;
+  }
+  while (pq.size() > 1) {
+    const auto [wa, a] = pq.top();
+    pq.pop();
+    const auto [wb, b] = pq.top();
+    pq.pop();
+    nodes.push_back({wa + wb, a, b, -1});
+    pq.emplace(wa + wb, static_cast<int>(nodes.size() - 1));
+  }
+  // Depth-first assignment of depths as lengths.
+  struct Item {
+    int node;
+    unsigned depth;
+  };
+  unsigned max_len = 0;
+  std::vector<Item> stack{{pq.top().second, 0}};
+  while (!stack.empty()) {
+    const auto [n, depth] = stack.back();
+    stack.pop_back();
+    const Node& nd = nodes[static_cast<std::size_t>(n)];
+    if (nd.symbol >= 0) {
+      lengths[static_cast<std::size_t>(nd.symbol)] =
+          static_cast<std::uint8_t>(depth);
+      max_len = std::max(max_len, depth);
+    } else {
+      stack.push_back({nd.left, depth + 1});
+      stack.push_back({nd.right, depth + 1});
+    }
+  }
+  return max_len;
+}
+
+/// Assigns canonical codes from lengths: symbols ordered by (length, value).
+void assign_canonical(Codebook& book) {
+  const std::size_t n = book.lengths.size();
+  book.codes.assign(n, 0);
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return book.lengths[a] < book.lengths[b];
+  });
+  std::uint64_t code = 0;
+  unsigned prev_len = 0;
+  for (const std::uint32_t s : order) {
+    const unsigned len = book.lengths[s];
+    if (len == 0) continue;
+    code <<= (len - prev_len);
+    book.codes[s] = static_cast<std::uint32_t>(code);
+    ++code;
+    prev_len = len;
+  }
+}
+
+}  // namespace
+
+Codebook Codebook::build(std::span<const std::uint32_t> hist) {
+  Codebook book;
+  book.lengths.assign(hist.size(), 0);
+  std::vector<std::uint64_t> counts(hist.begin(), hist.end());
+
+  // Flatten over-deep trees by halving counts; terminates because counts
+  // converge to all-ones, whose tree depth is ceil(log2(nbins)) <= 32 for
+  // any realistic bin count.
+  for (;;) {
+    std::fill(book.lengths.begin(), book.lengths.end(), 0);
+    const unsigned max_len = tree_lengths(counts, book.lengths);
+    if (max_len <= kMaxCodeLen) break;
+    for (auto& c : counts)
+      if (c > 0) c = (c + 1) / 2;
+  }
+  assign_canonical(book);
+  return book;
+}
+
+Codebook Codebook::from_lengths(std::vector<std::uint8_t> lengths) {
+  Codebook book;
+  book.lengths = std::move(lengths);
+  assign_canonical(book);
+  return book;
+}
+
+double Codebook::expected_bits(std::span<const std::uint32_t> hist) const {
+  std::uint64_t total = 0, bits = 0;
+  for (std::size_t s = 0; s < hist.size() && s < lengths.size(); ++s) {
+    total += hist[s];
+    bits += static_cast<std::uint64_t>(hist[s]) * lengths[s];
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(bits) / static_cast<double>(total);
+}
+
+Codebook Codebook::prebuilt(std::size_t nbins, std::size_t center) {
+  // Two-sided geometric prior: counts halve every 2 bins away from the
+  // center, floored at 1 so every symbol stays encodable.
+  std::vector<std::uint32_t> prior(nbins);
+  for (std::size_t s = 0; s < nbins; ++s) {
+    const std::size_t dist =
+        s > center ? s - center : center - s;
+    const std::size_t shift = std::min<std::size_t>(31, dist / 2);
+    prior[s] = std::max<std::uint32_t>(1u, 0x40000000u >> shift);
+  }
+  return build(prior);
+}
+
+DecodeTable DecodeTable::from(const Codebook& book) {
+  DecodeTable t;
+  std::vector<std::uint32_t> order(book.lengths.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return book.lengths[a] < book.lengths[b];
+  });
+  for (const std::uint32_t s : order)
+    if (book.lengths[s] > 0) {
+      ++t.count[book.lengths[s]];
+      t.symbols.push_back(static_cast<std::uint16_t>(s));
+    }
+  std::uint64_t code = 0;
+  std::uint32_t index = 0;
+  for (unsigned len = 1; len <= kMaxCodeLen; ++len) {
+    t.first_code[len] = static_cast<std::uint32_t>(code);
+    t.first_index[len] = index;
+    code = (code + t.count[len]) << 1;
+    index += t.count[len];
+  }
+  return t;
+}
+
+FastDecodeTable FastDecodeTable::from(const Codebook& book) {
+  FastDecodeTable t;
+  t.slow = DecodeTable::from(book);
+  t.lut.assign(std::size_t{1} << kLutBits, 0);
+  for (std::size_t s = 0; s < book.nbins(); ++s) {
+    const unsigned len = book.lengths[s];
+    if (len == 0 || len > kLutBits) continue;
+    // Every kLutBits-wide prefix beginning with this codeword maps to it.
+    const std::uint32_t base = book.codes[s] << (kLutBits - len);
+    const std::uint32_t span = 1u << (kLutBits - len);
+    const std::uint32_t entry =
+        (len << 16) | static_cast<std::uint32_t>(s);
+    for (std::uint32_t k = 0; k < span; ++k) t.lut[base + k] = entry;
+  }
+  return t;
+}
+
+std::uint16_t FastDecodeTable::decode(lossless::BitReader& br) const {
+  const std::uint32_t entry = lut[br.peek(kLutBits)];
+  const unsigned len = entry >> 16;
+  if (len != 0) {
+    br.skip(len);
+    return static_cast<std::uint16_t>(entry & 0xFFFF);
+  }
+  return slow.decode(br);  // rare long codeword
+}
+
+std::uint16_t DecodeTable::decode(lossless::BitReader& br) const {
+  std::uint64_t code = 0;
+  for (unsigned len = 1; len <= kMaxCodeLen; ++len) {
+    code = (code << 1) | br.get1();
+    // The lower-bound check never fails on valid streams (canonical prefix
+    // property) but keeps corrupt codebooks/streams from indexing out of
+    // bounds.
+    if (count[len] > 0 && code >= first_code[len] &&
+        code < static_cast<std::uint64_t>(first_code[len]) + count[len]) {
+      const auto index =
+          first_index[len] + static_cast<std::uint32_t>(code - first_code[len]);
+      if (index < symbols.size()) return symbols[index];
+      break;
+    }
+  }
+  return symbols.empty() ? 0 : symbols[0];  // corrupt stream fallback
+}
+
+}  // namespace szi::huffman

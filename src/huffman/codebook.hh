@@ -1,0 +1,79 @@
+// Canonical Huffman codebook construction (§VI-A).
+//
+// As in cuSZ-i, the codebook is built serially on the host: after G-Interp,
+// the histogram is so concentrated that a GPU tree-build is not worthwhile
+// (the paper measures ~200 us end-to-end for this step and excludes it from
+// kernel throughput, as we do in bench/fig9). Codes are canonical, so only
+// the per-symbol lengths need to be stored in the archive.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "lossless/bitio.hh"
+
+namespace szi::huffman {
+
+inline constexpr unsigned kMaxCodeLen = 32;
+
+struct Codebook {
+  std::vector<std::uint8_t> lengths;  ///< per symbol; 0 = symbol absent
+  std::vector<std::uint32_t> codes;   ///< canonical codeword (MSB-first)
+
+  [[nodiscard]] std::size_t nbins() const { return lengths.size(); }
+
+  /// Builds a length-limited (<= 32 bit) canonical codebook from counts.
+  /// Histograms whose optimal tree is deeper are flattened by halving the
+  /// counts until the limit holds.
+  [[nodiscard]] static Codebook build(std::span<const std::uint32_t> hist);
+
+  /// Rebuilds the canonical codes from `lengths` alone (deserialization).
+  [[nodiscard]] static Codebook from_lengths(std::vector<std::uint8_t> lengths);
+
+  /// Average code length in bits under the given histogram (for tests and
+  /// the §VI-B "at least 1 bit per element" analysis).
+  [[nodiscard]] double expected_bits(std::span<const std::uint32_t> hist) const;
+
+  /// Data-independent prebuilt codebook — the paper's §VI-A future-work
+  /// direction (citing [37]) for removing the host-side tree build from the
+  /// critical path. The code lengths follow a two-sided geometric prior
+  /// centered at `center` (the zero-error code), which is what G-Interp's
+  /// quant-code distribution approximates at any error bound. Costs some
+  /// ratio versus a data-built book; the micro bench quantifies it.
+  [[nodiscard]] static Codebook prebuilt(std::size_t nbins, std::size_t center);
+};
+
+/// Canonical decoding tables: symbols sorted by (length, symbol) plus the
+/// first code/index per length — O(length) decode, no pointer chasing.
+struct DecodeTable {
+  std::vector<std::uint16_t> symbols;
+  std::array<std::uint32_t, kMaxCodeLen + 2> first_code{};
+  std::array<std::uint32_t, kMaxCodeLen + 2> first_index{};
+  std::array<std::uint32_t, kMaxCodeLen + 2> count{};
+
+  [[nodiscard]] static DecodeTable from(const Codebook& book);
+
+  /// Reads one symbol from `br`. Undefined for corrupt streams beyond
+  /// returning an arbitrary in-range symbol.
+  [[nodiscard]] std::uint16_t decode(lossless::BitReader& br) const;
+};
+
+/// Table-accelerated decoder: a 2^kLutBits-entry prefix table resolves every
+/// codeword of length <= kLutBits in one probe (the overwhelmingly common
+/// case for G-Interp's concentrated codes); longer codes fall back to the
+/// canonical bit-serial path. Decodes the same streams bit-for-bit.
+struct FastDecodeTable {
+  static constexpr unsigned kLutBits = 12;
+
+  DecodeTable slow;
+  /// Per prefix: symbol in the low 16 bits, code length in the high bits;
+  /// length 0 marks "escape to the slow path".
+  std::vector<std::uint32_t> lut;
+
+  [[nodiscard]] static FastDecodeTable from(const Codebook& book);
+  [[nodiscard]] std::uint16_t decode(lossless::BitReader& br) const;
+};
+
+}  // namespace szi::huffman

@@ -1,0 +1,73 @@
+#include "huffman/histogram.hh"
+
+#include <array>
+
+#include "device/launch.hh"
+
+namespace szi::huffman {
+
+namespace {
+constexpr std::size_t kChunk = 1 << 16;
+
+/// Merge per-chunk private histograms serially (nbins is small).
+std::vector<std::uint32_t> merge(std::vector<std::vector<std::uint32_t>>& parts,
+                                 std::size_t nbins) {
+  std::vector<std::uint32_t> total(nbins, 0);
+  for (const auto& p : parts)
+    for (std::size_t b = 0; b < nbins; ++b) total[b] += p[b];
+  return total;
+}
+}  // namespace
+
+std::vector<std::uint32_t> histogram(std::span<const quant::Code> codes,
+                                     std::size_t nbins) {
+  const std::size_t nchunks = dev::ceil_div(codes.size(), kChunk);
+  std::vector<std::vector<std::uint32_t>> parts(nchunks);
+  dev::launch_linear(
+      nchunks,
+      [&](std::size_t c) {
+        auto& h = parts[c];
+        h.assign(nbins, 0);
+        const std::size_t begin = c * kChunk;
+        const std::size_t end = std::min(begin + kChunk, codes.size());
+        for (std::size_t i = begin; i < end; ++i) ++h[codes[i]];
+      },
+      1);
+  return merge(parts, nbins);
+}
+
+std::vector<std::uint32_t> histogram_topk(std::span<const quant::Code> codes,
+                                          std::size_t nbins, std::size_t center,
+                                          std::size_t k) {
+  // Register-file budget: at most 2k+1 hot counters per thread (§VI-A notes
+  // large k raises register pressure; callers can fall back to k = 1).
+  constexpr std::size_t kMaxHot = 33;
+  if (2 * k + 1 > kMaxHot) k = (kMaxHot - 1) / 2;
+  const std::size_t lo = center >= k ? center - k : 0;
+  const std::size_t hi = std::min(center + k, nbins - 1);
+  const std::size_t hot_n = hi - lo + 1;
+
+  const std::size_t nchunks = dev::ceil_div(codes.size(), kChunk);
+  std::vector<std::vector<std::uint32_t>> parts(nchunks);
+  dev::launch_linear(
+      nchunks,
+      [&](std::size_t c) {
+        auto& h = parts[c];
+        h.assign(nbins, 0);
+        std::array<std::uint32_t, kMaxHot> hot{};
+        const std::size_t begin = c * kChunk;
+        const std::size_t end = std::min(begin + kChunk, codes.size());
+        for (std::size_t i = begin; i < end; ++i) {
+          const std::size_t b = codes[i];
+          if (b >= lo && b <= hi)
+            ++hot[b - lo];
+          else
+            ++h[b];
+        }
+        for (std::size_t j = 0; j < hot_n; ++j) h[lo + j] += hot[j];
+      },
+      1);
+  return merge(parts, nbins);
+}
+
+}  // namespace szi::huffman

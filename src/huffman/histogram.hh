@@ -1,0 +1,34 @@
+// Quant-code histogram kernels feeding the Huffman codebook (§VI-A).
+//
+// Two implementations:
+//  - histogram(): the generic privatized scheme (one private histogram per
+//    worker chunk, merged at the end) — cuSZ's baseline.
+//  - histogram_topk(): cuSZ-i's optimization. G-Interp's codes concentrate
+//    in a small band r_k around the zero code, so each "thread" caches the
+//    top-k hottest bins in registers (here: a small local array) and only
+//    touches the full private histogram for the cold tail. On a GPU this
+//    slashes shared-memory traffic; the CPU realization keeps the identical
+//    structure so the ablation bench can compare the two paths, and
+//    gracefully degrades to k=1 when asked (§VI-A).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "quant/quantizer.hh"
+
+namespace szi::huffman {
+
+/// Generic two-phase privatized histogram over codes < nbins.
+[[nodiscard]] std::vector<std::uint32_t> histogram(
+    std::span<const quant::Code> codes, std::size_t nbins);
+
+/// Hot-band cached histogram: bins in [center-k, center+k] go through a
+/// per-chunk register cache; everything else through the private histogram.
+/// `center` is normally the quantizer radius (the zero-error code).
+[[nodiscard]] std::vector<std::uint32_t> histogram_topk(
+    std::span<const quant::Code> codes, std::size_t nbins, std::size_t center,
+    std::size_t k);
+
+}  // namespace szi::huffman

@@ -1,0 +1,156 @@
+#include "huffman/huffman.hh"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "device/launch.hh"
+#include "device/scan.hh"
+#include "huffman/histogram.hh"
+
+namespace szi::huffman {
+
+namespace {
+
+template <typename T>
+void append_pod(std::vector<std::byte>& out, const T& v) {
+  const auto* p = reinterpret_cast<const std::byte*>(&v);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::span<const std::byte> in, std::size_t& pos) {
+  if (pos + sizeof(T) > in.size())
+    throw std::runtime_error("huffman: truncated stream");
+  T v;
+  std::memcpy(&v, in.data() + pos, sizeof(T));
+  pos += sizeof(T);
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::byte> encode(std::span<const quant::Code> codes,
+                              std::size_t nbins, std::size_t chunk_size,
+                              bool use_topk_histogram) {
+  const auto hist =
+      use_topk_histogram
+          ? histogram_topk(codes, nbins, nbins / 2, 16)
+          : histogram(codes, nbins);
+  return encode_with_book(codes, Codebook::build(hist), chunk_size);
+}
+
+std::vector<std::byte> encode_with_book(std::span<const quant::Code> codes,
+                                        const Codebook& book,
+                                        std::size_t chunk_size) {
+  if (chunk_size == 0) throw std::invalid_argument("huffman: chunk_size == 0");
+  const std::size_t nbins = book.nbins();
+  const std::size_t n = codes.size();
+  const std::size_t nchunks = dev::ceil_div(n, chunk_size);
+
+  // Phase 1: per-chunk bit sizes (parallel), then byte offsets via scan.
+  std::vector<std::uint64_t> chunk_bytes(nchunks);
+  dev::launch_linear(
+      nchunks,
+      [&](std::size_t c) {
+        const std::size_t begin = c * chunk_size;
+        const std::size_t end = std::min(begin + chunk_size, n);
+        std::uint64_t bits = 0;
+        for (std::size_t i = begin; i < end; ++i) bits += book.lengths[codes[i]];
+        chunk_bytes[c] = (bits + 7) / 8;
+      },
+      1);
+  std::vector<std::uint64_t> offsets(nchunks);
+  const std::uint64_t payload_bytes =
+      dev::exclusive_scan<std::uint64_t>(chunk_bytes, offsets);
+
+  // Header.
+  std::vector<std::byte> out;
+  out.reserve(64 + nbins + nchunks * 8 + payload_bytes);
+  append_pod(out, static_cast<std::uint32_t>(nbins));
+  out.insert(out.end(),
+             reinterpret_cast<const std::byte*>(book.lengths.data()),
+             reinterpret_cast<const std::byte*>(book.lengths.data()) + nbins);
+  append_pod(out, static_cast<std::uint64_t>(n));
+  append_pod(out, static_cast<std::uint32_t>(chunk_size));
+  append_pod(out, payload_bytes);
+  const std::size_t offsets_pos = out.size();
+  out.resize(out.size() + nchunks * sizeof(std::uint64_t));
+  std::memcpy(out.data() + offsets_pos, offsets.data(),
+              nchunks * sizeof(std::uint64_t));
+
+  // Phase 2: chunk-parallel bitstream emission into disjoint byte ranges.
+  const std::size_t payload_pos = out.size();
+  out.resize(out.size() + payload_bytes);
+  auto* payload = reinterpret_cast<std::uint8_t*>(out.data() + payload_pos);
+  dev::launch_linear(
+      nchunks,
+      [&](std::size_t c) {
+        const std::size_t begin = c * chunk_size;
+        const std::size_t end = std::min(begin + chunk_size, n);
+        std::vector<std::uint8_t> buf;
+        buf.reserve(chunk_bytes[c]);
+        lossless::BitWriter bw(buf);
+        for (std::size_t i = begin; i < end; ++i)
+          bw.put(book.codes[codes[i]], book.lengths[codes[i]]);
+        bw.align();
+        std::memcpy(payload + offsets[c], buf.data(), buf.size());
+      },
+      1);
+  return out;
+}
+
+std::vector<quant::Code> decode(std::span<const std::byte> bytes) {
+  std::size_t pos = 0;
+  const auto nbins = read_pod<std::uint32_t>(bytes, pos);
+  if (pos + nbins > bytes.size())
+    throw std::runtime_error("huffman: truncated lengths");
+  std::vector<std::uint8_t> lengths(nbins);
+  std::memcpy(lengths.data(), bytes.data() + pos, nbins);
+  pos += nbins;
+  const auto n = read_pod<std::uint64_t>(bytes, pos);
+  const auto chunk_size = read_pod<std::uint32_t>(bytes, pos);
+  if (chunk_size == 0) throw std::runtime_error("huffman: zero chunk size");
+  const auto payload_bytes = read_pod<std::uint64_t>(bytes, pos);
+  const std::size_t nchunks = dev::ceil_div<std::size_t>(n, chunk_size);
+  if (pos + nchunks * sizeof(std::uint64_t) + payload_bytes > bytes.size())
+    throw std::runtime_error("huffman: truncated payload");
+  std::vector<std::uint64_t> offsets(nchunks);
+  std::memcpy(offsets.data(), bytes.data() + pos, nchunks * sizeof(std::uint64_t));
+  pos += nchunks * sizeof(std::uint64_t);
+  // Validate before any pointer arithmetic: offsets must be monotone and
+  // inside the payload, or a corrupt header could index out of bounds.
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    if (offsets[c] > payload_bytes ||
+        (c > 0 && offsets[c] < offsets[c - 1]))
+      throw std::runtime_error("huffman: corrupt chunk offsets");
+  }
+
+  const Codebook book = Codebook::from_lengths(std::move(lengths));
+  const FastDecodeTable table = FastDecodeTable::from(book);
+  const auto* payload =
+      reinterpret_cast<const std::uint8_t*>(bytes.data() + pos);
+
+  std::vector<quant::Code> codes(n);
+  dev::launch_linear(
+      nchunks,
+      [&](std::size_t c) {
+        const std::size_t begin = c * chunk_size;
+        const std::size_t end = std::min<std::size_t>(begin + chunk_size, n);
+        const std::size_t chunk_end_byte =
+            (c + 1 < nchunks) ? offsets[c + 1] : payload_bytes;
+        lossless::BitReader br({payload + offsets[c],
+                                chunk_end_byte - offsets[c]});
+        for (std::size_t i = begin; i < end; ++i) codes[i] = table.decode(br);
+      },
+      1);
+  return codes;
+}
+
+std::size_t overhead_bytes(std::size_t nbins, std::size_t n_symbols,
+                           std::size_t chunk_size) {
+  return sizeof(std::uint32_t) + nbins + sizeof(std::uint64_t) +
+         sizeof(std::uint32_t) + sizeof(std::uint64_t) +
+         dev::ceil_div(n_symbols, chunk_size) * sizeof(std::uint64_t);
+}
+
+}  // namespace szi::huffman

@@ -1,0 +1,45 @@
+// Coarse-grained chunk-parallel Huffman codec (§III-A, §VI-A) — the cuSZ
+// design: the symbol stream is split into fixed-size chunks; a first kernel
+// computes per-chunk bit sizes, an exclusive scan turns them into offsets
+// (rounded up to bytes so chunks stay independently addressable), and a
+// second kernel writes each chunk's bitstream. Decoding is chunk-parallel.
+//
+// Stream layout:
+//   u32 nbins | u8 lengths[nbins] | u64 n_symbols | u32 chunk_size |
+//   u64 payload_bytes | u64 chunk_byte_offset[n_chunks] | payload
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "huffman/codebook.hh"
+#include "quant/quantizer.hh"
+
+namespace szi::huffman {
+
+inline constexpr std::size_t kDefaultChunk = 4096;
+
+/// Encodes `codes` (values < nbins) into a self-describing byte stream.
+/// `use_topk_histogram` selects the §VI-A hot-band histogram path.
+[[nodiscard]] std::vector<std::byte> encode(std::span<const quant::Code> codes,
+                                            std::size_t nbins,
+                                            std::size_t chunk_size = kDefaultChunk,
+                                            bool use_topk_histogram = true);
+
+/// Same, with a caller-built codebook (lets pipelines time the host-side
+/// codebook build separately, as the paper does).
+[[nodiscard]] std::vector<std::byte> encode_with_book(
+    std::span<const quant::Code> codes, const Codebook& book,
+    std::size_t chunk_size = kDefaultChunk);
+
+/// Inverse of encode(). Throws std::runtime_error on malformed headers.
+[[nodiscard]] std::vector<quant::Code> decode(std::span<const std::byte> bytes);
+
+/// Size (bytes) the stream header+offsets add on top of the entropy payload,
+/// for the bit-rate accounting in the benches.
+[[nodiscard]] std::size_t overhead_bytes(std::size_t nbins,
+                                         std::size_t n_symbols,
+                                         std::size_t chunk_size = kDefaultChunk);
+
+}  // namespace szi::huffman

@@ -1,0 +1,105 @@
+#include "io/bin_io.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace szi::io {
+
+namespace {
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + ": " + path);
+}
+}  // namespace
+
+void write_f32(const std::string& path, std::span<const float> data) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) fail("cannot open for write", path);
+  os.write(reinterpret_cast<const char*>(data.data()),
+           static_cast<std::streamsize>(data.size_bytes()));
+  if (!os) fail("short write", path);
+}
+
+std::vector<float> read_f32(const std::string& path, std::size_t expect) {
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  if (!is) fail("cannot open for read", path);
+  const auto bytes = static_cast<std::size_t>(is.tellg());
+  if (bytes % sizeof(float) != 0) fail("size not a multiple of 4", path);
+  const std::size_t n = bytes / sizeof(float);
+  if (expect != 0 && n != expect) fail("unexpected element count", path);
+  std::vector<float> data(n);
+  is.seekg(0);
+  is.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(bytes));
+  if (!is) fail("short read", path);
+  return data;
+}
+
+void write_f64(const std::string& path, std::span<const double> data) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) fail("cannot open for write", path);
+  os.write(reinterpret_cast<const char*>(data.data()),
+           static_cast<std::streamsize>(data.size_bytes()));
+  if (!os) fail("short write", path);
+}
+
+std::vector<double> read_f64(const std::string& path, std::size_t expect) {
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  if (!is) fail("cannot open for read", path);
+  const auto bytes = static_cast<std::size_t>(is.tellg());
+  if (bytes % sizeof(double) != 0) fail("size not a multiple of 8", path);
+  const std::size_t n = bytes / sizeof(double);
+  if (expect != 0 && n != expect) fail("unexpected element count", path);
+  std::vector<double> data(n);
+  is.seekg(0);
+  is.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(bytes));
+  if (!is) fail("short read", path);
+  return data;
+}
+
+void write_bytes(const std::string& path, std::span<const std::byte> bytes) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) fail("cannot open for write", path);
+  os.write(reinterpret_cast<const char*>(bytes.data()),
+           static_cast<std::streamsize>(bytes.size()));
+  if (!os) fail("short write", path);
+}
+
+std::vector<std::byte> read_bytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  if (!is) fail("cannot open for read", path);
+  const auto n = static_cast<std::size_t>(is.tellg());
+  std::vector<std::byte> data(n);
+  is.seekg(0);
+  is.read(reinterpret_cast<char*>(data.data()), static_cast<std::streamsize>(n));
+  if (!is) fail("short read", path);
+  return data;
+}
+
+void write_pgm_slice(const std::string& path, const Field& f, std::size_t slice) {
+  if (slice >= f.dims.z) fail("slice out of range", path);
+  const std::size_t w = f.dims.x, h = f.dims.y;
+  const float* plane = f.data.data() + slice * w * h;
+  float lo = plane[0], hi = plane[0];
+  for (std::size_t i = 1; i < w * h; ++i) {
+    lo = std::min(lo, plane[i]);
+    hi = std::max(hi, plane[i]);
+  }
+  const float scale = (hi > lo) ? 255.0f / (hi - lo) : 0.0f;
+
+  std::ofstream os(path, std::ios::binary);
+  if (!os) fail("cannot open for write", path);
+  os << "P5\n" << w << " " << h << "\n255\n";
+  std::vector<std::uint8_t> row(w);
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x)
+      row[x] = static_cast<std::uint8_t>((plane[y * w + x] - lo) * scale + 0.5f);
+    os.write(reinterpret_cast<const char*>(row.data()),
+             static_cast<std::streamsize>(w));
+  }
+  if (!os) fail("short write", path);
+}
+
+}  // namespace szi::io

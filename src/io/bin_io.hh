@@ -1,0 +1,33 @@
+// Raw binary field I/O (SDRBench-style .f32 files) and PGM slice dumps used
+// by the Fig. 8 visualization bench.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/field.hh"
+
+namespace szi::io {
+
+/// Writes `data` as little-endian f32, SDRBench layout. Throws on failure.
+void write_f32(const std::string& path, std::span<const float> data);
+
+/// Reads a whole .f32 file. Throws on failure or size mismatch with `expect`
+/// (pass 0 to accept any size).
+std::vector<float> read_f32(const std::string& path, std::size_t expect = 0);
+
+/// Double-precision variants (SDRBench .f64 files).
+void write_f64(const std::string& path, std::span<const double> data);
+std::vector<double> read_f64(const std::string& path, std::size_t expect = 0);
+
+/// Writes arbitrary bytes (compressed archives).
+void write_bytes(const std::string& path, std::span<const std::byte> bytes);
+std::vector<std::byte> read_bytes(const std::string& path);
+
+/// Dumps the z = `slice` plane of `f` as an 8-bit PGM image, min-max scaled.
+/// This is how the repo reproduces the paper's Fig. 8 visual comparisons.
+void write_pgm_slice(const std::string& path, const Field& f, std::size_t slice);
+
+}  // namespace szi::io

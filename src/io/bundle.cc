@@ -1,0 +1,92 @@
+#include "io/bundle.hh"
+
+#include <stdexcept>
+
+#include "core/bytes.hh"
+#include "io/bin_io.hh"
+
+namespace szi::io {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x42495A53;  // "SZIB"
+
+void put_string(core::ByteWriter& w, const std::string& s) {
+  w.put(static_cast<std::uint32_t>(s.size()));
+  for (const char c : s) w.put(static_cast<std::uint8_t>(c));
+}
+
+std::string get_string(core::ByteReader& r) {
+  const auto n = r.get<std::uint32_t>();
+  if (n > 4096) throw std::runtime_error("bundle: absurd string length");
+  std::string s;
+  s.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i)
+    s.push_back(static_cast<char>(r.get<std::uint8_t>()));
+  return s;
+}
+}  // namespace
+
+const BundleEntry* Bundle::find(const std::string& name) const {
+  for (const auto& e : entries_)
+    if (e.name == name) return &e;
+  return nullptr;
+}
+
+std::size_t Bundle::total_raw_bytes() const {
+  std::size_t total = 0;
+  for (const auto& e : entries_) total += e.raw_bytes;
+  return total;
+}
+
+std::size_t Bundle::total_archive_bytes() const {
+  std::size_t total = 0;
+  for (const auto& e : entries_) total += e.archive.size();
+  return total;
+}
+
+std::vector<std::byte> Bundle::serialize() const {
+  core::ByteWriter w;
+  w.put(kMagic);
+  w.put(static_cast<std::uint32_t>(entries_.size()));
+  for (const auto& e : entries_) {
+    put_string(w, e.name);
+    put_string(w, e.compressor);
+    w.put(static_cast<std::uint64_t>(e.dims.x));
+    w.put(static_cast<std::uint64_t>(e.dims.y));
+    w.put(static_cast<std::uint64_t>(e.dims.z));
+    w.put(e.raw_bytes);
+    w.put_blob(e.archive);
+  }
+  return w.take();
+}
+
+Bundle Bundle::deserialize(std::span<const std::byte> bytes) {
+  core::ByteReader r(bytes);
+  if (r.get<std::uint32_t>() != kMagic)
+    throw std::runtime_error("bundle: bad magic");
+  const auto n = r.get<std::uint32_t>();
+  Bundle b;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    BundleEntry e;
+    e.name = get_string(r);
+    e.compressor = get_string(r);
+    e.dims.x = r.get<std::uint64_t>();
+    e.dims.y = r.get<std::uint64_t>();
+    e.dims.z = r.get<std::uint64_t>();
+    e.raw_bytes = r.get<std::uint64_t>();
+    const auto blob = r.get_blob();
+    e.archive.assign(blob.begin(), blob.end());
+    b.add(std::move(e));
+  }
+  return b;
+}
+
+void Bundle::save(const std::string& path) const {
+  write_bytes(path, serialize());
+}
+
+Bundle Bundle::load(const std::string& path) {
+  return deserialize(read_bytes(path));
+}
+
+}  // namespace szi::io

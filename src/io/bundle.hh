@@ -1,0 +1,50 @@
+// Multi-field archive bundle — the "distributed scientific database" unit of
+// §VII-C.5: a dataset snapshot holds many fields; transfers and storage
+// operate on the bundle, not on loose files. Each entry records the field's
+// name, dims, compressor name, and its self-describing archive.
+//
+// Layout: magic 'SZIB' | u32 n_entries | per entry:
+//   name | compressor | dims | raw_bytes | archive blob
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "device/dims.hh"
+
+namespace szi::io {
+
+struct BundleEntry {
+  std::string name;
+  std::string compressor;  ///< registry name used to compress
+  dev::Dim3 dims;
+  std::uint64_t raw_bytes = 0;
+  std::vector<std::byte> archive;
+};
+
+class Bundle {
+ public:
+  void add(BundleEntry entry) { entries_.push_back(std::move(entry)); }
+
+  [[nodiscard]] const std::vector<BundleEntry>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] const BundleEntry* find(const std::string& name) const;
+
+  [[nodiscard]] std::size_t total_raw_bytes() const;
+  [[nodiscard]] std::size_t total_archive_bytes() const;
+
+  [[nodiscard]] std::vector<std::byte> serialize() const;
+  /// Throws std::runtime_error on malformed input.
+  [[nodiscard]] static Bundle deserialize(std::span<const std::byte> bytes);
+
+  void save(const std::string& path) const;
+  [[nodiscard]] static Bundle load(const std::string& path);
+
+ private:
+  std::vector<BundleEntry> entries_;
+};
+
+}  // namespace szi::io

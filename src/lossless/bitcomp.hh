@@ -1,0 +1,29 @@
+// "Bitcomp-lossless" stand-in (§VI-B).
+//
+// The paper appends NVIDIA's proprietary Bitcomp-lossless after Huffman to
+// cancel the repeated patterns Huffman leaves behind (runs of identical
+// bytes, most prominently 0x00 from long zero-code sequences). Bitcomp
+// itself ships only in closed-source nvCOMP, so this repository substitutes
+// a block-parallel LZSS codec that removes exactly that redundancy class
+// with the same deployment shape (independent blocks, raw fallback for
+// incompressible input). See DESIGN.md §1 for the substitution rationale.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "lossless/lzss.hh"
+
+namespace szi::lossless {
+
+[[nodiscard]] inline std::vector<std::byte> bitcomp_compress(
+    std::span<const std::byte> data) {
+  return lzss_compress(data);
+}
+
+[[nodiscard]] inline std::vector<std::byte> bitcomp_decompress(
+    std::span<const std::byte> data) {
+  return lzss_decompress(data);
+}
+
+}  // namespace szi::lossless

@@ -1,0 +1,94 @@
+// Little bit-granular writer/reader used by the Huffman chunk kernels and
+// the cuZFP embedded coder. MSB-first within each byte.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace szi::lossless {
+
+class BitWriter {
+ public:
+  explicit BitWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  /// Appends the low `nbits` of `bits`, most significant first.
+  void put(std::uint64_t bits, unsigned nbits) {
+    while (nbits > 0) {
+      const unsigned take = nbits < free_ ? nbits : free_;
+      cur_ = static_cast<std::uint8_t>(
+          cur_ | (((bits >> (nbits - take)) & ((1u << take) - 1))
+                  << (free_ - take)));
+      free_ -= take;
+      nbits -= take;
+      if (free_ == 0) flush_byte();
+    }
+  }
+
+  /// Pads to a byte boundary with zero bits.
+  void align() {
+    if (free_ < 8) flush_byte();
+  }
+
+  [[nodiscard]] std::size_t bit_count() const {
+    return out_.size() * 8 + (8 - free_);
+  }
+
+ private:
+  void flush_byte() {
+    out_.push_back(cur_);
+    cur_ = 0;
+    free_ = 8;
+  }
+  std::vector<std::uint8_t>& out_;
+  std::uint8_t cur_ = 0;
+  unsigned free_ = 8;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> in) : in_(in) {}
+
+  /// Reads `nbits` (<= 57) MSB-first; reads past the end yield zero bits.
+  [[nodiscard]] std::uint64_t get(unsigned nbits) {
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < nbits; ++i) v = (v << 1) | get1();
+    return v;
+  }
+
+  [[nodiscard]] unsigned get1() {
+    const std::size_t byte = pos_ >> 3;
+    if (byte >= in_.size()) {
+      ++pos_;
+      return 0;
+    }
+    const unsigned bit = (in_[byte] >> (7 - (pos_ & 7))) & 1u;
+    ++pos_;
+    return bit;
+  }
+
+  /// Reads `nbits` (<= 32) MSB-first without advancing; past-the-end bits
+  /// read as zero. Word-based (5 byte loads), fueling table-driven decoders.
+  [[nodiscard]] std::uint32_t peek(unsigned nbits) const {
+    const std::size_t byte = pos_ >> 3;
+    std::uint64_t acc = 0;
+    for (unsigned i = 0; i < 5; ++i) {
+      const std::size_t b = byte + i;
+      acc = (acc << 8) | (b < in_.size() ? in_[b] : 0u);
+    }
+    const unsigned off = static_cast<unsigned>(pos_ & 7);
+    return static_cast<std::uint32_t>((acc >> (40 - off - nbits)) &
+                                      ((std::uint64_t{1} << nbits) - 1));
+  }
+
+  void skip(unsigned nbits) { pos_ += nbits; }
+
+  [[nodiscard]] std::size_t position() const { return pos_; }
+
+ private:
+  std::span<const std::uint8_t> in_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace szi::lossless

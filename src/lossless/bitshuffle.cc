@@ -1,0 +1,62 @@
+#include "lossless/bitshuffle.hh"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "device/launch.hh"
+
+namespace szi::lossless {
+
+namespace {
+/// Byte offset of block b: every block before the tail is full (2048 bytes).
+std::size_t block_offset(std::size_t b) { return b * kShuffleBlock * 2; }
+}  // namespace
+
+void bitshuffle16(std::span<const std::uint16_t> in,
+                  std::span<std::uint8_t> out) {
+  if (out.size() != bitshuffle16_size(in.size()))
+    throw std::invalid_argument("bitshuffle16: bad output size");
+  const std::size_t nblocks = dev::ceil_div(in.size(), kShuffleBlock);
+  dev::launch_linear(
+      nblocks,
+      [&](std::size_t b) {
+        const std::size_t begin = b * kShuffleBlock;
+        const std::size_t len = std::min(kShuffleBlock, in.size() - begin);
+        const std::size_t plane_bytes = (len + 7) / 8;
+        std::uint8_t* planes = out.data() + block_offset(b);
+        std::memset(planes, 0, 16 * plane_bytes);
+        for (std::size_t i = 0; i < len; ++i) {
+          const std::uint16_t v = in[begin + i];
+          for (unsigned bit = 0; bit < 16; ++bit)
+            if ((v >> bit) & 1u)
+              planes[bit * plane_bytes + i / 8] |=
+                  static_cast<std::uint8_t>(1u << (i % 8));
+        }
+      },
+      1);
+}
+
+void bitunshuffle16(std::span<const std::uint8_t> in,
+                    std::span<std::uint16_t> out) {
+  if (in.size() != bitshuffle16_size(out.size()))
+    throw std::invalid_argument("bitunshuffle16: bad input size");
+  const std::size_t nblocks = dev::ceil_div(out.size(), kShuffleBlock);
+  dev::launch_linear(
+      nblocks,
+      [&](std::size_t b) {
+        const std::size_t begin = b * kShuffleBlock;
+        const std::size_t len = std::min(kShuffleBlock, out.size() - begin);
+        const std::size_t plane_bytes = (len + 7) / 8;
+        const std::uint8_t* planes = in.data() + block_offset(b);
+        for (std::size_t i = 0; i < len; ++i) {
+          std::uint16_t v = 0;
+          for (unsigned bit = 0; bit < 16; ++bit)
+            if ((planes[bit * plane_bytes + i / 8] >> (i % 8)) & 1u)
+              v = static_cast<std::uint16_t>(v | (1u << bit));
+          out[begin + i] = v;
+        }
+      },
+      1);
+}
+
+}  // namespace szi::lossless

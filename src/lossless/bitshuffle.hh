@@ -1,0 +1,32 @@
+// Bit-plane shuffle of 16-bit quant-codes — the first lossless stage of
+// FZ-GPU [19]. Transposing a block of codes into bit planes turns
+// "almost all codes identical" into "almost all planes all-zero", which the
+// subsequent zero-block dictionary stage removes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace szi::lossless {
+
+/// Elements per shuffle block (a GPU thread-block tile).
+inline constexpr std::size_t kShuffleBlock = 1024;
+
+/// Bytes produced when shuffling `n` elements: full blocks emit 2 bytes per
+/// element; a tail block emits 16 planes of ceil(tail/8) bytes each.
+[[nodiscard]] constexpr std::size_t bitshuffle16_size(std::size_t n) {
+  const std::size_t full = n / kShuffleBlock;
+  const std::size_t tail = n % kShuffleBlock;
+  return full * kShuffleBlock * 2 + (tail ? 16 * ((tail + 7) / 8) : 0);
+}
+
+/// Shuffles `in` into bit-plane-major order per block; `out` must hold
+/// exactly bitshuffle16_size(in.size()) bytes.
+void bitshuffle16(std::span<const std::uint16_t> in, std::span<std::uint8_t> out);
+
+/// Inverse; reconstructs out.size() elements.
+void bitunshuffle16(std::span<const std::uint8_t> in,
+                    std::span<std::uint16_t> out);
+
+}  // namespace szi::lossless

@@ -1,0 +1,238 @@
+#include "lossless/lzss.hh"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "device/launch.hh"
+
+namespace szi::lossless {
+
+namespace {
+
+constexpr std::size_t kHashBits = 14;
+constexpr std::size_t kHashSize = 1u << kHashBits;
+constexpr int kMaxChainDepth = 32;
+
+std::uint32_t hash4(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+/// Greedy LZSS over one block with a hash-head + prev-chain match finder.
+std::vector<std::uint8_t> compress_block(const std::uint8_t* src,
+                                         std::size_t n) {
+  std::vector<std::uint8_t> out;
+  out.reserve(n / 2 + 16);
+  std::vector<std::int32_t> head(kHashSize, -1);
+  std::vector<std::int32_t> prev(n, -1);
+
+  std::size_t ctrl_pos = 0;
+  int ctrl_bits = 8;  // force a fresh control byte on first token
+  auto begin_token = [&](bool is_match) {
+    if (ctrl_bits == 8) {
+      ctrl_pos = out.size();
+      out.push_back(0);
+      ctrl_bits = 0;
+    }
+    if (is_match) out[ctrl_pos] |= static_cast<std::uint8_t>(1u << ctrl_bits);
+    ++ctrl_bits;
+  };
+
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t best_len = 0, best_dist = 0;
+    if (i + kMinMatch <= n) {
+      const std::uint32_t h = hash4(src + i);
+      const std::int32_t old_head = head[h];
+      std::int32_t cand = old_head;
+      for (int depth = 0; cand >= 0 && depth < kMaxChainDepth;
+           ++depth, cand = prev[static_cast<std::size_t>(cand)]) {
+        const std::size_t c = static_cast<std::size_t>(cand);
+        const std::size_t dist = i - c;
+        if (dist > 0xFFFF) break;  // beyond the encodable window
+        std::size_t len = 0;
+        const std::size_t limit = n - i;
+        while (len < limit && src[c + len] == src[i + len]) ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_dist = dist;
+          if (len >= limit) break;
+        }
+      }
+      prev[i] = old_head;
+      head[h] = static_cast<std::int32_t>(i);
+    }
+
+    if (best_len >= kMinMatch) {
+      begin_token(true);
+      out.push_back(static_cast<std::uint8_t>(best_dist & 0xFF));
+      out.push_back(static_cast<std::uint8_t>(best_dist >> 8));
+      std::size_t rem = best_len - kMinMatch;
+      while (rem >= 255) {
+        out.push_back(0xFF);
+        rem -= 255;
+      }
+      out.push_back(static_cast<std::uint8_t>(rem));
+      // Insert hash entries for skipped positions so later matches can
+      // anchor inside this match (bounded to keep the pass linear).
+      const std::size_t insert_end = std::min(i + best_len, n - kMinMatch + 1);
+      for (std::size_t j = i + 1; j + kMinMatch <= n && j < insert_end; ++j) {
+        const std::uint32_t h = hash4(src + j);
+        prev[j] = head[h];
+        head[h] = static_cast<std::int32_t>(j);
+      }
+      i += best_len;
+    } else {
+      begin_token(false);
+      out.push_back(src[i]);
+      ++i;
+    }
+  }
+  return out;
+}
+
+void decompress_block(const std::uint8_t* src, std::size_t n,
+                      std::uint8_t* dst, std::size_t raw) {
+  std::size_t ip = 0, op = 0;
+  std::uint8_t ctrl = 0;
+  int ctrl_bits = 8;
+  while (op < raw) {
+    if (ctrl_bits == 8) {
+      if (ip >= n) throw std::runtime_error("lzss: truncated control");
+      ctrl = src[ip++];
+      ctrl_bits = 0;
+    }
+    const bool is_match = (ctrl >> ctrl_bits) & 1;
+    ++ctrl_bits;
+    if (is_match) {
+      if (ip + 3 > n) throw std::runtime_error("lzss: truncated match");
+      const std::size_t dist = src[ip] | (static_cast<std::size_t>(src[ip + 1]) << 8);
+      ip += 2;
+      std::size_t len = kMinMatch;
+      for (;;) {
+        if (ip >= n) throw std::runtime_error("lzss: truncated length");
+        const std::uint8_t b = src[ip++];
+        len += b;
+        if (b != 0xFF) break;
+      }
+      if (dist == 0 || dist > op || op + len > raw)
+        throw std::runtime_error("lzss: corrupt match");
+      // Byte-by-byte copy: overlapping matches (dist < len) replicate runs.
+      for (std::size_t k = 0; k < len; ++k) dst[op + k] = dst[op + k - dist];
+      op += len;
+    } else {
+      if (ip >= n) throw std::runtime_error("lzss: truncated literal");
+      dst[op++] = src[ip++];
+    }
+  }
+}
+
+template <typename T>
+void append_pod(std::vector<std::byte>& out, const T& v) {
+  const auto* p = reinterpret_cast<const std::byte*>(&v);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::span<const std::byte> in, std::size_t& pos) {
+  if (pos + sizeof(T) > in.size())
+    throw std::runtime_error("lzss: truncated header");
+  T v;
+  std::memcpy(&v, in.data() + pos, sizeof(T));
+  pos += sizeof(T);
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::byte> lzss_compress(std::span<const std::byte> data,
+                                     std::size_t block_size) {
+  if (block_size == 0) throw std::invalid_argument("lzss: block_size == 0");
+  const std::size_t n = data.size();
+  const std::size_t nblocks = n == 0 ? 0 : dev::ceil_div(n, block_size);
+  const auto* src = reinterpret_cast<const std::uint8_t*>(data.data());
+
+  // Compress blocks in parallel, then stitch.
+  std::vector<std::vector<std::uint8_t>> blocks(nblocks);
+  dev::launch_linear(
+      nblocks,
+      [&](std::size_t b) {
+        const std::size_t begin = b * block_size;
+        const std::size_t len = std::min(block_size, n - begin);
+        auto enc = compress_block(src + begin, len);
+        if (enc.size() >= len) {  // incompressible: store raw
+          enc.assign(src + begin, src + begin + len);
+          enc.push_back(0);  // trailing mode marker replaced below; see note
+        }
+        blocks[b] = std::move(enc);
+      },
+      1);
+
+  std::vector<std::byte> out;
+  append_pod(out, static_cast<std::uint64_t>(n));
+  append_pod(out, static_cast<std::uint32_t>(block_size));
+  append_pod(out, static_cast<std::uint32_t>(nblocks));
+  const std::size_t offsets_pos = out.size();
+  out.resize(out.size() + nblocks * sizeof(std::uint64_t));
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    const std::size_t begin = b * block_size;
+    const std::size_t len = std::min(block_size, n - begin);
+    const bool raw = blocks[b].size() == len + 1;  // marked above
+    const std::uint64_t off = out.size();
+    std::memcpy(out.data() + offsets_pos + b * sizeof(std::uint64_t), &off,
+                sizeof(off));
+    out.push_back(static_cast<std::byte>(raw ? 0 : 1));
+    const std::size_t payload = raw ? len : blocks[b].size();
+    out.insert(out.end(),
+               reinterpret_cast<const std::byte*>(blocks[b].data()),
+               reinterpret_cast<const std::byte*>(blocks[b].data()) + payload);
+  }
+  return out;
+}
+
+std::vector<std::byte> lzss_decompress(std::span<const std::byte> data) {
+  std::size_t pos = 0;
+  const auto raw_size = read_pod<std::uint64_t>(data, pos);
+  const auto block_size = read_pod<std::uint32_t>(data, pos);
+  const auto nblocks = read_pod<std::uint32_t>(data, pos);
+  if (block_size == 0 && raw_size > 0)
+    throw std::runtime_error("lzss: bad block size");
+  if (nblocks > 0 &&
+      (raw_size == 0 ||
+       nblocks != dev::ceil_div<std::size_t>(raw_size, block_size)))
+    throw std::runtime_error("lzss: inconsistent block count");
+  std::vector<std::uint64_t> offsets(nblocks);
+  if (pos + nblocks * sizeof(std::uint64_t) > data.size())
+    throw std::runtime_error("lzss: truncated offsets");
+  std::memcpy(offsets.data(), data.data() + pos,
+              nblocks * sizeof(std::uint64_t));
+  pos += nblocks * sizeof(std::uint64_t);
+
+  std::vector<std::byte> out(raw_size);
+  auto* dst = reinterpret_cast<std::uint8_t*>(out.data());
+  const auto* src = reinterpret_cast<const std::uint8_t*>(data.data());
+  dev::launch_linear(
+      nblocks,
+      [&](std::size_t b) {
+        const std::size_t begin = b * block_size;
+        const std::size_t len =
+            std::min<std::size_t>(block_size, raw_size - begin);
+        std::size_t off = offsets[b];
+        if (off >= data.size()) throw std::runtime_error("lzss: bad offset");
+        const std::uint8_t mode = src[off++];
+        const std::size_t end =
+            (b + 1 < nblocks) ? offsets[b + 1] : data.size();
+        if (end < off) throw std::runtime_error("lzss: bad offsets");
+        if (mode == 0) {
+          if (end - off < len) throw std::runtime_error("lzss: truncated raw");
+          std::memcpy(dst + begin, src + off, len);
+        } else {
+          decompress_block(src + off, end - off, dst + begin, len);
+        }
+      },
+      1);
+  return out;
+}
+
+}  // namespace szi::lossless

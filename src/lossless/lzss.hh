@@ -1,0 +1,37 @@
+// Block-parallel LZSS byte codec.
+//
+// This is the repository's de-redundancy pass (§VI-B). The paper uses
+// NVIDIA's proprietary Bitcomp-lossless purely as a *repeated-pattern-
+// canceling* encoder applied after Huffman ("continuous 0x00 bytes");
+// bitcomp.hh wraps this codec under that role. Blocks are compressed
+// independently (the window never crosses a block), so compression and
+// decompression parallelize exactly like a GPU implementation would.
+//
+// Stream layout:
+//   u64 raw_size | u32 block_size | u32 n_blocks |
+//   u64 block_offset[n_blocks] | per-block: u8 mode | payload
+// mode 0 = stored raw (incompressible fallback), 1 = LZSS tokens.
+// Token format: control bytes carry 8 flags (LSB first; 1 = match);
+// literal = 1 byte; match = u16 little-endian backward distance (>= 1)
+// followed by length bytes: len = kMinMatch + sum, where each 0xFF byte
+// adds 255 and continues.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace szi::lossless {
+
+inline constexpr std::size_t kLzssBlock = 64 * 1024;
+inline constexpr std::size_t kMinMatch = 4;
+
+[[nodiscard]] std::vector<std::byte> lzss_compress(
+    std::span<const std::byte> data, std::size_t block_size = kLzssBlock);
+
+/// Throws std::runtime_error on malformed streams.
+[[nodiscard]] std::vector<std::byte> lzss_decompress(
+    std::span<const std::byte> data);
+
+}  // namespace szi::lossless

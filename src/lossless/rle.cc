@@ -1,0 +1,81 @@
+#include "lossless/rle.hh"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "device/launch.hh"
+
+namespace szi::lossless {
+
+namespace {
+bool unit_is_zero(const std::byte* p, std::size_t len) {
+  for (std::size_t i = 0; i < len; ++i)
+    if (p[i] != std::byte{0}) return false;
+  return true;
+}
+}  // namespace
+
+std::vector<std::byte> zero_rle_compress(std::span<const std::byte> data) {
+  const std::size_t n = data.size();
+  const std::size_t nunits = dev::ceil_div(n, kRleUnit);
+  std::vector<std::uint8_t> bitmap((nunits + 7) / 8, 0);
+  std::vector<char> nonzero(nunits, 0);
+  dev::launch_linear(
+      nunits,
+      [&](std::size_t u) {
+        const std::size_t begin = u * kRleUnit;
+        const std::size_t len = std::min(kRleUnit, n - begin);
+        nonzero[u] = unit_is_zero(data.data() + begin, len) ? 0 : 1;
+      },
+      1 << 10);
+  std::size_t kept = 0;
+  for (std::size_t u = 0; u < nunits; ++u)
+    if (nonzero[u]) {
+      bitmap[u / 8] |= static_cast<std::uint8_t>(1u << (u % 8));
+      ++kept;
+    }
+
+  std::vector<std::byte> out;
+  out.reserve(16 + bitmap.size() + kept * kRleUnit);
+  const std::uint64_t n64 = n;
+  out.resize(sizeof(n64));
+  std::memcpy(out.data(), &n64, sizeof(n64));
+  out.insert(out.end(), reinterpret_cast<const std::byte*>(bitmap.data()),
+             reinterpret_cast<const std::byte*>(bitmap.data()) + bitmap.size());
+  for (std::size_t u = 0; u < nunits; ++u)
+    if (nonzero[u]) {
+      const std::size_t begin = u * kRleUnit;
+      const std::size_t len = std::min(kRleUnit, n - begin);
+      out.insert(out.end(), data.begin() + static_cast<std::ptrdiff_t>(begin),
+                 data.begin() + static_cast<std::ptrdiff_t>(begin + len));
+    }
+  return out;
+}
+
+std::vector<std::byte> zero_rle_decompress(std::span<const std::byte> data) {
+  if (data.size() < sizeof(std::uint64_t))
+    throw std::runtime_error("zero_rle: truncated header");
+  std::uint64_t n = 0;
+  std::memcpy(&n, data.data(), sizeof(n));
+  const std::size_t nunits = dev::ceil_div<std::size_t>(n, kRleUnit);
+  const std::size_t bitmap_bytes = (nunits + 7) / 8;
+  if (data.size() < sizeof(n) + bitmap_bytes)
+    throw std::runtime_error("zero_rle: truncated bitmap");
+  const auto* bitmap =
+      reinterpret_cast<const std::uint8_t*>(data.data() + sizeof(n));
+  std::size_t pos = sizeof(n) + bitmap_bytes;
+
+  std::vector<std::byte> out(n, std::byte{0});
+  for (std::size_t u = 0; u < nunits; ++u) {
+    if (!((bitmap[u / 8] >> (u % 8)) & 1u)) continue;
+    const std::size_t begin = u * kRleUnit;
+    const std::size_t len = std::min<std::size_t>(kRleUnit, n - begin);
+    if (pos + len > data.size())
+      throw std::runtime_error("zero_rle: truncated payload");
+    std::memcpy(out.data() + begin, data.data() + pos, len);
+    pos += len;
+  }
+  return out;
+}
+
+}  // namespace szi::lossless

@@ -1,0 +1,24 @@
+// Zero-run-length byte codec: the zero-block removal stage of FZ-GPU's
+// "dictionary encoding" (bitshuffled quant-codes are mostly zero bytes) and
+// an ablation point against the LZSS de-redundancy pass.
+//
+// Format: units of 32 bytes; a bitmap marks non-zero units, which are stored
+// verbatim — FZ-GPU's scheme at byte granularity.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace szi::lossless {
+
+inline constexpr std::size_t kRleUnit = 32;
+
+[[nodiscard]] std::vector<std::byte> zero_rle_compress(
+    std::span<const std::byte> data);
+
+/// Throws std::runtime_error on malformed streams.
+[[nodiscard]] std::vector<std::byte> zero_rle_decompress(
+    std::span<const std::byte> data);
+
+}  // namespace szi::lossless

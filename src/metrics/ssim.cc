@@ -1,0 +1,104 @@
+#include "metrics/ssim.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "device/launch.hh"
+#include "device/reduce.hh"
+
+namespace szi::metrics {
+
+namespace {
+
+struct WindowMoments {
+  double mean_a = 0, mean_b = 0;
+  double var_a = 0, var_b = 0, cov = 0;
+};
+
+WindowMoments window_moments(std::span<const float> a, std::span<const float> b,
+                             const dev::Dim3& dims, std::size_t x0,
+                             std::size_t y0, std::size_t z0, std::size_t w) {
+  const std::size_t x1 = std::min(x0 + w, dims.x);
+  const std::size_t y1 = std::min(y0 + w, dims.y);
+  const std::size_t z1 = std::min(z0 + w, dims.z);
+  double sa = 0, sb = 0, saa = 0, sbb = 0, sab = 0;
+  std::size_t n = 0;
+  for (std::size_t z = z0; z < z1; ++z)
+    for (std::size_t y = y0; y < y1; ++y) {
+      const std::size_t row = dev::linearize(dims, 0, y, z);
+      for (std::size_t x = x0; x < x1; ++x, ++n) {
+        const double va = a[row + x];
+        const double vb = b[row + x];
+        sa += va;
+        sb += vb;
+        saa += va * va;
+        sbb += vb * vb;
+        sab += va * vb;
+      }
+    }
+  WindowMoments m;
+  const double inv = 1.0 / static_cast<double>(n);
+  m.mean_a = sa * inv;
+  m.mean_b = sb * inv;
+  m.var_a = std::max(0.0, saa * inv - m.mean_a * m.mean_a);
+  m.var_b = std::max(0.0, sbb * inv - m.mean_b * m.mean_b);
+  m.cov = sab * inv - m.mean_a * m.mean_b;
+  return m;
+}
+
+}  // namespace
+
+double ssim(std::span<const float> original,
+            std::span<const float> reconstructed, const dev::Dim3& dims,
+            const SsimOptions& opt) {
+  if (original.size() != reconstructed.size() ||
+      original.size() != dims.volume())
+    throw std::invalid_argument("ssim: size mismatch");
+  if (original.empty()) return 1.0;
+  const std::size_t w = std::max<std::size_t>(2, opt.window);
+  const std::size_t stride = std::max<std::size_t>(1, opt.stride);
+
+  // Range-scaled stabilizers (the image-processing K1/K2 constants).
+  const auto mm = dev::minmax(original);
+  const double range =
+      std::max(1e-30, static_cast<double>(mm.max) - static_cast<double>(mm.min));
+  const double c1 = (0.01 * range) * (0.01 * range);
+  const double c2 = (0.03 * range) * (0.03 * range);
+
+  const std::size_t gx = dev::ceil_div(dims.x, stride);
+  const std::size_t gy = dev::ceil_div(dims.y, stride);
+  const std::size_t gz = dev::ceil_div(dims.z, stride);
+  std::vector<double> partial(gz, 0.0);
+  std::vector<std::size_t> counts(gz, 0);
+  dev::launch_linear(
+      gz,
+      [&](std::size_t iz) {
+        double acc = 0;
+        std::size_t cnt = 0;
+        for (std::size_t iy = 0; iy < gy; ++iy)
+          for (std::size_t ix = 0; ix < gx; ++ix) {
+            const auto m =
+                window_moments(original, reconstructed, dims, ix * stride,
+                               iy * stride, iz * stride, w);
+            const double num = (2 * m.mean_a * m.mean_b + c1) * (2 * m.cov + c2);
+            const double den = (m.mean_a * m.mean_a + m.mean_b * m.mean_b + c1) *
+                               (m.var_a + m.var_b + c2);
+            acc += num / den;
+            ++cnt;
+          }
+        partial[iz] = acc;
+        counts[iz] = cnt;
+      },
+      1);
+  double total = 0;
+  std::size_t n = 0;
+  for (std::size_t iz = 0; iz < gz; ++iz) {
+    total += partial[iz];
+    n += counts[iz];
+  }
+  return n == 0 ? 1.0 : total / static_cast<double>(n);
+}
+
+}  // namespace szi::metrics

@@ -1,0 +1,28 @@
+// Structural similarity (SSIM) for 3D scientific fields — the perceptual
+// quality metric the QoZ line of work [7] optimizes alongside PSNR, included
+// so rate-quality studies on this codebase can target either.
+//
+// Windowed SSIM with cubic windows (default 7^3, clamped at boundaries),
+// luminance/contrast/structure terms with the standard C1/C2 stabilizers
+// scaled by the field's value range, averaged over a strided window grid.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "device/dims.hh"
+
+namespace szi::metrics {
+
+struct SsimOptions {
+  std::size_t window = 7;  ///< cubic window edge
+  std::size_t stride = 4;  ///< window grid stride (overlapping windows)
+};
+
+/// Mean SSIM over the window grid; 1.0 = identical. Returns 1.0 for empty
+/// fields; throws std::invalid_argument on size mismatch.
+[[nodiscard]] double ssim(std::span<const float> original,
+                          std::span<const float> reconstructed,
+                          const dev::Dim3& dims, const SsimOptions& opt = {});
+
+}  // namespace szi::metrics

@@ -1,0 +1,66 @@
+// Anchor-point handling (§V-A): one vertex per basic block is stored
+// losslessly so every interpolation is confined between adjacent anchors and
+// tiles become independent. In a 3D grid roughly 1/512 of the elements are
+// anchors. Templated on the value type.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "device/dims.hh"
+#include "device/launch.hh"
+
+namespace szi::predictor {
+
+/// Number of anchors along one axis of length `n` with stride `s`
+/// (positions 0, s, 2s, ... < n).
+[[nodiscard]] constexpr std::size_t anchor_count_1d(std::size_t n,
+                                                    std::size_t s) {
+  return n == 0 ? 0 : (n - 1) / s + 1;
+}
+
+/// Anchor grid dimensions for a field of `dims` with per-dim strides.
+[[nodiscard]] constexpr dev::Dim3 anchor_dims(const dev::Dim3& dims,
+                                              const dev::Dim3& stride) {
+  return {anchor_count_1d(dims.x, stride.x), anchor_count_1d(dims.y, stride.y),
+          anchor_count_1d(dims.z, stride.z)};
+}
+
+/// Gathers data[every stride-th point] into a dense anchor array.
+template <typename T>
+[[nodiscard]] std::vector<T> gather_anchors(std::span<const T> data,
+                                            const dev::Dim3& dims,
+                                            const dev::Dim3& stride) {
+  const dev::Dim3 ad = anchor_dims(dims, stride);
+  std::vector<T> anchors(ad.volume());
+  dev::launch_linear(
+      ad.z,
+      [&](std::size_t az) {
+        for (std::size_t ay = 0; ay < ad.y; ++ay)
+          for (std::size_t ax = 0; ax < ad.x; ++ax)
+            anchors[dev::linearize(ad, ax, ay, az)] = data[dev::linearize(
+                dims, ax * stride.x, ay * stride.y, az * stride.z)];
+      },
+      1);
+  return anchors;
+}
+
+/// Writes anchors back to their grid positions in `out`.
+template <typename T>
+void scatter_anchors(std::span<const T> anchors, std::span<T> out,
+                     const dev::Dim3& dims, const dev::Dim3& stride) {
+  const dev::Dim3 ad = anchor_dims(dims, stride);
+  dev::launch_linear(
+      ad.z,
+      [&](std::size_t az) {
+        for (std::size_t ay = 0; ay < ad.y; ++ay)
+          for (std::size_t ax = 0; ax < ad.x; ++ax)
+            out[dev::linearize(dims, ax * stride.x, ay * stride.y,
+                               az * stride.z)] =
+                anchors[dev::linearize(ad, ax, ay, az)];
+      },
+      1);
+}
+
+}  // namespace szi::predictor

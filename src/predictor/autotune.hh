@@ -1,0 +1,37 @@
+// Profiling-based auto-tuning of G-Interp (§V-C): a lightweight kernel that
+// (1) computes the value range (for the value-range-relative error bound ε),
+// (2) samples a small sub-grid and accumulates cubic-spline prediction errors
+//     per (spline, dimension),
+// then derives α from the paper's Eq. (1), picks the better cubic per
+// dimension, and orders dimensions least-smooth-first.
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "device/dims.hh"
+#include "predictor/interp_config.hh"
+
+namespace szi::predictor {
+
+struct ProfileResult {
+  InterpConfig config;
+  double value_range = 0;
+  double epsilon = 0;  ///< eb / value_range
+  /// Summed |prediction error| per dimension for each cubic kind; the raw
+  /// numbers are exposed for the ablation benches.
+  std::array<double, 3> err_nak{};
+  std::array<double, 3> err_natural{};
+};
+
+/// Profiles `data` and returns the tuned configuration for absolute error
+/// bound `eb`. `samples_per_dim` is the sampled sub-grid edge (default 4,
+/// i.e. the paper's "4^3 sub-grid for 3D cases").
+[[nodiscard]] ProfileResult autotune(std::span<const float> data,
+                                     const dev::Dim3& dims, double eb,
+                                     std::size_t samples_per_dim = 4);
+[[nodiscard]] ProfileResult autotune(std::span<const double> data,
+                                     const dev::Dim3& dims, double eb,
+                                     std::size_t samples_per_dim = 4);
+
+}  // namespace szi::predictor

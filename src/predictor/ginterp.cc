@@ -1,0 +1,227 @@
+#include "predictor/ginterp.hh"
+
+#include <array>
+#include <cassert>
+#include <stdexcept>
+
+#include "device/launch.hh"
+#include "predictor/anchor.hh"
+#include "predictor/spline.hh"
+
+namespace szi::predictor {
+
+namespace {
+
+/// Largest closed-tile volume across the per-rank geometries (33*9*9).
+constexpr std::size_t kMaxTileVolume = 33 * 9 * 9;
+
+template <typename T>
+struct TileView {
+  std::array<T, kMaxTileVolume> buf;
+  std::array<std::size_t, 3> origin;  ///< global coords of local (0,0,0)
+  std::array<std::size_t, 3> extent;  ///< closed local extent per dim
+  std::array<std::size_t, 3> lstride; ///< local linear strides per dim
+  std::array<std::size_t, 3> owned;   ///< owned extent (<= tile size)
+};
+
+std::size_t dim_of(const dev::Dim3& d, int i) {
+  return i == 0 ? d.x : (i == 1 ? d.y : d.z);
+}
+
+/// One (stride, dimension) interpolation pass over a tile. Shared between
+/// compression and decompression; `kCompress` selects which side of the
+/// quantizer runs.
+template <bool kCompress, typename T>
+void tile_pass(TileView<T>& t, int d, std::size_t s,
+               const std::array<bool, 3>& done, const quant::Quantizer& qz,
+               CubicKind kind, const dev::Dim3& dims,
+               std::span<quant::Code> codes, std::span<const quant::Code> codes_in) {
+  // Iteration steps: the target dim walks odd multiples of s; dims already
+  // interpolated at this level walk multiples of s; pending dims walk
+  // multiples of 2s (§V-A's pass ordering).
+  std::array<std::size_t, 3> start{0, 0, 0}, step{1, 1, 1};
+  for (int i = 0; i < 3; ++i) step[i] = done[i] ? s : 2 * s;
+  start[d] = s;
+  step[d] = 2 * s;
+
+  const std::size_t ls = t.lstride[d];         // local stride along d
+  const std::size_t ext_d = t.extent[d];
+
+  for (std::size_t z = start[2]; z < t.extent[2]; z += step[2]) {
+    for (std::size_t y = start[1]; y < t.extent[1]; y += step[1]) {
+      for (std::size_t x = start[0]; x < t.extent[0]; x += step[0]) {
+        const std::array<std::size_t, 3> c{x, y, z};
+        const std::size_t idx =
+            x * t.lstride[0] + y * t.lstride[1] + z * t.lstride[2];
+        const std::size_t cd = c[d];
+
+        // Neighbor availability within the shared tile (and thus the array).
+        const bool hb = cd >= s;
+        const bool hc = cd + s < ext_d;
+        const bool ha = cd >= 3 * s;
+        const bool hd = cd + 3 * s < ext_d;
+        const T a = ha ? t.buf[idx - 3 * s * ls] : T{0};
+        const T b = hb ? t.buf[idx - s * ls] : T{0};
+        const T cc = hc ? t.buf[idx + s * ls] : T{0};
+        const T dd = hd ? t.buf[idx + 3 * s * ls] : T{0};
+        const T pred = spline_predict(ha, a, hb, b, hc, cc, hd, dd, kind);
+
+        const bool is_owned =
+            x < t.owned[0] && y < t.owned[1] && z < t.owned[2];
+        const std::size_t gidx = dev::linearize(
+            dims, t.origin[0] + x, t.origin[1] + y, t.origin[2] + z);
+
+        if constexpr (kCompress) {
+          const auto r = qz.quantize(t.buf[idx], pred);
+          t.buf[idx] = r.recon;
+          if (is_owned) codes[gidx] = r.stored;
+        } else {
+          // buf[idx] holds the scattered original when the code is the
+          // outlier marker; dequantize() returns it unchanged then.
+          t.buf[idx] = qz.dequantize(codes_in[gidx], pred, t.buf[idx]);
+        }
+      }
+    }
+  }
+}
+
+template <bool kCompress, typename T>
+void run_tiles(std::span<const T> in, std::span<T> out,
+               std::span<quant::Code> codes,
+               std::span<const quant::Code> codes_in, const dev::Dim3& dims,
+               double eb, const InterpConfig& cfg, int radius) {
+  const Geometry geo = geometry_for(dims);
+
+  // Per-level quantizers, indexed by log2(stride).
+  std::vector<quant::Quantizer> level_qz;
+  for (std::size_t s = 1; s <= geo.top_stride; s <<= 1)
+    level_qz.emplace_back(level_eb(eb, cfg.alpha, level_of_stride(s)), radius);
+  auto qz_for = [&](std::size_t s) -> const quant::Quantizer& {
+    int l = 0;
+    while ((std::size_t{1} << l) < s) ++l;
+    return level_qz[static_cast<std::size_t>(l)];
+  };
+
+  const dev::Dim3 grid = dev::grid_for(dims, geo.tile);
+  dev::launch_blocks(grid, [&](const dev::BlockIdx& blk) {
+    TileView<T> t;
+    t.origin = {blk.x * geo.tile.x, blk.y * geo.tile.y, blk.z * geo.tile.z};
+    for (int i = 0; i < 3; ++i) {
+      const std::size_t nd = dim_of(dims, i);
+      const std::size_t td = dim_of(geo.tile, i);
+      t.owned[i] = std::min(td, nd - t.origin[i]);
+      t.extent[i] = std::min(td + 1, nd - t.origin[i]);
+    }
+    t.lstride = {1, t.extent[0], t.extent[0] * t.extent[1]};
+
+    // Load the closed region. For decompression `in` is a read-only work
+    // buffer holding scattered anchors and outlier originals (writes go to
+    // the separate `out`, so concurrent tiles never race on border planes).
+    const std::span<const T> src = in;
+    for (std::size_t z = 0; z < t.extent[2]; ++z)
+      for (std::size_t y = 0; y < t.extent[1]; ++y) {
+        const std::size_t lrow = y * t.lstride[1] + z * t.lstride[2];
+        const std::size_t grow = dev::linearize(dims, t.origin[0],
+                                                t.origin[1] + y, t.origin[2] + z);
+        for (std::size_t x = 0; x < t.extent[0]; ++x)
+          t.buf[lrow + x] = src[grow + x];
+      }
+
+    // Level-by-level, dimension-by-dimension interpolation.
+    for (std::size_t s = geo.top_stride; s >= 1; s >>= 1) {
+      std::array<bool, 3> done{false, false, false};
+      const quant::Quantizer& qz = qz_for(s);
+      for (int k = 0; k < 3; ++k) {
+        const int d = cfg.dim_order[k];
+        if (dim_of(dims, d) == 1) continue;
+        tile_pass<kCompress>(t, d, s, done, qz, cfg.cubic[static_cast<std::size_t>(d)],
+                             dims, codes, codes_in);
+        done[static_cast<std::size_t>(d)] = true;
+      }
+    }
+
+    if constexpr (!kCompress) {
+      // Write back the owned region.
+      for (std::size_t z = 0; z < t.owned[2]; ++z)
+        for (std::size_t y = 0; y < t.owned[1]; ++y) {
+          const std::size_t lrow = y * t.lstride[1] + z * t.lstride[2];
+          const std::size_t grow = dev::linearize(
+              dims, t.origin[0], t.origin[1] + y, t.origin[2] + z);
+          for (std::size_t x = 0; x < t.owned[0]; ++x)
+            out[grow + x] = t.buf[lrow + x];
+        }
+    }
+  });
+}
+
+template <typename T>
+GInterpOutputT<T> compress_impl(std::span<const T> data, const dev::Dim3& dims,
+                                double eb, const InterpConfig& cfg,
+                                int radius) {
+  if (data.size() != dims.volume())
+    throw std::invalid_argument("ginterp_compress: size/dims mismatch");
+  if (eb <= 0) throw std::invalid_argument("ginterp_compress: eb must be > 0");
+
+  const Geometry geo = geometry_for(dims);
+  GInterpOutputT<T> out;
+  out.anchors = gather_anchors(data, dims, geo.anchor);
+  // Anchors and any never-targeted point read as "perfectly predicted".
+  out.codes.assign(data.size(),
+                   static_cast<quant::Code>(radius));
+
+  run_tiles<true, T>(data, {}, out.codes, {}, dims, eb, cfg, radius);
+  out.outliers = quant::OutlierSetT<T>::gather(out.codes, data);
+  return out;
+}
+
+template <typename T>
+std::vector<T> decompress_impl(std::span<const quant::Code> codes,
+                               std::span<const T> anchors,
+                               const quant::OutlierSetT<T>& outliers,
+                               const dev::Dim3& dims, double eb,
+                               const InterpConfig& cfg, int radius) {
+  if (codes.size() != dims.volume())
+    throw std::invalid_argument("ginterp_decompress: size/dims mismatch");
+
+  const Geometry geo = geometry_for(dims);
+  std::vector<T> work(dims.volume(), T{0});
+  scatter_anchors<T>(anchors, work, dims, geo.anchor);
+  outliers.scatter(work);
+
+  std::vector<T> out(dims.volume(), T{0});
+  run_tiles<false, T>(work, out, {}, codes, dims, eb, cfg, radius);
+  return out;
+}
+
+}  // namespace
+
+GInterpOutputT<float> ginterp_compress(std::span<const float> data,
+                                       const dev::Dim3& dims, double eb,
+                                       const InterpConfig& cfg, int radius) {
+  return compress_impl<float>(data, dims, eb, cfg, radius);
+}
+
+GInterpOutputT<double> ginterp_compress(std::span<const double> data,
+                                        const dev::Dim3& dims, double eb,
+                                        const InterpConfig& cfg, int radius) {
+  return compress_impl<double>(data, dims, eb, cfg, radius);
+}
+
+std::vector<float> ginterp_decompress(std::span<const quant::Code> codes,
+                                      std::span<const float> anchors,
+                                      const quant::OutlierSetT<float>& outliers,
+                                      const dev::Dim3& dims, double eb,
+                                      const InterpConfig& cfg, int radius) {
+  return decompress_impl<float>(codes, anchors, outliers, dims, eb, cfg,
+                                radius);
+}
+
+std::vector<double> ginterp_decompress(
+    std::span<const quant::Code> codes, std::span<const double> anchors,
+    const quant::OutlierSetT<double>& outliers, const dev::Dim3& dims,
+    double eb, const InterpConfig& cfg, int radius) {
+  return decompress_impl<double>(codes, anchors, outliers, dims, eb, cfg,
+                                 radius);
+}
+
+}  // namespace szi::predictor

@@ -1,0 +1,64 @@
+// G-Interp (§V): the GPU-optimized multi-level interpolation predictor.
+//
+// The field is partitioned into thread-block tiles (32x8x8 for 3D). Each tile
+// copies its closed region — the owned chunk plus the +1 borrowed border
+// planes, i.e. the paper's 33x9x9 shared-memory block — into a private
+// buffer, then interpolates level by level (strides 4 → 2 → 1), dimension by
+// dimension in the auto-tuned order, replacing each value with its
+// reconstruction so decompression replays predictions bit-identically.
+//
+// Border planes (global coordinates that are multiples of the anchor stride)
+// are recomputed redundantly by every tile that shares them: their
+// predictions provably depend only on same-plane values and anchors, and the
+// extent along the interpolation dimension is identical for all sharing
+// tiles, so every tile derives the same values — but only the owning tile
+// (half-open region) emits quant-codes / reconstructed output. This gives
+// race-free tile parallelism, the CPU realization of the paper's
+// shared-memory design.
+//
+// Both single- and double-precision fields are supported; the paper's
+// datasets are f32, but SDRBench carries f64 fields (e.g. QMCPack) that a
+// production deployment must handle.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "device/dims.hh"
+#include "predictor/interp_config.hh"
+#include "quant/outlier.hh"
+#include "quant/quantizer.hh"
+
+namespace szi::predictor {
+
+/// Everything the prediction stage produces; the pipeline encodes `codes`
+/// with Huffman and stores anchors/outliers raw (§V-A, §VI-A).
+template <typename T>
+struct GInterpOutputT {
+  std::vector<quant::Code> codes;  ///< biased quant-codes, one per element
+  std::vector<T> anchors;          ///< lossless anchor grid
+  quant::OutlierSetT<T> outliers;  ///< |q| >= radius escapes
+};
+
+using GInterpOutput = GInterpOutputT<float>;
+
+/// Predicts+quantizes `data`. `cfg` normally comes from autotune();
+/// it must be persisted for decompression.
+[[nodiscard]] GInterpOutputT<float> ginterp_compress(
+    std::span<const float> data, const dev::Dim3& dims, double eb,
+    const InterpConfig& cfg, int radius = quant::kDefaultRadius);
+[[nodiscard]] GInterpOutputT<double> ginterp_compress(
+    std::span<const double> data, const dev::Dim3& dims, double eb,
+    const InterpConfig& cfg, int radius = quant::kDefaultRadius);
+
+/// Reconstructs the field from codes + anchors + outliers.
+[[nodiscard]] std::vector<float> ginterp_decompress(
+    std::span<const quant::Code> codes, std::span<const float> anchors,
+    const quant::OutlierSetT<float>& outliers, const dev::Dim3& dims,
+    double eb, const InterpConfig& cfg, int radius = quant::kDefaultRadius);
+[[nodiscard]] std::vector<double> ginterp_decompress(
+    std::span<const quant::Code> codes, std::span<const double> anchors,
+    const quant::OutlierSetT<double>& outliers, const dev::Dim3& dims,
+    double eb, const InterpConfig& cfg, int radius = quant::kDefaultRadius);
+
+}  // namespace szi::predictor

@@ -1,0 +1,69 @@
+// Geometry and tuning configuration of the G-Interp predictor (§V).
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+#include "device/dims.hh"
+#include "predictor/spline.hh"
+
+namespace szi::predictor {
+
+/// Per-rank tile/anchor geometry of §V-A: 8^3 basic blocks fused 4-wide
+/// along x into a 32x8x8 chunk for 3D, 16^2 chunks for 2D, 512 for 1D.
+struct Geometry {
+  dev::Dim3 tile;        ///< owned extent of one thread-block tile
+  dev::Dim3 anchor;      ///< anchor stride per dimension
+  std::size_t top_stride;  ///< first (coarsest) interpolation stride
+};
+
+[[nodiscard]] constexpr Geometry geometry_for(const dev::Dim3& dims) {
+  switch (dims.rank()) {
+    case 3:
+      return {{32, 8, 8}, {8, 8, 8}, 4};
+    case 2:
+      return {{16, 16, 1}, {16, 16, 1}, 8};
+    default:
+      return {{512, 1, 1}, {512, 1, 1}, 256};
+  }
+}
+
+/// Auto-tuned knobs (produced by the profiling kernel, §V-C; stored in the
+/// archive header so decompression replays identically).
+struct InterpConfig {
+  double alpha = 1.5;                      ///< level-wise eb reduction factor
+  std::array<CubicKind, 3> cubic = {CubicKind::NotAKnot, CubicKind::NotAKnot,
+                                    CubicKind::NotAKnot};  ///< per dim x,y,z
+  std::array<std::uint8_t, 3> dim_order = {2, 1, 0};  ///< pass order, first =
+                                                      ///< least smooth dim
+};
+
+/// Interpolation level of a stride: ℓ = log2(stride) + 1, so stride 1 is
+/// level 1 and gets the full user error bound.
+[[nodiscard]] inline int level_of_stride(std::size_t stride) {
+  int level = 1;
+  while (stride > 1) {
+    stride >>= 1;
+    ++level;
+  }
+  return level;
+}
+
+/// Level-wise error bound e_ℓ = e / α^(ℓ-1)  (§V-B.2).
+[[nodiscard]] inline double level_eb(double eb, double alpha, int level) {
+  return eb / std::pow(alpha, level - 1);
+}
+
+/// The paper's Eq. (1): piecewise-linear α as a function of the
+/// value-range-relative error bound ε.
+[[nodiscard]] inline double alpha_of_epsilon(double eps) {
+  if (eps >= 1e-1) return 2.0;
+  if (eps >= 1e-2) return 1.75 + 0.25 * (eps - 1e-2) / (1e-1 - 1e-2);
+  if (eps >= 1e-3) return 1.5 + 0.25 * (eps - 1e-3) / (1e-2 - 1e-3);
+  if (eps >= 1e-4) return 1.25 + 0.25 * (eps - 1e-4) / (1e-3 - 1e-4);
+  if (eps >= 1e-5) return 1.0 + 0.25 * (eps - 1e-5) / (1e-4 - 1e-5);
+  return 1.0;
+}
+
+}  // namespace szi::predictor

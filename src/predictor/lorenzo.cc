@@ -1,0 +1,144 @@
+#include "predictor/lorenzo.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "device/launch.hh"
+
+namespace szi::predictor {
+
+namespace {
+
+/// Pre-quantized lattice value d_i = round(v_i / 2eb) in int64 (the paper's
+/// ebx2 reciprocal multiply).
+std::vector<std::int64_t> prequantize(std::span<const float> data, double eb) {
+  std::vector<std::int64_t> d(data.size());
+  const double inv = 1.0 / (2.0 * eb);
+  dev::launch_linear(
+      data.size(),
+      [&](std::size_t i) {
+        d[i] = static_cast<std::int64_t>(
+            std::llround(static_cast<double>(data[i]) * inv));
+      },
+      1 << 14);
+  return d;
+}
+
+}  // namespace
+
+LorenzoOutput lorenzo_compress(std::span<const float> data,
+                               const dev::Dim3& dims, double eb, int radius) {
+  if (data.size() != dims.volume())
+    throw std::invalid_argument("lorenzo_compress: size/dims mismatch");
+  if (eb <= 0) throw std::invalid_argument("lorenzo_compress: eb must be > 0");
+
+  const auto d = prequantize(data, eb);
+  LorenzoOutput out;
+  out.codes.resize(data.size());
+  // q values that escape the radius; gathered after the parallel pass.
+  std::vector<float> escaped(data.size(), 0.0f);
+
+  const auto nx = dims.x, ny = dims.y;
+  dev::launch_linear(
+      dims.z,
+      [&](std::size_t z) {
+        for (std::size_t y = 0; y < ny; ++y) {
+          const std::size_t row = dev::linearize(dims, 0, y, z);
+          for (std::size_t x = 0; x < nx; ++x) {
+            const std::size_t i = row + x;
+            // 3D Lorenzo stencil on the lattice integers (terms vanish at
+            // the low boundaries, which also yields the 1D/2D stencils).
+            auto at = [&](std::size_t dx, std::size_t dy,
+                          std::size_t dz) -> std::int64_t {
+              if (x < dx || y < dy || z < dz) return 0;
+              return d[i - dx - dy * nx - dz * nx * ny];
+            };
+            const std::int64_t pred = at(1, 0, 0) + at(0, 1, 0) + at(0, 0, 1) -
+                                      at(1, 1, 0) - at(1, 0, 1) - at(0, 1, 1) +
+                                      at(1, 1, 1);
+            const std::int64_t q = d[i] - pred;
+            if (q <= -radius || q >= radius) {
+              out.codes[i] = quant::kOutlierMarker;
+              escaped[i] = static_cast<float>(q);
+            } else {
+              out.codes[i] = static_cast<quant::Code>(q + radius);
+            }
+          }
+        }
+      },
+      1);
+
+  out.outliers = quant::OutlierSet::gather(out.codes, escaped);
+  return out;
+}
+
+std::vector<float> lorenzo_decompress(std::span<const quant::Code> codes,
+                                      const quant::OutlierSet& outliers,
+                                      const dev::Dim3& dims, double eb,
+                                      int radius) {
+  if (codes.size() != dims.volume())
+    throw std::invalid_argument("lorenzo_decompress: size/dims mismatch");
+
+  // Rebuild the q field (outlier q's were stored exactly as floats).
+  std::vector<std::int64_t> q(codes.size());
+  dev::launch_linear(
+      codes.size(),
+      [&](std::size_t i) {
+        q[i] = codes[i] == quant::kOutlierMarker
+                   ? 0
+                   : static_cast<std::int64_t>(codes[i]) - radius;
+      },
+      1 << 14);
+  dev::launch_linear(
+      outliers.count(),
+      [&](std::size_t k) {
+        q[outliers.indices[k]] =
+            static_cast<std::int64_t>(std::llround(outliers.values[k]));
+      },
+      1 << 12);
+
+  // Invert the Lorenzo stencil: inclusive prefix sums along x, y, z. Each
+  // pass is parallel across the other two dimensions (cuSZ's partial-sum
+  // decompression kernels).
+  const auto nx = dims.x, ny = dims.y, nz = dims.z;
+  dev::launch_linear(
+      ny * nz,
+      [&](std::size_t yz) {
+        std::int64_t* row = q.data() + yz * nx;
+        for (std::size_t x = 1; x < nx; ++x) row[x] += row[x - 1];
+      },
+      4);
+  if (ny > 1)
+    dev::launch_linear(
+        nz,
+        [&](std::size_t z) {
+          std::int64_t* plane = q.data() + z * nx * ny;
+          for (std::size_t y = 1; y < ny; ++y)
+            for (std::size_t x = 0; x < nx; ++x)
+              plane[y * nx + x] += plane[(y - 1) * nx + x];
+        },
+        1);
+  if (nz > 1)
+    dev::launch_linear(
+        ny,
+        [&](std::size_t y) {
+          for (std::size_t z = 1; z < nz; ++z) {
+            std::int64_t* cur = q.data() + (z * ny + y) * nx;
+            const std::int64_t* prev = q.data() + ((z - 1) * ny + y) * nx;
+            for (std::size_t x = 0; x < nx; ++x) cur[x] += prev[x];
+          }
+        },
+        1);
+
+  std::vector<float> out(codes.size());
+  const double twice_eb = 2.0 * eb;
+  dev::launch_linear(
+      out.size(),
+      [&](std::size_t i) {
+        out[i] = static_cast<float>(twice_eb * static_cast<double>(q[i]));
+      },
+      1 << 14);
+  return out;
+}
+
+}  // namespace szi::predictor

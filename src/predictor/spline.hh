@@ -1,0 +1,77 @@
+// 1D interpolation splines of §V-B.1, evaluated on the (up to) four
+// symmetric neighbors x_{n-3s}, x_{n-s}, x_{n+s}, x_{n+3s}.
+//
+// The four circumstances of Fig. 3:
+//   4 neighbors  -> cubic (not-a-knot or natural, selected by auto-tuning)
+//   3 neighbors  -> quadratic (left- or right-leaning form)
+//   2 neighbors  -> linear
+//   1 neighbor   -> nearest-neighbor copy
+//
+// Note: the paper prints the right-leaning quadratic as
+// -3/8 b + 6/8 c - 1/8 d, whose weights sum to 1/4 — a typo. We use the SZ3
+// form +3/8 b + 6/8 c - 1/8 d (weights sum to 1), which the paper cites as
+// its derivation source [4].
+//
+// Everything is templated on the value type (f32/f64 pipelines share the
+// formulas).
+#pragma once
+
+namespace szi::predictor {
+
+/// Which 4-point cubic to use when all four neighbors are available. Both are
+/// kept because "each can outperform the others on different datasets"
+/// (§V-B.1); the auto-tuner picks per dimension.
+enum class CubicKind { NotAKnot, Natural };
+
+/// Cubic, not-a-knot boundary: -1/16 a + 9/16 b + 9/16 c - 1/16 d.
+template <typename T>
+[[nodiscard]] constexpr T cubic_nak(T a, T b, T c, T d) {
+  return (-a + T{9} * b + T{9} * c - d) * (T{1} / T{16});
+}
+
+/// Cubic, natural boundary: -3/40 a + 23/40 b + 23/40 c - 3/40 d.
+template <typename T>
+[[nodiscard]] constexpr T cubic_natural(T a, T b, T c, T d) {
+  return (T{-3} * a + T{23} * b + T{23} * c - T{3} * d) * (T{1} / T{40});
+}
+
+/// Quadratic using {x_{n-3s}, x_{n-s}, x_{n+s}}: -1/8 a + 6/8 b + 3/8 c.
+template <typename T>
+[[nodiscard]] constexpr T quad_left(T a, T b, T c) {
+  return (-a + T{6} * b + T{3} * c) * (T{1} / T{8});
+}
+
+/// Quadratic using {x_{n-s}, x_{n+s}, x_{n+3s}}: 3/8 b + 6/8 c - 1/8 d.
+template <typename T>
+[[nodiscard]] constexpr T quad_right(T b, T c, T d) {
+  return (T{3} * b + T{6} * c - d) * (T{1} / T{8});
+}
+
+/// Linear: (x_{n-s} + x_{n+s}) / 2.
+template <typename T>
+[[nodiscard]] constexpr T linear(T b, T c) {
+  return (b + c) / T{2};
+}
+
+/// Availability-dispatched prediction for one target. ha..hd flag whether
+/// each neighbor exists (inside the tile and the array); a..d are its values
+/// (ignored when the flag is false).
+template <typename T>
+[[nodiscard]] constexpr T spline_predict(bool ha, T a, bool hb, T b, bool hc,
+                                         T c, bool hd, T d, CubicKind kind) {
+  if (hb && hc) {
+    if (ha && hd)
+      return kind == CubicKind::NotAKnot ? cubic_nak(a, b, c, d)
+                                         : cubic_natural(a, b, c, d);
+    if (ha) return quad_left(a, b, c);
+    if (hd) return quad_right(b, c, d);
+    return linear(b, c);
+  }
+  if (hb) return b;  // one-sided: nearest known neighbor
+  if (hc) return c;
+  if (ha) return a;
+  if (hd) return d;
+  return T{0};  // isolated point (degenerate grids); predict zero
+}
+
+}  // namespace szi::predictor

@@ -1,0 +1,73 @@
+#include "quant/outlier.hh"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "device/compaction.hh"
+#include "device/launch.hh"
+
+namespace szi::quant {
+
+template <typename T>
+void OutlierSetT<T>::scatter(std::span<T> out) const {
+  dev::launch_linear(
+      indices.size(),
+      [&](std::size_t i) { out[indices[i]] = values[i]; }, 1 << 12);
+}
+
+template <typename T>
+OutlierSetT<T> OutlierSetT<T>::gather(std::span<const Code> codes,
+                                      std::span<const T> originals) {
+  OutlierSetT set;
+  // Two-phase: count to size the arrays, then order-preserving scatter.
+  const std::size_t total = dev::compact_indices(
+      codes.size(), [&](std::size_t i) { return codes[i] == kOutlierMarker; },
+      [](std::size_t, std::size_t) {});
+  set.indices.resize(total);
+  set.values.resize(total);
+  dev::compact_indices(
+      codes.size(), [&](std::size_t i) { return codes[i] == kOutlierMarker; },
+      [&](std::size_t i, std::size_t slot) {
+        set.indices[slot] = i;
+        set.values[slot] = originals[i];
+      });
+  return set;
+}
+
+template <typename T>
+std::vector<std::byte> OutlierSetT<T>::serialize() const {
+  const std::uint64_t n = indices.size();
+  std::vector<std::byte> out(sizeof(n) + n * (sizeof(std::uint64_t) + sizeof(T)));
+  std::byte* p = out.data();
+  std::memcpy(p, &n, sizeof(n));
+  p += sizeof(n);
+  std::memcpy(p, indices.data(), n * sizeof(std::uint64_t));
+  p += n * sizeof(std::uint64_t);
+  std::memcpy(p, values.data(), n * sizeof(T));
+  return out;
+}
+
+template <typename T>
+OutlierSetT<T> OutlierSetT<T>::deserialize(std::span<const std::byte> bytes,
+                                           std::size_t* consumed) {
+  if (bytes.size() < sizeof(std::uint64_t))
+    throw std::runtime_error("outlier stream truncated");
+  std::uint64_t n = 0;
+  std::memcpy(&n, bytes.data(), sizeof(n));
+  const std::size_t need = sizeof(n) + n * (sizeof(std::uint64_t) + sizeof(T));
+  if (bytes.size() < need) throw std::runtime_error("outlier stream truncated");
+  OutlierSetT set;
+  set.indices.resize(n);
+  set.values.resize(n);
+  const std::byte* p = bytes.data() + sizeof(n);
+  std::memcpy(set.indices.data(), p, n * sizeof(std::uint64_t));
+  p += n * sizeof(std::uint64_t);
+  std::memcpy(set.values.data(), p, n * sizeof(T));
+  if (consumed) *consumed = need;
+  return set;
+}
+
+template struct OutlierSetT<float>;
+template struct OutlierSetT<double>;
+
+}  // namespace szi::quant

@@ -1,0 +1,51 @@
+// Sparse outlier store: (index, original value) pairs gathered with stream
+// compaction during compression and scattered back before decompression —
+// §VI-A's "gather them as outliers and losslessly store them ... using the
+// stream compaction technique". Templated on the value type (f32/f64).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "quant/quantizer.hh"
+
+namespace szi::quant {
+
+template <typename T>
+struct OutlierSetT {
+  std::vector<std::uint64_t> indices;
+  std::vector<T> values;
+
+  [[nodiscard]] std::size_t count() const { return indices.size(); }
+  [[nodiscard]] std::size_t byte_size() const {
+    return indices.size() * (sizeof(std::uint64_t) + sizeof(T));
+  }
+
+  void add(std::uint64_t index, T value) {
+    indices.push_back(index);
+    values.push_back(value);
+  }
+
+  /// Writes each stored original into out[index].
+  void scatter(std::span<T> out) const;
+
+  /// Order-preserving parallel gather of every marker-coded position.
+  /// `originals[i]` supplies the value for position i.
+  static OutlierSetT gather(std::span<const Code> codes,
+                            std::span<const T> originals);
+
+  /// Flat serialization: count | indices | values.
+  [[nodiscard]] std::vector<std::byte> serialize() const;
+  static OutlierSetT deserialize(std::span<const std::byte> bytes,
+                                 std::size_t* consumed);
+};
+
+extern template struct OutlierSetT<float>;
+extern template struct OutlierSetT<double>;
+
+/// The f32 store used by the float pipelines.
+using OutlierSet = OutlierSetT<float>;
+
+}  // namespace szi::quant

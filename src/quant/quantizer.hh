@@ -1,0 +1,82 @@
+// Two-sided uniform error quantization — the "error quantization" stage of
+// the cuSZ / cuSZ-i pipelines (§III-A, §IV).
+//
+// A prediction error is mapped to an integer quant-code q = round(err/2eb);
+// the reconstruction pred + 2eb*q is within eb of the original. Codes with
+// |q| >= radius are "outliers" (§VI-A): the original value is stored
+// losslessly on the side and the stored code becomes the reserved marker 0.
+// Non-outlier codes are stored biased by +radius, so the code stream is
+// unsigned and centered at `radius` — the centralization §VI-A exploits.
+//
+// All reconstruction arithmetic runs in double and is truncated to the
+// value type T (float or double), mirroring the precision behaviour of the
+// GPU kernels.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace szi::quant {
+
+using Code = std::uint16_t;
+
+/// Reserved stored-code announcing "reconstruction comes from the outlier
+/// store, not from prediction".
+inline constexpr Code kOutlierMarker = 0;
+
+/// Default quantization radius (cuSZ's dictionary size 1024 / 2).
+inline constexpr int kDefaultRadius = 512;
+
+class Quantizer {
+ public:
+  /// `eb` is the absolute error bound for this stage (G-Interp passes a
+  /// per-level bound here); `radius` bounds representable codes.
+  Quantizer(double eb, int radius = kDefaultRadius)
+      : eb_(eb), twice_eb_(2.0 * eb), inv_twice_eb_(1.0 / (2.0 * eb)),
+        radius_(radius) {}
+
+  [[nodiscard]] double eb() const { return eb_; }
+  [[nodiscard]] int radius() const { return radius_; }
+
+  template <typename T>
+  struct Result {
+    Code stored;       ///< biased code, or kOutlierMarker
+    T recon;           ///< value the decompressor will reproduce
+    bool is_outlier;
+  };
+
+  /// Quantizes one prediction. On outlier, recon is the exact original (the
+  /// decompressor scatters it from the outlier store before prediction).
+  template <typename T>
+  [[nodiscard]] Result<T> quantize(T original, T predicted) const {
+    const double err = static_cast<double>(original) - predicted;
+    const auto q = static_cast<long>(std::lround(err * inv_twice_eb_));
+    if (q <= -radius_ || q >= radius_)
+      return {kOutlierMarker, original, true};
+    const auto recon = static_cast<T>(
+        static_cast<double>(predicted) + twice_eb_ * static_cast<double>(q));
+    // Rounding of the reconstruction to T can nudge the error past eb for
+    // huge magnitudes; fall back to outlier in that rare case.
+    if (std::abs(static_cast<double>(original) - recon) > eb_)
+      return {kOutlierMarker, original, true};
+    return {static_cast<Code>(q + radius_), recon, false};
+  }
+
+  /// Inverse mapping. `scattered` is the working-buffer value at this
+  /// position (holds the exact original when `stored` is the marker).
+  template <typename T>
+  [[nodiscard]] T dequantize(Code stored, T predicted, T scattered) const {
+    if (stored == kOutlierMarker) return scattered;
+    const long q = static_cast<long>(stored) - radius_;
+    return static_cast<T>(static_cast<double>(predicted) +
+                          twice_eb_ * static_cast<double>(q));
+  }
+
+ private:
+  double eb_;
+  double twice_eb_;
+  double inv_twice_eb_;
+  int radius_;
+};
+
+}  // namespace szi::quant

@@ -1,0 +1,40 @@
+// Distributed lossy data transmission model (§VII-C.5): a source machine
+// compresses, ships the archive over a bandwidth-limited channel (Globus
+// between ALCF Theta and Purdue Anvil ran at ~1 GB/s in the paper), and the
+// destination decompresses. Local disk I/O is excluded, exactly as in the
+// paper: T = t_compress + bytes/bandwidth + t_decompress.
+#pragma once
+
+#include <cstddef>
+
+namespace szi::transfer {
+
+/// Paper's measured inter-site bandwidth.
+inline constexpr double kGlobusBandwidth = 1.0e9;  // bytes/second
+
+struct TransferCost {
+  double compress_seconds = 0;
+  double wire_seconds = 0;
+  double decompress_seconds = 0;
+
+  [[nodiscard]] double total() const {
+    return compress_seconds + wire_seconds + decompress_seconds;
+  }
+};
+
+/// Cost of moving `compressed_bytes` given the measured codec times.
+[[nodiscard]] constexpr TransferCost transfer_cost(
+    double compress_seconds, std::size_t compressed_bytes,
+    double decompress_seconds, double bandwidth = kGlobusBandwidth) {
+  return {compress_seconds,
+          static_cast<double>(compressed_bytes) / bandwidth,
+          decompress_seconds};
+}
+
+/// Cost of moving the data uncompressed (the no-compression reference).
+[[nodiscard]] constexpr TransferCost raw_transfer_cost(
+    std::size_t raw_bytes, double bandwidth = kGlobusBandwidth) {
+  return {0.0, static_cast<double>(raw_bytes) / bandwidth, 0.0};
+}
+
+}  // namespace szi::transfer

@@ -1,0 +1,148 @@
+// Unit tests for the spline formulas (§V-B.1), the geometry table (§V-A),
+// Eq. (1)'s α(ε) (§V-C), the level-eb schedule (§V-B.2), the transfer-cost
+// model, and the byte serializer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bytes.hh"
+#include "predictor/interp_config.hh"
+#include "predictor/spline.hh"
+#include "transfer/globus_model.hh"
+
+namespace {
+
+using namespace szi::predictor;
+
+TEST(Splines, WeightsSumToOne) {
+  // Any consistent interpolator reproduces constants exactly.
+  const float c = 7.25f;
+  EXPECT_FLOAT_EQ(cubic_nak(c, c, c, c), c);
+  EXPECT_FLOAT_EQ(cubic_natural(c, c, c, c), c);
+  EXPECT_FLOAT_EQ(quad_left(c, c, c), c);
+  EXPECT_FLOAT_EQ(quad_right(c, c, c), c);
+  EXPECT_FLOAT_EQ(linear(c, c), c);
+}
+
+TEST(Splines, ExactOnLinearRamps) {
+  // Samples at t = -3, -1, +1, +3 of f(t) = 2t + 5; predict f(0) = 5.
+  auto f = [](double t) { return static_cast<float>(2 * t + 5); };
+  EXPECT_FLOAT_EQ(cubic_nak(f(-3), f(-1), f(1), f(3)), 5.0f);
+  EXPECT_FLOAT_EQ(cubic_natural(f(-3), f(-1), f(1), f(3)), 5.0f);
+  EXPECT_FLOAT_EQ(quad_left(f(-3), f(-1), f(1)), 5.0f);
+  EXPECT_FLOAT_EQ(quad_right(f(-1), f(1), f(3)), 5.0f);
+  EXPECT_FLOAT_EQ(linear(f(-1), f(1)), 5.0f);
+}
+
+TEST(Splines, NotAKnotExactOnQuadratics) {
+  // f(t) = t^2: f(0) = 0; nak: (-9 + 9 + 9 - 9)/16 = 0.
+  auto f = [](double t) { return static_cast<float>(t * t); };
+  EXPECT_NEAR(cubic_nak(f(-3), f(-1), f(1), f(3)), 0.0f, 1e-6);
+  EXPECT_NEAR(quad_left(f(-3), f(-1), f(1)), 0.0f, 1e-6);
+  EXPECT_NEAR(quad_right(f(-1), f(1), f(3)), 0.0f, 1e-6);
+}
+
+TEST(Splines, DispatchFollowsAvailability) {
+  const float a = 1, b = 2, c = 4, d = 8;
+  EXPECT_FLOAT_EQ(
+      spline_predict(true, a, true, b, true, c, true, d, CubicKind::NotAKnot),
+      cubic_nak(a, b, c, d));
+  EXPECT_FLOAT_EQ(
+      spline_predict(true, a, true, b, true, c, true, d, CubicKind::Natural),
+      cubic_natural(a, b, c, d));
+  EXPECT_FLOAT_EQ(spline_predict(true, a, true, b, true, c, false, 0.0f,
+                                 CubicKind::NotAKnot),
+                  quad_left(a, b, c));
+  EXPECT_FLOAT_EQ(spline_predict(false, 0.0f, true, b, true, c, true, d,
+                                 CubicKind::NotAKnot),
+                  quad_right(b, c, d));
+  EXPECT_FLOAT_EQ(spline_predict(false, 0.0f, true, b, true, c, false, 0.0f,
+                                 CubicKind::NotAKnot),
+                  linear(b, c));
+  EXPECT_FLOAT_EQ(spline_predict(false, 0.0f, true, b, false, 0.0f, false,
+                                 0.0f, CubicKind::NotAKnot),
+                  b);
+  EXPECT_FLOAT_EQ(spline_predict(false, 0.0f, false, 0.0f, true, c, false,
+                                 0.0f, CubicKind::NotAKnot),
+                  c);
+  EXPECT_FLOAT_EQ(spline_predict(false, 0, false, 0, false, 0, false, 0,
+                                 CubicKind::NotAKnot),
+                  0.0f);
+}
+
+TEST(Geometry, MatchesPaperPerRank) {
+  const auto g3 = geometry_for({96, 96, 96});
+  EXPECT_EQ(g3.tile, (szi::dev::Dim3{32, 8, 8}));
+  EXPECT_EQ(g3.anchor, (szi::dev::Dim3{8, 8, 8}));
+  EXPECT_EQ(g3.top_stride, 4u);
+  const auto g2 = geometry_for({128, 128, 1});
+  EXPECT_EQ(g2.tile, (szi::dev::Dim3{16, 16, 1}));
+  EXPECT_EQ(g2.top_stride, 8u);
+  const auto g1 = geometry_for({4096, 1, 1});
+  EXPECT_EQ(g1.tile, (szi::dev::Dim3{512, 1, 1}));
+  EXPECT_EQ(g1.top_stride, 256u);
+}
+
+TEST(Eq1, AlphaPiecewiseLinear) {
+  // Exact values at the segment boundaries of Eq. (1).
+  EXPECT_DOUBLE_EQ(alpha_of_epsilon(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(alpha_of_epsilon(1e-1), 2.0);
+  EXPECT_DOUBLE_EQ(alpha_of_epsilon(1e-2), 1.75);
+  EXPECT_DOUBLE_EQ(alpha_of_epsilon(1e-3), 1.5);
+  EXPECT_DOUBLE_EQ(alpha_of_epsilon(1e-4), 1.25);
+  EXPECT_DOUBLE_EQ(alpha_of_epsilon(1e-5), 1.0);
+  EXPECT_DOUBLE_EQ(alpha_of_epsilon(1e-7), 1.0);
+  // Midpoint of the [1e-3, 1e-2) segment.
+  EXPECT_NEAR(alpha_of_epsilon(5.5e-3), 1.5 + 0.25 * 0.5, 1e-12);
+  // Monotone non-decreasing in ε.
+  double prev = 0;
+  for (double e = 1e-8; e < 1.0; e *= 1.3) {
+    const double a = alpha_of_epsilon(e);
+    EXPECT_GE(a, prev);
+    prev = a;
+  }
+}
+
+TEST(LevelEb, ScheduleMatchesPaper) {
+  EXPECT_EQ(level_of_stride(1), 1);
+  EXPECT_EQ(level_of_stride(2), 2);
+  EXPECT_EQ(level_of_stride(4), 3);
+  EXPECT_EQ(level_of_stride(256), 9);
+  // e_l = e / alpha^(l-1): stride-1 gets the full bound.
+  EXPECT_DOUBLE_EQ(level_eb(1e-3, 2.0, 1), 1e-3);
+  EXPECT_DOUBLE_EQ(level_eb(1e-3, 2.0, 3), 1e-3 / 4.0);
+  EXPECT_DOUBLE_EQ(level_eb(1e-3, 1.0, 5), 1e-3);
+}
+
+TEST(Transfer, CostModel) {
+  // 2 GB at 1 GB/s plus 0.5 s codec time each way.
+  const auto c = szi::transfer::transfer_cost(0.5, 2'000'000'000ull, 0.5);
+  EXPECT_DOUBLE_EQ(c.wire_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(c.total(), 3.0);
+  const auto raw = szi::transfer::raw_transfer_cost(1'000'000'000ull);
+  EXPECT_DOUBLE_EQ(raw.total(), 1.0);
+}
+
+TEST(Bytes, RoundTripAndTruncation) {
+  szi::core::ByteWriter w;
+  w.put(std::uint32_t{0xDEADBEEF});
+  w.put(3.5);
+  w.put_vector(std::vector<float>{1.0f, 2.0f});
+  std::vector<std::byte> blob{std::byte{9}, std::byte{8}};
+  w.put_blob(blob);
+  const auto bytes = w.take();
+
+  szi::core::ByteReader r(bytes);
+  EXPECT_EQ(r.get<std::uint32_t>(), 0xDEADBEEFu);
+  EXPECT_DOUBLE_EQ(r.get<double>(), 3.5);
+  EXPECT_EQ(r.get_vector<float>(), (std::vector<float>{1.0f, 2.0f}));
+  const auto back = r.get_blob();
+  EXPECT_EQ(back.size(), 2u);
+  EXPECT_EQ(r.remaining(), 0u);
+
+  szi::core::ByteReader trunc(std::span<const std::byte>(bytes).first(6));
+  (void)trunc.get<std::uint32_t>();
+  EXPECT_THROW((void)trunc.get<double>(), std::runtime_error);
+}
+
+}  // namespace

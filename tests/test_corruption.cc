@@ -1,0 +1,86 @@
+// Robustness fuzzing: corrupted or truncated archives must never crash or
+// read out of bounds — every decompressor either throws a std::exception or
+// returns (possibly wrong) data. Run under the default sanitizer-free build
+// this asserts control-flow robustness; the byte readers bound every access.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "baselines/registry.hh"
+#include "datagen/datasets.hh"
+#include "datagen/rng.hh"
+
+namespace {
+
+using szi::baselines::make_compressor;
+
+const szi::Field& test_field() {
+  static const auto fields =
+      szi::datagen::make_dataset("miranda", szi::datagen::Size::Small);
+  return fields.front();
+}
+
+class CorruptionFuzz : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CorruptionFuzz, TruncationsNeverCrash) {
+  auto c = make_compressor(GetParam());
+  const auto p = GetParam() == "cuzfp"
+                     ? szi::CompressParams{szi::ErrorMode::FixedRate, 4.0}
+                     : szi::CompressParams{szi::ErrorMode::Rel, 1e-3};
+  const auto enc = c->compress(test_field(), p);
+  for (const double frac : {0.0, 0.1, 0.5, 0.9, 0.999}) {
+    auto cut = enc.bytes;
+    cut.resize(static_cast<std::size_t>(static_cast<double>(cut.size()) * frac));
+    try {
+      const auto out = c->decompress(cut);
+      (void)out;  // silently-wrong output is acceptable; crashing is not
+    } catch (const std::exception&) {
+      // expected for most truncations
+    }
+  }
+}
+
+TEST_P(CorruptionFuzz, BitFlipsNeverCrash) {
+  auto c = make_compressor(GetParam());
+  const auto p = GetParam() == "cuzfp"
+                     ? szi::CompressParams{szi::ErrorMode::FixedRate, 4.0}
+                     : szi::CompressParams{szi::ErrorMode::Rel, 1e-3};
+  const auto enc = c->compress(test_field(), p);
+  szi::datagen::Rng rng(0xC0FFEE);
+  for (int trial = 0; trial < 24; ++trial) {
+    auto bad = enc.bytes;
+    // Flip a burst of 1-8 random bits (headers and payload alike).
+    const int flips = 1 + static_cast<int>(rng.next_u64() % 8);
+    for (int k = 0; k < flips; ++k) {
+      const auto pos = static_cast<std::size_t>(rng.next_u64() % bad.size());
+      bad[pos] ^= static_cast<std::byte>(1u << (rng.next_u64() % 8));
+    }
+    try {
+      const auto out = c->decompress(bad);
+      (void)out;
+    } catch (const std::exception&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCompressors, CorruptionFuzz,
+                         ::testing::Values("cusz-i", "cusz", "cuszp", "cuszx",
+                                           "fz-gpu", "cuzfp", "sz3", "qoz"));
+
+TEST(CorruptionFuzz, WrappedArchivesToo) {
+  auto c = szi::with_bitcomp(make_compressor("cusz-i"));
+  const auto enc =
+      c->compress(test_field(), {szi::ErrorMode::Rel, 1e-3});
+  szi::datagen::Rng rng(0xF00D);
+  for (int trial = 0; trial < 16; ++trial) {
+    auto bad = enc.bytes;
+    const auto pos = static_cast<std::size_t>(rng.next_u64() % bad.size());
+    bad[pos] ^= static_cast<std::byte>(0xFF);
+    try {
+      (void)c->decompress(bad);
+    } catch (const std::exception&) {
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,135 @@
+// CPU global-interpolation predictor tests (the SZ3/QoZ reference of
+// baselines/cpu_interp.*): bound sweeps, anchor handling, parameter
+// validation, and the SZ3-vs-QoZ behavioural contrasts the paper leans on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "baselines/cpu_interp.hh"
+#include "datagen/rng.hh"
+#include "metrics/stats.hh"
+#include "predictor/autotune.hh"
+
+namespace {
+
+using szi::baselines::cpu_interp_compress;
+using szi::baselines::cpu_interp_decompress;
+using szi::baselines::CpuInterpParams;
+using szi::baselines::pow2_at_least;
+using szi::dev::Dim3;
+
+std::vector<float> wavy(const Dim3& dims, std::uint64_t seed) {
+  szi::datagen::Rng rng(seed);
+  const double f = rng.uniform(0.03, 0.15);
+  std::vector<float> v(dims.volume());
+  for (std::size_t z = 0; z < dims.z; ++z)
+    for (std::size_t y = 0; y < dims.y; ++y)
+      for (std::size_t x = 0; x < dims.x; ++x)
+        v[szi::dev::linearize(dims, x, y, z)] = static_cast<float>(
+            std::sin(f * x) * std::cos(1.3 * f * y) + 0.5 * std::sin(0.7 * f * z));
+  return v;
+}
+
+CpuInterpParams sz3_params(const Dim3& dims) {
+  CpuInterpParams p;
+  p.anchor_stride = pow2_at_least(std::max({dims.x, dims.y, dims.z}));
+  p.alpha = 1.0;
+  return p;
+}
+
+TEST(Pow2AtLeast, Values) {
+  EXPECT_EQ(pow2_at_least(1), 1u);
+  EXPECT_EQ(pow2_at_least(2), 2u);
+  EXPECT_EQ(pow2_at_least(3), 4u);
+  EXPECT_EQ(pow2_at_least(96), 128u);
+  EXPECT_EQ(pow2_at_least(129), 256u);
+}
+
+TEST(CpuInterp, RoundTripSz3Style) {
+  const Dim3 dims{50, 40, 30};
+  const auto data = wavy(dims, 1);
+  const double eb = 1e-3;
+  const auto p = sz3_params(dims);
+  const auto enc = cpu_interp_compress(data, dims, eb, p);
+  // SZ3 stores essentially one anchor (the origin).
+  EXPECT_EQ(enc.anchors.size(), 1u);
+  const auto dec =
+      cpu_interp_decompress(enc.codes, enc.anchors, enc.outliers, dims, eb, p);
+  EXPECT_TRUE(szi::metrics::error_bounded(data, dec, eb));
+}
+
+TEST(CpuInterp, RoundTripQozStyleWithDenseAnchors) {
+  const Dim3 dims{70, 50, 40};
+  const auto data = wavy(dims, 2);
+  const double eb = 1e-4;
+  CpuInterpParams p;
+  p.anchor_stride = 64;
+  p.alpha = 1.5;
+  const auto prof = szi::predictor::autotune(data, dims, eb);
+  p.config = prof.config;
+  const auto enc = cpu_interp_compress(data, dims, eb, p);
+  EXPECT_GT(enc.anchors.size(), 1u);
+  const auto dec =
+      cpu_interp_decompress(enc.codes, enc.anchors, enc.outliers, dims, eb, p);
+  EXPECT_TRUE(szi::metrics::error_bounded(data, dec, eb));
+}
+
+TEST(CpuInterp, LevelwiseEbImprovesPsnrAtSameBound) {
+  // §V-B.2 via the CPU path: alpha > 1 must raise PSNR versus alpha = 1.
+  const Dim3 dims{64, 64, 32};
+  const auto data = wavy(dims, 3);
+  const double eb = 1e-2 * szi::metrics::value_range(data);
+  CpuInterpParams flat;
+  flat.anchor_stride = 64;
+  flat.alpha = 1.0;
+  CpuInterpParams tuned = flat;
+  tuned.alpha = 1.75;
+  auto psnr_of = [&](const CpuInterpParams& p) {
+    const auto enc = cpu_interp_compress(data, dims, eb, p);
+    const auto dec = cpu_interp_decompress(enc.codes, enc.anchors,
+                                           enc.outliers, dims, eb, p);
+    return szi::metrics::distortion(data, dec).psnr;
+  };
+  EXPECT_GT(psnr_of(tuned), psnr_of(flat) + 1.0);
+}
+
+TEST(CpuInterp, RejectsBadParams) {
+  const Dim3 dims{16, 16, 16};
+  std::vector<float> data(dims.volume());
+  CpuInterpParams p = sz3_params(dims);
+  EXPECT_THROW(
+      (void)cpu_interp_compress(std::span<const float>(data.data(), 7), dims,
+                                1e-3, p),
+      std::invalid_argument);
+  EXPECT_THROW((void)cpu_interp_compress(data, dims, 0.0, p),
+               std::invalid_argument);
+  p.anchor_stride = 48;  // not a power of two
+  EXPECT_THROW((void)cpu_interp_compress(data, dims, 1e-3, p),
+               std::invalid_argument);
+  p.anchor_stride = 1;
+  EXPECT_THROW((void)cpu_interp_compress(data, dims, 1e-3, p),
+               std::invalid_argument);
+}
+
+class CpuInterpSweep
+    : public ::testing::TestWithParam<std::tuple<Dim3, double>> {};
+
+TEST_P(CpuInterpSweep, ErrorBoundHolds) {
+  const auto& [dims, eb] = GetParam();
+  const auto data = wavy(dims, dims.volume());
+  const auto p = sz3_params(dims);
+  const auto enc = cpu_interp_compress(data, dims, eb, p);
+  const auto dec =
+      cpu_interp_decompress(enc.codes, enc.anchors, enc.outliers, dims, eb, p);
+  EXPECT_TRUE(szi::metrics::error_bounded(data, dec, eb));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndBounds, CpuInterpSweep,
+    ::testing::Combine(::testing::Values(Dim3{33, 17, 9}, Dim3{8, 8, 8},
+                                         Dim3{100, 3, 1}, Dim3{513, 1, 1},
+                                         Dim3{65, 65, 1}),
+                       ::testing::Values(1e-2, 1e-4)));
+
+}  // namespace

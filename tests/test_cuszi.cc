@@ -1,0 +1,132 @@
+// End-to-end cuSZ-i pipeline tests: round trips over real generator output,
+// error-bound modes, archive robustness, and the de-redundancy wrapper.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/cuszi.hh"
+#include "datagen/datasets.hh"
+#include "metrics/stats.hh"
+
+namespace {
+
+using szi::CompressParams;
+using szi::ErrorMode;
+
+szi::Field small_field(const std::string& dataset) {
+  auto fields = szi::datagen::make_dataset(dataset, szi::datagen::Size::Small);
+  auto f = std::move(fields.front());
+  return f;
+}
+
+TEST(Cuszi, RoundTripAbsMode) {
+  auto c = szi::make_cuszi();
+  const auto f = small_field("miranda");
+  const double eb = 1e-3;
+  const auto enc = c->compress(f, {ErrorMode::Abs, eb});
+  const auto dec = c->decompress(enc.bytes);
+  ASSERT_EQ(dec.size(), f.size());
+  EXPECT_TRUE(szi::metrics::error_bounded(f.data, dec, eb));
+}
+
+TEST(Cuszi, RoundTripRelMode) {
+  auto c = szi::make_cuszi();
+  const auto f = small_field("nyx");  // huge dynamic range
+  const double rel = 1e-3;
+  const auto range = szi::metrics::value_range(f.data);
+  const auto enc = c->compress(f, {ErrorMode::Rel, rel});
+  const auto dec = c->decompress(enc.bytes);
+  EXPECT_TRUE(szi::metrics::error_bounded(f.data, dec, rel * range));
+}
+
+TEST(Cuszi, CompressesSmoothDataWell) {
+  auto c = szi::make_cuszi();
+  const auto f = small_field("miranda");
+  const auto enc = c->compress(f, {ErrorMode::Rel, 1e-3});
+  const double cr = szi::metrics::compression_ratio(f.bytes(), enc.bytes.size());
+  EXPECT_GT(cr, 20.0) << "Miranda at 1e-3 should compress well";
+}
+
+TEST(Cuszi, RejectsFixedRate) {
+  auto c = szi::make_cuszi();
+  const auto f = small_field("qmcpack");
+  EXPECT_THROW((void)c->compress(f, {ErrorMode::FixedRate, 4.0}),
+               std::invalid_argument);
+}
+
+TEST(Cuszi, ThrowsOnCorruptArchive) {
+  auto c = szi::make_cuszi();
+  const auto f = small_field("rtm");
+  auto enc = c->compress(f, {ErrorMode::Rel, 1e-2});
+  enc.bytes[0] = std::byte{0xFF};  // break the magic
+  EXPECT_THROW((void)c->decompress(enc.bytes), std::runtime_error);
+  auto enc2 = c->compress(f, {ErrorMode::Rel, 1e-2});
+  enc2.bytes.resize(enc2.bytes.size() / 3);
+  EXPECT_THROW((void)c->decompress(enc2.bytes), std::runtime_error);
+}
+
+TEST(Cuszi, TimingsArePopulated) {
+  auto c = szi::make_cuszi();
+  const auto f = small_field("s3d");
+  const auto enc = c->compress(f, {ErrorMode::Rel, 1e-3});
+  EXPECT_GT(enc.timings.total, 0.0);
+  EXPECT_GT(enc.timings.predict, 0.0);
+  EXPECT_LE(enc.timings.kernel_time(), enc.timings.total);
+  double dec_s = -1;
+  (void)c->decompress(enc.bytes, &dec_s);
+  EXPECT_GT(dec_s, 0.0);
+}
+
+TEST(Cuszi, TopkAndBaselineHistogramsAgreeByteForByte) {
+  const auto f = small_field("jhtdb");
+  auto a = szi::make_cuszi(true)->compress(f, {ErrorMode::Rel, 1e-3});
+  auto b = szi::make_cuszi(false)->compress(f, {ErrorMode::Rel, 1e-3});
+  EXPECT_EQ(a.bytes, b.bytes);
+}
+
+TEST(CusziBitcomp, WrapperRoundTripsAndShrinks) {
+  auto plain = szi::make_cuszi();
+  auto wrapped = szi::with_bitcomp(szi::make_cuszi());
+  const auto f = small_field("s3d");  // mostly-zero CO field: best case
+  const CompressParams p{ErrorMode::Rel, 1e-2};
+  const auto a = plain->compress(f, p);
+  const auto b = wrapped->compress(f, p);
+  EXPECT_LT(b.bytes.size(), a.bytes.size());
+  const auto dec = wrapped->decompress(b.bytes);
+  const auto range = szi::metrics::value_range(f.data);
+  EXPECT_TRUE(szi::metrics::error_bounded(f.data, dec, 1e-2 * range));
+  EXPECT_EQ(wrapped->name(), "cuSZ-i w/ Bitcomp");
+}
+
+TEST(CusziBitcomp, WrapperRejectsPlainArchive) {
+  auto plain = szi::make_cuszi();
+  auto wrapped = szi::with_bitcomp(szi::make_cuszi());
+  const auto f = small_field("miranda");
+  const auto enc = plain->compress(f, {ErrorMode::Rel, 1e-3});
+  EXPECT_THROW((void)wrapped->decompress(enc.bytes), std::runtime_error);
+}
+
+// Every dataset x error bound must round-trip within bound — the paper's
+// TABLE III grid as a correctness property.
+class CusziDatasetSweep
+    : public ::testing::TestWithParam<std::tuple<std::string, double>> {};
+
+TEST_P(CusziDatasetSweep, ErrorBounded) {
+  const auto& [dataset, rel] = GetParam();
+  auto c = szi::make_cuszi();
+  for (const auto& f :
+       szi::datagen::make_dataset(dataset, szi::datagen::Size::Small)) {
+    const auto enc = c->compress(f, {ErrorMode::Rel, rel});
+    const auto dec = c->decompress(enc.bytes);
+    const auto range = szi::metrics::value_range(f.data);
+    EXPECT_TRUE(szi::metrics::error_bounded(f.data, dec, rel * range))
+        << f.label();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasets, CusziDatasetSweep,
+    ::testing::Combine(::testing::ValuesIn(szi::datagen::dataset_names()),
+                       ::testing::Values(1e-2, 1e-3, 1e-4)));
+
+}  // namespace

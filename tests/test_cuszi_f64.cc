@@ -1,0 +1,109 @@
+// Double-precision cuSZ-i pipeline tests: the typed API must honor error
+// bounds far below float precision, reject cross-precision decodes, and
+// share the archive format (precision byte aside) with the f32 path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/cuszi.hh"
+#include "datagen/rng.hh"
+#include "metrics/stats.hh"
+
+namespace {
+
+using szi::CompressParams;
+using szi::dev::Dim3;
+using szi::ErrorMode;
+
+std::vector<double> smooth_f64(const Dim3& dims, std::uint64_t seed) {
+  szi::datagen::Rng rng(seed);
+  const double fx = rng.uniform(0.02, 0.1), fy = rng.uniform(0.02, 0.1),
+               fz = rng.uniform(0.02, 0.1);
+  std::vector<double> v(dims.volume());
+  for (std::size_t z = 0; z < dims.z; ++z)
+    for (std::size_t y = 0; y < dims.y; ++y)
+      for (std::size_t x = 0; x < dims.x; ++x)
+        v[szi::dev::linearize(dims, x, y, z)] =
+            std::sin(fx * x) * std::cos(fy * y) + 0.4 * std::sin(fz * z);
+  return v;
+}
+
+TEST(CusziF64, RoundTripRelMode) {
+  const Dim3 dims{80, 64, 40};
+  const auto data = smooth_f64(dims, 1);
+  const double rel = 1e-4;
+  const auto bytes = szi::cuszi_compress(data, dims, {ErrorMode::Rel, rel});
+  const auto dec = szi::cuszi_decompress_f64(bytes);
+  ASSERT_EQ(dec.size(), data.size());
+  const double eb = rel * szi::metrics::value_range(data);
+  EXPECT_TRUE(szi::metrics::error_bounded(data, dec, eb));
+}
+
+TEST(CusziF64, HonorsBoundsBelowFloatPrecision) {
+  // eb 1e-9 on O(1) values is unrepresentable in f32 archives; the f64
+  // pipeline must deliver it.
+  const Dim3 dims{40, 32, 16};
+  const auto data = smooth_f64(dims, 2);
+  const double eb = 1e-9;
+  const auto bytes = szi::cuszi_compress(data, dims, {ErrorMode::Abs, eb});
+  const auto dec = szi::cuszi_decompress_f64(bytes);
+  EXPECT_TRUE(szi::metrics::error_bounded(data, dec, eb));
+  double max_err = 0;
+  for (std::size_t i = 0; i < data.size(); ++i)
+    max_err = std::max(max_err, std::abs(data[i] - dec[i]));
+  EXPECT_LE(max_err, eb * (1 + 1e-6) + 4e-16);
+}
+
+TEST(CusziF64, ArchiveDeclaresPrecision) {
+  const Dim3 dims{24, 24, 24};
+  const auto d64 = smooth_f64(dims, 3);
+  std::vector<float> d32(d64.begin(), d64.end());
+  const auto a64 = szi::cuszi_compress(d64, dims, {ErrorMode::Rel, 1e-3});
+  const auto a32 = szi::cuszi_compress(std::span<const float>(d32), dims,
+                                       {ErrorMode::Rel, 1e-3});
+  EXPECT_EQ(szi::cuszi_archive_precision(a64), szi::Precision::F64);
+  EXPECT_EQ(szi::cuszi_archive_precision(a32), szi::Precision::F32);
+}
+
+TEST(CusziF64, RejectsCrossPrecisionDecode) {
+  const Dim3 dims{24, 24, 24};
+  const auto d64 = smooth_f64(dims, 4);
+  std::vector<float> d32(d64.begin(), d64.end());
+  const auto a64 = szi::cuszi_compress(d64, dims, {ErrorMode::Rel, 1e-3});
+  const auto a32 = szi::cuszi_compress(std::span<const float>(d32), dims,
+                                       {ErrorMode::Rel, 1e-3});
+  EXPECT_THROW((void)szi::cuszi_decompress_f32(a64), std::runtime_error);
+  EXPECT_THROW((void)szi::cuszi_decompress_f64(a32), std::runtime_error);
+}
+
+TEST(CusziF64, CompressesSmoothDoubleDataWell) {
+  const Dim3 dims{96, 64, 48};
+  const auto data = smooth_f64(dims, 5);
+  const auto bytes = szi::cuszi_compress(data, dims, {ErrorMode::Rel, 1e-3});
+  const double cr = szi::metrics::compression_ratio(
+      data.size() * sizeof(double), bytes.size());
+  EXPECT_GT(cr, 40.0);  // f64 input doubles the numerator
+}
+
+TEST(CusziF64, ExtremeDynamicRange) {
+  const Dim3 dims{32, 32, 32};
+  auto data = smooth_f64(dims, 6);
+  for (auto& v : data) v = std::exp(12.0 * v);  // ~10 orders of magnitude
+  const double rel = 1e-5;
+  const auto bytes = szi::cuszi_compress(data, dims, {ErrorMode::Rel, rel});
+  const auto dec = szi::cuszi_decompress_f64(bytes);
+  EXPECT_TRUE(szi::metrics::error_bounded(
+      data, dec, rel * szi::metrics::value_range(data)));
+}
+
+TEST(CusziF64, TimingsPopulated) {
+  const Dim3 dims{32, 32, 32};
+  const auto data = smooth_f64(dims, 7);
+  szi::StageTimings t;
+  (void)szi::cuszi_compress(data, dims, {ErrorMode::Rel, 1e-3}, &t);
+  EXPECT_GT(t.total, 0.0);
+  EXPECT_GT(t.predict, 0.0);
+}
+
+}  // namespace

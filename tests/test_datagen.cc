@@ -1,0 +1,142 @@
+// Dataset generator tests: determinism (benches depend on bit-identical
+// inputs), physical-plausibility properties per dataset family, registry.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "datagen/datasets.hh"
+#include "datagen/rng.hh"
+#include "metrics/stats.hh"
+
+namespace {
+
+using namespace szi::datagen;
+
+TEST(Rng, DeterministicAndUniform) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+  EXPECT_NE(Rng(123).next_u64(), c.next_u64());
+  Rng r(7);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng r(9);
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = r.gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Datagen, DeterministicAcrossCalls) {
+  const auto a = miranda(Size::Small);
+  const auto b = miranda(Size::Small);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].data, b[i].data);
+}
+
+TEST(Datagen, RegistryCoversAllSixAndRejectsUnknown) {
+  EXPECT_EQ(dataset_names().size(), 6u);
+  for (const auto& name : dataset_names()) {
+    const auto fields = make_dataset(name, Size::Small);
+    ASSERT_FALSE(fields.empty()) << name;
+    for (const auto& f : fields) {
+      EXPECT_EQ(f.dataset, name);
+      EXPECT_EQ(f.data.size(), f.dims.volume());
+      EXPECT_GT(szi::metrics::value_range(f.data), 0.0) << f.label();
+      for (const float v : f.data) ASSERT_TRUE(std::isfinite(v));
+    }
+  }
+  EXPECT_THROW((void)make_dataset("hacc", Size::Small), std::invalid_argument);
+}
+
+TEST(Datagen, NyxDensityIsPositiveWithHugeDynamicRange) {
+  const auto fields = nyx(Size::Small);
+  const auto& rho = fields[0];
+  float lo = rho.data[0], hi = rho.data[0];
+  for (const float v : rho.data) {
+    ASSERT_GT(v, 0.0f);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_GT(hi / lo, 100.0f) << "log-normal density needs dynamic range";
+}
+
+TEST(Datagen, S3dSpeciesAreBoundedMassFractions) {
+  const auto fields = s3d(Size::Small);
+  for (const auto& f : fields) {
+    if (f.name != "CO" && f.name != "CH4") continue;
+    for (const float v : f.data) {
+      ASSERT_GE(v, 0.0f) << f.label();
+      ASSERT_LE(v, 1.0f) << f.label();
+    }
+  }
+}
+
+TEST(Datagen, RtmInitializationPhaseIsQuiet) {
+  // Before the first source fires, the wavefield is empty — the phase the
+  // paper excludes from Fig. 6.
+  const auto quiet = rtm_snapshot(10, Size::Small);
+  double energy = 0;
+  for (const float v : quiet.data) energy += std::abs(v);
+  EXPECT_EQ(energy, 0.0);
+  const auto active = rtm_snapshot(1500, Size::Small);
+  double active_energy = 0;
+  for (const float v : active.data) active_energy += std::abs(v);
+  EXPECT_GT(active_energy, 0.0);
+}
+
+TEST(Datagen, RtmSnapshotsEvolve) {
+  const auto a = rtm_snapshot(1000, Size::Small);
+  const auto b = rtm_snapshot(1400, Size::Small);
+  EXPECT_NE(a.data, b.data);
+  EXPECT_EQ(a.dims, b.dims);
+}
+
+TEST(Datagen, QmcpackStacksOrbitalsAlongZ) {
+  const auto fields = qmcpack(Size::Small);
+  const auto& f = fields.front();
+  EXPECT_EQ(f.dims.x, 69u);
+  EXPECT_EQ(f.dims.y, 69u);
+  EXPECT_EQ(f.dims.z % 115, 0u) << "z = orbitals * 115 planes";
+}
+
+TEST(Datagen, MirandaIsSmootherThanJhtdb) {
+  // The compressibility ordering the paper relies on: hydro interfaces are
+  // gentler than turbulence. Compare mean |x-derivative| relative to range.
+  auto roughness = [](const szi::Field& f) {
+    double acc = 0;
+    std::size_t cnt = 0;
+    for (std::size_t z = 0; z < f.dims.z; ++z)
+      for (std::size_t y = 0; y < f.dims.y; ++y)
+        for (std::size_t x = 1; x < f.dims.x; ++x, ++cnt)
+          acc += std::abs(f.at(x, y, z) - f.at(x - 1, y, z));
+    return acc / static_cast<double>(cnt) /
+           szi::metrics::value_range(f.data);
+  };
+  EXPECT_LT(roughness(miranda(Size::Small).front()),
+            roughness(jhtdb(Size::Small).front()));
+}
+
+TEST(Datagen, SizeFromEnvDefaultsSmall) {
+  // (SZI_LARGE is not set in the test environment.)
+  EXPECT_EQ(size_from_env(), Size::Small);
+}
+
+}  // namespace

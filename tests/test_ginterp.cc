@@ -1,0 +1,182 @@
+// G-Interp predictor round-trip and invariant tests (§V).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "datagen/rng.hh"
+#include "metrics/stats.hh"
+#include "predictor/anchor.hh"
+#include "predictor/autotune.hh"
+#include "predictor/ginterp.hh"
+#include "predictor/interp_config.hh"
+
+namespace {
+
+using szi::dev::Dim3;
+using szi::predictor::anchor_dims;
+using szi::predictor::autotune;
+using szi::predictor::geometry_for;
+using szi::predictor::ginterp_compress;
+using szi::predictor::ginterp_decompress;
+using szi::predictor::InterpConfig;
+
+std::vector<float> smooth_field(const Dim3& dims, std::uint64_t seed) {
+  szi::datagen::Rng rng(seed);
+  const double fx = rng.uniform(0.5, 2.0), fy = rng.uniform(0.5, 2.0),
+               fz = rng.uniform(0.5, 2.0);
+  std::vector<float> v(dims.volume());
+  for (std::size_t z = 0; z < dims.z; ++z)
+    for (std::size_t y = 0; y < dims.y; ++y)
+      for (std::size_t x = 0; x < dims.x; ++x)
+        v[szi::dev::linearize(dims, x, y, z)] = static_cast<float>(
+            std::sin(fx * x * 0.1) * std::cos(fy * y * 0.07) +
+            0.5 * std::sin(fz * z * 0.05));
+  return v;
+}
+
+std::vector<float> noisy_field(const Dim3& dims, std::uint64_t seed) {
+  szi::datagen::Rng rng(seed);
+  std::vector<float> v(dims.volume());
+  for (auto& x : v) x = static_cast<float>(rng.gaussian());
+  return v;
+}
+
+void roundtrip_expect_bounded(const std::vector<float>& data, const Dim3& dims,
+                              double eb) {
+  const auto prof = autotune(data, dims, eb);
+  const auto enc = ginterp_compress(data, dims, eb, prof.config);
+  const auto dec = ginterp_decompress(enc.codes, enc.anchors, enc.outliers,
+                                      dims, eb, prof.config);
+  ASSERT_EQ(dec.size(), data.size());
+  EXPECT_TRUE(szi::metrics::error_bounded(data, dec, eb))
+      << "max err " << szi::metrics::distortion(data, dec).max_err
+      << " bound " << eb;
+}
+
+TEST(GInterp, RoundTrip3DSmooth) {
+  const Dim3 dims{40, 33, 29};
+  roundtrip_expect_bounded(smooth_field(dims, 1), dims, 1e-3);
+}
+
+TEST(GInterp, RoundTrip3DNoisy) {
+  const Dim3 dims{37, 21, 18};
+  roundtrip_expect_bounded(noisy_field(dims, 2), dims, 1e-2);
+}
+
+TEST(GInterp, RoundTrip2D) {
+  const Dim3 dims{130, 77, 1};
+  roundtrip_expect_bounded(smooth_field(dims, 3), dims, 1e-4);
+}
+
+TEST(GInterp, RoundTrip1D) {
+  const Dim3 dims{3001, 1, 1};
+  roundtrip_expect_bounded(smooth_field(dims, 4), dims, 1e-3);
+}
+
+TEST(GInterp, ExactOnAnchors) {
+  const Dim3 dims{48, 24, 16};
+  const auto data = smooth_field(dims, 5);
+  const double eb = 1e-2;
+  const InterpConfig cfg;  // default config, no tuning needed for exactness
+  const auto enc = ginterp_compress(data, dims, eb, cfg);
+  const auto dec = ginterp_decompress(enc.codes, enc.anchors, enc.outliers,
+                                      dims, eb, cfg);
+  const auto geo = geometry_for(dims);
+  for (std::size_t z = 0; z < dims.z; z += geo.anchor.z)
+    for (std::size_t y = 0; y < dims.y; y += geo.anchor.y)
+      for (std::size_t x = 0; x < dims.x; x += geo.anchor.x) {
+        const auto i = szi::dev::linearize(dims, x, y, z);
+        EXPECT_EQ(data[i], dec[i]) << "anchor at " << x << "," << y << "," << z;
+      }
+}
+
+TEST(GInterp, AnchorCountRoughlyOneIn512) {
+  const Dim3 dims{256, 128, 64};
+  const auto ad = anchor_dims(dims, geometry_for(dims).anchor);
+  const double frac =
+      static_cast<double>(ad.volume()) / static_cast<double>(dims.volume());
+  // Exactly 1/512 for multiple-of-8 dims; slightly more with edge planes.
+  EXPECT_GE(frac, 1.0 / 512);
+  EXPECT_LT(frac, 1.35 / 512);
+}
+
+TEST(GInterp, PerfectPredictionOnLinearRamp) {
+  // A linear ramp is reproduced exactly by every two-sided spline. With
+  // anchor-aligned dims (8k+1: an anchor plane on both edges) every target
+  // has both near neighbors, so all codes are the zero code and there are no
+  // outliers. (Non-aligned dims legitimately fall back to one-sided copies
+  // at the far edge.)
+  const Dim3 dims{65, 33, 17};
+  std::vector<float> data(dims.volume());
+  for (std::size_t z = 0; z < dims.z; ++z)
+    for (std::size_t y = 0; y < dims.y; ++y)
+      for (std::size_t x = 0; x < dims.x; ++x)
+        data[szi::dev::linearize(dims, x, y, z)] =
+            static_cast<float>(x) + 2.0f * static_cast<float>(y) +
+            0.5f * static_cast<float>(z);
+  const double eb = 1e-3;
+  const auto enc = ginterp_compress(data, dims, eb, InterpConfig{});
+  EXPECT_EQ(enc.outliers.count(), 0u);
+  std::size_t nonzero = 0;
+  for (const auto c : enc.codes)
+    if (c != szi::quant::kDefaultRadius) ++nonzero;
+  EXPECT_EQ(nonzero, 0u);
+}
+
+TEST(GInterp, OutliersAreExact) {
+  // Spiky data forces outliers; their reconstruction must be exact.
+  const Dim3 dims{33, 17, 9};
+  auto data = smooth_field(dims, 6);
+  szi::datagen::Rng rng(7);
+  std::vector<std::size_t> spikes;
+  for (int k = 0; k < 40; ++k) {
+    const auto i = static_cast<std::size_t>(rng.uniform() * data.size());
+    data[i] += (rng.uniform() < 0.5 ? -1.0f : 1.0f) * 1e4f;
+    spikes.push_back(i);
+  }
+  const double eb = 1e-4;
+  const auto enc = ginterp_compress(data, dims, eb, InterpConfig{});
+  EXPECT_GT(enc.outliers.count(), 0u);
+  const auto dec = ginterp_decompress(enc.codes, enc.anchors, enc.outliers,
+                                      dims, eb, InterpConfig{});
+  EXPECT_TRUE(szi::metrics::error_bounded(data, dec, eb));
+  for (const auto i : spikes) EXPECT_NEAR(data[i], dec[i], eb);
+}
+
+TEST(GInterp, RejectsBadArguments) {
+  const Dim3 dims{8, 8, 8};
+  std::vector<float> data(dims.volume());
+  EXPECT_THROW(ginterp_compress(std::span<const float>(data.data(), 7), dims,
+                                1e-3, InterpConfig{}),
+               std::invalid_argument);
+  EXPECT_THROW(ginterp_compress(data, dims, 0.0, InterpConfig{}),
+               std::invalid_argument);
+  EXPECT_THROW(ginterp_compress(data, dims, -1.0, InterpConfig{}),
+               std::invalid_argument);
+}
+
+// Error-bound property sweep: every (shape, eb, field character) combination
+// must produce a bounded reconstruction.
+class GInterpSweep
+    : public ::testing::TestWithParam<std::tuple<Dim3, double, bool>> {};
+
+TEST_P(GInterpSweep, ErrorBoundHolds) {
+  const auto& [dims, eb, noisy] = GetParam();
+  const auto data =
+      noisy ? noisy_field(dims, dims.volume()) : smooth_field(dims, dims.volume());
+  roundtrip_expect_bounded(data, dims, eb);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndBounds, GInterpSweep,
+    ::testing::Combine(
+        ::testing::Values(Dim3{32, 32, 32}, Dim3{33, 9, 9}, Dim3{8, 8, 8},
+                          Dim3{7, 7, 7}, Dim3{65, 33, 17}, Dim3{5, 3, 2},
+                          Dim3{100, 10, 3}, Dim3{17, 1, 1}, Dim3{257, 129, 1},
+                          Dim3{1024, 1, 1}),
+        ::testing::Values(1e-1, 1e-2, 1e-3, 1e-4),
+        ::testing::Bool()));
+
+}  // namespace

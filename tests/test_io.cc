@@ -1,0 +1,120 @@
+// I/O tests: raw f32 files, PGM dumps, the multi-field bundle, SSIM metric.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "datagen/datasets.hh"
+#include "datagen/rng.hh"
+#include "io/bin_io.hh"
+#include "io/bundle.hh"
+#include "metrics/ssim.hh"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "szi_io_test";
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  fs::path dir_;
+};
+
+TEST_F(IoTest, F32RoundTrip) {
+  std::vector<float> v{1.0f, -2.5f, 3.25f, 0.0f};
+  const auto path = (dir_ / "a.f32").string();
+  szi::io::write_f32(path, v);
+  EXPECT_EQ(szi::io::read_f32(path), v);
+  EXPECT_EQ(szi::io::read_f32(path, 4), v);
+  EXPECT_THROW((void)szi::io::read_f32(path, 5), std::runtime_error);
+  EXPECT_THROW((void)szi::io::read_f32((dir_ / "missing").string()),
+               std::runtime_error);
+}
+
+TEST_F(IoTest, BytesRoundTrip) {
+  std::vector<std::byte> b{std::byte{1}, std::byte{255}, std::byte{0}};
+  const auto path = (dir_ / "b.bin").string();
+  szi::io::write_bytes(path, b);
+  EXPECT_EQ(szi::io::read_bytes(path), b);
+}
+
+TEST_F(IoTest, PgmSliceIsWellFormed) {
+  szi::Field f("t", "f", {8, 4, 3});
+  for (std::size_t i = 0; i < f.size(); ++i)
+    f.data[i] = static_cast<float>(i);
+  const auto path = (dir_ / "s.pgm").string();
+  szi::io::write_pgm_slice(path, f, 1);
+  const auto bytes = szi::io::read_bytes(path);
+  const std::string header(reinterpret_cast<const char*>(bytes.data()), 2);
+  EXPECT_EQ(header, "P5");
+  // header line + dims + maxval + 8*4 pixels
+  EXPECT_GT(bytes.size(), 8u * 4u);
+  EXPECT_THROW(szi::io::write_pgm_slice(path, f, 5), std::runtime_error);
+}
+
+TEST_F(IoTest, BundleRoundTrip) {
+  szi::io::Bundle b;
+  szi::datagen::Rng rng(1);
+  for (int i = 0; i < 3; ++i) {
+    szi::io::BundleEntry e;
+    e.name = "field" + std::to_string(i);
+    e.compressor = "cusz-i";
+    e.dims = {16, 8, 4};
+    e.raw_bytes = 16 * 8 * 4 * 4;
+    e.archive.resize(100 + 50 * static_cast<std::size_t>(i));
+    for (auto& byte : e.archive)
+      byte = static_cast<std::byte>(rng.next_u64());
+    b.add(std::move(e));
+  }
+  const auto path = (dir_ / "bundle.szib").string();
+  b.save(path);
+  const auto back = szi::io::Bundle::load(path);
+  ASSERT_EQ(back.entries().size(), 3u);
+  EXPECT_EQ(back.total_raw_bytes(), b.total_raw_bytes());
+  EXPECT_EQ(back.total_archive_bytes(), b.total_archive_bytes());
+  const auto* e1 = back.find("field1");
+  ASSERT_NE(e1, nullptr);
+  EXPECT_EQ(e1->compressor, "cusz-i");
+  EXPECT_EQ(e1->dims, (szi::dev::Dim3{16, 8, 4}));
+  EXPECT_EQ(e1->archive, b.entries()[1].archive);
+  EXPECT_EQ(back.find("nope"), nullptr);
+}
+
+TEST_F(IoTest, BundleRejectsCorruptStream) {
+  std::vector<std::byte> junk(32, std::byte{0x42});
+  EXPECT_THROW((void)szi::io::Bundle::deserialize(junk), std::runtime_error);
+}
+
+TEST(Ssim, IdenticalFieldsScoreOne) {
+  const auto fields = szi::datagen::miranda(szi::datagen::Size::Small);
+  const auto& f = fields.front();
+  EXPECT_NEAR(szi::metrics::ssim(f.data, f.data, f.dims), 1.0, 1e-12);
+}
+
+TEST(Ssim, DegradesWithNoiseMonotonically) {
+  const auto fields = szi::datagen::miranda(szi::datagen::Size::Small);
+  const auto& f = fields.front();
+  szi::datagen::Rng rng(5);
+  double prev = 1.0;
+  for (const float amp : {0.001f, 0.01f, 0.1f}) {
+    auto noisy = f.data;
+    szi::datagen::Rng r2(6);
+    for (auto& v : noisy) v += amp * static_cast<float>(r2.gaussian());
+    const double s = szi::metrics::ssim(f.data, noisy, f.dims);
+    EXPECT_LT(s, prev) << "amp=" << amp;
+    prev = s;
+  }
+  EXPECT_LT(prev, 0.9);
+  (void)rng;
+}
+
+TEST(Ssim, RejectsSizeMismatch) {
+  std::vector<float> a(8), b(9);
+  EXPECT_THROW((void)szi::metrics::ssim(a, b, {8, 1, 1}),
+               std::invalid_argument);
+}
+
+}  // namespace

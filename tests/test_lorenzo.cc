@@ -1,0 +1,108 @@
+// Lorenzo dual-quant predictor tests (§III-A, cuSZ baseline).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "datagen/rng.hh"
+#include "metrics/stats.hh"
+#include "predictor/lorenzo.hh"
+
+namespace {
+
+using szi::dev::Dim3;
+using szi::predictor::lorenzo_compress;
+using szi::predictor::lorenzo_decompress;
+
+std::vector<float> wave_field(const Dim3& dims, std::uint64_t seed) {
+  szi::datagen::Rng rng(seed);
+  const double f = rng.uniform(0.02, 0.2);
+  std::vector<float> v(dims.volume());
+  for (std::size_t z = 0; z < dims.z; ++z)
+    for (std::size_t y = 0; y < dims.y; ++y)
+      for (std::size_t x = 0; x < dims.x; ++x)
+        v[szi::dev::linearize(dims, x, y, z)] = static_cast<float>(
+            std::sin(f * (x + 2.0 * y + 3.0 * z)) + 0.1 * rng.gaussian());
+  return v;
+}
+
+TEST(Lorenzo, RoundTrip3D) {
+  const Dim3 dims{41, 23, 17};
+  const auto data = wave_field(dims, 11);
+  const double eb = 1e-3;
+  const auto enc = lorenzo_compress(data, dims, eb);
+  const auto dec = lorenzo_decompress(enc.codes, enc.outliers, dims, eb);
+  EXPECT_TRUE(szi::metrics::error_bounded(data, dec, eb));
+}
+
+TEST(Lorenzo, RoundTrip2D) {
+  const Dim3 dims{129, 65, 1};
+  const auto data = wave_field(dims, 12);
+  const double eb = 1e-4;
+  const auto enc = lorenzo_compress(data, dims, eb);
+  const auto dec = lorenzo_decompress(enc.codes, enc.outliers, dims, eb);
+  EXPECT_TRUE(szi::metrics::error_bounded(data, dec, eb));
+}
+
+TEST(Lorenzo, RoundTrip1D) {
+  const Dim3 dims{5000, 1, 1};
+  const auto data = wave_field(dims, 13);
+  const double eb = 1e-3;
+  const auto enc = lorenzo_compress(data, dims, eb);
+  const auto dec = lorenzo_decompress(enc.codes, enc.outliers, dims, eb);
+  EXPECT_TRUE(szi::metrics::error_bounded(data, dec, eb));
+}
+
+TEST(Lorenzo, ConstantFieldIsAllZeroCodes) {
+  const Dim3 dims{32, 32, 8};
+  std::vector<float> data(dims.volume(), 4.25f);
+  const auto enc = lorenzo_compress(data, dims, 1e-3);
+  // d_i identical -> every Lorenzo residual except the first is 0; the first
+  // equals d_0 = round(4.25/2e-3), which escapes the radius as an outlier.
+  EXPECT_LE(enc.outliers.count(), 1u);
+  std::size_t nonzero = 0;
+  for (std::size_t i = 1; i < enc.codes.size(); ++i)
+    if (enc.codes[i] != szi::quant::kDefaultRadius) ++nonzero;
+  EXPECT_EQ(nonzero, 0u);
+}
+
+TEST(Lorenzo, SpikesBecomeOutliersAndStayExactWithinBound) {
+  const Dim3 dims{30, 20, 10};
+  auto data = wave_field(dims, 14);
+  data[1234] += 500.0f;
+  data[42] -= 900.0f;
+  const double eb = 1e-4;
+  const auto enc = lorenzo_compress(data, dims, eb);
+  EXPECT_GT(enc.outliers.count(), 0u);
+  const auto dec = lorenzo_decompress(enc.codes, enc.outliers, dims, eb);
+  EXPECT_TRUE(szi::metrics::error_bounded(data, dec, eb));
+}
+
+TEST(Lorenzo, RejectsBadArguments) {
+  std::vector<float> data(10);
+  EXPECT_THROW(lorenzo_compress(data, Dim3{11, 1, 1}, 1e-3),
+               std::invalid_argument);
+  EXPECT_THROW(lorenzo_compress(data, Dim3{10, 1, 1}, 0.0),
+               std::invalid_argument);
+}
+
+class LorenzoSweep
+    : public ::testing::TestWithParam<std::tuple<Dim3, double>> {};
+
+TEST_P(LorenzoSweep, ErrorBoundHolds) {
+  const auto& [dims, eb] = GetParam();
+  const auto data = wave_field(dims, dims.volume());
+  const auto enc = lorenzo_compress(data, dims, eb);
+  const auto dec = lorenzo_decompress(enc.codes, enc.outliers, dims, eb);
+  EXPECT_TRUE(szi::metrics::error_bounded(data, dec, eb));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndBounds, LorenzoSweep,
+    ::testing::Combine(::testing::Values(Dim3{16, 16, 16}, Dim3{31, 17, 5},
+                                         Dim3{64, 64, 1}, Dim3{999, 1, 1},
+                                         Dim3{2, 2, 2}, Dim3{1, 1, 1}),
+                       ::testing::Values(1e-2, 1e-3, 1e-5)));
+
+}  // namespace

@@ -1,0 +1,183 @@
+// Lossless codec tests: LZSS (Bitcomp stand-in), bitshuffle, zero-RLE.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "datagen/rng.hh"
+#include "lossless/bitcomp.hh"
+#include "lossless/bitshuffle.hh"
+#include "lossless/lzss.hh"
+#include "lossless/rle.hh"
+
+namespace {
+
+using szi::lossless::lzss_compress;
+using szi::lossless::lzss_decompress;
+
+std::vector<std::byte> bytes_of(const std::vector<std::uint8_t>& v) {
+  std::vector<std::byte> out(v.size());
+  std::memcpy(out.data(), v.data(), v.size());
+  return out;
+}
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint64_t seed) {
+  szi::datagen::Rng rng(seed);
+  std::vector<std::uint8_t> v(n);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng.next_u64());
+  return v;
+}
+
+TEST(Lzss, RoundTripRandom) {
+  const auto data = bytes_of(random_bytes(300000, 1));
+  EXPECT_EQ(lzss_decompress(lzss_compress(data)), data);
+}
+
+TEST(Lzss, RoundTripEmpty) {
+  const std::vector<std::byte> data;
+  EXPECT_EQ(lzss_decompress(lzss_compress(data)), data);
+}
+
+TEST(Lzss, RoundTripSingleByte) {
+  const std::vector<std::byte> data{std::byte{0x42}};
+  EXPECT_EQ(lzss_decompress(lzss_compress(data)), data);
+}
+
+TEST(Lzss, ZeroRunsCrush) {
+  // The §VI-B scenario: Huffman output with long 0x00 runs.
+  std::vector<std::byte> data(1 << 20, std::byte{0});
+  const auto enc = lzss_compress(data);
+  EXPECT_EQ(lzss_decompress(enc), data);
+  EXPECT_LT(enc.size(), data.size() / 100);
+}
+
+TEST(Lzss, RepeatedPatternCompresses) {
+  std::vector<std::byte> data;
+  const char* pattern = "scientific-lossy-compression-";
+  for (int i = 0; i < 5000; ++i)
+    for (const char* p = pattern; *p; ++p) data.push_back(std::byte(*p));
+  const auto enc = lzss_compress(data);
+  EXPECT_EQ(lzss_decompress(enc), data);
+  EXPECT_LT(enc.size(), data.size() / 20);
+}
+
+TEST(Lzss, IncompressibleFallsBackNearRaw) {
+  const auto data = bytes_of(random_bytes(256 * 1024, 2));
+  const auto enc = lzss_compress(data);
+  EXPECT_EQ(lzss_decompress(enc), data);
+  // Raw-mode fallback: bounded overhead (headers + offsets + mode bytes).
+  EXPECT_LT(enc.size(), data.size() + 1024);
+}
+
+TEST(Lzss, BlockBoundariesExact) {
+  for (const std::size_t n :
+       {szi::lossless::kLzssBlock - 1, szi::lossless::kLzssBlock,
+        szi::lossless::kLzssBlock + 1, 3 * szi::lossless::kLzssBlock + 17}) {
+    std::vector<std::byte> data(n);
+    for (std::size_t i = 0; i < n; ++i)
+      data[i] = std::byte(static_cast<std::uint8_t>(i * 7 % 251));
+    EXPECT_EQ(lzss_decompress(lzss_compress(data)), data) << "n=" << n;
+  }
+}
+
+TEST(Lzss, OverlappingMatchRuns) {
+  // "abcabcabc..." forces dist < len copies.
+  std::vector<std::byte> data;
+  for (int i = 0; i < 10000; ++i) data.push_back(std::byte('a' + i % 3));
+  EXPECT_EQ(lzss_decompress(lzss_compress(data)), data);
+}
+
+TEST(Lzss, ThrowsOnCorruptHeader) {
+  std::vector<std::byte> junk(4, std::byte{0xFF});
+  EXPECT_THROW((void)lzss_decompress(junk), std::runtime_error);
+}
+
+TEST(Lzss, ThrowsOnTruncatedPayload) {
+  std::vector<std::byte> data(200000, std::byte{7});
+  auto enc = lzss_compress(data);
+  enc.resize(enc.size() - enc.size() / 4);
+  EXPECT_THROW((void)lzss_decompress(enc), std::runtime_error);
+}
+
+TEST(Bitcomp, FacadeRoundTrip) {
+  const auto data = bytes_of(random_bytes(100000, 3));
+  EXPECT_EQ(szi::lossless::bitcomp_decompress(szi::lossless::bitcomp_compress(data)),
+            data);
+}
+
+TEST(Bitshuffle, RoundTripExactBlocks) {
+  szi::datagen::Rng rng(4);
+  std::vector<std::uint16_t> in(4 * szi::lossless::kShuffleBlock);
+  for (auto& v : in) v = static_cast<std::uint16_t>(rng.next_u64());
+  std::vector<std::uint8_t> shuf(szi::lossless::bitshuffle16_size(in.size()));
+  szi::lossless::bitshuffle16(in, shuf);
+  std::vector<std::uint16_t> out(in.size());
+  szi::lossless::bitunshuffle16(shuf, out);
+  EXPECT_EQ(in, out);
+}
+
+TEST(Bitshuffle, RoundTripTailBlock) {
+  for (const std::size_t n : {1u, 7u, 8u, 9u, 1023u, 1025u, 2047u}) {
+    szi::datagen::Rng rng(5 + n);
+    std::vector<std::uint16_t> in(n);
+    for (auto& v : in) v = static_cast<std::uint16_t>(rng.next_u64());
+    std::vector<std::uint8_t> shuf(szi::lossless::bitshuffle16_size(n));
+    szi::lossless::bitshuffle16(in, shuf);
+    std::vector<std::uint16_t> out(n);
+    szi::lossless::bitunshuffle16(shuf, out);
+    EXPECT_EQ(in, out) << "n=" << n;
+  }
+}
+
+TEST(Bitshuffle, ConstantCodesYieldMostlyZeroPlanes) {
+  std::vector<std::uint16_t> in(2048, 512);  // one bit set per value
+  std::vector<std::uint8_t> shuf(szi::lossless::bitshuffle16_size(in.size()));
+  szi::lossless::bitshuffle16(in, shuf);
+  std::size_t nonzero = 0;
+  for (const auto b : shuf)
+    if (b) ++nonzero;
+  // Exactly one plane per block is non-zero: 2 blocks * 128 bytes.
+  EXPECT_EQ(nonzero, 2u * szi::lossless::kShuffleBlock / 8);
+}
+
+TEST(ZeroRle, RoundTripMixed) {
+  std::vector<std::byte> data(100000, std::byte{0});
+  for (std::size_t i = 0; i < data.size(); i += 997)
+    data[i] = std::byte{0xAB};
+  const auto enc = szi::lossless::zero_rle_compress(data);
+  EXPECT_EQ(szi::lossless::zero_rle_decompress(enc), data);
+  EXPECT_LT(enc.size(), data.size());
+}
+
+TEST(ZeroRle, RoundTripAllZero) {
+  std::vector<std::byte> data(1 << 16, std::byte{0});
+  const auto enc = szi::lossless::zero_rle_compress(data);
+  EXPECT_EQ(szi::lossless::zero_rle_decompress(enc), data);
+  EXPECT_LT(enc.size(), data.size() / 100);
+}
+
+TEST(ZeroRle, RoundTripNoZeros) {
+  const auto data = bytes_of(random_bytes(33333, 6));
+  const auto enc = szi::lossless::zero_rle_compress(data);
+  EXPECT_EQ(szi::lossless::zero_rle_decompress(enc), data);
+}
+
+TEST(ZeroRle, RoundTripEmptyAndTiny) {
+  for (const std::size_t n : {0u, 1u, 31u, 32u, 33u}) {
+    std::vector<std::byte> data(n, std::byte{3});
+    EXPECT_EQ(szi::lossless::zero_rle_decompress(
+                  szi::lossless::zero_rle_compress(data)),
+              data)
+        << "n=" << n;
+  }
+}
+
+TEST(ZeroRle, ThrowsOnTruncation) {
+  std::vector<std::byte> data(10000, std::byte{1});
+  auto enc = szi::lossless::zero_rle_compress(data);
+  enc.resize(enc.size() / 2);
+  EXPECT_THROW((void)szi::lossless::zero_rle_decompress(enc),
+               std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,140 @@
+// Pointwise-relative error mode tests (the with_pointwise_rel decorator).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/registry.hh"
+#include "datagen/rng.hh"
+#include "metrics/stats.hh"
+
+namespace {
+
+using szi::CompressParams;
+using szi::ErrorMode;
+
+szi::Field log_uniform_field(std::uint64_t seed) {
+  // Values spanning 6 orders of magnitude with both signs and exact zeros —
+  // the case value-range-relative bounds handle terribly and pointwise
+  // bounds exist for.
+  szi::Field f("test", "loguniform", {48, 32, 24});
+  szi::datagen::Rng rng(seed);
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    if (i % 97 == 0) {
+      f.data[i] = 0.0f;
+      continue;
+    }
+    const double mag = std::pow(10.0, rng.uniform(-3.0, 3.0));
+    const double wave =
+        1.0 + 0.3 * std::sin(0.05 * static_cast<double>(i % 4096));
+    f.data[i] =
+        static_cast<float>((rng.uniform() < 0.3 ? -1.0 : 1.0) * mag * wave);
+  }
+  return f;
+}
+
+/// Max pointwise relative error over nonzero originals; zeros must be exact.
+double max_pointwise_rel(const std::vector<float>& orig,
+                         const std::vector<float>& recon) {
+  double worst = 0;
+  for (std::size_t i = 0; i < orig.size(); ++i) {
+    if (orig[i] == 0.0f) {
+      EXPECT_EQ(recon[i], 0.0f) << "zero not preserved at " << i;
+      continue;
+    }
+    worst = std::max(worst, std::abs(static_cast<double>(recon[i]) -
+                                     orig[i]) /
+                                std::abs(static_cast<double>(orig[i])));
+  }
+  return worst;
+}
+
+TEST(PwRel, BoundsEveryPointRelatively) {
+  const auto f = log_uniform_field(1);
+  for (const double rel : {1e-1, 1e-2, 1e-3}) {
+    auto c = szi::with_pointwise_rel(szi::baselines::make_compressor("cusz-i"));
+    const auto enc = c->compress(f, {ErrorMode::PwRel, rel});
+    const auto dec = c->decompress(enc.bytes);
+    // Small slack for the float log/exp round trip.
+    EXPECT_LE(max_pointwise_rel(f.data, dec), rel * (1 + 1e-3) + 2e-6)
+        << "rel=" << rel;
+  }
+}
+
+TEST(PwRel, BeatsValueRangeRelOnWideDynamicRange) {
+  // At the same archive size, pointwise-relative preserves small values far
+  // better than a range-relative bound on high-dynamic-range data.
+  const auto f = log_uniform_field(2);
+  auto pw = szi::with_pointwise_rel(szi::baselines::make_compressor("cusz-i"));
+  const auto enc = pw->compress(f, {ErrorMode::PwRel, 1e-2});
+  const auto dec = pw->decompress(enc.bytes);
+  double worst_small = 0;  // worst relative error among |v| < 1
+  for (std::size_t i = 0; i < f.size(); ++i)
+    if (f.data[i] != 0.0f && std::abs(f.data[i]) < 1.0f)
+      worst_small = std::max(
+          worst_small, std::abs(static_cast<double>(dec[i]) - f.data[i]) /
+                           std::abs(static_cast<double>(f.data[i])));
+  EXPECT_LT(worst_small, 0.011);
+
+  auto rr = szi::baselines::make_compressor("cusz-i");
+  const auto enc2 = rr->compress(f, {ErrorMode::Rel, 1e-2});
+  const auto dec2 = rr->decompress(enc2.bytes);
+  double worst_small2 = 0;
+  for (std::size_t i = 0; i < f.size(); ++i)
+    if (f.data[i] != 0.0f && std::abs(f.data[i]) < 1.0f)
+      worst_small2 = std::max(
+          worst_small2, std::abs(static_cast<double>(dec2[i]) - f.data[i]) /
+                            std::abs(static_cast<double>(f.data[i])));
+  EXPECT_GT(worst_small2, 1.0) << "range-relative should butcher small values";
+}
+
+TEST(PwRel, TransparentForOtherModes) {
+  const auto f = log_uniform_field(3);
+  auto c = szi::with_pointwise_rel(szi::baselines::make_compressor("cusz"));
+  const auto enc = c->compress(f, {ErrorMode::Rel, 1e-3});
+  // Other modes pass straight through to the inner compressor: the archive
+  // is a plain cuSZ archive.
+  auto inner = szi::baselines::make_compressor("cusz");
+  const auto dec = inner->decompress(enc.bytes);
+  EXPECT_TRUE(szi::metrics::error_bounded(
+      f.data, dec, 1e-3 * szi::metrics::value_range(f.data)));
+}
+
+TEST(PwRel, BareCompressorsRejectPwRel) {
+  const auto f = log_uniform_field(4);
+  for (const char* name : {"cusz-i", "cusz", "cuszp", "cuszx", "fz-gpu",
+                           "sz3", "qoz"}) {
+    auto c = szi::baselines::make_compressor(name);
+    EXPECT_THROW((void)c->compress(f, {ErrorMode::PwRel, 1e-2}),
+                 std::invalid_argument)
+        << name;
+  }
+}
+
+TEST(PwRel, RejectsBadBounds) {
+  const auto f = log_uniform_field(5);
+  auto c = szi::with_pointwise_rel(szi::baselines::make_compressor("cusz-i"));
+  EXPECT_THROW((void)c->compress(f, {ErrorMode::PwRel, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)c->compress(f, {ErrorMode::PwRel, 1.5}),
+               std::invalid_argument);
+}
+
+TEST(PwRel, RejectsForeignArchive) {
+  const auto f = log_uniform_field(6);
+  auto plain = szi::baselines::make_compressor("cusz-i");
+  const auto enc = plain->compress(f, {ErrorMode::Rel, 1e-2});
+  auto c = szi::with_pointwise_rel(szi::baselines::make_compressor("cusz-i"));
+  EXPECT_THROW((void)c->decompress(enc.bytes), std::runtime_error);
+}
+
+TEST(PwRel, ComposesWithBitcomp) {
+  const auto f = log_uniform_field(7);
+  auto c = szi::with_pointwise_rel(
+      szi::with_bitcomp(szi::baselines::make_compressor("cusz-i")));
+  const auto enc = c->compress(f, {ErrorMode::PwRel, 1e-2});
+  const auto dec = c->decompress(enc.bytes);
+  EXPECT_LE(max_pointwise_rel(f.data, dec), 1e-2 * (1 + 1e-3) + 2e-6);
+  EXPECT_EQ(c->name(), "cuSZ-i w/ Bitcomp (pw-rel)");
+}
+
+}  // namespace

@@ -1,0 +1,115 @@
+// ZFP codec unit tests: rate accounting, quality monotonicity, degenerate
+// blocks, and dimensional variants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "baselines/zfp_codec.hh"
+#include "datagen/rng.hh"
+#include "metrics/stats.hh"
+
+namespace {
+
+using szi::dev::Dim3;
+
+std::vector<float> smooth(const Dim3& dims, std::uint64_t seed) {
+  szi::datagen::Rng rng(seed);
+  const double f = rng.uniform(0.05, 0.3);
+  std::vector<float> v(dims.volume());
+  for (std::size_t z = 0; z < dims.z; ++z)
+    for (std::size_t y = 0; y < dims.y; ++y)
+      for (std::size_t x = 0; x < dims.x; ++x)
+        v[szi::dev::linearize(dims, x, y, z)] =
+            static_cast<float>(std::sin(f * x) * std::cos(f * y) +
+                               0.3 * std::sin(0.5 * f * z));
+  return v;
+}
+
+TEST(Zfp, HighRateIsNearLossless3D) {
+  const Dim3 dims{32, 32, 32};
+  const auto data = smooth(dims, 1);
+  const auto enc = szi::baselines::zfp::compress(data, dims, 28.0);
+  const auto dec = szi::baselines::zfp::decompress(enc);
+  const auto d = szi::metrics::distortion(data, dec);
+  EXPECT_GT(d.psnr, 120.0);
+}
+
+TEST(Zfp, QualityMonotoneInRate) {
+  const Dim3 dims{40, 24, 20};
+  const auto data = smooth(dims, 2);
+  double prev = -1e9;
+  for (const double rate : {1.0, 2.0, 4.0, 8.0, 12.0, 16.0}) {
+    const auto dec = szi::baselines::zfp::decompress(
+        szi::baselines::zfp::compress(data, dims, rate));
+    const double psnr = szi::metrics::distortion(data, dec).psnr;
+    EXPECT_GE(psnr, prev - 1.0) << "rate=" << rate;  // allow tiny wiggle
+    prev = psnr;
+  }
+}
+
+TEST(Zfp, AllZeroBlocksAreExact) {
+  const Dim3 dims{16, 16, 16};
+  std::vector<float> data(dims.volume(), 0.0f);
+  const auto dec = szi::baselines::zfp::decompress(
+      szi::baselines::zfp::compress(data, dims, 2.0));
+  for (const float v : dec) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Zfp, ConstantFieldReconstructsClose) {
+  const Dim3 dims{20, 20, 20};
+  std::vector<float> data(dims.volume(), 3.75f);
+  const auto dec = szi::baselines::zfp::decompress(
+      szi::baselines::zfp::compress(data, dims, 8.0));
+  for (const float v : dec) EXPECT_NEAR(v, 3.75f, 1e-3f);
+}
+
+TEST(Zfp, PartialBlocksRoundTrip) {
+  for (const auto& dims : {Dim3{5, 7, 9}, Dim3{33, 17, 2}, Dim3{4, 4, 5}}) {
+    const auto data = smooth(dims, 3);
+    const auto dec = szi::baselines::zfp::decompress(
+        szi::baselines::zfp::compress(data, dims, 16.0));
+    ASSERT_EQ(dec.size(), data.size());
+    EXPECT_GT(szi::metrics::distortion(data, dec).psnr, 60.0)
+        << szi::dev::to_string(dims);
+  }
+}
+
+TEST(Zfp, TwoDimensionalAndOneDimensional) {
+  const Dim3 d2{64, 48, 1};
+  const auto a = smooth(d2, 4);
+  EXPECT_GT(szi::metrics::distortion(
+                a, szi::baselines::zfp::decompress(
+                       szi::baselines::zfp::compress(a, d2, 12.0)))
+                .psnr,
+            55.0);
+  const Dim3 d1{4096, 1, 1};
+  const auto b = smooth(d1, 5);
+  EXPECT_GT(szi::metrics::distortion(
+                b, szi::baselines::zfp::decompress(
+                       szi::baselines::zfp::compress(b, d1, 12.0)))
+                .psnr,
+            50.0);
+}
+
+TEST(Zfp, LargeMagnitudeValues) {
+  const Dim3 dims{16, 16, 16};
+  auto data = smooth(dims, 6);
+  for (auto& v : data) v = v * 1e20f + 5e19f;
+  const auto dec = szi::baselines::zfp::decompress(
+      szi::baselines::zfp::compress(data, dims, 16.0));
+  const auto d = szi::metrics::distortion(data, dec);
+  EXPECT_GT(d.psnr, 70.0);
+}
+
+TEST(Zfp, RejectsBadArgs) {
+  std::vector<float> data(10);
+  EXPECT_THROW(
+      (void)szi::baselines::zfp::compress(data, Dim3{11, 1, 1}, 8.0),
+      std::invalid_argument);
+  std::vector<std::byte> junk(16, std::byte{0x5A});
+  EXPECT_THROW((void)szi::baselines::zfp::decompress(junk),
+               std::runtime_error);
+}
+
+}  // namespace
