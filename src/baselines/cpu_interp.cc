@@ -3,6 +3,7 @@
 #include <array>
 #include <stdexcept>
 
+#include "core/bytes.hh"
 #include "predictor/anchor.hh"
 #include "predictor/spline.hh"
 
@@ -117,6 +118,16 @@ std::vector<float> cpu_interp_decompress(std::span<const quant::Code> codes,
                                          const CpuInterpParams& p) {
   if (codes.size() != dims.volume())
     throw std::invalid_argument("cpu_interp: size/dims mismatch");
+  // All of these come from archive bytes on the decode path: a bad stride
+  // div-by-zeroes the anchor grid, a short anchor array reads out of
+  // bounds, and unchecked outlier indices write out of bounds.
+  if (p.anchor_stride < 2 ||
+      (p.anchor_stride & (p.anchor_stride - 1)) != 0)
+    throw core::CorruptArchive("cpu-interp", 0, "bad anchor stride");
+  if (anchors.size() !=
+      predictor::anchor_dims(dims, anchor_stride_dims(p)).volume())
+    throw core::CorruptArchive("cpu-interp", 0, "anchor count mismatch");
+  outliers.check_bounds(dims.volume(), "cpu-interp");
   std::vector<float> work(dims.volume(), 0.0f);
   predictor::scatter_anchors<float>(anchors, work, dims, anchor_stride_dims(p));
   outliers.scatter(work);

@@ -56,21 +56,23 @@ class Cusz final : public Compressor {
   [[nodiscard]] std::vector<float> decompress(std::span<const std::byte> bytes,
                                               double* decode_seconds) override {
     core::Timer total;
-    core::ByteReader rd(bytes);
-    if (rd.get<std::uint32_t>() != kMagic)
-      throw std::runtime_error("cuSZ: bad magic");
+    core::ByteReader rd(bytes, "cusz");
+    rd.expect_magic(kMagic);
     dev::Dim3 dims;
-    dims.x = rd.get<std::uint64_t>();
-    dims.y = rd.get<std::uint64_t>();
-    dims.z = rd.get<std::uint64_t>();
-    const auto eb = rd.get<double>();
-    const auto radius = rd.get<std::uint16_t>();
+    dims.x = rd.read<std::uint64_t>();
+    dims.y = rd.read<std::uint64_t>();
+    dims.z = rd.read<std::uint64_t>();
+    const std::size_t n =
+        core::checked_volume("cusz", rd.offset(), dims.x, dims.y, dims.z);
+    (void)rd.checked_array_bytes(n, sizeof(float));
+    const auto eb = rd.read<double>();
+    const auto radius = rd.read<std::uint16_t>();
     std::size_t consumed = 0;
     const auto outliers =
-        quant::OutlierSet::deserialize(rd.get_blob(), &consumed);
-    const auto codes = huffman::decode(rd.get_blob());
-    if (codes.size() != dims.volume())
-      throw std::runtime_error("cuSZ: code count mismatch");
+        quant::OutlierSet::deserialize(rd.read_length_prefixed(), &consumed);
+    const auto codes = huffman::decode(rd.read_length_prefixed());
+    if (codes.size() != n) rd.fail("code count mismatch");
+    // lorenzo_decompress bounds-checks the outlier indices against dims.
     auto out = predictor::lorenzo_decompress(codes, outliers, dims, eb, radius);
     if (decode_seconds) *decode_seconds = total.lap();
     return out;

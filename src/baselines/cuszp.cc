@@ -128,22 +128,26 @@ class CuSzp final : public Compressor {
   [[nodiscard]] std::vector<float> decompress(std::span<const std::byte> bytes,
                                               double* decode_seconds) override {
     core::Timer total;
-    core::ByteReader rd(bytes);
-    if (rd.get<std::uint32_t>() != kMagic)
-      throw std::runtime_error("cuSZp: bad magic");
+    core::ByteReader rd(bytes, "cuszp");
+    rd.expect_magic(kMagic);
     dev::Dim3 dims;
-    dims.x = rd.get<std::uint64_t>();
-    dims.y = rd.get<std::uint64_t>();
-    dims.z = rd.get<std::uint64_t>();
-    const auto eb = rd.get<double>();
-    const auto widths = rd.get_vector<std::uint8_t>();
-    const auto payload_bytes = rd.get<std::uint64_t>();
-    const std::size_t n = dims.volume();
+    dims.x = rd.read<std::uint64_t>();
+    dims.y = rd.read<std::uint64_t>();
+    dims.z = rd.read<std::uint64_t>();
+    const std::size_t n =
+        core::checked_volume("cuszp", rd.offset(), dims.x, dims.y, dims.z);
+    (void)rd.checked_array_bytes(n, sizeof(std::int64_t));
+    const auto eb = rd.read<double>();
+    const auto widths = rd.read_length_prefixed_array<std::uint8_t>();
+    const auto payload_bytes = rd.read<std::uint64_t>();
     const std::size_t nblocks = dev::ceil_div(n, kBlock);
-    if (widths.size() != nblocks)
-      throw std::runtime_error("cuSZp: width table mismatch");
-    if (rd.remaining() < payload_bytes)
-      throw std::runtime_error("cuSZp: truncated payload");
+    if (widths.size() != nblocks) rd.fail("width table mismatch");
+    // The encoder never emits widths above 56 (the byte-wise packer's
+    // limit); anything wider would shift the unpack accumulator by >= 64,
+    // which is undefined.
+    for (std::size_t b = 0; b < nblocks; ++b)
+      if (widths[b] > 56) rd.fail("block bit width out of range");
+    if (rd.remaining() < payload_bytes) rd.fail("truncated payload");
     const auto* payload =
         reinterpret_cast<const std::uint8_t*>(rd.rest().data());
 
@@ -155,8 +159,7 @@ class CuSzp final : public Compressor {
       const std::size_t len = std::min(kBlock, n - b * kBlock);
       off += (static_cast<std::uint64_t>(widths[b]) * len + 7) / 8;
     }
-    if (off != payload_bytes)
-      throw std::runtime_error("cuSZp: offset/payload mismatch");
+    if (off != payload_bytes) rd.fail("offset/payload mismatch");
 
     std::vector<std::int64_t> q(n);
     dev::launch_linear(

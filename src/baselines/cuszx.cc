@@ -113,22 +113,26 @@ class CuSzx final : public Compressor {
   [[nodiscard]] std::vector<float> decompress(std::span<const std::byte> bytes,
                                               double* decode_seconds) override {
     core::Timer total;
-    core::ByteReader rd(bytes);
-    if (rd.get<std::uint32_t>() != kMagic)
-      throw std::runtime_error("cuSZx: bad magic");
+    core::ByteReader rd(bytes, "cuszx");
+    rd.expect_magic(kMagic);
     dev::Dim3 dims;
-    dims.x = rd.get<std::uint64_t>();
-    dims.y = rd.get<std::uint64_t>();
-    dims.z = rd.get<std::uint64_t>();
-    (void)rd.get<double>();  // eb: informational
-    const std::size_t n = dims.volume();
+    dims.x = rd.read<std::uint64_t>();
+    dims.y = rd.read<std::uint64_t>();
+    dims.z = rd.read<std::uint64_t>();
+    const std::size_t n =
+        core::checked_volume("cuszx", rd.offset(), dims.x, dims.y, dims.z);
+    (void)rd.checked_array_bytes(n, sizeof(float));
+    (void)rd.read<double>();  // eb: informational
     const std::size_t nblocks = dev::ceil_div(n, kBlock);
 
     std::vector<BlockMeta> meta(nblocks);
     for (auto& m : meta) {
-      m.base = rd.get<float>();
-      m.step = rd.get<float>();
-      m.k = rd.get<std::uint8_t>();
+      m.base = rd.read<float>();
+      m.step = rd.read<float>();
+      m.k = rd.read<std::uint8_t>();
+      // The encoder caps k at 40; a wider k would shift the unpack
+      // accumulator by >= 64 (undefined behavior).
+      if (m.k > 40) rd.fail("block bit width out of range");
     }
     std::vector<std::uint64_t> offsets(nblocks);
     std::uint64_t off = 0;
@@ -137,7 +141,7 @@ class CuSzx final : public Compressor {
       const std::size_t len = std::min(kBlock, n - b * kBlock);
       off += (len * meta[b].k + 7) / 8;
     }
-    if (rd.remaining() < off) throw std::runtime_error("cuSZx: truncated");
+    if (rd.remaining() < off) rd.fail("truncated payload");
     const auto* payload =
         reinterpret_cast<const std::uint8_t*>(rd.rest().data());
 

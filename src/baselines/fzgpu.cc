@@ -71,24 +71,27 @@ class FzGpu final : public Compressor {
   [[nodiscard]] std::vector<float> decompress(std::span<const std::byte> bytes,
                                               double* decode_seconds) override {
     core::Timer total;
-    core::ByteReader rd(bytes);
-    if (rd.get<std::uint32_t>() != kMagic)
-      throw std::runtime_error("FZ-GPU: bad magic");
+    core::ByteReader rd(bytes, "fz-gpu");
+    rd.expect_magic(kMagic);
     dev::Dim3 dims;
-    dims.x = rd.get<std::uint64_t>();
-    dims.y = rd.get<std::uint64_t>();
-    dims.z = rd.get<std::uint64_t>();
-    const auto eb = rd.get<double>();
-    const auto radius = rd.get<std::uint16_t>();
+    dims.x = rd.read<std::uint64_t>();
+    dims.y = rd.read<std::uint64_t>();
+    dims.z = rd.read<std::uint64_t>();
+    const std::size_t n =
+        core::checked_volume("fz-gpu", rd.offset(), dims.x, dims.y, dims.z);
+    (void)rd.checked_array_bytes(n, sizeof(std::uint16_t));
+    const auto eb = rd.read<double>();
+    const auto radius = rd.read<std::uint16_t>();
     std::size_t consumed = 0;
     const auto outliers =
-        quant::OutlierSet::deserialize(rd.get_blob(), &consumed);
-    const auto packed = rd.get_blob();
+        quant::OutlierSet::deserialize(rd.read_length_prefixed(), &consumed);
+    // The indices are scattered into `codes` below, so check them first.
+    outliers.check_bounds(n, "fz-gpu");
+    const auto packed = rd.read_length_prefixed();
 
     const auto shuffled_bytes = lossless::zero_rle_decompress(packed);
-    const std::size_t n = dims.volume();
     if (shuffled_bytes.size() != lossless::bitshuffle16_size(n))
-      throw std::runtime_error("FZ-GPU: payload size mismatch");
+      rd.fail("payload size mismatch");
     std::vector<std::uint16_t> folded(n);
     lossless::bitunshuffle16(
         {reinterpret_cast<const std::uint8_t*>(shuffled_bytes.data()),

@@ -86,32 +86,42 @@ class CpuSz final : public Compressor {
   [[nodiscard]] std::vector<float> decompress(std::span<const std::byte> bytes,
                                               double* decode_seconds) override {
     core::Timer total;
-    core::ByteReader outer(bytes);
-    if (outer.get<std::uint32_t>() != kMagic)
-      throw std::runtime_error(name() + ": bad magic");
-    const auto inner_bytes = lossless::lzss_decompress(outer.get_blob());
-    core::ByteReader rd(inner_bytes);
+    core::ByteReader outer(bytes, "sz3");
+    outer.expect_magic(kMagic);
+    const auto inner_bytes = lossless::lzss_decompress(outer.read_length_prefixed());
+    core::ByteReader rd(inner_bytes, "sz3");
     dev::Dim3 dims;
-    dims.x = rd.get<std::uint64_t>();
-    dims.y = rd.get<std::uint64_t>();
-    dims.z = rd.get<std::uint64_t>();
-    const auto eb = rd.get<double>();
+    dims.x = rd.read<std::uint64_t>();
+    dims.y = rd.read<std::uint64_t>();
+    dims.z = rd.read<std::uint64_t>();
+    const std::size_t n =
+        core::checked_volume("sz3", rd.offset(), dims.x, dims.y, dims.z);
+    (void)rd.checked_array_bytes(n, sizeof(float));
+    const auto eb = rd.read<double>();
     CpuInterpParams ip;
-    ip.anchor_stride = rd.get<std::uint64_t>();
-    ip.alpha = rd.get<double>();
-    ip.radius = static_cast<int>(rd.get<std::uint32_t>());
+    ip.anchor_stride = rd.read<std::uint64_t>();
+    ip.alpha = rd.read<double>();
+    const auto radius = rd.read<std::uint32_t>();
+    if (radius == 0 || radius > 1u << 15) rd.fail("radius out of range");
+    ip.radius = static_cast<int>(radius);
     for (int i = 0; i < 3; ++i) {
+      const auto cubic = rd.read<std::uint8_t>();
+      if (cubic > static_cast<std::uint8_t>(predictor::CubicKind::Natural))
+        rd.fail("unknown cubic kind");
       ip.config.cubic[static_cast<std::size_t>(i)] =
-          static_cast<predictor::CubicKind>(rd.get<std::uint8_t>());
-      ip.config.dim_order[static_cast<std::size_t>(i)] = rd.get<std::uint8_t>();
+          static_cast<predictor::CubicKind>(cubic);
+      const auto order = rd.read<std::uint8_t>();
+      if (order > 2) rd.fail("interpolation dim order out of range");
+      ip.config.dim_order[static_cast<std::size_t>(i)] = order;
     }
-    const auto anchors = rd.get_vector<float>();
+    const auto anchors = rd.read_length_prefixed_array<float>();
     std::size_t consumed = 0;
     const auto outliers =
-        quant::OutlierSet::deserialize(rd.get_blob(), &consumed);
-    const auto codes = huffman::decode(rd.get_blob());
-    if (codes.size() != dims.volume())
-      throw std::runtime_error(name() + ": code count mismatch");
+        quant::OutlierSet::deserialize(rd.read_length_prefixed(), &consumed);
+    const auto codes = huffman::decode(rd.read_length_prefixed());
+    if (codes.size() != n) rd.fail("code count mismatch");
+    // cpu_interp_decompress validates the anchor stride, anchor count, and
+    // outlier indices against dims.
     auto out =
         cpu_interp_decompress(codes, anchors, outliers, dims, eb, ip);
     if (decode_seconds) *decode_seconds = total.lap();

@@ -92,9 +92,15 @@ struct BlockWriter {
 
 struct BlockReader {
   const std::uint8_t* buf;
+  std::size_t nbytes;  ///< bounds: reads past the block yield zero bits
   std::size_t pos = 0;
   [[nodiscard]] unsigned get1() {
-    const unsigned b = (buf[pos >> 3] >> (pos & 7)) & 1u;
+    const std::size_t byte = pos >> 3;
+    if (byte >= nbytes) {
+      ++pos;
+      return 0;
+    }
+    const unsigned b = (buf[byte] >> (pos & 7)) & 1u;
     ++pos;
     return b;
   }
@@ -186,10 +192,13 @@ std::vector<std::byte> compress(std::span<const float> data,
   rate = std::clamp(rate, 0.5, 32.0);
   const int d = dims.rank();
   const std::size_t bsize = d == 3 ? 64 : d == 2 ? 16 : 4;
-  // Byte-aligned per-block budget, as CUDA zfp word-aligns blocks.
-  const std::size_t block_bits =
+  // Byte-aligned per-block budget, as CUDA zfp word-aligns blocks. At least
+  // 16 bits: the non-empty-block header (occupancy bit + 11-bit exponent)
+  // needs 12, and a smaller budget would underflow the coder's bit budget.
+  const std::size_t block_bits = std::max<std::size_t>(
+      16,
       ((static_cast<std::size_t>(rate * static_cast<double>(bsize)) + 7) / 8) *
-      8;
+          8);
   const dev::Dim3 blocks = dev::grid_for(dims, {4, 4, 4});
   const std::size_t nblocks = blocks.volume();
   const std::size_t block_bytes = block_bits / 8;
@@ -267,26 +276,35 @@ std::vector<std::byte> compress(std::span<const float> data,
 }
 
 std::vector<float> decompress(std::span<const std::byte> bytes) {
-  core::ByteReader rd(bytes);
-  if (rd.get<std::uint32_t>() != kMagic)
-    throw std::runtime_error("zfp: bad magic");
+  core::ByteReader rd(bytes, "zfp");
+  rd.expect_magic(kMagic);
   dev::Dim3 dims;
-  dims.x = rd.get<std::uint64_t>();
-  dims.y = rd.get<std::uint64_t>();
-  dims.z = rd.get<std::uint64_t>();
-  const auto block_bits = rd.get<std::uint32_t>();
+  dims.x = rd.read<std::uint64_t>();
+  dims.y = rd.read<std::uint64_t>();
+  dims.z = rd.read<std::uint64_t>();
+  const std::size_t volume =
+      core::checked_volume("zfp", rd.offset(), dims.x, dims.y, dims.z);
+  (void)rd.checked_array_bytes(volume, sizeof(float));
+  const auto block_bits = rd.read<std::uint32_t>();
+  // The encoder emits byte-aligned budgets in [16, 8 * ceil(32 * 64 / 8)];
+  // anything else marks a corrupt header.
+  if (block_bits % 8 != 0 || block_bits < 16 || block_bits > 2048)
+    rd.fail("block bit budget out of range");
   const int d = dims.rank();
   const std::size_t bsize = d == 3 ? 64 : d == 2 ? 16 : 4;
   const dev::Dim3 blocks = dev::grid_for(dims, {4, 4, 4});
   const std::size_t block_bytes = block_bits / 8;
-  if (rd.remaining() < blocks.volume() * block_bytes)
-    throw std::runtime_error("zfp: truncated payload");
+  const std::size_t payload_bytes =
+      rd.checked_mul(core::checked_volume("zfp", rd.offset(), blocks.x,
+                                          blocks.y, blocks.z),
+                     block_bytes);
+  if (rd.remaining() < payload_bytes) rd.fail("truncated payload");
   const auto* payload =
       reinterpret_cast<const std::uint8_t*>(rd.rest().data());
 
-  std::vector<float> out(dims.volume());
+  std::vector<float> out(volume);
   dev::launch_blocks(blocks, [&](const dev::BlockIdx& blk) {
-    BlockReader br{payload + blk.linear * block_bytes};
+    BlockReader br{payload + blk.linear * block_bytes, block_bytes};
     float vals[64] = {};
     if (br.get1()) {
       const int emax = static_cast<int>(br.get(11)) - 1023;

@@ -15,6 +15,24 @@ namespace {
 
 constexpr std::uint32_t kWrapMagic = 0x50434242;  // "BBCP"
 
+}  // namespace
+
+std::vector<std::byte> bitcomp_wrap_archive(std::span<const std::byte> bytes) {
+  core::ByteWriter w;
+  w.put(kWrapMagic);
+  w.put_blob(lossless::bitcomp_compress(bytes));
+  return w.take();
+}
+
+std::vector<std::byte> bitcomp_unwrap_archive(
+    std::span<const std::byte> bytes) {
+  core::ByteReader rd(bytes, "bitcomp-wrapper");
+  rd.expect_magic(kWrapMagic);
+  return lossless::bitcomp_decompress(rd.read_length_prefixed());
+}
+
+namespace {
+
 class BitcompWrapped final : public Compressor {
  public:
   explicit BitcompWrapped(std::unique_ptr<Compressor> inner)
@@ -34,11 +52,7 @@ class BitcompWrapped final : public Compressor {
                                         const CompressParams& p) override {
     CompressResult r = inner_->compress(field, p);
     core::Timer t;
-    const auto wrapped = lossless::bitcomp_compress(r.bytes);
-    core::ByteWriter w;
-    w.put(kWrapMagic);
-    w.put_blob(wrapped);
-    r.bytes = w.take();
+    r.bytes = bitcomp_wrap_archive(r.bytes);
     const double extra = t.lap();
     r.timings.encode += extra;
     r.timings.total += extra;
@@ -48,10 +62,7 @@ class BitcompWrapped final : public Compressor {
   [[nodiscard]] std::vector<float> decompress(std::span<const std::byte> bytes,
                                               double* decode_seconds) override {
     core::Timer t;
-    core::ByteReader rd(bytes);
-    if (rd.get<std::uint32_t>() != kWrapMagic)
-      throw std::runtime_error("bitcomp wrapper: bad magic");
-    const auto inner_bytes = lossless::bitcomp_decompress(rd.get_blob());
+    const auto inner_bytes = bitcomp_unwrap_archive(bytes);
     const double unwrap = t.lap();
     double inner_time = 0;
     auto out = inner_->decompress(inner_bytes, &inner_time);

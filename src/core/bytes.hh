@@ -1,18 +1,121 @@
-// Tiny byte-stream serializer for archive headers and sections. Everything
-// is little-endian POD; readers throw std::runtime_error on truncation so a
-// corrupt archive can never drive out-of-bounds reads.
+// Shared bounds-checked archive serialization layer.
+//
+// Every stage of every archive in this repository (cuSZ-i header, outlier
+// sets, Huffman chunk tables, LZSS/RLE block framing, bundle TOCs, baseline
+// codecs) parses untrusted bytes through ByteReader. The reader is
+// cursor-based and enforces three guarantees on every primitive:
+//
+//   1. Bounds: no read ever touches bytes outside the input span; truncated
+//      input throws CorruptArchive instead of reading out of bounds.
+//   2. Overflow safety: element-count * element-size products are computed
+//      with __builtin_mul_overflow, so an attacker-controlled count cannot
+//      wrap size_t and defeat a length check.
+//   3. Allocation discipline: any allocation sized from archive bytes is
+//      checked against a process-wide cap (set_decode_alloc_cap), so a
+//      corrupt length field cannot drive a multi-gigabyte resize.
+//
+// All framing is little-endian POD; see docs/FORMAT.md for the byte-level
+// layout of each archive type.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <type_traits>
 #include <vector>
 
 namespace szi::core {
+
+/// Thrown whenever archive bytes fail validation. Carries the stage (which
+/// framing layer rejected the input) and the byte offset of the cursor at
+/// the failure point, so corrupt archives are diagnosable without a
+/// debugger. Derives from std::runtime_error: legacy catch sites keep
+/// working.
+class CorruptArchive : public std::runtime_error {
+ public:
+  CorruptArchive(std::string_view stage, std::size_t offset,
+                 std::string_view detail)
+      : std::runtime_error(std::string(stage) + ": " + std::string(detail) +
+                           " (offset " + std::to_string(offset) + ")"),
+        stage_(stage),
+        offset_(offset) {}
+
+  [[nodiscard]] const std::string& stage() const noexcept { return stage_; }
+  [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::string stage_;
+  std::size_t offset_;
+};
+
+/// Process-wide cap on any single decode-side allocation sized from archive
+/// bytes. The default admits any realistic scientific field while rejecting
+/// absurd length fields outright; fuzz harnesses lower it to catch
+/// over-allocation as a hard failure.
+inline constexpr std::size_t kDefaultDecodeAllocCap =
+    std::size_t{1} << 40;  // 1 TiB
+
+namespace detail {
+inline std::atomic<std::size_t>& decode_alloc_cap_ref() {
+  static std::atomic<std::size_t> cap{kDefaultDecodeAllocCap};
+  return cap;
+}
+}  // namespace detail
+
+[[nodiscard]] inline std::size_t decode_alloc_cap() noexcept {
+  return detail::decode_alloc_cap_ref().load(std::memory_order_relaxed);
+}
+
+inline void set_decode_alloc_cap(std::size_t bytes) noexcept {
+  detail::decode_alloc_cap_ref().store(bytes, std::memory_order_relaxed);
+}
+
+/// RAII cap override for tests: restores the previous cap on scope exit.
+class ScopedDecodeAllocCap {
+ public:
+  explicit ScopedDecodeAllocCap(std::size_t bytes) : prev_(decode_alloc_cap()) {
+    set_decode_alloc_cap(bytes);
+  }
+  ~ScopedDecodeAllocCap() { set_decode_alloc_cap(prev_); }
+  ScopedDecodeAllocCap(const ScopedDecodeAllocCap&) = delete;
+  ScopedDecodeAllocCap& operator=(const ScopedDecodeAllocCap&) = delete;
+
+ private:
+  std::size_t prev_;
+};
+
+/// a * b with overflow detection; throws CorruptArchive naming `stage`.
+[[nodiscard]] inline std::size_t checked_mul(std::string_view stage,
+                                             std::size_t offset, std::size_t a,
+                                             std::size_t b) {
+  std::size_t out = 0;
+  if (__builtin_mul_overflow(a, b, &out))
+    throw CorruptArchive(stage, offset, "size computation overflows");
+  return out;
+}
+
+/// Validates an allocation of `bytes` against the decode cap.
+inline void guard_decode_alloc(std::string_view stage, std::size_t offset,
+                               std::size_t bytes) {
+  if (bytes > decode_alloc_cap())
+    throw CorruptArchive(stage, offset,
+                         "allocation of " + std::to_string(bytes) +
+                             " bytes exceeds decode cap of " +
+                             std::to_string(decode_alloc_cap()));
+}
+
+/// x * y * z of archive-declared grid dimensions, overflow-checked.
+[[nodiscard]] inline std::size_t checked_volume(std::string_view stage,
+                                                std::size_t offset,
+                                                std::size_t x, std::size_t y,
+                                                std::size_t z) {
+  return checked_mul(stage, offset, checked_mul(stage, offset, x, y), z);
+}
 
 class ByteWriter {
  public:
@@ -44,52 +147,111 @@ class ByteWriter {
   std::vector<std::byte> buf_;
 };
 
+/// Cursor over untrusted archive bytes. Every primitive throws
+/// CorruptArchive (never UB, never a raw out-of-bounds access) on invalid
+/// input; `stage` names the framing layer in the error.
 class ByteReader {
  public:
-  explicit ByteReader(std::span<const std::byte> data) : data_(data) {}
+  explicit ByteReader(std::span<const std::byte> data,
+                      std::string_view stage = "archive")
+      : data_(data), stage_(stage) {}
 
+  /// One little-endian POD value.
   template <typename T>
     requires std::is_trivially_copyable_v<T>
-  [[nodiscard]] T get() {
-    need(sizeof(T));
+  [[nodiscard]] T read() {
+    need(sizeof(T), "value truncated");
     T v;
     std::memcpy(&v, data_.data() + pos_, sizeof(T));
     pos_ += sizeof(T);
     return v;
   }
 
-  [[nodiscard]] std::span<const std::byte> get_blob() {
-    const auto n = get<std::uint64_t>();
-    need(n);
+  /// `n` contiguous POD values. The n * sizeof(T) product is
+  /// overflow-checked and the result allocation is capped, so an
+  /// attacker-controlled count can neither wrap the truncation check nor
+  /// drive an over-allocation.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  [[nodiscard]] std::vector<T> read_array(std::size_t n) {
+    const std::size_t bytes = checked_array_bytes(n, sizeof(T));
+    need(bytes, "array truncated");
+    std::vector<T> v(n);
+    if (bytes > 0) std::memcpy(v.data(), data_.data() + pos_, bytes);
+    pos_ += bytes;
+    return v;
+  }
+
+  /// A borrowed view of `n` raw bytes (no allocation).
+  [[nodiscard]] std::span<const std::byte> read_bytes(std::size_t n) {
+    need(n, "byte range truncated");
     const auto s = data_.subspan(pos_, n);
     pos_ += n;
     return s;
   }
 
-  template <typename T>
-    requires std::is_trivially_copyable_v<T>
-  [[nodiscard]] std::vector<T> get_vector() {
-    const auto n = get<std::uint64_t>();
-    need(n * sizeof(T));
-    std::vector<T> v(n);
-    std::memcpy(v.data(), data_.data() + pos_, n * sizeof(T));
-    pos_ += n * sizeof(T);
-    return v;
+  /// u64 length + that many bytes, returned as a borrowed view.
+  [[nodiscard]] std::span<const std::byte> read_length_prefixed() {
+    const auto n = read<std::uint64_t>();
+    if (n > remaining()) fail("length prefix exceeds remaining bytes");
+    return read_bytes(static_cast<std::size_t>(n));
   }
 
+  /// u64 count + count POD values (the ByteWriter::put_vector framing).
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  [[nodiscard]] std::vector<T> read_length_prefixed_array() {
+    const auto n = read<std::uint64_t>();
+    if (n > remaining()) fail("array count exceeds remaining bytes");
+    return read_array<T>(static_cast<std::size_t>(n));
+  }
+
+  /// Reads a u32 and verifies it against the expected magic number.
+  void expect_magic(std::uint32_t magic) {
+    const std::size_t at = pos_;
+    if (read<std::uint32_t>() != magic)
+      throw CorruptArchive(stage_, at, "bad magic");
+  }
+
+  /// n * elem_size, overflow-checked and validated against the decode cap.
+  [[nodiscard]] std::size_t checked_array_bytes(std::size_t n,
+                                                std::size_t elem_size) const {
+    const std::size_t bytes = core::checked_mul(stage_, pos_, n, elem_size);
+    guard_decode_alloc(stage_, pos_, bytes);
+    return bytes;
+  }
+
+  /// Overflow-checked product reported against this reader's stage/offset.
+  [[nodiscard]] std::size_t checked_mul(std::size_t a, std::size_t b) const {
+    return core::checked_mul(stage_, pos_, a, b);
+  }
+
+  /// Validates an allocation request against the decode cap.
+  void guard_alloc(std::size_t bytes) const {
+    guard_decode_alloc(stage_, pos_, bytes);
+  }
+
+  [[noreturn]] void fail(std::string_view detail) const {
+    throw CorruptArchive(stage_, pos_, detail);
+  }
+
+  [[nodiscard]] std::size_t offset() const { return pos_; }
   [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
   [[nodiscard]] std::span<const std::byte> rest() const {
     return data_.subspan(pos_);
   }
+  [[nodiscard]] std::string_view stage() const { return stage_; }
 
  private:
-  void need(std::size_t n) const {
-    if (pos_ + n > data_.size())
-      throw std::runtime_error("archive truncated (need " + std::to_string(n) +
-                               " bytes at offset " + std::to_string(pos_) + ")");
+  // pos_ <= data_.size() is an invariant, so the subtraction cannot wrap and
+  // the comparison cannot be defeated by a huge `n`.
+  void need(std::size_t n, std::string_view what) const {
+    if (n > data_.size() - pos_) fail(what);
   }
+
   std::span<const std::byte> data_;
   std::size_t pos_ = 0;
+  std::string_view stage_;
 };
 
 }  // namespace szi::core

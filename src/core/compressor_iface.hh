@@ -66,6 +66,15 @@ class Compressor {
 [[nodiscard]] std::unique_ptr<Compressor> with_bitcomp(
     std::unique_ptr<Compressor> inner);
 
+/// The raw §VI-B framing used by with_bitcomp(): 'BBCP' magic + a
+/// length-prefixed LZSS stream. Exposed so typed (f64) archives and tests
+/// can apply/strip the pass without the f32 Compressor interface;
+/// unwrapping a corrupt buffer throws core::CorruptArchive.
+[[nodiscard]] std::vector<std::byte> bitcomp_wrap_archive(
+    std::span<const std::byte> bytes);
+[[nodiscard]] std::vector<std::byte> bitcomp_unwrap_archive(
+    std::span<const std::byte> bytes);
+
 /// Serves ErrorMode::PwRel on top of any error-bounded compressor by
 /// compressing log|v| at an absolute bound of log(1+rel), with sign and
 /// zero classes stored as RLE bitmaps (the SZ-family log-transform scheme).

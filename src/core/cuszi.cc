@@ -99,33 +99,41 @@ std::vector<std::byte> compress_typed(std::span<const T> data,
 
 template <typename T>
 std::vector<T> decompress_typed(std::span<const std::byte> bytes) {
-  core::ByteReader rd(bytes);
-  if (rd.get<std::uint32_t>() != kMagic)
-    throw std::runtime_error("cuSZ-i: bad magic");
-  const auto prec = static_cast<Precision>(rd.get<std::uint8_t>());
-  if (prec != precision_of<T>())
-    throw std::runtime_error("cuSZ-i: archive precision mismatch");
+  core::ByteReader rd(bytes, "cusz-i");
+  rd.expect_magic(kMagic);
+  const auto prec_byte = rd.read<std::uint8_t>();
+  if (prec_byte > static_cast<std::uint8_t>(Precision::F64))
+    rd.fail("unknown precision byte");
+  if (static_cast<Precision>(prec_byte) != precision_of<T>())
+    rd.fail("archive precision mismatch");
   dev::Dim3 dims;
-  dims.x = rd.get<std::uint64_t>();
-  dims.y = rd.get<std::uint64_t>();
-  dims.z = rd.get<std::uint64_t>();
-  const auto eb = rd.get<double>();
-  const auto pc = rd.get<PackedConfig>();
+  dims.x = rd.read<std::uint64_t>();
+  dims.y = rd.read<std::uint64_t>();
+  dims.z = rd.read<std::uint64_t>();
+  const std::size_t volume =
+      core::checked_volume("cusz-i", rd.offset(), dims.x, dims.y, dims.z);
+  (void)rd.checked_array_bytes(volume, sizeof(T));
+  const auto eb = rd.read<double>();
+  const auto pc = rd.read<PackedConfig>();
   predictor::InterpConfig cfg;
   cfg.alpha = pc.alpha;
   for (int i = 0; i < 3; ++i) {
+    if (pc.cubic[i] > static_cast<std::uint8_t>(predictor::CubicKind::Natural))
+      rd.fail("unknown cubic kind");
+    if (pc.order[i] > 2) rd.fail("interpolation dim order out of range");
     cfg.cubic[static_cast<std::size_t>(i)] =
         static_cast<predictor::CubicKind>(pc.cubic[i]);
     cfg.dim_order[static_cast<std::size_t>(i)] = pc.order[i];
   }
-  const auto anchors = rd.get_vector<T>();
+  const auto anchors = rd.read_length_prefixed_array<T>();
   std::size_t consumed = 0;
   const auto outliers =
-      quant::OutlierSetT<T>::deserialize(rd.get_blob(), &consumed);
-  const auto codes = huffman::decode(rd.get_blob());
-  if (codes.size() != dims.volume())
-    throw std::runtime_error("cuSZ-i: code count mismatch");
+      quant::OutlierSetT<T>::deserialize(rd.read_length_prefixed(), &consumed);
+  const auto codes = huffman::decode(rd.read_length_prefixed());
+  if (codes.size() != volume) rd.fail("code count mismatch");
 
+  // ginterp_decompress validates the anchor count and outlier indices
+  // against `dims` before scattering.
   return predictor::ginterp_decompress(codes, std::span<const T>(anchors),
                                        outliers, dims, eb, cfg, pc.radius);
 }
@@ -178,10 +186,14 @@ std::vector<std::byte> cuszi_compress(std::span<const double> data,
 }
 
 Precision cuszi_archive_precision(std::span<const std::byte> bytes) {
-  core::ByteReader rd(bytes);
-  if (rd.get<std::uint32_t>() != kMagic)
-    throw std::runtime_error("cuSZ-i: bad magic");
-  return static_cast<Precision>(rd.get<std::uint8_t>());
+  // Buffers shorter than magic + precision throw CorruptArchive (not UB),
+  // and the magic is verified before the precision byte is interpreted.
+  core::ByteReader rd(bytes, "cusz-i");
+  rd.expect_magic(kMagic);
+  const auto prec = rd.read<std::uint8_t>();
+  if (prec > static_cast<std::uint8_t>(Precision::F64))
+    rd.fail("unknown precision byte");
+  return static_cast<Precision>(prec);
 }
 
 std::vector<float> cuszi_decompress_f32(std::span<const std::byte> bytes) {

@@ -5,9 +5,11 @@
 // (§VI-A). The optional Bitcomp-style de-redundancy pass (§VI-B) is applied
 // through szi::with_bitcomp(), uniformly available to every compressor.
 //
-// Archive layout (see cuszi.cc):
-//   magic 'SZI1' | precision | dims | eb_abs | radius | InterpConfig |
+// Archive layout (field-by-field spec in docs/FORMAT.md):
+//   magic 'SZI1' | precision | dims | eb_abs | InterpConfig+radius |
 //   anchors | outliers | huffman stream
+// Decoding is bounds-checked end to end; malformed archives throw
+// szi::core::CorruptArchive naming the rejecting stage and byte offset.
 #pragma once
 
 #include <memory>

@@ -55,8 +55,8 @@ std::vector<std::byte> pack_bitmap(const std::vector<std::uint8_t>& bits) {
 std::vector<std::uint8_t> unpack_bitmap(std::span<const std::byte> rle,
                                         std::size_t n) {
   const auto packed = lossless::zero_rle_decompress(rle);
-  if (packed.size() != (n + 7) / 8)
-    throw std::runtime_error("pwrel: bitmap size mismatch");
+  if (packed.size() != n / 8 + (n % 8 != 0 ? 1 : 0))
+    throw core::CorruptArchive("pwrel", 0, "bitmap size mismatch");
   std::vector<std::uint8_t> bits(n);
   for (std::size_t i = 0; i < n; ++i)
     bits[i] = (static_cast<std::uint8_t>(packed[i / 8]) >> (i % 8)) & 1u;
@@ -116,15 +116,17 @@ class PwRelWrapped final : public Compressor {
   [[nodiscard]] std::vector<float> decompress(std::span<const std::byte> bytes,
                                               double* decode_seconds) override {
     core::Timer total;
-    core::ByteReader rd(bytes);
-    if (rd.get<std::uint32_t>() != kMagic)
-      throw std::runtime_error("pwrel: bad magic");
-    const auto n = rd.get<std::uint64_t>();
-    (void)rd.get<double>();  // rel bound: informational
-    const auto negative = unpack_bitmap(rd.get_blob(), n);
-    const auto zero = unpack_bitmap(rd.get_blob(), n);
-    auto logged = inner_->decompress(rd.get_blob(), nullptr);
-    if (logged.size() != n) throw std::runtime_error("pwrel: size mismatch");
+    core::ByteReader rd(bytes, "pwrel");
+    rd.expect_magic(kMagic);
+    const auto n64 = rd.read<std::uint64_t>();
+    (void)rd.checked_array_bytes(static_cast<std::size_t>(n64),
+                                 sizeof(float));
+    const auto n = static_cast<std::size_t>(n64);
+    (void)rd.read<double>();  // rel bound: informational
+    const auto negative = unpack_bitmap(rd.read_length_prefixed(), n);
+    const auto zero = unpack_bitmap(rd.read_length_prefixed(), n);
+    auto logged = inner_->decompress(rd.read_length_prefixed(), nullptr);
+    if (logged.size() != n) rd.fail("inner payload size mismatch");
 
     std::vector<float> out(n);
     dev::launch_linear(

@@ -5,6 +5,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "core/bytes.hh"
+
 namespace szi::huffman {
 
 namespace {
@@ -106,6 +108,23 @@ Codebook Codebook::build(std::span<const std::uint32_t> hist) {
 }
 
 Codebook Codebook::from_lengths(std::vector<std::uint8_t> lengths) {
+  // The lengths come straight from archive bytes. Two properties are
+  // load-bearing for memory safety downstream: every length must fit the
+  // canonical tables (<= kMaxCodeLen indexes DecodeTable::count), and the
+  // multiset must satisfy the Kraft inequality — otherwise canonical code
+  // assignment overflows its length and FastDecodeTable would write LUT
+  // entries past the end of its 2^kLutBits table.
+  std::uint64_t kraft = 0;
+  for (std::size_t s = 0; s < lengths.size(); ++s) {
+    const unsigned len = lengths[s];
+    if (len > kMaxCodeLen)
+      throw core::CorruptArchive("huffman-codebook", s,
+                                 "code length exceeds limit");
+    if (len > 0) kraft += std::uint64_t{1} << (kMaxCodeLen - len);
+  }
+  if (kraft > (std::uint64_t{1} << kMaxCodeLen))
+    throw core::CorruptArchive("huffman-codebook", 0,
+                               "code lengths violate the Kraft inequality");
   Codebook book;
   book.lengths = std::move(lengths);
   assign_canonical(book);

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "core/bytes.hh"
 #include "device/launch.hh"
 #include "device/scan.hh"
 #include "huffman/histogram.hh"
@@ -15,16 +16,6 @@ template <typename T>
 void append_pod(std::vector<std::byte>& out, const T& v) {
   const auto* p = reinterpret_cast<const std::byte*>(&v);
   out.insert(out.end(), p, p + sizeof(T));
-}
-
-template <typename T>
-T read_pod(std::span<const std::byte> in, std::size_t& pos) {
-  if (pos + sizeof(T) > in.size())
-    throw std::runtime_error("huffman: truncated stream");
-  T v;
-  std::memcpy(&v, in.data() + pos, sizeof(T));
-  pos += sizeof(T);
-  return v;
 }
 
 }  // namespace
@@ -75,8 +66,9 @@ std::vector<std::byte> encode_with_book(std::span<const quant::Code> codes,
   append_pod(out, payload_bytes);
   const std::size_t offsets_pos = out.size();
   out.resize(out.size() + nchunks * sizeof(std::uint64_t));
-  std::memcpy(out.data() + offsets_pos, offsets.data(),
-              nchunks * sizeof(std::uint64_t));
+  if (nchunks > 0)
+    std::memcpy(out.data() + offsets_pos, offsets.data(),
+                nchunks * sizeof(std::uint64_t));
 
   // Phase 2: chunk-parallel bitstream emission into disjoint byte ranges.
   const std::size_t payload_pos = out.size();
@@ -93,42 +85,43 @@ std::vector<std::byte> encode_with_book(std::span<const quant::Code> codes,
         for (std::size_t i = begin; i < end; ++i)
           bw.put(book.codes[codes[i]], book.lengths[codes[i]]);
         bw.align();
-        std::memcpy(payload + offsets[c], buf.data(), buf.size());
+        if (!buf.empty())
+          std::memcpy(payload + offsets[c], buf.data(), buf.size());
       },
       1);
   return out;
 }
 
 std::vector<quant::Code> decode(std::span<const std::byte> bytes) {
-  std::size_t pos = 0;
-  const auto nbins = read_pod<std::uint32_t>(bytes, pos);
-  if (pos + nbins > bytes.size())
-    throw std::runtime_error("huffman: truncated lengths");
-  std::vector<std::uint8_t> lengths(nbins);
-  std::memcpy(lengths.data(), bytes.data() + pos, nbins);
-  pos += nbins;
-  const auto n = read_pod<std::uint64_t>(bytes, pos);
-  const auto chunk_size = read_pod<std::uint32_t>(bytes, pos);
-  if (chunk_size == 0) throw std::runtime_error("huffman: zero chunk size");
-  const auto payload_bytes = read_pod<std::uint64_t>(bytes, pos);
-  const std::size_t nchunks = dev::ceil_div<std::size_t>(n, chunk_size);
-  if (pos + nchunks * sizeof(std::uint64_t) + payload_bytes > bytes.size())
-    throw std::runtime_error("huffman: truncated payload");
-  std::vector<std::uint64_t> offsets(nchunks);
-  std::memcpy(offsets.data(), bytes.data() + pos, nchunks * sizeof(std::uint64_t));
-  pos += nchunks * sizeof(std::uint64_t);
-  // Validate before any pointer arithmetic: offsets must be monotone and
-  // inside the payload, or a corrupt header could index out of bounds.
+  core::ByteReader rd(bytes, "huffman");
+  const auto nbins = rd.read<std::uint32_t>();
+  auto lengths = rd.read_array<std::uint8_t>(nbins);
+  const auto n64 = rd.read<std::uint64_t>();
+  const auto chunk_size = rd.read<std::uint32_t>();
+  if (chunk_size == 0) rd.fail("zero chunk size");
+  const auto payload_bytes = rd.read<std::uint64_t>();
+  // Overflow-free ceil-div: n64 is attacker-controlled and may be near 2^64.
+  const std::uint64_t nchunks64 =
+      n64 / chunk_size + (n64 % chunk_size != 0 ? 1 : 0);
+  (void)rd.checked_array_bytes(static_cast<std::size_t>(n64),
+                               sizeof(quant::Code));
+  const std::size_t n = static_cast<std::size_t>(n64);
+  const std::size_t nchunks = static_cast<std::size_t>(nchunks64);
+  const auto offsets = rd.read_array<std::uint64_t>(nchunks);
+  if (rd.remaining() < payload_bytes) rd.fail("truncated payload");
+  // Validate the chunk table before any pointer arithmetic: offsets must
+  // start at zero, stay monotone, and land inside the payload, or a corrupt
+  // header could index out of bounds.
+  if (nchunks > 0 && offsets[0] != 0) rd.fail("first chunk offset not zero");
   for (std::size_t c = 0; c < nchunks; ++c) {
-    if (offsets[c] > payload_bytes ||
-        (c > 0 && offsets[c] < offsets[c - 1]))
-      throw std::runtime_error("huffman: corrupt chunk offsets");
+    if (offsets[c] > payload_bytes || (c > 0 && offsets[c] < offsets[c - 1]))
+      rd.fail("corrupt chunk offsets");
   }
 
+  // from_lengths rejects over-long or Kraft-violating length tables.
   const Codebook book = Codebook::from_lengths(std::move(lengths));
   const FastDecodeTable table = FastDecodeTable::from(book);
-  const auto* payload =
-      reinterpret_cast<const std::uint8_t*>(bytes.data() + pos);
+  const auto* payload = reinterpret_cast<const std::uint8_t*>(rd.rest().data());
 
   std::vector<quant::Code> codes(n);
   dev::launch_linear(
@@ -138,9 +131,17 @@ std::vector<quant::Code> decode(std::span<const std::byte> bytes) {
         const std::size_t end = std::min<std::size_t>(begin + chunk_size, n);
         const std::size_t chunk_end_byte =
             (c + 1 < nchunks) ? offsets[c + 1] : payload_bytes;
-        lossless::BitReader br({payload + offsets[c],
-                                chunk_end_byte - offsets[c]});
+        const std::size_t chunk_bytes = chunk_end_byte - offsets[c];
+        lossless::BitReader br({payload + offsets[c], chunk_bytes});
         for (std::size_t i = begin; i < end; ++i) codes[i] = table.decode(br);
+        // The encoder byte-aligns every chunk, so a valid chunk decodes its
+        // element count within its byte span. Consuming more bits means the
+        // chunk table lied about this chunk's extent.
+        if (br.position() > chunk_bytes * 8)
+          throw core::CorruptArchive(
+              "huffman", offsets[c],
+              "chunk decoded past its extent (chunk " + std::to_string(c) +
+                  ")");
       },
       1);
   return codes;

@@ -16,13 +16,10 @@ void put_string(core::ByteWriter& w, const std::string& s) {
 }
 
 std::string get_string(core::ByteReader& r) {
-  const auto n = r.get<std::uint32_t>();
-  if (n > 4096) throw std::runtime_error("bundle: absurd string length");
-  std::string s;
-  s.reserve(n);
-  for (std::uint32_t i = 0; i < n; ++i)
-    s.push_back(static_cast<char>(r.get<std::uint8_t>()));
-  return s;
+  const auto n = r.read<std::uint32_t>();
+  if (n > 4096) r.fail("absurd string length");
+  const auto chars = r.read_array<char>(n);
+  return std::string(chars.begin(), chars.end());
 }
 }  // namespace
 
@@ -61,20 +58,24 @@ std::vector<std::byte> Bundle::serialize() const {
 }
 
 Bundle Bundle::deserialize(std::span<const std::byte> bytes) {
-  core::ByteReader r(bytes);
-  if (r.get<std::uint32_t>() != kMagic)
-    throw std::runtime_error("bundle: bad magic");
-  const auto n = r.get<std::uint32_t>();
+  core::ByteReader r(bytes, "bundle");
+  r.expect_magic(kMagic);
+  const auto n = r.read<std::uint32_t>();
+  // Each entry consumes at least its fixed fields, bounding the claimed
+  // entry count by what the buffer can actually hold.
+  constexpr std::size_t kMinEntryBytes =
+      2 * sizeof(std::uint32_t) + 5 * sizeof(std::uint64_t);
+  if (n > r.remaining() / kMinEntryBytes) r.fail("entry count exceeds buffer");
   Bundle b;
   for (std::uint32_t i = 0; i < n; ++i) {
     BundleEntry e;
     e.name = get_string(r);
     e.compressor = get_string(r);
-    e.dims.x = r.get<std::uint64_t>();
-    e.dims.y = r.get<std::uint64_t>();
-    e.dims.z = r.get<std::uint64_t>();
-    e.raw_bytes = r.get<std::uint64_t>();
-    const auto blob = r.get_blob();
+    e.dims.x = r.read<std::uint64_t>();
+    e.dims.y = r.read<std::uint64_t>();
+    e.dims.z = r.read<std::uint64_t>();
+    e.raw_bytes = r.read<std::uint64_t>();
+    const auto blob = r.read_length_prefixed();
     e.archive.assign(blob.begin(), blob.end());
     b.add(std::move(e));
   }

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "core/bytes.hh"
 #include "device/launch.hh"
 
 namespace szi::lossless {
@@ -93,36 +94,39 @@ std::vector<std::uint8_t> compress_block(const std::uint8_t* src,
 }
 
 void decompress_block(const std::uint8_t* src, std::size_t n,
-                      std::uint8_t* dst, std::size_t raw) {
+                      std::uint8_t* dst, std::size_t raw, std::size_t block) {
+  const auto corrupt = [&](std::string_view what) -> core::CorruptArchive {
+    return core::CorruptArchive("lzss", block, what);
+  };
   std::size_t ip = 0, op = 0;
   std::uint8_t ctrl = 0;
   int ctrl_bits = 8;
   while (op < raw) {
     if (ctrl_bits == 8) {
-      if (ip >= n) throw std::runtime_error("lzss: truncated control");
+      if (ip >= n) throw corrupt("truncated control byte");
       ctrl = src[ip++];
       ctrl_bits = 0;
     }
     const bool is_match = (ctrl >> ctrl_bits) & 1;
     ++ctrl_bits;
     if (is_match) {
-      if (ip + 3 > n) throw std::runtime_error("lzss: truncated match");
+      if (ip + 3 > n) throw corrupt("truncated match token");
       const std::size_t dist = src[ip] | (static_cast<std::size_t>(src[ip + 1]) << 8);
       ip += 2;
       std::size_t len = kMinMatch;
       for (;;) {
-        if (ip >= n) throw std::runtime_error("lzss: truncated length");
+        if (ip >= n) throw corrupt("truncated match length");
         const std::uint8_t b = src[ip++];
         len += b;
         if (b != 0xFF) break;
       }
-      if (dist == 0 || dist > op || op + len > raw)
-        throw std::runtime_error("lzss: corrupt match");
+      if (dist == 0 || dist > op || len > raw - op)
+        throw corrupt("corrupt match");
       // Byte-by-byte copy: overlapping matches (dist < len) replicate runs.
       for (std::size_t k = 0; k < len; ++k) dst[op + k] = dst[op + k - dist];
       op += len;
     } else {
-      if (ip >= n) throw std::runtime_error("lzss: truncated literal");
+      if (ip >= n) throw corrupt("truncated literal");
       dst[op++] = src[ip++];
     }
   }
@@ -132,16 +136,6 @@ template <typename T>
 void append_pod(std::vector<std::byte>& out, const T& v) {
   const auto* p = reinterpret_cast<const std::byte*>(&v);
   out.insert(out.end(), p, p + sizeof(T));
-}
-
-template <typename T>
-T read_pod(std::span<const std::byte> in, std::size_t& pos) {
-  if (pos + sizeof(T) > in.size())
-    throw std::runtime_error("lzss: truncated header");
-  T v;
-  std::memcpy(&v, in.data() + pos, sizeof(T));
-  pos += sizeof(T);
-  return v;
 }
 
 }  // namespace
@@ -192,22 +186,31 @@ std::vector<std::byte> lzss_compress(std::span<const std::byte> data,
 }
 
 std::vector<std::byte> lzss_decompress(std::span<const std::byte> data) {
-  std::size_t pos = 0;
-  const auto raw_size = read_pod<std::uint64_t>(data, pos);
-  const auto block_size = read_pod<std::uint32_t>(data, pos);
-  const auto nblocks = read_pod<std::uint32_t>(data, pos);
-  if (block_size == 0 && raw_size > 0)
-    throw std::runtime_error("lzss: bad block size");
-  if (nblocks > 0 &&
-      (raw_size == 0 ||
-       nblocks != dev::ceil_div<std::size_t>(raw_size, block_size)))
-    throw std::runtime_error("lzss: inconsistent block count");
-  std::vector<std::uint64_t> offsets(nblocks);
-  if (pos + nblocks * sizeof(std::uint64_t) > data.size())
-    throw std::runtime_error("lzss: truncated offsets");
-  std::memcpy(offsets.data(), data.data() + pos,
-              nblocks * sizeof(std::uint64_t));
-  pos += nblocks * sizeof(std::uint64_t);
+  core::ByteReader rd(data, "lzss");
+  const auto raw_size64 = rd.read<std::uint64_t>();
+  const auto block_size = rd.read<std::uint32_t>();
+  const auto nblocks = rd.read<std::uint32_t>();
+  rd.guard_alloc(raw_size64);
+  const auto raw_size = static_cast<std::size_t>(raw_size64);
+  if (block_size == 0 && raw_size > 0) rd.fail("zero block size");
+  // The block count must be exactly ceil(raw_size / block_size): a zero
+  // count with a huge raw_size would otherwise fabricate output from thin
+  // air. Division form avoids the a+b-1 overflow of ceil_div.
+  const std::uint64_t expect_blocks =
+      block_size == 0 ? 0
+                      : raw_size64 / block_size +
+                            (raw_size64 % block_size != 0 ? 1 : 0);
+  if (nblocks != expect_blocks) rd.fail("inconsistent block count");
+  const std::size_t header_end = rd.offset() + nblocks * sizeof(std::uint64_t);
+  const auto offsets = rd.read_array<std::uint64_t>(nblocks);
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    // Each block begins with a mode byte after the offset table and blocks
+    // are laid out in order, so offsets must be strictly increasing views
+    // into the stream.
+    if (offsets[b] < header_end || offsets[b] >= data.size() ||
+        (b > 0 && offsets[b] <= offsets[b - 1]))
+      rd.fail("corrupt block offsets");
+  }
 
   std::vector<std::byte> out(raw_size);
   auto* dst = reinterpret_cast<std::uint8_t*>(out.data());
@@ -219,16 +222,15 @@ std::vector<std::byte> lzss_decompress(std::span<const std::byte> data) {
         const std::size_t len =
             std::min<std::size_t>(block_size, raw_size - begin);
         std::size_t off = offsets[b];
-        if (off >= data.size()) throw std::runtime_error("lzss: bad offset");
         const std::uint8_t mode = src[off++];
         const std::size_t end =
             (b + 1 < nblocks) ? offsets[b + 1] : data.size();
-        if (end < off) throw std::runtime_error("lzss: bad offsets");
         if (mode == 0) {
-          if (end - off < len) throw std::runtime_error("lzss: truncated raw");
+          if (end - off < len)
+            throw core::CorruptArchive("lzss", off, "truncated raw block");
           std::memcpy(dst + begin, src + off, len);
         } else {
-          decompress_block(src + off, end - off, dst + begin, len);
+          decompress_block(src + off, end - off, dst + begin, len, b);
         }
       },
       1);

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "core/bytes.hh"
 #include "device/launch.hh"
 
 namespace szi::lossless {
@@ -53,25 +54,25 @@ std::vector<std::byte> zero_rle_compress(std::span<const std::byte> data) {
 }
 
 std::vector<std::byte> zero_rle_decompress(std::span<const std::byte> data) {
-  if (data.size() < sizeof(std::uint64_t))
-    throw std::runtime_error("zero_rle: truncated header");
-  std::uint64_t n = 0;
-  std::memcpy(&n, data.data(), sizeof(n));
-  const std::size_t nunits = dev::ceil_div<std::size_t>(n, kRleUnit);
-  const std::size_t bitmap_bytes = (nunits + 7) / 8;
-  if (data.size() < sizeof(n) + bitmap_bytes)
-    throw std::runtime_error("zero_rle: truncated bitmap");
+  core::ByteReader rd(data, "zero-rle");
+  const auto n64 = rd.read<std::uint64_t>();
+  rd.guard_alloc(n64);
+  const auto n = static_cast<std::size_t>(n64);
+  // Division form: ceil_div's a+b-1 would wrap for n near 2^64.
+  const std::size_t nunits = n / kRleUnit + (n % kRleUnit != 0 ? 1 : 0);
+  const std::size_t bitmap_bytes = nunits / 8 + (nunits % 8 != 0 ? 1 : 0);
+  if (rd.remaining() < bitmap_bytes) rd.fail("truncated bitmap");
   const auto* bitmap =
-      reinterpret_cast<const std::uint8_t*>(data.data() + sizeof(n));
-  std::size_t pos = sizeof(n) + bitmap_bytes;
+      reinterpret_cast<const std::uint8_t*>(rd.read_bytes(bitmap_bytes).data());
+  std::size_t pos = rd.offset();
 
   std::vector<std::byte> out(n, std::byte{0});
   for (std::size_t u = 0; u < nunits; ++u) {
     if (!((bitmap[u / 8] >> (u % 8)) & 1u)) continue;
     const std::size_t begin = u * kRleUnit;
     const std::size_t len = std::min<std::size_t>(kRleUnit, n - begin);
-    if (pos + len > data.size())
-      throw std::runtime_error("zero_rle: truncated payload");
+    if (len > data.size() - pos)
+      throw core::CorruptArchive("zero-rle", pos, "truncated payload");
     std::memcpy(out.data() + begin, data.data() + pos, len);
     pos += len;
   }

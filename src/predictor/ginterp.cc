@@ -4,6 +4,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "core/bytes.hh"
 #include "device/launch.hh"
 #include "predictor/anchor.hh"
 #include "predictor/spline.hh"
@@ -184,6 +185,11 @@ std::vector<T> decompress_impl(std::span<const quant::Code> codes,
     throw std::invalid_argument("ginterp_decompress: size/dims mismatch");
 
   const Geometry geo = geometry_for(dims);
+  // Anchor count and outlier indices come from the archive; both index into
+  // the work buffer, so they must be validated before any scatter.
+  if (anchors.size() != anchor_dims(dims, geo.anchor).volume())
+    throw core::CorruptArchive("ginterp", 0, "anchor count mismatch");
+  outliers.check_bounds(dims.volume(), "ginterp");
   std::vector<T> work(dims.volume(), T{0});
   scatter_anchors<T>(anchors, work, dims, geo.anchor);
   outliers.scatter(work);

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/bytes.hh"
 #include "device/launch.hh"
 
 namespace szi::predictor {
@@ -78,6 +79,8 @@ std::vector<float> lorenzo_decompress(std::span<const quant::Code> codes,
                                       int radius) {
   if (codes.size() != dims.volume())
     throw std::invalid_argument("lorenzo_decompress: size/dims mismatch");
+  // Outlier indices come from the archive and index into q below.
+  outliers.check_bounds(dims.volume(), "lorenzo");
 
   // Rebuild the q field (outlier q's were stored exactly as floats).
   std::vector<std::int64_t> q(codes.size());

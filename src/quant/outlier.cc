@@ -3,6 +3,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "core/bytes.hh"
 #include "device/compaction.hh"
 #include "device/launch.hh"
 
@@ -41,30 +42,38 @@ std::vector<std::byte> OutlierSetT<T>::serialize() const {
   std::byte* p = out.data();
   std::memcpy(p, &n, sizeof(n));
   p += sizeof(n);
-  std::memcpy(p, indices.data(), n * sizeof(std::uint64_t));
-  p += n * sizeof(std::uint64_t);
-  std::memcpy(p, values.data(), n * sizeof(T));
+  if (n > 0) {
+    std::memcpy(p, indices.data(), n * sizeof(std::uint64_t));
+    p += n * sizeof(std::uint64_t);
+    std::memcpy(p, values.data(), n * sizeof(T));
+  }
   return out;
 }
 
 template <typename T>
 OutlierSetT<T> OutlierSetT<T>::deserialize(std::span<const std::byte> bytes,
                                            std::size_t* consumed) {
-  if (bytes.size() < sizeof(std::uint64_t))
-    throw std::runtime_error("outlier stream truncated");
-  std::uint64_t n = 0;
-  std::memcpy(&n, bytes.data(), sizeof(n));
-  const std::size_t need = sizeof(n) + n * (sizeof(std::uint64_t) + sizeof(T));
-  if (bytes.size() < need) throw std::runtime_error("outlier stream truncated");
+  // The count is attacker-controlled: read_array computes n * elem_size with
+  // overflow checks, so a huge n is rejected before any resize/memcpy.
+  core::ByteReader rd(bytes, "outlier-set");
+  const auto n = rd.read<std::uint64_t>();
+  if (n > rd.remaining()) rd.fail("count exceeds remaining bytes");
   OutlierSetT set;
-  set.indices.resize(n);
-  set.values.resize(n);
-  const std::byte* p = bytes.data() + sizeof(n);
-  std::memcpy(set.indices.data(), p, n * sizeof(std::uint64_t));
-  p += n * sizeof(std::uint64_t);
-  std::memcpy(set.values.data(), p, n * sizeof(T));
-  if (consumed) *consumed = need;
+  set.indices = rd.read_array<std::uint64_t>(static_cast<std::size_t>(n));
+  set.values = rd.read_array<T>(static_cast<std::size_t>(n));
+  if (consumed) *consumed = rd.offset();
   return set;
+}
+
+template <typename T>
+void OutlierSetT<T>::check_bounds(std::size_t limit,
+                                  std::string_view stage) const {
+  for (std::size_t i = 0; i < indices.size(); ++i)
+    if (indices[i] >= limit)
+      throw core::CorruptArchive(stage, i,
+                                 "outlier index out of range (index " +
+                                     std::to_string(indices[i]) + " >= " +
+                                     std::to_string(limit) + ")");
 }
 
 template struct OutlierSetT<float>;

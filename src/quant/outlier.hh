@@ -7,6 +7,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "quant/quantizer.hh"
@@ -38,8 +39,15 @@ struct OutlierSetT {
 
   /// Flat serialization: count | indices | values.
   [[nodiscard]] std::vector<std::byte> serialize() const;
+  /// Bounds-checked parse; throws core::CorruptArchive on truncation or an
+  /// overflowing count.
   static OutlierSetT deserialize(std::span<const std::byte> bytes,
                                  std::size_t* consumed);
+
+  /// Throws core::CorruptArchive if any stored index is >= limit. Decoders
+  /// must call this before scatter(): indices come from the archive and an
+  /// unchecked one would write out of bounds.
+  void check_bounds(std::size_t limit, std::string_view stage) const;
 };
 
 extern template struct OutlierSetT<float>;

@@ -1,0 +1,97 @@
+// Deterministic archive mutator shared by the decode-fuzz tests.
+//
+// Each call applies one seeded mutation drawn from the classes that have
+// historically broken archive decoders:
+//   - bit-flip bursts (random corruption anywhere in the stream),
+//   - truncations (partial writes / short reads),
+//   - length-field inflation (huge u64/u32 counts that overflow n * elem_size
+//     products or drive over-allocation),
+//   - span fills (zeroed or saturated regions, e.g. torn pages).
+//
+// The mutator is pure: same RNG state in, same mutant out, so any failing
+// trial is reproducible from its (seed, trial) pair alone.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "datagen/rng.hh"
+
+namespace szi::testing {
+
+/// Huge counts chosen to probe distinct failure modes: the first wraps
+/// n * 8 to zero on 64-bit size_t, the middle ones overflow more general
+/// products, the last is a "merely absurd" allocation request.
+inline constexpr std::uint64_t kInflatedLengths[] = {
+    0x2000000000000000ULL,  // * 8 == 2^64: defeats unchecked length checks
+    0xFFFFFFFFFFFFFFFFULL,  // all-ones
+    0x8000000000000000ULL,  // sign-bit corner for size_t/int64 confusion
+    0x0000000100000000ULL,  // 4 Gi elements: passes 32-bit checks, huge alloc
+};
+
+/// Applies one seeded mutation to a copy of `original`. Never returns the
+/// input unchanged unless the archive is empty.
+inline std::vector<std::byte> mutate_archive(
+    std::span<const std::byte> original, datagen::Rng& rng) {
+  std::vector<std::byte> bytes(original.begin(), original.end());
+  if (bytes.empty()) return bytes;
+
+  const auto pick_offset = [&](std::size_t width) {
+    return bytes.size() > width
+               ? static_cast<std::size_t>(rng.next_u64() %
+                                          (bytes.size() - width + 1))
+               : std::size_t{0};
+  };
+
+  switch (rng.next_u64() % 6) {
+    case 0: {  // bit-flip burst
+      const int flips = 1 + static_cast<int>(rng.next_u64() % 16);
+      for (int k = 0; k < flips; ++k) {
+        const std::size_t pos = pick_offset(1);
+        bytes[pos] ^= static_cast<std::byte>(1u << (rng.next_u64() % 8));
+      }
+      break;
+    }
+    case 1: {  // truncation (including to zero)
+      bytes.resize(static_cast<std::size_t>(rng.next_u64() % bytes.size()));
+      break;
+    }
+    case 2: {  // u64 length-field inflation
+      const std::uint64_t v =
+          kInflatedLengths[rng.next_u64() %
+                           (sizeof(kInflatedLengths) / sizeof(std::uint64_t))];
+      const std::size_t pos = pick_offset(sizeof(v));
+      std::memcpy(bytes.data() + pos, &v,
+                  std::min(sizeof(v), bytes.size() - pos));
+      break;
+    }
+    case 3: {  // u32 length-field inflation
+      const std::uint32_t v = 0xFFFFFFFFu;
+      const std::size_t pos = pick_offset(sizeof(v));
+      std::memcpy(bytes.data() + pos, &v,
+                  std::min(sizeof(v), bytes.size() - pos));
+      break;
+    }
+    case 4: {  // zero-fill span
+      const std::size_t pos = pick_offset(1);
+      const std::size_t len =
+          std::min<std::size_t>(1 + rng.next_u64() % 64, bytes.size() - pos);
+      std::memset(bytes.data() + pos, 0, len);
+      break;
+    }
+    default: {  // 0xFF-fill span
+      const std::size_t pos = pick_offset(1);
+      const std::size_t len =
+          std::min<std::size_t>(1 + rng.next_u64() % 64, bytes.size() - pos);
+      std::memset(bytes.data() + pos, 0xFF, len);
+      break;
+    }
+  }
+  return bytes;
+}
+
+}  // namespace szi::testing

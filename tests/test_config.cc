@@ -132,17 +132,41 @@ TEST(Bytes, RoundTripAndTruncation) {
   w.put_blob(blob);
   const auto bytes = w.take();
 
-  szi::core::ByteReader r(bytes);
-  EXPECT_EQ(r.get<std::uint32_t>(), 0xDEADBEEFu);
-  EXPECT_DOUBLE_EQ(r.get<double>(), 3.5);
-  EXPECT_EQ(r.get_vector<float>(), (std::vector<float>{1.0f, 2.0f}));
-  const auto back = r.get_blob();
+  szi::core::ByteReader r(bytes, "test");
+  EXPECT_EQ(r.read<std::uint32_t>(), 0xDEADBEEFu);
+  EXPECT_DOUBLE_EQ(r.read<double>(), 3.5);
+  EXPECT_EQ(r.read_length_prefixed_array<float>(),
+            (std::vector<float>{1.0f, 2.0f}));
+  const auto back = r.read_length_prefixed();
   EXPECT_EQ(back.size(), 2u);
   EXPECT_EQ(r.remaining(), 0u);
 
-  szi::core::ByteReader trunc(std::span<const std::byte>(bytes).first(6));
-  (void)trunc.get<std::uint32_t>();
-  EXPECT_THROW((void)trunc.get<double>(), std::runtime_error);
+  szi::core::ByteReader trunc(std::span<const std::byte>(bytes).first(6),
+                              "test");
+  (void)trunc.read<std::uint32_t>();
+  EXPECT_THROW((void)trunc.read<double>(), szi::core::CorruptArchive);
+}
+
+TEST(Bytes, ReaderRejectsOverflowAndOverAllocation) {
+  // A length prefix claiming 2^61 elements must throw CorruptArchive, not
+  // wrap the byte count or attempt the allocation.
+  szi::core::ByteWriter w;
+  w.put(std::uint64_t{0x2000000000000000ull});
+  const auto bytes = w.take();
+  szi::core::ByteReader r(bytes, "test");
+  EXPECT_THROW((void)r.read_length_prefixed(), szi::core::CorruptArchive);
+
+  szi::core::ByteReader r2(bytes, "test");
+  const auto n = r2.read<std::uint64_t>();
+  EXPECT_THROW((void)r2.checked_array_bytes(n, sizeof(double)),
+               szi::core::CorruptArchive);
+
+  // The decode allocation cap turns huge-but-non-overflowing requests into
+  // structured errors as well.
+  szi::core::ScopedDecodeAllocCap cap(1 << 20);
+  szi::core::ByteReader r3(bytes, "test");
+  EXPECT_THROW(r3.guard_alloc(2 << 20), szi::core::CorruptArchive);
+  EXPECT_NO_THROW(r3.guard_alloc(1 << 19));
 }
 
 }  // namespace

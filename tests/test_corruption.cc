@@ -5,8 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <tuple>
+#include <vector>
 
 #include "baselines/registry.hh"
+#include "core/compressor_iface.hh"
+#include "core/cuszi.hh"
 #include "datagen/datasets.hh"
 #include "datagen/rng.hh"
 
@@ -66,6 +69,70 @@ TEST_P(CorruptionFuzz, BitFlipsNeverCrash) {
 INSTANTIATE_TEST_SUITE_P(AllCompressors, CorruptionFuzz,
                          ::testing::Values("cusz-i", "cusz", "cuszp", "cuszx",
                                            "fz-gpu", "cuzfp", "sz3", "qoz"));
+
+// Both precisions of the typed cuSZ-i archive, plain and bitcomp-wrapped
+// (§VI-B framing): truncations and bit flips must never crash regardless of
+// the header's precision byte or the outer de-redundancy layer.
+class TypedCorruption
+    : public ::testing::TestWithParam<std::tuple<bool /*f64*/,
+                                                 bool /*bitcomp*/>> {};
+
+TEST_P(TypedCorruption, TruncationsAndFlipsNeverCrash) {
+  const auto [f64, wrapped] = GetParam();
+  const auto& field = test_field();
+  const szi::CompressParams p{szi::ErrorMode::Rel, 1e-3};
+  std::vector<std::byte> archive;
+  if (f64) {
+    const std::vector<double> data(field.data.begin(), field.data.end());
+    archive = szi::cuszi_compress(data, field.dims, p);
+  } else {
+    archive = szi::cuszi_compress(field.view(), field.dims, p);
+  }
+  if (wrapped) archive = szi::bitcomp_wrap_archive(archive);
+
+  const auto decode = [&](std::span<const std::byte> bytes) {
+    std::vector<std::byte> inner;
+    if (wrapped) {
+      inner = szi::bitcomp_unwrap_archive(bytes);
+      bytes = inner;
+    }
+    if (f64)
+      (void)szi::cuszi_decompress_f64(bytes);
+    else
+      (void)szi::cuszi_decompress_f32(bytes);
+  };
+
+  for (const double frac : {0.0, 0.1, 0.5, 0.9, 0.999}) {
+    auto cut = archive;
+    cut.resize(
+        static_cast<std::size_t>(static_cast<double>(cut.size()) * frac));
+    try {
+      decode(cut);
+    } catch (const std::exception&) {
+    }
+  }
+  szi::datagen::Rng rng(0xBADF64 + (f64 ? 1 : 0) + (wrapped ? 2 : 0));
+  for (int trial = 0; trial < 24; ++trial) {
+    auto bad = archive;
+    const int flips = 1 + static_cast<int>(rng.next_u64() % 8);
+    for (int k = 0; k < flips; ++k) {
+      const auto pos = static_cast<std::size_t>(rng.next_u64() % bad.size());
+      bad[pos] ^= static_cast<std::byte>(1u << (rng.next_u64() % 8));
+    }
+    try {
+      decode(bad);
+    } catch (const std::exception&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PrecisionByWrapper, TypedCorruption,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool()),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param) ? "f64" : "f32") +
+             (std::get<1>(info.param) ? "_bitcomp" : "_plain");
+    });
 
 TEST(CorruptionFuzz, WrappedArchivesToo) {
   auto c = szi::with_bitcomp(make_compressor("cusz-i"));

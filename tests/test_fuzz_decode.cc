@@ -1,0 +1,172 @@
+// Corruption-fuzz harness for every archive decoder (labelled `fuzz` in
+// ctest). Each codec compresses one small field, then decodes thousands of
+// seeded mutants (bit flips, truncations, length-field inflations, span
+// fills — see fuzz_mutator.hh). The contract under test:
+//
+//   every mutant either decodes (silently-wrong output is acceptable) or
+//   throws core::CorruptArchive — never any other exception type, never a
+//   crash, never a hang, and never an allocation above the decode cap.
+//
+// The cap is lowered to 256 MiB for the whole binary so an over-allocation
+// driven by a corrupt length field surfaces as a hard failure rather than
+// an OOM. All RNG seeds derive from the codec name, so a failing trial is
+// reproducible from the test name plus its trial index.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <typeinfo>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/registry.hh"
+#include "core/bytes.hh"
+#include "core/compressor_iface.hh"
+#include "core/cuszi.hh"
+#include "datagen/rng.hh"
+#include "fuzz_mutator.hh"
+#include "io/bundle.hh"
+#include "quant/outlier.hh"
+
+namespace {
+
+using szi::baselines::make_compressor;
+
+constexpr int kTrials = 10'000;
+constexpr std::size_t kAllocCap = std::size_t{256} << 20;  // 256 MiB
+
+/// FNV-1a: a stable per-codec seed independent of std::hash.
+std::uint64_t seed_of(const std::string& name) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Small smooth field: big enough to exercise multi-level interpolation and
+/// several Huffman chunks, small enough for thousands of decodes.
+const szi::Field& tiny_field() {
+  static const szi::Field field = [] {
+    szi::Field f("fuzz", "synthetic", {33, 17, 9});
+    for (std::size_t z = 0; z < f.dims.z; ++z)
+      for (std::size_t y = 0; y < f.dims.y; ++y)
+        for (std::size_t x = 0; x < f.dims.x; ++x)
+          f.at(x, y, z) = static_cast<float>(
+              std::sin(0.31 * static_cast<double>(x)) *
+                  std::cos(0.17 * static_cast<double>(y)) +
+              0.05 * static_cast<double>(z));
+    f.data[7] = 0.0f;  // pwrel's zero class must stay covered
+    return f;
+  }();
+  return field;
+}
+
+std::unique_ptr<szi::Compressor> build_compressor(const std::string& spec) {
+  if (spec == "cusz-i+bitcomp")
+    return szi::with_bitcomp(make_compressor("cusz-i"));
+  if (spec == "cusz-i+pwrel")
+    return szi::with_pointwise_rel(make_compressor("cusz-i"));
+  return make_compressor(spec);
+}
+
+szi::CompressParams params_for(const std::string& spec) {
+  if (spec == "cuzfp") return {szi::ErrorMode::FixedRate, 4.0};
+  if (spec == "cusz-i+pwrel") return {szi::ErrorMode::PwRel, 1e-3};
+  return {szi::ErrorMode::Rel, 1e-3};
+}
+
+/// Decodes one mutant and enforces the contract. Returns false (and records
+/// a gtest failure) on any exception other than CorruptArchive.
+template <typename DecodeFn>
+void run_trials(const std::string& label, std::span<const std::byte> archive,
+                DecodeFn&& decode) {
+  szi::core::ScopedDecodeAllocCap cap(kAllocCap);
+  szi::datagen::Rng rng(seed_of(label));
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto mutant = szi::testing::mutate_archive(archive, rng);
+    try {
+      decode(mutant);
+    } catch (const szi::core::CorruptArchive&) {
+      // the structured rejection path — expected for most mutants
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << label << " trial " << trial << ": decoder threw "
+                    << typeid(e).name() << " (" << e.what()
+                    << ") instead of CorruptArchive";
+      return;
+    }
+  }
+}
+
+class FuzzDecode : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FuzzDecode, MutantsDecodeOrThrowCorruptArchive) {
+  const auto spec = GetParam();
+  auto c = build_compressor(spec);
+  const auto enc = c->compress(tiny_field(), params_for(spec));
+  run_trials(spec, enc.bytes,
+             [&](std::span<const std::byte> mutant) { (void)c->decompress(mutant); });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, FuzzDecode,
+                         ::testing::Values("cusz-i", "cusz", "cuszp", "cuszx",
+                                           "fz-gpu", "cuzfp", "sz3", "qoz",
+                                           "cusz-i+bitcomp", "cusz-i+pwrel"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (auto& ch : n)
+                             if (ch == '-' || ch == '+') ch = '_';
+                           return n;
+                         });
+
+TEST(FuzzDecode, CuszIF64Archive) {
+  const auto& f = tiny_field();
+  std::vector<double> data(f.data.begin(), f.data.end());
+  const auto archive =
+      szi::cuszi_compress(data, f.dims, {szi::ErrorMode::Rel, 1e-3});
+  run_trials("cusz-i-f64", archive, [](std::span<const std::byte> mutant) {
+    (void)szi::cuszi_decompress_f64(mutant);
+  });
+}
+
+TEST(FuzzDecode, BundleToc) {
+  auto c = make_compressor("cusz-i");
+  const auto enc = c->compress(tiny_field(), {szi::ErrorMode::Rel, 1e-3});
+  szi::io::Bundle bundle;
+  bundle.add({"pressure", "cusz-i", tiny_field().dims,
+              tiny_field().bytes(), enc.bytes});
+  bundle.add({"density", "cusz-i", tiny_field().dims, tiny_field().bytes(),
+              enc.bytes});
+  const auto bytes = bundle.serialize();
+  run_trials("bundle", bytes, [](std::span<const std::byte> mutant) {
+    (void)szi::io::Bundle::deserialize(mutant);
+  });
+}
+
+// Regression for the original OutlierSet::deserialize overflow: an 8-byte
+// header claiming n = 0x2000000000000000 made n * (8 + 4) wrap size_t, so
+// the old truncation check passed and the copy ran off the buffer. The
+// checked reader must reject it structurally.
+TEST(FuzzDecode, CraftedOutlierCountRejected) {
+  szi::core::ByteWriter w;
+  w.put(std::uint64_t{0x2000000000000000ULL});
+  const auto bytes = w.take();
+  try {
+    (void)szi::quant::OutlierSet::deserialize(bytes, nullptr);
+    FAIL() << "crafted outlier count must not deserialize";
+  } catch (const szi::core::CorruptArchive& e) {
+    EXPECT_EQ(e.stage(), "outlier-set");
+  }
+
+  // The same header with trailing garbage: the element count still exceeds
+  // any plausible payload and must be rejected before allocation.
+  szi::core::ByteWriter w2;
+  w2.put(std::uint64_t{0x2000000000000000ULL});
+  for (int i = 0; i < 64; ++i) w2.put(std::uint8_t{0xAB});
+  EXPECT_THROW((void)szi::quant::OutlierSet::deserialize(w2.take(), nullptr),
+               szi::core::CorruptArchive);
+}
+
+}  // namespace
