@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_autotune.dir/ablation_autotune.cc.o"
+  "CMakeFiles/ablation_autotune.dir/ablation_autotune.cc.o.d"
+  "ablation_autotune"
+  "ablation_autotune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

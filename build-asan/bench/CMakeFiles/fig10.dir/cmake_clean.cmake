@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10.dir/fig10.cc.o"
+  "CMakeFiles/fig10.dir/fig10.cc.o.d"
+  "fig10"
+  "fig10.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

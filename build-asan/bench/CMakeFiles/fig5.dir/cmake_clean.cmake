@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5.dir/fig5.cc.o"
+  "CMakeFiles/fig5.dir/fig5.cc.o.d"
+  "fig5"
+  "fig5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

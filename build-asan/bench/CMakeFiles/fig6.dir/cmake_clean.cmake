@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6.dir/fig6.cc.o"
+  "CMakeFiles/fig6.dir/fig6.cc.o.d"
+  "fig6"
+  "fig6.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7.dir/fig7.cc.o"
+  "CMakeFiles/fig7.dir/fig7.cc.o.d"
+  "fig7"
+  "fig7.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

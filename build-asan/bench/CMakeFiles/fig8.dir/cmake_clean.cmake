@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8.dir/fig8.cc.o"
+  "CMakeFiles/fig8.dir/fig8.cc.o.d"
+  "fig8"
+  "fig8.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

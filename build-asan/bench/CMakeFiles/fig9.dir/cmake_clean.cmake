@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9.dir/fig9.cc.o"
+  "CMakeFiles/fig9.dir/fig9.cc.o.d"
+  "fig9"
+  "fig9.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

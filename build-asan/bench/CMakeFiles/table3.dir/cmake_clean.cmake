@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3.dir/table3.cc.o"
+  "CMakeFiles/table3.dir/table3.cc.o.d"
+  "table3"
+  "table3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_archive.dir/dataset_archive.cpp.o"
+  "CMakeFiles/dataset_archive.dir/dataset_archive.cpp.o.d"
+  "dataset_archive"
+  "dataset_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

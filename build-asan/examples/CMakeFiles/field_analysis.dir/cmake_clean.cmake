@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/field_analysis.dir/field_analysis.cpp.o"
+  "CMakeFiles/field_analysis.dir/field_analysis.cpp.o.d"
+  "field_analysis"
+  "field_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/field_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

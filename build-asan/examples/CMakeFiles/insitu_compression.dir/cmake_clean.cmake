@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insitu_compression.dir/insitu_compression.cpp.o"
+  "CMakeFiles/insitu_compression.dir/insitu_compression.cpp.o.d"
+  "insitu_compression"
+  "insitu_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insitu_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

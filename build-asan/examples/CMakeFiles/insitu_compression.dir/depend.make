@@ -1,0 +1,2 @@
+# Empty dependencies file for insitu_compression.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transfer_pipeline.dir/transfer_pipeline.cpp.o"
+  "CMakeFiles/transfer_pipeline.dir/transfer_pipeline.cpp.o.d"
+  "transfer_pipeline"
+  "transfer_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transfer_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

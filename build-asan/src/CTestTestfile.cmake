@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-asan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("device")
+subdirs("io")
+subdirs("metrics")
+subdirs("datagen")
+subdirs("quant")
+subdirs("predictor")
+subdirs("huffman")
+subdirs("lossless")
+subdirs("core")
+subdirs("baselines")
+subdirs("transfer")
+subdirs("cli")

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/cpu_interp.cc" "src/baselines/CMakeFiles/szi_baselines.dir/cpu_interp.cc.o" "gcc" "src/baselines/CMakeFiles/szi_baselines.dir/cpu_interp.cc.o.d"
+  "/root/repo/src/baselines/cusz.cc" "src/baselines/CMakeFiles/szi_baselines.dir/cusz.cc.o" "gcc" "src/baselines/CMakeFiles/szi_baselines.dir/cusz.cc.o.d"
+  "/root/repo/src/baselines/cuszp.cc" "src/baselines/CMakeFiles/szi_baselines.dir/cuszp.cc.o" "gcc" "src/baselines/CMakeFiles/szi_baselines.dir/cuszp.cc.o.d"
+  "/root/repo/src/baselines/cuszx.cc" "src/baselines/CMakeFiles/szi_baselines.dir/cuszx.cc.o" "gcc" "src/baselines/CMakeFiles/szi_baselines.dir/cuszx.cc.o.d"
+  "/root/repo/src/baselines/cuzfp.cc" "src/baselines/CMakeFiles/szi_baselines.dir/cuzfp.cc.o" "gcc" "src/baselines/CMakeFiles/szi_baselines.dir/cuzfp.cc.o.d"
+  "/root/repo/src/baselines/fzgpu.cc" "src/baselines/CMakeFiles/szi_baselines.dir/fzgpu.cc.o" "gcc" "src/baselines/CMakeFiles/szi_baselines.dir/fzgpu.cc.o.d"
+  "/root/repo/src/baselines/registry.cc" "src/baselines/CMakeFiles/szi_baselines.dir/registry.cc.o" "gcc" "src/baselines/CMakeFiles/szi_baselines.dir/registry.cc.o.d"
+  "/root/repo/src/baselines/sz3.cc" "src/baselines/CMakeFiles/szi_baselines.dir/sz3.cc.o" "gcc" "src/baselines/CMakeFiles/szi_baselines.dir/sz3.cc.o.d"
+  "/root/repo/src/baselines/zfp_codec.cc" "src/baselines/CMakeFiles/szi_baselines.dir/zfp_codec.cc.o" "gcc" "src/baselines/CMakeFiles/szi_baselines.dir/zfp_codec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/core/CMakeFiles/szi_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/predictor/CMakeFiles/szi_predictor.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/huffman/CMakeFiles/szi_huffman.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/quant/CMakeFiles/szi_quant.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/lossless/CMakeFiles/szi_lossless.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/metrics/CMakeFiles/szi_metrics.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/device/CMakeFiles/szi_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/szi_baselines.dir/cpu_interp.cc.o"
+  "CMakeFiles/szi_baselines.dir/cpu_interp.cc.o.d"
+  "CMakeFiles/szi_baselines.dir/cusz.cc.o"
+  "CMakeFiles/szi_baselines.dir/cusz.cc.o.d"
+  "CMakeFiles/szi_baselines.dir/cuszp.cc.o"
+  "CMakeFiles/szi_baselines.dir/cuszp.cc.o.d"
+  "CMakeFiles/szi_baselines.dir/cuszx.cc.o"
+  "CMakeFiles/szi_baselines.dir/cuszx.cc.o.d"
+  "CMakeFiles/szi_baselines.dir/cuzfp.cc.o"
+  "CMakeFiles/szi_baselines.dir/cuzfp.cc.o.d"
+  "CMakeFiles/szi_baselines.dir/fzgpu.cc.o"
+  "CMakeFiles/szi_baselines.dir/fzgpu.cc.o.d"
+  "CMakeFiles/szi_baselines.dir/registry.cc.o"
+  "CMakeFiles/szi_baselines.dir/registry.cc.o.d"
+  "CMakeFiles/szi_baselines.dir/sz3.cc.o"
+  "CMakeFiles/szi_baselines.dir/sz3.cc.o.d"
+  "CMakeFiles/szi_baselines.dir/zfp_codec.cc.o"
+  "CMakeFiles/szi_baselines.dir/zfp_codec.cc.o.d"
+  "libszi_baselines.a"
+  "libszi_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/szi_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/szi.dir/main.cc.o"
+  "CMakeFiles/szi.dir/main.cc.o.d"
+  "szi"
+  "szi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/szi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

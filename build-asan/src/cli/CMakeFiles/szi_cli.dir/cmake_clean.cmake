@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/szi_cli.dir/cli.cc.o"
+  "CMakeFiles/szi_cli.dir/cli.cc.o.d"
+  "libszi_cli.a"
+  "libszi_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/szi_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

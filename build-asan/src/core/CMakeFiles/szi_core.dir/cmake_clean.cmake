@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/szi_core.dir/bitcomp_wrapper.cc.o"
+  "CMakeFiles/szi_core.dir/bitcomp_wrapper.cc.o.d"
+  "CMakeFiles/szi_core.dir/cuszi.cc.o"
+  "CMakeFiles/szi_core.dir/cuszi.cc.o.d"
+  "CMakeFiles/szi_core.dir/pwrel_wrapper.cc.o"
+  "CMakeFiles/szi_core.dir/pwrel_wrapper.cc.o.d"
+  "libszi_core.a"
+  "libszi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/szi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

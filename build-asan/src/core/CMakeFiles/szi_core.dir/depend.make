@@ -1,0 +1,2 @@
+# Empty dependencies file for szi_core.
+# This may be replaced when dependencies are built.

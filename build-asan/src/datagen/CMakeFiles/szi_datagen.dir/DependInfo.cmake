@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/jhtdb.cc" "src/datagen/CMakeFiles/szi_datagen.dir/jhtdb.cc.o" "gcc" "src/datagen/CMakeFiles/szi_datagen.dir/jhtdb.cc.o.d"
+  "/root/repo/src/datagen/miranda.cc" "src/datagen/CMakeFiles/szi_datagen.dir/miranda.cc.o" "gcc" "src/datagen/CMakeFiles/szi_datagen.dir/miranda.cc.o.d"
+  "/root/repo/src/datagen/nyx.cc" "src/datagen/CMakeFiles/szi_datagen.dir/nyx.cc.o" "gcc" "src/datagen/CMakeFiles/szi_datagen.dir/nyx.cc.o.d"
+  "/root/repo/src/datagen/qmcpack.cc" "src/datagen/CMakeFiles/szi_datagen.dir/qmcpack.cc.o" "gcc" "src/datagen/CMakeFiles/szi_datagen.dir/qmcpack.cc.o.d"
+  "/root/repo/src/datagen/registry.cc" "src/datagen/CMakeFiles/szi_datagen.dir/registry.cc.o" "gcc" "src/datagen/CMakeFiles/szi_datagen.dir/registry.cc.o.d"
+  "/root/repo/src/datagen/rtm.cc" "src/datagen/CMakeFiles/szi_datagen.dir/rtm.cc.o" "gcc" "src/datagen/CMakeFiles/szi_datagen.dir/rtm.cc.o.d"
+  "/root/repo/src/datagen/s3d.cc" "src/datagen/CMakeFiles/szi_datagen.dir/s3d.cc.o" "gcc" "src/datagen/CMakeFiles/szi_datagen.dir/s3d.cc.o.d"
+  "/root/repo/src/datagen/synth.cc" "src/datagen/CMakeFiles/szi_datagen.dir/synth.cc.o" "gcc" "src/datagen/CMakeFiles/szi_datagen.dir/synth.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/device/CMakeFiles/szi_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/szi_datagen.dir/jhtdb.cc.o"
+  "CMakeFiles/szi_datagen.dir/jhtdb.cc.o.d"
+  "CMakeFiles/szi_datagen.dir/miranda.cc.o"
+  "CMakeFiles/szi_datagen.dir/miranda.cc.o.d"
+  "CMakeFiles/szi_datagen.dir/nyx.cc.o"
+  "CMakeFiles/szi_datagen.dir/nyx.cc.o.d"
+  "CMakeFiles/szi_datagen.dir/qmcpack.cc.o"
+  "CMakeFiles/szi_datagen.dir/qmcpack.cc.o.d"
+  "CMakeFiles/szi_datagen.dir/registry.cc.o"
+  "CMakeFiles/szi_datagen.dir/registry.cc.o.d"
+  "CMakeFiles/szi_datagen.dir/rtm.cc.o"
+  "CMakeFiles/szi_datagen.dir/rtm.cc.o.d"
+  "CMakeFiles/szi_datagen.dir/s3d.cc.o"
+  "CMakeFiles/szi_datagen.dir/s3d.cc.o.d"
+  "CMakeFiles/szi_datagen.dir/synth.cc.o"
+  "CMakeFiles/szi_datagen.dir/synth.cc.o.d"
+  "libszi_datagen.a"
+  "libszi_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/szi_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

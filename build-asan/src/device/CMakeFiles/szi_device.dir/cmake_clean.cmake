@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/szi_device.dir/thread_pool.cc.o"
+  "CMakeFiles/szi_device.dir/thread_pool.cc.o.d"
+  "libszi_device.a"
+  "libszi_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/szi_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

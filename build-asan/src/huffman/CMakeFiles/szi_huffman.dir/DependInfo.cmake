@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/huffman/codebook.cc" "src/huffman/CMakeFiles/szi_huffman.dir/codebook.cc.o" "gcc" "src/huffman/CMakeFiles/szi_huffman.dir/codebook.cc.o.d"
+  "/root/repo/src/huffman/histogram.cc" "src/huffman/CMakeFiles/szi_huffman.dir/histogram.cc.o" "gcc" "src/huffman/CMakeFiles/szi_huffman.dir/histogram.cc.o.d"
+  "/root/repo/src/huffman/huffman.cc" "src/huffman/CMakeFiles/szi_huffman.dir/huffman.cc.o" "gcc" "src/huffman/CMakeFiles/szi_huffman.dir/huffman.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/device/CMakeFiles/szi_device.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/quant/CMakeFiles/szi_quant.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

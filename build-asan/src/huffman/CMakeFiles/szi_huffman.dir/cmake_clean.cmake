@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/szi_huffman.dir/codebook.cc.o"
+  "CMakeFiles/szi_huffman.dir/codebook.cc.o.d"
+  "CMakeFiles/szi_huffman.dir/histogram.cc.o"
+  "CMakeFiles/szi_huffman.dir/histogram.cc.o.d"
+  "CMakeFiles/szi_huffman.dir/huffman.cc.o"
+  "CMakeFiles/szi_huffman.dir/huffman.cc.o.d"
+  "libszi_huffman.a"
+  "libszi_huffman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/szi_huffman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/szi_io.dir/bin_io.cc.o"
+  "CMakeFiles/szi_io.dir/bin_io.cc.o.d"
+  "CMakeFiles/szi_io.dir/bundle.cc.o"
+  "CMakeFiles/szi_io.dir/bundle.cc.o.d"
+  "libszi_io.a"
+  "libszi_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/szi_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

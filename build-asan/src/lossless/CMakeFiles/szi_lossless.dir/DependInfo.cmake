@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lossless/bitshuffle.cc" "src/lossless/CMakeFiles/szi_lossless.dir/bitshuffle.cc.o" "gcc" "src/lossless/CMakeFiles/szi_lossless.dir/bitshuffle.cc.o.d"
+  "/root/repo/src/lossless/lzss.cc" "src/lossless/CMakeFiles/szi_lossless.dir/lzss.cc.o" "gcc" "src/lossless/CMakeFiles/szi_lossless.dir/lzss.cc.o.d"
+  "/root/repo/src/lossless/rle.cc" "src/lossless/CMakeFiles/szi_lossless.dir/rle.cc.o" "gcc" "src/lossless/CMakeFiles/szi_lossless.dir/rle.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/device/CMakeFiles/szi_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/szi_lossless.dir/bitshuffle.cc.o"
+  "CMakeFiles/szi_lossless.dir/bitshuffle.cc.o.d"
+  "CMakeFiles/szi_lossless.dir/lzss.cc.o"
+  "CMakeFiles/szi_lossless.dir/lzss.cc.o.d"
+  "CMakeFiles/szi_lossless.dir/rle.cc.o"
+  "CMakeFiles/szi_lossless.dir/rle.cc.o.d"
+  "libszi_lossless.a"
+  "libszi_lossless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/szi_lossless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/ssim.cc" "src/metrics/CMakeFiles/szi_metrics.dir/ssim.cc.o" "gcc" "src/metrics/CMakeFiles/szi_metrics.dir/ssim.cc.o.d"
+  "/root/repo/src/metrics/stats.cc" "src/metrics/CMakeFiles/szi_metrics.dir/stats.cc.o" "gcc" "src/metrics/CMakeFiles/szi_metrics.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/device/CMakeFiles/szi_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/szi_metrics.dir/ssim.cc.o"
+  "CMakeFiles/szi_metrics.dir/ssim.cc.o.d"
+  "CMakeFiles/szi_metrics.dir/stats.cc.o"
+  "CMakeFiles/szi_metrics.dir/stats.cc.o.d"
+  "libszi_metrics.a"
+  "libszi_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/szi_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

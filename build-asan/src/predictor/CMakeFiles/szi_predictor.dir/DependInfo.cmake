@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predictor/autotune.cc" "src/predictor/CMakeFiles/szi_predictor.dir/autotune.cc.o" "gcc" "src/predictor/CMakeFiles/szi_predictor.dir/autotune.cc.o.d"
+  "/root/repo/src/predictor/ginterp.cc" "src/predictor/CMakeFiles/szi_predictor.dir/ginterp.cc.o" "gcc" "src/predictor/CMakeFiles/szi_predictor.dir/ginterp.cc.o.d"
+  "/root/repo/src/predictor/lorenzo.cc" "src/predictor/CMakeFiles/szi_predictor.dir/lorenzo.cc.o" "gcc" "src/predictor/CMakeFiles/szi_predictor.dir/lorenzo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/device/CMakeFiles/szi_device.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/quant/CMakeFiles/szi_quant.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/szi_predictor.dir/autotune.cc.o"
+  "CMakeFiles/szi_predictor.dir/autotune.cc.o.d"
+  "CMakeFiles/szi_predictor.dir/ginterp.cc.o"
+  "CMakeFiles/szi_predictor.dir/ginterp.cc.o.d"
+  "CMakeFiles/szi_predictor.dir/lorenzo.cc.o"
+  "CMakeFiles/szi_predictor.dir/lorenzo.cc.o.d"
+  "libszi_predictor.a"
+  "libszi_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/szi_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

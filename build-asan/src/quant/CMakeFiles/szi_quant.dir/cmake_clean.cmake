@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/szi_quant.dir/outlier.cc.o"
+  "CMakeFiles/szi_quant.dir/outlier.cc.o.d"
+  "libszi_quant.a"
+  "libszi_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/szi_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libszi_quant.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for szi_quant.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_config.dir/test_config.cc.o"
+  "CMakeFiles/test_config.dir/test_config.cc.o.d"
+  "test_config"
+  "test_config.pdb"
+  "test_config[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

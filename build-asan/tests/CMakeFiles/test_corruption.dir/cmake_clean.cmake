@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_corruption.dir/test_corruption.cc.o"
+  "CMakeFiles/test_corruption.dir/test_corruption.cc.o.d"
+  "test_corruption"
+  "test_corruption.pdb"
+  "test_corruption[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_corruption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

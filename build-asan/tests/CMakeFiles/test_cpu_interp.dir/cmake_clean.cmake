@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_interp.dir/test_cpu_interp.cc.o"
+  "CMakeFiles/test_cpu_interp.dir/test_cpu_interp.cc.o.d"
+  "test_cpu_interp"
+  "test_cpu_interp.pdb"
+  "test_cpu_interp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

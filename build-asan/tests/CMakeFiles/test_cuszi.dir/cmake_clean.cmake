@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cuszi.dir/test_cuszi.cc.o"
+  "CMakeFiles/test_cuszi.dir/test_cuszi.cc.o.d"
+  "test_cuszi"
+  "test_cuszi.pdb"
+  "test_cuszi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cuszi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cuszi_f64.dir/test_cuszi_f64.cc.o"
+  "CMakeFiles/test_cuszi_f64.dir/test_cuszi_f64.cc.o.d"
+  "test_cuszi_f64"
+  "test_cuszi_f64.pdb"
+  "test_cuszi_f64[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cuszi_f64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

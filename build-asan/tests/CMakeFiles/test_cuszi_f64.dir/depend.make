@@ -1,0 +1,2 @@
+# Empty dependencies file for test_cuszi_f64.
+# This may be replaced when dependencies are built.

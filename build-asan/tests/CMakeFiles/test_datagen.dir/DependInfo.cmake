@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_datagen.cc" "tests/CMakeFiles/test_datagen.dir/test_datagen.cc.o" "gcc" "tests/CMakeFiles/test_datagen.dir/test_datagen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/datagen/CMakeFiles/szi_datagen.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/metrics/CMakeFiles/szi_metrics.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/device/CMakeFiles/szi_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

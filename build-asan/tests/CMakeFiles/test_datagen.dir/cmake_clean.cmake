@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_datagen.dir/test_datagen.cc.o"
+  "CMakeFiles/test_datagen.dir/test_datagen.cc.o.d"
+  "test_datagen"
+  "test_datagen.pdb"
+  "test_datagen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

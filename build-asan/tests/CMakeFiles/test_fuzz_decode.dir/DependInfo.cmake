@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_fuzz_decode.cc" "tests/CMakeFiles/test_fuzz_decode.dir/test_fuzz_decode.cc.o" "gcc" "tests/CMakeFiles/test_fuzz_decode.dir/test_fuzz_decode.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/baselines/CMakeFiles/szi_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/io/CMakeFiles/szi_io.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/datagen/CMakeFiles/szi_datagen.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/core/CMakeFiles/szi_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/predictor/CMakeFiles/szi_predictor.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/huffman/CMakeFiles/szi_huffman.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/quant/CMakeFiles/szi_quant.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/lossless/CMakeFiles/szi_lossless.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/metrics/CMakeFiles/szi_metrics.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/device/CMakeFiles/szi_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_decode.dir/test_fuzz_decode.cc.o"
+  "CMakeFiles/test_fuzz_decode.dir/test_fuzz_decode.cc.o.d"
+  "test_fuzz_decode"
+  "test_fuzz_decode.pdb"
+  "test_fuzz_decode[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ginterp.dir/test_ginterp.cc.o"
+  "CMakeFiles/test_ginterp.dir/test_ginterp.cc.o.d"
+  "test_ginterp"
+  "test_ginterp.pdb"
+  "test_ginterp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ginterp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_invariants.dir/test_invariants.cc.o"
+  "CMakeFiles/test_invariants.dir/test_invariants.cc.o.d"
+  "test_invariants"
+  "test_invariants.pdb"
+  "test_invariants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

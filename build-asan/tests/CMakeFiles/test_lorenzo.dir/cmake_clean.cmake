@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lorenzo.dir/test_lorenzo.cc.o"
+  "CMakeFiles/test_lorenzo.dir/test_lorenzo.cc.o.d"
+  "test_lorenzo"
+  "test_lorenzo.pdb"
+  "test_lorenzo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lorenzo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lossless.dir/test_lossless.cc.o"
+  "CMakeFiles/test_lossless.dir/test_lossless.cc.o.d"
+  "test_lossless"
+  "test_lossless.pdb"
+  "test_lossless[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lossless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

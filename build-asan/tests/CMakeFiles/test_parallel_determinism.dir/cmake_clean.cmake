@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_determinism.dir/test_parallel_determinism.cc.o"
+  "CMakeFiles/test_parallel_determinism.dir/test_parallel_determinism.cc.o.d"
+  "test_parallel_determinism"
+  "test_parallel_determinism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_determinism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

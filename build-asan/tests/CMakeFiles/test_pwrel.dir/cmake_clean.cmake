@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pwrel.dir/test_pwrel.cc.o"
+  "CMakeFiles/test_pwrel.dir/test_pwrel.cc.o.d"
+  "test_pwrel"
+  "test_pwrel.pdb"
+  "test_pwrel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pwrel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zfp.dir/test_zfp.cc.o"
+  "CMakeFiles/test_zfp.dir/test_zfp.cc.o.d"
+  "test_zfp"
+  "test_zfp.pdb"
+  "test_zfp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zfp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

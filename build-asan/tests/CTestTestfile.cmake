@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/test_ginterp[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_lorenzo[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_huffman[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_lossless[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_cuszi[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_zfp[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_device[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_cuszi_f64[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_cli[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_pwrel[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_metrics[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_datagen[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_config[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_corruption[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_fuzz_decode[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_io[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_invariants[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_cpu_interp[1]_include.cmake")
+add_test(parallel_determinism_1thread "/root/repo/build-asan/tests/test_parallel_determinism")
+set_tests_properties(parallel_determinism_1thread PROPERTIES  ENVIRONMENT "SZI_THREADS=1" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;24;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(parallel_determinism_4threads "/root/repo/build-asan/tests/test_parallel_determinism")
+set_tests_properties(parallel_determinism_4threads PROPERTIES  DEPENDS "parallel_determinism_1thread" ENVIRONMENT "SZI_THREADS=4" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;27;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -19,6 +19,7 @@ include("/root/repo/build/tests/test_metrics[1]_include.cmake")
 include("/root/repo/build/tests/test_datagen[1]_include.cmake")
 include("/root/repo/build/tests/test_config[1]_include.cmake")
 include("/root/repo/build/tests/test_corruption[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz_decode[1]_include.cmake")
 include("/root/repo/build/tests/test_io[1]_include.cmake")
 include("/root/repo/build/tests/test_invariants[1]_include.cmake")
 include("/root/repo/build/tests/test_cpu_interp[1]_include.cmake")
