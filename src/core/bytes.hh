@@ -132,13 +132,32 @@ class ByteWriter {
     buf_.insert(buf_.end(), blob.begin(), blob.end());
   }
 
+  /// Raw bytes, no framing — for callers assembling a blob in place whose
+  /// length prefix was already written with put().
+  void put_raw(std::span<const std::byte> bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+
+  /// Length-prefixed POD array (u64 count + elements), the framing
+  /// read_length_prefixed_array() parses. Span-based so workspace-resident
+  /// buffers serialize without an intermediate vector.
   template <typename T>
     requires std::is_trivially_copyable_v<T>
-  void put_vector(const std::vector<T>& v) {
+  void put_array(std::span<const T> v) {
     put(static_cast<std::uint64_t>(v.size()));
     const auto* p = reinterpret_cast<const std::byte*>(v.data());
     buf_.insert(buf_.end(), p, p + v.size() * sizeof(T));
   }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void put_vector(const std::vector<T>& v) {
+    put_array(std::span<const T>(v));
+  }
+
+  /// Pre-sizes the buffer (archive sizes are computable up front; growth
+  /// reallocation on multi-megabyte archives is measurable).
+  void reserve(std::size_t bytes) { buf_.reserve(bytes); }
 
   [[nodiscard]] std::vector<std::byte> take() { return std::move(buf_); }
   [[nodiscard]] std::size_t size() const { return buf_.size(); }

@@ -55,6 +55,20 @@ class Compressor {
 
   [[nodiscard]] virtual CompressResult compress(const Field& field,
                                                 const CompressParams& p) = 0;
+
+  /// Compresses a batch of fields. The default is a sequential loop;
+  /// implementations may override it to pipeline fields across streams with
+  /// pooled workspaces (cuSZ-i does — see cuszi_compress_many). Results are
+  /// positionally matched to `fields` and byte-identical to calling
+  /// compress() per field.
+  [[nodiscard]] virtual std::vector<CompressResult> compress_batch(
+      std::span<const Field> fields, const CompressParams& p) {
+    std::vector<CompressResult> out;
+    out.reserve(fields.size());
+    for (const auto& f : fields) out.push_back(compress(f, p));
+    return out;
+  }
+
   /// Archives are self-describing; `decode_seconds` (optional) receives the
   /// wall time.
   [[nodiscard]] virtual std::vector<float> decompress(

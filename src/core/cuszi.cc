@@ -1,9 +1,12 @@
 #include "core/cuszi.hh"
 
+#include <deque>
+#include <exception>
 #include <stdexcept>
 
 #include "core/bytes.hh"
 #include "core/timer.hh"
+#include "device/stream.hh"
 #include "huffman/histogram.hh"
 #include "huffman/huffman.hh"
 #include "metrics/stats.hh"
@@ -32,7 +35,8 @@ template <typename T>
 std::vector<std::byte> compress_typed(std::span<const T> data,
                                       const dev::Dim3& dims,
                                       const CompressParams& p,
-                                      StageTimings* timings, bool topk) {
+                                      StageTimings* timings, bool topk,
+                                      dev::Workspace& ws) {
   if (p.mode == ErrorMode::FixedRate)
     throw std::invalid_argument("cuSZ-i: fixed-rate mode not supported");
   if (p.mode == ErrorMode::PwRel)
@@ -45,7 +49,7 @@ std::vector<std::byte> compress_typed(std::span<const T> data,
   StageTimings t;
 
   // Profiling + auto-tuning kernel (also resolves Rel -> Abs).
-  auto prof = predictor::autotune(data, dims, p.value);
+  auto prof = predictor::autotune(data, dims, p.value, ws);
   const double eb =
       p.mode == ErrorMode::Rel ? p.value * prof.value_range : p.value;
   if (eb <= 0) throw std::invalid_argument("cuSZ-i: non-positive error bound");
@@ -56,24 +60,28 @@ std::vector<std::byte> compress_typed(std::span<const T> data,
   }
   t.predict += stage.lap();
 
-  // G-Interp prediction + quantization.
+  // G-Interp prediction + quantization (codes/anchors/outliers pooled).
   constexpr int kRadius = quant::kDefaultRadius;
-  const auto pred = predictor::ginterp_compress(data, dims, eb, prof.config,
-                                                kRadius);
+  const auto pred =
+      predictor::ginterp_compress(data, dims, eb, prof.config, kRadius, ws);
   t.predict += stage.lap();
 
   // Huffman: histogram & encode are device kernels; the codebook build is
   // the host-side step the paper times separately (§VI-A).
   const auto hist =
-      topk ? huffman::histogram_topk(pred.codes, 2 * kRadius, kRadius, 16)
-           : huffman::histogram(pred.codes, 2 * kRadius);
+      topk ? huffman::histogram_topk(pred.codes, 2 * kRadius, kRadius, 16, ws)
+           : huffman::histogram(pred.codes, 2 * kRadius, ws);
   t.histogram = stage.lap();
   const auto book = huffman::Codebook::build(hist);
   t.codebook = stage.lap();
-  auto huff = huffman::encode_with_book(pred.codes, book);
+  const auto huff =
+      huffman::encode_with_book(pred.codes, book, huffman::kDefaultChunk, ws);
   t.encode = stage.lap();
 
   core::ByteWriter w;
+  const std::size_t outlier_blob =
+      sizeof(std::uint64_t) + pred.outliers.byte_size();
+  w.reserve(64 + pred.anchors.size() * sizeof(T) + outlier_blob + huff.size());
   w.put(kMagic);
   w.put(static_cast<std::uint8_t>(precision_of<T>()));
   w.put(static_cast<std::uint64_t>(dims.x));
@@ -89,12 +97,30 @@ std::vector<std::byte> compress_typed(std::span<const T> data,
   }
   pc.radius = kRadius;
   w.put(pc);
-  w.put_vector(pred.anchors);
-  w.put_blob(pred.outliers.serialize());
+  w.put_array(pred.anchors);
+  // Outlier blob assembled in place — same framing as
+  // put_blob(OutlierSetT::serialize()): u64 blob size | u64 n | idx | vals.
+  w.put(static_cast<std::uint64_t>(outlier_blob));
+  w.put(static_cast<std::uint64_t>(pred.outliers.count()));
+  w.put_raw(std::as_bytes(pred.outliers.indices));
+  w.put_raw(std::as_bytes(pred.outliers.values));
   w.put_blob(huff);
+  ws.reset();
   t.total = total.lap();
   if (timings) *timings = t;
   return w.take();
+}
+
+template <typename T>
+std::vector<std::byte> compress_typed(std::span<const T> data,
+                                      const dev::Dim3& dims,
+                                      const CompressParams& p,
+                                      StageTimings* timings, bool topk) {
+  // Throwaway arena: malloc-equivalent lifetime, no global memory retained.
+  // Pooling across calls is opt-in via the Workspace overload.
+  dev::Arena local;
+  dev::Workspace ws(local);
+  return compress_typed<T>(data, dims, p, timings, topk, ws);
 }
 
 template <typename T>
@@ -138,6 +164,54 @@ std::vector<T> decompress_typed(std::span<const std::byte> bytes) {
                                        outliers, dims, eb, cfg, pc.radius);
 }
 
+/// The batched pipeline behind cuszi_compress_many() and
+/// Cuszi::compress_batch: fields go round-robin onto `streams` in-order
+/// async queues, each stream reusing one Workspace over the global arena, so
+/// field k+streams's buffers are field k's pages — warm, already faulted in.
+/// On a multi-core host the streams also overlap (field B's interpolation
+/// runs while field A encodes); outputs stay byte-identical because every
+/// kernel is deterministic regardless of scheduling.
+std::vector<std::vector<std::byte>> compress_many_impl(
+    std::span<const FieldView> fields, const CompressParams& params,
+    std::vector<StageTimings>* timings, std::size_t streams, bool topk) {
+  const std::size_t nf = fields.size();
+  std::vector<std::vector<std::byte>> out(nf);
+  std::vector<StageTimings> times(nf);
+  if (streams == 0) streams = 1;
+  if (nf > 0 && streams > nf) streams = nf;
+
+  {
+    // Deques: Stream and Workspace are non-movable.
+    std::deque<dev::Stream> ss(streams);
+    std::deque<dev::Workspace> wss;
+    for (std::size_t s = 0; s < streams; ++s)
+      wss.emplace_back(dev::Arena::instance());
+
+    for (std::size_t f = 0; f < nf; ++f) {
+      dev::Workspace& ws = wss[f % streams];
+      ss[f % streams].submit([f, &ws, fields, params, topk, &out, &times] {
+        out[f] = compress_typed<float>(fields[f].data, fields[f].dims, params,
+                                       &times[f], topk, ws);
+      });
+    }
+
+    // Drain every stream before rethrowing, so no task still references the
+    // local state; the first failure wins, matching sequential behavior for
+    // a bad field 0.
+    std::exception_ptr err;
+    for (auto& s : ss) {
+      try {
+        s.synchronize();
+      } catch (...) {
+        if (!err) err = std::current_exception();
+      }
+    }
+    if (err) std::rethrow_exception(err);
+  }
+  if (timings) *timings = std::move(times);
+  return out;
+}
+
 /// The Compressor-interface adapter over the f32 typed API.
 class Cuszi final : public Compressor {
  public:
@@ -151,6 +225,21 @@ class Cuszi final : public Compressor {
     r.bytes = compress_typed<float>(field.data, field.dims, p, &r.timings,
                                     topk_);
     return r;
+  }
+
+  [[nodiscard]] std::vector<CompressResult> compress_batch(
+      std::span<const Field> fields, const CompressParams& p) override {
+    std::vector<FieldView> views;
+    views.reserve(fields.size());
+    for (const auto& f : fields) views.push_back({f.view(), f.dims});
+    std::vector<StageTimings> times;
+    auto archives = compress_many_impl(views, p, &times, 2, topk_);
+    std::vector<CompressResult> out(archives.size());
+    for (std::size_t i = 0; i < archives.size(); ++i) {
+      out[i].bytes = std::move(archives[i]);
+      out[i].timings = times[i];
+    }
+    return out;
   }
 
   [[nodiscard]] std::vector<float> decompress(std::span<const std::byte> bytes,
@@ -183,6 +272,28 @@ std::vector<std::byte> cuszi_compress(std::span<const double> data,
                                       const CompressParams& params,
                                       StageTimings* timings) {
   return compress_typed<double>(data, dims, params, timings, true);
+}
+
+std::vector<std::byte> cuszi_compress(std::span<const float> data,
+                                      const dev::Dim3& dims,
+                                      const CompressParams& params,
+                                      StageTimings* timings,
+                                      dev::Workspace& ws) {
+  return compress_typed<float>(data, dims, params, timings, true, ws);
+}
+
+std::vector<std::byte> cuszi_compress(std::span<const double> data,
+                                      const dev::Dim3& dims,
+                                      const CompressParams& params,
+                                      StageTimings* timings,
+                                      dev::Workspace& ws) {
+  return compress_typed<double>(data, dims, params, timings, true, ws);
+}
+
+std::vector<std::vector<std::byte>> cuszi_compress_many(
+    std::span<const FieldView> fields, const CompressParams& params,
+    std::vector<StageTimings>* timings, std::size_t streams) {
+  return compress_many_impl(fields, params, timings, streams, true);
 }
 
 Precision cuszi_archive_precision(std::span<const std::byte> bytes) {

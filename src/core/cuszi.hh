@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/compressor_iface.hh"
+#include "device/arena.hh"
 #include "device/dims.hh"
 
 namespace szi {
@@ -36,6 +37,34 @@ namespace szi {
 [[nodiscard]] std::vector<std::byte> cuszi_compress(
     std::span<const double> data, const dev::Dim3& dims,
     const CompressParams& params, StageTimings* timings = nullptr);
+
+/// Workspace forms: every pipeline intermediate (quant codes, anchors,
+/// outliers, histograms, Huffman chunk buffers) is drawn from `ws`'s arena
+/// pool instead of freshly allocated, and `ws` is reset before returning.
+/// The archive bytes are identical to the plain overloads'.
+[[nodiscard]] std::vector<std::byte> cuszi_compress(
+    std::span<const float> data, const dev::Dim3& dims,
+    const CompressParams& params, StageTimings* timings, dev::Workspace& ws);
+[[nodiscard]] std::vector<std::byte> cuszi_compress(
+    std::span<const double> data, const dev::Dim3& dims,
+    const CompressParams& params, StageTimings* timings, dev::Workspace& ws);
+
+/// One field of a batched compression call (borrowed storage; the caller
+/// keeps `data` alive for the duration of cuszi_compress_many).
+struct FieldView {
+  std::span<const float> data;
+  dev::Dim3 dims;
+};
+
+/// Batched front end: compresses `fields` by pipelining them round-robin
+/// across `streams` dev::Streams, each stream owning a persistent Workspace
+/// over the global arena so buffers are reused from field to field. Archives
+/// are byte-identical to per-field cuszi_compress() and returned in input
+/// order; the first exception any field raises is rethrown after all
+/// streams drain. `timings` (optional) receives per-field stage timings.
+[[nodiscard]] std::vector<std::vector<std::byte>> cuszi_compress_many(
+    std::span<const FieldView> fields, const CompressParams& params,
+    std::vector<StageTimings>* timings = nullptr, std::size_t streams = 2);
 
 enum class Precision : std::uint8_t { F32 = 0, F64 = 1 };
 

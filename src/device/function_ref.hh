@@ -1,0 +1,45 @@
+// A non-owning callable reference for synchronous hot paths.
+//
+// ThreadPool::parallel_for used to take `const std::function&`, which costs a
+// heap allocation (capture list) plus double indirection on every kernel
+// launch. Launches are synchronous — the callable outlives the call by
+// construction — so a borrowed {object pointer, trampoline} pair is all that
+// is needed. This is the usual `function_ref` proposal (P0792) reduced to
+// what the device layer uses.
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+namespace szi::dev {
+
+template <typename Sig>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  FunctionRef() = delete;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): by design, like string_view.
+  FunctionRef(F&& f) noexcept
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace szi::dev

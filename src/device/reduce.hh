@@ -7,6 +7,7 @@
 #include <span>
 #include <vector>
 
+#include "device/arena.hh"
 #include "device/launch.hh"
 
 namespace szi::dev {
@@ -39,22 +40,25 @@ struct MinMax {
   T min, max;
 };
 
+namespace detail {
 template <typename T>
-[[nodiscard]] MinMax<T> minmax(std::span<const T> data) {
-  struct Pair {
-    T lo, hi;
-  };
-  if (data.empty()) return {T{}, T{}};
-  const Pair identity{data[0], data[0]};
+struct MinMaxPair {
+  T lo, hi;
+};
+
+/// Core of minmax(): `partial` must hold ceil(n / 2^16) pairs; every slot is
+/// overwritten, so unzeroed workspace memory is fine.
+template <typename T>
+[[nodiscard]] MinMax<T> minmax_over(std::span<const T> data,
+                                    std::span<MinMaxPair<T>> partial) {
   const std::size_t chunk = 1 << 16;
   const std::size_t nchunks = ceil_div(data.size(), chunk);
-  std::vector<Pair> partial(nchunks, identity);
   launch_linear(
       nchunks,
       [&](std::size_t c) {
         const std::size_t begin = c * chunk;
         const std::size_t end = std::min(begin + chunk, data.size());
-        Pair p{data[begin], data[begin]};
+        MinMaxPair<T> p{data[begin], data[begin]};
         for (std::size_t i = begin + 1; i < end; ++i) {
           if (data[i] < p.lo) p.lo = data[i];
           if (data[i] > p.hi) p.hi = data[i];
@@ -62,12 +66,30 @@ template <typename T>
         partial[c] = p;
       },
       1);
-  Pair acc = partial[0];
-  for (const Pair& p : partial) {
-    if (p.lo < acc.lo) acc.lo = p.lo;
-    if (p.hi > acc.hi) acc.hi = p.hi;
+  MinMaxPair<T> acc = partial[0];
+  for (std::size_t c = 1; c < nchunks; ++c) {
+    if (partial[c].lo < acc.lo) acc.lo = partial[c].lo;
+    if (partial[c].hi > acc.hi) acc.hi = partial[c].hi;
   }
   return {acc.lo, acc.hi};
+}
+}  // namespace detail
+
+template <typename T>
+[[nodiscard]] MinMax<T> minmax(std::span<const T> data) {
+  if (data.empty()) return {T{}, T{}};
+  std::vector<detail::MinMaxPair<T>> partial(
+      ceil_div(data.size(), std::size_t{1} << 16));
+  return detail::minmax_over<T>(data, partial);
+}
+
+/// Workspace form: the partial-pair scratch comes from the pool.
+template <typename T>
+[[nodiscard]] MinMax<T> minmax(std::span<const T> data, Workspace& ws) {
+  if (data.empty()) return {T{}, T{}};
+  auto partial =
+      ws.make<detail::MinMaxPair<T>>(ceil_div(data.size(), std::size_t{1} << 16));
+  return detail::minmax_over<T>(data, partial);
 }
 
 }  // namespace szi::dev

@@ -1,0 +1,100 @@
+#include "device/stream.hh"
+
+namespace szi::dev {
+
+Stream::Stream() : thread_([this] { loop(); }) {}
+
+Stream::~Stream() {
+  // Drain without throwing (matches cudaStreamDestroy: pending work
+  // completes; errors are only reported through explicit synchronization).
+  {
+    std::unique_lock lk(mu_);
+    cv_idle_.wait(lk, [&] { return q_.empty() && !busy_; });
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  thread_.join();
+}
+
+void Stream::submit(std::function<void()> fn) {
+  {
+    std::lock_guard lk(mu_);
+    q_.push_back(Task{std::move(fn), /*control=*/false});
+  }
+  cv_work_.notify_one();
+}
+
+Event Stream::record() {
+  Event ev;
+  {
+    std::lock_guard lk(ev.st_->mu);
+    ev.st_->done = false;
+  }
+  auto st = ev.st_;
+  {
+    std::lock_guard lk(mu_);
+    q_.push_back(Task{[st] {
+                        std::lock_guard elk(st->mu);
+                        st->done = true;
+                        st->cv.notify_all();
+                      },
+                      /*control=*/true});
+  }
+  cv_work_.notify_one();
+  return ev;
+}
+
+void Stream::wait(Event ev) {
+  {
+    std::lock_guard lk(mu_);
+    q_.push_back(Task{[ev] { ev.wait(); }, /*control=*/true});
+  }
+  cv_work_.notify_one();
+}
+
+void Stream::synchronize() {
+  std::unique_lock lk(mu_);
+  cv_idle_.wait(lk, [&] { return q_.empty() && !busy_; });
+  if (error_) std::rethrow_exception(std::exchange(error_, nullptr));
+}
+
+bool Stream::errored() const {
+  std::lock_guard lk(mu_);
+  return error_ != nullptr;
+}
+
+void Stream::loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock lk(mu_);
+      cv_work_.wait(lk, [&] { return stop_ || !q_.empty(); });
+      if (stop_ && q_.empty()) return;
+      task = std::move(q_.front());
+      q_.pop_front();
+      busy_ = true;
+    }
+    // Control tasks (event completion/waits) always run, so events recorded
+    // on a poisoned stream still fire and cross-stream waiters never hang.
+    bool run = task.control;
+    if (!run) {
+      std::lock_guard lk(mu_);
+      run = error_ == nullptr;
+    }
+    if (run) {
+      try {
+        task.fn();
+      } catch (...) {
+        std::lock_guard lk(mu_);
+        if (!error_) error_ = std::current_exception();
+      }
+    }
+    {
+      std::lock_guard lk(mu_);
+      busy_ = false;
+      if (q_.empty()) cv_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace szi::dev

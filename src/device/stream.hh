@@ -1,0 +1,127 @@
+// CUDA-stream-like asynchronous execution on top of the thread pool.
+//
+// A Stream is an in-order work queue with its own host thread: tasks
+// submitted to it run one after another, asynchronously with respect to the
+// submitting thread and to other streams. Kernels enqueued on different
+// streams execute concurrently on the shared ThreadPool (the pool accepts
+// overlapping launches, like a GPU running blocks from several grids at
+// once), which is what lets one field's interpolation overlap another
+// field's Huffman encode in the batched pipeline.
+//
+// Semantics mirror the CUDA runtime:
+//   - submit()/launch_*_async() enqueue and return immediately;
+//   - Event + record()/wait() order work across streams;
+//   - synchronize() blocks until the queue drains and rethrows the first
+//     exception any task raised (the stream is poisoned in between: tasks
+//     submitted after a failure are skipped, like work on an errored CUDA
+//     stream, so dependent stages never observe half-written buffers);
+//   - destruction synchronizes (exceptions are swallowed — call
+//     synchronize() first if you care, as with cudaStreamDestroy).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "device/dims.hh"
+#include "device/launch.hh"
+
+namespace szi::dev {
+
+/// A completion marker recorded on a stream. Default-constructed events are
+/// complete; record() arms them until the stream's queue reaches the record
+/// point. Copyable — copies share the completion state.
+class Event {
+ public:
+  Event() : st_(std::make_shared<State>()) {}
+
+  /// Blocks the calling host thread until the event completes.
+  void wait() const {
+    std::unique_lock lk(st_->mu);
+    st_->cv.wait(lk, [&] { return st_->done; });
+  }
+
+  /// Non-blocking completion check (cudaEventQuery).
+  [[nodiscard]] bool query() const {
+    std::lock_guard lk(st_->mu);
+    return st_->done;
+  }
+
+ private:
+  friend class Stream;
+  struct State {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    bool done = true;
+  };
+  std::shared_ptr<State> st_;
+};
+
+class Stream {
+ public:
+  Stream();
+  ~Stream();
+
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  /// Enqueues `fn`; it runs after everything previously submitted. Returns
+  /// immediately. If the stream is poisoned by an earlier exception, `fn`
+  /// is skipped when its turn comes.
+  void submit(std::function<void()> fn);
+
+  /// Records a completion marker after all currently-enqueued work.
+  [[nodiscard]] Event record();
+
+  /// Makes work submitted to *this* stream after the call wait for `ev`
+  /// (typically recorded on another stream) before running.
+  void wait(Event ev);
+
+  /// Blocks until every enqueued task has run; rethrows the first captured
+  /// exception and clears the poisoned state.
+  void synchronize();
+
+  /// True once a task has thrown and synchronize() has not yet been called.
+  [[nodiscard]] bool errored() const;
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+    bool control;  ///< event plumbing: runs even on a poisoned stream
+  };
+  void loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_idle_;
+  std::deque<Task> q_;
+  std::exception_ptr error_;
+  bool busy_ = false;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+/// Non-blocking counterpart of launch_blocks(): enqueues the grid launch on
+/// `s` and returns immediately. `body` is copied into the task (it outlives
+/// the caller's frame). Synchronize or record an event to observe results.
+template <typename Body>
+void launch_blocks_async(Stream& s, const Dim3& grid, Body body) {
+  s.submit([grid, body = std::move(body)]() mutable {
+    launch_blocks(grid, body);
+  });
+}
+
+/// Non-blocking counterpart of launch_linear().
+template <typename Body>
+void launch_linear_async(Stream& s, std::size_t count, Body body,
+                         std::size_t grain = 1024) {
+  s.submit([count, body = std::move(body), grain]() mutable {
+    launch_linear(count, body, grain);
+  });
+}
+
+}  // namespace szi::dev

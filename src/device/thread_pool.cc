@@ -40,7 +40,7 @@ thread_local bool g_in_launch = false;
 }  // namespace
 
 void ThreadPool::parallel_for(std::size_t count,
-                              const std::function<void(std::size_t)>& body,
+                              FunctionRef<void(std::size_t)> body,
                               std::size_t grain) {
   if (count == 0) return;
   grain = std::max<std::size_t>(1, grain);
@@ -53,63 +53,80 @@ void ThreadPool::parallel_for(std::size_t count,
     ~Reset() { g_in_launch = false; }
   } reset;
 
-  std::size_t my_generation;
+  // One allocation per launch (the descriptor); the body itself is borrowed,
+  // never copied onto the heap. The shared_ptr keeps the descriptor alive
+  // for workers that are between claiming and abandoning it.
+  auto ln = std::make_shared<Launch>(body, count, grain);
   {
     std::lock_guard lk(mu_);
-    body_ = &body;
-    count_ = count;
-    grain_ = grain;
-    next_.store(0, std::memory_order_relaxed);
-    error_ = nullptr;
-    active_ = workers_ - 1;
-    my_generation = ++generation_;
+    queue_.push_back(ln);
   }
   cv_start_.notify_all();
 
-  drain(body);  // the caller works too
+  drain(*ln);  // the caller works too
 
   std::unique_lock lk(mu_);
-  cv_done_.wait(lk, [&] { return active_ == 0 && generation_ == my_generation; });
-  body_ = nullptr;
-  if (error_) std::rethrow_exception(std::exchange(error_, nullptr));
+  cv_done_.wait(lk, [&] { return ln->done; });
+  if (ln->error) std::rethrow_exception(std::exchange(ln->error, nullptr));
 }
 
-void ThreadPool::drain(const std::function<void(std::size_t)>& body) {
-  try {
-    for (;;) {
-      const std::size_t begin =
-          next_.fetch_add(grain_, std::memory_order_relaxed);
-      if (begin >= count_) break;
-      const std::size_t end = std::min(begin + grain_, count_);
-      for (std::size_t i = begin; i < end; ++i) body(i);
+void ThreadPool::drain(Launch& ln) {
+  for (;;) {
+    // in_flight brackets the claim itself, so "no more claims possible" and
+    // "no chunk executing" can be checked together as the completion
+    // condition without missing a concurrent claimer.
+    ln.in_flight.fetch_add(1);
+    const std::size_t begin = ln.next.fetch_add(ln.grain);
+    if (begin >= ln.count) {
+      if (ln.in_flight.fetch_sub(1) == 1) finish_if_complete(ln);
+      return;
     }
-  } catch (...) {
-    // Record the first failure and stop handing out work; the caller
-    // rethrows once the launch drains.
-    std::lock_guard lk(mu_);
-    if (!error_) error_ = std::current_exception();
-    next_.store(count_, std::memory_order_relaxed);
+    const std::size_t end = std::min(begin + ln.grain, ln.count);
+    try {
+      for (std::size_t i = begin; i < end; ++i) ln.body(i);
+    } catch (...) {
+      // Record the first failure and stop handing out work; the submitter
+      // rethrows once the launch drains.
+      std::lock_guard lk(mu_);
+      if (!ln.error) ln.error = std::current_exception();
+      ln.next.store(ln.count);
+    }
+    if (ln.in_flight.fetch_sub(1) == 1 && ln.next.load() >= ln.count)
+      finish_if_complete(ln);
   }
 }
 
+void ThreadPool::finish_if_complete(Launch& ln) {
+  std::lock_guard lk(mu_);
+  if (ln.done) return;
+  if (ln.next.load() < ln.count || ln.in_flight.load() != 0) return;
+  ln.done = true;
+  const auto it = std::find_if(queue_.begin(), queue_.end(),
+                               [&](const auto& p) { return p.get() == &ln; });
+  if (it != queue_.end()) queue_.erase(it);
+  cv_done_.notify_all();
+}
+
 void ThreadPool::worker_loop() {
-  std::size_t seen_generation = 0;
   for (;;) {
-    const std::function<void(std::size_t)>* body = nullptr;
+    std::shared_ptr<Launch> ln;
     {
       std::unique_lock lk(mu_);
-      cv_start_.wait(lk, [&] { return stop_ || (body_ && generation_ != seen_generation); });
+      cv_start_.wait(lk, [&] {
+        // Drop launches whose index space is exhausted — their remaining
+        // chunks are finishing on other threads; re-draining them would
+        // busy-spin.
+        while (!queue_.empty() &&
+               queue_.front()->next.load() >= queue_.front()->count)
+          queue_.pop_front();
+        return stop_ || !queue_.empty();
+      });
       if (stop_) return;
-      seen_generation = generation_;
-      body = body_;
+      ln = queue_.front();
     }
     g_in_launch = true;
-    drain(*body);
+    drain(*ln);
     g_in_launch = false;
-    {
-      std::lock_guard lk(mu_);
-      if (--active_ == 0) cv_done_.notify_all();
-    }
   }
 }
 

@@ -1,5 +1,6 @@
 #include "huffman/histogram.hh"
 
+#include <algorithm>
 #include <array>
 
 #include "device/launch.hh"
@@ -9,36 +10,46 @@ namespace szi::huffman {
 namespace {
 constexpr std::size_t kChunk = 1 << 16;
 
-/// Merge per-chunk private histograms serially (nbins is small).
-std::vector<std::uint32_t> merge(std::vector<std::vector<std::uint32_t>>& parts,
-                                 std::size_t nbins) {
+/// Merge the flat per-chunk partials serially, in chunk order, so the result
+/// never depends on worker scheduling.
+std::vector<std::uint32_t> merge(std::span<const std::uint32_t> parts,
+                                 std::size_t nchunks, std::size_t nbins) {
   std::vector<std::uint32_t> total(nbins, 0);
-  for (const auto& p : parts)
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    const std::uint32_t* p = parts.data() + c * nbins;
     for (std::size_t b = 0; b < nbins; ++b) total[b] += p[b];
+  }
   return total;
 }
 }  // namespace
 
 std::vector<std::uint32_t> histogram(std::span<const quant::Code> codes,
-                                     std::size_t nbins) {
+                                     std::size_t nbins, dev::Workspace& ws) {
   const std::size_t nchunks = dev::ceil_div(codes.size(), kChunk);
-  std::vector<std::vector<std::uint32_t>> parts(nchunks);
+  auto parts = ws.make<std::uint32_t>(nchunks * nbins);
   dev::launch_linear(
       nchunks,
       [&](std::size_t c) {
-        auto& h = parts[c];
-        h.assign(nbins, 0);
+        std::uint32_t* h = parts.data() + c * nbins;
+        std::fill_n(h, nbins, 0u);
         const std::size_t begin = c * kChunk;
         const std::size_t end = std::min(begin + kChunk, codes.size());
         for (std::size_t i = begin; i < end; ++i) ++h[codes[i]];
       },
       1);
-  return merge(parts, nbins);
+  return merge(parts, nchunks, nbins);
+}
+
+std::vector<std::uint32_t> histogram(std::span<const quant::Code> codes,
+                                     std::size_t nbins) {
+  dev::Arena local;
+  dev::Workspace ws(local);
+  return histogram(codes, nbins, ws);
 }
 
 std::vector<std::uint32_t> histogram_topk(std::span<const quant::Code> codes,
                                           std::size_t nbins, std::size_t center,
-                                          std::size_t k) {
+                                          std::size_t k, dev::Workspace& ws) {
   // Register-file budget: at most 2k+1 hot counters per thread (§VI-A notes
   // large k raises register pressure; callers can fall back to k = 1).
   constexpr std::size_t kMaxHot = 33;
@@ -48,12 +59,12 @@ std::vector<std::uint32_t> histogram_topk(std::span<const quant::Code> codes,
   const std::size_t hot_n = hi - lo + 1;
 
   const std::size_t nchunks = dev::ceil_div(codes.size(), kChunk);
-  std::vector<std::vector<std::uint32_t>> parts(nchunks);
+  auto parts = ws.make<std::uint32_t>(nchunks * nbins);
   dev::launch_linear(
       nchunks,
       [&](std::size_t c) {
-        auto& h = parts[c];
-        h.assign(nbins, 0);
+        std::uint32_t* h = parts.data() + c * nbins;
+        std::fill_n(h, nbins, 0u);
         std::array<std::uint32_t, kMaxHot> hot{};
         const std::size_t begin = c * kChunk;
         const std::size_t end = std::min(begin + kChunk, codes.size());
@@ -67,7 +78,15 @@ std::vector<std::uint32_t> histogram_topk(std::span<const quant::Code> codes,
         for (std::size_t j = 0; j < hot_n; ++j) h[lo + j] += hot[j];
       },
       1);
-  return merge(parts, nbins);
+  return merge(parts, nchunks, nbins);
+}
+
+std::vector<std::uint32_t> histogram_topk(std::span<const quant::Code> codes,
+                                          std::size_t nbins, std::size_t center,
+                                          std::size_t k) {
+  dev::Arena local;
+  dev::Workspace ws(local);
+  return histogram_topk(codes, nbins, center, k, ws);
 }
 
 }  // namespace szi::huffman

@@ -10,12 +10,19 @@
 //    slashes shared-memory traffic; the CPU realization keeps the identical
 //    structure so the ablation bench can compare the two paths, and
 //    gracefully degrades to k=1 when asked (§VI-A).
+//
+// Each kernel has a Workspace overload that draws the per-chunk private
+// histograms from the pooled arena (one flat block) instead of allocating a
+// vector per chunk; the plain overloads are thin wrappers over it with a
+// throwaway arena. The merged result is deterministic regardless of worker
+// count: partials are combined serially in chunk order.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "device/arena.hh"
 #include "quant/quantizer.hh"
 
 namespace szi::huffman {
@@ -23,6 +30,9 @@ namespace szi::huffman {
 /// Generic two-phase privatized histogram over codes < nbins.
 [[nodiscard]] std::vector<std::uint32_t> histogram(
     std::span<const quant::Code> codes, std::size_t nbins);
+[[nodiscard]] std::vector<std::uint32_t> histogram(
+    std::span<const quant::Code> codes, std::size_t nbins,
+    dev::Workspace& ws);
 
 /// Hot-band cached histogram: bins in [center-k, center+k] go through a
 /// per-chunk register cache; everything else through the private histogram.
@@ -30,5 +40,8 @@ namespace szi::huffman {
 [[nodiscard]] std::vector<std::uint32_t> histogram_topk(
     std::span<const quant::Code> codes, std::size_t nbins, std::size_t center,
     std::size_t k);
+[[nodiscard]] std::vector<std::uint32_t> histogram_topk(
+    std::span<const quant::Code> codes, std::size_t nbins, std::size_t center,
+    std::size_t k, dev::Workspace& ws);
 
 }  // namespace szi::huffman

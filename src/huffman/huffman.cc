@@ -12,10 +12,44 @@ namespace szi::huffman {
 
 namespace {
 
+/// BitWriter over a pre-sized destination: each chunk's exact byte size is
+/// known after phase 1, so phase 2 writes straight into the payload slot
+/// instead of growing a per-chunk vector and copying it over.
+class SpanBitWriter {
+ public:
+  explicit SpanBitWriter(std::uint8_t* out) : out_(out) {}
+
+  void put(std::uint64_t bits, unsigned nbits) {
+    while (nbits > 0) {
+      const unsigned take = nbits < free_ ? nbits : free_;
+      cur_ = static_cast<std::uint8_t>(
+          cur_ | (((bits >> (nbits - take)) & ((1u << take) - 1))
+                  << (free_ - take)));
+      free_ -= take;
+      nbits -= take;
+      if (free_ == 0) flush_byte();
+    }
+  }
+
+  void align() {
+    if (free_ < 8) flush_byte();
+  }
+
+ private:
+  void flush_byte() {
+    *out_++ = cur_;
+    cur_ = 0;
+    free_ = 8;
+  }
+  std::uint8_t* out_;
+  std::uint8_t cur_ = 0;
+  unsigned free_ = 8;
+};
+
 template <typename T>
-void append_pod(std::vector<std::byte>& out, const T& v) {
-  const auto* p = reinterpret_cast<const std::byte*>(&v);
-  out.insert(out.end(), p, p + sizeof(T));
+std::byte* write_pod(std::byte* p, const T& v) {
+  std::memcpy(p, &v, sizeof(T));
+  return p + sizeof(T);
 }
 
 }  // namespace
@@ -23,23 +57,42 @@ void append_pod(std::vector<std::byte>& out, const T& v) {
 std::vector<std::byte> encode(std::span<const quant::Code> codes,
                               std::size_t nbins, std::size_t chunk_size,
                               bool use_topk_histogram) {
-  const auto hist =
-      use_topk_histogram
-          ? histogram_topk(codes, nbins, nbins / 2, 16)
-          : histogram(codes, nbins);
-  return encode_with_book(codes, Codebook::build(hist), chunk_size);
+  dev::Arena local;
+  dev::Workspace ws(local);
+  const auto s = encode(codes, nbins, chunk_size, use_topk_histogram, ws);
+  return {s.begin(), s.end()};
 }
 
 std::vector<std::byte> encode_with_book(std::span<const quant::Code> codes,
                                         const Codebook& book,
                                         std::size_t chunk_size) {
+  dev::Arena local;
+  dev::Workspace ws(local);
+  const auto s = encode_with_book(codes, book, chunk_size, ws);
+  return {s.begin(), s.end()};
+}
+
+std::span<const std::byte> encode(std::span<const quant::Code> codes,
+                                  std::size_t nbins, std::size_t chunk_size,
+                                  bool use_topk_histogram,
+                                  dev::Workspace& ws) {
+  const auto hist = use_topk_histogram
+                        ? histogram_topk(codes, nbins, nbins / 2, 16, ws)
+                        : histogram(codes, nbins, ws);
+  return encode_with_book(codes, Codebook::build(hist), chunk_size, ws);
+}
+
+std::span<const std::byte> encode_with_book(std::span<const quant::Code> codes,
+                                            const Codebook& book,
+                                            std::size_t chunk_size,
+                                            dev::Workspace& ws) {
   if (chunk_size == 0) throw std::invalid_argument("huffman: chunk_size == 0");
   const std::size_t nbins = book.nbins();
   const std::size_t n = codes.size();
   const std::size_t nchunks = dev::ceil_div(n, chunk_size);
 
   // Phase 1: per-chunk bit sizes (parallel), then byte offsets via scan.
-  std::vector<std::uint64_t> chunk_bytes(nchunks);
+  auto chunk_bytes = ws.make<std::uint64_t>(nchunks);
   dev::launch_linear(
       nchunks,
       [&](std::size_t c) {
@@ -50,43 +103,41 @@ std::vector<std::byte> encode_with_book(std::span<const quant::Code> codes,
         chunk_bytes[c] = (bits + 7) / 8;
       },
       1);
-  std::vector<std::uint64_t> offsets(nchunks);
+  auto offsets = ws.make<std::uint64_t>(nchunks);
   const std::uint64_t payload_bytes =
       dev::exclusive_scan<std::uint64_t>(chunk_bytes, offsets);
 
-  // Header.
-  std::vector<std::byte> out;
-  out.reserve(64 + nbins + nchunks * 8 + payload_bytes);
-  append_pod(out, static_cast<std::uint32_t>(nbins));
-  out.insert(out.end(),
-             reinterpret_cast<const std::byte*>(book.lengths.data()),
-             reinterpret_cast<const std::byte*>(book.lengths.data()) + nbins);
-  append_pod(out, static_cast<std::uint64_t>(n));
-  append_pod(out, static_cast<std::uint32_t>(chunk_size));
-  append_pod(out, payload_bytes);
-  const std::size_t offsets_pos = out.size();
-  out.resize(out.size() + nchunks * sizeof(std::uint64_t));
+  // Header, written directly into one workspace block.
+  const std::size_t header_bytes = sizeof(std::uint32_t) + nbins +
+                                   sizeof(std::uint64_t) +
+                                   sizeof(std::uint32_t) +
+                                   sizeof(std::uint64_t) +
+                                   nchunks * sizeof(std::uint64_t);
+  auto out = ws.make<std::byte>(header_bytes + payload_bytes);
+  std::byte* p = out.data();
+  p = write_pod(p, static_cast<std::uint32_t>(nbins));
+  std::memcpy(p, book.lengths.data(), nbins);
+  p += nbins;
+  p = write_pod(p, static_cast<std::uint64_t>(n));
+  p = write_pod(p, static_cast<std::uint32_t>(chunk_size));
+  p = write_pod(p, payload_bytes);
   if (nchunks > 0)
-    std::memcpy(out.data() + offsets_pos, offsets.data(),
-                nchunks * sizeof(std::uint64_t));
+    std::memcpy(p, offsets.data(), nchunks * sizeof(std::uint64_t));
 
   // Phase 2: chunk-parallel bitstream emission into disjoint byte ranges.
-  const std::size_t payload_pos = out.size();
-  out.resize(out.size() + payload_bytes);
-  auto* payload = reinterpret_cast<std::uint8_t*>(out.data() + payload_pos);
+  // chunk_bytes[c] is exact, so every payload byte is overwritten — required
+  // because arena blocks carry stale contents from prior invocations.
+  auto* payload =
+      reinterpret_cast<std::uint8_t*>(out.data() + header_bytes);
   dev::launch_linear(
       nchunks,
       [&](std::size_t c) {
         const std::size_t begin = c * chunk_size;
         const std::size_t end = std::min(begin + chunk_size, n);
-        std::vector<std::uint8_t> buf;
-        buf.reserve(chunk_bytes[c]);
-        lossless::BitWriter bw(buf);
+        SpanBitWriter bw(payload + offsets[c]);
         for (std::size_t i = begin; i < end; ++i)
           bw.put(book.codes[codes[i]], book.lengths[codes[i]]);
         bw.align();
-        if (!buf.empty())
-          std::memcpy(payload + offsets[c], buf.data(), buf.size());
       },
       1);
   return out;

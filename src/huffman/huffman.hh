@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "device/arena.hh"
 #include "huffman/codebook.hh"
 #include "quant/quantizer.hh"
 
@@ -32,6 +33,17 @@ inline constexpr std::size_t kDefaultChunk = 4096;
 [[nodiscard]] std::vector<std::byte> encode_with_book(
     std::span<const quant::Code> codes, const Codebook& book,
     std::size_t chunk_size = kDefaultChunk);
+
+/// Workspace variants: the stream is assembled in `ws`-owned memory (valid
+/// until its next reset) and every chunk's bitstream is written directly
+/// into its final payload slot — no per-chunk temporaries, no allocations
+/// on the encode hot path. The byte layout is identical to encode().
+[[nodiscard]] std::span<const std::byte> encode(
+    std::span<const quant::Code> codes, std::size_t nbins,
+    std::size_t chunk_size, bool use_topk_histogram, dev::Workspace& ws);
+[[nodiscard]] std::span<const std::byte> encode_with_book(
+    std::span<const quant::Code> codes, const Codebook& book,
+    std::size_t chunk_size, dev::Workspace& ws);
 
 /// Inverse of encode(). Throws std::runtime_error on malformed headers.
 [[nodiscard]] std::vector<quant::Code> decode(std::span<const std::byte> bytes);

@@ -8,6 +8,8 @@
 #include <span>
 #include <vector>
 
+#include "device/arena.hh"
+
 namespace szi::lossless {
 
 /// Elements per shuffle block (a GPU thread-block tile).
@@ -24,6 +26,15 @@ inline constexpr std::size_t kShuffleBlock = 1024;
 /// Shuffles `in` into bit-plane-major order per block; `out` must hold
 /// exactly bitshuffle16_size(in.size()) bytes.
 void bitshuffle16(std::span<const std::uint16_t> in, std::span<std::uint8_t> out);
+
+/// Workspace convenience: shuffles into a pooled buffer (valid until the
+/// Workspace resets) and returns it.
+[[nodiscard]] inline std::span<std::uint8_t> bitshuffle16(
+    std::span<const std::uint16_t> in, dev::Workspace& ws) {
+  auto out = ws.make<std::uint8_t>(bitshuffle16_size(in.size()));
+  bitshuffle16(in, out);
+  return out;
+}
 
 /// Inverse; reconstructs out.size() elements.
 void bitunshuffle16(std::span<const std::uint8_t> in,

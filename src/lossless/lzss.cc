@@ -1,5 +1,6 @@
 #include "lossless/lzss.hh"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 
@@ -20,20 +21,35 @@ std::uint32_t hash4(const std::uint8_t* p) {
   return (v * 2654435761u) >> (32 - kHashBits);
 }
 
-/// Greedy LZSS over one block with a hash-head + prev-chain match finder.
-std::vector<std::uint8_t> compress_block(const std::uint8_t* src,
-                                         std::size_t n) {
-  std::vector<std::uint8_t> out;
-  out.reserve(n / 2 + 16);
-  std::vector<std::int32_t> head(kHashSize, -1);
-  std::vector<std::int32_t> prev(n, -1);
+/// The longest single token: 1 control byte + 2 distance bytes + the length
+/// byte chain for a full 64 KiB match (~258 bytes). Block slices are sized
+/// `len + kTokenSlack` so the encoder can bail out between tokens (once the
+/// output reaches `len` the block is raw regardless) without ever writing
+/// past its slice.
+constexpr std::size_t kTokenSlack = 320;
 
+/// Sentinel return of compress_block_into: the block is incompressible.
+constexpr std::size_t kStoreRaw = ~std::size_t{0};
+
+/// Greedy LZSS over one block with a hash-head + prev-chain match finder,
+/// emitting into `out` (capacity >= n + kTokenSlack). `head` (kHashSize) and
+/// `prev` (n) are caller-provided scratch. Returns the encoded size, or
+/// kStoreRaw as soon as the output provably reaches n bytes — output only
+/// grows, so stopping early picks the exact same raw-vs-tokens decision the
+/// full encode would.
+std::size_t compress_block_into(const std::uint8_t* src, std::size_t n,
+                                std::uint8_t* out, std::int32_t* head,
+                                std::int32_t* prev) {
+  std::fill_n(head, kHashSize, -1);
+  std::fill_n(prev, n, -1);
+
+  std::size_t out_pos = 0;
   std::size_t ctrl_pos = 0;
   int ctrl_bits = 8;  // force a fresh control byte on first token
   auto begin_token = [&](bool is_match) {
     if (ctrl_bits == 8) {
-      ctrl_pos = out.size();
-      out.push_back(0);
+      ctrl_pos = out_pos;
+      out[out_pos++] = 0;
       ctrl_bits = 0;
     }
     if (is_match) out[ctrl_pos] |= static_cast<std::uint8_t>(1u << ctrl_bits);
@@ -42,6 +58,7 @@ std::vector<std::uint8_t> compress_block(const std::uint8_t* src,
 
   std::size_t i = 0;
   while (i < n) {
+    if (out_pos >= n) return kStoreRaw;  // already as large as the input
     std::size_t best_len = 0, best_dist = 0;
     if (i + kMinMatch <= n) {
       const std::uint32_t h = hash4(src + i);
@@ -67,14 +84,14 @@ std::vector<std::uint8_t> compress_block(const std::uint8_t* src,
 
     if (best_len >= kMinMatch) {
       begin_token(true);
-      out.push_back(static_cast<std::uint8_t>(best_dist & 0xFF));
-      out.push_back(static_cast<std::uint8_t>(best_dist >> 8));
+      out[out_pos++] = static_cast<std::uint8_t>(best_dist & 0xFF);
+      out[out_pos++] = static_cast<std::uint8_t>(best_dist >> 8);
       std::size_t rem = best_len - kMinMatch;
       while (rem >= 255) {
-        out.push_back(0xFF);
+        out[out_pos++] = 0xFF;
         rem -= 255;
       }
-      out.push_back(static_cast<std::uint8_t>(rem));
+      out[out_pos++] = static_cast<std::uint8_t>(rem);
       // Insert hash entries for skipped positions so later matches can
       // anchor inside this match (bounded to keep the pass linear).
       const std::size_t insert_end = std::min(i + best_len, n - kMinMatch + 1);
@@ -86,11 +103,11 @@ std::vector<std::uint8_t> compress_block(const std::uint8_t* src,
       i += best_len;
     } else {
       begin_token(false);
-      out.push_back(src[i]);
+      out[out_pos++] = src[i];
       ++i;
     }
   }
-  return out;
+  return out_pos >= n ? kStoreRaw : out_pos;
 }
 
 void decompress_block(const std::uint8_t* src, std::size_t n,
@@ -132,55 +149,77 @@ void decompress_block(const std::uint8_t* src, std::size_t n,
   }
 }
 
-template <typename T>
-void append_pod(std::vector<std::byte>& out, const T& v) {
-  const auto* p = reinterpret_cast<const std::byte*>(&v);
-  out.insert(out.end(), p, p + sizeof(T));
-}
-
 }  // namespace
 
 std::vector<std::byte> lzss_compress(std::span<const std::byte> data,
                                      std::size_t block_size) {
+  dev::Arena local;
+  dev::Workspace ws(local);
+  const auto s = lzss_compress(data, block_size, ws);
+  return {s.begin(), s.end()};
+}
+
+std::span<const std::byte> lzss_compress(std::span<const std::byte> data,
+                                         std::size_t block_size,
+                                         dev::Workspace& ws) {
   if (block_size == 0) throw std::invalid_argument("lzss: block_size == 0");
   const std::size_t n = data.size();
   const std::size_t nblocks = n == 0 ? 0 : dev::ceil_div(n, block_size);
   const auto* src = reinterpret_cast<const std::uint8_t*>(data.data());
 
-  // Compress blocks in parallel, then stitch.
-  std::vector<std::vector<std::uint8_t>> blocks(nblocks);
+  // Compress blocks in parallel into per-block slices (block_size +
+  // kTokenSlack apart, so the in-slice encoder can overrun the raw-fallback
+  // threshold by at most one token), then stitch. Hash-chain scratch comes
+  // from the thread-safe arena so concurrent blocks reuse warm tables.
+  const std::size_t stride = block_size + kTokenSlack;
+  auto slices = ws.make<std::uint8_t>(nblocks * stride);
+  auto enc_size = ws.make<std::uint64_t>(nblocks);
   dev::launch_linear(
       nblocks,
       [&](std::size_t b) {
         const std::size_t begin = b * block_size;
         const std::size_t len = std::min(block_size, n - begin);
-        auto enc = compress_block(src + begin, len);
-        if (enc.size() >= len) {  // incompressible: store raw
-          enc.assign(src + begin, src + begin + len);
-          enc.push_back(0);  // trailing mode marker replaced below; see note
-        }
-        blocks[b] = std::move(enc);
+        dev::PooledBuffer head(ws.arena(), kHashSize * sizeof(std::int32_t));
+        dev::PooledBuffer prev(ws.arena(), len * sizeof(std::int32_t));
+        const std::size_t sz = compress_block_into(
+            src + begin, len, slices.data() + b * stride,
+            head.as<std::int32_t>(kHashSize).data(),
+            prev.as<std::int32_t>(len).data());
+        enc_size[b] = sz == kStoreRaw ? ~std::uint64_t{0} : sz;
       },
       1);
 
-  std::vector<std::byte> out;
-  append_pod(out, static_cast<std::uint64_t>(n));
-  append_pod(out, static_cast<std::uint32_t>(block_size));
-  append_pod(out, static_cast<std::uint32_t>(nblocks));
-  const std::size_t offsets_pos = out.size();
-  out.resize(out.size() + nblocks * sizeof(std::uint64_t));
+  std::size_t total = sizeof(std::uint64_t) + 2 * sizeof(std::uint32_t) +
+                      nblocks * sizeof(std::uint64_t);
   for (std::size_t b = 0; b < nblocks; ++b) {
     const std::size_t begin = b * block_size;
     const std::size_t len = std::min(block_size, n - begin);
-    const bool raw = blocks[b].size() == len + 1;  // marked above
-    const std::uint64_t off = out.size();
-    std::memcpy(out.data() + offsets_pos + b * sizeof(std::uint64_t), &off,
-                sizeof(off));
-    out.push_back(static_cast<std::byte>(raw ? 0 : 1));
-    const std::size_t payload = raw ? len : blocks[b].size();
-    out.insert(out.end(),
-               reinterpret_cast<const std::byte*>(blocks[b].data()),
-               reinterpret_cast<const std::byte*>(blocks[b].data()) + payload);
+    const bool raw = enc_size[b] == ~std::uint64_t{0};
+    total += 1 + (raw ? len : static_cast<std::size_t>(enc_size[b]));
+  }
+
+  auto out = ws.make<std::byte>(total);
+  std::byte* p = out.data();
+  const auto put = [&p](const auto& v) {
+    std::memcpy(p, &v, sizeof(v));
+    p += sizeof(v);
+  };
+  put(static_cast<std::uint64_t>(n));
+  put(static_cast<std::uint32_t>(block_size));
+  put(static_cast<std::uint32_t>(nblocks));
+  auto* offsets = reinterpret_cast<std::uint64_t*>(p);
+  p += nblocks * sizeof(std::uint64_t);
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    const std::size_t begin = b * block_size;
+    const std::size_t len = std::min(block_size, n - begin);
+    const bool raw = enc_size[b] == ~std::uint64_t{0};
+    offsets[b] = static_cast<std::uint64_t>(p - out.data());
+    *p++ = static_cast<std::byte>(raw ? 0 : 1);
+    const std::size_t payload = raw ? len : static_cast<std::size_t>(enc_size[b]);
+    std::memcpy(p, raw ? reinterpret_cast<const std::uint8_t*>(src + begin)
+                       : slices.data() + b * stride,
+                payload);
+    p += payload;
   }
   return out;
 }

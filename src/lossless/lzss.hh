@@ -22,6 +22,8 @@
 #include <span>
 #include <vector>
 
+#include "device/arena.hh"
+
 namespace szi::lossless {
 
 inline constexpr std::size_t kLzssBlock = 64 * 1024;
@@ -29,6 +31,14 @@ inline constexpr std::size_t kMinMatch = 4;
 
 [[nodiscard]] std::vector<std::byte> lzss_compress(
     std::span<const std::byte> data, std::size_t block_size = kLzssBlock);
+
+/// Workspace form: the stream is assembled in pooled memory (valid until the
+/// Workspace resets); per-block token buffers and the hash-chain match
+/// tables are pooled too instead of allocated per block. Byte-identical to
+/// lzss_compress().
+[[nodiscard]] std::span<const std::byte> lzss_compress(
+    std::span<const std::byte> data, std::size_t block_size,
+    dev::Workspace& ws);
 
 /// Throws std::runtime_error on malformed streams.
 [[nodiscard]] std::vector<std::byte> lzss_decompress(

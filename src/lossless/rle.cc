@@ -1,5 +1,6 @@
 #include "lossless/rle.hh"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 
@@ -17,10 +18,18 @@ bool unit_is_zero(const std::byte* p, std::size_t len) {
 }  // namespace
 
 std::vector<std::byte> zero_rle_compress(std::span<const std::byte> data) {
+  dev::Arena local;
+  dev::Workspace ws(local);
+  const auto s = zero_rle_compress(data, ws);
+  return {s.begin(), s.end()};
+}
+
+std::span<const std::byte> zero_rle_compress(std::span<const std::byte> data,
+                                             dev::Workspace& ws) {
   const std::size_t n = data.size();
   const std::size_t nunits = dev::ceil_div(n, kRleUnit);
-  std::vector<std::uint8_t> bitmap((nunits + 7) / 8, 0);
-  std::vector<char> nonzero(nunits, 0);
+  const std::size_t bitmap_bytes = (nunits + 7) / 8;
+  auto nonzero = ws.make<char>(nunits);
   dev::launch_linear(
       nunits,
       [&](std::size_t u) {
@@ -29,26 +38,30 @@ std::vector<std::byte> zero_rle_compress(std::span<const std::byte> data) {
         nonzero[u] = unit_is_zero(data.data() + begin, len) ? 0 : 1;
       },
       1 << 10);
-  std::size_t kept = 0;
+
+  auto bitmap = ws.make<std::uint8_t>(bitmap_bytes);
+  std::fill_n(bitmap.data(), bitmap_bytes, std::uint8_t{0});
+  std::size_t kept_bytes = 0;
   for (std::size_t u = 0; u < nunits; ++u)
     if (nonzero[u]) {
       bitmap[u / 8] |= static_cast<std::uint8_t>(1u << (u % 8));
-      ++kept;
+      kept_bytes += std::min(kRleUnit, n - u * kRleUnit);
     }
 
-  std::vector<std::byte> out;
-  out.reserve(16 + bitmap.size() + kept * kRleUnit);
+  auto out = ws.make<std::byte>(sizeof(std::uint64_t) + bitmap_bytes +
+                                kept_bytes);
+  std::byte* p = out.data();
   const std::uint64_t n64 = n;
-  out.resize(sizeof(n64));
-  std::memcpy(out.data(), &n64, sizeof(n64));
-  out.insert(out.end(), reinterpret_cast<const std::byte*>(bitmap.data()),
-             reinterpret_cast<const std::byte*>(bitmap.data()) + bitmap.size());
+  std::memcpy(p, &n64, sizeof(n64));
+  p += sizeof(n64);
+  std::memcpy(p, bitmap.data(), bitmap_bytes);
+  p += bitmap_bytes;
   for (std::size_t u = 0; u < nunits; ++u)
     if (nonzero[u]) {
       const std::size_t begin = u * kRleUnit;
       const std::size_t len = std::min(kRleUnit, n - begin);
-      out.insert(out.end(), data.begin() + static_cast<std::ptrdiff_t>(begin),
-                 data.begin() + static_cast<std::ptrdiff_t>(begin + len));
+      std::memcpy(p, data.data() + begin, len);
+      p += len;
     }
   return out;
 }

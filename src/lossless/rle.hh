@@ -10,12 +10,19 @@
 #include <span>
 #include <vector>
 
+#include "device/arena.hh"
+
 namespace szi::lossless {
 
 inline constexpr std::size_t kRleUnit = 32;
 
 [[nodiscard]] std::vector<std::byte> zero_rle_compress(
     std::span<const std::byte> data);
+
+/// Workspace form: bitmap, unit flags, and the output stream come from the
+/// pool (result valid until the Workspace resets). Byte-identical output.
+[[nodiscard]] std::span<const std::byte> zero_rle_compress(
+    std::span<const std::byte> data, dev::Workspace& ws);
 
 /// Throws std::runtime_error on malformed streams.
 [[nodiscard]] std::vector<std::byte> zero_rle_decompress(

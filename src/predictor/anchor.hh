@@ -27,13 +27,12 @@ namespace szi::predictor {
           anchor_count_1d(dims.z, stride.z)};
 }
 
-/// Gathers data[every stride-th point] into a dense anchor array.
+/// Gathers data[every stride-th point] into `anchors`, which must hold
+/// anchor_dims(dims, stride).volume() elements (workspace-friendly form).
 template <typename T>
-[[nodiscard]] std::vector<T> gather_anchors(std::span<const T> data,
-                                            const dev::Dim3& dims,
-                                            const dev::Dim3& stride) {
+void gather_anchors_into(std::span<const T> data, const dev::Dim3& dims,
+                         const dev::Dim3& stride, std::span<T> anchors) {
   const dev::Dim3 ad = anchor_dims(dims, stride);
-  std::vector<T> anchors(ad.volume());
   dev::launch_linear(
       ad.z,
       [&](std::size_t az) {
@@ -43,6 +42,15 @@ template <typename T>
                 dims, ax * stride.x, ay * stride.y, az * stride.z)];
       },
       1);
+}
+
+/// Gathers data[every stride-th point] into a dense anchor array.
+template <typename T>
+[[nodiscard]] std::vector<T> gather_anchors(std::span<const T> data,
+                                            const dev::Dim3& dims,
+                                            const dev::Dim3& stride) {
+  std::vector<T> anchors(anchor_dims(dims, stride).volume());
+  gather_anchors_into<T>(data, dims, stride, anchors);
   return anchors;
 }
 

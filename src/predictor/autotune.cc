@@ -34,11 +34,12 @@ std::vector<std::size_t> sample_coords(std::size_t n, std::size_t count) {
 
 template <typename T>
 ProfileResult autotune_impl(std::span<const T> data, const dev::Dim3& dims,
-                            double eb, std::size_t samples_per_dim) {
+                            double eb, std::size_t samples_per_dim,
+                            dev::Workspace* ws) {
   ProfileResult r;
 
   // Step 1: value range -> relative error bound -> α via Eq. (1).
-  const auto mm = dev::minmax(data);
+  const auto mm = ws ? dev::minmax(data, *ws) : dev::minmax(data);
   r.value_range = static_cast<double>(mm.max) - static_cast<double>(mm.min);
   r.epsilon = r.value_range > 0 ? eb / r.value_range : 1.0;
   r.config.alpha = alpha_of_epsilon(r.epsilon);
@@ -99,12 +100,24 @@ ProfileResult autotune_impl(std::span<const T> data, const dev::Dim3& dims,
 
 ProfileResult autotune(std::span<const float> data, const dev::Dim3& dims,
                        double eb, std::size_t samples_per_dim) {
-  return autotune_impl<float>(data, dims, eb, samples_per_dim);
+  return autotune_impl<float>(data, dims, eb, samples_per_dim, nullptr);
 }
 
 ProfileResult autotune(std::span<const double> data, const dev::Dim3& dims,
                        double eb, std::size_t samples_per_dim) {
-  return autotune_impl<double>(data, dims, eb, samples_per_dim);
+  return autotune_impl<double>(data, dims, eb, samples_per_dim, nullptr);
+}
+
+ProfileResult autotune(std::span<const float> data, const dev::Dim3& dims,
+                       double eb, dev::Workspace& ws,
+                       std::size_t samples_per_dim) {
+  return autotune_impl<float>(data, dims, eb, samples_per_dim, &ws);
+}
+
+ProfileResult autotune(std::span<const double> data, const dev::Dim3& dims,
+                       double eb, dev::Workspace& ws,
+                       std::size_t samples_per_dim) {
+  return autotune_impl<double>(data, dims, eb, samples_per_dim, &ws);
 }
 
 }  // namespace szi::predictor

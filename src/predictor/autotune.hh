@@ -9,6 +9,7 @@
 #include <array>
 #include <span>
 
+#include "device/arena.hh"
 #include "device/dims.hh"
 #include "predictor/interp_config.hh"
 
@@ -32,6 +33,16 @@ struct ProfileResult {
                                      std::size_t samples_per_dim = 4);
 [[nodiscard]] ProfileResult autotune(std::span<const double> data,
                                      const dev::Dim3& dims, double eb,
+                                     std::size_t samples_per_dim = 4);
+
+/// Workspace forms: the value-range reduction's scratch comes from the pool.
+[[nodiscard]] ProfileResult autotune(std::span<const float> data,
+                                     const dev::Dim3& dims, double eb,
+                                     dev::Workspace& ws,
+                                     std::size_t samples_per_dim = 4);
+[[nodiscard]] ProfileResult autotune(std::span<const double> data,
+                                     const dev::Dim3& dims, double eb,
+                                     dev::Workspace& ws,
                                      std::size_t samples_per_dim = 4);
 
 }  // namespace szi::predictor

@@ -156,12 +156,18 @@ void run_tiles(std::span<const T> in, std::span<T> out,
 }
 
 template <typename T>
-GInterpOutputT<T> compress_impl(std::span<const T> data, const dev::Dim3& dims,
-                                double eb, const InterpConfig& cfg,
-                                int radius) {
+void check_compress_args(std::span<const T> data, const dev::Dim3& dims,
+                         double eb) {
   if (data.size() != dims.volume())
     throw std::invalid_argument("ginterp_compress: size/dims mismatch");
   if (eb <= 0) throw std::invalid_argument("ginterp_compress: eb must be > 0");
+}
+
+template <typename T>
+GInterpOutputT<T> compress_impl(std::span<const T> data, const dev::Dim3& dims,
+                                double eb, const InterpConfig& cfg,
+                                int radius) {
+  check_compress_args(data, dims, eb);
 
   const Geometry geo = geometry_for(dims);
   GInterpOutputT<T> out;
@@ -172,6 +178,32 @@ GInterpOutputT<T> compress_impl(std::span<const T> data, const dev::Dim3& dims,
 
   run_tiles<true, T>(data, {}, out.codes, {}, dims, eb, cfg, radius);
   out.outliers = quant::OutlierSetT<T>::gather(out.codes, data);
+  return out;
+}
+
+template <typename T>
+GInterpViewT<T> compress_ws_impl(std::span<const T> data,
+                                 const dev::Dim3& dims, double eb,
+                                 const InterpConfig& cfg, int radius,
+                                 dev::Workspace& ws) {
+  check_compress_args(data, dims, eb);
+
+  const Geometry geo = geometry_for(dims);
+  auto anchors = ws.make<T>(anchor_dims(dims, geo.anchor).volume());
+  gather_anchors_into<T>(data, dims, geo.anchor, anchors);
+
+  // Arena blocks carry stale contents, so the default code must be written
+  // explicitly everywhere (anchors and never-targeted points included).
+  auto codes = ws.make<quant::Code>(data.size());
+  const auto perfect = static_cast<quant::Code>(radius);
+  dev::launch_linear(
+      codes.size(), [&](std::size_t i) { codes[i] = perfect; }, 1 << 14);
+
+  run_tiles<true, T>(data, {}, codes, {}, dims, eb, cfg, radius);
+  GInterpViewT<T> out;
+  out.codes = codes;
+  out.anchors = anchors;
+  out.outliers = quant::gather_outliers<T>(codes, data, ws);
   return out;
 }
 
@@ -211,6 +243,20 @@ GInterpOutputT<double> ginterp_compress(std::span<const double> data,
                                         const dev::Dim3& dims, double eb,
                                         const InterpConfig& cfg, int radius) {
   return compress_impl<double>(data, dims, eb, cfg, radius);
+}
+
+GInterpViewT<float> ginterp_compress(std::span<const float> data,
+                                     const dev::Dim3& dims, double eb,
+                                     const InterpConfig& cfg, int radius,
+                                     dev::Workspace& ws) {
+  return compress_ws_impl<float>(data, dims, eb, cfg, radius, ws);
+}
+
+GInterpViewT<double> ginterp_compress(std::span<const double> data,
+                                      const dev::Dim3& dims, double eb,
+                                      const InterpConfig& cfg, int radius,
+                                      dev::Workspace& ws) {
+  return compress_ws_impl<double>(data, dims, eb, cfg, radius, ws);
 }
 
 std::vector<float> ginterp_decompress(std::span<const quant::Code> codes,

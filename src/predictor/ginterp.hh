@@ -42,6 +42,16 @@ struct GInterpOutputT {
 
 using GInterpOutput = GInterpOutputT<float>;
 
+/// The prediction stage's output in workspace memory: spans stay valid
+/// until the owning Workspace resets, and every buffer is drawn from the
+/// arena pool instead of freshly allocated.
+template <typename T>
+struct GInterpViewT {
+  std::span<const quant::Code> codes;
+  std::span<const T> anchors;
+  quant::OutlierViewT<T> outliers;
+};
+
 /// Predicts+quantizes `data`. `cfg` normally comes from autotune();
 /// it must be persisted for decompression.
 [[nodiscard]] GInterpOutputT<float> ginterp_compress(
@@ -50,6 +60,15 @@ using GInterpOutput = GInterpOutputT<float>;
 [[nodiscard]] GInterpOutputT<double> ginterp_compress(
     std::span<const double> data, const dev::Dim3& dims, double eb,
     const InterpConfig& cfg, int radius = quant::kDefaultRadius);
+
+/// Workspace forms: identical math and byte-for-byte identical outputs,
+/// with codes/anchors/outliers pooled in `ws`.
+[[nodiscard]] GInterpViewT<float> ginterp_compress(
+    std::span<const float> data, const dev::Dim3& dims, double eb,
+    const InterpConfig& cfg, int radius, dev::Workspace& ws);
+[[nodiscard]] GInterpViewT<double> ginterp_compress(
+    std::span<const double> data, const dev::Dim3& dims, double eb,
+    const InterpConfig& cfg, int radius, dev::Workspace& ws);
 
 /// Reconstructs the field from codes + anchors + outliers.
 [[nodiscard]] std::vector<float> ginterp_decompress(

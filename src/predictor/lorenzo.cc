@@ -12,8 +12,8 @@ namespace {
 
 /// Pre-quantized lattice value d_i = round(v_i / 2eb) in int64 (the paper's
 /// ebx2 reciprocal multiply).
-std::vector<std::int64_t> prequantize(std::span<const float> data, double eb) {
-  std::vector<std::int64_t> d(data.size());
+void prequantize_into(std::span<const float> data, double eb,
+                      std::span<std::int64_t> d) {
   const double inv = 1.0 / (2.0 * eb);
   dev::launch_linear(
       data.size(),
@@ -22,23 +22,14 @@ std::vector<std::int64_t> prequantize(std::span<const float> data, double eb) {
             std::llround(static_cast<double>(data[i]) * inv));
       },
       1 << 14);
-  return d;
 }
 
-}  // namespace
-
-LorenzoOutput lorenzo_compress(std::span<const float> data,
-                               const dev::Dim3& dims, double eb, int radius) {
-  if (data.size() != dims.volume())
-    throw std::invalid_argument("lorenzo_compress: size/dims mismatch");
-  if (eb <= 0) throw std::invalid_argument("lorenzo_compress: eb must be > 0");
-
-  const auto d = prequantize(data, eb);
-  LorenzoOutput out;
-  out.codes.resize(data.size());
-  // q values that escape the radius; gathered after the parallel pass.
-  std::vector<float> escaped(data.size(), 0.0f);
-
+/// The parallel predict+quantize pass. Every element of `codes` and every
+/// escaped slot of `escaped` is written (escaped is only read at marker
+/// positions), so unzeroed workspace inputs are safe.
+void lorenzo_kernel(std::span<const std::int64_t> d, const dev::Dim3& dims,
+                    int radius, std::span<quant::Code> codes,
+                    std::span<float> escaped) {
   const auto nx = dims.x, ny = dims.y;
   dev::launch_linear(
       dims.z,
@@ -59,17 +50,53 @@ LorenzoOutput lorenzo_compress(std::span<const float> data,
                                       at(1, 1, 1);
             const std::int64_t q = d[i] - pred;
             if (q <= -radius || q >= radius) {
-              out.codes[i] = quant::kOutlierMarker;
+              codes[i] = quant::kOutlierMarker;
               escaped[i] = static_cast<float>(q);
             } else {
-              out.codes[i] = static_cast<quant::Code>(q + radius);
+              codes[i] = static_cast<quant::Code>(q + radius);
             }
           }
         }
       },
       1);
+}
 
+void check_compress_args(std::span<const float> data, const dev::Dim3& dims,
+                         double eb) {
+  if (data.size() != dims.volume())
+    throw std::invalid_argument("lorenzo_compress: size/dims mismatch");
+  if (eb <= 0) throw std::invalid_argument("lorenzo_compress: eb must be > 0");
+}
+
+}  // namespace
+
+LorenzoOutput lorenzo_compress(std::span<const float> data,
+                               const dev::Dim3& dims, double eb, int radius) {
+  check_compress_args(data, dims, eb);
+
+  std::vector<std::int64_t> d(data.size());
+  prequantize_into(data, eb, d);
+  LorenzoOutput out;
+  out.codes.resize(data.size());
+  // q values that escape the radius; gathered after the parallel pass.
+  std::vector<float> escaped(data.size(), 0.0f);
+  lorenzo_kernel(d, dims, radius, out.codes, escaped);
   out.outliers = quant::OutlierSet::gather(out.codes, escaped);
+  return out;
+}
+
+LorenzoView lorenzo_compress(std::span<const float> data, const dev::Dim3& dims,
+                             double eb, int radius, dev::Workspace& ws) {
+  check_compress_args(data, dims, eb);
+
+  auto d = ws.make<std::int64_t>(data.size());
+  prequantize_into(data, eb, d);
+  auto codes = ws.make<quant::Code>(data.size());
+  auto escaped = ws.make<float>(data.size());
+  lorenzo_kernel(d, dims, radius, codes, escaped);
+  LorenzoView out;
+  out.codes = codes;
+  out.outliers = quant::gather_outliers<float>(codes, escaped, ws);
   return out;
 }
 

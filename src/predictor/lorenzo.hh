@@ -24,10 +24,20 @@ struct LorenzoOutput {
   quant::OutlierSet outliers;      ///< values hold the escaped q (exact)
 };
 
+/// Workspace form: codes/outliers live in pooled memory and stay valid
+/// until the Workspace resets.
+struct LorenzoView {
+  std::span<const quant::Code> codes;
+  quant::OutlierViewT<float> outliers;
+};
+
 /// Pre-quantize + Lorenzo-predict + quantize. Throws if eb <= 0.
 [[nodiscard]] LorenzoOutput lorenzo_compress(std::span<const float> data,
                                              const dev::Dim3& dims, double eb,
                                              int radius = quant::kDefaultRadius);
+[[nodiscard]] LorenzoView lorenzo_compress(std::span<const float> data,
+                                           const dev::Dim3& dims, double eb,
+                                           int radius, dev::Workspace& ws);
 
 /// Inverse: scatter outlier q's, prefix-sum per dimension, scale by 2eb.
 [[nodiscard]] std::vector<float> lorenzo_decompress(

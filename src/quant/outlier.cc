@@ -79,4 +79,58 @@ void OutlierSetT<T>::check_bounds(std::size_t limit,
 template struct OutlierSetT<float>;
 template struct OutlierSetT<double>;
 
+template <typename T>
+OutlierViewT<T> gather_outliers(std::span<const Code> codes,
+                                std::span<const T> originals,
+                                dev::Workspace& ws) {
+  constexpr std::size_t kChunk = 1 << 15;
+  const std::size_t n = codes.size();
+  const std::size_t nchunks = dev::ceil_div(n, kChunk);
+
+  auto counts = ws.make<std::size_t>(nchunks);
+  dev::launch_linear(
+      nchunks,
+      [&](std::size_t c) {
+        const std::size_t begin = c * kChunk;
+        const std::size_t end = std::min(begin + kChunk, n);
+        std::size_t cnt = 0;
+        for (std::size_t i = begin; i < end; ++i)
+          cnt += codes[i] == kOutlierMarker ? 1 : 0;
+        counts[c] = cnt;
+      },
+      1);
+
+  std::size_t total = 0;
+  for (auto& c : counts) {
+    const std::size_t t = c;
+    c = total;
+    total += t;
+  }
+
+  auto indices = ws.make<std::uint64_t>(total);
+  auto values = ws.make<T>(total);
+  dev::launch_linear(
+      nchunks,
+      [&](std::size_t c) {
+        const std::size_t begin = c * kChunk;
+        const std::size_t end = std::min(begin + kChunk, n);
+        std::size_t slot = counts[c];
+        for (std::size_t i = begin; i < end; ++i)
+          if (codes[i] == kOutlierMarker) {
+            indices[slot] = i;
+            values[slot] = originals[i];
+            ++slot;
+          }
+      },
+      1);
+  return {indices, values};
+}
+
+template OutlierViewT<float> gather_outliers<float>(std::span<const Code>,
+                                                    std::span<const float>,
+                                                    dev::Workspace&);
+template OutlierViewT<double> gather_outliers<double>(std::span<const Code>,
+                                                      std::span<const double>,
+                                                      dev::Workspace&);
+
 }  // namespace szi::quant

@@ -10,6 +10,7 @@
 #include <string_view>
 #include <vector>
 
+#include "device/arena.hh"
 #include "quant/quantizer.hh"
 
 namespace szi::quant {
@@ -52,6 +53,33 @@ struct OutlierSetT {
 
 extern template struct OutlierSetT<float>;
 extern template struct OutlierSetT<double>;
+
+/// A gathered outlier set living in workspace memory (valid until the
+/// owning Workspace resets). Same content as OutlierSetT, zero ownership.
+template <typename T>
+struct OutlierViewT {
+  std::span<const std::uint64_t> indices;
+  std::span<const T> values;
+
+  [[nodiscard]] std::size_t count() const { return indices.size(); }
+  [[nodiscard]] std::size_t byte_size() const {
+    return indices.size() * (sizeof(std::uint64_t) + sizeof(T));
+  }
+};
+
+/// Workspace form of OutlierSetT::gather — one counting pass and one emit
+/// pass (the vector form pays the counting pass twice), with the per-chunk
+/// counts and both output arrays drawn from the pool. Order-preserving and
+/// deterministic: chunk bases come from a serial scan in chunk order.
+template <typename T>
+[[nodiscard]] OutlierViewT<T> gather_outliers(std::span<const Code> codes,
+                                              std::span<const T> originals,
+                                              dev::Workspace& ws);
+
+extern template OutlierViewT<float> gather_outliers<float>(
+    std::span<const Code>, std::span<const float>, dev::Workspace&);
+extern template OutlierViewT<double> gather_outliers<double>(
+    std::span<const Code>, std::span<const double>, dev::Workspace&);
 
 /// The f32 store used by the float pipelines.
 using OutlierSet = OutlierSetT<float>;

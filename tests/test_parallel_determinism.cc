@@ -9,6 +9,7 @@
 #include <cstdlib>
 
 #include "baselines/registry.hh"
+#include "core/cuszi.hh"
 #include "datagen/datasets.hh"
 #include "io/bin_io.hh"
 #include "metrics/stats.hh"
@@ -73,6 +74,46 @@ TEST(ParallelDeterminism, ArchivesMatchAcrossWorkerCounts) {
     }
     EXPECT_EQ(golden, enc.bytes)
         << "archive differs between 1 and " << threads_env << " workers";
+  }
+}
+
+/// The batched front end pipelines fields across streams with pooled
+/// workspaces, so scheduling AND buffer reuse both become candidates for
+/// nondeterminism. Every archive must still match the plain per-field call
+/// byte for byte — including on repeat batches, where the pool is warm and
+/// every workspace block carries a previous field's stale contents.
+TEST(ParallelDeterminism, BatchedCompressManyMatchesSequential) {
+  std::vector<szi::Field> fields;
+  for (const char* ds : {"miranda", "nyx", "s3d"})
+    for (auto& f : szi::datagen::make_dataset(ds, szi::datagen::Size::Small))
+      fields.push_back(std::move(f));
+  ASSERT_GE(fields.size(), 4u);
+
+  std::vector<szi::FieldView> views;
+  for (const auto& f : fields) views.push_back({f.view(), f.dims});
+
+  const szi::CompressParams p{ErrorMode::Rel, 1e-3};
+  std::vector<std::vector<std::byte>> seq;
+  for (const auto& v : views)
+    seq.push_back(szi::cuszi_compress(v.data, v.dims, p));
+
+  for (int round = 0; round < 3; ++round) {
+    const auto batch = szi::cuszi_compress_many(views, p);
+    ASSERT_EQ(batch.size(), seq.size()) << "round " << round;
+    for (std::size_t i = 0; i < seq.size(); ++i)
+      EXPECT_EQ(batch[i], seq[i])
+          << "field " << i << " (" << fields[i].label() << "), round "
+          << round;
+  }
+
+  // Odd stream counts and the degenerate single-stream case take different
+  // round-robin paths through the same workspaces.
+  for (const std::size_t streams : {std::size_t{1}, std::size_t{3}}) {
+    const auto batch = szi::cuszi_compress_many(views, p, nullptr, streams);
+    ASSERT_EQ(batch.size(), seq.size());
+    for (std::size_t i = 0; i < seq.size(); ++i)
+      EXPECT_EQ(batch[i], seq[i]) << "field " << i << " with " << streams
+                                  << " stream(s)";
   }
 }
 

@@ -1,0 +1,250 @@
+// The stream + arena execution layer: in-order async queues, cross-stream
+// events, exception poisoning, pooled workspaces, and the multi-launch
+// thread pool underneath them.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "device/arena.hh"
+#include "device/launch.hh"
+#include "device/stream.hh"
+
+namespace {
+
+using szi::dev::Arena;
+using szi::dev::Event;
+using szi::dev::PooledBuffer;
+using szi::dev::Stream;
+using szi::dev::Workspace;
+
+TEST(Stream, RunsTasksInSubmissionOrder) {
+  Stream s;
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i)
+    s.submit([i, &order] { order.push_back(i); });
+  s.synchronize();
+  std::vector<int> expect(100);
+  std::iota(expect.begin(), expect.end(), 0);
+  EXPECT_EQ(order, expect);
+}
+
+TEST(Stream, AsyncLaunchMatchesSyncLaunch) {
+  const std::size_t n = 10000;
+  std::vector<std::uint64_t> sync_out(n), async_out(n);
+  szi::dev::launch_linear(n, [&](std::size_t i) { sync_out[i] = i * i; });
+
+  Stream s;
+  szi::dev::launch_linear_async(
+      s, n, [&](std::size_t i) { async_out[i] = i * i; });
+  s.synchronize();
+  EXPECT_EQ(sync_out, async_out);
+}
+
+TEST(Stream, AsyncBlockLaunchCoversGrid) {
+  Stream s;
+  const szi::dev::Dim3 grid{4, 3, 2};
+  std::vector<int> hits(grid.volume(), 0);
+  szi::dev::launch_blocks_async(
+      s, grid, [&](const szi::dev::BlockIdx& b) { hits[b.linear] += 1; });
+  s.synchronize();
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(Stream, SubmitReturnsBeforeTaskCompletes) {
+  Stream s;
+  std::atomic<bool> release{false};
+  std::atomic<bool> ran{false};
+  s.submit([&] {
+    while (!release.load()) std::this_thread::yield();
+    ran = true;
+  });
+  // If submit were synchronous this would deadlock before the assertions.
+  EXPECT_FALSE(ran.load());
+  release = true;
+  s.synchronize();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(Event, DefaultConstructedIsComplete) {
+  Event e;
+  EXPECT_TRUE(e.query());
+  e.wait();  // must not block
+}
+
+TEST(Event, OrdersWorkAcrossStreams) {
+  for (int round = 0; round < 20; ++round) {
+    Stream a, b;
+    std::atomic<int> value{0};
+    std::atomic<bool> release{false};
+    a.submit([&] {
+      while (!release.load()) std::this_thread::yield();
+      value = 42;
+    });
+    Event done_a = a.record();
+    b.wait(done_a);
+    int seen = -1;
+    b.submit([&] { seen = value.load(); });
+    release = true;
+    b.synchronize();
+    a.synchronize();
+    EXPECT_EQ(seen, 42);
+  }
+}
+
+TEST(Event, QueryFlipsAfterStreamReachesRecordPoint) {
+  Stream s;
+  std::atomic<bool> release{false};
+  s.submit([&] {
+    while (!release.load()) std::this_thread::yield();
+  });
+  Event e = s.record();
+  EXPECT_FALSE(e.query());
+  release = true;
+  e.wait();
+  EXPECT_TRUE(e.query());
+  s.synchronize();
+}
+
+TEST(Stream, ExceptionPoisonsSkipsAndRethrows) {
+  Stream s;
+  std::atomic<bool> later_ran{false};
+  s.submit([] { throw std::runtime_error("task failed"); });
+  s.submit([&] { later_ran = true; });  // must be skipped
+  EXPECT_THROW(s.synchronize(), std::runtime_error);
+  EXPECT_FALSE(later_ran.load());
+
+  // synchronize() cleared the poison: the stream is usable again.
+  std::atomic<bool> after_ran{false};
+  s.submit([&] { after_ran = true; });
+  s.synchronize();
+  EXPECT_TRUE(after_ran.load());
+}
+
+TEST(Stream, ExceptionInsideAsyncKernelPropagates) {
+  Stream s;
+  szi::dev::launch_linear_async(s, 1000, [](std::size_t i) {
+    if (i == 567) throw std::invalid_argument("bad block");
+  });
+  EXPECT_THROW(s.synchronize(), std::invalid_argument);
+}
+
+TEST(Stream, EventCompletesOnPoisonedStream) {
+  Stream s;
+  s.submit([] { throw std::runtime_error("poison"); });
+  Event e = s.record();
+  e.wait();  // control tasks run even after a failure — must not hang
+  EXPECT_TRUE(s.errored());
+  EXPECT_THROW(s.synchronize(), std::runtime_error);
+}
+
+TEST(Stream, ConcurrentStreamsShareThePool) {
+  // Two streams launching pool kernels at once exercises the multi-launch
+  // queue; each must see exactly its own result.
+  Stream a, b;
+  const std::size_t n = 50000;
+  std::vector<std::uint32_t> va(n), vb(n);
+  szi::dev::launch_linear_async(a, n, [&](std::size_t i) { va[i] = 1; });
+  szi::dev::launch_linear_async(b, n, [&](std::size_t i) { vb[i] = 2; });
+  a.synchronize();
+  b.synchronize();
+  EXPECT_EQ(std::accumulate(va.begin(), va.end(), std::uint64_t{0}), n);
+  EXPECT_EQ(std::accumulate(vb.begin(), vb.end(), std::uint64_t{0}), 2 * n);
+}
+
+TEST(Arena, RoundsUpAndReusesBlocks) {
+  Arena a;
+  std::size_t cap = 0;
+  std::byte* p = a.acquire(1000, cap);
+  ASSERT_NE(p, nullptr);
+  EXPECT_GE(cap, 1000u);
+  a.release(p, cap);
+
+  // Same bucket: the freed block must come back (LIFO reuse).
+  std::size_t cap2 = 0;
+  std::byte* q = a.acquire(cap, cap2);
+  EXPECT_EQ(q, p);
+  EXPECT_EQ(cap2, cap);
+  a.release(q, cap2);
+
+  const auto st = a.stats();
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.outstanding, 0u);
+}
+
+TEST(Arena, TrimFreesIdleBlocks) {
+  Arena a;
+  std::size_t cap = 0;
+  std::byte* p = a.acquire(4096, cap);
+  a.release(p, cap);
+  EXPECT_GT(a.stats().pooled_bytes, 0u);
+  a.trim();
+  EXPECT_EQ(a.stats().pooled_blocks, 0u);
+  EXPECT_EQ(a.stats().pooled_bytes, 0u);
+}
+
+TEST(Workspace, SpansAreDistinctAndWritable) {
+  Arena a;
+  Workspace ws(a);
+  auto x = ws.make<std::uint32_t>(1000);
+  auto y = ws.make<std::uint32_t>(1000);
+  ASSERT_EQ(x.size(), 1000u);
+  ASSERT_EQ(y.size(), 1000u);
+  // Distinct blocks: writing one never touches the other.
+  for (std::size_t i = 0; i < 1000; ++i) x[i] = 7;
+  for (std::size_t i = 0; i < 1000; ++i) y[i] = 9;
+  for (std::size_t i = 0; i < 1000; ++i) EXPECT_EQ(x[i], 7u);
+}
+
+TEST(Workspace, ResetReturnsBlocksForReuse) {
+  Arena a;
+  Workspace ws(a);
+  auto x = ws.make<std::uint8_t>(10000);
+  std::uint8_t* first = x.data();
+  ws.reset();
+  EXPECT_EQ(a.stats().outstanding, 0u);
+
+  // Same-size request after reset reuses the exact block (pool hit).
+  auto y = ws.make<std::uint8_t>(10000);
+  EXPECT_EQ(y.data(), first);
+  EXPECT_GE(a.stats().hits, 1u);
+}
+
+TEST(Workspace, DestructorReleasesEverything) {
+  Arena a;
+  {
+    Workspace ws(a);
+    (void)ws.make<double>(512);
+    (void)ws.make<double>(2048);
+    EXPECT_EQ(a.stats().outstanding, 2u);
+  }
+  EXPECT_EQ(a.stats().outstanding, 0u);
+}
+
+TEST(PooledBufferTest, ConcurrentAcquireReleaseFromKernels) {
+  Arena a;
+  const std::size_t n = 2000;
+  std::vector<std::uint64_t> sums(n);
+  szi::dev::launch_linear(
+      n,
+      [&](std::size_t i) {
+        PooledBuffer buf(a, 256 * sizeof(std::uint32_t));
+        auto scratch = buf.as<std::uint32_t>(256);
+        for (std::size_t j = 0; j < 256; ++j)
+          scratch[j] = static_cast<std::uint32_t>(i + j);
+        std::uint64_t s = 0;
+        for (std::size_t j = 0; j < 256; ++j) s += scratch[j];
+        sums[i] = s;
+      },
+      16);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_EQ(sums[i], 256 * i + (255 * 256) / 2);
+  EXPECT_EQ(a.stats().outstanding, 0u);
+}
+
+}  // namespace
