@@ -4,6 +4,7 @@
 // and the two predictors.
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <vector>
 
 #include "datagen/datasets.hh"
@@ -118,6 +119,18 @@ void BM_LzssOnHuffmanStream(benchmark::State& state) {
 }
 BENCHMARK(BM_LzssOnHuffmanStream);
 
+void BM_LzssOnHuffmanStreamGreedy(benchmark::State& state) {
+  // Ablation partner of BM_LzssOnHuffmanStream: the pre-lazy greedy matcher.
+  const auto codes = codes_with_concentration(1 << 21, 0.97);
+  const auto huff = szi::huffman::encode(codes, 1024);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(szi::lossless::lzss_compress(
+        huff, szi::lossless::kLzssBlock, szi::lossless::LzssMode::Greedy));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(huff.size()));
+}
+BENCHMARK(BM_LzssOnHuffmanStreamGreedy);
+
 void BM_ZeroRleOnShuffledCodes(benchmark::State& state) {
   const auto codes = codes_with_concentration(1 << 21, 0.97);
   std::vector<std::uint8_t> shuffled(
@@ -190,4 +203,36 @@ BENCHMARK(BM_AutotuneKernel);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Front-end flags (translated to google-benchmark flags so the rest of the
+// CLI keeps working; see docs/PERF.md):
+//   --json FILE   write the machine-readable run to FILE
+//                 (--benchmark_out=FILE --benchmark_out_format=json)
+//   --smoke       one quick pass per kernel: every benchmark still runs, so
+//                 a crash or assertion fails the process, but nothing is
+//                 timed long enough to be load-sensitive (CI's bench-smoke
+//                 job gates on the exit code, never on timings)
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc) + 2);
+  args.emplace_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json" && i + 1 < argc) {
+      args.emplace_back(std::string("--benchmark_out=") + argv[++i]);
+      args.emplace_back("--benchmark_out_format=json");
+    } else if (a == "--smoke") {
+      args.emplace_back("--benchmark_min_time=0.01");
+    } else {
+      args.emplace_back(a);
+    }
+  }
+  std::vector<char*> cargs;
+  cargs.reserve(args.size());
+  for (auto& s : args) cargs.push_back(s.data());
+  int cargc = static_cast<int>(cargs.size());
+  benchmark::Initialize(&cargc, cargs.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -23,8 +23,10 @@
 // enforce by comparing pooled and non-pooled archives byte for byte.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <span>
 #include <type_traits>
@@ -98,6 +100,51 @@ class PooledBuffer {
   Arena* arena_;
   std::size_t capacity_ = 0;
   std::byte* data_;
+};
+
+/// Epoch-stamped scratch table: a fixed-size slot array whose entries can be
+/// invalidated in O(1) by bumping an epoch instead of refilling the storage.
+/// This is the CPU analogue of the GPU trick of tagging shared-memory hash
+/// slots with a batch id so a persistent block can start a new tile without
+/// a synchronized clear. The LZSS match finder keeps one of these per worker
+/// (thread_local) so the per-block `fill_n(head, -1)` reinitialization —
+/// previously O(table) per block — disappears from the hot path.
+///
+/// A slot's payload is observable only when its stamp equals the current
+/// epoch; new_epoch() therefore "clears" the table without touching it.
+/// Stamps are 32-bit: on the ~4-billionth epoch the counter would alias, so
+/// new_epoch() detects the wrap and performs one real clear.
+template <typename T>
+class StampedScratch {
+ public:
+  explicit StampedScratch(std::size_t n) : slots_(n), stamp_(n, 0) {}
+
+  /// Invalidates every slot. O(1) except on 32-bit epoch wrap.
+  void new_epoch() {
+    if (++epoch_ == 0) {
+      std::fill(stamp_.begin(), stamp_.end(), 0u);
+      epoch_ = 1;
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return slots_.size(); }
+
+  [[nodiscard]] bool has(std::size_t i) const { return stamp_[i] == epoch_; }
+
+  /// Current-epoch payload of slot `i`, or `fallback` if the slot is stale.
+  [[nodiscard]] T get_or(std::size_t i, T fallback) const {
+    return has(i) ? slots_[i] : fallback;
+  }
+
+  void put(std::size_t i, T v) {
+    slots_[i] = v;
+    stamp_[i] = epoch_;
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t epoch_ = 0;
 };
 
 /// Per-stream scratch context threaded through the kernel entry points.

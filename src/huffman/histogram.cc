@@ -8,14 +8,34 @@
 namespace szi::huffman {
 
 namespace {
-constexpr std::size_t kChunk = 1 << 16;
+/// Minimum elements one worker is worth spinning up for.
+constexpr std::size_t kMinPerWorker = 1 << 16;
 
-/// Merge the flat per-chunk partials serially, in chunk order, so the result
-/// never depends on worker scheduling.
+/// Interleaved sub-histograms per worker. G-Interp's codes are extremely
+/// concentrated (>90% hit one bin), so a single private histogram serializes
+/// on the store-to-load dependency of incrementing the same counter over and
+/// over; striping consecutive elements across 4 independent counter banks
+/// lets those increments overlap. The banks are folded in the merge.
+constexpr std::size_t kInterleave = 4;
+
+/// Fixed worker -> element-range partition: contiguous ranges of
+/// ceil(n / nworkers) elements. The totals are order-independent (uint32
+/// addition commutes), and the serial worker-order merge keeps the result
+/// bit-identical for every worker count anyway.
+std::size_t partition(std::size_t n, std::size_t& per) {
+  const std::size_t maxw =
+      std::max<std::size_t>(1, dev::ThreadPool::instance().worker_count());
+  const std::size_t nw =
+      std::clamp<std::size_t>(dev::ceil_div(n, kMinPerWorker), 1, maxw);
+  per = dev::ceil_div(n, nw);
+  return nw;
+}
+
+/// Merge the flat per-worker partials serially, in worker order.
 std::vector<std::uint32_t> merge(std::span<const std::uint32_t> parts,
-                                 std::size_t nchunks, std::size_t nbins) {
+                                 std::size_t nparts, std::size_t nbins) {
   std::vector<std::uint32_t> total(nbins, 0);
-  for (std::size_t c = 0; c < nchunks; ++c) {
+  for (std::size_t c = 0; c < nparts; ++c) {
     const std::uint32_t* p = parts.data() + c * nbins;
     for (std::size_t b = 0; b < nbins; ++b) total[b] += p[b];
   }
@@ -25,19 +45,31 @@ std::vector<std::uint32_t> merge(std::span<const std::uint32_t> parts,
 
 std::vector<std::uint32_t> histogram(std::span<const quant::Code> codes,
                                      std::size_t nbins, dev::Workspace& ws) {
-  const std::size_t nchunks = dev::ceil_div(codes.size(), kChunk);
-  auto parts = ws.make<std::uint32_t>(nchunks * nbins);
+  std::size_t per = 0;
+  const std::size_t nworkers = partition(codes.size(), per);
+  auto parts = ws.make<std::uint32_t>(nworkers * kInterleave * nbins);
   dev::launch_linear(
-      nchunks,
-      [&](std::size_t c) {
-        std::uint32_t* h = parts.data() + c * nbins;
-        std::fill_n(h, nbins, 0u);
-        const std::size_t begin = c * kChunk;
-        const std::size_t end = std::min(begin + kChunk, codes.size());
-        for (std::size_t i = begin; i < end; ++i) ++h[codes[i]];
+      nworkers,
+      [&](std::size_t w) {
+        std::uint32_t* h = parts.data() + w * kInterleave * nbins;
+        std::fill_n(h, kInterleave * nbins, 0u);
+        std::uint32_t* h0 = h;
+        std::uint32_t* h1 = h + nbins;
+        std::uint32_t* h2 = h + 2 * nbins;
+        std::uint32_t* h3 = h + 3 * nbins;
+        const std::size_t begin = w * per;
+        const std::size_t end = std::min(begin + per, codes.size());
+        std::size_t i = begin;
+        for (; i + 4 <= end; i += 4) {
+          ++h0[codes[i]];
+          ++h1[codes[i + 1]];
+          ++h2[codes[i + 2]];
+          ++h3[codes[i + 3]];
+        }
+        for (; i < end; ++i) ++h0[codes[i]];
       },
       1);
-  return merge(parts, nchunks, nbins);
+  return merge(parts, nworkers * kInterleave, nbins);
 }
 
 std::vector<std::uint32_t> histogram(std::span<const quant::Code> codes,
@@ -58,27 +90,39 @@ std::vector<std::uint32_t> histogram_topk(std::span<const quant::Code> codes,
   const std::size_t hi = std::min(center + k, nbins - 1);
   const std::size_t hot_n = hi - lo + 1;
 
-  const std::size_t nchunks = dev::ceil_div(codes.size(), kChunk);
-  auto parts = ws.make<std::uint32_t>(nchunks * nbins);
+  std::size_t per = 0;
+  const std::size_t nworkers = partition(codes.size(), per);
+  auto parts = ws.make<std::uint32_t>(nworkers * nbins);
   dev::launch_linear(
-      nchunks,
-      [&](std::size_t c) {
-        std::uint32_t* h = parts.data() + c * nbins;
+      nworkers,
+      [&](std::size_t w) {
+        std::uint32_t* h = parts.data() + w * nbins;
         std::fill_n(h, nbins, 0u);
-        std::array<std::uint32_t, kMaxHot> hot{};
-        const std::size_t begin = c * kChunk;
-        const std::size_t end = std::min(begin + kChunk, codes.size());
-        for (std::size_t i = begin; i < end; ++i) {
-          const std::size_t b = codes[i];
-          if (b >= lo && b <= hi)
-            ++hot[b - lo];
+        // The hot band gets the same interleaving treatment as the generic
+        // kernel: nearly every element lands here, so the counter banks are
+        // what actually overlap the increments.
+        std::array<std::array<std::uint32_t, kMaxHot>, kInterleave> hot{};
+        const std::size_t begin = w * per;
+        const std::size_t end = std::min(begin + per, codes.size());
+        auto bump = [&](std::size_t sub, std::size_t b) {
+          if (b - lo < hot_n)  // unsigned wrap => b < lo also fails this
+            ++hot[sub][b - lo];
           else
             ++h[b];
+        };
+        std::size_t i = begin;
+        for (; i + 4 <= end; i += 4) {
+          bump(0, codes[i]);
+          bump(1, codes[i + 1]);
+          bump(2, codes[i + 2]);
+          bump(3, codes[i + 3]);
         }
-        for (std::size_t j = 0; j < hot_n; ++j) h[lo + j] += hot[j];
+        for (; i < end; ++i) bump(0, codes[i]);
+        for (std::size_t s = 0; s < kInterleave; ++s)
+          for (std::size_t j = 0; j < hot_n; ++j) h[lo + j] += hot[s][j];
       },
       1);
-  return merge(parts, nchunks, nbins);
+  return merge(parts, nworkers, nbins);
 }
 
 std::vector<std::uint32_t> histogram_topk(std::span<const quant::Code> codes,

@@ -1,21 +1,25 @@
 // Quant-code histogram kernels feeding the Huffman codebook (§VI-A).
 //
 // Two implementations:
-//  - histogram(): the generic privatized scheme (one private histogram per
-//    worker chunk, merged at the end) — cuSZ's baseline.
+//  - histogram(): the generic privatized scheme — cuSZ's baseline. One
+//    private histogram per *worker* (fixed worker -> contiguous element
+//    ranges, not per 64Ki-chunk partials), with 4 interleaved counter banks
+//    per worker so concentrated streams don't serialize on one counter's
+//    store-to-load dependency.
 //  - histogram_topk(): cuSZ-i's optimization. G-Interp's codes concentrate
 //    in a small band r_k around the zero code, so each "thread" caches the
-//    top-k hottest bins in registers (here: a small local array) and only
-//    touches the full private histogram for the cold tail. On a GPU this
-//    slashes shared-memory traffic; the CPU realization keeps the identical
-//    structure so the ablation bench can compare the two paths, and
-//    gracefully degrades to k=1 when asked (§VI-A).
+//    top-k hottest bins in registers (here: a small local array, also
+//    interleaved) and only touches the full private histogram for the cold
+//    tail. On a GPU this slashes shared-memory traffic; the CPU realization
+//    keeps the identical structure so the ablation bench can compare the two
+//    paths, and gracefully degrades to k=1 when asked (§VI-A).
 //
-// Each kernel has a Workspace overload that draws the per-chunk private
+// Each kernel has a Workspace overload that draws the per-worker private
 // histograms from the pooled arena (one flat block) instead of allocating a
-// vector per chunk; the plain overloads are thin wrappers over it with a
+// vector per worker; the plain overloads are thin wrappers over it with a
 // throwaway arena. The merged result is deterministic regardless of worker
-// count: partials are combined serially in chunk order.
+// count: uint32 counter addition commutes, and partials are combined
+// serially in worker order.
 #pragma once
 
 #include <cstdint>

@@ -32,56 +32,115 @@ std::size_t dim_of(const dev::Dim3& d, int i) {
 /// One (stride, dimension) interpolation pass over a tile. Shared between
 /// compression and decompression; `kCompress` selects which side of the
 /// quantizer runs.
+///
+/// Interior/rim optimization. The naive walk (retained verbatim in
+/// predictor/reference.cc) re-derived four neighbor-availability flags, a
+/// three-multiply dev::linearize, and an ownership test for *every* target
+/// point. But within one pass every quantity that used to be guarded depends
+/// only on the coordinate `cd` along the target dimension d:
+///   - availability (ha/hb/hc/hd) is a function of cd alone, so the spline
+///     dispatch hoists to one selection per cd value — the interior cd range
+///     (all four neighbors present) runs the pure cubic kernel with zero
+///     per-point branches, and the rim cd values (cd = s, and the trailing
+///     one-sided cases) each get their own specialized branchless walk;
+///   - ownership along d is `cd < owned[d]`; ownership along the plane dims
+///     splits the inner loop into an emitting prefix and a (<= 1 iteration)
+///     non-emitting border tail instead of a per-point test;
+///   - local and global indices advance by per-iteration constant strides,
+///     replacing the per-point multiplies.
+/// Iteration order across points of one pass is free: a pass writes only
+/// odd multiples of s along d and reads only even multiples, so no written
+/// value is ever an input to the same pass. Per-point arithmetic (spline
+/// formula, quantizer) is untouched — codes and recon are byte-identical to
+/// the reference by construction, which tests/test_predictor_equiv.cc
+/// asserts over odd/even/tiny grids.
 template <bool kCompress, typename T>
 void tile_pass(TileView<T>& t, int d, std::size_t s,
                const std::array<bool, 3>& done, const quant::Quantizer& qz,
                CubicKind kind, const dev::Dim3& dims,
-               std::span<quant::Code> codes, std::span<const quant::Code> codes_in) {
-  // Iteration steps: the target dim walks odd multiples of s; dims already
-  // interpolated at this level walk multiples of s; pending dims walk
-  // multiples of 2s (§V-A's pass ordering).
-  std::array<std::size_t, 3> start{0, 0, 0}, step{1, 1, 1};
-  for (int i = 0; i < 3; ++i) step[i] = done[i] ? s : 2 * s;
-  start[d] = s;
-  step[d] = 2 * s;
+               std::span<quant::Code> codes,
+               std::span<const quant::Code> codes_in, std::size_t gorigin) {
+  // Plane dims: u is the faster-varying one (x unless d == 0), v the other.
+  const auto u = static_cast<std::size_t>(d == 0 ? 1 : 0);
+  const auto v = static_cast<std::size_t>(d == 2 ? 1 : 2);
+  const auto dd = static_cast<std::size_t>(d);
 
-  const std::size_t ls = t.lstride[d];         // local stride along d
-  const std::size_t ext_d = t.extent[d];
+  // The target dim walks odd multiples of s; dims already interpolated at
+  // this level walk multiples of s; pending dims walk multiples of 2s
+  // (§V-A's pass ordering).
+  const std::size_t step_u = done[u] ? s : 2 * s;
+  const std::size_t step_v = done[v] ? s : 2 * s;
+  const std::size_t ext_d = t.extent[dd];
 
-  for (std::size_t z = start[2]; z < t.extent[2]; z += step[2]) {
-    for (std::size_t y = start[1]; y < t.extent[1]; y += step[1]) {
-      for (std::size_t x = start[0]; x < t.extent[0]; x += step[0]) {
-        const std::array<std::size_t, 3> c{x, y, z};
-        const std::size_t idx =
-            x * t.lstride[0] + y * t.lstride[1] + z * t.lstride[2];
-        const std::size_t cd = c[d];
+  const std::size_t ls_u = t.lstride[u];
+  const std::size_t ls_v = t.lstride[v];
+  const std::size_t ls_d = t.lstride[dd];
+  const std::size_t gs_all[3] = {1, dims.x, dims.x * dims.y};
+  const std::size_t gs_u = gs_all[u], gs_v = gs_all[v], gs_d = gs_all[dd];
 
-        // Neighbor availability within the shared tile (and thus the array).
-        const bool hb = cd >= s;
-        const bool hc = cd + s < ext_d;
-        const bool ha = cd >= 3 * s;
-        const bool hd = cd + 3 * s < ext_d;
-        const T a = ha ? t.buf[idx - 3 * s * ls] : T{0};
-        const T b = hb ? t.buf[idx - s * ls] : T{0};
-        const T cc = hc ? t.buf[idx + s * ls] : T{0};
-        const T dd = hd ? t.buf[idx + 3 * s * ls] : T{0};
-        const T pred = spline_predict(ha, a, hb, b, hc, cc, hd, dd, kind);
+  // Neighbor offsets along d, as signed offsets from the target pointer.
+  const auto o1 = static_cast<std::ptrdiff_t>(s * ls_d);
+  const std::ptrdiff_t o3 = 3 * o1;
 
-        const bool is_owned =
-            x < t.owned[0] && y < t.owned[1] && z < t.owned[2];
-        const std::size_t gidx = dev::linearize(
-            dims, t.origin[0] + x, t.origin[1] + y, t.origin[2] + z);
+  // Inner-loop trip counts: total, and the emitting prefix (pu < owned[u]).
+  const std::size_t n_u = dev::ceil_div(t.extent[u], step_u);
+  const std::size_t n_u_owned = std::min(n_u, dev::ceil_div(t.owned[u], step_u));
 
+  for (std::size_t cd = s; cd < ext_d; cd += 2 * s) {
+    // Neighbor availability for this whole plane (hb := cd >= s holds by
+    // construction of the walk).
+    const bool ha = cd >= 3 * s;
+    const bool hc = cd + s < ext_d;
+    const bool hd = cd + 3 * s < ext_d;
+    const bool owned_d = cd < t.owned[dd];
+
+    // One full plane with a fixed predictor functor; `pred(p)` reads only
+    // the neighbors its availability case guarantees exist.
+    auto walk = [&](auto pred) {
+      for (std::size_t pv = 0; pv < t.extent[v]; pv += step_v) {
+        T* p = t.buf.data() + cd * ls_d + pv * ls_v;
+        std::size_t gidx = gorigin + cd * gs_d + pv * gs_v;
+        const std::size_t dp = step_u * ls_u;
+        const std::size_t dg = step_u * gs_u;
         if constexpr (kCompress) {
-          const auto r = qz.quantize(t.buf[idx], pred);
-          t.buf[idx] = r.recon;
-          if (is_owned) codes[gidx] = r.stored;
+          const std::size_t n_emit =
+              owned_d && pv < t.owned[v] ? n_u_owned : 0;
+          std::size_t k = 0;
+          for (; k < n_emit; ++k, p += dp, gidx += dg) {
+            const auto r = qz.quantize(*p, pred(p));
+            *p = r.recon;
+            codes[gidx] = r.stored;
+          }
+          // Border tail: recon feeds later passes, but no code is owned.
+          for (; k < n_u; ++k, p += dp) *p = qz.quantize(*p, pred(p)).recon;
         } else {
           // buf[idx] holds the scattered original when the code is the
           // outlier marker; dequantize() returns it unchanged then.
-          t.buf[idx] = qz.dequantize(codes_in[gidx], pred, t.buf[idx]);
+          for (std::size_t k = 0; k < n_u; ++k, p += dp, gidx += dg)
+            *p = qz.dequantize(codes_in[gidx], pred(p), *p);
         }
       }
+    };
+
+    if (hc) {
+      if (ha && hd) {
+        // Interior: the branchless cubic walk (the overwhelming majority of
+        // points at fine strides).
+        if (kind == CubicKind::NotAKnot)
+          walk([=](const T* p) { return cubic_nak(p[-o3], p[-o1], p[o1], p[o3]); });
+        else
+          walk([=](const T* p) {
+            return cubic_natural(p[-o3], p[-o1], p[o1], p[o3]);
+          });
+      } else if (ha) {
+        walk([=](const T* p) { return quad_left(p[-o3], p[-o1], p[o1]); });
+      } else if (hd) {
+        walk([=](const T* p) { return quad_right(p[-o1], p[o1], p[o3]); });
+      } else {
+        walk([=](const T* p) { return linear(p[-o1], p[o1]); });
+      }
+    } else {
+      walk([=](const T* p) { return p[-o1]; });  // one-sided nearest copy
     }
   }
 }
@@ -129,6 +188,8 @@ void run_tiles(std::span<const T> in, std::span<T> out,
       }
 
     // Level-by-level, dimension-by-dimension interpolation.
+    const std::size_t gorigin =
+        dev::linearize(dims, t.origin[0], t.origin[1], t.origin[2]);
     for (std::size_t s = geo.top_stride; s >= 1; s >>= 1) {
       std::array<bool, 3> done{false, false, false};
       const quant::Quantizer& qz = qz_for(s);
@@ -136,7 +197,7 @@ void run_tiles(std::span<const T> in, std::span<T> out,
         const int d = cfg.dim_order[k];
         if (dim_of(dims, d) == 1) continue;
         tile_pass<kCompress>(t, d, s, done, qz, cfg.cubic[static_cast<std::size_t>(d)],
-                             dims, codes, codes_in);
+                             dims, codes, codes_in, gorigin);
         done[static_cast<std::size_t>(d)] = true;
       }
     }

@@ -27,34 +27,60 @@ void prequantize_into(std::span<const float> data, double eb,
 /// The parallel predict+quantize pass. Every element of `codes` and every
 /// escaped slot of `escaped` is written (escaped is only read at marker
 /// positions), so unzeroed workspace inputs are safe.
+///
+/// Interior/rim split (the same treatment as the G-Interp tile pass; the
+/// naive per-point-guarded formulation is retained in predictor/reference.cc
+/// and tests/test_predictor_equiv.cc asserts byte-identical codes): which
+/// Lorenzo stencil terms survive the low-boundary guards depends only on
+/// (y > 0, z > 0) for a whole row and on x > 0 for its first element, so
+/// each row runs one of four specialized bodies whose inner loop over x is
+/// branch-free — full 3D stencil, the two 2D face stencils, and the 1D
+/// origin row — with the x == 0 rim element peeled off in front.
 void lorenzo_kernel(std::span<const std::int64_t> d, const dev::Dim3& dims,
                     int radius, std::span<quant::Code> codes,
                     std::span<float> escaped) {
   const auto nx = dims.x, ny = dims.y;
+  const auto sy = static_cast<std::ptrdiff_t>(nx);
+  const auto sz = static_cast<std::ptrdiff_t>(nx * ny);
   dev::launch_linear(
       dims.z,
       [&](std::size_t z) {
         for (std::size_t y = 0; y < ny; ++y) {
           const std::size_t row = dev::linearize(dims, 0, y, z);
-          for (std::size_t x = 0; x < nx; ++x) {
+          const std::int64_t* dr = d.data() + row;
+          const auto emit = [&](std::size_t x, std::int64_t q) {
             const std::size_t i = row + x;
-            // 3D Lorenzo stencil on the lattice integers (terms vanish at
-            // the low boundaries, which also yields the 1D/2D stencils).
-            auto at = [&](std::size_t dx, std::size_t dy,
-                          std::size_t dz) -> std::int64_t {
-              if (x < dx || y < dy || z < dz) return 0;
-              return d[i - dx - dy * nx - dz * nx * ny];
-            };
-            const std::int64_t pred = at(1, 0, 0) + at(0, 1, 0) + at(0, 0, 1) -
-                                      at(1, 1, 0) - at(1, 0, 1) - at(0, 1, 1) +
-                                      at(1, 1, 1);
-            const std::int64_t q = d[i] - pred;
             if (q <= -radius || q >= radius) {
               codes[i] = quant::kOutlierMarker;
               escaped[i] = static_cast<float>(q);
             } else {
               codes[i] = static_cast<quant::Code>(q + radius);
             }
+          };
+          if (y > 0 && z > 0) {  // interior rows: full 3D stencil
+            emit(0, dr[0] - (dr[-sy] + dr[-sz] - dr[-sy - sz]));
+            for (std::size_t x = 1; x < nx; ++x) {
+              const std::int64_t* p = dr + x;
+              const std::int64_t pred = p[-1] + p[-sy] + p[-sz] - p[-1 - sy] -
+                                        p[-1 - sz] - p[-sy - sz] +
+                                        p[-1 - sy - sz];
+              emit(x, p[0] - pred);
+            }
+          } else if (y > 0) {  // z == 0 face (the whole field when 2D)
+            emit(0, dr[0] - dr[-sy]);
+            for (std::size_t x = 1; x < nx; ++x) {
+              const std::int64_t* p = dr + x;
+              emit(x, p[0] - (p[-1] + p[-sy] - p[-1 - sy]));
+            }
+          } else if (z > 0) {  // y == 0 face
+            emit(0, dr[0] - dr[-sz]);
+            for (std::size_t x = 1; x < nx; ++x) {
+              const std::int64_t* p = dr + x;
+              emit(x, p[0] - (p[-1] + p[-sz] - p[-1 - sz]));
+            }
+          } else {  // origin row: pure 1D
+            emit(0, dr[0]);
+            for (std::size_t x = 1; x < nx; ++x) emit(x, dr[x] - dr[x - 1]);
           }
         }
       },

@@ -27,6 +27,7 @@
 #include "datagen/rng.hh"
 #include "fuzz_mutator.hh"
 #include "io/bundle.hh"
+#include "lossless/lzss.hh"
 #include "quant/outlier.hh"
 
 namespace {
@@ -120,6 +121,26 @@ INSTANTIATE_TEST_SUITE_P(AllCodecs, FuzzDecode,
                              if (ch == '-' || ch == '+') ch = '_';
                            return n;
                          });
+
+// The lazy-match LZSS encoder path: mutants of its output (a token format
+// identical to the greedy encoder's, so the untouched decoder is the unit
+// under test) must decode or throw CorruptArchive like every other codec.
+TEST(FuzzDecode, LzssLazyEncoderStream) {
+  szi::datagen::Rng gen(seed_of("lzss-lazy-corpus"));
+  std::vector<std::byte> data(96 * 1024);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    // Zero-run-dominated with noise bursts: exercises match, literal,
+    // skip-ahead, and raw-fallback token paths in one archive.
+    data[i] = gen.uniform() < 0.9
+                  ? std::byte{0}
+                  : std::byte(static_cast<std::uint8_t>(gen.next_u64()));
+  }
+  const auto enc = szi::lossless::lzss_compress(
+      data, szi::lossless::kLzssBlock, szi::lossless::LzssMode::Lazy);
+  run_trials("lzss-lazy", enc, [](std::span<const std::byte> mutant) {
+    (void)szi::lossless::lzss_decompress(mutant);
+  });
+}
 
 TEST(FuzzDecode, CuszIF64Archive) {
   const auto& f = tiny_field();

@@ -1,6 +1,7 @@
 // Lossless codec tests: LZSS (Bitcomp stand-in), bitshuffle, zero-RLE.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <vector>
 
@@ -85,6 +86,101 @@ TEST(Lzss, OverlappingMatchRuns) {
   std::vector<std::byte> data;
   for (int i = 0; i < 10000; ++i) data.push_back(std::byte('a' + i % 3));
   EXPECT_EQ(lzss_decompress(lzss_compress(data)), data);
+}
+
+// --- Lazy matcher ---------------------------------------------------------
+// The encoder's default mode defers a match by one position when the next
+// position holds a strictly longer one (plus skip-ahead over incompressible
+// runs and capped chain insertion). The format is unchanged, so every lazy
+// archive must decode with the untouched decoder, and the ratio must stay
+// within 1% of the greedy matcher on the streams we care about.
+
+using szi::lossless::LzssMode;
+
+/// Quant-code-shaped corpus: u16 codes concentrated on one bin (the
+/// G-Interp regime), reinterpreted as the byte stream LZSS actually sees.
+std::vector<std::byte> concentrated_code_bytes(std::size_t n, double p,
+                                               std::uint64_t seed) {
+  szi::datagen::Rng rng(seed);
+  std::vector<std::byte> out(n * 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint16_t c =
+        rng.uniform() < p
+            ? 512
+            : static_cast<std::uint16_t>(512 +
+                                         static_cast<int>(rng.gaussian() * 40));
+    std::memcpy(out.data() + 2 * i, &c, 2);
+  }
+  return out;
+}
+
+void check_lazy_round_trip_and_ratio(const std::vector<std::byte>& data,
+                                     const char* what) {
+  SCOPED_TRACE(what);
+  const auto lazy =
+      lzss_compress(data, szi::lossless::kLzssBlock, LzssMode::Lazy);
+  const auto greedy =
+      lzss_compress(data, szi::lossless::kLzssBlock, LzssMode::Greedy);
+  EXPECT_EQ(lzss_decompress(lazy), data);
+  EXPECT_EQ(lzss_decompress(greedy), data);
+  // Lazy must never lose more than 1% vs greedy (it usually wins).
+  EXPECT_LE(lazy.size(),
+            greedy.size() + std::max<std::size_t>(greedy.size() / 100, 16))
+      << "lazy " << lazy.size() << " greedy " << greedy.size();
+}
+
+TEST(LzssLazy, ConcentratedQuantCodes) {
+  check_lazy_round_trip_and_ratio(concentrated_code_bytes(1 << 19, 0.95, 11),
+                                  "p=0.95");
+  check_lazy_round_trip_and_ratio(concentrated_code_bytes(1 << 19, 0.99, 12),
+                                  "p=0.99");
+}
+
+TEST(LzssLazy, AllZero) {
+  check_lazy_round_trip_and_ratio(std::vector<std::byte>(1 << 20, std::byte{0}),
+                                  "all-zero");
+}
+
+TEST(LzssLazy, IncompressibleRandom) {
+  check_lazy_round_trip_and_ratio(bytes_of(random_bytes(256 * 1024, 13)),
+                                  "random");
+}
+
+TEST(LzssLazy, ShortPeriodRepeats) {
+  for (int period = 1; period <= 3; ++period) {
+    std::vector<std::byte> data;
+    data.reserve(200000);
+    for (int i = 0; i < 200000; ++i)
+      data.push_back(std::byte('a' + i % period));
+    check_lazy_round_trip_and_ratio(data, "short period");
+  }
+}
+
+TEST(LzssLazy, MixedRunsAndNoise) {
+  // Alternating compressible runs and incompressible noise exercises both
+  // the skip-ahead heuristic and the recovery when matches reappear.
+  szi::datagen::Rng rng(14);
+  std::vector<std::byte> data;
+  for (int seg = 0; seg < 64; ++seg) {
+    if (seg % 2 == 0) {
+      data.insert(data.end(), 4096, std::byte{0x20});
+    } else {
+      for (int i = 0; i < 4096; ++i)
+        data.push_back(std::byte(static_cast<std::uint8_t>(rng.next_u64())));
+    }
+  }
+  check_lazy_round_trip_and_ratio(data, "mixed");
+}
+
+TEST(LzssLazy, ModesAgreeAcrossBlockBoundaries) {
+  for (const std::size_t n :
+       {szi::lossless::kLzssBlock - 1, szi::lossless::kLzssBlock,
+        szi::lossless::kLzssBlock + 1}) {
+    std::vector<std::byte> data(n);
+    for (std::size_t i = 0; i < n; ++i)
+      data[i] = std::byte(static_cast<std::uint8_t>(i * 31 % 17));
+    check_lazy_round_trip_and_ratio(data, "block boundary");
+  }
 }
 
 TEST(Lzss, ThrowsOnCorruptHeader) {
