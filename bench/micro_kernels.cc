@@ -7,8 +7,10 @@
 #include <string>
 #include <vector>
 
+#include "core/cuszi.hh"
 #include "datagen/datasets.hh"
 #include "datagen/rng.hh"
+#include "device/arena.hh"
 #include "huffman/codebook.hh"
 #include "huffman/histogram.hh"
 #include "huffman/huffman.hh"
@@ -200,6 +202,82 @@ void BM_AutotuneKernel(benchmark::State& state) {
     benchmark::DoNotOptimize(szi::predictor::autotune(f.data, f.dims, 1e-3));
 }
 BENCHMARK(BM_AutotuneKernel);
+
+// ---- End-to-end macro benchmarks (the fused-pipeline headline numbers).
+// Fused and unfused pairs produce byte-identical archives (asserted by
+// tests/test_fused_equiv.cc), so any delta here is pure memory traffic and
+// stage overlap, not a different encoding.
+
+constexpr szi::CompressParams kE2eParams{szi::ErrorMode::Rel, 1e-3};
+
+/// The e2e pair honors SZI_LARGE=1 (datagen::size_from_env): the headline
+/// fused-vs-unfused numbers are recorded at the paper-size field, whose
+/// working set exceeds the last-level cache — that is where eliminating
+/// full-array passes shows up as wall time instead of cache hits. CI's
+/// smoke run keeps the default small field.
+const szi::Field& e2e_field() {
+  static const auto fields =
+      szi::datagen::miranda(szi::datagen::size_from_env());
+  return fields.front();
+}
+
+void BM_CompressEndToEnd(benchmark::State& state) {
+  // The fused pipeline to the bitcomp-wrapped archive: histogram inside the
+  // predict kernel, Huffman payload emitted into its final slot, LZSS
+  // streamed behind a watermark, all scratch from one persistent workspace.
+  const auto& f = e2e_field();
+  szi::dev::Arena arena;
+  szi::dev::Workspace ws(arena);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(szi::cuszi_compress_bitcomp(
+        f.view(), f.dims, kE2eParams, nullptr, ws));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.bytes()));
+}
+BENCHMARK(BM_CompressEndToEnd);
+
+void BM_CompressEndToEndUnfused(benchmark::State& state) {
+  // Reference stage structure: predict pass, histogram pass, Huffman encode
+  // into a ByteWriter archive, then LZSS re-reads the finished archive.
+  const auto& f = e2e_field();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(szi::bitcomp_wrap_archive(
+        szi::cuszi_compress_unfused(f.view(), f.dims, kE2eParams)));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.bytes()));
+}
+BENCHMARK(BM_CompressEndToEndUnfused);
+
+const std::vector<std::byte>& e2e_wrapped_archive() {
+  static const auto bytes = szi::bitcomp_wrap_archive(szi::cuszi_compress(
+      e2e_field().view(), e2e_field().dims, kE2eParams));
+  return bytes;
+}
+
+void BM_DecompressEndToEnd(benchmark::State& state) {
+  // Pipelined decode: LZSS blocks decode on a stream while the inner
+  // archive parses and Huffman-decodes behind the watermark.
+  const auto& bytes = e2e_wrapped_archive();
+  szi::dev::Arena arena;
+  szi::dev::Workspace ws(arena);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(szi::cuszi_decompress_bitcomp_f32(bytes, ws));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(e2e_field().bytes()));
+}
+BENCHMARK(BM_DecompressEndToEnd);
+
+void BM_DecompressEndToEndUnfused(benchmark::State& state) {
+  // Reference decode: full LZSS pass to a fresh buffer, then the inner
+  // decode over it with throwaway-arena scratch.
+  const auto& bytes = e2e_wrapped_archive();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        szi::cuszi_decompress_f32(szi::bitcomp_unwrap_archive(bytes)));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(e2e_field().bytes()));
+}
+BENCHMARK(BM_DecompressEndToEndUnfused);
 
 }  // namespace
 

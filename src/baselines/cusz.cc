@@ -4,6 +4,7 @@
 
 #include "core/bytes.hh"
 #include "core/timer.hh"
+#include "device/arena.hh"
 #include "huffman/histogram.hh"
 #include "huffman/huffman.hh"
 #include "metrics/stats.hh"
@@ -28,25 +29,36 @@ class Cusz final : public Compressor {
     const double eb = resolve_abs_eb(p, field.data, "cuSZ");
 
     constexpr int kRadius = quant::kDefaultRadius;
-    const auto pred = predictor::lorenzo_compress(field.data, field.dims, eb,
-                                                  kRadius);
+    dev::Workspace ws(dev::Arena::instance());
+    // Fused predict+histogram: the separate full read pass over codes is
+    // gone, so the histogram stage reports 0 and predict covers both.
+    const auto fused = predictor::lorenzo_compress_fused(field.data, field.dims,
+                                                         eb, kRadius, ws);
     r.timings.predict = stage.lap();
-
-    const auto hist = huffman::histogram(pred.codes, 2 * kRadius);
-    r.timings.histogram = stage.lap();
-    const auto book = huffman::Codebook::build(hist);
+    r.timings.histogram = 0.0;
+    r.timings.histogram_fused = true;
+    const auto book = huffman::Codebook::build(fused.histogram);
     r.timings.codebook = stage.lap();
-    const auto huff = huffman::encode_with_book(pred.codes, book);
+    const auto huff = huffman::encode_with_book(fused.pred.codes, book,
+                                                huffman::kDefaultChunk, ws);
     r.timings.encode = stage.lap();
 
+    const auto& ol = fused.pred.outliers;
+    const std::uint64_t ocount = ol.count();
     core::ByteWriter w;
+    w.reserve(38 + sizeof(ocount) + ol.byte_size() + 8 + huff.size() + 8);
     w.put(kMagic);
     w.put(static_cast<std::uint64_t>(field.dims.x));
     w.put(static_cast<std::uint64_t>(field.dims.y));
     w.put(static_cast<std::uint64_t>(field.dims.z));
     w.put(eb);
     w.put(static_cast<std::uint16_t>(kRadius));
-    w.put_blob(pred.outliers.serialize());
+    // Same framing OutlierSet::serialize produced: u64 blob size, then
+    // count | indices | values — emitted straight from the workspace views.
+    w.put(static_cast<std::uint64_t>(sizeof(ocount) + ol.byte_size()));
+    w.put(ocount);
+    w.put_raw(std::as_bytes(ol.indices));
+    w.put_raw(std::as_bytes(ol.values));
     w.put_blob(huff);
     r.bytes = w.take();
     r.timings.total = total.lap();

@@ -25,6 +25,23 @@ double parse_double(const std::string& s, const std::string& flag) {
   }
 }
 
+/// Stage breakdown for --stages. When the pipeline fused the histogram into
+/// the predict kernel there is no separate histogram pass to time — the two
+/// are reported as one fused stage rather than as a zero-second pass.
+void print_stages(const StageTimings& t) {
+  if (t.histogram_fused) {
+    std::printf(
+        "stages: predict+histogram (fused) %.4f s | codebook %.4f s | "
+        "encode %.4f s | total %.4f s\n",
+        t.predict, t.codebook, t.encode, t.total);
+  } else {
+    std::printf(
+        "stages: predict %.4f s | histogram %.4f s | codebook %.4f s | "
+        "encode %.4f s | total %.4f s\n",
+        t.predict, t.histogram, t.codebook, t.encode, t.total);
+  }
+}
+
 std::size_t parse_size(const std::string& s, const std::string& flag) {
   try {
     std::size_t pos = 0;
@@ -58,6 +75,8 @@ options:
   -t f32|f64        value type (default f32; f64 supports cusz-i only)
   --bitcomp         wrap with the de-redundancy pass (must match on -x)
   --verify          after -z, decompress and report PSNR / max error
+  --stages          after -z, print the per-stage timing breakdown (fused
+                    stages are reported as one entry, not a zero-time pass)
 )";
 }
 
@@ -119,6 +138,8 @@ Options parse(const std::vector<std::string>& args) {
       opt.bitcomp = true;
     } else if (a == "--verify") {
       opt.verify = true;
+    } else if (a == "--stages") {
+      opt.stages = true;
     } else {
       throw std::invalid_argument("unknown option: " + a);
     }
@@ -203,6 +224,7 @@ int run(const Options& opt) {
                     metrics::compression_ratio(data.size() * sizeof(double),
                                                bytes.size()),
                     t.total);
+        if (opt.stages) print_stages(t);
         if (opt.verify) {
           const auto dec = cuszi_decompress_f64(bytes);
           const auto d = metrics::distortion(data, dec);
@@ -224,6 +246,7 @@ int run(const Options& opt) {
                   metrics::compression_ratio(field.bytes(), enc.bytes.size()),
                   metrics::bit_rate(field.size(), enc.bytes.size()),
                   enc.timings.total);
+      if (opt.stages) print_stages(enc.timings);
       if (opt.verify) {
         const auto dec = c->decompress(enc.bytes);
         const auto d = metrics::distortion(field.data, dec);

@@ -11,24 +11,55 @@
 
 namespace szi {
 
-namespace {
-
-constexpr std::uint32_t kWrapMagic = 0x50434242;  // "BBCP"
-
-}  // namespace
-
 std::vector<std::byte> bitcomp_wrap_archive(std::span<const std::byte> bytes) {
   core::ByteWriter w;
-  w.put(kWrapMagic);
+  w.put(kBitcompWrapMagic);
   w.put_blob(lossless::bitcomp_compress(bytes));
   return w.take();
 }
 
 std::vector<std::byte> bitcomp_unwrap_archive(
     std::span<const std::byte> bytes) {
+  return lossless::bitcomp_decompress(bitcomp_wrapped_stream(bytes));
+}
+
+std::span<const std::byte> bitcomp_wrapped_stream(
+    std::span<const std::byte> bytes) {
   core::ByteReader rd(bytes, "bitcomp-wrapper");
-  rd.expect_magic(kWrapMagic);
-  return lossless::bitcomp_decompress(rd.read_length_prefixed());
+  rd.expect_magic(kBitcompWrapMagic);
+  return rd.read_length_prefixed();
+}
+
+// Default (unfused) implementations of the bitcomp/workspace virtuals:
+// compose the plain entry points. Overrides (cuSZ-i) pipeline the stages
+// but must keep the bytes identical to these compositions.
+
+std::vector<float> Compressor::decompress(std::span<const std::byte> bytes,
+                                          double* decode_seconds,
+                                          dev::Workspace& /*ws*/) {
+  return decompress(bytes, decode_seconds);
+}
+
+CompressResult Compressor::compress_bitcomp(const Field& field,
+                                            const CompressParams& p) {
+  CompressResult r = compress(field, p);
+  core::Timer t;
+  r.bytes = bitcomp_wrap_archive(r.bytes);
+  const double extra = t.lap();
+  r.timings.encode += extra;
+  r.timings.total += extra;
+  return r;
+}
+
+std::vector<float> Compressor::decompress_bitcomp(
+    std::span<const std::byte> bytes, double* decode_seconds) {
+  core::Timer t;
+  const auto inner_bytes = bitcomp_unwrap_archive(bytes);
+  const double unwrap = t.lap();
+  double inner_time = 0;
+  auto out = decompress(inner_bytes, &inner_time);
+  if (decode_seconds) *decode_seconds = unwrap + inner_time;
+  return out;
 }
 
 namespace {
@@ -48,26 +79,17 @@ class BitcompWrapped final : public Compressor {
     return inner_->supports_fixed_rate();
   }
 
+  // Delegates to the inner compressor's (possibly fused/pipelined)
+  // bitcomp entry points; the default implementations reproduce the old
+  // wrap-after / unwrap-before behaviour byte-for-byte.
   [[nodiscard]] CompressResult compress(const Field& field,
                                         const CompressParams& p) override {
-    CompressResult r = inner_->compress(field, p);
-    core::Timer t;
-    r.bytes = bitcomp_wrap_archive(r.bytes);
-    const double extra = t.lap();
-    r.timings.encode += extra;
-    r.timings.total += extra;
-    return r;
+    return inner_->compress_bitcomp(field, p);
   }
 
   [[nodiscard]] std::vector<float> decompress(std::span<const std::byte> bytes,
                                               double* decode_seconds) override {
-    core::Timer t;
-    const auto inner_bytes = bitcomp_unwrap_archive(bytes);
-    const double unwrap = t.lap();
-    double inner_time = 0;
-    auto out = inner_->decompress(inner_bytes, &inner_time);
-    if (decode_seconds) *decode_seconds = unwrap + inner_time;
-    return out;
+    return inner_->decompress_bitcomp(bytes, decode_seconds);
   }
 
  private:

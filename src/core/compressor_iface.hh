@@ -3,12 +3,17 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "core/field.hh"
+
+namespace szi::dev {
+class Workspace;
+}  // namespace szi::dev
 
 namespace szi {
 
@@ -34,6 +39,11 @@ struct StageTimings {
   double codebook = 0;
   double encode = 0;
   double total = 0;
+  /// True when the histogram was accumulated inside the predict kernel (the
+  /// fused pipeline): `histogram` is then 0 by construction and `predict`
+  /// covers both stages. Reporters must not present the 0 as "a histogram
+  /// pass that took no time".
+  bool histogram_fused = false;
 
   [[nodiscard]] double kernel_time() const { return total - codebook; }
 };
@@ -73,6 +83,28 @@ class Compressor {
   /// wall time.
   [[nodiscard]] virtual std::vector<float> decompress(
       std::span<const std::byte> bytes, double* decode_seconds = nullptr) = 0;
+
+  /// Workspace-threaded decompress: implementations may draw all scratch
+  /// from `ws` (valid until its next reset) instead of a throwaway arena.
+  /// The default ignores `ws` and forwards to decompress(). Output is
+  /// bit-identical either way.
+  [[nodiscard]] virtual std::vector<float> decompress(
+      std::span<const std::byte> bytes, double* decode_seconds,
+      dev::Workspace& ws);
+
+  /// Produces the §VI-B bitcomp-wrapped archive ('BBCP' + LZSS over the
+  /// inner archive). The default wraps compress()'s bytes after the fact;
+  /// implementations may override to pipeline the inner encode with the
+  /// LZSS pass (cuSZ-i does) — the bytes must stay identical to the
+  /// default composition. Wrap time is folded into encode/total.
+  [[nodiscard]] virtual CompressResult compress_bitcomp(
+      const Field& field, const CompressParams& p);
+
+  /// Inverse of compress_bitcomp. The default unwraps then forwards to
+  /// decompress(); overrides may pipeline the LZSS decode with the inner
+  /// decode. `decode_seconds` covers unwrap + inner decode.
+  [[nodiscard]] virtual std::vector<float> decompress_bitcomp(
+      std::span<const std::byte> bytes, double* decode_seconds = nullptr);
 };
 
 /// Wraps any compressor with the de-redundancy pass (§VI-B); TABLE III's
@@ -87,6 +119,16 @@ class Compressor {
 [[nodiscard]] std::vector<std::byte> bitcomp_wrap_archive(
     std::span<const std::byte> bytes);
 [[nodiscard]] std::vector<std::byte> bitcomp_unwrap_archive(
+    std::span<const std::byte> bytes);
+
+/// 'BBCP', the §VI-B wrapper magic (shared with the fused pipeline, which
+/// emits/parses the framing without going through ByteWriter).
+inline constexpr std::uint32_t kBitcompWrapMagic = 0x50434242;
+
+/// Validates the wrapper framing and returns a borrowed view of the inner
+/// LZSS stream without decompressing it — the entry point of the pipelined
+/// decompressor. Throws core::CorruptArchive on bad magic or truncation.
+[[nodiscard]] std::span<const std::byte> bitcomp_wrapped_stream(
     std::span<const std::byte> bytes);
 
 /// Serves ErrorMode::PwRel on top of any error-bounded compressor by

@@ -1,12 +1,17 @@
 #include "core/cuszi.hh"
 
+#include <algorithm>
+#include <cstring>
 #include <deque>
 #include <exception>
 #include <stdexcept>
 
+#include <optional>
+
 #include "core/bytes.hh"
 #include "core/timer.hh"
 #include "device/stream.hh"
+#include "device/thread_pool.hh"
 #include "huffman/histogram.hh"
 #include "huffman/huffman.hh"
 #include "metrics/stats.hh"
@@ -25,18 +30,39 @@ struct PackedConfig {
   std::uint8_t order[3];
   std::uint16_t radius;
 };
+static_assert(sizeof(PackedConfig) == 16, "archive layout is padding-free");
+
+/// Bytes of the fixed inner-archive header: magic | precision | dims | eb |
+/// PackedConfig. The anchor count follows immediately.
+constexpr std::size_t kInnerFixedBytes =
+    sizeof(std::uint32_t) + sizeof(std::uint8_t) + 3 * sizeof(std::uint64_t) +
+    sizeof(double) + sizeof(PackedConfig);
 
 template <typename T>
 constexpr Precision precision_of() {
   return sizeof(T) == 4 ? Precision::F32 : Precision::F64;
 }
 
+struct Tuned {
+  double eb;
+  predictor::InterpConfig cfg;
+};
+
+/// Whether offloading LZSS blocks to a dev::Stream can actually overlap
+/// with the host thread. On a single-hardware-thread machine the stream
+/// only adds context-switch ping-pong, so the pipelined paths run the same
+/// block tasks inline at the same watermark points instead — identical
+/// bytes, better cache locality (each block is processed while still hot
+/// from being written/needed).
+bool stream_overlap_pays() {
+  return dev::ThreadPool::instance().worker_count() > 1;
+}
+
+/// Shared front half of every compress path: parameter validation plus the
+/// profiling auto-tune kernel (which also resolves Rel -> Abs).
 template <typename T>
-std::vector<std::byte> compress_typed(std::span<const T> data,
-                                      const dev::Dim3& dims,
-                                      const CompressParams& p,
-                                      StageTimings* timings, bool topk,
-                                      dev::Workspace& ws) {
+Tuned autotune_checked(std::span<const T> data, const dev::Dim3& dims,
+                       const CompressParams& p, dev::Workspace& ws) {
   if (p.mode == ErrorMode::FixedRate)
     throw std::invalid_argument("cuSZ-i: fixed-rate mode not supported");
   if (p.mode == ErrorMode::PwRel)
@@ -44,11 +70,7 @@ std::vector<std::byte> compress_typed(std::span<const T> data,
         "cuSZ-i: pointwise-relative mode requires with_pointwise_rel()");
   if (data.size() != dims.volume())
     throw std::invalid_argument("cuSZ-i: size/dims mismatch");
-  core::Timer total;
-  core::Timer stage;
-  StageTimings t;
 
-  // Profiling + auto-tuning kernel (also resolves Rel -> Abs).
   auto prof = predictor::autotune(data, dims, p.value, ws);
   const double eb =
       p.mode == ErrorMode::Rel ? p.value * prof.value_range : p.value;
@@ -58,20 +80,47 @@ std::vector<std::byte> compress_typed(std::span<const T> data,
     prof.epsilon = p.value;
     prof.config.alpha = predictor::alpha_of_epsilon(prof.epsilon);
   }
+  return {eb, prof.config};
+}
+
+template <typename T>
+std::vector<std::byte> compress_typed(std::span<const T> data,
+                                      const dev::Dim3& dims,
+                                      const CompressParams& p,
+                                      StageTimings* timings, bool fused,
+                                      bool topk, dev::Workspace& ws) {
+  core::Timer total;
+  core::Timer stage;
+  StageTimings t;
+
+  const Tuned tuned = autotune_checked(data, dims, p, ws);
   t.predict += stage.lap();
 
   // G-Interp prediction + quantization (codes/anchors/outliers pooled).
+  // The fused path accumulates the quant-code histogram inside the predict
+  // kernel; the unfused reference runs the separate full read pass over
+  // `codes`. Totals are bit-identical (uint32 addition commutes), so both
+  // paths produce the same codebook and the same archive bytes.
   constexpr int kRadius = quant::kDefaultRadius;
-  const auto pred =
-      predictor::ginterp_compress(data, dims, eb, prof.config, kRadius, ws);
-  t.predict += stage.lap();
-
-  // Huffman: histogram & encode are device kernels; the codebook build is
-  // the host-side step the paper times separately (§VI-A).
-  const auto hist =
-      topk ? huffman::histogram_topk(pred.codes, 2 * kRadius, kRadius, 16, ws)
-           : huffman::histogram(pred.codes, 2 * kRadius, ws);
-  t.histogram = stage.lap();
+  predictor::GInterpViewT<T> pred;
+  std::vector<std::uint32_t> hist;
+  if (fused) {
+    auto fz = predictor::ginterp_compress_fused(data, dims, tuned.eb,
+                                                tuned.cfg, kRadius, ws);
+    pred = fz.pred;
+    hist = std::move(fz.histogram);
+    t.predict += stage.lap();
+    t.histogram = 0;
+    t.histogram_fused = true;
+  } else {
+    pred = predictor::ginterp_compress(data, dims, tuned.eb, tuned.cfg,
+                                       kRadius, ws);
+    t.predict += stage.lap();
+    hist = topk ? huffman::histogram_topk(pred.codes, 2 * kRadius, kRadius, 16,
+                                          ws)
+                : huffman::histogram(pred.codes, 2 * kRadius, ws);
+    t.histogram = stage.lap();
+  }
   const auto book = huffman::Codebook::build(hist);
   t.codebook = stage.lap();
   const auto huff =
@@ -87,13 +136,13 @@ std::vector<std::byte> compress_typed(std::span<const T> data,
   w.put(static_cast<std::uint64_t>(dims.x));
   w.put(static_cast<std::uint64_t>(dims.y));
   w.put(static_cast<std::uint64_t>(dims.z));
-  w.put(eb);
+  w.put(tuned.eb);
   PackedConfig pc{};
-  pc.alpha = prof.config.alpha;
+  pc.alpha = tuned.cfg.alpha;
   for (int i = 0; i < 3; ++i) {
     pc.cubic[i] = static_cast<std::uint8_t>(
-        prof.config.cubic[static_cast<std::size_t>(i)]);
-    pc.order[i] = prof.config.dim_order[static_cast<std::size_t>(i)];
+        tuned.cfg.cubic[static_cast<std::size_t>(i)]);
+    pc.order[i] = tuned.cfg.dim_order[static_cast<std::size_t>(i)];
   }
   pc.radius = kRadius;
   w.put(pc);
@@ -115,53 +164,462 @@ template <typename T>
 std::vector<std::byte> compress_typed(std::span<const T> data,
                                       const dev::Dim3& dims,
                                       const CompressParams& p,
-                                      StageTimings* timings, bool topk) {
+                                      StageTimings* timings, bool fused,
+                                      bool topk) {
   // Throwaway arena: malloc-equivalent lifetime, no global memory retained.
   // Pooling across calls is opt-in via the Workspace overload.
   dev::Arena local;
   dev::Workspace ws(local);
-  return compress_typed<T>(data, dims, p, timings, topk, ws);
+  return compress_typed<T>(data, dims, p, timings, fused, topk, ws);
 }
 
+/// Bytes of the inner archive preceding the Huffman stream: fixed header,
+/// length-prefixed anchors, outlier blob, and the Huffman blob's u64
+/// length prefix.
 template <typename T>
-std::vector<T> decompress_typed(std::span<const std::byte> bytes) {
-  core::ByteReader rd(bytes, "cusz-i");
+std::size_t inner_prefix_bytes(const predictor::GInterpViewT<T>& pred) {
+  return kInnerFixedBytes + sizeof(std::uint64_t) +
+         pred.anchors.size() * sizeof(T) + 2 * sizeof(std::uint64_t) +
+         pred.outliers.byte_size() + sizeof(std::uint64_t);
+}
+
+/// Serializes everything up to (and including) the Huffman blob length into
+/// `dst` — exactly inner_prefix_bytes(pred) bytes, byte-for-byte what
+/// compress_typed's ByteWriter emits for the same inputs
+/// (tests/test_fused_equiv.cc holds the two in lockstep).
+template <typename T>
+void write_inner_prefix(std::byte* dst, const dev::Dim3& dims, double eb,
+                        const predictor::InterpConfig& cfg, int radius,
+                        const predictor::GInterpViewT<T>& pred,
+                        std::uint64_t huff_bytes) {
+  std::byte* p = dst;
+  const auto put = [&p](const auto& v) {
+    std::memcpy(p, &v, sizeof(v));
+    p += sizeof(v);
+  };
+  put(kMagic);
+  put(static_cast<std::uint8_t>(precision_of<T>()));
+  put(static_cast<std::uint64_t>(dims.x));
+  put(static_cast<std::uint64_t>(dims.y));
+  put(static_cast<std::uint64_t>(dims.z));
+  put(eb);
+  PackedConfig pc{};
+  pc.alpha = cfg.alpha;
+  for (int i = 0; i < 3; ++i) {
+    pc.cubic[i] =
+        static_cast<std::uint8_t>(cfg.cubic[static_cast<std::size_t>(i)]);
+    pc.order[i] = cfg.dim_order[static_cast<std::size_t>(i)];
+  }
+  pc.radius = static_cast<std::uint16_t>(radius);
+  put(pc);
+  put(static_cast<std::uint64_t>(pred.anchors.size()));
+  std::memcpy(p, pred.anchors.data(), pred.anchors.size() * sizeof(T));
+  p += pred.anchors.size() * sizeof(T);
+  put(static_cast<std::uint64_t>(sizeof(std::uint64_t) +
+                                 pred.outliers.byte_size()));
+  put(static_cast<std::uint64_t>(pred.outliers.count()));
+  std::memcpy(p, pred.outliers.indices.data(),
+              pred.outliers.indices.size_bytes());
+  p += pred.outliers.indices.size_bytes();
+  std::memcpy(p, pred.outliers.values.data(),
+              pred.outliers.values.size_bytes());
+  p += pred.outliers.values.size_bytes();
+  put(huff_bytes);
+}
+
+/// The fused compress-to-wrapped-archive pipeline (the tentpole): predict
+/// and histogram fuse into one pass; the inner archive is assembled exactly
+/// once in workspace memory with the Huffman payload emitted straight into
+/// its final slot; and a dev::Stream LZSS-compresses each 64 KiB block the
+/// moment every byte below it is final (a rising watermark), so the
+/// de-redundancy pass overlaps the Huffman emit instead of re-reading a
+/// finished archive. Byte-identical to
+/// bitcomp_wrap_archive(compress_typed(...)) with the same LzssMode.
+template <typename T>
+std::vector<std::byte> compress_bitcomp_typed(std::span<const T> data,
+                                              const dev::Dim3& dims,
+                                              const CompressParams& p,
+                                              StageTimings* timings,
+                                              dev::Workspace& ws,
+                                              lossless::LzssMode mode) {
+  core::Timer total;
+  core::Timer stage;
+  StageTimings t;
+
+  const Tuned tuned = autotune_checked(data, dims, p, ws);
+  t.predict += stage.lap();
+
+  constexpr int kRadius = quant::kDefaultRadius;
+  const auto fz = predictor::ginterp_compress_fused(data, dims, tuned.eb,
+                                                    tuned.cfg, kRadius, ws);
+  const auto& pred = fz.pred;
+  t.predict += stage.lap();
+  t.histogram = 0;
+  t.histogram_fused = true;
+
+  const auto book = huffman::Codebook::build(fz.histogram);
+  t.codebook = stage.lap();
+
+  const std::size_t prefix_bytes = inner_prefix_bytes(pred);
+  std::optional<dev::Stream> lz;
+  if (stream_overlap_pays()) lz.emplace();
+
+  // With a worker to overlap against, the two-phase encode (parallel sizing
+  // pass, then chunk emission interleaved with LZSS submission) wins. On one
+  // core there is nothing to overlap, so the serial fused plan+emit walks
+  // the codes once, writing the payload straight into its final slot — the
+  // slot's offset depends only on the prefix and header sizes, both known
+  // before any chunk is measured — and only the total size arrives late.
+  huffman::EncodePlan plan;
+  std::span<std::byte> raw;
+  if (lz) {
+    plan = huffman::encode_plan(pred.codes, book, huffman::kDefaultChunk, ws);
+    raw = ws.make<std::byte>(prefix_bytes + plan.stream_bytes());
+  } else {
+    const std::size_t header_bytes = huffman::overhead_bytes(
+        book.nbins(), pred.codes.size(), huffman::kDefaultChunk);
+    const std::size_t bound =
+        huffman::payload_bound(book, pred.codes.size(), huffman::kDefaultChunk);
+    raw = ws.make<std::byte>(prefix_bytes + header_bytes + bound);
+    plan = huffman::encode_emit_serial(
+        pred.codes, book, huffman::kDefaultChunk,
+        raw.subspan(prefix_bytes + header_bytes), ws);
+  }
+  const std::size_t raw_size = prefix_bytes + plan.stream_bytes();
+
+  // LZSS state. Blocks are submitted to the stream once the watermark of
+  // final raw bytes passes their end; each task reads only bytes below the
+  // watermark at submit time and the host thread writes only bytes above
+  // it, so the two sides never touch the same byte concurrently.
+  const std::size_t bs = lossless::kLzssBlock;
+  const std::size_t nblocks = raw_size == 0 ? 0 : dev::ceil_div(raw_size, bs);
+  const std::size_t stride = bs + lossless::kLzssTokenSlack;
+  auto slices = ws.make<std::byte>(nblocks * stride);
+  auto enc_size = ws.make<std::uint64_t>(nblocks);
+
+  std::size_t next_block = 0;
+  const auto submit_upto = [&](std::size_t watermark) {
+    while (next_block < nblocks) {
+      const std::size_t begin = next_block * bs;
+      const std::size_t len = std::min(bs, raw_size - begin);
+      if (begin + len > watermark) break;
+      const std::size_t b = next_block++;
+      const std::byte* in = raw.data() + begin;
+      std::byte* out = slices.data() + b * stride;
+      std::uint64_t* esz = enc_size.data() + b;
+      if (lz) {
+        lz->submit([in, len, out, stride, esz, mode] {
+          *esz = lossless::lzss_compress_block({in, len}, {out, stride},
+                                               dev::Arena::instance(), mode);
+        });
+      } else {
+        *esz = lossless::lzss_compress_block({in, len}, {out, stride},
+                                             dev::Arena::instance(), mode);
+      }
+    }
+  };
+
+  // Serial prefix + Huffman stream header (small), then — in overlap mode —
+  // the payload in chunk groups: after each group every byte below the next
+  // group's first chunk is final, advancing the watermark. In serial mode
+  // the payload was already emitted in place, so the loop is skipped and the
+  // final submit_upto runs every block inline.
+  write_inner_prefix<T>(raw.data(), dims, tuned.eb, tuned.cfg, kRadius, pred,
+                        static_cast<std::uint64_t>(plan.stream_bytes()));
+  huffman::write_stream_header(plan, book, raw.subspan(prefix_bytes));
+  const std::size_t payload_off = prefix_bytes + plan.header_bytes;
+  submit_upto(payload_off);
+
+  if (lz) {
+    const auto payload = raw.subspan(payload_off);
+    constexpr std::uint64_t kGroupBytes = 4 * lossless::kLzssBlock;
+    std::size_t c = 0;
+    while (c < plan.nchunks) {
+      const std::uint64_t start = plan.offsets[c];
+      std::size_t cend = c + 1;
+      while (cend < plan.nchunks && plan.offsets[cend] - start < kGroupBytes)
+        ++cend;
+      huffman::encode_chunks(pred.codes, book, plan, c, cend, payload);
+      c = cend;
+      const std::uint64_t done =
+          c < plan.nchunks ? plan.offsets[c] : plan.payload_bytes;
+      submit_upto(payload_off + static_cast<std::size_t>(done));
+    }
+  }
+  submit_upto(raw_size);
+  if (lz) lz->synchronize();
+
+  // Final wrapped archive, assembled directly into the returned vector:
+  // 'BBCP' magic | u64 stream size | LZSS stream.
+  const std::size_t lz_bytes = lossless::lzss_stream_size(raw_size, bs,
+                                                          enc_size);
+  std::vector<std::byte> out(sizeof(std::uint32_t) + sizeof(std::uint64_t) +
+                             lz_bytes);
+  std::byte* op = out.data();
+  std::memcpy(op, &kBitcompWrapMagic, sizeof(kBitcompWrapMagic));
+  op += sizeof(kBitcompWrapMagic);
+  const std::uint64_t sz64 = lz_bytes;
+  std::memcpy(op, &sz64, sizeof(sz64));
+  op += sizeof(sz64);
+  lossless::lzss_assemble(raw.first(raw_size), bs, slices, stride, enc_size,
+                          {op, lz_bytes});
+  ws.reset();
+  t.encode = stage.lap();
+  t.total = total.lap();
+  if (timings) *timings = t;
+  return out;
+}
+
+struct InnerHeader {
+  dev::Dim3 dims;
+  std::size_t volume = 0;
+  double eb = 0;
+  predictor::InterpConfig cfg;
+  int radius = 0;
+};
+
+/// Parses + validates the fixed kInnerFixedBytes header.
+template <typename T>
+InnerHeader parse_inner_header(core::ByteReader& rd) {
   rd.expect_magic(kMagic);
   const auto prec_byte = rd.read<std::uint8_t>();
   if (prec_byte > static_cast<std::uint8_t>(Precision::F64))
     rd.fail("unknown precision byte");
   if (static_cast<Precision>(prec_byte) != precision_of<T>())
     rd.fail("archive precision mismatch");
-  dev::Dim3 dims;
-  dims.x = rd.read<std::uint64_t>();
-  dims.y = rd.read<std::uint64_t>();
-  dims.z = rd.read<std::uint64_t>();
-  const std::size_t volume =
-      core::checked_volume("cusz-i", rd.offset(), dims.x, dims.y, dims.z);
-  (void)rd.checked_array_bytes(volume, sizeof(T));
-  const auto eb = rd.read<double>();
+  InnerHeader h;
+  h.dims.x = rd.read<std::uint64_t>();
+  h.dims.y = rd.read<std::uint64_t>();
+  h.dims.z = rd.read<std::uint64_t>();
+  h.volume =
+      core::checked_volume("cusz-i", rd.offset(), h.dims.x, h.dims.y, h.dims.z);
+  (void)rd.checked_array_bytes(h.volume, sizeof(T));
+  h.eb = rd.read<double>();
   const auto pc = rd.read<PackedConfig>();
-  predictor::InterpConfig cfg;
-  cfg.alpha = pc.alpha;
+  h.cfg.alpha = pc.alpha;
   for (int i = 0; i < 3; ++i) {
     if (pc.cubic[i] > static_cast<std::uint8_t>(predictor::CubicKind::Natural))
       rd.fail("unknown cubic kind");
     if (pc.order[i] > 2) rd.fail("interpolation dim order out of range");
-    cfg.cubic[static_cast<std::size_t>(i)] =
+    h.cfg.cubic[static_cast<std::size_t>(i)] =
         static_cast<predictor::CubicKind>(pc.cubic[i]);
-    cfg.dim_order[static_cast<std::size_t>(i)] = pc.order[i];
+    h.cfg.dim_order[static_cast<std::size_t>(i)] = pc.order[i];
   }
-  const auto anchors = rd.read_length_prefixed_array<T>();
-  std::size_t consumed = 0;
-  const auto outliers =
-      quant::OutlierSetT<T>::deserialize(rd.read_length_prefixed(), &consumed);
-  const auto codes = huffman::decode(rd.read_length_prefixed());
-  if (codes.size() != volume) rd.fail("code count mismatch");
+  h.radius = pc.radius;
+  return h;
+}
 
-  // ginterp_decompress validates the anchor count and outlier indices
+/// Parses an outlier blob (u64 n | idx | vals) into workspace-resident
+/// arrays — archive bytes are unaligned, so both arrays are memcpy'd, with
+/// the same validation OutlierSetT::deserialize performs.
+template <typename T>
+quant::OutlierViewT<T> parse_outlier_blob(std::span<const std::byte> blob,
+                                          dev::Workspace& ws) {
+  core::ByteReader rd(blob, "outlier-set");
+  const auto n64 = rd.read<std::uint64_t>();
+  if (n64 > rd.remaining()) rd.fail("count exceeds remaining bytes");
+  const std::size_t n = static_cast<std::size_t>(n64);
+  const std::size_t ibytes = rd.checked_array_bytes(n, sizeof(std::uint64_t));
+  auto idx = ws.make<std::uint64_t>(n);
+  if (n > 0) std::memcpy(idx.data(), rd.read_bytes(ibytes).data(), ibytes);
+  const std::size_t vbytes = rd.checked_array_bytes(n, sizeof(T));
+  auto vals = ws.make<T>(n);
+  if (n > 0) std::memcpy(vals.data(), rd.read_bytes(vbytes).data(), vbytes);
+  quant::OutlierViewT<T> v;
+  v.indices = idx;
+  v.values = vals;
+  return v;
+}
+
+template <typename T>
+std::vector<T> decompress_typed(std::span<const std::byte> bytes,
+                                dev::Workspace& ws) {
+  core::ByteReader rd(bytes, "cusz-i");
+  const InnerHeader h = parse_inner_header<T>(rd);
+
+  const auto acount64 = rd.read<std::uint64_t>();
+  if (acount64 > rd.remaining()) rd.fail("array count exceeds remaining bytes");
+  const std::size_t acount = static_cast<std::size_t>(acount64);
+  const std::size_t abytes = rd.checked_array_bytes(acount, sizeof(T));
+  auto anchors = ws.make<T>(acount);
+  if (acount > 0)
+    std::memcpy(anchors.data(), rd.read_bytes(abytes).data(), abytes);
+
+  const auto outliers = parse_outlier_blob<T>(rd.read_length_prefixed(), ws);
+  const auto codes = huffman::decode(rd.read_length_prefixed(), ws);
+  if (codes.size() != h.volume) rd.fail("code count mismatch");
+
+  // ginterp_decompress_into validates the anchor count and outlier indices
   // against `dims` before scattering.
-  return predictor::ginterp_decompress(codes, std::span<const T>(anchors),
-                                       outliers, dims, eb, cfg, pc.radius);
+  std::vector<T> out(h.volume);
+  predictor::ginterp_decompress_into(codes, std::span<const T>(anchors),
+                                     outliers, h.dims, h.eb, h.cfg, h.radius,
+                                     std::span<T>(out), ws);
+  ws.reset();
+  return out;
+}
+
+template <typename T>
+std::vector<T> decompress_typed(std::span<const std::byte> bytes) {
+  dev::Arena local;
+  dev::Workspace ws(local);
+  return decompress_typed<T>(bytes, ws);
+}
+
+/// The pipelined wrapped-archive decompressor (the tentpole, mirrored):
+/// LZSS blocks decode on a dev::Stream in submission order while the host
+/// thread parses the inner archive behind a watermark of decoded bytes —
+/// waiting on per-group events only when it needs bytes that have not
+/// landed yet — and Huffman-decodes chunk groups as their payload arrives.
+/// Every read of `raw` happens below the watermark, every stream write
+/// above it. All parses go through the bounds-checked ByteReader over the
+/// fixed-size raw buffer, so corrupt archives fail exactly like the
+/// unfused path (the corruption-fuzz harness drives this route).
+template <typename T>
+std::vector<T> decompress_bitcomp_typed(std::span<const std::byte> bytes,
+                                        dev::Workspace& ws) {
+  const auto stream = bitcomp_wrapped_stream(bytes);
+  const auto frame = lossless::lzss_parse_frame(stream, ws);
+  auto raw = ws.make<std::byte>(frame.raw_size);
+
+  constexpr std::size_t kGroupBlocks = 4;
+  const auto decode_group = [&frame, &raw](std::size_t b, std::size_t be) {
+    for (std::size_t k = b; k < be; ++k) {
+      const std::size_t begin = k * frame.block_size;
+      const std::size_t len = std::min(frame.block_size, frame.raw_size - begin);
+      lossless::lzss_decompress_block(frame, k, {raw.data() + begin, len});
+    }
+  };
+
+  std::optional<dev::Stream> lz;
+  std::vector<std::size_t> group_end;
+  std::vector<dev::Event> group_ev;
+  if (stream_overlap_pays() && frame.nblocks > 0) {
+    lz.emplace();
+    for (std::size_t b = 0; b < frame.nblocks; b += kGroupBlocks) {
+      const std::size_t be = std::min(b + kGroupBlocks, frame.nblocks);
+      lz->submit([&decode_group, b, be] { decode_group(b, be); });
+      group_end.push_back(std::min(be * frame.block_size, frame.raw_size));
+      group_ev.push_back(lz->record());
+    }
+  }
+
+  std::size_t decoded = 0;
+  std::size_t next_group = 0;
+  const auto ensure = [&](std::size_t off) {
+    if (off > frame.raw_size) off = frame.raw_size;
+    while (decoded < off) {
+      if (lz) {
+        group_ev[next_group].wait();
+        decoded = group_end[next_group++];
+        // A failed block poisons the stream before its group's event
+        // fires; surface the CorruptArchive instead of reading
+        // half-written bytes.
+        if (lz->errored()) lz->synchronize();
+      } else {
+        // Serial machine: pull-decode the next group right before it is
+        // parsed (same bytes, no thread ping-pong, cache-hot handoff).
+        const std::size_t b = next_group * kGroupBlocks;
+        const std::size_t be = std::min(b + kGroupBlocks, frame.nblocks);
+        decode_group(b, be);
+        decoded = std::min(be * frame.block_size, frame.raw_size);
+        ++next_group;
+      }
+    }
+  };
+  // Saturating cursor advance: lengths are attacker-controlled u64s, and
+  // clamping to raw_size lets the ByteReader report the truncation.
+  const auto sat = [&](std::size_t base, std::uint64_t extra) {
+    if (base >= frame.raw_size) return frame.raw_size;
+    const std::size_t room = frame.raw_size - base;
+    return extra >= room ? frame.raw_size
+                         : base + static_cast<std::size_t>(extra);
+  };
+
+  core::ByteReader rd({raw.data(), frame.raw_size}, "cusz-i");
+  ensure(kInnerFixedBytes + sizeof(std::uint64_t));
+  const InnerHeader h = parse_inner_header<T>(rd);
+
+  const auto acount64 = rd.read<std::uint64_t>();
+  if (acount64 > rd.remaining()) rd.fail("array count exceeds remaining bytes");
+  const std::size_t acount = static_cast<std::size_t>(acount64);
+  const std::size_t abytes = rd.checked_array_bytes(acount, sizeof(T));
+  ensure(sat(rd.offset(), abytes));
+  auto anchors = ws.make<T>(acount);
+  if (acount > 0)
+    std::memcpy(anchors.data(), rd.read_bytes(abytes).data(), abytes);
+
+  ensure(sat(rd.offset(), sizeof(std::uint64_t)));
+  const auto oblob64 = rd.read<std::uint64_t>();
+  if (oblob64 > rd.remaining()) rd.fail("length prefix exceeds remaining bytes");
+  ensure(sat(rd.offset(), oblob64));
+  const auto outliers = parse_outlier_blob<T>(
+      rd.read_bytes(static_cast<std::size_t>(oblob64)), ws);
+
+  ensure(sat(rd.offset(), sizeof(std::uint64_t)));
+  const auto hsize64 = rd.read<std::uint64_t>();
+  if (hsize64 > rd.remaining()) rd.fail("length prefix exceeds remaining bytes");
+  const auto huff = rd.read_bytes(static_cast<std::size_t>(hsize64));
+  const std::size_t hoff = rd.offset() - huff.size();
+
+  // Huffman header extent (u32 nbins | lengths | u64 n | u32 chunk |
+  // u64 payload | offsets): peek just enough to know how many bytes
+  // decode_plan will touch, wait for them, then build the plan. The plan
+  // never reads payload bytes, so the stream may still be producing them.
+  ensure(sat(hoff, sizeof(std::uint32_t)));
+  std::uint32_t nbins = 0;
+  if (huff.size() >= sizeof(nbins)) std::memcpy(&nbins, huff.data(), sizeof(nbins));
+  const std::size_t hfixed = sizeof(std::uint32_t) + nbins +
+                             sizeof(std::uint64_t) + sizeof(std::uint32_t) +
+                             sizeof(std::uint64_t);
+  ensure(sat(hoff, hfixed));
+  std::uint64_t nsym = 0;
+  std::uint32_t csz = 0;
+  if (huff.size() >= hfixed) {
+    std::memcpy(&nsym, huff.data() + sizeof(std::uint32_t) + nbins,
+                sizeof(nsym));
+    std::memcpy(&csz,
+                huff.data() + sizeof(std::uint32_t) + nbins + sizeof(nsym),
+                sizeof(csz));
+  }
+  const std::uint64_t nchunks64 =
+      csz == 0 ? 0 : nsym / csz + (nsym % csz != 0 ? 1 : 0);
+  ensure(sat(hoff, hfixed + std::min<std::uint64_t>(nchunks64,
+                                                    frame.raw_size) *
+                                sizeof(std::uint64_t)));
+  const auto plan = huffman::decode_plan(huff, ws);
+  if (plan.n != h.volume)
+    throw core::CorruptArchive("cusz-i", hoff, "code count mismatch");
+
+  auto codes = ws.make<quant::Code>(plan.n);
+  const std::size_t pay_off =
+      plan.payload.empty()
+          ? frame.raw_size
+          : static_cast<std::size_t>(plan.payload.data() - raw.data());
+  constexpr std::uint64_t kGroupBytes = 4 * lossless::kLzssBlock;
+  std::size_t c = 0;
+  while (c < plan.nchunks) {
+    const std::uint64_t start = plan.offsets[c];
+    std::size_t cend = c + 1;
+    while (cend < plan.nchunks && plan.offsets[cend] - start < kGroupBytes)
+      ++cend;
+    const std::uint64_t done =
+        cend < plan.nchunks ? plan.offsets[cend] : plan.payload_bytes;
+    ensure(sat(pay_off, done));
+    huffman::decode_chunks(plan, c, cend, codes);
+    c = cend;
+  }
+  // Drain: every block must decode even if the parser never read its bytes,
+  // so a corrupt tail block throws exactly as it does in the unfused path.
+  if (lz) lz->synchronize();
+  else ensure(frame.raw_size);
+
+  std::vector<T> out(h.volume);
+  predictor::ginterp_decompress_into(codes, std::span<const T>(anchors),
+                                     outliers, h.dims, h.eb, h.cfg, h.radius,
+                                     std::span<T>(out), ws);
+  ws.reset();
+  return out;
 }
 
 /// The batched pipeline behind cuszi_compress_many() and
@@ -173,7 +631,7 @@ std::vector<T> decompress_typed(std::span<const std::byte> bytes) {
 /// kernel is deterministic regardless of scheduling.
 std::vector<std::vector<std::byte>> compress_many_impl(
     std::span<const FieldView> fields, const CompressParams& params,
-    std::vector<StageTimings>* timings, std::size_t streams, bool topk) {
+    std::vector<StageTimings>* timings, std::size_t streams) {
   const std::size_t nf = fields.size();
   std::vector<std::vector<std::byte>> out(nf);
   std::vector<StageTimings> times(nf);
@@ -189,9 +647,10 @@ std::vector<std::vector<std::byte>> compress_many_impl(
 
     for (std::size_t f = 0; f < nf; ++f) {
       dev::Workspace& ws = wss[f % streams];
-      ss[f % streams].submit([f, &ws, fields, params, topk, &out, &times] {
+      ss[f % streams].submit([f, &ws, fields, params, &out, &times] {
         out[f] = compress_typed<float>(fields[f].data, fields[f].dims, params,
-                                       &times[f], topk, ws);
+                                       &times[f], /*fused=*/true,
+                                       /*topk=*/true, ws);
       });
     }
 
@@ -212,7 +671,9 @@ std::vector<std::vector<std::byte>> compress_many_impl(
   return out;
 }
 
-/// The Compressor-interface adapter over the f32 typed API.
+/// The Compressor-interface adapter over the f32 typed API. Compression
+/// runs the fused pipeline (`topk` only affects the unfused free-function
+/// reference path, kept for the §VI-A histogram ablation).
 class Cuszi final : public Compressor {
  public:
   explicit Cuszi(bool topk) : topk_(topk) {}
@@ -223,7 +684,7 @@ class Cuszi final : public Compressor {
                                         const CompressParams& p) override {
     CompressResult r;
     r.bytes = compress_typed<float>(field.data, field.dims, p, &r.timings,
-                                    topk_);
+                                    /*fused=*/true, topk_);
     return r;
   }
 
@@ -233,7 +694,7 @@ class Cuszi final : public Compressor {
     views.reserve(fields.size());
     for (const auto& f : fields) views.push_back({f.view(), f.dims});
     std::vector<StageTimings> times;
-    auto archives = compress_many_impl(views, p, &times, 2, topk_);
+    auto archives = compress_many_impl(views, p, &times, 2);
     std::vector<CompressResult> out(archives.size());
     for (std::size_t i = 0; i < archives.size(); ++i) {
       out[i].bytes = std::move(archives[i]);
@@ -246,6 +707,34 @@ class Cuszi final : public Compressor {
                                               double* decode_seconds) override {
     core::Timer total;
     auto out = decompress_typed<float>(bytes);
+    if (decode_seconds) *decode_seconds = total.lap();
+    return out;
+  }
+
+  [[nodiscard]] std::vector<float> decompress(std::span<const std::byte> bytes,
+                                              double* decode_seconds,
+                                              dev::Workspace& ws) override {
+    core::Timer total;
+    auto out = decompress_typed<float>(bytes, ws);
+    if (decode_seconds) *decode_seconds = total.lap();
+    return out;
+  }
+
+  [[nodiscard]] CompressResult compress_bitcomp(
+      const Field& field, const CompressParams& p) override {
+    CompressResult r;
+    dev::Workspace ws(dev::Arena::instance());
+    r.bytes = compress_bitcomp_typed<float>(field.data, field.dims, p,
+                                            &r.timings, ws,
+                                            lossless::LzssMode::Lazy);
+    return r;
+  }
+
+  [[nodiscard]] std::vector<float> decompress_bitcomp(
+      std::span<const std::byte> bytes, double* decode_seconds) override {
+    core::Timer total;
+    dev::Workspace ws(dev::Arena::instance());
+    auto out = decompress_bitcomp_typed<float>(bytes, ws);
     if (decode_seconds) *decode_seconds = total.lap();
     return out;
   }
@@ -264,14 +753,16 @@ std::vector<std::byte> cuszi_compress(std::span<const float> data,
                                       const dev::Dim3& dims,
                                       const CompressParams& params,
                                       StageTimings* timings) {
-  return compress_typed<float>(data, dims, params, timings, true);
+  return compress_typed<float>(data, dims, params, timings, /*fused=*/true,
+                               /*topk=*/true);
 }
 
 std::vector<std::byte> cuszi_compress(std::span<const double> data,
                                       const dev::Dim3& dims,
                                       const CompressParams& params,
                                       StageTimings* timings) {
-  return compress_typed<double>(data, dims, params, timings, true);
+  return compress_typed<double>(data, dims, params, timings, /*fused=*/true,
+                                /*topk=*/true);
 }
 
 std::vector<std::byte> cuszi_compress(std::span<const float> data,
@@ -279,7 +770,8 @@ std::vector<std::byte> cuszi_compress(std::span<const float> data,
                                       const CompressParams& params,
                                       StageTimings* timings,
                                       dev::Workspace& ws) {
-  return compress_typed<float>(data, dims, params, timings, true, ws);
+  return compress_typed<float>(data, dims, params, timings, /*fused=*/true,
+                               /*topk=*/true, ws);
 }
 
 std::vector<std::byte> cuszi_compress(std::span<const double> data,
@@ -287,13 +779,50 @@ std::vector<std::byte> cuszi_compress(std::span<const double> data,
                                       const CompressParams& params,
                                       StageTimings* timings,
                                       dev::Workspace& ws) {
-  return compress_typed<double>(data, dims, params, timings, true, ws);
+  return compress_typed<double>(data, dims, params, timings, /*fused=*/true,
+                                /*topk=*/true, ws);
+}
+
+std::vector<std::byte> cuszi_compress_unfused(std::span<const float> data,
+                                              const dev::Dim3& dims,
+                                              const CompressParams& params,
+                                              StageTimings* timings,
+                                              bool use_topk_histogram) {
+  return compress_typed<float>(data, dims, params, timings, /*fused=*/false,
+                               use_topk_histogram);
+}
+
+std::vector<std::byte> cuszi_compress_unfused(std::span<const double> data,
+                                              const dev::Dim3& dims,
+                                              const CompressParams& params,
+                                              StageTimings* timings,
+                                              bool use_topk_histogram) {
+  return compress_typed<double>(data, dims, params, timings, /*fused=*/false,
+                                use_topk_histogram);
+}
+
+std::vector<std::byte> cuszi_compress_bitcomp(std::span<const float> data,
+                                              const dev::Dim3& dims,
+                                              const CompressParams& params,
+                                              StageTimings* timings,
+                                              dev::Workspace& ws,
+                                              lossless::LzssMode mode) {
+  return compress_bitcomp_typed<float>(data, dims, params, timings, ws, mode);
+}
+
+std::vector<std::byte> cuszi_compress_bitcomp(std::span<const double> data,
+                                              const dev::Dim3& dims,
+                                              const CompressParams& params,
+                                              StageTimings* timings,
+                                              dev::Workspace& ws,
+                                              lossless::LzssMode mode) {
+  return compress_bitcomp_typed<double>(data, dims, params, timings, ws, mode);
 }
 
 std::vector<std::vector<std::byte>> cuszi_compress_many(
     std::span<const FieldView> fields, const CompressParams& params,
     std::vector<StageTimings>* timings, std::size_t streams) {
-  return compress_many_impl(fields, params, timings, streams, true);
+  return compress_many_impl(fields, params, timings, streams);
 }
 
 Precision cuszi_archive_precision(std::span<const std::byte> bytes) {
@@ -313,6 +842,26 @@ std::vector<float> cuszi_decompress_f32(std::span<const std::byte> bytes) {
 
 std::vector<double> cuszi_decompress_f64(std::span<const std::byte> bytes) {
   return decompress_typed<double>(bytes);
+}
+
+std::vector<float> cuszi_decompress_f32(std::span<const std::byte> bytes,
+                                        dev::Workspace& ws) {
+  return decompress_typed<float>(bytes, ws);
+}
+
+std::vector<double> cuszi_decompress_f64(std::span<const std::byte> bytes,
+                                         dev::Workspace& ws) {
+  return decompress_typed<double>(bytes, ws);
+}
+
+std::vector<float> cuszi_decompress_bitcomp_f32(
+    std::span<const std::byte> bytes, dev::Workspace& ws) {
+  return decompress_bitcomp_typed<float>(bytes, ws);
+}
+
+std::vector<double> cuszi_decompress_bitcomp_f64(
+    std::span<const std::byte> bytes, dev::Workspace& ws) {
+  return decompress_bitcomp_typed<double>(bytes, ws);
 }
 
 }  // namespace szi

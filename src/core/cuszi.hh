@@ -19,6 +19,7 @@
 #include "core/compressor_iface.hh"
 #include "device/arena.hh"
 #include "device/dims.hh"
+#include "lossless/lzss.hh"
 
 namespace szi {
 
@@ -49,6 +50,37 @@ namespace szi {
     std::span<const double> data, const dev::Dim3& dims,
     const CompressParams& params, StageTimings* timings, dev::Workspace& ws);
 
+/// Reference (unfused) pipeline: separate predict, histogram, and encode
+/// passes, mirroring the pre-fusion stage structure the same way
+/// predictor/reference.cc mirrors the optimized kernels. Archive bytes are
+/// identical to cuszi_compress() (tests/test_fused_equiv.cc asserts this);
+/// `use_topk_histogram` selects the §VI-A hot-band histogram (meaningful
+/// only here — the fused pipeline counts inside the predict kernel).
+[[nodiscard]] std::vector<std::byte> cuszi_compress_unfused(
+    std::span<const float> data, const dev::Dim3& dims,
+    const CompressParams& params, StageTimings* timings = nullptr,
+    bool use_topk_histogram = true);
+[[nodiscard]] std::vector<std::byte> cuszi_compress_unfused(
+    std::span<const double> data, const dev::Dim3& dims,
+    const CompressParams& params, StageTimings* timings = nullptr,
+    bool use_topk_histogram = true);
+
+/// Fused compress straight to the §VI-B bitcomp-wrapped archive: the inner
+/// archive is assembled once in `ws` memory with the Huffman payload
+/// emitted directly into its final slot, and whole 64 KiB regions are
+/// handed to the LZSS pass on a dev::Stream as soon as their bytes are
+/// final — the stages overlap instead of running back to back over full
+/// arrays. Bytes are identical to
+/// bitcomp_wrap_archive(cuszi_compress(data, ...)) with the same `mode`.
+[[nodiscard]] std::vector<std::byte> cuszi_compress_bitcomp(
+    std::span<const float> data, const dev::Dim3& dims,
+    const CompressParams& params, StageTimings* timings, dev::Workspace& ws,
+    lossless::LzssMode mode = lossless::LzssMode::Lazy);
+[[nodiscard]] std::vector<std::byte> cuszi_compress_bitcomp(
+    std::span<const double> data, const dev::Dim3& dims,
+    const CompressParams& params, StageTimings* timings, dev::Workspace& ws,
+    lossless::LzssMode mode = lossless::LzssMode::Lazy);
+
 /// One field of a batched compression call (borrowed storage; the caller
 /// keeps `data` alive for the duration of cuszi_compress_many).
 struct FieldView {
@@ -77,5 +109,24 @@ enum class Precision : std::uint8_t { F32 = 0, F64 = 1 };
     std::span<const std::byte> bytes);
 [[nodiscard]] std::vector<double> cuszi_decompress_f64(
     std::span<const std::byte> bytes);
+
+/// Workspace forms: every decode intermediate (quant codes, anchors,
+/// outlier arrays, scatter buffer) is drawn from `ws` instead of freshly
+/// allocated. Output is bit-identical to the plain overloads'.
+[[nodiscard]] std::vector<float> cuszi_decompress_f32(
+    std::span<const std::byte> bytes, dev::Workspace& ws);
+[[nodiscard]] std::vector<double> cuszi_decompress_f64(
+    std::span<const std::byte> bytes, dev::Workspace& ws);
+
+/// Pipelined decompress of a bitcomp-wrapped ('BBCP') cuSZ-i archive: LZSS
+/// blocks decode on a dev::Stream while the host thread parses the inner
+/// archive and Huffman-decodes chunk groups as their payload bytes land.
+/// Output is bit-identical to
+/// cuszi_decompress_*(bitcomp_unwrap_archive(bytes)); malformed input
+/// throws core::CorruptArchive exactly like the unfused path.
+[[nodiscard]] std::vector<float> cuszi_decompress_bitcomp_f32(
+    std::span<const std::byte> bytes, dev::Workspace& ws);
+[[nodiscard]] std::vector<double> cuszi_decompress_bitcomp_f64(
+    std::span<const std::byte> bytes, dev::Workspace& ws);
 
 }  // namespace szi

@@ -8,38 +8,17 @@
 namespace szi::huffman {
 
 namespace {
-/// Minimum elements one worker is worth spinning up for.
-constexpr std::size_t kMinPerWorker = 1 << 16;
-
-/// Interleaved sub-histograms per worker. G-Interp's codes are extremely
-/// concentrated (>90% hit one bin), so a single private histogram serializes
-/// on the store-to-load dependency of incrementing the same counter over and
-/// over; striping consecutive elements across 4 independent counter banks
-/// lets those increments overlap. The banks are folded in the merge.
-constexpr std::size_t kInterleave = 4;
+/// Alias for the shared bank count (layout documented in histogram.hh).
+constexpr std::size_t kInterleave = kHistogramBanks;
 
 /// Fixed worker -> element-range partition: contiguous ranges of
 /// ceil(n / nworkers) elements. The totals are order-independent (uint32
 /// addition commutes), and the serial worker-order merge keeps the result
 /// bit-identical for every worker count anyway.
 std::size_t partition(std::size_t n, std::size_t& per) {
-  const std::size_t maxw =
-      std::max<std::size_t>(1, dev::ThreadPool::instance().worker_count());
-  const std::size_t nw =
-      std::clamp<std::size_t>(dev::ceil_div(n, kMinPerWorker), 1, maxw);
+  const std::size_t nw = histogram_workers(n);
   per = dev::ceil_div(n, nw);
   return nw;
-}
-
-/// Merge the flat per-worker partials serially, in worker order.
-std::vector<std::uint32_t> merge(std::span<const std::uint32_t> parts,
-                                 std::size_t nparts, std::size_t nbins) {
-  std::vector<std::uint32_t> total(nbins, 0);
-  for (std::size_t c = 0; c < nparts; ++c) {
-    const std::uint32_t* p = parts.data() + c * nbins;
-    for (std::size_t b = 0; b < nbins; ++b) total[b] += p[b];
-  }
-  return total;
 }
 }  // namespace
 
@@ -53,23 +32,12 @@ std::vector<std::uint32_t> histogram(std::span<const quant::Code> codes,
       [&](std::size_t w) {
         std::uint32_t* h = parts.data() + w * kInterleave * nbins;
         std::fill_n(h, kInterleave * nbins, 0u);
-        std::uint32_t* h0 = h;
-        std::uint32_t* h1 = h + nbins;
-        std::uint32_t* h2 = h + 2 * nbins;
-        std::uint32_t* h3 = h + 3 * nbins;
         const std::size_t begin = w * per;
         const std::size_t end = std::min(begin + per, codes.size());
-        std::size_t i = begin;
-        for (; i + 4 <= end; i += 4) {
-          ++h0[codes[i]];
-          ++h1[codes[i + 1]];
-          ++h2[codes[i + 2]];
-          ++h3[codes[i + 3]];
-        }
-        for (; i < end; ++i) ++h0[codes[i]];
+        accumulate_banked(codes.data() + begin, end - begin, h, nbins);
       },
       1);
-  return merge(parts, nworkers * kInterleave, nbins);
+  return merge_histograms(parts, nworkers * kInterleave, nbins);
 }
 
 std::vector<std::uint32_t> histogram(std::span<const quant::Code> codes,
@@ -122,7 +90,7 @@ std::vector<std::uint32_t> histogram_topk(std::span<const quant::Code> codes,
           for (std::size_t j = 0; j < hot_n; ++j) h[lo + j] += hot[s][j];
       },
       1);
-  return merge(parts, nworkers, nbins);
+  return merge_histograms(parts, nworkers, nbins);
 }
 
 std::vector<std::uint32_t> histogram_topk(std::span<const quant::Code> codes,

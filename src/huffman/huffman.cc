@@ -1,5 +1,6 @@
 #include "huffman/huffman.hh"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 
@@ -82,10 +83,9 @@ std::span<const std::byte> encode(std::span<const quant::Code> codes,
   return encode_with_book(codes, Codebook::build(hist), chunk_size, ws);
 }
 
-std::span<const std::byte> encode_with_book(std::span<const quant::Code> codes,
-                                            const Codebook& book,
-                                            std::size_t chunk_size,
-                                            dev::Workspace& ws) {
+EncodePlan encode_plan(std::span<const quant::Code> codes,
+                       const Codebook& book, std::size_t chunk_size,
+                       dev::Workspace& ws) {
   if (chunk_size == 0) throw std::invalid_argument("huffman: chunk_size == 0");
   const std::size_t nbins = book.nbins();
   const std::size_t n = codes.size();
@@ -104,46 +104,118 @@ std::span<const std::byte> encode_with_book(std::span<const quant::Code> codes,
       },
       1);
   auto offsets = ws.make<std::uint64_t>(nchunks);
-  const std::uint64_t payload_bytes =
-      dev::exclusive_scan<std::uint64_t>(chunk_bytes, offsets);
 
-  // Header, written directly into one workspace block.
-  const std::size_t header_bytes = sizeof(std::uint32_t) + nbins +
-                                   sizeof(std::uint64_t) +
-                                   sizeof(std::uint32_t) +
-                                   sizeof(std::uint64_t) +
-                                   nchunks * sizeof(std::uint64_t);
-  auto out = ws.make<std::byte>(header_bytes + payload_bytes);
-  std::byte* p = out.data();
+  EncodePlan plan;
+  plan.n = n;
+  plan.chunk_size = chunk_size;
+  plan.nchunks = nchunks;
+  plan.payload_bytes = dev::exclusive_scan<std::uint64_t>(chunk_bytes, offsets);
+  plan.header_bytes = sizeof(std::uint32_t) + nbins + sizeof(std::uint64_t) +
+                      sizeof(std::uint32_t) + sizeof(std::uint64_t) +
+                      nchunks * sizeof(std::uint64_t);
+  plan.offsets = offsets;
+  return plan;
+}
+
+void write_stream_header(const EncodePlan& plan, const Codebook& book,
+                         std::span<std::byte> dst) {
+  const std::size_t nbins = book.nbins();
+  if (dst.size() < plan.header_bytes)
+    throw std::invalid_argument("huffman: header destination too small");
+  std::byte* p = dst.data();
   p = write_pod(p, static_cast<std::uint32_t>(nbins));
   std::memcpy(p, book.lengths.data(), nbins);
   p += nbins;
-  p = write_pod(p, static_cast<std::uint64_t>(n));
-  p = write_pod(p, static_cast<std::uint32_t>(chunk_size));
-  p = write_pod(p, payload_bytes);
-  if (nchunks > 0)
-    std::memcpy(p, offsets.data(), nchunks * sizeof(std::uint64_t));
+  p = write_pod(p, static_cast<std::uint64_t>(plan.n));
+  p = write_pod(p, static_cast<std::uint32_t>(plan.chunk_size));
+  p = write_pod(p, plan.payload_bytes);
+  if (plan.nchunks > 0)
+    std::memcpy(p, plan.offsets.data(),
+                plan.nchunks * sizeof(std::uint64_t));
+}
 
+void encode_chunks(std::span<const quant::Code> codes, const Codebook& book,
+                   const EncodePlan& plan, std::size_t chunk_begin,
+                   std::size_t chunk_end, std::span<std::byte> payload) {
   // Phase 2: chunk-parallel bitstream emission into disjoint byte ranges.
-  // chunk_bytes[c] is exact, so every payload byte is overwritten — required
-  // because arena blocks carry stale contents from prior invocations.
-  auto* payload =
-      reinterpret_cast<std::uint8_t*>(out.data() + header_bytes);
+  // Each chunk's byte size is exact, so every payload byte in the range is
+  // overwritten — required because arena blocks carry stale contents from
+  // prior invocations.
+  auto* base = reinterpret_cast<std::uint8_t*>(payload.data());
   dev::launch_linear(
-      nchunks,
-      [&](std::size_t c) {
-        const std::size_t begin = c * chunk_size;
-        const std::size_t end = std::min(begin + chunk_size, n);
-        SpanBitWriter bw(payload + offsets[c]);
+      chunk_end - chunk_begin,
+      [&](std::size_t k) {
+        const std::size_t c = chunk_begin + k;
+        const std::size_t begin = c * plan.chunk_size;
+        const std::size_t end = std::min(begin + plan.chunk_size, plan.n);
+        SpanBitWriter bw(base + plan.offsets[c]);
         for (std::size_t i = begin; i < end; ++i)
           bw.put(book.codes[codes[i]], book.lengths[codes[i]]);
         bw.align();
       },
       1);
+}
+
+std::size_t payload_bound(const Codebook& book, std::size_t n,
+                          std::size_t chunk_size) {
+  if (chunk_size == 0) throw std::invalid_argument("huffman: chunk_size == 0");
+  std::size_t maxlen = 0;
+  for (const auto l : book.lengths) maxlen = std::max<std::size_t>(maxlen, l);
+  // Each chunk rounds up to a whole byte, adding at most one byte per chunk
+  // over the n * maxlen / 8 bit total.
+  return (n * maxlen + 7) / 8 + dev::ceil_div(n, chunk_size);
+}
+
+EncodePlan encode_emit_serial(std::span<const quant::Code> codes,
+                              const Codebook& book, std::size_t chunk_size,
+                              std::span<std::byte> payload,
+                              dev::Workspace& ws) {
+  if (chunk_size == 0) throw std::invalid_argument("huffman: chunk_size == 0");
+  const std::size_t n = codes.size();
+  const std::size_t nchunks = dev::ceil_div(n, chunk_size);
+  if (payload.size() < payload_bound(book, n, chunk_size))
+    throw std::invalid_argument("huffman: serial payload destination too small");
+  auto offsets = ws.make<std::uint64_t>(nchunks);
+  auto* base = reinterpret_cast<std::uint8_t*>(payload.data());
+
+  std::uint64_t off = 0;
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    offsets[c] = off;
+    const std::size_t begin = c * chunk_size;
+    const std::size_t end = std::min(begin + chunk_size, n);
+    SpanBitWriter bw(base + off);
+    std::uint64_t bits = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      bw.put(book.codes[codes[i]], book.lengths[codes[i]]);
+      bits += book.lengths[codes[i]];
+    }
+    bw.align();
+    off += (bits + 7) / 8;
+  }
+
+  EncodePlan plan;
+  plan.n = n;
+  plan.chunk_size = chunk_size;
+  plan.nchunks = nchunks;
+  plan.payload_bytes = off;
+  plan.header_bytes = overhead_bytes(book.nbins(), n, chunk_size);
+  plan.offsets = offsets;
+  return plan;
+}
+
+std::span<const std::byte> encode_with_book(std::span<const quant::Code> codes,
+                                            const Codebook& book,
+                                            std::size_t chunk_size,
+                                            dev::Workspace& ws) {
+  const EncodePlan plan = encode_plan(codes, book, chunk_size, ws);
+  auto out = ws.make<std::byte>(plan.stream_bytes());
+  write_stream_header(plan, book, out);
+  encode_chunks(codes, book, plan, 0, plan.nchunks,
+                out.subspan(plan.header_bytes));
   return out;
 }
 
-std::vector<quant::Code> decode(std::span<const std::byte> bytes) {
+DecodePlan decode_plan(std::span<const std::byte> bytes, dev::Workspace& ws) {
   core::ByteReader rd(bytes, "huffman");
   const auto nbins = rd.read<std::uint32_t>();
   auto lengths = rd.read_array<std::uint8_t>(nbins);
@@ -158,7 +230,11 @@ std::vector<quant::Code> decode(std::span<const std::byte> bytes) {
                                sizeof(quant::Code));
   const std::size_t n = static_cast<std::size_t>(n64);
   const std::size_t nchunks = static_cast<std::size_t>(nchunks64);
-  const auto offsets = rd.read_array<std::uint64_t>(nchunks);
+  auto offsets = ws.make<std::uint64_t>(nchunks);
+  if (nchunks > 0)
+    std::memcpy(offsets.data(),
+                rd.read_bytes(nchunks * sizeof(std::uint64_t)).data(),
+                nchunks * sizeof(std::uint64_t));
   if (rd.remaining() < payload_bytes) rd.fail("truncated payload");
   // Validate the chunk table before any pointer arithmetic: offsets must
   // start at zero, stay monotone, and land inside the payload, or a corrupt
@@ -169,32 +245,62 @@ std::vector<quant::Code> decode(std::span<const std::byte> bytes) {
       rd.fail("corrupt chunk offsets");
   }
 
+  DecodePlan plan;
+  plan.n = n;
+  plan.chunk_size = chunk_size;
+  plan.nchunks = nchunks;
+  plan.payload_bytes = payload_bytes;
+  plan.offsets = offsets;
+  plan.payload = rd.rest().first(static_cast<std::size_t>(payload_bytes));
   // from_lengths rejects over-long or Kraft-violating length tables.
-  const Codebook book = Codebook::from_lengths(std::move(lengths));
-  const FastDecodeTable table = FastDecodeTable::from(book);
-  const auto* payload = reinterpret_cast<const std::uint8_t*>(rd.rest().data());
+  plan.book = Codebook::from_lengths(std::move(lengths));
+  plan.table = FastDecodeTable::from(plan.book);
+  return plan;
+}
 
-  std::vector<quant::Code> codes(n);
+void decode_chunks(const DecodePlan& plan, std::size_t chunk_begin,
+                   std::size_t chunk_end, std::span<quant::Code> out) {
+  const auto* payload =
+      reinterpret_cast<const std::uint8_t*>(plan.payload.data());
   dev::launch_linear(
-      nchunks,
-      [&](std::size_t c) {
-        const std::size_t begin = c * chunk_size;
-        const std::size_t end = std::min<std::size_t>(begin + chunk_size, n);
+      chunk_end - chunk_begin,
+      [&](std::size_t k) {
+        const std::size_t c = chunk_begin + k;
+        const std::size_t begin = c * plan.chunk_size;
+        const std::size_t end =
+            std::min<std::size_t>(begin + plan.chunk_size, plan.n);
         const std::size_t chunk_end_byte =
-            (c + 1 < nchunks) ? offsets[c + 1] : payload_bytes;
-        const std::size_t chunk_bytes = chunk_end_byte - offsets[c];
-        lossless::BitReader br({payload + offsets[c], chunk_bytes});
-        for (std::size_t i = begin; i < end; ++i) codes[i] = table.decode(br);
+            (c + 1 < plan.nchunks) ? plan.offsets[c + 1] : plan.payload_bytes;
+        const std::size_t chunk_bytes = chunk_end_byte - plan.offsets[c];
+        lossless::BitReader br({payload + plan.offsets[c], chunk_bytes});
+        for (std::size_t i = begin; i < end; ++i)
+          out[i] = plan.table.decode(br);
         // The encoder byte-aligns every chunk, so a valid chunk decodes its
         // element count within its byte span. Consuming more bits means the
         // chunk table lied about this chunk's extent.
         if (br.position() > chunk_bytes * 8)
           throw core::CorruptArchive(
-              "huffman", offsets[c],
+              "huffman", plan.offsets[c],
               "chunk decoded past its extent (chunk " + std::to_string(c) +
                   ")");
       },
       1);
+}
+
+std::vector<quant::Code> decode(std::span<const std::byte> bytes) {
+  dev::Arena local;
+  dev::Workspace ws(local);
+  const DecodePlan plan = decode_plan(bytes, ws);
+  std::vector<quant::Code> codes(plan.n);
+  decode_chunks(plan, 0, plan.nchunks, codes);
+  return codes;
+}
+
+std::span<const quant::Code> decode(std::span<const std::byte> bytes,
+                                    dev::Workspace& ws) {
+  const DecodePlan plan = decode_plan(bytes, ws);
+  auto codes = ws.make<quant::Code>(plan.n);
+  decode_chunks(plan, 0, plan.nchunks, codes);
   return codes;
 }
 

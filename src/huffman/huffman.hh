@@ -48,6 +48,96 @@ inline constexpr std::size_t kDefaultChunk = 4096;
 /// Inverse of encode(). Throws std::runtime_error on malformed headers.
 [[nodiscard]] std::vector<quant::Code> decode(std::span<const std::byte> bytes);
 
+/// Workspace form: decoded codes live in pooled `ws` memory (valid until its
+/// next reset). Identical validation and output as decode().
+[[nodiscard]] std::span<const quant::Code> decode(
+    std::span<const std::byte> bytes, dev::Workspace& ws);
+
+// ---- Phase-split API ----------------------------------------------------
+//
+// The fused stage pipeline interleaves Huffman encode with the downstream
+// LZSS pass (and LZSS decode with Huffman decode on the way back), so the
+// two phases of the chunk-parallel codec are exposed separately: plan
+// (per-chunk sizes -> offsets, total stream size known up front) and
+// emit/decode over any chunk subrange. encode()/decode() are thin
+// compositions of these, so the split is byte-identical by construction.
+
+/// Phase-1 result: everything needed to size and emit the stream.
+struct EncodePlan {
+  std::size_t n = 0;            ///< symbol count
+  std::size_t chunk_size = 0;   ///< symbols per chunk
+  std::size_t nchunks = 0;
+  std::uint64_t payload_bytes = 0;
+  std::size_t header_bytes = 0;
+  std::span<const std::uint64_t> offsets;  ///< ws-owned, one per chunk
+
+  [[nodiscard]] std::size_t stream_bytes() const {
+    return header_bytes + static_cast<std::size_t>(payload_bytes);
+  }
+};
+
+/// Computes per-chunk byte sizes (parallel) and their exclusive scan.
+[[nodiscard]] EncodePlan encode_plan(std::span<const quant::Code> codes,
+                                     const Codebook& book,
+                                     std::size_t chunk_size, dev::Workspace& ws);
+
+/// Writes the stream header (plan.header_bytes bytes) into dst.
+void write_stream_header(const EncodePlan& plan, const Codebook& book,
+                         std::span<std::byte> dst);
+
+/// Emits chunks [chunk_begin, chunk_end) into `payload` (the full
+/// plan.payload_bytes span; offsets are absolute). Chunk ranges are
+/// disjoint byte ranges, so distinct ranges may run concurrently.
+void encode_chunks(std::span<const quant::Code> codes, const Codebook& book,
+                   const EncodePlan& plan, std::size_t chunk_begin,
+                   std::size_t chunk_end, std::span<std::byte> payload);
+
+/// Upper bound on the payload bytes any code sequence of length n can emit
+/// under `book` — for sizing a destination before encode_emit_serial has
+/// measured the chunks.
+[[nodiscard]] std::size_t payload_bound(const Codebook& book, std::size_t n,
+                                        std::size_t chunk_size);
+
+/// Fused plan+emit for the serial pipeline: one pass over the codes that
+/// emits each chunk's bitstream at the running offset and records the
+/// offset table as a byproduct, instead of a sizing pass followed by an
+/// emission pass. `payload` must hold at least payload_bound() bytes.
+/// Returns a plan equal to encode_plan's and leaves the payload bytes
+/// identical to encode_chunks over that plan: chunk contents depend only on
+/// the codes and the book, and each offset is the exact sum of the
+/// preceding chunk sizes either way.
+[[nodiscard]] EncodePlan encode_emit_serial(std::span<const quant::Code> codes,
+                                            const Codebook& book,
+                                            std::size_t chunk_size,
+                                            std::span<std::byte> payload,
+                                            dev::Workspace& ws);
+
+/// A validated decode-side plan: header parsed, chunk offset table copied
+/// into `ws` memory and bounds-checked, codebook/table rebuilt. `payload`
+/// views the input bytes; chunks can then decode independently — and, key
+/// for the pipelined decompressor, chunk c only needs payload bytes
+/// [offsets[c], offsets[c+1]) to be present.
+struct DecodePlan {
+  std::size_t n = 0;
+  std::size_t chunk_size = 0;
+  std::size_t nchunks = 0;
+  std::uint64_t payload_bytes = 0;
+  std::span<const std::uint64_t> offsets;  ///< ws-owned
+  std::span<const std::byte> payload;      ///< view into the input stream
+  Codebook book;
+  FastDecodeTable table;
+};
+
+/// Parses and validates the stream header. Throws core::CorruptArchive on
+/// malformed input.
+[[nodiscard]] DecodePlan decode_plan(std::span<const std::byte> bytes,
+                                     dev::Workspace& ws);
+
+/// Decodes chunks [chunk_begin, chunk_end) into `out` (the full n-element
+/// span; chunk c writes symbols [c*chunk_size, min((c+1)*chunk_size, n))).
+void decode_chunks(const DecodePlan& plan, std::size_t chunk_begin,
+                   std::size_t chunk_end, std::span<quant::Code> out);
+
 /// Size (bytes) the stream header+offsets add on top of the entropy payload,
 /// for the bit-rate accounting in the benches.
 [[nodiscard]] std::size_t overhead_bytes(std::size_t nbins,

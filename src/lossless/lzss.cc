@@ -55,12 +55,8 @@ std::uint32_t hash4(const std::uint8_t* p) {
   return (v * 2654435761u) >> (32 - kHashBits);
 }
 
-/// The longest single token: 1 control byte + 2 distance bytes + the length
-/// byte chain for a full 64 KiB match (~258 bytes). Block slices are sized
-/// `len + kTokenSlack` so the encoder can bail out between tokens (once the
-/// output reaches `len` the block is raw regardless) without ever writing
-/// past its slice.
-constexpr std::size_t kTokenSlack = 320;
+/// Internal aliases of the public block-API constants (lzss.hh).
+constexpr std::size_t kTokenSlack = kLzssTokenSlack;
 
 /// Sentinel return of compress_block_into: the block is incompressible.
 constexpr std::size_t kStoreRaw = ~std::size_t{0};
@@ -262,6 +258,66 @@ void decompress_block(const std::uint8_t* src, std::size_t n,
 
 }  // namespace
 
+std::uint64_t lzss_compress_block(std::span<const std::byte> block,
+                                  std::span<std::byte> out, dev::Arena& arena,
+                                  LzssMode mode) {
+  if (out.size() < block.size() + kTokenSlack)
+    throw std::invalid_argument("lzss_compress_block: output slice too small");
+  dev::PooledBuffer prev(arena, block.size() * sizeof(std::int32_t));
+  const std::size_t sz = compress_block_into(
+      reinterpret_cast<const std::uint8_t*>(block.data()), block.size(),
+      reinterpret_cast<std::uint8_t*>(out.data()),
+      prev.as<std::int32_t>(block.size()).data(), mode);
+  return sz == kStoreRaw ? kLzssStoreRaw : static_cast<std::uint64_t>(sz);
+}
+
+std::size_t lzss_stream_size(std::size_t raw_size, std::size_t block_size,
+                             std::span<const std::uint64_t> enc_size) {
+  std::size_t total = sizeof(std::uint64_t) + 2 * sizeof(std::uint32_t) +
+                      enc_size.size() * sizeof(std::uint64_t);
+  for (std::size_t b = 0; b < enc_size.size(); ++b) {
+    const std::size_t begin = b * block_size;
+    const std::size_t len = std::min(block_size, raw_size - begin);
+    const bool raw = enc_size[b] == kLzssStoreRaw;
+    total += 1 + (raw ? len : static_cast<std::size_t>(enc_size[b]));
+  }
+  return total;
+}
+
+void lzss_assemble(std::span<const std::byte> raw, std::size_t block_size,
+                   std::span<const std::byte> slices, std::size_t stride,
+                   std::span<const std::uint64_t> enc_size,
+                   std::span<std::byte> dst) {
+  const std::size_t n = raw.size();
+  const std::size_t nblocks = enc_size.size();
+  std::byte* p = dst.data();
+  const auto put = [&p](const auto& v) {
+    std::memcpy(p, &v, sizeof(v));
+    p += sizeof(v);
+  };
+  put(static_cast<std::uint64_t>(n));
+  put(static_cast<std::uint32_t>(block_size));
+  put(static_cast<std::uint32_t>(nblocks));
+  // dst can sit at any byte offset inside a wrapped archive, so the offset
+  // table is written via memcpy rather than through a uint64_t*.
+  std::byte* offsets = p;
+  p += nblocks * sizeof(std::uint64_t);
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    const std::size_t begin = b * block_size;
+    const std::size_t len = std::min(block_size, n - begin);
+    const bool store_raw = enc_size[b] == kLzssStoreRaw;
+    const auto off = static_cast<std::uint64_t>(p - dst.data());
+    std::memcpy(offsets + b * sizeof(std::uint64_t), &off, sizeof(off));
+    *p++ = static_cast<std::byte>(store_raw ? 0 : 1);
+    const std::size_t payload =
+        store_raw ? len : static_cast<std::size_t>(enc_size[b]);
+    std::memcpy(p,
+                store_raw ? raw.data() + begin : slices.data() + b * stride,
+                payload);
+    p += payload;
+  }
+}
+
 std::vector<std::byte> lzss_compress(std::span<const std::byte> data,
                                      std::size_t block_size, LzssMode mode) {
   dev::Arena local;
@@ -276,7 +332,6 @@ std::span<const std::byte> lzss_compress(std::span<const std::byte> data,
   if (block_size == 0) throw std::invalid_argument("lzss: block_size == 0");
   const std::size_t n = data.size();
   const std::size_t nblocks = n == 0 ? 0 : dev::ceil_div(n, block_size);
-  const auto* src = reinterpret_cast<const std::uint8_t*>(data.data());
 
   // Compress blocks in parallel into per-block slices (block_size +
   // kTokenSlack apart, so the in-slice encoder can overrun the raw-fallback
@@ -284,57 +339,28 @@ std::span<const std::byte> lzss_compress(std::span<const std::byte> data,
   // pooled (and deliberately never initialized); the head table is a
   // per-worker epoch-stamped thread_local inside compress_block_into.
   const std::size_t stride = block_size + kTokenSlack;
-  auto slices = ws.make<std::uint8_t>(nblocks * stride);
+  auto slices = ws.make<std::byte>(nblocks * stride);
   auto enc_size = ws.make<std::uint64_t>(nblocks);
   dev::launch_linear(
       nblocks,
       [&](std::size_t b) {
         const std::size_t begin = b * block_size;
         const std::size_t len = std::min(block_size, n - begin);
-        dev::PooledBuffer prev(ws.arena(), len * sizeof(std::int32_t));
-        const std::size_t sz = compress_block_into(
-            src + begin, len, slices.data() + b * stride,
-            prev.as<std::int32_t>(len).data(), mode);
-        enc_size[b] = sz == kStoreRaw ? ~std::uint64_t{0} : sz;
+        enc_size[b] =
+            lzss_compress_block(data.subspan(begin, len),
+                                std::span<std::byte>(slices.data() + b * stride,
+                                                     stride),
+                                ws.arena(), mode);
       },
       1);
 
-  std::size_t total = sizeof(std::uint64_t) + 2 * sizeof(std::uint32_t) +
-                      nblocks * sizeof(std::uint64_t);
-  for (std::size_t b = 0; b < nblocks; ++b) {
-    const std::size_t begin = b * block_size;
-    const std::size_t len = std::min(block_size, n - begin);
-    const bool raw = enc_size[b] == ~std::uint64_t{0};
-    total += 1 + (raw ? len : static_cast<std::size_t>(enc_size[b]));
-  }
-
-  auto out = ws.make<std::byte>(total);
-  std::byte* p = out.data();
-  const auto put = [&p](const auto& v) {
-    std::memcpy(p, &v, sizeof(v));
-    p += sizeof(v);
-  };
-  put(static_cast<std::uint64_t>(n));
-  put(static_cast<std::uint32_t>(block_size));
-  put(static_cast<std::uint32_t>(nblocks));
-  auto* offsets = reinterpret_cast<std::uint64_t*>(p);
-  p += nblocks * sizeof(std::uint64_t);
-  for (std::size_t b = 0; b < nblocks; ++b) {
-    const std::size_t begin = b * block_size;
-    const std::size_t len = std::min(block_size, n - begin);
-    const bool raw = enc_size[b] == ~std::uint64_t{0};
-    offsets[b] = static_cast<std::uint64_t>(p - out.data());
-    *p++ = static_cast<std::byte>(raw ? 0 : 1);
-    const std::size_t payload = raw ? len : static_cast<std::size_t>(enc_size[b]);
-    std::memcpy(p, raw ? reinterpret_cast<const std::uint8_t*>(src + begin)
-                       : slices.data() + b * stride,
-                payload);
-    p += payload;
-  }
+  auto out = ws.make<std::byte>(lzss_stream_size(n, block_size, enc_size));
+  lzss_assemble(data, block_size, slices, stride, enc_size, out);
   return out;
 }
 
-std::vector<std::byte> lzss_decompress(std::span<const std::byte> data) {
+LzssFrame lzss_parse_frame(std::span<const std::byte> data,
+                           dev::Workspace& ws) {
   core::ByteReader rd(data, "lzss");
   const auto raw_size64 = rd.read<std::uint64_t>();
   const auto block_size = rd.read<std::uint32_t>();
@@ -351,7 +377,9 @@ std::vector<std::byte> lzss_decompress(std::span<const std::byte> data) {
                             (raw_size64 % block_size != 0 ? 1 : 0);
   if (nblocks != expect_blocks) rd.fail("inconsistent block count");
   const std::size_t header_end = rd.offset() + nblocks * sizeof(std::uint64_t);
-  const auto offsets = rd.read_array<std::uint64_t>(nblocks);
+  auto offsets = ws.make<std::uint64_t>(nblocks);
+  std::memcpy(offsets.data(), rd.read_bytes(nblocks * sizeof(std::uint64_t)).data(),
+              nblocks * sizeof(std::uint64_t));
   for (std::size_t b = 0; b < nblocks; ++b) {
     // Each block begins with a mode byte after the offset table and blocks
     // are laid out in order, so offsets must be strictly increasing views
@@ -360,27 +388,50 @@ std::vector<std::byte> lzss_decompress(std::span<const std::byte> data) {
         (b > 0 && offsets[b] <= offsets[b - 1]))
       rd.fail("corrupt block offsets");
   }
+  LzssFrame f;
+  f.raw_size = raw_size;
+  f.block_size = block_size;
+  f.nblocks = nblocks;
+  f.offsets = offsets;
+  f.stream = data;
+  return f;
+}
 
-  std::vector<std::byte> out(raw_size);
-  auto* dst = reinterpret_cast<std::uint8_t*>(out.data());
-  const auto* src = reinterpret_cast<const std::uint8_t*>(data.data());
+void lzss_decompress_block(const LzssFrame& frame, std::size_t b,
+                           std::span<std::byte> raw_out) {
+  const std::size_t begin = b * frame.block_size;
+  const std::size_t len =
+      std::min<std::size_t>(frame.block_size, frame.raw_size - begin);
+  if (b >= frame.nblocks || raw_out.size() != len)
+    throw std::invalid_argument("lzss_decompress_block: bad block/extent");
+  const auto* src = reinterpret_cast<const std::uint8_t*>(frame.stream.data());
+  std::size_t off = frame.offsets[b];
+  const std::uint8_t mode = src[off++];
+  const std::size_t end =
+      (b + 1 < frame.nblocks) ? frame.offsets[b + 1] : frame.stream.size();
+  auto* dst = reinterpret_cast<std::uint8_t*>(raw_out.data());
+  if (mode == 0) {
+    if (end - off < len)
+      throw core::CorruptArchive("lzss", off, "truncated raw block");
+    std::memcpy(dst, src + off, len);
+  } else {
+    decompress_block(src + off, end - off, dst, len, b);
+  }
+}
+
+std::vector<std::byte> lzss_decompress(std::span<const std::byte> data) {
+  dev::Arena local;
+  dev::Workspace ws(local);
+  const LzssFrame frame = lzss_parse_frame(data, ws);
+  std::vector<std::byte> out(frame.raw_size);
   dev::launch_linear(
-      nblocks,
+      frame.nblocks,
       [&](std::size_t b) {
-        const std::size_t begin = b * block_size;
+        const std::size_t begin = b * frame.block_size;
         const std::size_t len =
-            std::min<std::size_t>(block_size, raw_size - begin);
-        std::size_t off = offsets[b];
-        const std::uint8_t mode = src[off++];
-        const std::size_t end =
-            (b + 1 < nblocks) ? offsets[b + 1] : data.size();
-        if (mode == 0) {
-          if (end - off < len)
-            throw core::CorruptArchive("lzss", off, "truncated raw block");
-          std::memcpy(dst + begin, src + off, len);
-        } else {
-          decompress_block(src + off, end - off, dst + begin, len, b);
-        }
+            std::min<std::size_t>(frame.block_size, frame.raw_size - begin);
+        lzss_decompress_block(frame, b,
+                              std::span<std::byte>(out.data() + begin, len));
       },
       1);
   return out;

@@ -29,6 +29,16 @@ namespace szi::lossless {
 inline constexpr std::size_t kLzssBlock = 64 * 1024;
 inline constexpr std::size_t kMinMatch = 4;
 
+/// The longest single token: 1 control byte + 2 distance bytes + the length
+/// byte chain for a full 64 KiB match. Per-block output slices are sized
+/// `block_len + kLzssTokenSlack` so the encoder can bail out between tokens
+/// (once output reaches block_len the block is stored raw regardless)
+/// without ever writing past its slice.
+inline constexpr std::size_t kLzssTokenSlack = 320;
+
+/// Sentinel encoded-size of an incompressible block (stored raw, mode 0).
+inline constexpr std::uint64_t kLzssStoreRaw = ~std::uint64_t{0};
+
 /// Match-finder strategy. Both emit the same token format (the decoder does
 /// not distinguish them); they differ only in which matches get chosen.
 ///  - Greedy: always commit the longest match at the current position.
@@ -55,5 +65,60 @@ enum class LzssMode { Greedy, Lazy };
 /// Throws std::runtime_error on malformed streams.
 [[nodiscard]] std::vector<std::byte> lzss_decompress(
     std::span<const std::byte> data);
+
+// ---- Block-granular API -------------------------------------------------
+//
+// The fused stage pipeline compresses/decompresses the stream in block
+// groups as upstream stages produce (or downstream stages consume) bytes,
+// instead of materializing the whole input first. These pieces expose
+// exactly the units lzss_compress/lzss_decompress are built from, so the
+// pipelined form is byte-identical by construction.
+
+/// Encodes one independent block into `out` (capacity must be at least
+/// block.size() + kLzssTokenSlack). Returns the encoded byte count, or
+/// kLzssStoreRaw when the block is incompressible and must be stored raw
+/// (the caller emits the original bytes with mode 0). The hash-chain
+/// scratch is drawn from `arena` (thread-safe; callers on stream worker
+/// threads pass the shared pool).
+[[nodiscard]] std::uint64_t lzss_compress_block(std::span<const std::byte> block,
+                                               std::span<std::byte> out,
+                                               dev::Arena& arena,
+                                               LzssMode mode = LzssMode::Lazy);
+
+/// Exact byte size of the stream lzss_assemble() will produce for the given
+/// per-block encoded sizes (kLzssStoreRaw entries count as raw length).
+[[nodiscard]] std::size_t lzss_stream_size(
+    std::size_t raw_size, std::size_t block_size,
+    std::span<const std::uint64_t> enc_size);
+
+/// Stitches header + offset table + per-block payloads into `dst` (size
+/// must equal lzss_stream_size(...)). `slices` holds the encoded blocks at
+/// `stride`-byte spacing; raw-fallback payloads are copied from `raw`.
+void lzss_assemble(std::span<const std::byte> raw, std::size_t block_size,
+                   std::span<const std::byte> slices, std::size_t stride,
+                   std::span<const std::uint64_t> enc_size,
+                   std::span<std::byte> dst);
+
+/// A validated view of an LZSS stream: header parsed, the offset table
+/// copied into `ws` memory (archive offsets are unaligned), every offset
+/// bounds-checked. Blocks can then be decoded independently in any order.
+struct LzssFrame {
+  std::size_t raw_size = 0;
+  std::size_t block_size = 0;
+  std::size_t nblocks = 0;
+  std::span<const std::uint64_t> offsets;  ///< ws-owned, one per block
+  std::span<const std::byte> stream;       ///< the full input stream
+};
+
+/// Parses and validates the stream header. Throws core::CorruptArchive on
+/// malformed input; also guards raw_size against absurd allocations.
+[[nodiscard]] LzssFrame lzss_parse_frame(std::span<const std::byte> data,
+                                         dev::Workspace& ws);
+
+/// Decodes block `b` of a parsed frame into `raw_out`, which must be
+/// exactly the block's raw extent (min(block_size, raw_size - b*block_size)
+/// bytes). Throws core::CorruptArchive on corrupt tokens.
+void lzss_decompress_block(const LzssFrame& frame, std::size_t b,
+                           std::span<std::byte> raw_out);
 
 }  // namespace szi::lossless

@@ -1,11 +1,15 @@
 #include "predictor/ginterp.hh"
 
+#include <algorithm>
 #include <array>
 #include <cassert>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "core/bytes.hh"
 #include "device/launch.hh"
+#include "huffman/histogram.hh"
 #include "predictor/anchor.hh"
 #include "predictor/spline.hh"
 
@@ -145,74 +149,99 @@ void tile_pass(TileView<T>& t, int d, std::size_t s,
   }
 }
 
-template <bool kCompress, typename T>
-void run_tiles(std::span<const T> in, std::span<T> out,
-               std::span<quant::Code> codes,
-               std::span<const quant::Code> codes_in, const dev::Dim3& dims,
-               double eb, const InterpConfig& cfg, int radius) {
-  const Geometry geo = geometry_for(dims);
-
-  // Per-level quantizers, indexed by log2(stride).
+/// Per-level quantizers for a field, indexed by log2(stride).
+std::vector<quant::Quantizer> make_level_quantizers(double eb,
+                                                    const InterpConfig& cfg,
+                                                    std::size_t top_stride,
+                                                    int radius) {
   std::vector<quant::Quantizer> level_qz;
-  for (std::size_t s = 1; s <= geo.top_stride; s <<= 1)
+  for (std::size_t s = 1; s <= top_stride; s <<= 1)
     level_qz.emplace_back(level_eb(eb, cfg.alpha, level_of_stride(s)), radius);
+  return level_qz;
+}
+
+/// The complete per-tile interpolation body (load closed region, run every
+/// (stride, dim) pass, write back the owned region on decompression) for
+/// tile `blk`. Shared between the block-parallel launch in run_tiles and the
+/// fused compress path, which iterates tiles inside its own worker loop so
+/// it can prefill and histogram the owned codes while they are cache-hot.
+template <bool kCompress, typename T>
+void run_one_tile(const dev::BlockIdx& blk, std::span<const T> in,
+                  std::span<T> out, std::span<quant::Code> codes,
+                  std::span<const quant::Code> codes_in, const dev::Dim3& dims,
+                  const InterpConfig& cfg, const Geometry& geo,
+                  std::span<const quant::Quantizer> level_qz) {
   auto qz_for = [&](std::size_t s) -> const quant::Quantizer& {
     int l = 0;
     while ((std::size_t{1} << l) < s) ++l;
     return level_qz[static_cast<std::size_t>(l)];
   };
 
-  const dev::Dim3 grid = dev::grid_for(dims, geo.tile);
-  dev::launch_blocks(grid, [&](const dev::BlockIdx& blk) {
-    TileView<T> t;
-    t.origin = {blk.x * geo.tile.x, blk.y * geo.tile.y, blk.z * geo.tile.z};
-    for (int i = 0; i < 3; ++i) {
-      const std::size_t nd = dim_of(dims, i);
-      const std::size_t td = dim_of(geo.tile, i);
-      t.owned[i] = std::min(td, nd - t.origin[i]);
-      t.extent[i] = std::min(td + 1, nd - t.origin[i]);
-    }
-    t.lstride = {1, t.extent[0], t.extent[0] * t.extent[1]};
+  TileView<T> t;
+  t.origin = {blk.x * geo.tile.x, blk.y * geo.tile.y, blk.z * geo.tile.z};
+  for (int i = 0; i < 3; ++i) {
+    const std::size_t nd = dim_of(dims, i);
+    const std::size_t td = dim_of(geo.tile, i);
+    t.owned[i] = std::min(td, nd - t.origin[i]);
+    t.extent[i] = std::min(td + 1, nd - t.origin[i]);
+  }
+  t.lstride = {1, t.extent[0], t.extent[0] * t.extent[1]};
 
-    // Load the closed region. For decompression `in` is a read-only work
-    // buffer holding scattered anchors and outlier originals (writes go to
-    // the separate `out`, so concurrent tiles never race on border planes).
-    const std::span<const T> src = in;
-    for (std::size_t z = 0; z < t.extent[2]; ++z)
-      for (std::size_t y = 0; y < t.extent[1]; ++y) {
+  // Load the closed region. For decompression `in` is a read-only work
+  // buffer holding scattered anchors and outlier originals (writes go to
+  // the separate `out`, so concurrent tiles never race on border planes).
+  const std::span<const T> src = in;
+  for (std::size_t z = 0; z < t.extent[2]; ++z)
+    for (std::size_t y = 0; y < t.extent[1]; ++y) {
+      const std::size_t lrow = y * t.lstride[1] + z * t.lstride[2];
+      const std::size_t grow = dev::linearize(dims, t.origin[0],
+                                              t.origin[1] + y, t.origin[2] + z);
+      for (std::size_t x = 0; x < t.extent[0]; ++x)
+        t.buf[lrow + x] = src[grow + x];
+    }
+
+  // Level-by-level, dimension-by-dimension interpolation.
+  const std::size_t gorigin =
+      dev::linearize(dims, t.origin[0], t.origin[1], t.origin[2]);
+  for (std::size_t s = geo.top_stride; s >= 1; s >>= 1) {
+    std::array<bool, 3> done{false, false, false};
+    const quant::Quantizer& qz = qz_for(s);
+    for (int k = 0; k < 3; ++k) {
+      const int d = cfg.dim_order[k];
+      if (dim_of(dims, d) == 1) continue;
+      tile_pass<kCompress>(t, d, s, done, qz,
+                           cfg.cubic[static_cast<std::size_t>(d)], dims, codes,
+                           codes_in, gorigin);
+      done[static_cast<std::size_t>(d)] = true;
+    }
+  }
+
+  if constexpr (!kCompress) {
+    // Write back the owned region.
+    for (std::size_t z = 0; z < t.owned[2]; ++z)
+      for (std::size_t y = 0; y < t.owned[1]; ++y) {
         const std::size_t lrow = y * t.lstride[1] + z * t.lstride[2];
         const std::size_t grow = dev::linearize(dims, t.origin[0],
-                                                t.origin[1] + y, t.origin[2] + z);
-        for (std::size_t x = 0; x < t.extent[0]; ++x)
-          t.buf[lrow + x] = src[grow + x];
+                                                t.origin[1] + y,
+                                                t.origin[2] + z);
+        for (std::size_t x = 0; x < t.owned[0]; ++x)
+          out[grow + x] = t.buf[lrow + x];
       }
+  }
+}
 
-    // Level-by-level, dimension-by-dimension interpolation.
-    const std::size_t gorigin =
-        dev::linearize(dims, t.origin[0], t.origin[1], t.origin[2]);
-    for (std::size_t s = geo.top_stride; s >= 1; s >>= 1) {
-      std::array<bool, 3> done{false, false, false};
-      const quant::Quantizer& qz = qz_for(s);
-      for (int k = 0; k < 3; ++k) {
-        const int d = cfg.dim_order[k];
-        if (dim_of(dims, d) == 1) continue;
-        tile_pass<kCompress>(t, d, s, done, qz, cfg.cubic[static_cast<std::size_t>(d)],
-                             dims, codes, codes_in, gorigin);
-        done[static_cast<std::size_t>(d)] = true;
-      }
-    }
-
-    if constexpr (!kCompress) {
-      // Write back the owned region.
-      for (std::size_t z = 0; z < t.owned[2]; ++z)
-        for (std::size_t y = 0; y < t.owned[1]; ++y) {
-          const std::size_t lrow = y * t.lstride[1] + z * t.lstride[2];
-          const std::size_t grow = dev::linearize(
-              dims, t.origin[0], t.origin[1] + y, t.origin[2] + z);
-          for (std::size_t x = 0; x < t.owned[0]; ++x)
-            out[grow + x] = t.buf[lrow + x];
-        }
-    }
+template <bool kCompress, typename T>
+void run_tiles(std::span<const T> in, std::span<T> out,
+               std::span<quant::Code> codes,
+               std::span<const quant::Code> codes_in, const dev::Dim3& dims,
+               double eb, const InterpConfig& cfg, int radius) {
+  const Geometry geo = geometry_for(dims);
+  const auto level_qz =
+      make_level_quantizers(eb, cfg, geo.top_stride, radius);
+  const dev::Dim3 grid = dev::grid_for(dims, geo.tile);
+  dev::launch_blocks(grid, [&](const dev::BlockIdx& blk) {
+    run_one_tile<kCompress, T>(blk, in, out, codes, codes_in, dims, cfg, geo,
+                               level_qz);
   });
 }
 
@@ -268,6 +297,132 @@ GInterpViewT<T> compress_ws_impl(std::span<const T> data,
   return out;
 }
 
+/// The fused predict+histogram pass (the PR-4 stage-fusion pipeline).
+///
+/// Tiles are statically partitioned into contiguous ranges over a fixed
+/// worker count (sized exactly like the standalone histogram kernel, so the
+/// fused pass never spawns more accumulation workers than counting the codes
+/// afterwards would). Each worker, per tile:
+///   1. prefills the tile's owned region with the "perfectly predicted"
+///      code — replacing the standalone full-array prefill launch; safe
+///      because compression never *reads* codes and every global position is
+///      owned by exactly one tile, so the union of owned regions covers the
+///      array exactly once;
+///   2. runs the unchanged tile passes (run_one_tile), which overwrite the
+///      owned+targeted positions with real codes;
+///   3. counts the owned region's final codes into its private banked
+///      histogram while the ~4 KiB of codes are still cache-hot;
+///   4. collects the owned region's outliers — (global index, original
+///      value) pairs wherever the final code is the outlier marker — into a
+///      private list, replacing quant::gather_outliers' two standalone
+///      full-array scans over the codes.
+/// Codes are bit-identical to the unfused path (same writes, same values),
+/// and the folded histogram equals huffman::histogram(codes) exactly: both
+/// count every position once and uint32 addition commutes, so neither the
+/// tile-order partition nor the bank assignment is observable in the totals.
+/// The merged outlier lists are sorted by global index before being exposed;
+/// indices are unique (one per position), so the sorted sequence is exactly
+/// the ascending-index order a single left-to-right scan produces, and the
+/// serialized outlier blob is byte-identical to the gather_outliers output
+/// no matter how tiles were partitioned across workers.
+template <typename T>
+GInterpFusedT<T> compress_fused_impl(std::span<const T> data,
+                                     const dev::Dim3& dims, double eb,
+                                     const InterpConfig& cfg, int radius,
+                                     dev::Workspace& ws) {
+  check_compress_args(data, dims, eb);
+
+  const Geometry geo = geometry_for(dims);
+  auto anchors = ws.make<T>(anchor_dims(dims, geo.anchor).volume());
+  gather_anchors_into<T>(data, dims, geo.anchor, anchors);
+
+  auto codes = ws.make<quant::Code>(data.size());
+  const auto perfect = static_cast<quant::Code>(radius);
+  const std::size_t nbins = 2 * static_cast<std::size_t>(radius);
+
+  const auto level_qz = make_level_quantizers(eb, cfg, geo.top_stride, radius);
+  const dev::Dim3 grid = dev::grid_for(dims, geo.tile);
+  const std::size_t ntiles = grid.volume();
+  const std::size_t nworkers =
+      std::min(huffman::histogram_workers(data.size()), std::max<std::size_t>(ntiles, 1));
+  const std::size_t tiles_per = dev::ceil_div(ntiles, nworkers);
+
+  auto parts =
+      ws.make<std::uint32_t>(nworkers * huffman::kHistogramBanks * nbins);
+  struct Outlier {
+    std::uint64_t index;
+    T value;
+  };
+  std::vector<std::vector<Outlier>> worker_outliers(nworkers);
+  dev::launch_linear(
+      nworkers,
+      [&](std::size_t w) {
+        std::uint32_t* h =
+            parts.data() + w * huffman::kHistogramBanks * nbins;
+        std::fill_n(h, huffman::kHistogramBanks * nbins, 0u);
+        auto& outl = worker_outliers[w];
+        const std::size_t tb = w * tiles_per;
+        const std::size_t te = std::min(tb + tiles_per, ntiles);
+        for (std::size_t ti = tb; ti < te; ++ti) {
+          const dev::Coord3 c = dev::delinearize(grid, ti);
+          const dev::BlockIdx blk{c.x, c.y, c.z, ti};
+          // Owned (half-open) region of this tile.
+          std::size_t origin[3], owned[3];
+          for (int i = 0; i < 3; ++i) {
+            const std::size_t o =
+                (i == 0 ? blk.x : i == 1 ? blk.y : blk.z) * dim_of(geo.tile, i);
+            origin[i] = o;
+            owned[i] = std::min(dim_of(geo.tile, i), dim_of(dims, i) - o);
+          }
+          for (std::size_t z = 0; z < owned[2]; ++z)
+            for (std::size_t y = 0; y < owned[1]; ++y) {
+              const std::size_t row = dev::linearize(
+                  dims, origin[0], origin[1] + y, origin[2] + z);
+              std::fill_n(codes.data() + row, owned[0], perfect);
+            }
+          run_one_tile<true, T>(blk, data, {}, codes, {}, dims, cfg, geo,
+                                level_qz);
+          for (std::size_t z = 0; z < owned[2]; ++z)
+            for (std::size_t y = 0; y < owned[1]; ++y) {
+              const std::size_t row = dev::linearize(
+                  dims, origin[0], origin[1] + y, origin[2] + z);
+              huffman::accumulate_banked(codes.data() + row, owned[0], h,
+                                         nbins);
+              for (std::size_t x = 0; x < owned[0]; ++x)
+                if (codes[row + x] == quant::kOutlierMarker)
+                  outl.push_back({row + x, data[row + x]});
+            }
+        }
+      },
+      1);
+
+  std::size_t total = 0;
+  for (const auto& v : worker_outliers) total += v.size();
+  auto merged = ws.make<Outlier>(total);
+  std::size_t pos = 0;
+  for (const auto& v : worker_outliers) {
+    std::copy(v.begin(), v.end(), merged.begin() + pos);
+    pos += v.size();
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const Outlier& a, const Outlier& b) { return a.index < b.index; });
+  auto oindices = ws.make<std::uint64_t>(total);
+  auto ovalues = ws.make<T>(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    oindices[i] = merged[i].index;
+    ovalues[i] = merged[i].value;
+  }
+
+  GInterpFusedT<T> out;
+  out.pred.codes = codes;
+  out.pred.anchors = anchors;
+  out.pred.outliers = {oindices, ovalues};
+  out.histogram =
+      huffman::merge_histograms(parts, nworkers * huffman::kHistogramBanks,
+                                nbins);
+  return out;
+}
+
 template <typename T>
 std::vector<T> decompress_impl(std::span<const quant::Code> codes,
                                std::span<const T> anchors,
@@ -290,6 +445,45 @@ std::vector<T> decompress_impl(std::span<const quant::Code> codes,
   std::vector<T> out(dims.volume(), T{0});
   run_tiles<false, T>(work, out, {}, codes, dims, eb, cfg, radius);
   return out;
+}
+
+/// Workspace-threaded decompression: the scatter/work buffer is pooled, the
+/// outliers arrive as borrowed views (spans into the caller's decode scratch)
+/// and the reconstruction lands in the caller's `out` span. Same validation
+/// and same arithmetic as decompress_impl — outputs are bit-identical.
+template <typename T>
+void decompress_into_impl(std::span<const quant::Code> codes,
+                          std::span<const T> anchors,
+                          const quant::OutlierViewT<T>& outliers,
+                          const dev::Dim3& dims, double eb,
+                          const InterpConfig& cfg, int radius,
+                          std::span<T> out, dev::Workspace& ws) {
+  if (codes.size() != dims.volume() || out.size() != dims.volume())
+    throw std::invalid_argument("ginterp_decompress: size/dims mismatch");
+
+  const Geometry geo = geometry_for(dims);
+  // Anchor count and outlier indices come from the archive; both index into
+  // the work buffer, so they must be validated before any scatter.
+  if (anchors.size() != anchor_dims(dims, geo.anchor).volume())
+    throw core::CorruptArchive("ginterp", 0, "anchor count mismatch");
+  if (outliers.values.size() != outliers.indices.size())
+    throw core::CorruptArchive("ginterp", 0, "outlier index/value mismatch");
+  for (const auto idx : outliers.indices)
+    if (idx >= dims.volume())
+      throw core::CorruptArchive("ginterp", 0, "outlier index out of range");
+
+  // Arena blocks carry stale contents; the work buffer must be explicitly
+  // zeroed — untargeted marker codes read it back verbatim.
+  auto work = ws.make<T>(dims.volume());
+  dev::launch_linear(
+      work.size(), [&](std::size_t i) { work[i] = T{0}; }, 1 << 14);
+  scatter_anchors<T>(anchors, work, dims, geo.anchor);
+  for (std::size_t k = 0; k < outliers.indices.size(); ++k)
+    work[outliers.indices[k]] = outliers.values[k];
+
+  // `out` is fully overwritten (every position is in exactly one tile's
+  // owned region), so it may be pooled and unzeroed too.
+  run_tiles<false, T>(work, out, {}, codes, dims, eb, cfg, radius);
 }
 
 }  // namespace
@@ -318,6 +512,40 @@ GInterpViewT<double> ginterp_compress(std::span<const double> data,
                                       const InterpConfig& cfg, int radius,
                                       dev::Workspace& ws) {
   return compress_ws_impl<double>(data, dims, eb, cfg, radius, ws);
+}
+
+GInterpFusedT<float> ginterp_compress_fused(std::span<const float> data,
+                                            const dev::Dim3& dims, double eb,
+                                            const InterpConfig& cfg, int radius,
+                                            dev::Workspace& ws) {
+  return compress_fused_impl<float>(data, dims, eb, cfg, radius, ws);
+}
+
+GInterpFusedT<double> ginterp_compress_fused(std::span<const double> data,
+                                             const dev::Dim3& dims, double eb,
+                                             const InterpConfig& cfg,
+                                             int radius, dev::Workspace& ws) {
+  return compress_fused_impl<double>(data, dims, eb, cfg, radius, ws);
+}
+
+void ginterp_decompress_into(std::span<const quant::Code> codes,
+                             std::span<const float> anchors,
+                             const quant::OutlierViewT<float>& outliers,
+                             const dev::Dim3& dims, double eb,
+                             const InterpConfig& cfg, int radius,
+                             std::span<float> out, dev::Workspace& ws) {
+  decompress_into_impl<float>(codes, anchors, outliers, dims, eb, cfg, radius,
+                              out, ws);
+}
+
+void ginterp_decompress_into(std::span<const quant::Code> codes,
+                             std::span<const double> anchors,
+                             const quant::OutlierViewT<double>& outliers,
+                             const dev::Dim3& dims, double eb,
+                             const InterpConfig& cfg, int radius,
+                             std::span<double> out, dev::Workspace& ws) {
+  decompress_into_impl<double>(codes, anchors, outliers, dims, eb, cfg, radius,
+                               out, ws);
 }
 
 std::vector<float> ginterp_decompress(std::span<const quant::Code> codes,

@@ -70,6 +70,27 @@ struct GInterpViewT {
     std::span<const double> data, const dev::Dim3& dims, double eb,
     const InterpConfig& cfg, int radius, dev::Workspace& ws);
 
+/// Prediction output plus the quant-code histogram accumulated inside the
+/// predict kernel itself (the fused pipeline — no separate read pass over
+/// `codes`). `histogram` has 2*radius bins and is bit-identical to
+/// huffman::histogram(pred.codes, 2*radius).
+template <typename T>
+struct GInterpFusedT {
+  GInterpViewT<T> pred;
+  std::vector<std::uint32_t> histogram;
+};
+
+/// Fused predict+quantize+histogram. Codes/anchors/outliers are pooled in
+/// `ws` and byte-identical to ginterp_compress(); each worker counts the
+/// codes of the tiles it owns into a private banked histogram while they are
+/// cache-hot, and the partials fold with the deterministic serial merge.
+[[nodiscard]] GInterpFusedT<float> ginterp_compress_fused(
+    std::span<const float> data, const dev::Dim3& dims, double eb,
+    const InterpConfig& cfg, int radius, dev::Workspace& ws);
+[[nodiscard]] GInterpFusedT<double> ginterp_compress_fused(
+    std::span<const double> data, const dev::Dim3& dims, double eb,
+    const InterpConfig& cfg, int radius, dev::Workspace& ws);
+
 /// Reconstructs the field from codes + anchors + outliers.
 [[nodiscard]] std::vector<float> ginterp_decompress(
     std::span<const quant::Code> codes, std::span<const float> anchors,
@@ -79,5 +100,23 @@ struct GInterpViewT {
     std::span<const quant::Code> codes, std::span<const double> anchors,
     const quant::OutlierSetT<double>& outliers, const dev::Dim3& dims,
     double eb, const InterpConfig& cfg, int radius = quant::kDefaultRadius);
+
+/// Workspace-threaded reconstruction: the scatter/work buffer is pooled in
+/// `ws`, outliers arrive as borrowed views, and the field is written into
+/// the caller-provided `out` span (size dims.volume(); may be pooled and
+/// unzeroed — every position is overwritten). Performs the same archive
+/// validation as ginterp_decompress and produces bit-identical output.
+void ginterp_decompress_into(std::span<const quant::Code> codes,
+                             std::span<const float> anchors,
+                             const quant::OutlierViewT<float>& outliers,
+                             const dev::Dim3& dims, double eb,
+                             const InterpConfig& cfg, int radius,
+                             std::span<float> out, dev::Workspace& ws);
+void ginterp_decompress_into(std::span<const quant::Code> codes,
+                             std::span<const double> anchors,
+                             const quant::OutlierViewT<double>& outliers,
+                             const dev::Dim3& dims, double eb,
+                             const InterpConfig& cfg, int radius,
+                             std::span<double> out, dev::Workspace& ws);
 
 }  // namespace szi::predictor

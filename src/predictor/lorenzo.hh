@@ -39,6 +39,20 @@ struct LorenzoView {
                                            const dev::Dim3& dims, double eb,
                                            int radius, dev::Workspace& ws);
 
+/// Prediction output plus the quant-code histogram (2*radius bins) counted
+/// inside the predict kernel itself — no separate read pass over `codes`.
+/// Codes/outliers and the histogram are bit-identical to the unfused
+/// lorenzo_compress + huffman::histogram pair.
+struct LorenzoFused {
+  LorenzoView pred;
+  std::vector<std::uint32_t> histogram;
+};
+
+[[nodiscard]] LorenzoFused lorenzo_compress_fused(std::span<const float> data,
+                                                  const dev::Dim3& dims,
+                                                  double eb, int radius,
+                                                  dev::Workspace& ws);
+
 /// Inverse: scatter outlier q's, prefix-sum per dimension, scale by 2eb.
 [[nodiscard]] std::vector<float> lorenzo_decompress(
     std::span<const quant::Code> codes, const quant::OutlierSet& outliers,

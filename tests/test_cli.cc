@@ -38,12 +38,14 @@ TEST(CliParse, PartialDims) {
 
 TEST(CliParse, ModesAndFlags) {
   const Options o = parse({"-z", "-i", "a", "-d", "8", "-m", "abs", "-e",
-                           "0.5", "-c", "cusz", "--bitcomp", "--verify"});
+                           "0.5", "-c", "cusz", "--bitcomp", "--verify",
+                           "--stages"});
   EXPECT_EQ(o.mode, szi::ErrorMode::Abs);
   EXPECT_DOUBLE_EQ(o.value, 0.5);
   EXPECT_EQ(o.compressor, "cusz");
   EXPECT_TRUE(o.bitcomp);
   EXPECT_TRUE(o.verify);
+  EXPECT_TRUE(o.stages);
   EXPECT_EQ(parse({"-z", "-i", "a", "-d", "8", "-m", "rate"}).mode,
             szi::ErrorMode::FixedRate);
 }
@@ -89,6 +91,7 @@ TEST(CliRun, CompressDecompressRoundTrip) {
   z.value = 1e-3;
   z.bitcomp = true;
   z.verify = true;
+  z.stages = true;  // exercises the fused predict+histogram reporting
   EXPECT_EQ(szi::cli::run(z), 0);
   EXPECT_TRUE(fs::exists(dir / "field.szi"));
   EXPECT_LT(fs::file_size(dir / "field.szi"), fs::file_size(raw) / 10);
