@@ -133,6 +133,20 @@ void BM_LzssOnHuffmanStreamGreedy(benchmark::State& state) {
 }
 BENCHMARK(BM_LzssOnHuffmanStreamGreedy);
 
+void BM_LzssDecode(benchmark::State& state) {
+  // Decode side of BM_LzssOnHuffmanStream: parallel block decode with the
+  // widened match copies (8-byte chunks for dist >= 8, memset for dist == 1,
+  // batched literal runs).
+  const auto codes = codes_with_concentration(1 << 21, 0.97);
+  const auto huff = szi::huffman::encode(codes, 1024);
+  const auto enc = szi::lossless::lzss_compress(huff);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(szi::lossless::lzss_decompress(enc));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(huff.size()));
+}
+BENCHMARK(BM_LzssDecode);
+
 void BM_ZeroRleOnShuffledCodes(benchmark::State& state) {
   const auto codes = codes_with_concentration(1 << 21, 0.97);
   std::vector<std::uint8_t> shuffled(
@@ -195,6 +209,32 @@ void BM_GInterpDecompress(benchmark::State& state) {
                           static_cast<std::int64_t>(f.bytes()));
 }
 BENCHMARK(BM_GInterpDecompress);
+
+void BM_GInterpReconstruct(benchmark::State& state) {
+  // In-place partner of BM_GInterpDecompress: anchors/outliers scatter into
+  // the caller's buffer and the tile passes reconstruct in place — no
+  // zero-filled staging volume, no final copy (GInterpReconstructorT).
+  const auto& f = miranda_field();
+  const double eb = 1e-3 * 2.0;
+  const auto prof = szi::predictor::autotune(f.data, f.dims, eb);
+  const auto enc =
+      szi::predictor::ginterp_compress(f.data, f.dims, eb, prof.config);
+  szi::quant::OutlierViewT<float> ov;
+  ov.indices = enc.outliers.indices;
+  ov.values = enc.outliers.values;
+  std::vector<float> out(f.dims.volume());
+  szi::dev::Arena arena;
+  szi::dev::Workspace ws(arena);
+  for (auto _ : state) {
+    szi::predictor::ginterp_decompress_into(
+        enc.codes, std::span<const float>(enc.anchors), ov, f.dims, eb,
+        prof.config, szi::quant::kDefaultRadius, std::span<float>(out), ws);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.bytes()));
+}
+BENCHMARK(BM_GInterpReconstruct);
 
 void BM_AutotuneKernel(benchmark::State& state) {
   const auto& f = miranda_field();

@@ -42,6 +42,18 @@ void print_stages(const StageTimings& t) {
   }
 }
 
+/// Decode-side breakdown for --stages after -x. When the pipelined decoder
+/// overlapped stages on streams, the numbers are per-stage busy time (their
+/// sum can exceed the wall clock), flagged so nobody reads them as slices.
+void print_stages(const DecodeTimings& t) {
+  std::printf(
+      "stages: unwrap (lzss) %.4f s | huffman %.4f s | reconstruct %.4f s | "
+      "total %.4f s%s\n",
+      t.unwrap, t.huffman, t.reconstruct, t.total,
+      t.overlapped ? " (overlapped: per-stage busy time, not wall slices)"
+                   : "");
+}
+
 std::size_t parse_size(const std::string& s, const std::string& flag) {
   try {
     std::size_t pos = 0;
@@ -75,8 +87,11 @@ options:
   -t f32|f64        value type (default f32; f64 supports cusz-i only)
   --bitcomp         wrap with the de-redundancy pass (must match on -x)
   --verify          after -z, decompress and report PSNR / max error
-  --stages          after -z, print the per-stage timing breakdown (fused
-                    stages are reported as one entry, not a zero-time pass)
+  --stages          print the per-stage timing breakdown. After -z: predict /
+                    histogram / codebook / encode (fused stages report as one
+                    entry). After -x: unwrap / huffman / reconstruct — when
+                    the pipelined decoder overlaps stages on streams, each
+                    number is that stage's busy time, not a wall-clock slice
 )";
 }
 
@@ -255,25 +270,30 @@ int run(const Options& opt) {
       return 0;
     }
     case Command::Decompress: {
+      DecodeTimings dt;
       if (opt.f64) {
         const auto bytes = io::read_bytes(opt.input);
         core::Timer t;
-        const auto data = cuszi_decompress_f64(bytes);
+        const auto data =
+            cuszi_decompress_f64(bytes, opt.stages ? &dt : nullptr);
         const double secs = t.lap();
         io::write_f64(opt.output, data);
         std::printf("cuSZ-i (f64): %zu values -> %s in %.3f s\n", data.size(),
                     opt.output.c_str(), secs);
+        if (opt.stages) print_stages(dt);
         return 0;
       }
       auto c = baselines::make_compressor(opt.compressor);
       if (opt.bitcomp) c = with_bitcomp(std::move(c));
       const auto bytes = io::read_bytes(opt.input);
       core::Timer t;
-      const auto data = c->decompress(bytes);
+      const auto data =
+          opt.stages ? c->decompress_stages(bytes, dt) : c->decompress(bytes);
       const double secs = t.lap();
       io::write_f32(opt.output, data);
       std::printf("%s: %zu values -> %s in %.3f s\n", c->name().c_str(),
                   data.size(), opt.output.c_str(), secs);
+      if (opt.stages) print_stages(dt);
       return 0;
     }
   }

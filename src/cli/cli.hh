@@ -32,7 +32,7 @@ struct Options {
   bool f64 = false;  ///< double-precision pipeline (cuSZ-i only)
   bool bitcomp = false;
   bool verify = false;
-  bool stages = false;  ///< print the per-stage timing breakdown after -z
+  bool stages = false;  ///< print the per-stage timing breakdown (-z and -x)
 };
 
 /// Parses argv (argv[0] ignored). Throws std::invalid_argument with a

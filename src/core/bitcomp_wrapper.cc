@@ -62,6 +62,24 @@ std::vector<float> Compressor::decompress_bitcomp(
   return out;
 }
 
+std::vector<float> Compressor::decompress_stages(
+    std::span<const std::byte> bytes, DecodeTimings& t) {
+  core::Timer wall;
+  auto out = decompress(bytes, nullptr);
+  t.total = wall.lap();
+  return out;
+}
+
+std::vector<float> Compressor::decompress_bitcomp_stages(
+    std::span<const std::byte> bytes, DecodeTimings& t) {
+  core::Timer wall;
+  const auto inner_bytes = bitcomp_unwrap_archive(bytes);
+  t.unwrap = wall.lap();
+  auto out = decompress_stages(inner_bytes, t);
+  t.total += t.unwrap;
+  return out;
+}
+
 namespace {
 
 class BitcompWrapped final : public Compressor {
@@ -90,6 +108,11 @@ class BitcompWrapped final : public Compressor {
   [[nodiscard]] std::vector<float> decompress(std::span<const std::byte> bytes,
                                               double* decode_seconds) override {
     return inner_->decompress_bitcomp(bytes, decode_seconds);
+  }
+
+  [[nodiscard]] std::vector<float> decompress_stages(
+      std::span<const std::byte> bytes, DecodeTimings& t) override {
+    return inner_->decompress_bitcomp_stages(bytes, t);
   }
 
  private:

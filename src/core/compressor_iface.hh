@@ -53,6 +53,19 @@ struct CompressResult {
   StageTimings timings;
 };
 
+/// Decompression-side stage breakdown (--stages on -x). When the pipelined
+/// decoder overlaps stages on dev::Streams, the per-stage numbers are
+/// accumulated busy time across threads — not wall-clock slices — so their
+/// sum can exceed `total` (good overlap) or undershoot it (stall-bound);
+/// `overlapped` tells reporters which reading applies.
+struct DecodeTimings {
+  double unwrap = 0;       ///< de-redundancy (LZSS block) decode
+  double huffman = 0;      ///< entropy decode: plan parse + chunk decode
+  double reconstruct = 0;  ///< anchor/outlier scatter + interpolation tiles
+  double total = 0;        ///< wall clock for the whole decode
+  bool overlapped = false;
+};
+
 class Compressor {
  public:
   virtual ~Compressor() = default;
@@ -105,6 +118,19 @@ class Compressor {
   /// decode. `decode_seconds` covers unwrap + inner decode.
   [[nodiscard]] virtual std::vector<float> decompress_bitcomp(
       std::span<const std::byte> bytes, double* decode_seconds = nullptr);
+
+  /// Decompress with a per-stage breakdown (the -x counterpart of
+  /// StageTimings). The default times the whole decode as `total` and
+  /// leaves the stages at zero; cuSZ-i fills the real split and sets
+  /// `overlapped` when the pipelined path ran stages on streams.
+  [[nodiscard]] virtual std::vector<float> decompress_stages(
+      std::span<const std::byte> bytes, DecodeTimings& t);
+
+  /// Same for a bitcomp-wrapped archive. The default times the unwrap,
+  /// then forwards to decompress_stages() on the inner bytes (which sets
+  /// `total` to the inner decode; the unwrap is added on top).
+  [[nodiscard]] virtual std::vector<float> decompress_bitcomp_stages(
+      std::span<const std::byte> bytes, DecodeTimings& t);
 };
 
 /// Wraps any compressor with the de-redundancy pass (§VI-B); TABLE III's

@@ -1,6 +1,8 @@
 #include "core/cuszi.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstring>
 #include <deque>
 #include <exception>
@@ -433,7 +435,9 @@ quant::OutlierViewT<T> parse_outlier_blob(std::span<const std::byte> blob,
 
 template <typename T>
 std::vector<T> decompress_typed(std::span<const std::byte> bytes,
-                                dev::Workspace& ws) {
+                                dev::Workspace& ws,
+                                DecodeTimings* dt = nullptr) {
+  core::Timer wall;
   core::ByteReader rd(bytes, "cusz-i");
   const InnerHeader h = parse_inner_header<T>(rd);
 
@@ -446,24 +450,35 @@ std::vector<T> decompress_typed(std::span<const std::byte> bytes,
     std::memcpy(anchors.data(), rd.read_bytes(abytes).data(), abytes);
 
   const auto outliers = parse_outlier_blob<T>(rd.read_length_prefixed(), ws);
+  core::Timer hufft;
   const auto codes = huffman::decode(rd.read_length_prefixed(), ws);
+  const double huff_s = hufft.lap();
   if (codes.size() != h.volume) rd.fail("code count mismatch");
 
   // ginterp_decompress_into validates the anchor count and outlier indices
   // against `dims` before scattering.
   std::vector<T> out(h.volume);
+  core::Timer recont;
   predictor::ginterp_decompress_into(codes, std::span<const T>(anchors),
                                      outliers, h.dims, h.eb, h.cfg, h.radius,
                                      std::span<T>(out), ws);
+  const double recon_s = recont.lap();
   ws.reset();
+  if (dt) {
+    dt->huffman = huff_s;
+    dt->reconstruct = recon_s;
+    dt->overlapped = false;
+    dt->total = wall.lap();
+  }
   return out;
 }
 
 template <typename T>
-std::vector<T> decompress_typed(std::span<const std::byte> bytes) {
+std::vector<T> decompress_typed(std::span<const std::byte> bytes,
+                                DecodeTimings* dt = nullptr) {
   dev::Arena local;
   dev::Workspace ws(local);
-  return decompress_typed<T>(bytes, ws);
+  return decompress_typed<T>(bytes, ws, dt);
 }
 
 /// The pipelined wrapped-archive decompressor (the tentpole, mirrored):
@@ -477,18 +492,37 @@ std::vector<T> decompress_typed(std::span<const std::byte> bytes) {
 /// unfused path (the corruption-fuzz harness drives this route).
 template <typename T>
 std::vector<T> decompress_bitcomp_typed(std::span<const std::byte> bytes,
-                                        dev::Workspace& ws) {
+                                        dev::Workspace& ws,
+                                        DecodeTimings* dt = nullptr) {
+  core::Timer wall;
+  // Per-stage busy time. LZSS groups and reconstruction slabs may run on
+  // dev::Streams (other threads), so those two accumulate atomically in
+  // nanoseconds; Huffman decode always runs on this thread. Pipeline stalls
+  // (ensure()/event waits) are deliberately excluded — stages report work
+  // done, `total` reports the wall clock, and DecodeTimings::overlapped
+  // tells reporters the stages ran concurrently.
+  std::atomic<std::int64_t> lzss_ns{0}, recon_ns{0};
+  double huff_s = 0;
+  const auto now = [] { return std::chrono::steady_clock::now(); };
+  const auto since = [&now](std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(now() - t0)
+        .count();
+  };
+
   const auto stream = bitcomp_wrapped_stream(bytes);
   const auto frame = lossless::lzss_parse_frame(stream, ws);
   auto raw = ws.make<std::byte>(frame.raw_size);
 
   constexpr std::size_t kGroupBlocks = 4;
-  const auto decode_group = [&frame, &raw](std::size_t b, std::size_t be) {
+  const auto decode_group = [&frame, &raw, &lzss_ns, &since](std::size_t b,
+                                                             std::size_t be) {
+    const auto t0 = std::chrono::steady_clock::now();
     for (std::size_t k = b; k < be; ++k) {
       const std::size_t begin = k * frame.block_size;
       const std::size_t len = std::min(frame.block_size, frame.raw_size - begin);
       lossless::lzss_decompress_block(frame, k, {raw.data() + begin, len});
     }
+    lzss_ns += since(t0);
   };
 
   std::optional<dev::Stream> lz;
@@ -587,7 +621,9 @@ std::vector<T> decompress_bitcomp_typed(std::span<const std::byte> bytes,
   ensure(sat(hoff, hfixed + std::min<std::uint64_t>(nchunks64,
                                                     frame.raw_size) *
                                 sizeof(std::uint64_t)));
+  core::Timer plant;
   const auto plan = huffman::decode_plan(huff, ws);
+  huff_s += plant.lap();
   if (plan.n != h.volume)
     throw core::CorruptArchive("cusz-i", hoff, "code count mismatch");
 
@@ -596,6 +632,37 @@ std::vector<T> decompress_bitcomp_typed(std::span<const std::byte> bytes,
       plan.payload.empty()
           ? frame.raw_size
           : static_cast<std::size_t>(plan.payload.data() - raw.data());
+
+  // In-place reconstruction rides the same watermark idea one level up:
+  // the reconstructor validates and scatters anchors/outliers into `out`
+  // now, and as each Huffman chunk group lands, every tile z-slab whose
+  // code prefix is complete reconstructs immediately — inline on a serial
+  // machine (the slab's codes are still cache-hot), on a second stream when
+  // workers exist (slab k reconstructs while the host entropy-decodes group
+  // k+1; the stream reads only codes below the watermark, the host writes
+  // only above it). `rc` is declared after everything its tasks borrow, so
+  // unwind order drains it before those locals die.
+  std::vector<T> out(h.volume);
+  predictor::GInterpReconstructorT<T> recon(codes, std::span<const T>(anchors),
+                                            outliers, h.dims, h.eb, h.cfg,
+                                            h.radius, std::span<T>(out));
+  const auto run_slab_timed = [&recon, &recon_ns, &since](std::size_t bz) {
+    const auto t0 = std::chrono::steady_clock::now();
+    recon.run_slab(bz);
+    recon_ns += since(t0);
+  };
+  std::optional<dev::Stream> rc;
+  if (stream_overlap_pays() && recon.slab_count() > 1) rc.emplace();
+  std::size_t next_slab = 0;
+  const auto reconstruct_upto = [&](std::size_t code_watermark) {
+    while (next_slab < recon.slab_count() &&
+           recon.codes_needed(next_slab) <= code_watermark) {
+      const std::size_t bz = next_slab++;
+      if (rc) rc->submit([&run_slab_timed, bz] { run_slab_timed(bz); });
+      else run_slab_timed(bz);
+    }
+  };
+
   constexpr std::uint64_t kGroupBytes = 4 * lossless::kLzssBlock;
   std::size_t c = 0;
   while (c < plan.nchunks) {
@@ -606,19 +673,28 @@ std::vector<T> decompress_bitcomp_typed(std::span<const std::byte> bytes,
     const std::uint64_t done =
         cend < plan.nchunks ? plan.offsets[cend] : plan.payload_bytes;
     ensure(sat(pay_off, done));
+    core::Timer huft;
     huffman::decode_chunks(plan, c, cend, codes);
+    huff_s += huft.lap();
     c = cend;
+    reconstruct_upto(std::min(cend * plan.chunk_size, plan.n));
   }
   // Drain: every block must decode even if the parser never read its bytes,
   // so a corrupt tail block throws exactly as it does in the unfused path.
   if (lz) lz->synchronize();
   else ensure(frame.raw_size);
 
-  std::vector<T> out(h.volume);
-  predictor::ginterp_decompress_into(codes, std::span<const T>(anchors),
-                                     outliers, h.dims, h.eb, h.cfg, h.radius,
-                                     std::span<T>(out), ws);
+  reconstruct_upto(plan.n);
+  const bool overlapped = lz.has_value() || rc.has_value();
+  if (rc) rc->synchronize();
   ws.reset();
+  if (dt) {
+    dt->unwrap = static_cast<double>(lzss_ns.load()) * 1e-9;
+    dt->huffman = huff_s;
+    dt->reconstruct = static_cast<double>(recon_ns.load()) * 1e-9;
+    dt->overlapped = overlapped;
+    dt->total = wall.lap();
+  }
   return out;
 }
 
@@ -739,6 +815,17 @@ class Cuszi final : public Compressor {
     return out;
   }
 
+  [[nodiscard]] std::vector<float> decompress_stages(
+      std::span<const std::byte> bytes, DecodeTimings& t) override {
+    return decompress_typed<float>(bytes, &t);
+  }
+
+  [[nodiscard]] std::vector<float> decompress_bitcomp_stages(
+      std::span<const std::byte> bytes, DecodeTimings& t) override {
+    dev::Workspace ws(dev::Arena::instance());
+    return decompress_bitcomp_typed<float>(bytes, ws, &t);
+  }
+
  private:
   bool topk_;
 };
@@ -836,12 +923,14 @@ Precision cuszi_archive_precision(std::span<const std::byte> bytes) {
   return static_cast<Precision>(prec);
 }
 
-std::vector<float> cuszi_decompress_f32(std::span<const std::byte> bytes) {
-  return decompress_typed<float>(bytes);
+std::vector<float> cuszi_decompress_f32(std::span<const std::byte> bytes,
+                                        DecodeTimings* timings) {
+  return decompress_typed<float>(bytes, timings);
 }
 
-std::vector<double> cuszi_decompress_f64(std::span<const std::byte> bytes) {
-  return decompress_typed<double>(bytes);
+std::vector<double> cuszi_decompress_f64(std::span<const std::byte> bytes,
+                                         DecodeTimings* timings) {
+  return decompress_typed<double>(bytes, timings);
 }
 
 std::vector<float> cuszi_decompress_f32(std::span<const std::byte> bytes,
@@ -855,13 +944,15 @@ std::vector<double> cuszi_decompress_f64(std::span<const std::byte> bytes,
 }
 
 std::vector<float> cuszi_decompress_bitcomp_f32(
-    std::span<const std::byte> bytes, dev::Workspace& ws) {
-  return decompress_bitcomp_typed<float>(bytes, ws);
+    std::span<const std::byte> bytes, dev::Workspace& ws,
+    DecodeTimings* timings) {
+  return decompress_bitcomp_typed<float>(bytes, ws, timings);
 }
 
 std::vector<double> cuszi_decompress_bitcomp_f64(
-    std::span<const std::byte> bytes, dev::Workspace& ws) {
-  return decompress_bitcomp_typed<double>(bytes, ws);
+    std::span<const std::byte> bytes, dev::Workspace& ws,
+    DecodeTimings* timings) {
+  return decompress_bitcomp_typed<double>(bytes, ws, timings);
 }
 
 }  // namespace szi

@@ -106,9 +106,9 @@ enum class Precision : std::uint8_t { F32 = 0, F64 = 1 };
 /// Decompression, typed; throws std::runtime_error if the archive's
 /// precision does not match the requested function.
 [[nodiscard]] std::vector<float> cuszi_decompress_f32(
-    std::span<const std::byte> bytes);
+    std::span<const std::byte> bytes, DecodeTimings* timings = nullptr);
 [[nodiscard]] std::vector<double> cuszi_decompress_f64(
-    std::span<const std::byte> bytes);
+    std::span<const std::byte> bytes, DecodeTimings* timings = nullptr);
 
 /// Workspace forms: every decode intermediate (quant codes, anchors,
 /// outlier arrays, scatter buffer) is drawn from `ws` instead of freshly
@@ -125,8 +125,10 @@ enum class Precision : std::uint8_t { F32 = 0, F64 = 1 };
 /// cuszi_decompress_*(bitcomp_unwrap_archive(bytes)); malformed input
 /// throws core::CorruptArchive exactly like the unfused path.
 [[nodiscard]] std::vector<float> cuszi_decompress_bitcomp_f32(
-    std::span<const std::byte> bytes, dev::Workspace& ws);
+    std::span<const std::byte> bytes, dev::Workspace& ws,
+    DecodeTimings* timings = nullptr);
 [[nodiscard]] std::vector<double> cuszi_decompress_bitcomp_f64(
-    std::span<const std::byte> bytes, dev::Workspace& ws);
+    std::span<const std::byte> bytes, dev::Workspace& ws,
+    DecodeTimings* timings = nullptr);
 
 }  // namespace szi

@@ -191,6 +191,28 @@ FastDecodeTable FastDecodeTable::from(const Codebook& book) {
         (len << 16) | static_cast<std::uint32_t>(s);
     for (std::uint32_t k = 0; k < span; ++k) t.lut[base + k] = entry;
   }
+
+  // Pre-decode every window into as many whole codewords as fit. Probing
+  // `lut` at (w << used) zero-fills the low `used` bits, but a hit with
+  // len <= kLutBits - used examined only genuine window bits, so the entry
+  // is the one any real continuation of the stream would produce; a hit
+  // whose length spills past the window is rejected (the run just ends
+  // early, which costs a probe, never correctness).
+  t.pack.resize(std::size_t{1} << kLutBits);
+  const std::uint32_t mask = (1u << kLutBits) - 1;
+  for (std::uint32_t w = 0; w <= mask; ++w) {
+    PackEntry e{};
+    unsigned used = 0;
+    while (e.nsym < kMaxPack) {
+      const std::uint32_t probe = t.lut[(w << used) & mask];
+      const unsigned len = probe >> 16;
+      if (len == 0 || used + len > kLutBits) break;
+      e.sym[e.nsym++] = static_cast<std::uint16_t>(probe & 0xFFFF);
+      used += len;
+    }
+    e.nbits = static_cast<std::uint8_t>(used);
+    t.pack[w] = e;
+  }
   return t;
 }
 

@@ -64,13 +64,33 @@ struct DecodeTable {
 /// codeword of length <= kLutBits in one probe (the overwhelmingly common
 /// case for G-Interp's concentrated codes); longer codes fall back to the
 /// canonical bit-serial path. Decodes the same streams bit-for-bit.
+///
+/// A second table (`pack`) extends the same idea to *runs* of short codes:
+/// each kLutBits-wide window is pre-decoded into as many whole codewords as
+/// fit (up to kMaxPack), so the chunk decoder emits several symbols per
+/// probe. Packing never changes which bits belong to which codeword — the
+/// prefix property means symbol k+1's code is resolved by the window bits
+/// left over after symbol k, exactly as sequential single-symbol decoding
+/// would — so the decoded stream is bit-identical either way.
 struct FastDecodeTable {
   static constexpr unsigned kLutBits = 12;
+  static constexpr unsigned kMaxPack = 6;
+
+  /// One pre-decoded kLutBits-bit window. nsym == 0 marks "escape": the
+  /// window's first code is longer than kLutBits, take the slow path.
+  struct PackEntry {
+    std::uint8_t nsym;                 ///< whole codewords in the window
+    std::uint8_t nbits;                ///< total bits those codewords span
+    std::uint16_t sym[kMaxPack];       ///< their symbols, in stream order
+  };
 
   DecodeTable slow;
   /// Per prefix: symbol in the low 16 bits, code length in the high bits;
   /// length 0 marks "escape to the slow path".
   std::vector<std::uint32_t> lut;
+  /// Per prefix: the multi-symbol expansion of the window (2^kLutBits
+  /// entries, built from `lut`).
+  std::vector<PackEntry> pack;
 
   [[nodiscard]] static FastDecodeTable from(const Codebook& book);
   [[nodiscard]] std::uint16_t decode(lossless::BitReader& br) const;

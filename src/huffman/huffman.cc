@@ -258,8 +258,23 @@ DecodePlan decode_plan(std::span<const std::byte> bytes, dev::Workspace& ws) {
   return plan;
 }
 
-void decode_chunks(const DecodePlan& plan, std::size_t chunk_begin,
-                   std::size_t chunk_end, std::span<quant::Code> out) {
+namespace {
+
+// Post-decode overrun check shared by both chunk decoders. The encoder
+// byte-aligns every chunk, so a valid chunk decodes its element count
+// within its byte span. Consuming more bits means the chunk table lied
+// about this chunk's extent.
+void check_chunk_extent(const lossless::BitReader& br, std::size_t chunk_bytes,
+                        std::uint64_t chunk_offset, std::size_t c) {
+  if (br.position() > chunk_bytes * 8)
+    throw core::CorruptArchive(
+        "huffman", chunk_offset,
+        "chunk decoded past its extent (chunk " + std::to_string(c) + ")");
+}
+
+template <typename ChunkBody>
+void for_each_chunk(const DecodePlan& plan, std::size_t chunk_begin,
+                    std::size_t chunk_end, const ChunkBody& body) {
   const auto* payload =
       reinterpret_cast<const std::uint8_t*>(plan.payload.data());
   dev::launch_linear(
@@ -273,18 +288,48 @@ void decode_chunks(const DecodePlan& plan, std::size_t chunk_begin,
             (c + 1 < plan.nchunks) ? plan.offsets[c + 1] : plan.payload_bytes;
         const std::size_t chunk_bytes = chunk_end_byte - plan.offsets[c];
         lossless::BitReader br({payload + plan.offsets[c], chunk_bytes});
-        for (std::size_t i = begin; i < end; ++i)
-          out[i] = plan.table.decode(br);
-        // The encoder byte-aligns every chunk, so a valid chunk decodes its
-        // element count within its byte span. Consuming more bits means the
-        // chunk table lied about this chunk's extent.
-        if (br.position() > chunk_bytes * 8)
-          throw core::CorruptArchive(
-              "huffman", plan.offsets[c],
-              "chunk decoded past its extent (chunk " + std::to_string(c) +
-                  ")");
+        body(br, begin, end);
+        check_chunk_extent(br, chunk_bytes, plan.offsets[c], c);
       },
       1);
+}
+
+}  // namespace
+
+void decode_chunks(const DecodePlan& plan, std::size_t chunk_begin,
+                   std::size_t chunk_end, std::span<quant::Code> out) {
+  using Fast = FastDecodeTable;
+  for_each_chunk(plan, chunk_begin, chunk_end,
+                 [&](lossless::BitReader& br, std::size_t i, std::size_t end) {
+                   // Multi-symbol fast path: one pack-table probe emits up
+                   // to kMaxPack codewords. The loop bound leaves room for a
+                   // full pack; the remainder (and any window whose first
+                   // code exceeds kLutBits) goes through the single-symbol
+                   // decoder, which consumes the same bits per symbol, so
+                   // position() agrees with the reference decoder at every
+                   // symbol boundary.
+                   while (i + Fast::kMaxPack <= end) {
+                     const Fast::PackEntry& e =
+                         plan.table.pack[br.peek(Fast::kLutBits)];
+                     if (e.nsym == 0) {
+                       out[i++] = plan.table.decode(br);
+                       continue;
+                     }
+                     for (unsigned k = 0; k < e.nsym; ++k) out[i + k] = e.sym[k];
+                     i += e.nsym;
+                     br.skip(e.nbits);
+                   }
+                   while (i < end) out[i++] = plan.table.decode(br);
+                 });
+}
+
+void decode_chunks_reference(const DecodePlan& plan, std::size_t chunk_begin,
+                             std::size_t chunk_end,
+                             std::span<quant::Code> out) {
+  for_each_chunk(plan, chunk_begin, chunk_end,
+                 [&](lossless::BitReader& br, std::size_t i, std::size_t end) {
+                   for (; i < end; ++i) out[i] = plan.table.decode(br);
+                 });
 }
 
 std::vector<quant::Code> decode(std::span<const std::byte> bytes) {

@@ -135,8 +135,17 @@ struct DecodePlan {
 
 /// Decodes chunks [chunk_begin, chunk_end) into `out` (the full n-element
 /// span; chunk c writes symbols [c*chunk_size, min((c+1)*chunk_size, n))).
+/// Uses the multi-symbol pack table: several short codewords resolve per
+/// probe. Output and error behavior are bit-identical to
+/// decode_chunks_reference (tests/test_decode_equiv.cc holds them equal).
 void decode_chunks(const DecodePlan& plan, std::size_t chunk_begin,
                    std::size_t chunk_end, std::span<quant::Code> out);
+
+/// The pre-overhaul single-symbol-per-probe chunk decoder, retained as the
+/// equivalence reference for decode_chunks and for the decode ablation
+/// bench. Same validation, same CorruptArchive throws.
+void decode_chunks_reference(const DecodePlan& plan, std::size_t chunk_begin,
+                             std::size_t chunk_end, std::span<quant::Code> out);
 
 /// Size (bytes) the stream header+offsets add on top of the entropy payload,
 /// for the bit-rate accounting in the benches.

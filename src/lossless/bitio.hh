@@ -46,49 +46,93 @@ class BitWriter {
   unsigned free_ = 8;
 };
 
+/// Buffered MSB-first bit reader. A 64-bit accumulator holds the next
+/// `bits_` stream bits left-aligned (bit `pos_` of the stream sits in bit 63
+/// of `acc_`); every mutation re-establishes `bits_ >= 56`, so `peek(<= 32)`
+/// never touches memory and `get(<= 56)` is one shift plus one refill. The
+/// refill is branch-light: while 8+ input bytes remain it is a single
+/// unaligned 8-byte load. Reads past the end of the stream yield zero bits
+/// and keep advancing `position()` — exactly like the byte-serial reader
+/// this replaces, which the Huffman chunk-overrun check relies on.
 class BitReader {
  public:
-  explicit BitReader(std::span<const std::uint8_t> in) : in_(in) {}
+  explicit BitReader(std::span<const std::uint8_t> in) : in_(in) { refill(); }
 
-  /// Reads `nbits` (<= 57) MSB-first; reads past the end yield zero bits.
+  /// Reads `nbits` (<= 56) MSB-first; reads past the end yield zero bits.
   [[nodiscard]] std::uint64_t get(unsigned nbits) {
-    std::uint64_t v = 0;
-    for (unsigned i = 0; i < nbits; ++i) v = (v << 1) | get1();
+    if (nbits == 0) return 0;
+    const std::uint64_t v = acc_ >> (64 - nbits);
+    consume(nbits);
     return v;
   }
 
   [[nodiscard]] unsigned get1() {
-    const std::size_t byte = pos_ >> 3;
-    if (byte >= in_.size()) {
-      ++pos_;
-      return 0;
-    }
-    const unsigned bit = (in_[byte] >> (7 - (pos_ & 7))) & 1u;
-    ++pos_;
+    const unsigned bit = static_cast<unsigned>(acc_ >> 63);
+    consume(1);
     return bit;
   }
 
   /// Reads `nbits` (<= 32) MSB-first without advancing; past-the-end bits
-  /// read as zero. Word-based (5 byte loads), fueling table-driven decoders.
+  /// read as zero. Served straight from the accumulator: no loads.
   [[nodiscard]] std::uint32_t peek(unsigned nbits) const {
-    const std::size_t byte = pos_ >> 3;
-    std::uint64_t acc = 0;
-    for (unsigned i = 0; i < 5; ++i) {
-      const std::size_t b = byte + i;
-      acc = (acc << 8) | (b < in_.size() ? in_[b] : 0u);
-    }
-    const unsigned off = static_cast<unsigned>(pos_ & 7);
-    return static_cast<std::uint32_t>((acc >> (40 - off - nbits)) &
-                                      ((std::uint64_t{1} << nbits) - 1));
+    if (nbits == 0) return 0;
+    return static_cast<std::uint32_t>(acc_ >> (64 - nbits));
   }
 
-  void skip(unsigned nbits) { pos_ += nbits; }
+  void skip(unsigned nbits) {
+    while (nbits > 56) {
+      consume(56);
+      nbits -= 56;
+    }
+    consume(nbits);
+  }
 
   [[nodiscard]] std::size_t position() const { return pos_; }
 
  private:
+  /// Drops the top `nbits` (<= 56) from the accumulator; zeros shift in at
+  /// the bottom, which is what makes past-end reads come back as zero.
+  void consume(unsigned nbits) {
+    acc_ <<= nbits;
+    bits_ -= nbits;
+    pos_ += nbits;
+    refill();
+  }
+
+  void refill() {
+    if (bits_ >= 57) return;
+    if (in_.size() - byte_ >= 8) {
+      // OR in a big-endian 8-byte window below the valid bits. Bits that
+      // were already present are re-ORed with identical values (the byte
+      // cursor only advances past fully-consumed bytes), so this is
+      // idempotent; afterwards at least 56 bits are valid.
+      acc_ |= load_be64(in_.data() + byte_) >> bits_;
+      byte_ += (63 - bits_) >> 3;
+      bits_ |= 56;
+      return;
+    }
+    while (byte_ < in_.size() && bits_ < 57) {
+      acc_ |= static_cast<std::uint64_t>(in_[byte_++]) << (56 - bits_);
+      bits_ += 8;
+    }
+    // Input exhausted: the low bits of acc_ are already zero (consume
+    // shifts zeros in), so declaring them valid makes past-end reads
+    // yield zero bits for free.
+    if (byte_ == in_.size()) bits_ = 64;
+  }
+
+  [[nodiscard]] static std::uint64_t load_be64(const std::uint8_t* p) {
+    return (std::uint64_t{p[0]} << 56) | (std::uint64_t{p[1]} << 48) |
+           (std::uint64_t{p[2]} << 40) | (std::uint64_t{p[3]} << 32) |
+           (std::uint64_t{p[4]} << 24) | (std::uint64_t{p[5]} << 16) |
+           (std::uint64_t{p[6]} << 8) | std::uint64_t{p[7]};
+  }
+
   std::span<const std::uint8_t> in_;
-  std::size_t pos_ = 0;
+  std::uint64_t acc_ = 0;   ///< next stream bits, left-aligned
+  unsigned bits_ = 0;       ///< valid bit count in acc_ (>= 56 after refill)
+  std::size_t byte_ = 0;    ///< first input byte not yet fully in acc_
+  std::size_t pos_ = 0;     ///< consumed bit count (may exceed 8 * size)
 };
 
 }  // namespace szi::lossless

@@ -246,11 +246,35 @@ void decompress_block(const std::uint8_t* src, std::size_t n,
       }
       if (dist == 0 || dist > op || len > raw - op)
         throw corrupt("corrupt match");
-      // Byte-by-byte copy: overlapping matches (dist < len) replicate runs.
-      for (std::size_t k = 0; k < len; ++k) dst[op + k] = dst[op + k - dist];
+      // Match copy, widened where the overlap rules allow. dist >= 8 means
+      // source and destination of each 8-byte chunk cannot overlap, so the
+      // copy runs in word-size memcpy steps (the bounds check above already
+      // guarantees op + len <= raw). dist == 1 is a byte run. Otherwise the
+      // overlapping copy must replicate byte by byte.
+      if (dist >= 8) {
+        std::size_t k = 0;
+        for (; k + 8 <= len; k += 8)
+          std::memcpy(dst + op + k, dst + op + k - dist, 8);
+        for (; k < len; ++k) dst[op + k] = dst[op + k - dist];
+      } else if (dist == 1) {
+        std::memset(dst + op, dst[op - 1], len);
+      } else {
+        for (std::size_t k = 0; k < len; ++k) dst[op + k] = dst[op + k - dist];
+      }
       op += len;
     } else {
       if (ip >= n) throw corrupt("truncated literal");
+      if (ctrl_bits == 1 && ctrl == 0) {
+        // A fresh all-literal control byte: batch its 8 literals when both
+        // streams have room (the common case in barely-compressible input).
+        if (ip + 8 <= n && op + 8 <= raw) {
+          std::memcpy(dst + op, src + ip, 8);
+          ip += 8;
+          op += 8;
+          ctrl_bits = 8;
+          continue;
+        }
+      }
       dst[op++] = src[ip++];
     }
   }

@@ -447,24 +447,31 @@ std::vector<T> decompress_impl(std::span<const quant::Code> codes,
   return out;
 }
 
-/// Workspace-threaded decompression: the scatter/work buffer is pooled, the
-/// outliers arrive as borrowed views (spans into the caller's decode scratch)
-/// and the reconstruction lands in the caller's `out` span. Same validation
-/// and same arithmetic as decompress_impl — outputs are bit-identical.
+}  // namespace
+
+// In-place incremental reconstruction. The constructor performs all archive
+// validation and the scatter; run_slab then reconstructs one tile-grid
+// z-slab directly in `out` (closed-region loads and owned write-backs hit
+// the same buffer). The safety/bit-identity argument lives with the class
+// declaration and in docs/PERF.md.
 template <typename T>
-void decompress_into_impl(std::span<const quant::Code> codes,
-                          std::span<const T> anchors,
-                          const quant::OutlierViewT<T>& outliers,
-                          const dev::Dim3& dims, double eb,
-                          const InterpConfig& cfg, int radius,
-                          std::span<T> out, dev::Workspace& ws) {
+GInterpReconstructorT<T>::GInterpReconstructorT(
+    std::span<const quant::Code> codes, std::span<const T> anchors,
+    const quant::OutlierViewT<T>& outliers, const dev::Dim3& dims, double eb,
+    const InterpConfig& cfg, int radius, std::span<T> out)
+    : codes_(codes),
+      out_(out),
+      dims_(dims),
+      grid_(dev::grid_for(dims, geometry_for(dims).tile)),
+      geo_(geometry_for(dims)),
+      cfg_(cfg),
+      level_qz_(make_level_quantizers(eb, cfg, geo_.top_stride, radius)) {
   if (codes.size() != dims.volume() || out.size() != dims.volume())
     throw std::invalid_argument("ginterp_decompress: size/dims mismatch");
 
-  const Geometry geo = geometry_for(dims);
   // Anchor count and outlier indices come from the archive; both index into
-  // the work buffer, so they must be validated before any scatter.
-  if (anchors.size() != anchor_dims(dims, geo.anchor).volume())
+  // the output buffer, so they must be validated before any scatter.
+  if (anchors.size() != anchor_dims(dims, geo_.anchor).volume())
     throw core::CorruptArchive("ginterp", 0, "anchor count mismatch");
   if (outliers.values.size() != outliers.indices.size())
     throw core::CorruptArchive("ginterp", 0, "outlier index/value mismatch");
@@ -472,18 +479,66 @@ void decompress_into_impl(std::span<const quant::Code> codes,
     if (idx >= dims.volume())
       throw core::CorruptArchive("ginterp", 0, "outlier index out of range");
 
-  // Arena blocks carry stale contents; the work buffer must be explicitly
-  // zeroed — untargeted marker codes read it back verbatim.
-  auto work = ws.make<T>(dims.volume());
-  dev::launch_linear(
-      work.size(), [&](std::size_t i) { work[i] = T{0}; }, 1 << 14);
-  scatter_anchors<T>(anchors, work, dims, geo.anchor);
+  scatter_anchors<T>(anchors, out_, dims, geo_.anchor);
   for (std::size_t k = 0; k < outliers.indices.size(); ++k)
-    work[outliers.indices[k]] = outliers.values[k];
+    out_[outliers.indices[k]] = outliers.values[k];
+}
 
-  // `out` is fully overwritten (every position is in exactly one tile's
-  // owned region), so it may be pooled and unzeroed too.
-  run_tiles<false, T>(work, out, {}, codes, dims, eb, cfg, radius);
+template <typename T>
+std::size_t GInterpReconstructorT<T>::codes_needed(std::size_t bz) const {
+  // A slab's closed regions reach one plane past the owned extent, and the
+  // z-major linearization makes everything below that plane a contiguous
+  // prefix of the code array.
+  const std::size_t zmax = std::min<std::size_t>((bz + 1) * geo_.tile.z + 1,
+                                                 dims_.z);
+  return zmax * dims_.x * dims_.y;
+}
+
+template <typename T>
+void GInterpReconstructorT<T>::run_slab(std::size_t bz) {
+  // Four (bx, by)-parity waves: same-parity tiles are >= 2 blocks apart in
+  // every in-slab direction, so their closed regions (owned + 1 border
+  // plane in each positive direction) never overlap and the in-place loads
+  // and write-backs of concurrently running tiles touch disjoint bytes.
+  for (unsigned color = 0; color < 4; ++color) {
+    const std::size_t px = color & 1u;
+    const std::size_t py = color >> 1u;
+    if (grid_.x <= px || grid_.y <= py) continue;
+    const std::size_t nx = (grid_.x - px + 1) / 2;
+    const std::size_t ny = (grid_.y - py + 1) / 2;
+    dev::launch_linear(
+        nx * ny,
+        [&](std::size_t k) {
+          const std::size_t bx = px + 2 * (k % nx);
+          const std::size_t by = py + 2 * (k / nx);
+          const dev::BlockIdx blk{bx, by, bz,
+                                  (bz * grid_.y + by) * grid_.x + bx};
+          run_one_tile<false, T>(blk, out_, out_, {}, codes_, dims_, cfg_,
+                                 geo_, level_qz_);
+        },
+        1);
+  }
+}
+
+template class GInterpReconstructorT<float>;
+template class GInterpReconstructorT<double>;
+
+namespace {
+
+/// In-place decompression over the whole volume: scatter into `out`, then
+/// every slab in ascending order. Same validation and same arithmetic as
+/// decompress_impl — outputs are bit-identical (tests/test_decode_equiv.cc).
+template <typename T>
+void decompress_into_impl(std::span<const quant::Code> codes,
+                          std::span<const T> anchors,
+                          const quant::OutlierViewT<T>& outliers,
+                          const dev::Dim3& dims, double eb,
+                          const InterpConfig& cfg, int radius,
+                          std::span<T> out, dev::Workspace& ws) {
+  (void)ws;  // no staging buffer anymore; kept for call-site stability
+  GInterpReconstructorT<T> recon(codes, anchors, outliers, dims, eb, cfg,
+                                 radius, out);
+  for (std::size_t bz = 0; bz < recon.slab_count(); ++bz) recon.run_slab(bz);
 }
 
 }  // namespace

@@ -101,11 +101,15 @@ struct GInterpFusedT {
     const quant::OutlierSetT<double>& outliers, const dev::Dim3& dims,
     double eb, const InterpConfig& cfg, int radius = quant::kDefaultRadius);
 
-/// Workspace-threaded reconstruction: the scatter/work buffer is pooled in
-/// `ws`, outliers arrive as borrowed views, and the field is written into
-/// the caller-provided `out` span (size dims.volume(); may be pooled and
-/// unzeroed — every position is overwritten). Performs the same archive
-/// validation as ginterp_decompress and produces bit-identical output.
+/// In-place reconstruction: outliers arrive as borrowed views, anchors and
+/// outlier originals are scattered straight into the caller-provided `out`
+/// span (size dims.volume()), and the interpolation tiles read and write
+/// that same buffer — no staging copy of the field exists. Performs the
+/// same archive validation as ginterp_decompress and produces bit-identical
+/// output for every archive that validation admits; see GInterpReconstructorT
+/// for the in-place safety argument and the one caveat about `out`'s prior
+/// contents on undetectably-corrupt archives. `ws` is unused (kept for
+/// call-site stability: every decode path threads one workspace through).
 void ginterp_decompress_into(std::span<const quant::Code> codes,
                              std::span<const float> anchors,
                              const quant::OutlierViewT<float>& outliers,
@@ -118,5 +122,70 @@ void ginterp_decompress_into(std::span<const quant::Code> codes,
                              const dev::Dim3& dims, double eb,
                              const InterpConfig& cfg, int radius,
                              std::span<double> out, dev::Workspace& ws);
+
+/// Incremental in-place reconstruction, one tile-grid z-slab at a time —
+/// the unit the pipelined decompressor interleaves with Huffman chunk
+/// decode (slab bz only reads codes below codes_needed(bz), so it can run
+/// as soon as the entropy decoder's watermark passes that index).
+///
+/// Why in place is safe (the full argument is in docs/PERF.md):
+///   - the only *loaded* values a tile ever consumes are anchors (never a
+///     pass target) and outlier originals (dequantize returns the loaded
+///     value verbatim at marker codes) — and reconstruction writes exactly
+///     those values back, so whether a shared border plane is read before
+///     or after its owning tile ran, the bytes are the same;
+///   - every other position's reconstruction depends only on codes and on
+///     inputs recomputed earlier within the same tile, never on what the
+///     buffer held at load time.
+/// Scheduling keeps the formal data race out: slabs run in ascending bz
+/// (a slab's +z border is read strictly before the next slab writes it),
+/// and within a slab tiles launch in four (bx, by)-parity waves, so no two
+/// concurrent tiles' closed regions overlap. Output is bit-identical to the
+/// staged ginterp_decompress at any worker count.
+///
+/// Caveat: positions whose code is the outlier marker but which the archive
+/// failed to list as outliers (impossible for well-formed archives; not
+/// always detectable for corrupt ones) reconstruct from `out`'s prior
+/// contents instead of the staging buffer's zeros — still silently-wrong
+/// values either way, and never UB, which is all the corruption contract
+/// promises.
+template <typename T>
+class GInterpReconstructorT {
+ public:
+  /// Validates archive metadata (same core::CorruptArchive throws as
+  /// ginterp_decompress) and scatters anchors + outlier originals into
+  /// `out`. `codes` and `out` are borrowed and must outlive the slab runs;
+  /// `codes` may be filled lazily as long as slab bz's prefix is decoded
+  /// before run_slab(bz).
+  GInterpReconstructorT(std::span<const quant::Code> codes,
+                        std::span<const T> anchors,
+                        const quant::OutlierViewT<T>& outliers,
+                        const dev::Dim3& dims, double eb,
+                        const InterpConfig& cfg, int radius, std::span<T> out);
+
+  [[nodiscard]] std::size_t slab_count() const { return grid_.z; }
+
+  /// Exclusive upper bound on the linear code indices slab `bz` reads
+  /// (monotone in bz; slab_count()-1 maps to the full volume).
+  [[nodiscard]] std::size_t codes_needed(std::size_t bz) const;
+
+  /// Reconstructs every tile with block index z == bz. Call with
+  /// bz = 0 .. slab_count()-1 in ascending order.
+  void run_slab(std::size_t bz);
+
+ private:
+  std::span<const quant::Code> codes_;
+  std::span<T> out_;
+  dev::Dim3 dims_;
+  dev::Dim3 grid_;
+  Geometry geo_;
+  InterpConfig cfg_;
+  std::vector<quant::Quantizer> level_qz_;
+};
+
+using GInterpReconstructor = GInterpReconstructorT<float>;
+
+extern template class GInterpReconstructorT<float>;
+extern template class GInterpReconstructorT<double>;
 
 }  // namespace szi::predictor

@@ -148,4 +148,41 @@ TEST(Launch, BlocksCoverGrid) {
   for (auto& h : hit) EXPECT_EQ(h.load(), 1);
 }
 
+// The decoders rely on exceptions thrown inside plain (synchronous) launch
+// workers reaching the caller — e.g. huffman::decode_chunks throwing
+// core::CorruptArchive from a pool worker. The Stream tests cover the async
+// poisoning path; these cover the sync launches.
+TEST(Launch, LinearExceptionPropagatesToCaller) {
+  EXPECT_THROW(
+      launch_linear(
+          10000,
+          [](std::size_t i) {
+            if (i == 8191) throw std::invalid_argument("bad element");
+          },
+          16),
+      std::invalid_argument);
+}
+
+TEST(Launch, BlocksExceptionPropagatesToCaller) {
+  EXPECT_THROW(launch_blocks({8, 8, 8},
+                             [](const BlockIdx& b) {
+                               if (b.linear == 300)
+                                 throw std::runtime_error("bad block");
+                             }),
+               std::runtime_error);
+}
+
+TEST(Launch, LaunchUsableAfterWorkerException) {
+  try {
+    launch_linear(
+        1000, [](std::size_t) { throw std::runtime_error("poison"); }, 8);
+    FAIL() << "exception did not propagate";
+  } catch (const std::runtime_error&) {
+  }
+  // The pool must survive a throwing launch: later launches run normally.
+  std::atomic<std::size_t> count{0};
+  launch_linear(1000, [&](std::size_t) { count++; }, 8);
+  EXPECT_EQ(count.load(), 1000u);
+}
+
 }  // namespace

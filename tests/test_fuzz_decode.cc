@@ -15,6 +15,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <typeinfo>
 #include <memory>
 #include <string>
@@ -26,6 +27,7 @@
 #include "core/cuszi.hh"
 #include "datagen/rng.hh"
 #include "fuzz_mutator.hh"
+#include "huffman/huffman.hh"
 #include "io/bundle.hh"
 #include "lossless/lzss.hh"
 #include "quant/outlier.hh"
@@ -164,6 +166,105 @@ TEST(FuzzDecode, BundleToc) {
   run_trials("bundle", bytes, [](std::span<const std::byte> mutant) {
     (void)szi::io::Bundle::deserialize(mutant);
   });
+}
+
+// Every prefix of a wrapped archive, shortest to longest: deterministic
+// truncation coverage for the overhauled decode path. Truncations inside the
+// Huffman payload land mid-window for the buffered BitReader's 8-byte refill
+// (the reader must serve the remaining bits then zeros, and the chunk-extent
+// check must catch any overrun); truncations inside the LZSS frame exercise
+// the parallel block decode's raw/token bounds checks.
+TEST(FuzzDecode, TruncationSweepWrappedArchive) {
+  auto c = build_compressor("cusz-i+bitcomp");
+  const auto enc = c->compress(tiny_field(), params_for("cusz-i+bitcomp"));
+  szi::core::ScopedDecodeAllocCap cap(kAllocCap);
+  for (std::size_t len = 0; len <= enc.bytes.size(); ++len) {
+    try {
+      (void)c->decompress(std::span<const std::byte>(enc.bytes).first(len));
+    } catch (const szi::core::CorruptArchive&) {
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "truncation at " << len << ": decoder threw "
+                    << typeid(e).name() << " (" << e.what()
+                    << ") instead of CorruptArchive";
+      return;
+    }
+  }
+}
+
+// A Kraft-complete codebook with lengths far past the 12-bit LUT window
+// (counts 2^i force the canonical chain 1, 2, ..., k, k): every deep symbol
+// escapes the pack table into the bit-serial fallback, so mutants of this
+// stream stress the LUT-escape path and the corrupt-stream guards inside
+// DecodeTable::decode.
+TEST(FuzzDecode, HuffmanDeepCodebookMutants) {
+  constexpr std::size_t kSyms = 18;
+  std::vector<szi::quant::Code> codes;
+  for (std::size_t s = 0; s < kSyms; ++s)
+    codes.insert(codes.end(), std::size_t{1} << s,
+                 static_cast<szi::quant::Code>(s));
+  // Interleave deterministically so deep codes appear in every chunk.
+  std::vector<szi::quant::Code> shuffled(codes.size());
+  std::size_t w = 0;
+  for (std::size_t stride = 0; stride < 64; ++stride)
+    for (std::size_t i = stride; i < codes.size(); i += 64)
+      shuffled[w++] = codes[i];
+  const auto stream = szi::huffman::encode(shuffled, kSyms);
+  ASSERT_EQ(szi::huffman::decode(stream), shuffled);
+  run_trials("huffman-deep-book", stream,
+             [](std::span<const std::byte> mutant) {
+               (void)szi::huffman::decode(mutant);
+             });
+}
+
+// Mutants confined to the LZSS frame's block-offset table: the parallel
+// block decode trusts lzss_parse_frame's validation (monotone offsets inside
+// the stream), so every table corruption must be rejected there or surface
+// as a per-block CorruptArchive — never as an out-of-range read in a pool
+// worker (ASan-checked in CI).
+TEST(FuzzDecode, LzssBlockOffsetTableMutants) {
+  szi::datagen::Rng gen(seed_of("lzss-offset-corpus"));
+  std::vector<std::byte> data(5 * szi::lossless::kLzssBlock + 333);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = gen.uniform() < 0.8
+                  ? std::byte{0x5A}
+                  : std::byte(static_cast<std::uint8_t>(gen.next_u64()));
+  const auto enc = szi::lossless::lzss_compress(data);
+  // Frame header: u64 raw_size | u32 block_size | u32 nblocks | u64 offsets[].
+  constexpr std::size_t kTableOff = 16;
+  std::uint32_t nblocks = 0;
+  std::memcpy(&nblocks, enc.data() + 12, sizeof(nblocks));
+  ASSERT_EQ(nblocks, 6u);
+  const std::size_t table_bytes = nblocks * sizeof(std::uint64_t);
+
+  szi::core::ScopedDecodeAllocCap cap(kAllocCap);
+  szi::datagen::Rng rng(seed_of("lzss-offset-mutants"));
+  for (int trial = 0; trial < kTrials; ++trial) {
+    auto mutant = enc;
+    // 1-3 corruptions inside the table: byte flips or whole-u64 rewrites.
+    const int edits = 1 + static_cast<int>(rng.next_u64() % 3);
+    for (int e = 0; e < edits; ++e) {
+      if (rng.uniform() < 0.5) {
+        const std::size_t at = kTableOff + rng.next_u64() % table_bytes;
+        mutant[at] ^= std::byte(static_cast<std::uint8_t>(
+            1u << (rng.next_u64() % 8)));
+      } else {
+        const std::size_t slot = rng.next_u64() % nblocks;
+        std::uint64_t v = rng.next_u64();
+        if (rng.uniform() < 0.5) v %= (enc.size() + 7);  // near-valid range
+        std::memcpy(mutant.data() + kTableOff + slot * sizeof(v), &v,
+                    sizeof(v));
+      }
+    }
+    try {
+      (void)szi::lossless::lzss_decompress(mutant);
+    } catch (const szi::core::CorruptArchive&) {
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "lzss offset mutant trial " << trial
+                    << ": decoder threw " << typeid(e).name() << " ("
+                    << e.what() << ") instead of CorruptArchive";
+      return;
+    }
+  }
 }
 
 // Regression for the original OutlierSet::deserialize overflow: an 8-byte
