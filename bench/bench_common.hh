@@ -1,7 +1,10 @@
 // Shared helpers for the table/figure reproduction benches.
 #pragma once
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <string>
@@ -12,6 +15,38 @@
 #include "metrics/stats.hh"
 
 namespace szi::bench {
+
+/// Absolute path of a repo-root ledger file. Benches historically opened
+/// relative paths, so the JSON landed wherever the binary happened to be
+/// invoked from (usually the build tree) and the committed copy went stale
+/// without anyone noticing. SZI_REPO_ROOT is baked in by bench/CMakeLists.txt.
+inline std::string ledger_path(const std::string& name) {
+#ifdef SZI_REPO_ROOT
+  return std::string(SZI_REPO_ROOT) + "/" + name;
+#else
+  return name;
+#endif
+}
+
+/// Writes a committed benchmark ledger (BENCH_*.json) at the repo root and
+/// fails the process loudly if it cannot — a silently missing ledger reads
+/// as "bench ran and was recorded" when it wasn't.
+inline void write_ledger(const std::string& name, const std::string& json) {
+  const std::string path = ledger_path(name);
+  FILE* out = std::fopen(path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "error: cannot open ledger %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+    std::exit(1);
+  }
+  const bool ok =
+      std::fwrite(json.data(), 1, json.size(), out) == json.size();
+  if (std::fclose(out) != 0 || !ok) {
+    std::fprintf(stderr, "error: short write to ledger %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::printf("wrote %s\n", path.c_str());
+}
 
 /// Dataset cache: generators are deterministic but not free; every bench
 /// touches the same fields.

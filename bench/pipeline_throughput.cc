@@ -1,5 +1,5 @@
-// Batched multi-field compression throughput: cuszi_compress_many (two
-// streams, pooled workspaces over the global arena) versus the sequential
+// Batched multi-field compression throughput: cuszi_compress_many (one
+// stream per pool worker, pooled workspaces over sharded arenas) versus the sequential
 // per-field loop (each call paying fresh allocations for every pipeline
 // intermediate, as all callers did before the stream/arena layer landed).
 //
@@ -19,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.hh"
 #include "core/cuszi.hh"
 #include "core/timer.hh"
 #include "datagen/datasets.hh"
@@ -65,7 +66,7 @@ int main() {
 
   const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
   std::printf("pipeline_throughput: %zu fields, %.1f MB total, %u pool "
-              "worker(s), %u core(s), 2 streams\n\n",
+              "worker(s), %u core(s), one stream per worker\n\n",
               fields.size(), static_cast<double>(total_bytes) / 1e6,
               dev::ThreadPool::instance().worker_count(), cores);
   if (cores == 1)
@@ -105,29 +106,27 @@ int main() {
               stats.hits, stats.misses,
               static_cast<double>(stats.pooled_bytes) / 1e6);
 
-  if (FILE* out = std::fopen("BENCH_pipeline.json", "w")) {
-    std::fprintf(out,
-                 "{\n"
-                 "  \"bench\": \"pipeline_throughput\",\n"
-                 "  \"fields\": %zu,\n"
-                 "  \"input_bytes\": %zu,\n"
-                 "  \"pool_workers\": %u,\n"
-                 "  \"cpu_cores\": %u,\n"
-                 "  \"streams\": 2,\n"
-                 "  \"reps\": %d,\n"
-                 "  \"sequential_seconds\": %.6f,\n"
-                 "  \"batched_seconds\": %.6f,\n"
-                 "  \"speedup\": %.4f,\n"
-                 "  \"byte_identical\": %s,\n"
-                 "  \"arena_hits\": %zu,\n"
-                 "  \"arena_misses\": %zu\n"
-                 "}\n",
-                 fields.size(), total_bytes,
-                 dev::ThreadPool::instance().worker_count(), cores, reps, seq_s,
-                 batch_s, speedup, identical ? "true" : "false", stats.hits,
-                 stats.misses);
-    std::fclose(out);
-    std::printf("\nwrote BENCH_pipeline.json\n");
-  }
+  char json[1024];
+  std::snprintf(json, sizeof json,
+                "{\n"
+                "  \"bench\": \"pipeline_throughput\",\n"
+                "  \"fields\": %zu,\n"
+                "  \"input_bytes\": %zu,\n"
+                "  \"pool_workers\": %u,\n"
+                "  \"cpu_cores\": %u,\n"
+                "  \"streams\": \"auto (one per pool worker)\",\n"
+                "  \"reps\": %d,\n"
+                "  \"sequential_seconds\": %.6f,\n"
+                "  \"batched_seconds\": %.6f,\n"
+                "  \"speedup\": %.4f,\n"
+                "  \"byte_identical\": %s,\n"
+                "  \"arena_hits\": %zu,\n"
+                "  \"arena_misses\": %zu\n"
+                "}\n",
+                fields.size(), total_bytes,
+                dev::ThreadPool::instance().worker_count(), cores, reps, seq_s,
+                batch_s, speedup, identical ? "true" : "false", stats.hits,
+                stats.misses);
+  bench::write_ledger("BENCH_pipeline.json", json);
   return identical ? 0 : 1;
 }

@@ -514,14 +514,23 @@ std::vector<T> decompress_bitcomp_typed(std::span<const std::byte> bytes,
   auto raw = ws.make<std::byte>(frame.raw_size);
 
   constexpr std::size_t kGroupBlocks = 4;
+  // Blocks of one group write disjoint raw ranges, so they fan out across
+  // the pool (grain 1 = one block per chunk); with one worker, or when the
+  // caller is itself a pool worker, the launch degrades to the old serial
+  // walk. Either way the bytes written are identical.
   const auto decode_group = [&frame, &raw, &lzss_ns, &since](std::size_t b,
                                                              std::size_t be) {
     const auto t0 = std::chrono::steady_clock::now();
-    for (std::size_t k = b; k < be; ++k) {
-      const std::size_t begin = k * frame.block_size;
-      const std::size_t len = std::min(frame.block_size, frame.raw_size - begin);
-      lossless::lzss_decompress_block(frame, k, {raw.data() + begin, len});
-    }
+    dev::ThreadPool::instance().parallel_for(
+        be - b,
+        [&](std::size_t i) {
+          const std::size_t k = b + i;
+          const std::size_t begin = k * frame.block_size;
+          const std::size_t len =
+              std::min(frame.block_size, frame.raw_size - begin);
+          lossless::lzss_decompress_block(frame, k, {raw.data() + begin, len});
+        },
+        1);
     lzss_ns += since(t0);
   };
 
@@ -637,11 +646,14 @@ std::vector<T> decompress_bitcomp_typed(std::span<const std::byte> bytes,
   // the reconstructor validates and scatters anchors/outliers into `out`
   // now, and as each Huffman chunk group lands, every tile z-slab whose
   // code prefix is complete reconstructs immediately — inline on a serial
-  // machine (the slab's codes are still cache-hot), on a second stream when
-  // workers exist (slab k reconstructs while the host entropy-decodes group
-  // k+1; the stream reads only codes below the watermark, the host writes
-  // only above it). `rc` is declared after everything its tasks borrow, so
-  // unwind order drains it before those locals die.
+  // machine (the slab's codes are still cache-hot), round-robin across a
+  // per-worker stream fleet when workers exist. Slabs are mutually
+  // independent (the reconstructor snapshots the cross-slab border planes
+  // at construction), so any number of them may run concurrently the
+  // moment their code prefix lands; every stream reads only codes below
+  // the watermark, the host writes only above it. `rcs` is declared after
+  // everything its tasks borrow, so unwind order drains it before those
+  // locals die.
   std::vector<T> out(h.volume);
   predictor::GInterpReconstructorT<T> recon(codes, std::span<const T>(anchors),
                                             outliers, h.dims, h.eb, h.cfg,
@@ -651,15 +663,22 @@ std::vector<T> decompress_bitcomp_typed(std::span<const std::byte> bytes,
     recon.run_slab(bz);
     recon_ns += since(t0);
   };
-  std::optional<dev::Stream> rc;
-  if (stream_overlap_pays() && recon.slab_count() > 1) rc.emplace();
+  std::deque<dev::Stream> rcs;
+  if (stream_overlap_pays() && recon.slab_count() > 1) {
+    const std::size_t n = std::min<std::size_t>(
+        dev::ThreadPool::instance().worker_count(), recon.slab_count());
+    for (std::size_t i = 0; i < n; ++i) rcs.emplace_back();
+  }
   std::size_t next_slab = 0;
   const auto reconstruct_upto = [&](std::size_t code_watermark) {
     while (next_slab < recon.slab_count() &&
            recon.codes_needed(next_slab) <= code_watermark) {
       const std::size_t bz = next_slab++;
-      if (rc) rc->submit([&run_slab_timed, bz] { run_slab_timed(bz); });
-      else run_slab_timed(bz);
+      if (!rcs.empty())
+        rcs[bz % rcs.size()].submit(
+            [&run_slab_timed, bz] { run_slab_timed(bz); });
+      else
+        run_slab_timed(bz);
     }
   };
 
@@ -685,8 +704,20 @@ std::vector<T> decompress_bitcomp_typed(std::span<const std::byte> bytes,
   else ensure(frame.raw_size);
 
   reconstruct_upto(plan.n);
-  const bool overlapped = lz.has_value() || rc.has_value();
-  if (rc) rc->synchronize();
+  const bool overlapped = lz.has_value() || !rcs.empty();
+  {
+    // Drain every reconstruction stream before rethrowing so no task still
+    // references the locals; the first failure wins.
+    std::exception_ptr err;
+    for (auto& s : rcs) {
+      try {
+        s.synchronize();
+      } catch (...) {
+        if (!err) err = std::current_exception();
+      }
+    }
+    if (err) std::rethrow_exception(err);
+  }
   ws.reset();
   if (dt) {
     dt->unwrap = static_cast<double>(lzss_ns.load()) * 1e-9;
@@ -700,18 +731,24 @@ std::vector<T> decompress_bitcomp_typed(std::span<const std::byte> bytes,
 
 /// The batched pipeline behind cuszi_compress_many() and
 /// Cuszi::compress_batch: fields go round-robin onto `streams` in-order
-/// async queues, each stream reusing one Workspace over the global arena, so
-/// field k+streams's buffers are field k's pages — warm, already faulted in.
-/// On a multi-core host the streams also overlap (field B's interpolation
-/// runs while field A encodes); outputs stay byte-identical because every
-/// kernel is deterministic regardless of scheduling.
+/// async queues. `streams == 0` means auto — one stream per pool worker
+/// (capped by the field count), so the batch front end scales with
+/// SZI_THREADS instead of a caller-guessed constant. Each stream reuses one
+/// Workspace over its own partitioned arena shard, so field k+streams's
+/// buffers are field k's pages — warm, already faulted in — and concurrent
+/// streams never contend on one free-list mutex. On a multi-core host the
+/// streams also overlap (field B's interpolation runs while field A
+/// encodes); outputs stay byte-identical because every kernel is
+/// deterministic regardless of scheduling.
 std::vector<std::vector<std::byte>> compress_many_impl(
     std::span<const FieldView> fields, const CompressParams& params,
     std::vector<StageTimings>* timings, std::size_t streams) {
   const std::size_t nf = fields.size();
   std::vector<std::vector<std::byte>> out(nf);
   std::vector<StageTimings> times(nf);
-  if (streams == 0) streams = 1;
+  if (streams == 0)
+    streams = std::max<std::size_t>(
+        1, dev::ThreadPool::instance().worker_count());
   if (nf > 0 && streams > nf) streams = nf;
 
   {
@@ -719,7 +756,7 @@ std::vector<std::vector<std::byte>> compress_many_impl(
     std::deque<dev::Stream> ss(streams);
     std::deque<dev::Workspace> wss;
     for (std::size_t s = 0; s < streams; ++s)
-      wss.emplace_back(dev::Arena::instance());
+      wss.emplace_back(dev::Arena::shard(s));
 
     for (std::size_t f = 0; f < nf; ++f) {
       dev::Workspace& ws = wss[f % streams];
@@ -770,7 +807,7 @@ class Cuszi final : public Compressor {
     views.reserve(fields.size());
     for (const auto& f : fields) views.push_back({f.view(), f.dims});
     std::vector<StageTimings> times;
-    auto archives = compress_many_impl(views, p, &times, 2);
+    auto archives = compress_many_impl(views, p, &times, /*streams=*/0);
     std::vector<CompressResult> out(archives.size());
     for (std::size_t i = 0; i < archives.size(); ++i) {
       out[i].bytes = std::move(archives[i]);

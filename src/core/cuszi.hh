@@ -90,13 +90,16 @@ struct FieldView {
 
 /// Batched front end: compresses `fields` by pipelining them round-robin
 /// across `streams` dev::Streams, each stream owning a persistent Workspace
-/// over the global arena so buffers are reused from field to field. Archives
-/// are byte-identical to per-field cuszi_compress() and returned in input
-/// order; the first exception any field raises is rethrown after all
-/// streams drain. `timings` (optional) receives per-field stage timings.
+/// over its own partitioned arena shard so buffers are reused from field to
+/// field without cross-stream lock contention. `streams == 0` (the default)
+/// sizes the fleet automatically: one stream per pool worker, capped by the
+/// field count. Archives are byte-identical to per-field cuszi_compress()
+/// and returned in input order; the first exception any field raises is
+/// rethrown after all streams drain. `timings` (optional) receives
+/// per-field stage timings.
 [[nodiscard]] std::vector<std::vector<std::byte>> cuszi_compress_many(
     std::span<const FieldView> fields, const CompressParams& params,
-    std::vector<StageTimings>* timings = nullptr, std::size_t streams = 2);
+    std::vector<StageTimings>* timings = nullptr, std::size_t streams = 0);
 
 enum class Precision : std::uint8_t { F32 = 0, F64 = 1 };
 

@@ -10,6 +10,13 @@ Arena& Arena::instance() {
   return arena;
 }
 
+Arena& Arena::shard(std::size_t i) {
+  // Function-local statics give each shard the same magic-static lifetime
+  // as instance(); an array member would need manual once-init plumbing.
+  static std::array<Arena, kShards> shards;
+  return shards[i % kShards];
+}
+
 Arena::~Arena() { trim(); }
 
 std::size_t Arena::bucket_of(std::size_t bytes) {

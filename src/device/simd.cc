@@ -1,0 +1,19 @@
+#include "device/simd.hh"
+
+#include <cstdlib>
+
+namespace szi::dev {
+
+bool has_avx2() {
+  static const bool ok = [] {
+    if (const char* env = std::getenv("SZI_NO_AVX2"); env && *env) return false;
+#if defined(__x86_64__) || defined(__i386__)
+    return __builtin_cpu_supports("avx2") != 0;
+#else
+    return false;
+#endif
+  }();
+  return ok;
+}
+
+}  // namespace szi::dev

@@ -1,0 +1,26 @@
+// Runtime SIMD dispatch for the explicit AVX2 kernels.
+//
+// The build stays at baseline x86-64 (no global -mavx2), so every AVX2
+// function in the tree carries a per-function target("avx2") attribute and
+// is only ever entered behind has_avx2(). Keeping the ISA check runtime
+// (not compile-time) means one binary serves both old and new hosts, and
+// the scalar fallbacks remain live, tested code paths everywhere.
+//
+// Bit-identity contract: an AVX2 kernel in this codebase must replicate its
+// scalar counterpart's floating-point operations in the exact same order
+// with the same roundings. Baseline x86-64 has no FMA and the target
+// attribute does not enable it, so the compiler cannot contract the
+// intrinsic mul/add chains — the lanes compute precisely what the scalar
+// loop computes, and archives/reconstructions stay byte-identical whether
+// the dispatch takes the vector or the scalar path (the worker-count
+// determinism sweep runs one instance with SZI_NO_AVX2=1 to prove it).
+#pragma once
+
+namespace szi::dev {
+
+/// True when the host supports AVX2 and the SZI_NO_AVX2 environment
+/// variable is unset/empty (the kill switch exists for A/B testing the
+/// scalar fallbacks on AVX2 hardware). Cached after the first call.
+[[nodiscard]] bool has_avx2();
+
+}  // namespace szi::dev

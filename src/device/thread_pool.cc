@@ -1,18 +1,48 @@
 #include "device/thread_pool.hh"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <utility>
 
 namespace szi::dev {
 
+namespace {
+/// Upper bound on SZI_THREADS; larger requests are clamped, not rejected.
+constexpr long kMaxWorkers = 1024;
+}  // namespace
+
 ThreadPool& ThreadPool::instance() {
-  static ThreadPool pool([] {
-    if (const char* env = std::getenv("SZI_THREADS")) {
-      const long n = std::strtol(env, nullptr, 10);
-      if (n >= 1 && n <= 1024) return static_cast<unsigned>(n);
+  static ThreadPool pool([]() -> unsigned {
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    const char* env = std::getenv("SZI_THREADS");
+    if (!env || !*env) return hw;
+    char* end = nullptr;
+    errno = 0;
+    const long n = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0') {
+      // Trailing garbage ("4x") or no digits at all: the value is not a
+      // number, so the user's intent is unknowable — warn and fall back.
+      std::fprintf(stderr,
+                   "szi: ignoring unparsable SZI_THREADS=\"%s\" "
+                   "(using %u hardware threads)\n",
+                   env, hw);
+      return hw;
     }
-    return std::max(1u, std::thread::hardware_concurrency());
+    if (errno == ERANGE || n > kMaxWorkers) {
+      std::fprintf(stderr,
+                   "szi: SZI_THREADS=%s exceeds the %ld-worker cap; "
+                   "clamping to %ld\n",
+                   env, kMaxWorkers, kMaxWorkers);
+      return static_cast<unsigned>(kMaxWorkers);
+    }
+    if (n < 1) {
+      std::fprintf(stderr, "szi: SZI_THREADS=%s is below 1; clamping to 1\n",
+                   env);
+      return 1u;
+    }
+    return static_cast<unsigned>(n);
   }());
   return pool;
 }

@@ -3,11 +3,35 @@
 #include <algorithm>
 #include <array>
 
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
 #include "device/launch.hh"
+#include "device/simd.hh"
 
 namespace szi::huffman {
 
 namespace {
+
+#if defined(__x86_64__)
+/// total[0..nbins) += part[0..nbins), 8 counters per step. Exact integer
+/// adds — bit-identical to the scalar fold by construction.
+[[gnu::target("avx2")]] void add_part_avx2(std::uint32_t* total,
+                                           const std::uint32_t* part,
+                                           std::size_t nbins) {
+  std::size_t b = 0;
+  for (; b + 8 <= nbins; b += 8) {
+    const __m256i t =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(total + b));
+    const __m256i p =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(part + b));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(total + b),
+                        _mm256_add_epi32(t, p));
+  }
+  for (; b < nbins; ++b) total[b] += part[b];
+}
+#endif
 /// Alias for the shared bank count (layout documented in histogram.hh).
 constexpr std::size_t kInterleave = kHistogramBanks;
 
@@ -22,11 +46,35 @@ std::size_t partition(std::size_t n, std::size_t& per) {
 }
 }  // namespace
 
+std::vector<std::uint32_t> merge_histograms(
+    std::span<const std::uint32_t> parts, std::size_t nparts,
+    std::size_t nbins) {
+  std::vector<std::uint32_t> total(nbins, 0);
+#if defined(__x86_64__)
+  if (dev::has_avx2()) {
+    for (std::size_t c = 0; c < nparts; ++c)
+      add_part_avx2(total.data(), parts.data() + c * nbins, nbins);
+    return total;
+  }
+#endif
+  for (std::size_t c = 0; c < nparts; ++c) {
+    const std::uint32_t* p = parts.data() + c * nbins;
+    for (std::size_t b = 0; b < nbins; ++b) total[b] += p[b];
+  }
+  return total;
+}
+
 std::vector<std::uint32_t> histogram(std::span<const quant::Code> codes,
                                      std::size_t nbins, dev::Workspace& ws) {
   std::size_t per = 0;
   const std::size_t nworkers = partition(codes.size(), per);
   auto parts = ws.make<std::uint32_t>(nworkers * kInterleave * nbins);
+  // Private-slot audit: `w` is the launch's loop index, NOT a thread id.
+  // parts holds exactly `nworkers` slots and every w in [0, nworkers) runs
+  // exactly once, so the indexing stays valid even when the launch degrades
+  // to inline execution on a nested parallel_for (g_in_launch) — the caller
+  // then walks all w values sequentially, each with its own slot, and the
+  // serial worker-order merge gives the same totals.
   dev::launch_linear(
       nworkers,
       [&](std::size_t w) {

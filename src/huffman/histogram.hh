@@ -84,17 +84,12 @@ inline void accumulate_banked(const quant::Code* codes, std::size_t n,
 
 /// Folds `nparts` flat private histograms (nbins counters each) into one
 /// total, serially in part order — the deterministic merge every
-/// accumulation site shares.
-[[nodiscard]] inline std::vector<std::uint32_t> merge_histograms(
+/// accumulation site shares. Uses 8-wide AVX2 adds when the host supports
+/// them; uint32 addition is exact, so the vector and scalar folds are
+/// trivially identical.
+[[nodiscard]] std::vector<std::uint32_t> merge_histograms(
     std::span<const std::uint32_t> parts, std::size_t nparts,
-    std::size_t nbins) {
-  std::vector<std::uint32_t> total(nbins, 0);
-  for (std::size_t c = 0; c < nparts; ++c) {
-    const std::uint32_t* p = parts.data() + c * nbins;
-    for (std::size_t b = 0; b < nbins; ++b) total[b] += p[b];
-  }
-  return total;
-}
+    std::size_t nbins);
 
 /// Generic two-phase privatized histogram over codes < nbins.
 [[nodiscard]] std::vector<std::uint32_t> histogram(

@@ -3,12 +3,19 @@
 #include <algorithm>
 #include <array>
 #include <cassert>
+#include <cstring>
 #include <stdexcept>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
 #include "core/bytes.hh"
 #include "device/launch.hh"
+#include "device/simd.hh"
 #include "huffman/histogram.hh"
 #include "predictor/anchor.hh"
 #include "predictor/spline.hh"
@@ -20,9 +27,16 @@ namespace {
 /// Largest closed-tile volume across the per-rank geometries (33*9*9).
 constexpr std::size_t kMaxTileVolume = 33 * 9 * 9;
 
+/// Tail padding behind the used tile region. The stride-2 AVX2 interp walk
+/// deinterleaves 16-float windows whose last float sits one element past
+/// the final stride-2 lane it actually uses; padding keeps that discarded
+/// over-read inside the array when the used region fills the buffer
+/// exactly. Never written or consumed.
+constexpr std::size_t kTilePad = 8;
+
 template <typename T>
 struct TileView {
-  std::array<T, kMaxTileVolume> buf;
+  std::array<T, kMaxTileVolume + kTilePad> buf;
   std::array<std::size_t, 3> origin;  ///< global coords of local (0,0,0)
   std::array<std::size_t, 3> extent;  ///< closed local extent per dim
   std::array<std::size_t, 3> lstride; ///< local linear strides per dim
@@ -32,6 +46,152 @@ struct TileView {
 std::size_t dim_of(const dev::Dim3& d, int i) {
   return i == 0 ? d.x : (i == 1 ? d.y : d.z);
 }
+
+/// Immutable copy of one global z-plane (dims.x*dims.y elements) substituted
+/// for the source buffer when a tile's closed-region load crosses it. The
+/// slab-parallel reconstructor uses this to read +z borders from a
+/// post-scatter snapshot instead of a neighbor slab's in-flight output.
+template <typename T>
+struct PlaneOverride {
+  const T* plane = nullptr;
+  std::size_t z = 0;
+};
+
+#if defined(__x86_64__)
+
+// ---- AVX2 interior-cubic decompress walk (f32) -------------------------
+//
+// The finest interpolation level's interior-cubic planes dominate
+// decompression: every pass with the fast-varying dimension already done
+// (or pending) walks targets at local stride 1 or 2 while reading four
+// neighbor rows at the same stride. These kernels run 8 targets per step,
+// replicating the scalar arithmetic operation for operation:
+//   cubic_nak      (((-a) + (9*b)) + (9*c) - d) * (1/16)       [f32 ops]
+//   cubic_natural  (((-3*a) + (23*b)) + (23*c)) - (3*d), *(1/40)
+//   dequantize     f32(f64(pred) + twice_eb * f64(stored - radius)),
+//                  marker code 0 keeps the scattered value
+// No FMA exists at baseline x86-64 and target("avx2") does not enable it,
+// so neither side can contract the mul/add chains — each lane rounds where
+// the scalar rounds and the reconstruction is bit-identical
+// (tests/test_decode_equiv.cc + the SZI_NO_AVX2 determinism instance).
+
+/// Even-indexed floats of the 16-float window at `p` (stride-2 gather).
+/// Reads p[0..15]; the odd lanes are discarded, and the one float past the
+/// last used element stays inside the tile buffer thanks to kTilePad.
+[[gnu::target("avx2")]] inline __m256 deinterleave_even(const float* p) {
+  const __m256 a = _mm256_loadu_ps(p);
+  const __m256 b = _mm256_loadu_ps(p + 8);
+  const __m256 s = _mm256_shuffle_ps(a, b, _MM_SHUFFLE(2, 0, 2, 0));
+  return _mm256_castpd_ps(
+      _mm256_permute4x64_pd(_mm256_castps_pd(s), _MM_SHUFFLE(3, 1, 2, 0)));
+}
+
+/// Scatters 8 floats to p[0], p[2], ..., p[14] without touching the odd
+/// lanes (maskstore leaves unselected lanes unwritten).
+[[gnu::target("avx2")]] inline void interleave_even_store(float* p, __m256 r) {
+  const __m256i lo = _mm256_setr_epi32(0, 0, 1, 1, 2, 2, 3, 3);
+  const __m256i hi = _mm256_setr_epi32(4, 4, 5, 5, 6, 6, 7, 7);
+  const __m256i even = _mm256_setr_epi32(-1, 0, -1, 0, -1, 0, -1, 0);
+  _mm256_maskstore_ps(p, even, _mm256_permutevar8x32_ps(r, lo));
+  _mm256_maskstore_ps(p + 8, even, _mm256_permutevar8x32_ps(r, hi));
+}
+
+/// quant::Quantizer::dequantize for 8 lanes: two f64x4 halves compute
+/// pred + twice_eb * (stored - radius) with the scalar's rounding sequence
+/// (one mul, one add, one f64->f32 round-to-nearest-even); marker lanes
+/// keep the scattered value.
+[[gnu::target("avx2")]] inline __m256 dequantize8(__m256 pred, __m256i stored,
+                                                  __m256 scattered,
+                                                  __m256d twice_eb,
+                                                  __m256i radius) {
+  const __m256i q = _mm256_sub_epi32(stored, radius);
+  const __m256d plo = _mm256_cvtps_pd(_mm256_castps256_ps128(pred));
+  const __m256d phi = _mm256_cvtps_pd(_mm256_extractf128_ps(pred, 1));
+  const __m256d qlo = _mm256_cvtepi32_pd(_mm256_castsi256_si128(q));
+  const __m256d qhi = _mm256_cvtepi32_pd(_mm256_extracti128_si256(q, 1));
+  const __m128 rlo =
+      _mm256_cvtpd_ps(_mm256_add_pd(plo, _mm256_mul_pd(twice_eb, qlo)));
+  const __m128 rhi =
+      _mm256_cvtpd_ps(_mm256_add_pd(phi, _mm256_mul_pd(twice_eb, qhi)));
+  const __m256 r = _mm256_set_m128(rhi, rlo);
+  const __m256 keep = _mm256_castsi256_ps(
+      _mm256_cmpeq_epi32(stored, _mm256_setzero_si256()));
+  return _mm256_blendv_ps(r, scattered, keep);
+}
+
+/// 8-lane spline_predict interior case, scalar op order per lane.
+template <bool kNak>
+[[gnu::target("avx2")]] inline __m256 cubic8(__m256 a, __m256 b, __m256 c,
+                                             __m256 d) {
+  const __m256 sign = _mm256_set1_ps(-0.0f);
+  if constexpr (kNak) {
+    const __m256 nine = _mm256_set1_ps(9.0f);
+    __m256 t = _mm256_add_ps(_mm256_xor_ps(a, sign), _mm256_mul_ps(nine, b));
+    t = _mm256_add_ps(t, _mm256_mul_ps(nine, c));
+    t = _mm256_sub_ps(t, d);
+    return _mm256_mul_ps(t, _mm256_set1_ps(1.0f / 16.0f));
+  } else {
+    __m256 t = _mm256_add_ps(_mm256_mul_ps(_mm256_set1_ps(-3.0f), a),
+                             _mm256_mul_ps(_mm256_set1_ps(23.0f), b));
+    t = _mm256_add_ps(t, _mm256_mul_ps(_mm256_set1_ps(23.0f), c));
+    t = _mm256_sub_ps(t, _mm256_mul_ps(_mm256_set1_ps(3.0f), d));
+    return _mm256_mul_ps(t, _mm256_set1_ps(1.0f / 40.0f));
+  }
+}
+
+/// Vector part of one interior-cubic decompress row: processes the longest
+/// prefix of the `n` targets it can in 8-lane steps and returns how many it
+/// handled (the caller finishes the tail with the scalar walk). `row` is
+/// the first target in the (private, padded) tile buffer, `cp` the first
+/// target's quant-code, `avail` the codes readable from `cp` on — the
+/// stride-2 code load reads a 16-code window, so the last vector is skipped
+/// when the window would cross the end of the (shared, unpadded) code
+/// array.
+template <bool kNak, int kStride>
+[[gnu::target("avx2")]] std::size_t cubic_row_avx2(
+    float* row, std::ptrdiff_t o1, std::ptrdiff_t o3, const quant::Code* cp,
+    std::size_t avail, std::size_t n, double twice_eb_v, int radius_v) {
+  const __m256d twice_eb = _mm256_set1_pd(twice_eb_v);
+  const __m256i radius = _mm256_set1_epi32(radius_v);
+  std::size_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    const std::size_t off = k * kStride;
+    __m256 a, b, c, d, scattered;
+    __m256i stored;
+    if constexpr (kStride == 1) {
+      a = _mm256_loadu_ps(row + off - o3);
+      b = _mm256_loadu_ps(row + off - o1);
+      c = _mm256_loadu_ps(row + off + o1);
+      d = _mm256_loadu_ps(row + off + o3);
+      scattered = _mm256_loadu_ps(row + off);
+      stored = _mm256_cvtepu16_epi32(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(cp + off)));
+    } else {
+      if (off + 16 > avail) break;  // code window would overrun the array
+      a = deinterleave_even(row + off - o3);
+      b = deinterleave_even(row + off - o1);
+      c = deinterleave_even(row + off + o1);
+      d = deinterleave_even(row + off + o3);
+      scattered = deinterleave_even(row + off);
+      // Little-endian: the low u16 of each u32 in the window is the code at
+      // even offset 0, 2, ..., 14.
+      stored = _mm256_and_si256(
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cp + off)),
+          _mm256_set1_epi32(0xFFFF));
+    }
+    const __m256 r =
+        dequantize8(cubic8<kNak>(a, b, c, d), stored, scattered, twice_eb,
+                    radius);
+    if constexpr (kStride == 1) {
+      _mm256_storeu_ps(row + off, r);
+    } else {
+      interleave_even_store(row + off, r);
+    }
+  }
+  return k;
+}
+
+#endif  // __x86_64__
 
 /// One (stride, dimension) interpolation pass over a tile. Shared between
 /// compression and decompression; `kCompress` selects which side of the
@@ -128,6 +288,49 @@ void tile_pass(TileView<T>& t, int d, std::size_t s,
 
     if (hc) {
       if (ha && hd) {
+#if defined(__x86_64__)
+        // Interior-cubic decompression at unit or double local stride (the
+        // fast-varying dimension at the finest levels) takes the 8-lane
+        // AVX2 walk when the host has it; the scalar tail below the vector
+        // prefix runs the exact expressions the generic walk would.
+        if constexpr (!kCompress && std::is_same_v<T, float>) {
+          const std::size_t dp = step_u * ls_u;
+          const std::size_t dg = step_u * gs_u;
+          if ((dp == 1 || dp == 2) && dg == dp && n_u >= 8 &&
+              dev::has_avx2()) {
+            const bool nak = kind == CubicKind::NotAKnot;
+            const double teb = 2.0 * qz.eb();
+            const int rad = qz.radius();
+            for (std::size_t pv = 0; pv < t.extent[v]; pv += step_v) {
+              float* p = t.buf.data() + cd * ls_d + pv * ls_v;
+              std::size_t gidx = gorigin + cd * gs_d + pv * gs_v;
+              const quant::Code* cp = codes_in.data() + gidx;
+              const std::size_t avail = codes_in.size() - gidx;
+              std::size_t k;
+              if (dp == 1)
+                k = nak ? cubic_row_avx2<true, 1>(p, o1, o3, cp, avail, n_u,
+                                                  teb, rad)
+                        : cubic_row_avx2<false, 1>(p, o1, o3, cp, avail, n_u,
+                                                   teb, rad);
+              else
+                k = nak ? cubic_row_avx2<true, 2>(p, o1, o3, cp, avail, n_u,
+                                                  teb, rad)
+                        : cubic_row_avx2<false, 2>(p, o1, o3, cp, avail, n_u,
+                                                   teb, rad);
+              p += k * dp;
+              gidx += k * dg;
+              for (; k < n_u; ++k, p += dp, gidx += dg) {
+                const float pr = nak
+                                     ? cubic_nak(p[-o3], p[-o1], p[o1], p[o3])
+                                     : cubic_natural(p[-o3], p[-o1], p[o1],
+                                                     p[o3]);
+                *p = qz.dequantize(codes_in[gidx], pr, *p);
+              }
+            }
+            continue;
+          }
+        }
+#endif
         // Interior: the branchless cubic walk (the overwhelming majority of
         // points at fine strides).
         if (kind == CubicKind::NotAKnot)
@@ -170,7 +373,8 @@ void run_one_tile(const dev::BlockIdx& blk, std::span<const T> in,
                   std::span<T> out, std::span<quant::Code> codes,
                   std::span<const quant::Code> codes_in, const dev::Dim3& dims,
                   const InterpConfig& cfg, const Geometry& geo,
-                  std::span<const quant::Quantizer> level_qz) {
+                  std::span<const quant::Quantizer> level_qz,
+                  PlaneOverride<T> po = {}) {
   auto qz_for = [&](std::size_t s) -> const quant::Quantizer& {
     int l = 0;
     while ((std::size_t{1} << l) < s) ++l;
@@ -187,18 +391,24 @@ void run_one_tile(const dev::BlockIdx& blk, std::span<const T> in,
   }
   t.lstride = {1, t.extent[0], t.extent[0] * t.extent[1]};
 
-  // Load the closed region. For decompression `in` is a read-only work
-  // buffer holding scattered anchors and outlier originals (writes go to
-  // the separate `out`, so concurrent tiles never race on border planes).
+  // Load the closed region, one contiguous x-row memcpy at a time (local
+  // and global x strides are both 1). For the slab-parallel reconstructor a
+  // z-plane crossing into the next slab loads from the immutable snapshot
+  // in `po` instead of `in`, so the load never races a neighbor slab's
+  // writes; in all other paths `in` is a read-only source.
   const std::span<const T> src = in;
-  for (std::size_t z = 0; z < t.extent[2]; ++z)
+  for (std::size_t z = 0; z < t.extent[2]; ++z) {
+    const std::size_t gz = t.origin[2] + z;
+    const T* splane = (po.plane != nullptr && gz == po.z) ? po.plane : nullptr;
     for (std::size_t y = 0; y < t.extent[1]; ++y) {
       const std::size_t lrow = y * t.lstride[1] + z * t.lstride[2];
-      const std::size_t grow = dev::linearize(dims, t.origin[0],
-                                              t.origin[1] + y, t.origin[2] + z);
-      for (std::size_t x = 0; x < t.extent[0]; ++x)
-        t.buf[lrow + x] = src[grow + x];
+      const T* grow = splane != nullptr
+                          ? splane + (t.origin[1] + y) * dims.x + t.origin[0]
+                          : src.data() + dev::linearize(dims, t.origin[0],
+                                                        t.origin[1] + y, gz);
+      std::memcpy(t.buf.data() + lrow, grow, t.extent[0] * sizeof(T));
     }
+  }
 
   // Level-by-level, dimension-by-dimension interpolation.
   const std::size_t gorigin =
@@ -217,15 +427,15 @@ void run_one_tile(const dev::BlockIdx& blk, std::span<const T> in,
   }
 
   if constexpr (!kCompress) {
-    // Write back the owned region.
+    // Write back the owned region, again as contiguous x-row memcpys.
     for (std::size_t z = 0; z < t.owned[2]; ++z)
       for (std::size_t y = 0; y < t.owned[1]; ++y) {
         const std::size_t lrow = y * t.lstride[1] + z * t.lstride[2];
         const std::size_t grow = dev::linearize(dims, t.origin[0],
                                                 t.origin[1] + y,
                                                 t.origin[2] + z);
-        for (std::size_t x = 0; x < t.owned[0]; ++x)
-          out[grow + x] = t.buf[lrow + x];
+        std::memcpy(out.data() + grow, t.buf.data() + lrow,
+                    t.owned[0] * sizeof(T));
       }
   }
 }
@@ -354,6 +564,10 @@ GInterpFusedT<T> compress_fused_impl(std::span<const T> data,
     T value;
   };
   std::vector<std::vector<Outlier>> worker_outliers(nworkers);
+  // Private-slot audit (mirrors huffman::histogram): `w` is the launch loop
+  // index, not a thread id, so each of the nworkers slots is written by
+  // exactly one logical worker even when this launch runs nested inside
+  // another parallel_for and degrades to a sequential inline walk.
   dev::launch_linear(
       nworkers,
       [&](std::size_t w) {
@@ -482,6 +696,25 @@ GInterpReconstructorT<T>::GInterpReconstructorT(
   scatter_anchors<T>(anchors, out_, dims, geo_.anchor);
   for (std::size_t k = 0; k < outliers.indices.size(); ++k)
     out_[outliers.indices[k]] = outliers.values[k];
+
+  // Snapshot every slab-boundary z-plane now, while the buffer holds exactly
+  // the post-scatter state. A slab's +z border load consumes only anchors
+  // and outlier originals — values reconstruction writes back unchanged —
+  // so substituting this snapshot for the live buffer is bit-transparent,
+  // and it severs the only cross-slab read: slabs become schedulable in any
+  // order, including concurrently.
+  if (grid_.z > 1) {
+    const std::size_t plane = dims_.x * dims_.y;
+    border_.resize((grid_.z - 1) * plane);
+    dev::launch_linear(
+        grid_.z - 1,
+        [&](std::size_t bz) {
+          const std::size_t z = (bz + 1) * geo_.tile.z;
+          std::memcpy(border_.data() + bz * plane, out_.data() + z * plane,
+                      plane * sizeof(T));
+        },
+        1);
+  }
 }
 
 template <typename T>
@@ -500,6 +733,13 @@ void GInterpReconstructorT<T>::run_slab(std::size_t bz) {
   // every in-slab direction, so their closed regions (owned + 1 border
   // plane in each positive direction) never overlap and the in-place loads
   // and write-backs of concurrently running tiles touch disjoint bytes.
+  // The +z border plane (shared with slab bz+1) loads from the constructor's
+  // snapshot, so concurrently running slabs never touch the same bytes.
+  PlaneOverride<T> po;
+  if (bz + 1 < grid_.z) {
+    po.plane = border_.data() + bz * dims_.x * dims_.y;
+    po.z = (bz + 1) * geo_.tile.z;
+  }
   for (unsigned color = 0; color < 4; ++color) {
     const std::size_t px = color & 1u;
     const std::size_t py = color >> 1u;
@@ -514,7 +754,7 @@ void GInterpReconstructorT<T>::run_slab(std::size_t bz) {
           const dev::BlockIdx blk{bx, by, bz,
                                   (bz * grid_.y + by) * grid_.x + bx};
           run_one_tile<false, T>(blk, out_, out_, {}, codes_, dims_, cfg_,
-                                 geo_, level_qz_);
+                                 geo_, level_qz_, po);
         },
         1);
   }
@@ -526,8 +766,12 @@ template class GInterpReconstructorT<double>;
 namespace {
 
 /// In-place decompression over the whole volume: scatter into `out`, then
-/// every slab in ascending order. Same validation and same arithmetic as
-/// decompress_impl — outputs are bit-identical (tests/test_decode_equiv.cc).
+/// every slab. Slabs are independent (the reconstructor's border snapshot
+/// severs the +z cross-slab read), so they fan out across the pool; the
+/// per-slab parity-wave launches inside run_slab degrade to inline
+/// execution when nested, keeping the two-level decomposition adaptive.
+/// Same validation and same arithmetic as decompress_impl — outputs are
+/// bit-identical (tests/test_decode_equiv.cc) at any worker count.
 template <typename T>
 void decompress_into_impl(std::span<const quant::Code> codes,
                           std::span<const T> anchors,
@@ -538,7 +782,8 @@ void decompress_into_impl(std::span<const quant::Code> codes,
   (void)ws;  // no staging buffer anymore; kept for call-site stability
   GInterpReconstructorT<T> recon(codes, anchors, outliers, dims, eb, cfg,
                                  radius, out);
-  for (std::size_t bz = 0; bz < recon.slab_count(); ++bz) recon.run_slab(bz);
+  dev::launch_linear(
+      recon.slab_count(), [&](std::size_t bz) { recon.run_slab(bz); }, 1);
 }
 
 }  // namespace

@@ -137,11 +137,18 @@ void ginterp_decompress_into(std::span<const quant::Code> codes,
 ///   - every other position's reconstruction depends only on codes and on
 ///     inputs recomputed earlier within the same tile, never on what the
 ///     buffer held at load time.
-/// Scheduling keeps the formal data race out: slabs run in ascending bz
-/// (a slab's +z border is read strictly before the next slab writes it),
-/// and within a slab tiles launch in four (bx, by)-parity waves, so no two
-/// concurrent tiles' closed regions overlap. Output is bit-identical to the
-/// staged ginterp_decompress at any worker count.
+/// Scheduling keeps the formal data race out: the constructor snapshots
+/// every slab-boundary z-plane right after the scatter, and a slab's tiles
+/// load their +z border row-by-row from that immutable snapshot instead of
+/// from `out` — the snapshot holds exactly the values the safety argument
+/// says are consumed (anchors and outlier originals, which reconstruction
+/// writes back unchanged), so the substitution is bit-transparent. With the
+/// cross-slab read gone, slabs are fully independent (disjoint writes,
+/// snapshot or own-slab reads) and may run in ANY order, including
+/// concurrently on different streams; within a slab tiles launch in four
+/// (bx, by)-parity waves, so no two concurrent tiles' closed regions
+/// overlap. Output is bit-identical to the staged ginterp_decompress at any
+/// worker count and any slab schedule.
 ///
 /// Caveat: positions whose code is the outlier marker but which the archive
 /// failed to list as outliers (impossible for well-formed archives; not
@@ -169,8 +176,10 @@ class GInterpReconstructorT {
   /// (monotone in bz; slab_count()-1 maps to the full volume).
   [[nodiscard]] std::size_t codes_needed(std::size_t bz) const;
 
-  /// Reconstructs every tile with block index z == bz. Call with
-  /// bz = 0 .. slab_count()-1 in ascending order.
+  /// Reconstructs every tile with block index z == bz. Slabs are mutually
+  /// independent (cross-slab borders come from the constructor's snapshot),
+  /// so calls may come in any order and from concurrent streams — each bz
+  /// exactly once. Slab bz still requires codes_needed(bz) codes decoded.
   void run_slab(std::size_t bz);
 
  private:
@@ -181,6 +190,10 @@ class GInterpReconstructorT {
   Geometry geo_;
   InterpConfig cfg_;
   std::vector<quant::Quantizer> level_qz_;
+  /// Post-scatter snapshot of the slab-boundary z-planes (z = (bz+1)*tile.z
+  /// for bz < grid_.z - 1), dims.x*dims.y elements each, making every slab's
+  /// +z border load independent of neighbor-slab progress.
+  std::vector<T> border_;
 };
 
 using GInterpReconstructor = GInterpReconstructorT<float>;

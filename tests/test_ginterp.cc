@@ -2,10 +2,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <span>
 #include <tuple>
 #include <vector>
 
 #include "datagen/rng.hh"
+#include "device/arena.hh"
+#include "device/thread_pool.hh"
 #include "metrics/stats.hh"
 #include "predictor/anchor.hh"
 #include "predictor/autotune.hh"
@@ -178,5 +182,43 @@ INSTANTIATE_TEST_SUITE_P(
                           Dim3{1024, 1, 1}),
         ::testing::Values(1e-1, 1e-2, 1e-3, 1e-4),
         ::testing::Bool()));
+
+// The fused predict+histogram kernel indexes its private histogram slots by
+// launch loop index. Running it from inside an outer parallel_for makes its
+// internal launch degrade to an inline walk (g_in_launch); the codes and
+// the folded histogram must still come out identical to a top-level run.
+TEST(GInterpFused, NestedLaunchMatchesTopLevel) {
+  const Dim3 dims{96, 96, 48};
+  const auto data = smooth_field(dims, 7);
+  const double eb = 1e-3;
+  const auto prof = autotune(data, dims, eb);
+
+  szi::dev::Arena ref_arena;
+  szi::dev::Workspace ref_ws(ref_arena);
+  const auto ref = szi::predictor::ginterp_compress_fused(
+      std::span<const float>(data), dims, eb, prof.config,
+      szi::quant::kDefaultRadius, ref_ws);
+  const std::vector<szi::quant::Code> ref_codes(ref.pred.codes.begin(),
+                                                ref.pred.codes.end());
+
+  std::vector<std::vector<std::uint32_t>> hists(3);
+  std::vector<std::vector<szi::quant::Code>> codes(3);
+  szi::dev::ThreadPool::instance().parallel_for(
+      hists.size(),
+      [&](std::size_t i) {
+        szi::dev::Arena arena;
+        szi::dev::Workspace ws(arena);
+        const auto fz = szi::predictor::ginterp_compress_fused(
+            std::span<const float>(data), dims, eb, prof.config,
+            szi::quant::kDefaultRadius, ws);
+        hists[i] = fz.histogram;
+        codes[i].assign(fz.pred.codes.begin(), fz.pred.codes.end());
+      },
+      1);
+  for (std::size_t i = 0; i < hists.size(); ++i) {
+    EXPECT_EQ(hists[i], ref.histogram) << "outer launch index " << i;
+    EXPECT_EQ(codes[i], ref_codes) << "outer launch index " << i;
+  }
+}
 
 }  // namespace

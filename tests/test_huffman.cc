@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "datagen/rng.hh"
+#include "device/thread_pool.hh"
 #include "huffman/codebook.hh"
 #include "huffman/histogram.hh"
 #include "huffman/huffman.hh"
@@ -227,6 +228,26 @@ TEST(Huffman, ThrowsOnTruncatedStream) {
   enc.resize(enc.size() / 2);
   // Either the header or the payload check must fire.
   EXPECT_THROW((void)szi::huffman::decode(enc), std::runtime_error);
+}
+
+// Worker-slot indexing under nested-launch degradation: a histogram invoked
+// from inside an outer parallel_for sees g_in_launch set, so its internal
+// launch runs every worker index inline on the calling thread. The slots
+// are indexed by loop index (not thread id), so every private histogram
+// must still land in its own slot and the totals must match the top-level
+// run exactly.
+TEST(Histogram, NestedLaunchMatchesTopLevel) {
+  // > kHistogramMinPerWorker elements so multiple worker slots exist.
+  const auto codes = geometric_codes(3 << 16, 0.35, 1024, 21);
+  const auto reference = szi::huffman::histogram(codes, 1024);
+
+  std::vector<std::vector<std::uint32_t>> nested(4);
+  szi::dev::ThreadPool::instance().parallel_for(
+      nested.size(),
+      [&](std::size_t i) { nested[i] = szi::huffman::histogram(codes, 1024); },
+      1);
+  for (std::size_t i = 0; i < nested.size(); ++i)
+    EXPECT_EQ(nested[i], reference) << "outer launch index " << i;
 }
 
 }  // namespace

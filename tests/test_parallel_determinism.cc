@@ -1,16 +1,22 @@
-// Multi-worker correctness: this binary is registered with ctest twice,
-// once with SZI_THREADS=1 and once with SZI_THREADS=4 (see
-// tests/CMakeLists.txt). The compressed archives must be byte-identical
-// regardless of worker count — the tile decomposition recomputes shared
-// borders instead of synchronizing, so scheduling must never leak into the
-// output — and round trips must stay bounded under true concurrency.
+// Multi-worker correctness: this binary is registered with ctest once per
+// worker count — SZI_THREADS=1 (the reference, which writes goldens) and
+// SZI_THREADS=2/3/4/8 plus a SZI_NO_AVX2=1 instance (see
+// tests/CMakeLists.txt). The compressed archives AND the reconstructions
+// must be byte-identical regardless of worker count — the tile
+// decomposition recomputes shared borders instead of synchronizing, the
+// decode path snapshots slab-boundary planes before reconstructing slabs
+// concurrently, and the SIMD kernels replicate exact scalar op order — so
+// neither scheduling nor vector width may ever leak into the output.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <cstring>
 
 #include "baselines/registry.hh"
+#include "core/compressor_iface.hh"
 #include "core/cuszi.hh"
 #include "datagen/datasets.hh"
+#include "device/arena.hh"
 #include "io/bin_io.hh"
 #include "metrics/stats.hh"
 
@@ -48,32 +54,59 @@ TEST(ParallelDeterminism, RepeatableArchivesAndBoundedRoundTrips) {
   }
 }
 
-/// The archive must also be identical across worker counts. Golden digests
-/// produced with SZI_THREADS=1 are written to a scratch file by the
-/// 1-thread ctest instance and verified by the 4-thread instance.
-TEST(ParallelDeterminism, ArchivesMatchAcrossWorkerCounts) {
+/// The archive AND both reconstruction paths must be identical across
+/// worker counts. Goldens produced with SZI_THREADS=1 are written to
+/// scratch files by the 1-thread ctest instance; every other instance
+/// (2/3/4/8 workers and the SZI_NO_AVX2 run, which takes the scalar kernel
+/// paths) verifies against them. The bitcomp-wrapped decode exercises the
+/// pipelined path: parallel LZSS block decode + Huffman chunk groups feeding
+/// the slab-parallel reconstruction through the codes_needed watermark.
+TEST(ParallelDeterminism, ArchivesAndReconsMatchAcrossWorkerCounts) {
   const char* threads_env = std::getenv("SZI_THREADS");
   if (!threads_env) GTEST_SKIP() << "run via ctest (sets SZI_THREADS)";
-  const bool is_reference = std::string(threads_env) == "1";
+  const bool is_reference = std::string(threads_env) == "1" &&
+                            std::getenv("SZI_NO_AVX2") == nullptr;
   const std::string path = "parallel_determinism_golden.bin";
+  const std::string recon_path = "parallel_determinism_golden_recon.bin";
 
   auto c = szi::baselines::make_compressor("cusz-i");
   const auto fields =
       szi::datagen::make_dataset("s3d", szi::datagen::Size::Small);
   const auto enc = c->compress(fields.front(), {ErrorMode::Rel, 1e-3});
 
+  // Plain decode (slab-parallel reconstruction) and the bitcomp-wrapped
+  // pipelined decode must agree with each other at every worker count.
+  const auto recon = szi::cuszi_decompress_f32(enc.bytes);
+  const auto recon_bytes = std::as_bytes(std::span<const float>(recon));
+  szi::dev::Arena arena;
+  szi::dev::Workspace ws(arena);
+  const auto wrapped = szi::bitcomp_wrap_archive(enc.bytes);
+  const auto recon_bc = szi::cuszi_decompress_bitcomp_f32(wrapped, ws);
+  ASSERT_EQ(recon_bc.size(), recon.size());
+  EXPECT_EQ(0, std::memcmp(recon.data(), recon_bc.data(),
+                           recon.size() * sizeof(float)))
+      << "bitcomp decode diverges from plain decode at SZI_THREADS="
+      << threads_env;
+
   if (is_reference) {
     szi::io::write_bytes(path, enc.bytes);
-    SUCCEED() << "golden archive written";
+    szi::io::write_bytes(recon_path, recon_bytes);
+    SUCCEED() << "golden archive + reconstruction written";
   } else {
-    std::vector<std::byte> golden;
+    std::vector<std::byte> golden, golden_recon;
     try {
       golden = szi::io::read_bytes(path);
+      golden_recon = szi::io::read_bytes(recon_path);
     } catch (const std::exception&) {
-      GTEST_SKIP() << "golden archive missing (1-thread instance not run)";
+      GTEST_SKIP() << "goldens missing (1-thread instance not run)";
     }
     EXPECT_EQ(golden, enc.bytes)
         << "archive differs between 1 and " << threads_env << " workers";
+    ASSERT_EQ(golden_recon.size(), recon_bytes.size());
+    EXPECT_EQ(0, std::memcmp(golden_recon.data(), recon_bytes.data(),
+                             recon_bytes.size()))
+        << "reconstruction differs between 1 and " << threads_env
+        << " workers";
   }
 }
 
