@@ -65,6 +65,37 @@ std::size_t parse_size(const std::string& s, const std::string& flag) {
   }
 }
 
+/// Per-segment size/ratio lines for --stages on a level-segmented (SZI2)
+/// archive. Legacy or non-cusz-i archives have no directory — silent.
+void print_segments(std::span<const std::byte> bytes) {
+  std::vector<SegmentInfo> segs;
+  try {
+    segs = cuszi_archive_segments(bytes);
+  } catch (...) {
+    return;  // not a cusz-i archive
+  }
+  if (segs.empty()) return;
+  std::uint64_t total = 0;
+  for (const auto& s : segs) total += s.size;
+  for (const auto& s : segs) {
+    const double pct =
+        total > 0 ? 100.0 * static_cast<double>(s.size) /
+                        static_cast<double>(total)
+                  : 0.0;
+    if (s.kind == 2) {
+      std::printf("segment: level %u | %llu symbols | %llu bytes (%.1f%%)\n",
+                  static_cast<unsigned>(s.level),
+                  static_cast<unsigned long long>(s.count),
+                  static_cast<unsigned long long>(s.size), pct);
+    } else {
+      std::printf("segment: %s | %llu items | %llu bytes (%.1f%%)\n",
+                  s.kind == 0 ? "anchors" : "outliers",
+                  static_cast<unsigned long long>(s.count),
+                  static_cast<unsigned long long>(s.size), pct);
+    }
+  }
+}
+
 }  // namespace
 
 std::string usage() {
@@ -74,7 +105,7 @@ compress:    szi -z -i <file.f32> -d NX [NY [NZ]] [-m abs|rel|rate] [-e VALUE]
                  [-c COMPRESSOR] [-t f32|f64] [--bitcomp] [-o <file.szi>]
                  [--verify]
 decompress:  szi -x -i <file.szi> -o <file.f32> [-c COMPRESSOR] [-t f32|f64]
-                 [--bitcomp]
+                 [--bitcomp] [--level N]
 info:        szi --info -i <file.szi>  (identify the pipeline of an archive)
 list:        szi --list               (available compressors)
 
@@ -87,11 +118,17 @@ options:
   -t f32|f64        value type (default f32; f64 supports cusz-i only)
   --bitcomp         wrap with the de-redundancy pass (must match on -x)
   --verify          after -z, decompress and report PSNR / max error
+  --level N         with -x: progressive preview decode from a level-segmented
+                    (SZI2) cusz-i archive — reconstruct anchors + levels >= N
+                    onto the stride-2^(N-1) grid, reading only that prefix of
+                    the archive. N is clamped to the archive's level range;
+                    N = 1 is the full-fidelity decode
   --stages          print the per-stage timing breakdown. After -z: predict /
                     histogram / codebook / encode (fused stages report as one
                     entry). After -x: unwrap / huffman / reconstruct — when
                     the pipelined decoder overlaps stages on streams, each
-                    number is that stage's busy time, not a wall-clock slice
+                    number is that stage's busy time, not a wall-clock slice —
+                    plus one size/ratio line per segment of an SZI2 archive
 )";
 }
 
@@ -149,6 +186,8 @@ Options parse(const std::vector<std::string>& args) {
           *d = parse_size(args[++i], "-d");
         }
       }
+    } else if (a == "--level") {
+      opt.level = static_cast<int>(parse_size(next("--level"), "--level"));
     } else if (a == "--bitcomp") {
       opt.bitcomp = true;
     } else if (a == "--verify") {
@@ -173,6 +212,10 @@ Options parse(const std::vector<std::string>& args) {
   }
   if (opt.command == Command::Info && opt.input.empty())
     throw std::invalid_argument("--info requires -i");
+  if (opt.level > 0 && opt.command != Command::Decompress)
+    throw std::invalid_argument("--level only applies to -x");
+  if (opt.level > 0 && opt.compressor != "cusz-i")
+    throw std::invalid_argument("--level supports only -c cusz-i");
   if (opt.f64 && opt.compressor != "cusz-i")
     throw std::invalid_argument("-t f64 supports only -c cusz-i");
   if (opt.f64 && opt.bitcomp)
@@ -207,21 +250,28 @@ int run(const Options& opt) {
         const char* what;
       };
       static constexpr Known kKnown[] = {
-          {0x31495A53, "cusz-i"},          {0x5A535543, "cusz"},
-          {0x505A5543, "cuszp"},           {0x585A5543, "cuszx"},
-          {0x55505A46, "fz-gpu"},          {0x50465A43, "cuzfp"},
-          {0x4C335A53, "sz3/qoz"},         {0x50434242, "de-redundancy wrapper"},
-          {0x4C525750, "pointwise-rel wrapper"}, {0x42495A53, "bundle"},
+          {0x31495A53, "cusz-i (legacy single-stream)"},
+          {0x32495A53, "cusz-i (level-segmented)"},
+          {0x5A535543, "cusz"},
+          {0x505A5543, "cuszp"},
+          {0x585A5543, "cuszx"},
+          {0x55505A46, "fz-gpu"},
+          {0x50465A43, "cuzfp"},
+          {0x4C335A53, "sz3/qoz"},
+          {0x50434242, "de-redundancy wrapper"},
+          {0x4C525750, "pointwise-rel wrapper"},
+          {0x42495A53, "bundle"},
       };
       const char* what = "unknown";
       for (const auto& k : kKnown)
         if (k.magic == magic) what = k.what;
       std::printf("%s: %zu bytes, pipeline: %s\n", opt.input.c_str(),
                   bytes.size(), what);
-      if (magic == 0x31495A53)
+      if (magic == 0x31495A53 || magic == 0x32495A53)
         std::printf("precision: %s\n",
                     cuszi_archive_precision(bytes) == Precision::F64 ? "f64"
                                                                      : "f32");
+      if (magic == 0x32495A53) print_segments(bytes);
       return 0;
     }
     case Command::Compress: {
@@ -273,6 +323,19 @@ int run(const Options& opt) {
       DecodeTimings dt;
       if (opt.f64) {
         const auto bytes = io::read_bytes(opt.input);
+        if (opt.level > 0) {
+          core::Timer t;
+          const auto r = cuszi_decompress_progressive_f64(bytes, opt.level);
+          const double secs = t.lap();
+          io::write_f64(opt.output, r.data);
+          std::printf(
+              "cuSZ-i (f64): preview level %d (%zu x %zu x %zu) from "
+              "%zu of %zu bytes -> %s in %.3f s\n",
+              r.level, r.dims.x, r.dims.y, r.dims.z, r.bytes_read,
+              bytes.size(), opt.output.c_str(), secs);
+          if (opt.stages) print_segments(bytes);
+          return 0;
+        }
         core::Timer t;
         const auto data =
             cuszi_decompress_f64(bytes, opt.stages ? &dt : nullptr);
@@ -280,12 +343,28 @@ int run(const Options& opt) {
         io::write_f64(opt.output, data);
         std::printf("cuSZ-i (f64): %zu values -> %s in %.3f s\n", data.size(),
                     opt.output.c_str(), secs);
-        if (opt.stages) print_stages(dt);
+        if (opt.stages) {
+          print_stages(dt);
+          print_segments(bytes);
+        }
         return 0;
       }
       auto c = baselines::make_compressor(opt.compressor);
       if (opt.bitcomp) c = with_bitcomp(std::move(c));
       const auto bytes = io::read_bytes(opt.input);
+      if (opt.level > 0) {
+        core::Timer t;
+        const auto r = c->decompress_progressive(bytes, opt.level);
+        const double secs = t.lap();
+        io::write_f32(opt.output, r.data);
+        std::printf(
+            "%s: preview level %d (%zu x %zu x %zu) from %zu of %zu bytes "
+            "-> %s in %.3f s\n",
+            c->name().c_str(), r.level, r.dims.x, r.dims.y, r.dims.z,
+            r.bytes_read, bytes.size(), opt.output.c_str(), secs);
+        if (opt.stages) print_segments(bytes);
+        return 0;
+      }
       core::Timer t;
       const auto data =
           opt.stages ? c->decompress_stages(bytes, dt) : c->decompress(bytes);
@@ -293,7 +372,10 @@ int run(const Options& opt) {
       io::write_f32(opt.output, data);
       std::printf("%s: %zu values -> %s in %.3f s\n", c->name().c_str(),
                   data.size(), opt.output.c_str(), secs);
-      if (opt.stages) print_stages(dt);
+      if (opt.stages) {
+        print_stages(dt);
+        print_segments(bytes);
+      }
       return 0;
     }
   }

@@ -2,6 +2,7 @@
 // over its whole archive. TABLE III's right half applies this wrapper to
 // every compressor for fairness; cuSZ-i gains the most because G-Interp
 // leaves the most pattern redundancy in its Huffman stream.
+#include <stdexcept>
 #include <utility>
 
 #include "core/bytes.hh"
@@ -80,6 +81,11 @@ std::vector<float> Compressor::decompress_bitcomp_stages(
   return out;
 }
 
+ProgressiveResult Compressor::decompress_progressive(
+    std::span<const std::byte> /*bytes*/, int /*max_level*/) {
+  throw std::invalid_argument(name() + ": progressive decode not supported");
+}
+
 namespace {
 
 class BitcompWrapped final : public Compressor {
@@ -113,6 +119,13 @@ class BitcompWrapped final : public Compressor {
   [[nodiscard]] std::vector<float> decompress_stages(
       std::span<const std::byte> bytes, DecodeTimings& t) override {
     return inner_->decompress_bitcomp_stages(bytes, t);
+  }
+
+  // Progressive decode dispatches on the archive magic inside the inner
+  // compressor, so the wrapped ('BBCP') bytes forward unchanged.
+  [[nodiscard]] ProgressiveResult decompress_progressive(
+      std::span<const std::byte> bytes, int max_level) override {
+    return inner_->decompress_progressive(bytes, max_level);
   }
 
  private:

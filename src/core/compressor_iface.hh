@@ -66,6 +66,22 @@ struct DecodeTimings {
   bool overlapped = false;
 };
 
+/// Result of a progressive (preview) decode: the field reconstructed from
+/// anchors + interpolation levels >= `level` on its coarse grid. At
+/// `level` == 1 the preview IS the full-fidelity reconstruction.
+/// `bytes_read` is the number of archive bytes the decode consumed — for a
+/// level-segmented (SZI2) archive only the directory plus the needed prefix
+/// of segments, which a truncated-archive decode at the same level proves.
+template <typename T>
+struct ProgressiveResultT {
+  std::vector<T> data;         ///< preview field, dims.volume() elements
+  dev::Dim3 dims;              ///< preview grid dimensions
+  int level = 1;               ///< effective (clamped) max_level
+  std::size_t bytes_read = 0;  ///< archive bytes consumed
+};
+
+using ProgressiveResult = ProgressiveResultT<float>;
+
 class Compressor {
  public:
   virtual ~Compressor() = default;
@@ -131,6 +147,17 @@ class Compressor {
   /// `total` to the inner decode; the unwrap is added on top).
   [[nodiscard]] virtual std::vector<float> decompress_bitcomp_stages(
       std::span<const std::byte> bytes, DecodeTimings& t);
+
+  /// Progressive decode: reconstruct anchors + interpolation levels >=
+  /// max_level onto the coarse preview grid, reading only the archive
+  /// prefix those segments occupy (level-segmented archives; legacy
+  /// layouts fall back to a full decode + subsample). max_level is clamped
+  /// to the archive's level range; max_level <= 1 is the full-fidelity
+  /// decode, bit-identical to decompress(). The default throws
+  /// std::invalid_argument — only level-structured compressors (cuSZ-i)
+  /// support it.
+  [[nodiscard]] virtual ProgressiveResult decompress_progressive(
+      std::span<const std::byte> bytes, int max_level);
 };
 
 /// Wraps any compressor with the de-redundancy pass (§VI-B); TABLE III's

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <deque>
 #include <exception>
+#include <limits>
 #include <stdexcept>
 
 #include <optional>
@@ -24,7 +25,8 @@ namespace szi {
 
 namespace {
 
-constexpr std::uint32_t kMagic = 0x31495A53;  // "SZI1"
+constexpr std::uint32_t kMagic = 0x31495A53;    // "SZI1" (legacy)
+constexpr std::uint32_t kMagicV2 = 0x32495A53;  // "SZI2" (level-segmented)
 
 struct PackedConfig {
   double alpha;
@@ -35,10 +37,59 @@ struct PackedConfig {
 static_assert(sizeof(PackedConfig) == 16, "archive layout is padding-free");
 
 /// Bytes of the fixed inner-archive header: magic | precision | dims | eb |
-/// PackedConfig. The anchor count follows immediately.
+/// PackedConfig. v1 archives follow with the anchor count; v2 archives with
+/// the segment directory.
 constexpr std::size_t kInnerFixedBytes =
     sizeof(std::uint32_t) + sizeof(std::uint8_t) + 3 * sizeof(std::uint64_t) +
     sizeof(double) + sizeof(PackedConfig);
+
+/// One row of the SZI2 segment directory. Segments are laid out back to
+/// back immediately after the directory: anchors, outliers, then one
+/// independently framed Huffman stream per interpolation level in
+/// descending level order (coarsest first), so a preview at level L is a
+/// prefix of the archive. Reserved fields are written zero and must read
+/// zero.
+struct SegmentEntry {
+  std::uint8_t kind = 0;   ///< kSegAnchors / kSegOutliers / kSegLevel
+  std::uint8_t level = 0;  ///< 1-based interpolation level (kind 2), else 0
+  std::uint16_t reserved0 = 0;
+  std::uint32_t reserved1 = 0;
+  std::uint64_t count = 0;   ///< elements: anchors, outliers, or symbols
+  std::uint64_t offset = 0;  ///< absolute byte offset of the payload
+  std::uint64_t size = 0;    ///< payload bytes
+};
+static_assert(sizeof(SegmentEntry) == 32, "archive layout is padding-free");
+
+constexpr std::uint8_t kSegAnchors = 0;
+constexpr std::uint8_t kSegOutliers = 1;
+constexpr std::uint8_t kSegLevel = 2;
+
+/// Total header bytes of a v2 archive with `nseg` segments: fixed header,
+/// u32 segment count, directory. Segment payloads start here.
+constexpr std::size_t v2_header_bytes(std::size_t nseg) {
+  return kInnerFixedBytes + sizeof(std::uint32_t) +
+         nseg * sizeof(SegmentEntry);
+}
+
+PackedConfig pack_config(const predictor::InterpConfig& cfg, int radius) {
+  PackedConfig pc{};
+  pc.alpha = cfg.alpha;
+  for (int i = 0; i < 3; ++i) {
+    pc.cubic[i] =
+        static_cast<std::uint8_t>(cfg.cubic[static_cast<std::size_t>(i)]);
+    pc.order[i] = cfg.dim_order[static_cast<std::size_t>(i)];
+  }
+  pc.radius = static_cast<std::uint16_t>(radius);
+  return pc;
+}
+
+/// First four archive bytes, or 0 when the buffer is shorter — callers
+/// dispatch on the value and let the selected parser report truncation.
+std::uint32_t peek_magic(std::span<const std::byte> bytes) {
+  std::uint32_t m = 0;
+  if (bytes.size() >= sizeof(m)) std::memcpy(&m, bytes.data(), sizeof(m));
+  return m;
+}
 
 template <typename T>
 constexpr Precision precision_of() {
@@ -85,12 +136,15 @@ Tuned autotune_checked(std::span<const T> data, const dev::Dim3& dims,
   return {eb, prof.config};
 }
 
+/// The legacy SZI1 single-stream writer, retained byte-for-byte so
+/// back-compat tests can mint v1 archives against the version-dispatched
+/// decoders (cuszi_compress_v1).
 template <typename T>
-std::vector<std::byte> compress_typed(std::span<const T> data,
-                                      const dev::Dim3& dims,
-                                      const CompressParams& p,
-                                      StageTimings* timings, bool fused,
-                                      bool topk, dev::Workspace& ws) {
+std::vector<std::byte> compress_v1_typed(std::span<const T> data,
+                                         const dev::Dim3& dims,
+                                         const CompressParams& p,
+                                         StageTimings* timings,
+                                         dev::Workspace& ws) {
   core::Timer total;
   core::Timer stage;
   StageTimings t;
@@ -98,32 +152,15 @@ std::vector<std::byte> compress_typed(std::span<const T> data,
   const Tuned tuned = autotune_checked(data, dims, p, ws);
   t.predict += stage.lap();
 
-  // G-Interp prediction + quantization (codes/anchors/outliers pooled).
-  // The fused path accumulates the quant-code histogram inside the predict
-  // kernel; the unfused reference runs the separate full read pass over
-  // `codes`. Totals are bit-identical (uint32 addition commutes), so both
-  // paths produce the same codebook and the same archive bytes.
   constexpr int kRadius = quant::kDefaultRadius;
-  predictor::GInterpViewT<T> pred;
-  std::vector<std::uint32_t> hist;
-  if (fused) {
-    auto fz = predictor::ginterp_compress_fused(data, dims, tuned.eb,
-                                                tuned.cfg, kRadius, ws);
-    pred = fz.pred;
-    hist = std::move(fz.histogram);
-    t.predict += stage.lap();
-    t.histogram = 0;
-    t.histogram_fused = true;
-  } else {
-    pred = predictor::ginterp_compress(data, dims, tuned.eb, tuned.cfg,
-                                       kRadius, ws);
-    t.predict += stage.lap();
-    hist = topk ? huffman::histogram_topk(pred.codes, 2 * kRadius, kRadius, 16,
-                                          ws)
-                : huffman::histogram(pred.codes, 2 * kRadius, ws);
-    t.histogram = stage.lap();
-  }
-  const auto book = huffman::Codebook::build(hist);
+  auto fz = predictor::ginterp_compress_fused(data, dims, tuned.eb, tuned.cfg,
+                                              kRadius, ws);
+  const auto& pred = fz.pred;
+  t.predict += stage.lap();
+  t.histogram = 0;
+  t.histogram_fused = true;
+
+  const auto book = huffman::Codebook::build(fz.histogram);
   t.codebook = stage.lap();
   const auto huff =
       huffman::encode_with_book(pred.codes, book, huffman::kDefaultChunk, ws);
@@ -139,15 +176,7 @@ std::vector<std::byte> compress_typed(std::span<const T> data,
   w.put(static_cast<std::uint64_t>(dims.y));
   w.put(static_cast<std::uint64_t>(dims.z));
   w.put(tuned.eb);
-  PackedConfig pc{};
-  pc.alpha = tuned.cfg.alpha;
-  for (int i = 0; i < 3; ++i) {
-    pc.cubic[i] = static_cast<std::uint8_t>(
-        tuned.cfg.cubic[static_cast<std::size_t>(i)]);
-    pc.order[i] = tuned.cfg.dim_order[static_cast<std::size_t>(i)];
-  }
-  pc.radius = kRadius;
-  w.put(pc);
+  w.put(pack_config(tuned.cfg, kRadius));
   w.put_array(pred.anchors);
   // Outlier blob assembled in place — same framing as
   // put_blob(OutlierSetT::serialize()): u64 blob size | u64 n | idx | vals.
@@ -162,81 +191,160 @@ std::vector<std::byte> compress_typed(std::span<const T> data,
   return w.take();
 }
 
+/// Builds the v2 segment directory from the prediction output and the
+/// already-framed per-level Huffman streams (indexed level-1). Offsets are
+/// assigned contiguously from the end of the header in archive order:
+/// anchors, outliers, levels descending.
+template <typename T>
+std::vector<SegmentEntry> make_directory(
+    const predictor::GInterpViewT<T>& pred,
+    std::span<const std::uint64_t> level_counts,
+    std::span<const std::uint64_t> level_sizes) {
+  const int nlevels = static_cast<int>(level_sizes.size());
+  std::vector<SegmentEntry> segs(2 + static_cast<std::size_t>(nlevels));
+  std::uint64_t off = v2_header_bytes(segs.size());
+  segs[0].kind = kSegAnchors;
+  segs[0].count = pred.anchors.size();
+  segs[0].offset = off;
+  segs[0].size = pred.anchors.size() * sizeof(T);
+  off += segs[0].size;
+  segs[1].kind = kSegOutliers;
+  segs[1].count = pred.outliers.count();
+  segs[1].offset = off;
+  segs[1].size = sizeof(std::uint64_t) + pred.outliers.byte_size();
+  off += segs[1].size;
+  for (int j = 0; j < nlevels; ++j) {
+    const int level = nlevels - j;
+    auto& s = segs[2 + static_cast<std::size_t>(j)];
+    s.kind = kSegLevel;
+    s.level = static_cast<std::uint8_t>(level);
+    s.count = level_counts[static_cast<std::size_t>(level - 1)];
+    s.offset = off;
+    s.size = level_sizes[static_cast<std::size_t>(level - 1)];
+    off += s.size;
+  }
+  return segs;
+}
+
+/// The SZI2 writer behind every default compress path. The fused pipeline
+/// re-buckets each owned row's codes into per-level streams inside the
+/// predict kernel (one exact histogram per level as a byproduct); the
+/// unfused reference splits the finished code array afterwards — the
+/// streams and histograms are byte-identical, so fused and unfused archives
+/// stay in lockstep. Each level is framed through the one-pass
+/// encode_with_book_serial with its own codebook (`unified` shares one book
+/// across all levels for the ratio ablation; the framing is unchanged).
+/// `topk` is accepted for call-site stability but inert here: the per-level
+/// histograms are exact by construction.
 template <typename T>
 std::vector<std::byte> compress_typed(std::span<const T> data,
                                       const dev::Dim3& dims,
                                       const CompressParams& p,
                                       StageTimings* timings, bool fused,
-                                      bool topk) {
+                                      bool topk, dev::Workspace& ws,
+                                      bool unified = false) {
+  (void)topk;
+  core::Timer total;
+  core::Timer stage;
+  StageTimings t;
+
+  const Tuned tuned = autotune_checked(data, dims, p, ws);
+  t.predict += stage.lap();
+
+  constexpr int kRadius = quant::kDefaultRadius;
+  const std::size_t nbins = 2 * static_cast<std::size_t>(kRadius);
+  predictor::GInterpViewT<T> pred;
+  predictor::GInterpLevelSplit levels;
+  if (fused) {
+    auto fl = predictor::ginterp_compress_fused_levels(data, dims, tuned.eb,
+                                                       tuned.cfg, kRadius, ws);
+    pred = fl.pred;
+    levels = std::move(fl.levels);
+    t.predict += stage.lap();
+    t.histogram = 0;
+    t.histogram_fused = true;
+  } else {
+    pred = predictor::ginterp_compress(data, dims, tuned.eb, tuned.cfg,
+                                       kRadius, ws);
+    t.predict += stage.lap();
+    levels = predictor::ginterp_split_levels(pred.codes, dims, nbins, ws);
+    t.histogram = stage.lap();
+  }
+
+  const int nlevels = static_cast<int>(levels.streams.size());
+  std::vector<huffman::Codebook> books;
+  if (unified) {
+    std::vector<std::uint32_t> sum(nbins, 0);
+    for (const auto& h : levels.histograms)
+      for (std::size_t b = 0; b < nbins; ++b) sum[b] += h[b];
+    const auto book = huffman::Codebook::build(sum);
+    books.assign(static_cast<std::size_t>(nlevels), book);
+  } else {
+    books = huffman::build_level_books(levels.histograms);
+  }
+  t.codebook = stage.lap();
+
+  std::vector<std::span<const std::byte>> streams(
+      static_cast<std::size_t>(nlevels));
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(nlevels));
+  std::vector<std::uint64_t> sizes(static_cast<std::size_t>(nlevels));
+  for (int l = 1; l <= nlevels; ++l) {
+    const auto i = static_cast<std::size_t>(l - 1);
+    streams[i] = huffman::encode_with_book_serial(
+        levels.streams[i], books[i], huffman::kDefaultChunk, ws);
+    counts[i] = levels.streams[i].size();
+    sizes[i] = streams[i].size();
+  }
+  t.encode = stage.lap();
+
+  const auto segs = make_directory<T>(pred, counts, sizes);
+  core::ByteWriter w;
+  w.reserve(static_cast<std::size_t>(segs.back().offset + segs.back().size));
+  w.put(kMagicV2);
+  w.put(static_cast<std::uint8_t>(precision_of<T>()));
+  w.put(static_cast<std::uint64_t>(dims.x));
+  w.put(static_cast<std::uint64_t>(dims.y));
+  w.put(static_cast<std::uint64_t>(dims.z));
+  w.put(tuned.eb);
+  w.put(pack_config(tuned.cfg, kRadius));
+  w.put(static_cast<std::uint32_t>(segs.size()));
+  for (const auto& s : segs) w.put(s);
+  w.put_raw(std::as_bytes(pred.anchors));
+  w.put(static_cast<std::uint64_t>(pred.outliers.count()));
+  w.put_raw(std::as_bytes(pred.outliers.indices));
+  w.put_raw(std::as_bytes(pred.outliers.values));
+  for (std::size_t i = 2; i < segs.size(); ++i)
+    w.put_raw(streams[static_cast<std::size_t>(segs[i].level - 1)]);
+  ws.reset();
+  t.total = total.lap();
+  if (timings) *timings = t;
+  return w.take();
+}
+
+template <typename T>
+std::vector<std::byte> compress_typed(std::span<const T> data,
+                                      const dev::Dim3& dims,
+                                      const CompressParams& p,
+                                      StageTimings* timings, bool fused,
+                                      bool topk, bool unified = false) {
   // Throwaway arena: malloc-equivalent lifetime, no global memory retained.
   // Pooling across calls is opt-in via the Workspace overload.
   dev::Arena local;
   dev::Workspace ws(local);
-  return compress_typed<T>(data, dims, p, timings, fused, topk, ws);
+  return compress_typed<T>(data, dims, p, timings, fused, topk, ws, unified);
 }
 
-/// Bytes of the inner archive preceding the Huffman stream: fixed header,
-/// length-prefixed anchors, outlier blob, and the Huffman blob's u64
-/// length prefix.
-template <typename T>
-std::size_t inner_prefix_bytes(const predictor::GInterpViewT<T>& pred) {
-  return kInnerFixedBytes + sizeof(std::uint64_t) +
-         pred.anchors.size() * sizeof(T) + 2 * sizeof(std::uint64_t) +
-         pred.outliers.byte_size() + sizeof(std::uint64_t);
-}
-
-/// Serializes everything up to (and including) the Huffman blob length into
-/// `dst` — exactly inner_prefix_bytes(pred) bytes, byte-for-byte what
-/// compress_typed's ByteWriter emits for the same inputs
-/// (tests/test_fused_equiv.cc holds the two in lockstep).
-template <typename T>
-void write_inner_prefix(std::byte* dst, const dev::Dim3& dims, double eb,
-                        const predictor::InterpConfig& cfg, int radius,
-                        const predictor::GInterpViewT<T>& pred,
-                        std::uint64_t huff_bytes) {
-  std::byte* p = dst;
-  const auto put = [&p](const auto& v) {
-    std::memcpy(p, &v, sizeof(v));
-    p += sizeof(v);
-  };
-  put(kMagic);
-  put(static_cast<std::uint8_t>(precision_of<T>()));
-  put(static_cast<std::uint64_t>(dims.x));
-  put(static_cast<std::uint64_t>(dims.y));
-  put(static_cast<std::uint64_t>(dims.z));
-  put(eb);
-  PackedConfig pc{};
-  pc.alpha = cfg.alpha;
-  for (int i = 0; i < 3; ++i) {
-    pc.cubic[i] =
-        static_cast<std::uint8_t>(cfg.cubic[static_cast<std::size_t>(i)]);
-    pc.order[i] = cfg.dim_order[static_cast<std::size_t>(i)];
-  }
-  pc.radius = static_cast<std::uint16_t>(radius);
-  put(pc);
-  put(static_cast<std::uint64_t>(pred.anchors.size()));
-  std::memcpy(p, pred.anchors.data(), pred.anchors.size() * sizeof(T));
-  p += pred.anchors.size() * sizeof(T);
-  put(static_cast<std::uint64_t>(sizeof(std::uint64_t) +
-                                 pred.outliers.byte_size()));
-  put(static_cast<std::uint64_t>(pred.outliers.count()));
-  std::memcpy(p, pred.outliers.indices.data(),
-              pred.outliers.indices.size_bytes());
-  p += pred.outliers.indices.size_bytes();
-  std::memcpy(p, pred.outliers.values.data(),
-              pred.outliers.values.size_bytes());
-  p += pred.outliers.values.size_bytes();
-  put(huff_bytes);
-}
-
-/// The fused compress-to-wrapped-archive pipeline (the tentpole): predict
-/// and histogram fuse into one pass; the inner archive is assembled exactly
-/// once in workspace memory with the Huffman payload emitted straight into
-/// its final slot; and a dev::Stream LZSS-compresses each 64 KiB block the
-/// moment every byte below it is final (a rising watermark), so the
-/// de-redundancy pass overlaps the Huffman emit instead of re-reading a
-/// finished archive. Byte-identical to
-/// bitcomp_wrap_archive(compress_typed(...)) with the same LzssMode.
+/// The fused compress-to-wrapped-archive pipeline (re-threaded for the
+/// level-segmented SZI2 layout): predict and per-level re-bucketing fuse
+/// into one pass; every level's Huffman stream is planned up front (the
+/// segment directory needs exact sizes before the first payload byte), the
+/// inner archive is assembled exactly once in workspace memory with each
+/// segment's payload emitted straight into its final slot, and a
+/// dev::Stream LZSS-compresses each 64 KiB block the moment every byte
+/// below it is final — the same rising watermark as before, now advanced
+/// segment by segment and chunk-group by chunk-group within each level.
+/// Byte-identical to bitcomp_wrap_archive(compress_typed(...)) with the
+/// same LzssMode.
 template <typename T>
 std::vector<std::byte> compress_bitcomp_typed(std::span<const T> data,
                                               const dev::Dim3& dims,
@@ -252,47 +360,45 @@ std::vector<std::byte> compress_bitcomp_typed(std::span<const T> data,
   t.predict += stage.lap();
 
   constexpr int kRadius = quant::kDefaultRadius;
-  const auto fz = predictor::ginterp_compress_fused(data, dims, tuned.eb,
-                                                    tuned.cfg, kRadius, ws);
-  const auto& pred = fz.pred;
+  const auto fl = predictor::ginterp_compress_fused_levels(
+      data, dims, tuned.eb, tuned.cfg, kRadius, ws);
+  const auto& pred = fl.pred;
   t.predict += stage.lap();
   t.histogram = 0;
   t.histogram_fused = true;
 
-  const auto book = huffman::Codebook::build(fz.histogram);
+  const auto books = huffman::build_level_books(fl.levels.histograms);
   t.codebook = stage.lap();
 
-  const std::size_t prefix_bytes = inner_prefix_bytes(pred);
+  // Per-level encode plans. The sizing pass always runs — even serially —
+  // because the directory freezes every segment's offset and size before
+  // any payload byte can be written; the chunk emission below is then
+  // byte-identical to the one-pass encode_with_book_serial the plain writer
+  // uses (chunk contents depend only on the codes and the book).
+  const int nlevels = static_cast<int>(fl.levels.streams.size());
+  std::vector<huffman::EncodePlan> plans(static_cast<std::size_t>(nlevels));
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(nlevels));
+  std::vector<std::uint64_t> sizes(static_cast<std::size_t>(nlevels));
+  for (int l = 1; l <= nlevels; ++l) {
+    const auto i = static_cast<std::size_t>(l - 1);
+    plans[i] = huffman::encode_plan(fl.levels.streams[i], books[i],
+                                    huffman::kDefaultChunk, ws);
+    counts[i] = fl.levels.streams[i].size();
+    sizes[i] = plans[i].stream_bytes();
+  }
+  const auto segs = make_directory<T>(pred, counts, sizes);
+  const std::size_t raw_size =
+      static_cast<std::size_t>(segs.back().offset + segs.back().size);
+
   std::optional<dev::Stream> lz;
   if (stream_overlap_pays()) lz.emplace();
-
-  // With a worker to overlap against, the two-phase encode (parallel sizing
-  // pass, then chunk emission interleaved with LZSS submission) wins. On one
-  // core there is nothing to overlap, so the serial fused plan+emit walks
-  // the codes once, writing the payload straight into its final slot — the
-  // slot's offset depends only on the prefix and header sizes, both known
-  // before any chunk is measured — and only the total size arrives late.
-  huffman::EncodePlan plan;
-  std::span<std::byte> raw;
-  if (lz) {
-    plan = huffman::encode_plan(pred.codes, book, huffman::kDefaultChunk, ws);
-    raw = ws.make<std::byte>(prefix_bytes + plan.stream_bytes());
-  } else {
-    const std::size_t header_bytes = huffman::overhead_bytes(
-        book.nbins(), pred.codes.size(), huffman::kDefaultChunk);
-    const std::size_t bound =
-        huffman::payload_bound(book, pred.codes.size(), huffman::kDefaultChunk);
-    raw = ws.make<std::byte>(prefix_bytes + header_bytes + bound);
-    plan = huffman::encode_emit_serial(
-        pred.codes, book, huffman::kDefaultChunk,
-        raw.subspan(prefix_bytes + header_bytes), ws);
-  }
-  const std::size_t raw_size = prefix_bytes + plan.stream_bytes();
+  auto raw = ws.make<std::byte>(raw_size);
 
   // LZSS state. Blocks are submitted to the stream once the watermark of
   // final raw bytes passes their end; each task reads only bytes below the
   // watermark at submit time and the host thread writes only bytes above
-  // it, so the two sides never touch the same byte concurrently.
+  // it, so the two sides never touch the same byte concurrently. On a
+  // serial machine the same watermark points run the block inline.
   const std::size_t bs = lossless::kLzssBlock;
   const std::size_t nblocks = raw_size == 0 ? 0 : dev::ceil_div(raw_size, bs);
   const std::size_t stride = bs + lossless::kLzssTokenSlack;
@@ -321,27 +427,58 @@ std::vector<std::byte> compress_bitcomp_typed(std::span<const T> data,
     }
   };
 
-  // Serial prefix + Huffman stream header (small), then — in overlap mode —
-  // the payload in chunk groups: after each group every byte below the next
-  // group's first chunk is final, advancing the watermark. In serial mode
-  // the payload was already emitted in place, so the loop is skipped and the
-  // final submit_upto runs every block inline.
-  write_inner_prefix<T>(raw.data(), dims, tuned.eb, tuned.cfg, kRadius, pred,
-                        static_cast<std::uint64_t>(plan.stream_bytes()));
-  huffman::write_stream_header(plan, book, raw.subspan(prefix_bytes));
-  const std::size_t payload_off = prefix_bytes + plan.header_bytes;
-  submit_upto(payload_off);
+  // Header + directory + anchor/outlier segments (small, serial), then the
+  // level segments coarsest-first: each segment's stream header, then its
+  // payload in ~4-block chunk groups, advancing the watermark after every
+  // group so whole 64 KiB regions hand off to the LZSS pass while the next
+  // level is still encoding.
+  {
+    std::byte* wp = raw.data();
+    const auto put = [&wp](const auto& v) {
+      std::memcpy(wp, &v, sizeof(v));
+      wp += sizeof(v);
+    };
+    put(kMagicV2);
+    put(static_cast<std::uint8_t>(precision_of<T>()));
+    put(static_cast<std::uint64_t>(dims.x));
+    put(static_cast<std::uint64_t>(dims.y));
+    put(static_cast<std::uint64_t>(dims.z));
+    put(tuned.eb);
+    put(pack_config(tuned.cfg, kRadius));
+    put(static_cast<std::uint32_t>(segs.size()));
+    std::memcpy(wp, segs.data(), segs.size() * sizeof(SegmentEntry));
+    wp += segs.size() * sizeof(SegmentEntry);
+    std::memcpy(wp, pred.anchors.data(), pred.anchors.size() * sizeof(T));
+    wp += pred.anchors.size() * sizeof(T);
+    put(static_cast<std::uint64_t>(pred.outliers.count()));
+    std::memcpy(wp, pred.outliers.indices.data(),
+                pred.outliers.indices.size_bytes());
+    wp += pred.outliers.indices.size_bytes();
+    std::memcpy(wp, pred.outliers.values.data(),
+                pred.outliers.values.size_bytes());
+    wp += pred.outliers.values.size_bytes();
+    submit_upto(static_cast<std::size_t>(wp - raw.data()));
+  }
 
-  if (lz) {
-    const auto payload = raw.subspan(payload_off);
-    constexpr std::uint64_t kGroupBytes = 4 * lossless::kLzssBlock;
+  constexpr std::uint64_t kGroupBytes = 4 * lossless::kLzssBlock;
+  for (std::size_t si = 2; si < segs.size(); ++si) {
+    const auto i = static_cast<std::size_t>(segs[si].level - 1);
+    const auto& plan = plans[i];
+    const auto& book = books[i];
+    const auto codes = fl.levels.streams[i];
+    const std::size_t base = static_cast<std::size_t>(segs[si].offset);
+    huffman::write_stream_header(plan, book, raw.subspan(base));
+    const std::size_t payload_off = base + plan.header_bytes;
+    submit_upto(payload_off);
+    const auto payload = raw.subspan(
+        payload_off, static_cast<std::size_t>(plan.payload_bytes));
     std::size_t c = 0;
     while (c < plan.nchunks) {
       const std::uint64_t start = plan.offsets[c];
       std::size_t cend = c + 1;
       while (cend < plan.nchunks && plan.offsets[cend] - start < kGroupBytes)
         ++cend;
-      huffman::encode_chunks(pred.codes, book, plan, c, cend, payload);
+      huffman::encode_chunks(codes, book, plan, c, cend, payload);
       c = cend;
       const std::uint64_t done =
           c < plan.nchunks ? plan.offsets[c] : plan.payload_bytes;
@@ -380,10 +517,12 @@ struct InnerHeader {
   int radius = 0;
 };
 
-/// Parses + validates the fixed kInnerFixedBytes header.
+/// Parses + validates the fixed kInnerFixedBytes header (both versions
+/// share it; `magic` selects which one the caller expects).
 template <typename T>
-InnerHeader parse_inner_header(core::ByteReader& rd) {
-  rd.expect_magic(kMagic);
+InnerHeader parse_inner_header(core::ByteReader& rd,
+                               std::uint32_t magic = kMagic) {
+  rd.expect_magic(magic);
   const auto prec_byte = rd.read<std::uint8_t>();
   if (prec_byte > static_cast<std::uint8_t>(Precision::F64))
     rd.fail("unknown precision byte");
@@ -433,10 +572,117 @@ quant::OutlierViewT<T> parse_outlier_blob(std::span<const std::byte> blob,
   return v;
 }
 
+/// Parses + validates the SZI2 segment directory against the header's
+/// geometry: the segment count, kinds, levels, counts, and sizes are all
+/// derivable from `dims` (and the outlier count), so every field is checked
+/// against its closed form; offsets must be exactly contiguous from the end
+/// of the header. The caller's ByteReader sits right after the fixed header
+/// and is left at the first segment payload.
+template <typename T>
+std::vector<SegmentEntry> parse_v2_directory(core::ByteReader& rd,
+                                             const InnerHeader& h) {
+  const int nlevels = predictor::ginterp_level_count(h.dims);
+  const auto nseg = rd.read<std::uint32_t>();
+  if (nseg != static_cast<std::uint32_t>(nlevels) + 2)
+    rd.fail("segment count mismatch");
+  std::vector<SegmentEntry> segs(nseg);
+  for (auto& s : segs) s = rd.read<SegmentEntry>();
+  std::uint64_t cursor = rd.offset();
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    const auto& s = segs[i];
+    if (s.reserved0 != 0 || s.reserved1 != 0)
+      rd.fail("reserved segment field set");
+    if (s.offset != cursor) rd.fail("segment offsets not contiguous");
+    if (s.size > std::numeric_limits<std::uint64_t>::max() - cursor)
+      rd.fail("segment extent overflows");
+    cursor += s.size;
+    if (i == 0) {
+      if (s.kind != kSegAnchors || s.level != 0)
+        rd.fail("first segment is not the anchor grid");
+      if (s.size != rd.checked_array_bytes(
+                        static_cast<std::size_t>(s.count), sizeof(T)))
+        rd.fail("anchor segment size mismatch");
+    } else if (i == 1) {
+      if (s.kind != kSegOutliers || s.level != 0)
+        rd.fail("second segment is not the outlier set");
+      if (s.count > h.volume) rd.fail("outlier count exceeds volume");
+      if (s.size != sizeof(std::uint64_t) +
+                        s.count * (sizeof(std::uint64_t) + sizeof(T)))
+        rd.fail("outlier segment size mismatch");
+    } else {
+      const int level = nlevels - static_cast<int>(i) + 2;
+      if (s.kind != kSegLevel || s.level != level)
+        rd.fail("level segments out of order");
+      if (s.count != predictor::ginterp_level_volume(h.dims, level))
+        rd.fail("level symbol count mismatch");
+    }
+  }
+  return segs;
+}
+
+/// Serial SZI2 decode: anchors and outliers come straight from their
+/// segments, the code array is prefilled with the "perfectly predicted"
+/// code (what anchor positions carried in the v1 single stream), and each
+/// level's Huffman stream decodes and scatters through LevelScatterCursor.
+/// The reconstruction is then exactly the v1 path over an identical code
+/// array, so v2 decode is bit-identical to v1 decode of the same field.
+template <typename T>
+std::vector<T> decompress_v2_typed(std::span<const std::byte> bytes,
+                                   dev::Workspace& ws,
+                                   DecodeTimings* dt = nullptr) {
+  core::Timer wall;
+  core::ByteReader rd(bytes, "cusz-i");
+  const InnerHeader h = parse_inner_header<T>(rd, kMagicV2);
+  const auto segs = parse_v2_directory<T>(rd, h);
+
+  const std::size_t acount = static_cast<std::size_t>(segs[0].count);
+  const std::size_t abytes = static_cast<std::size_t>(segs[0].size);
+  auto anchors = ws.make<T>(acount);
+  if (acount > 0)
+    std::memcpy(anchors.data(), rd.read_bytes(abytes).data(), abytes);
+
+  const auto outliers = parse_outlier_blob<T>(
+      rd.read_bytes(static_cast<std::size_t>(segs[1].size)), ws);
+  if (outliers.indices.size() != segs[1].count)
+    rd.fail("outlier blob count disagrees with directory");
+
+  (void)rd.checked_array_bytes(h.volume, sizeof(quant::Code));
+  auto codes = ws.make<quant::Code>(h.volume);
+  std::fill(codes.begin(), codes.end(), static_cast<quant::Code>(h.radius));
+
+  core::Timer hufft;
+  for (std::size_t i = 2; i < segs.size(); ++i) {
+    const auto stream = rd.read_bytes(static_cast<std::size_t>(segs[i].size));
+    const auto syms = huffman::decode(stream, ws);
+    if (syms.size() != segs[i].count)
+      rd.fail("level stream symbol count mismatch");
+    predictor::LevelScatterCursor cur(h.dims, segs[i].level);
+    cur.advance(syms, syms.size(), codes);
+  }
+  const double huff_s = hufft.lap();
+
+  std::vector<T> out(h.volume);
+  core::Timer recont;
+  predictor::ginterp_decompress_into(codes, std::span<const T>(anchors),
+                                     outliers, h.dims, h.eb, h.cfg, h.radius,
+                                     std::span<T>(out), ws);
+  const double recon_s = recont.lap();
+  ws.reset();
+  if (dt) {
+    dt->huffman = huff_s;
+    dt->reconstruct = recon_s;
+    dt->overlapped = false;
+    dt->total = wall.lap();
+  }
+  return out;
+}
+
 template <typename T>
 std::vector<T> decompress_typed(std::span<const std::byte> bytes,
                                 dev::Workspace& ws,
                                 DecodeTimings* dt = nullptr) {
+  if (peek_magic(bytes) == kMagicV2)
+    return decompress_v2_typed<T>(bytes, ws, dt);
   core::Timer wall;
   core::ByteReader rd(bytes, "cusz-i");
   const InnerHeader h = parse_inner_header<T>(rd);
@@ -578,6 +824,175 @@ std::vector<T> decompress_bitcomp_typed(std::span<const std::byte> bytes,
     return extra >= room ? frame.raw_size
                          : base + static_cast<std::size_t>(extra);
   };
+
+  // Version dispatch on the inner magic; both layouts decode behind the
+  // same frame/ensure/sat machinery.
+  ensure(sizeof(std::uint32_t));
+  std::uint32_t inner_magic = 0;
+  if (frame.raw_size >= sizeof(inner_magic))
+    std::memcpy(&inner_magic, raw.data(), sizeof(inner_magic));
+
+  if (inner_magic == kMagicV2) {
+    core::ByteReader rd({raw.data(), frame.raw_size}, "cusz-i");
+    ensure(kInnerFixedBytes + sizeof(std::uint32_t));
+    const InnerHeader h = parse_inner_header<T>(rd, kMagicV2);
+    // The directory's size is derivable from dims alone, so it can be
+    // ensured before the parse: every entry read stays below the watermark,
+    // and a wrong segment count fails before any entry is read.
+    const int nlevels = predictor::ginterp_level_count(h.dims);
+    ensure(sat(rd.offset(),
+               sizeof(std::uint32_t) +
+                   (static_cast<std::uint64_t>(nlevels) + 2) *
+                       sizeof(SegmentEntry)));
+    const auto segs = parse_v2_directory<T>(rd, h);
+
+    const std::size_t acount = static_cast<std::size_t>(segs[0].count);
+    const std::size_t abytes = static_cast<std::size_t>(segs[0].size);
+    ensure(sat(rd.offset(), abytes));
+    auto anchors = ws.make<T>(acount);
+    if (acount > 0)
+      std::memcpy(anchors.data(), rd.read_bytes(abytes).data(), abytes);
+
+    ensure(sat(rd.offset(), segs[1].size));
+    const auto outliers = parse_outlier_blob<T>(
+        rd.read_bytes(static_cast<std::size_t>(segs[1].size)), ws);
+    if (outliers.indices.size() != segs[1].count)
+      rd.fail("outlier blob count disagrees with directory");
+
+    (void)rd.checked_array_bytes(h.volume, sizeof(quant::Code));
+    auto codes = ws.make<quant::Code>(h.volume);
+    std::fill(codes.begin(), codes.end(), static_cast<quant::Code>(h.radius));
+
+    // Coarse levels (>= 2) are a sliver of the volume: decode each whole
+    // segment as its bytes land and scatter it. Level 1 — the bulk — then
+    // pipelines chunk groups against slab reconstruction below, exactly
+    // like the v1 single stream did, with the scatter cursor's watermark
+    // standing in for the chunk count.
+    for (std::size_t i = 2; i + 1 < segs.size(); ++i) {
+      ensure(sat(rd.offset(), segs[i].size));
+      core::Timer huft;
+      const auto syms = huffman::decode(
+          rd.read_bytes(static_cast<std::size_t>(segs[i].size)), ws);
+      if (syms.size() != segs[i].count)
+        rd.fail("level stream symbol count mismatch");
+      predictor::LevelScatterCursor cur(h.dims, segs[i].level);
+      cur.advance(syms, syms.size(), codes);
+      huff_s += huft.lap();
+    }
+
+    std::vector<T> out(h.volume);
+    predictor::GInterpReconstructorT<T> recon(
+        codes, std::span<const T>(anchors), outliers, h.dims, h.eb, h.cfg,
+        h.radius, std::span<T>(out));
+    const auto run_slab_timed = [&recon, &recon_ns, &since](std::size_t bz) {
+      const auto t0 = std::chrono::steady_clock::now();
+      recon.run_slab(bz);
+      recon_ns += since(t0);
+    };
+    std::deque<dev::Stream> rcs;
+    if (stream_overlap_pays() && recon.slab_count() > 1) {
+      const std::size_t n = std::min<std::size_t>(
+          dev::ThreadPool::instance().worker_count(), recon.slab_count());
+      for (std::size_t i = 0; i < n; ++i) rcs.emplace_back();
+    }
+    std::size_t next_slab = 0;
+    const auto reconstruct_upto = [&](std::size_t code_watermark) {
+      while (next_slab < recon.slab_count() &&
+             recon.codes_needed(next_slab) <= code_watermark) {
+        const std::size_t bz = next_slab++;
+        if (!rcs.empty())
+          rcs[bz % rcs.size()].submit(
+              [&run_slab_timed, bz] { run_slab_timed(bz); });
+        else
+          run_slab_timed(bz);
+      }
+    };
+
+    if (segs.size() > 2) {
+      const auto& seg1 = segs.back();
+      const auto huff = rd.read_bytes(static_cast<std::size_t>(seg1.size));
+      const std::size_t hoff = rd.offset() - huff.size();
+      ensure(sat(hoff, sizeof(std::uint32_t)));
+      std::uint32_t nbins = 0;
+      if (huff.size() >= sizeof(nbins))
+        std::memcpy(&nbins, huff.data(), sizeof(nbins));
+      const std::size_t hfixed = sizeof(std::uint32_t) + nbins +
+                                 sizeof(std::uint64_t) +
+                                 sizeof(std::uint32_t) + sizeof(std::uint64_t);
+      ensure(sat(hoff, hfixed));
+      std::uint64_t nsym = 0;
+      std::uint32_t csz = 0;
+      if (huff.size() >= hfixed) {
+        std::memcpy(&nsym, huff.data() + sizeof(std::uint32_t) + nbins,
+                    sizeof(nsym));
+        std::memcpy(&csz,
+                    huff.data() + sizeof(std::uint32_t) + nbins + sizeof(nsym),
+                    sizeof(csz));
+      }
+      const std::uint64_t nchunks64 =
+          csz == 0 ? 0 : nsym / csz + (nsym % csz != 0 ? 1 : 0);
+      ensure(sat(hoff, hfixed + std::min<std::uint64_t>(nchunks64,
+                                                        frame.raw_size) *
+                                    sizeof(std::uint64_t)));
+      core::Timer plant;
+      const auto plan = huffman::decode_plan(huff, ws);
+      huff_s += plant.lap();
+      if (plan.n != seg1.count)
+        throw core::CorruptArchive("cusz-i", hoff,
+                                   "level stream symbol count mismatch");
+
+      auto syms1 = ws.make<quant::Code>(plan.n);
+      const std::size_t pay_off =
+          plan.payload.empty()
+              ? frame.raw_size
+              : static_cast<std::size_t>(plan.payload.data() - raw.data());
+      predictor::LevelScatterCursor cur(h.dims, 1);
+
+      constexpr std::uint64_t kGroupBytes = 4 * lossless::kLzssBlock;
+      std::size_t c = 0;
+      while (c < plan.nchunks) {
+        const std::uint64_t start = plan.offsets[c];
+        std::size_t cend = c + 1;
+        while (cend < plan.nchunks &&
+               plan.offsets[cend] - start < kGroupBytes)
+          ++cend;
+        const std::uint64_t done =
+            cend < plan.nchunks ? plan.offsets[cend] : plan.payload_bytes;
+        ensure(sat(pay_off, done));
+        core::Timer huft;
+        huffman::decode_chunks(plan, c, cend, syms1);
+        c = cend;
+        cur.advance(syms1, std::min(cend * plan.chunk_size, plan.n), codes);
+        huff_s += huft.lap();
+        reconstruct_upto(cur.watermark());
+      }
+    }
+    if (lz) lz->synchronize();
+    else ensure(frame.raw_size);
+
+    reconstruct_upto(h.volume);
+    const bool overlapped = lz.has_value() || !rcs.empty();
+    {
+      std::exception_ptr err;
+      for (auto& s : rcs) {
+        try {
+          s.synchronize();
+        } catch (...) {
+          if (!err) err = std::current_exception();
+        }
+      }
+      if (err) std::rethrow_exception(err);
+    }
+    ws.reset();
+    if (dt) {
+      dt->unwrap = static_cast<double>(lzss_ns.load()) * 1e-9;
+      dt->huffman = huff_s;
+      dt->reconstruct = static_cast<double>(recon_ns.load()) * 1e-9;
+      dt->overlapped = overlapped;
+      dt->total = wall.lap();
+    }
+    return out;
+  }
 
   core::ByteReader rd({raw.data(), frame.raw_size}, "cusz-i");
   ensure(kInnerFixedBytes + sizeof(std::uint64_t));
@@ -729,6 +1144,204 @@ std::vector<T> decompress_bitcomp_typed(std::span<const std::byte> bytes,
   return out;
 }
 
+/// Full-decode fallback for progressive requests against archives without
+/// a segment directory (legacy SZI1): decode everything, then subsample
+/// onto the preview grid. `whole_size` is what bytes_read reports — the
+/// entire archive was consumed.
+template <typename T>
+ProgressiveResultT<T> progressive_from_full(std::span<const std::byte> inner,
+                                            std::size_t whole_size,
+                                            int max_level,
+                                            dev::Workspace& ws) {
+  core::ByteReader rd(inner, "cusz-i");
+  const InnerHeader h = parse_inner_header<T>(rd);
+  const int nlevels = predictor::ginterp_level_count(h.dims);
+  const int level = std::clamp(max_level, 1, nlevels + 1);
+  const auto full = decompress_typed<T>(inner, ws);
+  ProgressiveResultT<T> r;
+  r.data =
+      predictor::ginterp_subsample(std::span<const T>(full), h.dims, level);
+  r.dims = predictor::ginterp_preview_dims(h.dims, level);
+  r.level = level;
+  r.bytes_read = whole_size;
+  return r;
+}
+
+/// Prefix decode of a raw SZI2 archive: read the directory, then only the
+/// segments of levels >= max_level, and replay the partial reconstruction.
+/// Bytes past the consumed prefix are never touched, so truncating the
+/// archive to `bytes_read` bytes decodes identically (the byte-accounting
+/// test does exactly that).
+template <typename T>
+ProgressiveResultT<T> progressive_v2_raw(std::span<const std::byte> bytes,
+                                         int max_level, dev::Workspace& ws) {
+  core::ByteReader rd(bytes, "cusz-i");
+  const InnerHeader h = parse_inner_header<T>(rd, kMagicV2);
+  const auto segs = parse_v2_directory<T>(rd, h);
+  const int nlevels = predictor::ginterp_level_count(h.dims);
+  const int level = std::clamp(max_level, 1, nlevels + 1);
+
+  const std::size_t acount = static_cast<std::size_t>(segs[0].count);
+  const std::size_t abytes = static_cast<std::size_t>(segs[0].size);
+  auto anchors = ws.make<T>(acount);
+  if (acount > 0)
+    std::memcpy(anchors.data(), rd.read_bytes(abytes).data(), abytes);
+
+  const auto outliers = parse_outlier_blob<T>(
+      rd.read_bytes(static_cast<std::size_t>(segs[1].size)), ws);
+  if (outliers.indices.size() != segs[1].count)
+    rd.fail("outlier blob count disagrees with directory");
+
+  (void)rd.checked_array_bytes(h.volume, sizeof(quant::Code));
+  auto codes = ws.make<quant::Code>(h.volume);
+  std::fill(codes.begin(), codes.end(), static_cast<quant::Code>(h.radius));
+
+  for (std::size_t i = 2; i < segs.size() && segs[i].level >= level; ++i) {
+    const auto syms = huffman::decode(
+        rd.read_bytes(static_cast<std::size_t>(segs[i].size)), ws);
+    if (syms.size() != segs[i].count)
+      rd.fail("level stream symbol count mismatch");
+    predictor::LevelScatterCursor cur(h.dims, segs[i].level);
+    cur.advance(syms, syms.size(), codes);
+  }
+  const std::size_t consumed = rd.offset();
+
+  ProgressiveResultT<T> r;
+  r.data = predictor::ginterp_decompress_to_level(
+      codes, std::span<const T>(anchors), outliers, h.dims, h.eb, h.cfg,
+      h.radius, level, ws);
+  r.dims = predictor::ginterp_preview_dims(h.dims, level);
+  r.level = level;
+  r.bytes_read = consumed;
+  ws.reset();
+  return r;
+}
+
+/// Progressive decode through the 'BBCP' wrapper: LZSS blocks decode
+/// serially and only as far as the inner prefix the preview needs;
+/// `bytes_read` counts the wrapper framing plus the compressed extent of
+/// the blocks actually decoded. A legacy (SZI1) inner archive has no
+/// directory to steer by, so it decodes every block and falls back to full
+/// decode + subsample.
+template <typename T>
+ProgressiveResultT<T> progressive_wrapped(std::span<const std::byte> bytes,
+                                          int max_level, dev::Workspace& ws) {
+  const auto stream = bitcomp_wrapped_stream(bytes);
+  const auto frame = lossless::lzss_parse_frame(stream, ws);
+  auto raw = ws.make<std::byte>(frame.raw_size);
+  std::size_t nb = 0;  // blocks decoded so far
+  std::size_t decoded = 0;
+  const auto ensure = [&](std::size_t off) {
+    if (off > frame.raw_size) off = frame.raw_size;
+    while (decoded < off) {
+      const std::size_t begin = nb * frame.block_size;
+      const std::size_t len =
+          std::min(frame.block_size, frame.raw_size - begin);
+      lossless::lzss_decompress_block(frame, nb, {raw.data() + begin, len});
+      ++nb;
+      decoded = begin + len;
+    }
+  };
+  const auto sat = [&](std::size_t base, std::uint64_t extra) {
+    if (base >= frame.raw_size) return frame.raw_size;
+    const std::size_t room = frame.raw_size - base;
+    return extra >= room ? frame.raw_size
+                         : base + static_cast<std::size_t>(extra);
+  };
+  const std::size_t framing = bytes.size() - frame.stream.size();
+
+  ensure(sizeof(std::uint32_t));
+  std::uint32_t inner_magic = 0;
+  if (frame.raw_size >= sizeof(inner_magic))
+    std::memcpy(&inner_magic, raw.data(), sizeof(inner_magic));
+  if (inner_magic != kMagicV2) {
+    ensure(frame.raw_size);
+    return progressive_from_full<T>({raw.data(), frame.raw_size},
+                                    bytes.size(), max_level, ws);
+  }
+
+  core::ByteReader rd({raw.data(), frame.raw_size}, "cusz-i");
+  ensure(kInnerFixedBytes + sizeof(std::uint32_t));
+  const InnerHeader h = parse_inner_header<T>(rd, kMagicV2);
+  const int nlevels = predictor::ginterp_level_count(h.dims);
+  ensure(sat(rd.offset(),
+             sizeof(std::uint32_t) +
+                 (static_cast<std::uint64_t>(nlevels) + 2) *
+                     sizeof(SegmentEntry)));
+  const auto segs = parse_v2_directory<T>(rd, h);
+  const int level = std::clamp(max_level, 1, nlevels + 1);
+
+  const std::size_t acount = static_cast<std::size_t>(segs[0].count);
+  const std::size_t abytes = static_cast<std::size_t>(segs[0].size);
+  ensure(sat(rd.offset(), abytes));
+  auto anchors = ws.make<T>(acount);
+  if (acount > 0)
+    std::memcpy(anchors.data(), rd.read_bytes(abytes).data(), abytes);
+
+  ensure(sat(rd.offset(), segs[1].size));
+  const auto outliers = parse_outlier_blob<T>(
+      rd.read_bytes(static_cast<std::size_t>(segs[1].size)), ws);
+  if (outliers.indices.size() != segs[1].count)
+    rd.fail("outlier blob count disagrees with directory");
+
+  (void)rd.checked_array_bytes(h.volume, sizeof(quant::Code));
+  auto codes = ws.make<quant::Code>(h.volume);
+  std::fill(codes.begin(), codes.end(), static_cast<quant::Code>(h.radius));
+
+  for (std::size_t i = 2; i < segs.size() && segs[i].level >= level; ++i) {
+    ensure(sat(rd.offset(), segs[i].size));
+    const auto syms = huffman::decode(
+        rd.read_bytes(static_cast<std::size_t>(segs[i].size)), ws);
+    if (syms.size() != segs[i].count)
+      rd.fail("level stream symbol count mismatch");
+    predictor::LevelScatterCursor cur(h.dims, segs[i].level);
+    cur.advance(syms, syms.size(), codes);
+  }
+
+  ProgressiveResultT<T> r;
+  r.data = predictor::ginterp_decompress_to_level(
+      codes, std::span<const T>(anchors), outliers, h.dims, h.eb, h.cfg,
+      h.radius, level, ws);
+  r.dims = predictor::ginterp_preview_dims(h.dims, level);
+  r.level = level;
+  r.bytes_read = framing + (nb < frame.nblocks
+                                ? static_cast<std::size_t>(frame.offsets[nb])
+                                : frame.stream.size());
+  ws.reset();
+  return r;
+}
+
+/// Version dispatch for the progressive entry points: 'BBCP' → block-lazy
+/// wrapped path, 'SZI2' → raw prefix decode, anything else ('SZI1' or
+/// garbage) → full decode + subsample (which rejects bad magic).
+template <typename T>
+ProgressiveResultT<T> decompress_progressive_typed(
+    std::span<const std::byte> bytes, int max_level, dev::Workspace& ws) {
+  const std::uint32_t magic = peek_magic(bytes);
+  if (magic == kBitcompWrapMagic)
+    return progressive_wrapped<T>(bytes, max_level, ws);
+  if (magic == kMagicV2) return progressive_v2_raw<T>(bytes, max_level, ws);
+  return progressive_from_full<T>(bytes, bytes.size(), max_level, ws);
+}
+
+/// SZI2 directory parse for the public cuszi_archive_segments().
+template <typename T>
+std::vector<SegmentInfo> archive_segments_typed(
+    std::span<const std::byte> bytes) {
+  core::ByteReader rd(bytes, "cusz-i");
+  const InnerHeader h = parse_inner_header<T>(rd, kMagicV2);
+  const auto segs = parse_v2_directory<T>(rd, h);
+  std::vector<SegmentInfo> out(segs.size());
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    out[i].kind = segs[i].kind;
+    out[i].level = segs[i].level;
+    out[i].count = segs[i].count;
+    out[i].offset = segs[i].offset;
+    out[i].size = segs[i].size;
+  }
+  return out;
+}
+
 /// The batched pipeline behind cuszi_compress_many() and
 /// Cuszi::compress_batch: fields go round-robin onto `streams` in-order
 /// async queues. `streams == 0` means auto — one stream per pool worker
@@ -863,6 +1476,12 @@ class Cuszi final : public Compressor {
     return decompress_bitcomp_typed<float>(bytes, ws, &t);
   }
 
+  [[nodiscard]] ProgressiveResult decompress_progressive(
+      std::span<const std::byte> bytes, int max_level) override {
+    dev::Workspace ws(dev::Arena::instance());
+    return decompress_progressive_typed<float>(bytes, max_level, ws);
+  }
+
  private:
   bool topk_;
 };
@@ -953,11 +1572,80 @@ Precision cuszi_archive_precision(std::span<const std::byte> bytes) {
   // Buffers shorter than magic + precision throw CorruptArchive (not UB),
   // and the magic is verified before the precision byte is interpreted.
   core::ByteReader rd(bytes, "cusz-i");
-  rd.expect_magic(kMagic);
+  const auto magic = rd.read<std::uint32_t>();
+  if (magic != kMagic && magic != kMagicV2) rd.fail("bad magic");
   const auto prec = rd.read<std::uint8_t>();
   if (prec > static_cast<std::uint8_t>(Precision::F64))
     rd.fail("unknown precision byte");
   return static_cast<Precision>(prec);
+}
+
+std::vector<SegmentInfo> cuszi_archive_segments(
+    std::span<const std::byte> bytes) {
+  if (peek_magic(bytes) == kBitcompWrapMagic) {
+    const auto inner = bitcomp_unwrap_archive(bytes);
+    return cuszi_archive_segments(inner);
+  }
+  if (peek_magic(bytes) == kMagic) return {};
+  return cuszi_archive_precision(bytes) == Precision::F32
+             ? archive_segments_typed<float>(bytes)
+             : archive_segments_typed<double>(bytes);
+}
+
+std::vector<std::byte> cuszi_compress_v1(std::span<const float> data,
+                                         const dev::Dim3& dims,
+                                         const CompressParams& params,
+                                         StageTimings* timings) {
+  dev::Arena local;
+  dev::Workspace ws(local);
+  return compress_v1_typed<float>(data, dims, params, timings, ws);
+}
+
+std::vector<std::byte> cuszi_compress_v1(std::span<const double> data,
+                                         const dev::Dim3& dims,
+                                         const CompressParams& params,
+                                         StageTimings* timings) {
+  dev::Arena local;
+  dev::Workspace ws(local);
+  return compress_v1_typed<double>(data, dims, params, timings, ws);
+}
+
+std::vector<std::byte> cuszi_compress_unified_book(
+    std::span<const float> data, const dev::Dim3& dims,
+    const CompressParams& params, StageTimings* timings) {
+  return compress_typed<float>(data, dims, params, timings, /*fused=*/true,
+                               /*topk=*/true, /*unified=*/true);
+}
+
+std::vector<std::byte> cuszi_compress_unified_book(
+    std::span<const double> data, const dev::Dim3& dims,
+    const CompressParams& params, StageTimings* timings) {
+  return compress_typed<double>(data, dims, params, timings, /*fused=*/true,
+                                /*topk=*/true, /*unified=*/true);
+}
+
+ProgressiveResultT<float> cuszi_decompress_progressive_f32(
+    std::span<const std::byte> bytes, int max_level) {
+  dev::Arena local;
+  dev::Workspace ws(local);
+  return decompress_progressive_typed<float>(bytes, max_level, ws);
+}
+
+ProgressiveResultT<double> cuszi_decompress_progressive_f64(
+    std::span<const std::byte> bytes, int max_level) {
+  dev::Arena local;
+  dev::Workspace ws(local);
+  return decompress_progressive_typed<double>(bytes, max_level, ws);
+}
+
+ProgressiveResultT<float> cuszi_decompress_progressive_f32(
+    std::span<const std::byte> bytes, int max_level, dev::Workspace& ws) {
+  return decompress_progressive_typed<float>(bytes, max_level, ws);
+}
+
+ProgressiveResultT<double> cuszi_decompress_progressive_f64(
+    std::span<const std::byte> bytes, int max_level, dev::Workspace& ws) {
+  return decompress_progressive_typed<double>(bytes, max_level, ws);
 }
 
 std::vector<float> cuszi_decompress_f32(std::span<const std::byte> bytes,

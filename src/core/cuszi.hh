@@ -5,9 +5,16 @@
 // (§VI-A). The optional Bitcomp-style de-redundancy pass (§VI-B) is applied
 // through szi::with_bitcomp(), uniformly available to every compressor.
 //
-// Archive layout (field-by-field spec in docs/FORMAT.md):
-//   magic 'SZI1' | precision | dims | eb_abs | InterpConfig+radius |
-//   anchors | outliers | huffman stream
+// Archives are level-segmented ('SZI2'; field-by-field spec in
+// docs/FORMAT.md):
+//   magic 'SZI2' | precision | dims | eb_abs | InterpConfig+radius |
+//   segment directory | anchors | outliers | per-level huffman streams
+// Each interpolation level's quant codes form an independently framed
+// Huffman stream with its own codebook, ordered coarsest level first, so a
+// preview decode at level L reads only the archive prefix through level L's
+// segment (cuszi_decompress_progressive_*). The legacy single-stream 'SZI1'
+// layout still decodes — every decode entry point dispatches on the magic —
+// and cuszi_compress_v1() still writes it for back-compat tests.
 // Decoding is bounds-checked end to end; malformed archives throw
 // szi::core::CorruptArchive naming the rejecting stage and byte offset.
 #pragma once
@@ -65,6 +72,27 @@ namespace szi {
     const CompressParams& params, StageTimings* timings = nullptr,
     bool use_topk_histogram = true);
 
+/// Legacy 'SZI1' single-stream writer, retained verbatim so back-compat
+/// tests can mint v1 archives against the version-dispatched decoders.
+/// Bytes are identical to what pre-SZI2 builds of cuszi_compress() emitted.
+[[nodiscard]] std::vector<std::byte> cuszi_compress_v1(
+    std::span<const float> data, const dev::Dim3& dims,
+    const CompressParams& params, StageTimings* timings = nullptr);
+[[nodiscard]] std::vector<std::byte> cuszi_compress_v1(
+    std::span<const double> data, const dev::Dim3& dims,
+    const CompressParams& params, StageTimings* timings = nullptr);
+
+/// SZI2 with one unified codebook shared by every level segment instead of
+/// a per-level book (the bench's per-level-vs-unified ratio ablation). The
+/// framing is unchanged — each segment still carries the book it decodes
+/// with — so the archive decodes through the normal entry points.
+[[nodiscard]] std::vector<std::byte> cuszi_compress_unified_book(
+    std::span<const float> data, const dev::Dim3& dims,
+    const CompressParams& params, StageTimings* timings = nullptr);
+[[nodiscard]] std::vector<std::byte> cuszi_compress_unified_book(
+    std::span<const double> data, const dev::Dim3& dims,
+    const CompressParams& params, StageTimings* timings = nullptr);
+
 /// Fused compress straight to the §VI-B bitcomp-wrapped archive: the inner
 /// archive is assembled once in `ws` memory with the Huffman payload
 /// emitted directly into its final slot, and whole 64 KiB regions are
@@ -103,8 +131,47 @@ struct FieldView {
 
 enum class Precision : std::uint8_t { F32 = 0, F64 = 1 };
 
-/// Reads the precision byte of a cuSZ-i archive (throws on bad magic).
+/// Reads the precision byte of a cuSZ-i archive, either version (throws on
+/// bad magic).
 [[nodiscard]] Precision cuszi_archive_precision(std::span<const std::byte> b);
+
+/// One row of an SZI2 archive's segment directory, as validated by the
+/// decoder: kind 0 = anchor grid, 1 = outlier set, 2 = one interpolation
+/// level's Huffman stream (level is the 1-based level; segments are ordered
+/// coarsest first). `offset`/`size` are absolute byte ranges into the raw
+/// archive; `count` is the element count (anchors, outliers, or symbols).
+struct SegmentInfo {
+  std::uint8_t kind = 0;
+  std::uint8_t level = 0;
+  std::uint64_t count = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+};
+
+/// Parses + validates the segment directory of an SZI2 archive ('BBCP'
+/// wrappers are unwrapped first). Legacy SZI1 archives return an empty
+/// vector; corrupt input throws core::CorruptArchive. Drives the CLI's
+/// per-segment --stages lines and bench/progressive's size accounting.
+[[nodiscard]] std::vector<SegmentInfo> cuszi_archive_segments(
+    std::span<const std::byte> bytes);
+
+/// Progressive (preview) decode: reconstructs anchors + interpolation
+/// levels >= max_level onto the stride-2^(max_level-1) preview grid. For a
+/// raw SZI2 archive only the directory plus the needed prefix of segments
+/// is read (`bytes_read` reports exactly how much, and a truncation to that
+/// many bytes still decodes); for a 'BBCP' wrapper only the LZSS blocks
+/// covering that prefix are decoded; legacy SZI1 falls back to a full
+/// decode + subsample. max_level <= 1 is the full-fidelity reconstruction,
+/// bit-identical to cuszi_decompress_*; level_count+1 is the lossless
+/// anchor grid.
+[[nodiscard]] ProgressiveResultT<float> cuszi_decompress_progressive_f32(
+    std::span<const std::byte> bytes, int max_level);
+[[nodiscard]] ProgressiveResultT<double> cuszi_decompress_progressive_f64(
+    std::span<const std::byte> bytes, int max_level);
+[[nodiscard]] ProgressiveResultT<float> cuszi_decompress_progressive_f32(
+    std::span<const std::byte> bytes, int max_level, dev::Workspace& ws);
+[[nodiscard]] ProgressiveResultT<double> cuszi_decompress_progressive_f64(
+    std::span<const std::byte> bytes, int max_level, dev::Workspace& ws);
 
 /// Decompression, typed; throws std::runtime_error if the archive's
 /// precision does not match the requested function.

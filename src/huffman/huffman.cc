@@ -215,6 +215,27 @@ std::span<const std::byte> encode_with_book(std::span<const quant::Code> codes,
   return out;
 }
 
+std::span<const std::byte> encode_with_book_serial(
+    std::span<const quant::Code> codes, const Codebook& book,
+    std::size_t chunk_size, dev::Workspace& ws) {
+  const std::size_t header =
+      overhead_bytes(book.nbins(), codes.size(), chunk_size);
+  auto staging = ws.make<std::byte>(
+      header + payload_bound(book, codes.size(), chunk_size));
+  const EncodePlan plan =
+      encode_emit_serial(codes, book, chunk_size, staging.subspan(header), ws);
+  write_stream_header(plan, book, staging);
+  return staging.first(plan.stream_bytes());
+}
+
+std::vector<Codebook> build_level_books(
+    std::span<const std::vector<std::uint32_t>> histograms) {
+  std::vector<Codebook> books;
+  books.reserve(histograms.size());
+  for (const auto& h : histograms) books.push_back(Codebook::build(h));
+  return books;
+}
+
 DecodePlan decode_plan(std::span<const std::byte> bytes, dev::Workspace& ws) {
   core::ByteReader rd(bytes, "huffman");
   const auto nbins = rd.read<std::uint32_t>();

@@ -112,6 +112,22 @@ void encode_chunks(std::span<const quant::Code> codes, const Codebook& book,
                                             std::span<std::byte> payload,
                                             dev::Workspace& ws);
 
+/// Serial one-pass counterpart of encode_with_book, built on
+/// encode_emit_serial: plans and emits in a single walk over the codes and
+/// assembles the self-describing stream in `ws` memory. Byte-identical to
+/// encode_with_book — the SZI2 writer emits each level segment through this
+/// so per-level framing costs one pass per stream, not two.
+[[nodiscard]] std::span<const std::byte> encode_with_book_serial(
+    std::span<const quant::Code> codes, const Codebook& book,
+    std::size_t chunk_size, dev::Workspace& ws);
+
+/// Multi-codebook plan: one canonical codebook per histogram (the SZI2
+/// archive's per-level books). An all-zero histogram yields the empty book,
+/// whose stream is a bare header — empty levels of degenerate grids cost
+/// O(nbins) bytes, never a crash.
+[[nodiscard]] std::vector<Codebook> build_level_books(
+    std::span<const std::vector<std::uint32_t>> histograms);
+
 /// A validated decode-side plan: header parsed, chunk offset table copied
 /// into `ws` memory and bounds-checked, codebook/table rebuilt. `payload`
 /// views the input bytes; chunks can then decode independently — and, key

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <cassert>
 #include <cstring>
 #include <stdexcept>
@@ -352,15 +353,104 @@ void tile_pass(TileView<T>& t, int d, std::size_t s,
   }
 }
 
-/// Per-level quantizers for a field, indexed by log2(stride).
+/// Per-level quantizers for a field, indexed by level - 1.
 std::vector<quant::Quantizer> make_level_quantizers(double eb,
                                                     const InterpConfig& cfg,
-                                                    std::size_t top_stride,
+                                                    const Geometry& geo,
                                                     int radius) {
+  const int nlevels = interp_levels(geo);
   std::vector<quant::Quantizer> level_qz;
-  for (std::size_t s = 1; s <= top_stride; s <<= 1)
-    level_qz.emplace_back(level_eb(eb, cfg.alpha, level_of_stride(s)), radius);
+  level_qz.reserve(static_cast<std::size_t>(nlevels));
+  for (int l = 1; l <= nlevels; ++l)
+    level_qz.emplace_back(level_eb(eb, cfg.alpha, l), radius);
   return level_qz;
+}
+
+// ---- Level classification helpers ---------------------------------------
+//
+// A dimension is "interpolated" when its per-dim anchor stride exceeds 1;
+// for those dims the anchor stride is uniformly 2^interp_levels(geo).
+// Degenerate dims (anchor stride 1 — e.g. z under the 2D geometry) hold an
+// anchor plane at every coordinate, so they never constrain a position's
+// level. A non-anchor position's level is the 2-adic valuation of the OR of
+// its interpolated coordinates, plus one.
+
+struct InterpDims {
+  bool ix, iy, iz;
+  int nlevels;
+};
+
+InterpDims interp_dims_of(const dev::Dim3& dims) {
+  const Geometry geo = geometry_for(dims);
+  return {geo.anchor.x > 1, geo.anchor.y > 1, geo.anchor.z > 1,
+          interp_levels(geo)};
+}
+
+/// Multiples of m in [0, n).
+std::size_t nmul(std::size_t n, std::size_t m) {
+  return n == 0 ? 0 : (n - 1) / m + 1;
+}
+
+/// Count along one axis of the stride-m grid positions in [0, n);
+/// non-interpolated axes are unconstrained.
+std::size_t axis_count(std::size_t n, bool interp, std::size_t m) {
+  return interp ? nmul(n, m) : n;
+}
+
+/// Number of level-v (0-based) positions inside the box [0,a)x[0,b)x[0,c):
+/// the stride-s grid minus the stride-2s grid over the interpolated dims.
+/// With s = top_stride the 2s grid is exactly the anchor grid, so the level
+/// volumes plus the anchor count telescope to the full box volume.
+std::size_t level_box(std::size_t a, std::size_t b, std::size_t c,
+                      const InterpDims& id, std::size_t s) {
+  return axis_count(a, id.ix, s) * axis_count(b, id.iy, s) *
+             axis_count(c, id.iz, s) -
+         axis_count(a, id.ix, 2 * s) * axis_count(b, id.iy, 2 * s) *
+             axis_count(c, id.iz, 2 * s);
+}
+
+/// Positions of level v within one x-row: start/step of the arithmetic
+/// progression, or step == 0 when the row holds none. vyz is the valuation
+/// of the row's interpolated y/z coordinates: rows at exactly the level's
+/// stride own every stride-s x, coarser rows only the odd multiples.
+struct RowPattern {
+  std::size_t start = 0, step = 0;
+};
+
+RowPattern row_pattern(std::size_t y, std::size_t z, const InterpDims& id,
+                       int v, std::size_t s) {
+  const std::size_t m = (id.iy ? y : 0) | (id.iz ? z : 0);
+  const int vyz = m == 0 ? id.nlevels : std::countr_zero(m);
+  if (vyz < v) return {0, 0};
+  if (vyz == v) return {0, s};
+  return {s, 2 * s};
+}
+
+/// Rank of the first level-v position of row (y, z) at or after column x0:
+/// the closed-form count of level-v positions strictly before it in
+/// z-major linear order. Rows and planes contribute via the same grid
+/// differencing as level_box; divisibility of y/z by s and 2s gates the
+/// partial-plane and partial-row terms.
+std::size_t level_rank(const dev::Dim3& dims, const InterpDims& id, int v,
+                       std::size_t x0, std::size_t y, std::size_t z) {
+  const std::size_t s = std::size_t{1} << v;
+  const auto on = [](std::size_t c, bool interp, std::size_t m) {
+    return !interp || c % m == 0;
+  };
+  std::size_t r = level_box(dims.x, dims.y, z, id, s);
+  if (on(z, id.iz, s))
+    r += axis_count(dims.x, id.ix, s) * axis_count(y, id.iy, s);
+  if (on(z, id.iz, 2 * s))
+    r -= axis_count(dims.x, id.ix, 2 * s) * axis_count(y, id.iy, 2 * s);
+  const RowPattern p = row_pattern(y, z, id, v, s);
+  if (p.step != 0) {
+    const std::size_t first =
+        x0 <= p.start
+            ? p.start
+            : p.start + dev::ceil_div(x0 - p.start, p.step) * p.step;
+    r += (first - p.start) / p.step;
+  }
+  return r;
 }
 
 /// The complete per-tile interpolation body (load closed region, run every
@@ -374,13 +464,7 @@ void run_one_tile(const dev::BlockIdx& blk, std::span<const T> in,
                   std::span<const quant::Code> codes_in, const dev::Dim3& dims,
                   const InterpConfig& cfg, const Geometry& geo,
                   std::span<const quant::Quantizer> level_qz,
-                  PlaneOverride<T> po = {}) {
-  auto qz_for = [&](std::size_t s) -> const quant::Quantizer& {
-    int l = 0;
-    while ((std::size_t{1} << l) < s) ++l;
-    return level_qz[static_cast<std::size_t>(l)];
-  };
-
+                  PlaneOverride<T> po = {}, std::size_t min_stride = 1) {
   TileView<T> t;
   t.origin = {blk.x * geo.tile.x, blk.y * geo.tile.y, blk.z * geo.tile.z};
   for (int i = 0; i < 3; ++i) {
@@ -410,12 +494,16 @@ void run_one_tile(const dev::BlockIdx& blk, std::span<const T> in,
     }
   }
 
-  // Level-by-level, dimension-by-dimension interpolation.
+  // Level-by-level, dimension-by-dimension interpolation. A preview decode
+  // (min_stride > 1) stops before the finer levels: a pass at stride s
+  // reads and writes only stride-s grid positions, so the skipped levels
+  // never feed the ones that ran.
   const std::size_t gorigin =
       dev::linearize(dims, t.origin[0], t.origin[1], t.origin[2]);
-  for (std::size_t s = geo.top_stride; s >= 1; s >>= 1) {
+  for (std::size_t s = geo.top_stride; s >= min_stride; s >>= 1) {
     std::array<bool, 3> done{false, false, false};
-    const quant::Quantizer& qz = qz_for(s);
+    const quant::Quantizer& qz =
+        level_qz[static_cast<std::size_t>(level_of_stride(s) - 1)];
     for (int k = 0; k < 3; ++k) {
       const int d = cfg.dim_order[k];
       if (dim_of(dims, d) == 1) continue;
@@ -444,14 +532,14 @@ template <bool kCompress, typename T>
 void run_tiles(std::span<const T> in, std::span<T> out,
                std::span<quant::Code> codes,
                std::span<const quant::Code> codes_in, const dev::Dim3& dims,
-               double eb, const InterpConfig& cfg, int radius) {
+               double eb, const InterpConfig& cfg, int radius,
+               std::size_t min_stride = 1) {
   const Geometry geo = geometry_for(dims);
-  const auto level_qz =
-      make_level_quantizers(eb, cfg, geo.top_stride, radius);
+  const auto level_qz = make_level_quantizers(eb, cfg, geo, radius);
   const dev::Dim3 grid = dev::grid_for(dims, geo.tile);
   dev::launch_blocks(grid, [&](const dev::BlockIdx& blk) {
     run_one_tile<kCompress, T>(blk, in, out, codes, codes_in, dims, cfg, geo,
-                               level_qz);
+                               level_qz, {}, min_stride);
   });
 }
 
@@ -550,7 +638,7 @@ GInterpFusedT<T> compress_fused_impl(std::span<const T> data,
   const auto perfect = static_cast<quant::Code>(radius);
   const std::size_t nbins = 2 * static_cast<std::size_t>(radius);
 
-  const auto level_qz = make_level_quantizers(eb, cfg, geo.top_stride, radius);
+  const auto level_qz = make_level_quantizers(eb, cfg, geo, radius);
   const dev::Dim3 grid = dev::grid_for(dims, geo.tile);
   const std::size_t ntiles = grid.volume();
   const std::size_t nworkers =
@@ -637,6 +725,146 @@ GInterpFusedT<T> compress_fused_impl(std::span<const T> data,
   return out;
 }
 
+/// The fused pass with per-level emission (the SZI2 compress front end).
+/// Identical tile walk and worker partition as compress_fused_impl; the
+/// difference is step 3: instead of one banked histogram over the owned
+/// codes, each owned row is re-bucketed into the per-level streams. Every
+/// level-v position's slot is its closed-form rank, so workers write
+/// disjoint stream ranges and the streams come out in ascending linear
+/// order — byte-identical to a serial left-to-right split no matter how
+/// tiles were partitioned. Per-level histograms are counted in the same
+/// walk (plain per-worker partials, folded in fixed order).
+template <typename T>
+GInterpLevelsT<T> compress_fused_levels_impl(std::span<const T> data,
+                                             const dev::Dim3& dims, double eb,
+                                             const InterpConfig& cfg,
+                                             int radius, dev::Workspace& ws) {
+  check_compress_args(data, dims, eb);
+
+  const Geometry geo = geometry_for(dims);
+  auto anchors = ws.make<T>(anchor_dims(dims, geo.anchor).volume());
+  gather_anchors_into<T>(data, dims, geo.anchor, anchors);
+
+  auto codes = ws.make<quant::Code>(data.size());
+  const auto perfect = static_cast<quant::Code>(radius);
+  const std::size_t nbins = 2 * static_cast<std::size_t>(radius);
+
+  const InterpDims id = interp_dims_of(dims);
+  const auto nlv = static_cast<std::size_t>(id.nlevels);
+  std::vector<std::span<quant::Code>> streams(nlv);
+  for (std::size_t v = 0; v < nlv; ++v)
+    streams[v] =
+        ws.make<quant::Code>(ginterp_level_volume(dims, static_cast<int>(v) + 1));
+
+  const auto level_qz = make_level_quantizers(eb, cfg, geo, radius);
+  const dev::Dim3 grid = dev::grid_for(dims, geo.tile);
+  const std::size_t ntiles = grid.volume();
+  const std::size_t nworkers =
+      std::min(huffman::histogram_workers(data.size()),
+               std::max<std::size_t>(ntiles, 1));
+  const std::size_t tiles_per = dev::ceil_div(ntiles, nworkers);
+
+  auto parts = ws.make<std::uint32_t>(nworkers * nlv * nbins);
+  struct Outlier {
+    std::uint64_t index;
+    T value;
+  };
+  std::vector<std::vector<Outlier>> worker_outliers(nworkers);
+  dev::launch_linear(
+      nworkers,
+      [&](std::size_t w) {
+        std::uint32_t* hists = parts.data() + w * nlv * nbins;
+        std::fill_n(hists, nlv * nbins, 0u);
+        auto& outl = worker_outliers[w];
+        const std::size_t tb = w * tiles_per;
+        const std::size_t te = std::min(tb + tiles_per, ntiles);
+        for (std::size_t ti = tb; ti < te; ++ti) {
+          const dev::Coord3 c = dev::delinearize(grid, ti);
+          const dev::BlockIdx blk{c.x, c.y, c.z, ti};
+          std::size_t origin[3], owned[3];
+          for (int i = 0; i < 3; ++i) {
+            const std::size_t o =
+                (i == 0 ? blk.x : i == 1 ? blk.y : blk.z) * dim_of(geo.tile, i);
+            origin[i] = o;
+            owned[i] = std::min(dim_of(geo.tile, i), dim_of(dims, i) - o);
+          }
+          for (std::size_t z = 0; z < owned[2]; ++z)
+            for (std::size_t y = 0; y < owned[1]; ++y) {
+              const std::size_t row = dev::linearize(
+                  dims, origin[0], origin[1] + y, origin[2] + z);
+              std::fill_n(codes.data() + row, owned[0], perfect);
+            }
+          run_one_tile<true, T>(blk, data, {}, codes, {}, dims, cfg, geo,
+                                level_qz);
+          for (std::size_t z = 0; z < owned[2]; ++z)
+            for (std::size_t y = 0; y < owned[1]; ++y) {
+              const std::size_t gy = origin[1] + y, gz = origin[2] + z;
+              const std::size_t row =
+                  dev::linearize(dims, origin[0], gy, gz);
+              for (std::size_t v = 0; v < nlv; ++v) {
+                const std::size_t s = std::size_t{1} << v;
+                const RowPattern p =
+                    row_pattern(gy, gz, id, static_cast<int>(v), s);
+                if (p.step == 0) continue;
+                const std::size_t x0 = origin[0];
+                std::size_t x =
+                    x0 <= p.start
+                        ? p.start
+                        : p.start +
+                              dev::ceil_div(x0 - p.start, p.step) * p.step;
+                if (x >= x0 + owned[0]) continue;
+                std::size_t rank = level_rank(dims, id, static_cast<int>(v),
+                                              x, gy, gz);
+                std::uint32_t* h = hists + v * nbins;
+                quant::Code* dst = streams[v].data();
+                for (; x < x0 + owned[0]; x += p.step) {
+                  const quant::Code code = codes[row + (x - x0)];
+                  dst[rank++] = code;
+                  ++h[code];
+                }
+              }
+              for (std::size_t x = 0; x < owned[0]; ++x)
+                if (codes[row + x] == quant::kOutlierMarker)
+                  outl.push_back({row + x, data[row + x]});
+            }
+        }
+      },
+      1);
+
+  std::size_t total = 0;
+  for (const auto& v : worker_outliers) total += v.size();
+  auto merged = ws.make<Outlier>(total);
+  std::size_t pos = 0;
+  for (const auto& v : worker_outliers) {
+    std::copy(v.begin(), v.end(), merged.begin() + pos);
+    pos += v.size();
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const Outlier& a, const Outlier& b) { return a.index < b.index; });
+  auto oindices = ws.make<std::uint64_t>(total);
+  auto ovalues = ws.make<T>(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    oindices[i] = merged[i].index;
+    ovalues[i] = merged[i].value;
+  }
+
+  GInterpLevelsT<T> out;
+  out.pred.codes = codes;
+  out.pred.anchors = anchors;
+  out.pred.outliers = {oindices, ovalues};
+  out.levels.streams.assign(streams.begin(), streams.end());
+  out.levels.histograms.resize(nlv);
+  for (std::size_t v = 0; v < nlv; ++v) {
+    auto& h = out.levels.histograms[v];
+    h.assign(nbins, 0u);
+    for (std::size_t w = 0; w < nworkers; ++w) {
+      const std::uint32_t* part = parts.data() + (w * nlv + v) * nbins;
+      for (std::size_t b = 0; b < nbins; ++b) h[b] += part[b];
+    }
+  }
+  return out;
+}
+
 template <typename T>
 std::vector<T> decompress_impl(std::span<const quant::Code> codes,
                                std::span<const T> anchors,
@@ -672,14 +900,16 @@ template <typename T>
 GInterpReconstructorT<T>::GInterpReconstructorT(
     std::span<const quant::Code> codes, std::span<const T> anchors,
     const quant::OutlierViewT<T>& outliers, const dev::Dim3& dims, double eb,
-    const InterpConfig& cfg, int radius, std::span<T> out)
+    const InterpConfig& cfg, int radius, std::span<T> out, int max_level)
     : codes_(codes),
       out_(out),
       dims_(dims),
       grid_(dev::grid_for(dims, geometry_for(dims).tile)),
       geo_(geometry_for(dims)),
       cfg_(cfg),
-      level_qz_(make_level_quantizers(eb, cfg, geo_.top_stride, radius)) {
+      level_qz_(make_level_quantizers(eb, cfg, geo_, radius)),
+      min_stride_(stride_of_level(
+          std::clamp(max_level, 1, interp_levels(geo_) + 1))) {
   if (codes.size() != dims.volume() || out.size() != dims.volume())
     throw std::invalid_argument("ginterp_decompress: size/dims mismatch");
 
@@ -754,7 +984,7 @@ void GInterpReconstructorT<T>::run_slab(std::size_t bz) {
           const dev::BlockIdx blk{bx, by, bz,
                                   (bz * grid_.y + by) * grid_.x + bx};
           run_one_tile<false, T>(blk, out_, out_, {}, codes_, dims_, cfg_,
-                                 geo_, level_qz_, po);
+                                 geo_, level_qz_, po, min_stride_);
         },
         1);
   }
@@ -784,6 +1014,51 @@ void decompress_into_impl(std::span<const quant::Code> codes,
                                  radius, out);
   dev::launch_linear(
       recon.slab_count(), [&](std::size_t bz) { recon.run_slab(bz); }, 1);
+}
+
+template <typename T>
+std::vector<T> subsample_impl(std::span<const T> full, const dev::Dim3& dims,
+                              int max_level) {
+  if (full.size() != dims.volume())
+    throw std::invalid_argument("ginterp_subsample: size/dims mismatch");
+  const InterpDims id = interp_dims_of(dims);
+  const int L = std::clamp(max_level, 1, id.nlevels + 1);
+  const std::size_t s = stride_of_level(L);
+  const std::size_t sx = id.ix ? s : 1, sy = id.iy ? s : 1,
+                    sz = id.iz ? s : 1;
+  std::vector<T> out;
+  out.reserve(ginterp_preview_dims(dims, L).volume());
+  for (std::size_t z = 0; z < dims.z; z += sz)
+    for (std::size_t y = 0; y < dims.y; y += sy)
+      for (std::size_t x = 0; x < dims.x; x += sx)
+        out.push_back(full[dev::linearize(dims, x, y, z)]);
+  return out;
+}
+
+template <typename T>
+std::vector<T> decompress_to_level_impl(std::span<const quant::Code> codes,
+                                        std::span<const T> anchors,
+                                        const quant::OutlierViewT<T>& outliers,
+                                        const dev::Dim3& dims, double eb,
+                                        const InterpConfig& cfg, int radius,
+                                        int max_level, dev::Workspace& ws) {
+  (void)ws;
+  const InterpDims id = interp_dims_of(dims);
+  const int L = std::clamp(max_level, 1, id.nlevels + 1);
+  if (L == id.nlevels + 1) {
+    // Anchors-only preview: the anchor grid IS the coarsest preview grid,
+    // and anchors are stored lossless, so the preview is the anchor array.
+    const Geometry geo = geometry_for(dims);
+    if (anchors.size() != anchor_dims(dims, geo.anchor).volume())
+      throw core::CorruptArchive("ginterp", 0, "anchor count mismatch");
+    return std::vector<T>(anchors.begin(), anchors.end());
+  }
+  std::vector<T> full(dims.volume(), T{0});
+  GInterpReconstructorT<T> recon(codes, anchors, outliers, dims, eb, cfg,
+                                 radius, full, L);
+  dev::launch_linear(
+      recon.slab_count(), [&](std::size_t bz) { recon.run_slab(bz); }, 1);
+  return subsample_impl<T>(full, dims, L);
 }
 
 }  // namespace
@@ -863,6 +1138,147 @@ std::vector<double> ginterp_decompress(
     double eb, const InterpConfig& cfg, int radius) {
   return decompress_impl<double>(codes, anchors, outliers, dims, eb, cfg,
                                  radius);
+}
+
+int ginterp_level_count(const dev::Dim3& dims) {
+  return interp_dims_of(dims).nlevels;
+}
+
+std::size_t ginterp_level_volume(const dev::Dim3& dims, int level) {
+  const InterpDims id = interp_dims_of(dims);
+  if (level < 1 || level > id.nlevels) return 0;
+  return level_box(dims.x, dims.y, dims.z, id, stride_of_level(level));
+}
+
+dev::Dim3 ginterp_preview_dims(const dev::Dim3& dims, int max_level) {
+  const InterpDims id = interp_dims_of(dims);
+  const int L = std::clamp(max_level, 1, id.nlevels + 1);
+  const std::size_t s = stride_of_level(L);
+  return {axis_count(dims.x, id.ix, s), axis_count(dims.y, id.iy, s),
+          axis_count(dims.z, id.iz, s)};
+}
+
+GInterpLevelSplit ginterp_split_levels(std::span<const quant::Code> codes,
+                                       const dev::Dim3& dims,
+                                       std::size_t nbins, dev::Workspace& ws) {
+  if (codes.size() != dims.volume())
+    throw std::invalid_argument("ginterp_split_levels: size/dims mismatch");
+  const InterpDims id = interp_dims_of(dims);
+  const auto nlv = static_cast<std::size_t>(id.nlevels);
+  GInterpLevelSplit out;
+  out.streams.resize(nlv);
+  out.histograms.assign(nlv, std::vector<std::uint32_t>(nbins, 0u));
+  std::vector<std::span<quant::Code>> bufs(nlv);
+  std::vector<std::size_t> fill(nlv, 0);
+  for (std::size_t v = 0; v < nlv; ++v)
+    bufs[v] = ws.make<quant::Code>(
+        ginterp_level_volume(dims, static_cast<int>(v) + 1));
+  for (std::size_t z = 0; z < dims.z; ++z)
+    for (std::size_t y = 0; y < dims.y; ++y) {
+      const std::size_t row = dev::linearize(dims, 0, y, z);
+      for (std::size_t v = 0; v < nlv; ++v) {
+        const RowPattern p =
+            row_pattern(y, z, id, static_cast<int>(v), std::size_t{1} << v);
+        if (p.step == 0) continue;
+        auto& h = out.histograms[v];
+        for (std::size_t x = p.start; x < dims.x; x += p.step) {
+          const quant::Code code = codes[row + x];
+          bufs[v][fill[v]++] = code;
+          ++h[code];
+        }
+      }
+    }
+  for (std::size_t v = 0; v < nlv; ++v) out.streams[v] = bufs[v];
+  return out;
+}
+
+LevelScatterCursor::LevelScatterCursor(const dev::Dim3& dims, int level)
+    : dims_(dims), s_(stride_of_level(level)), v_(level - 1) {
+  const InterpDims id = interp_dims_of(dims);
+  nlevels_ = id.nlevels;
+  iy_ = id.iy;
+  iz_ = id.iz;
+  enter_row();
+}
+
+/// Positions the cursor at the first level position of the current or a
+/// later row; rows the level owns no position in are skipped. Past the last
+/// row the watermark saturates at the full volume.
+void LevelScatterCursor::enter_row() {
+  const InterpDims id{true, iy_, iz_, nlevels_};
+  for (; z_ < dims_.z; ++z_, y_ = 0) {
+    for (; y_ < dims_.y; ++y_) {
+      const RowPattern p = row_pattern(y_, z_, id, v_, s_);
+      if (p.step != 0 && p.start < dims_.x) {
+        x_ = p.start;
+        step_ = p.step;
+        watermark_ = dev::linearize(dims_, x_, y_, z_);
+        return;
+      }
+    }
+  }
+  step_ = 0;
+  watermark_ = dims_.volume();
+}
+
+std::size_t LevelScatterCursor::advance(std::span<const quant::Code> stream,
+                                        std::size_t upto,
+                                        std::span<quant::Code> codes) {
+  upto = std::min(upto, stream.size());
+  while (consumed_ < upto && step_ != 0) {
+    const std::size_t base = dev::linearize(dims_, 0, y_, z_);
+    while (x_ < dims_.x && consumed_ < upto) {
+      codes[base + x_] = stream[consumed_++];
+      x_ += step_;
+    }
+    if (x_ < dims_.x) {
+      watermark_ = base + x_;
+      return watermark_;
+    }
+    ++y_;
+    enter_row();
+  }
+  return watermark_;
+}
+
+GInterpLevelsT<float> ginterp_compress_fused_levels(
+    std::span<const float> data, const dev::Dim3& dims, double eb,
+    const InterpConfig& cfg, int radius, dev::Workspace& ws) {
+  return compress_fused_levels_impl<float>(data, dims, eb, cfg, radius, ws);
+}
+
+GInterpLevelsT<double> ginterp_compress_fused_levels(
+    std::span<const double> data, const dev::Dim3& dims, double eb,
+    const InterpConfig& cfg, int radius, dev::Workspace& ws) {
+  return compress_fused_levels_impl<double>(data, dims, eb, cfg, radius, ws);
+}
+
+std::vector<float> ginterp_subsample(std::span<const float> full,
+                                     const dev::Dim3& dims, int max_level) {
+  return subsample_impl<float>(full, dims, max_level);
+}
+
+std::vector<double> ginterp_subsample(std::span<const double> full,
+                                      const dev::Dim3& dims, int max_level) {
+  return subsample_impl<double>(full, dims, max_level);
+}
+
+std::vector<float> ginterp_decompress_to_level(
+    std::span<const quant::Code> codes, std::span<const float> anchors,
+    const quant::OutlierViewT<float>& outliers, const dev::Dim3& dims,
+    double eb, const InterpConfig& cfg, int radius, int max_level,
+    dev::Workspace& ws) {
+  return decompress_to_level_impl<float>(codes, anchors, outliers, dims, eb,
+                                         cfg, radius, max_level, ws);
+}
+
+std::vector<double> ginterp_decompress_to_level(
+    std::span<const quant::Code> codes, std::span<const double> anchors,
+    const quant::OutlierViewT<double>& outliers, const dev::Dim3& dims,
+    double eb, const InterpConfig& cfg, int radius, int max_level,
+    dev::Workspace& ws) {
+  return decompress_to_level_impl<double>(codes, anchors, outliers, dims, eb,
+                                          cfg, radius, max_level, ws);
 }
 
 }  // namespace szi::predictor

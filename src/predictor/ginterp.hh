@@ -91,6 +91,123 @@ struct GInterpFusedT {
     std::span<const double> data, const dev::Dim3& dims, double eb,
     const InterpConfig& cfg, int radius, dev::Workspace& ws);
 
+// ---- Level classification (the SZI2 segmented archive) -------------------
+//
+// Every non-anchor position is targeted by exactly one (stride, dim) pass,
+// so it belongs to exactly one interpolation level: with D the set of
+// interpolated dimensions (those whose per-dim anchor stride exceeds 1; x
+// always, y/z unless the geometry degenerates them to stride-1 anchor
+// planes), a position's level is ℓ = countr_zero(OR of its D-coordinates)+1
+// and it is an anchor when that valuation reaches interp_levels(geo). The
+// level populations and the rank of any position within its level therefore
+// have closed forms — segment sizes and scatter targets never require a
+// counting pass.
+
+/// Number of interpolation levels of the field's geometry.
+[[nodiscard]] int ginterp_level_count(const dev::Dim3& dims);
+
+/// Exact number of level-ℓ positions (1-based level; closed form).
+[[nodiscard]] std::size_t ginterp_level_volume(const dev::Dim3& dims,
+                                               int level);
+
+/// Grid dimensions of the preview reconstructed from anchors + levels >=
+/// max_level: interpolated dims shrink to their stride-2^(max_level-1)
+/// grid, degenerate dims keep their extent. max_level = level_count + 1
+/// yields the anchor grid.
+[[nodiscard]] dev::Dim3 ginterp_preview_dims(const dev::Dim3& dims,
+                                             int max_level);
+
+/// Per-level re-bucketing of a full code array: streams[ℓ-1] holds the
+/// level-ℓ codes in ascending linear order (ws-owned), histograms[ℓ-1]
+/// counts them over `nbins` bins. Anchor positions are not emitted — their
+/// codes are always the "perfectly predicted" prefill.
+struct GInterpLevelSplit {
+  std::vector<std::span<const quant::Code>> streams;
+  std::vector<std::vector<std::uint32_t>> histograms;
+};
+
+[[nodiscard]] GInterpLevelSplit ginterp_split_levels(
+    std::span<const quant::Code> codes, const dev::Dim3& dims,
+    std::size_t nbins, dev::Workspace& ws);
+
+/// Resumable inverse of the split: scatters one level's stream back into a
+/// full code array in ascending linear order. advance() consumes stream
+/// symbols [consumed(), upto) and returns the new watermark — the linear
+/// index below which every position of this level has been scattered (the
+/// field volume once the stream is exhausted). The pipelined decompressor
+/// advances the finest level's cursor chunk-group by chunk-group and feeds
+/// the watermark to GInterpReconstructorT::codes_needed.
+class LevelScatterCursor {
+ public:
+  LevelScatterCursor(const dev::Dim3& dims, int level);
+
+  std::size_t advance(std::span<const quant::Code> stream, std::size_t upto,
+                      std::span<quant::Code> codes);
+
+  [[nodiscard]] std::size_t consumed() const { return consumed_; }
+  [[nodiscard]] std::size_t watermark() const { return watermark_; }
+
+ private:
+  void enter_row();
+
+  dev::Dim3 dims_;
+  std::size_t s_;            ///< stride of the level
+  int v_;                    ///< 0-based level
+  int nlevels_;
+  bool iy_, iz_;             ///< y/z interpolated by the geometry
+  std::size_t y_ = 0, z_ = 0;
+  std::size_t x_ = 0;        ///< next position in the current row
+  std::size_t step_ = 0;     ///< 0 marks "current row has no positions"
+  std::size_t consumed_ = 0;
+  std::size_t watermark_ = 0;
+};
+
+/// Fused predict+quantize with per-level emission: the same tile walk as
+/// ginterp_compress_fused, but each owned row's codes are re-bucketed into
+/// per-level streams (rank-addressed, so worker partitioning is
+/// unobservable) with one exact per-level histogram each. `pred.codes`
+/// still holds the full prefilled code array; streams/histograms are
+/// byte-identical to ginterp_split_levels over it.
+template <typename T>
+struct GInterpLevelsT {
+  GInterpViewT<T> pred;
+  GInterpLevelSplit levels;
+};
+
+[[nodiscard]] GInterpLevelsT<float> ginterp_compress_fused_levels(
+    std::span<const float> data, const dev::Dim3& dims, double eb,
+    const InterpConfig& cfg, int radius, dev::Workspace& ws);
+[[nodiscard]] GInterpLevelsT<double> ginterp_compress_fused_levels(
+    std::span<const double> data, const dev::Dim3& dims, double eb,
+    const InterpConfig& cfg, int radius, dev::Workspace& ws);
+
+/// Stride subsample of a full-resolution field onto the preview grid of
+/// `max_level` (row-major over ginterp_preview_dims).
+[[nodiscard]] std::vector<float> ginterp_subsample(std::span<const float> full,
+                                                   const dev::Dim3& dims,
+                                                   int max_level);
+[[nodiscard]] std::vector<double> ginterp_subsample(
+    std::span<const double> full, const dev::Dim3& dims, int max_level);
+
+/// Partial reconstruction for progressive decode: replays anchors + every
+/// level >= max_level and returns the stride-2^(max_level-1) preview grid.
+/// Passes at stride s touch only stride-s grid positions, so the preview is
+/// bit-identical to ginterp_subsample over the full reconstruction — finer
+/// levels' codes are never read and may be absent (prefilled). `codes` must
+/// still span the full volume, with the levels >= max_level scattered and
+/// everything else at the prefill value. max_level is clamped to
+/// [1, level_count+1]; level_count+1 returns the lossless anchor grid.
+[[nodiscard]] std::vector<float> ginterp_decompress_to_level(
+    std::span<const quant::Code> codes, std::span<const float> anchors,
+    const quant::OutlierViewT<float>& outliers, const dev::Dim3& dims,
+    double eb, const InterpConfig& cfg, int radius, int max_level,
+    dev::Workspace& ws);
+[[nodiscard]] std::vector<double> ginterp_decompress_to_level(
+    std::span<const quant::Code> codes, std::span<const double> anchors,
+    const quant::OutlierViewT<double>& outliers, const dev::Dim3& dims,
+    double eb, const InterpConfig& cfg, int radius, int max_level,
+    dev::Workspace& ws);
+
 /// Reconstructs the field from codes + anchors + outliers.
 [[nodiscard]] std::vector<float> ginterp_decompress(
     std::span<const quant::Code> codes, std::span<const float> anchors,
@@ -163,12 +280,16 @@ class GInterpReconstructorT {
   /// ginterp_decompress) and scatters anchors + outlier originals into
   /// `out`. `codes` and `out` are borrowed and must outlive the slab runs;
   /// `codes` may be filled lazily as long as slab bz's prefix is decoded
-  /// before run_slab(bz).
+  /// before run_slab(bz). `max_level` > 1 stops the per-tile level walk
+  /// above that level's stride: only stride-2^(max_level-1) grid positions
+  /// are reconstructed (the progressive preview path); everything finer
+  /// keeps whatever `out` held after the scatter.
   GInterpReconstructorT(std::span<const quant::Code> codes,
                         std::span<const T> anchors,
                         const quant::OutlierViewT<T>& outliers,
                         const dev::Dim3& dims, double eb,
-                        const InterpConfig& cfg, int radius, std::span<T> out);
+                        const InterpConfig& cfg, int radius, std::span<T> out,
+                        int max_level = 1);
 
   [[nodiscard]] std::size_t slab_count() const { return grid_.z; }
 
@@ -190,6 +311,7 @@ class GInterpReconstructorT {
   Geometry geo_;
   InterpConfig cfg_;
   std::vector<quant::Quantizer> level_qz_;
+  std::size_t min_stride_ = 1;  ///< finest stride the level walk reaches
   /// Post-scatter snapshot of the slab-boundary z-planes (z = (bz+1)*tile.z
   /// for bz < grid_.z - 1), dims.x*dims.y elements each, making every slab's
   /// +z border load independent of neighbor-slab progress.

@@ -50,6 +50,18 @@ struct InterpConfig {
   return level;
 }
 
+/// Inverse of level_of_stride: the stride a (1-based) level interpolates at.
+[[nodiscard]] inline std::size_t stride_of_level(int level) {
+  return std::size_t{1} << (level - 1);
+}
+
+/// Number of interpolation levels a geometry walks (strides top_stride down
+/// to 1) — the single source of truth for per-level segment counts,
+/// quantizer tables, and preview grids.
+[[nodiscard]] inline int interp_levels(const Geometry& geo) {
+  return level_of_stride(geo.top_stride);
+}
+
 /// Level-wise error bound e_ℓ = e / α^(ℓ-1)  (§V-B.2).
 [[nodiscard]] inline double level_eb(double eb, double alpha, int level) {
   return eb / std::pow(alpha, level - 1);

@@ -4,10 +4,12 @@
 // this asserts control-flow robustness; the byte readers bound every access.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <tuple>
 #include <vector>
 
 #include "baselines/registry.hh"
+#include "core/bytes.hh"
 #include "core/compressor_iface.hh"
 #include "core/cuszi.hh"
 #include "datagen/datasets.hh"
@@ -133,6 +135,71 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(std::get<0>(info.param) ? "f64" : "f32") +
              (std::get<1>(info.param) ? "_bitcomp" : "_plain");
     });
+
+// Structured SZI2 header coverage: each directory invariant the decoder
+// validates, violated one at a time, must be rejected with CorruptArchive —
+// by the full decoder, the progressive decoder, and the directory parser.
+// Directory layout: u32 nseg at byte 53, then 32-byte entries
+// (u8 kind | u8 level | u16 rsv0 | u32 rsv1 | u64 count | u64 off | u64 sz).
+TEST(CorruptionFuzz, V2HeaderInvariantsRejected) {
+  const auto& field = test_field();
+  const auto archive = szi::cuszi_compress(field.view(), field.dims,
+                                           {szi::ErrorMode::Rel, 1e-3});
+  constexpr std::size_t kNsegOff = 53;
+  constexpr std::size_t kEntries = kNsegOff + 4;
+  constexpr std::size_t kEntry = 32;
+  const auto poke = [&](std::size_t at, auto v) {
+    auto bad = archive;
+    std::memcpy(bad.data() + at, &v, sizeof(v));
+    return bad;
+  };
+  const auto expect_rejected = [&](const std::vector<std::byte>& bad,
+                                   const char* what) {
+    EXPECT_THROW((void)szi::cuszi_decompress_f32(bad),
+                 szi::core::CorruptArchive)
+        << what;
+    EXPECT_THROW((void)szi::cuszi_decompress_progressive_f32(bad, 2),
+                 szi::core::CorruptArchive)
+        << what << " (progressive)";
+    EXPECT_THROW((void)szi::cuszi_archive_segments(bad),
+                 szi::core::CorruptArchive)
+        << what << " (segments)";
+  };
+
+  std::uint32_t nseg = 0;
+  std::memcpy(&nseg, archive.data() + kNsegOff, sizeof(nseg));
+  ASSERT_GE(nseg, 5u);  // anchors + outliers + >= 3 levels
+
+  expect_rejected(poke(kNsegOff, std::uint32_t{nseg + 1}), "bad nseg");
+  expect_rejected(poke(kNsegOff, std::uint32_t{0}), "zero nseg");
+  expect_rejected(poke(kEntries, std::uint8_t{2}), "anchor kind wrong");
+  expect_rejected(poke(kEntries + kEntry + 1, std::uint8_t{3}),
+                  "outlier level wrong");
+  expect_rejected(poke(kEntries + 2 * kEntry + 1, std::uint8_t{1}),
+                  "level segments out of order");
+  expect_rejected(poke(kEntries + 2, std::uint16_t{1}), "reserved0 set");
+  expect_rejected(poke(kEntries + 4, std::uint32_t{7}), "reserved1 set");
+
+  // Count mismatch: a level's symbol count must equal its closed form.
+  std::uint64_t count = 0;
+  std::memcpy(&count, archive.data() + kEntries + 2 * kEntry + 8,
+              sizeof(count));
+  expect_rejected(poke(kEntries + 2 * kEntry + 8, count + 1),
+                  "level symbol count mismatch");
+
+  // Non-contiguous offsets: nudge the second segment's offset.
+  std::uint64_t off = 0;
+  std::memcpy(&off, archive.data() + kEntries + kEntry + 16, sizeof(off));
+  expect_rejected(poke(kEntries + kEntry + 16, off + 1),
+                  "offsets not contiguous");
+
+  // A v2 archive handed to a v1-only magic (and vice versa) is caught by
+  // the dispatch: flipping '2' back to '1' leaves a directory where the v1
+  // layout expects the anchor count, which cannot parse cleanly.
+  auto bad_magic = archive;
+  bad_magic[3] = std::byte{'9'};
+  expect_rejected(bad_magic, "unknown magic version");
+}
 
 TEST(CorruptionFuzz, WrappedArchivesToo) {
   auto c = szi::with_bitcomp(make_compressor("cusz-i"));

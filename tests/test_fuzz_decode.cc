@@ -267,6 +267,108 @@ TEST(FuzzDecode, LzssBlockOffsetTableMutants) {
   }
 }
 
+// Mutants confined to the SZI2 segment directory (u32 nseg + 32-byte
+// entries between the fixed header and the first segment): kinds, levels,
+// counts, offsets, and sizes are all validated against their closed forms,
+// so every corruption must be rejected by parse_v2_directory or surface as
+// a bounds-checked CorruptArchive downstream — both the full decoder and
+// the prefix-reading progressive decoder are under contract.
+TEST(FuzzDecode, SegmentDirectoryMutants) {
+  const auto& f = tiny_field();
+  const auto archive = szi::cuszi_compress(std::span<const float>(f.data),
+                                           f.dims, {szi::ErrorMode::Rel, 1e-3});
+  const auto segs = szi::cuszi_archive_segments(archive);
+  ASSERT_FALSE(segs.empty());
+  // Fixed header: magic(4) + precision(1) + dims(24) + eb(8) + config(16).
+  constexpr std::size_t kDirOff = 53;
+  const std::size_t dir_end = static_cast<std::size_t>(segs[0].offset);
+  ASSERT_GT(dir_end, kDirOff);
+  const std::size_t dir_bytes = dir_end - kDirOff;
+
+  szi::core::ScopedDecodeAllocCap cap(kAllocCap);
+  szi::datagen::Rng rng(seed_of("szi2-directory-mutants"));
+  for (int trial = 0; trial < kTrials; ++trial) {
+    auto mutant = archive;
+    const int edits = 1 + static_cast<int>(rng.next_u64() % 3);
+    for (int e = 0; e < edits; ++e) {
+      if (rng.uniform() < 0.5) {
+        const std::size_t at = kDirOff + rng.next_u64() % dir_bytes;
+        mutant[at] ^=
+            std::byte(static_cast<std::uint8_t>(1u << (rng.next_u64() % 8)));
+      } else if (dir_bytes >= sizeof(std::uint64_t)) {
+        // Whole-u64 rewrite of a count/offset/size slot, half the time
+        // clamped near the valid range to probe off-by-one acceptance.
+        const std::size_t at =
+            kDirOff + rng.next_u64() % (dir_bytes - sizeof(std::uint64_t) + 1);
+        std::uint64_t v = rng.next_u64();
+        if (rng.uniform() < 0.5) v %= (archive.size() + 7);
+        std::memcpy(mutant.data() + at, &v, sizeof(v));
+      }
+    }
+    try {
+      if (trial % 2 == 0)
+        (void)szi::cuszi_decompress_f32(mutant);
+      else
+        (void)szi::cuszi_decompress_progressive_f32(
+            mutant, 1 + static_cast<int>(rng.next_u64() % 4));
+    } catch (const szi::core::CorruptArchive&) {
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "directory mutant trial " << trial << ": decoder threw "
+                    << typeid(e).name() << " (" << e.what()
+                    << ") instead of CorruptArchive";
+      return;
+    }
+  }
+}
+
+// Deterministic truncation coverage for the raw SZI2 layout: every prefix,
+// with extra attention (full + progressive decode at every level) at each
+// segment boundary +/- 1 — the exact cut points a partially transferred
+// progressive archive produces.
+TEST(FuzzDecode, TruncationSweepRawV2Archive) {
+  const auto& f = tiny_field();
+  const auto archive = szi::cuszi_compress(std::span<const float>(f.data),
+                                           f.dims, {szi::ErrorMode::Rel, 1e-3});
+  szi::core::ScopedDecodeAllocCap cap(kAllocCap);
+  const auto try_decode = [&](std::size_t len, int level) {
+    const auto prefix = std::span<const std::byte>(archive).first(len);
+    try {
+      if (level == 0)
+        (void)szi::cuszi_decompress_f32(prefix);
+      else
+        (void)szi::cuszi_decompress_progressive_f32(prefix, level);
+    } catch (const szi::core::CorruptArchive&) {
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "truncation at " << len << " (level " << level
+                    << "): decoder threw " << typeid(e).name() << " ("
+                    << e.what() << ") instead of CorruptArchive";
+    }
+  };
+  for (std::size_t len = 0; len <= archive.size(); ++len) try_decode(len, 0);
+  const auto segs = szi::cuszi_archive_segments(archive);
+  const int nlevels = static_cast<int>(segs.size()) - 2;
+  for (const auto& s : segs) {
+    for (const std::size_t at :
+         {s.offset, s.offset + 1, s.offset + s.size, s.offset + s.size - 1}) {
+      if (at > archive.size()) continue;
+      for (int level = 0; level <= nlevels + 1; ++level)
+        try_decode(static_cast<std::size_t>(at), level);
+    }
+  }
+}
+
+// The legacy SZI1 single-stream layout stays under the same fuzz contract
+// through the version-dispatched decoder (archives minted by the retained
+// v1 writer).
+TEST(FuzzDecode, LegacyV1ArchiveMutants) {
+  const auto& f = tiny_field();
+  const auto archive = szi::cuszi_compress_v1(
+      std::span<const float>(f.data), f.dims, {szi::ErrorMode::Rel, 1e-3});
+  run_trials("cusz-i-v1", archive, [](std::span<const std::byte> mutant) {
+    (void)szi::cuszi_decompress_f32(mutant);
+  });
+}
+
 // Regression for the original OutlierSet::deserialize overflow: an 8-byte
 // header claiming n = 0x2000000000000000 made n * (8 + 4) wrap size_t, so
 // the old truncation check passed and the copy ran off the buffer. The

@@ -3,6 +3,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <tuple>
 #include <vector>
@@ -218,6 +219,158 @@ TEST(GInterpFused, NestedLaunchMatchesTopLevel) {
   for (std::size_t i = 0; i < hists.size(); ++i) {
     EXPECT_EQ(hists[i], ref.histogram) << "outer launch index " << i;
     EXPECT_EQ(codes[i], ref_codes) << "outer launch index " << i;
+  }
+}
+
+// The closed-form level populations must tile the field exactly: every
+// position is either an anchor or belongs to exactly one level, for smooth
+// and awkward shapes alike (degenerate dims, odd extents, 1D/2D fields).
+TEST(GInterpLevels, ClosedFormsTileTheVolume) {
+  for (const auto& dims :
+       {Dim3{32, 32, 32}, Dim3{33, 9, 9}, Dim3{7, 7, 7}, Dim3{65, 33, 17},
+        Dim3{5, 3, 2}, Dim3{100, 10, 3}, Dim3{17, 1, 1}, Dim3{257, 129, 1},
+        Dim3{1024, 1, 1}, Dim3{48, 40, 24}}) {
+    SCOPED_TRACE(::testing::Message() << dims.x << "x" << dims.y << "x"
+                                      << dims.z);
+    const int nlevels = szi::predictor::ginterp_level_count(dims);
+    ASSERT_GE(nlevels, 1);
+    const std::size_t anchors =
+        anchor_dims(dims, geometry_for(dims).anchor).volume();
+    std::size_t sum = 0;
+    for (int l = 1; l <= nlevels; ++l) {
+      const std::size_t lv = szi::predictor::ginterp_level_volume(dims, l);
+      // Level ℓ's positions are exactly the stride-2^(ℓ-1) grid minus the
+      // stride-2^ℓ grid — the preview-dim volumes give the same closed form.
+      const auto fine = szi::predictor::ginterp_preview_dims(dims, l);
+      const auto coarse = szi::predictor::ginterp_preview_dims(dims, l + 1);
+      EXPECT_EQ(lv, fine.volume() - coarse.volume()) << "level " << l;
+      sum += lv;
+    }
+    EXPECT_EQ(sum + anchors, dims.volume());
+    const auto top =
+        szi::predictor::ginterp_preview_dims(dims, nlevels + 1);
+    EXPECT_EQ(top.volume(), anchors);
+    const auto full = szi::predictor::ginterp_preview_dims(dims, 1);
+    EXPECT_EQ(full.volume(), dims.volume());
+  }
+}
+
+// Split and scatter are exact inverses: re-bucketing a code array into
+// per-level streams and scattering every stream back over a prefilled array
+// must reproduce the original codes bit for bit, and each stream's length
+// must match the closed-form level volume.
+TEST(GInterpLevels, SplitScatterRoundTrip) {
+  for (const auto& dims : {Dim3{33, 9, 9}, Dim3{65, 33, 17}, Dim3{100, 10, 3},
+                           Dim3{257, 129, 1}}) {
+    SCOPED_TRACE(::testing::Message() << dims.x << "x" << dims.y << "x"
+                                      << dims.z);
+    const auto data = smooth_field(dims, dims.volume());
+    const double eb = 1e-3;
+    const auto prof = autotune(data, dims, eb);
+    const int radius = szi::quant::kDefaultRadius;
+    const auto enc =
+        ginterp_compress(std::span<const float>(data), dims, eb, prof.config,
+                         radius);
+
+    szi::dev::Arena arena;
+    szi::dev::Workspace ws(arena);
+    const auto split = szi::predictor::ginterp_split_levels(
+        enc.codes, dims, 2 * static_cast<std::size_t>(radius), ws);
+    const int nlevels = szi::predictor::ginterp_level_count(dims);
+    ASSERT_EQ(split.streams.size(), static_cast<std::size_t>(nlevels));
+
+    std::vector<szi::quant::Code> rebuilt(
+        dims.volume(), static_cast<szi::quant::Code>(radius));
+    for (int l = 1; l <= nlevels; ++l) {
+      const auto& stream = split.streams[static_cast<std::size_t>(l - 1)];
+      EXPECT_EQ(stream.size(),
+                szi::predictor::ginterp_level_volume(dims, l))
+          << "level " << l;
+      // Histogram of the stream must match a direct count.
+      std::vector<std::uint32_t> hist(2 * static_cast<std::size_t>(radius), 0);
+      for (const auto c : stream) ++hist[c];
+      EXPECT_EQ(hist, split.histograms[static_cast<std::size_t>(l - 1)])
+          << "level " << l;
+
+      szi::predictor::LevelScatterCursor cur(dims, l);
+      // Scatter in two uneven chunks to exercise resumability.
+      const std::size_t half = stream.size() / 3;
+      cur.advance(stream, half, rebuilt);
+      const std::size_t mark = cur.advance(stream, stream.size(), rebuilt);
+      EXPECT_EQ(cur.consumed(), stream.size()) << "level " << l;
+      EXPECT_EQ(mark, dims.volume()) << "level " << l;
+    }
+    EXPECT_EQ(rebuilt, enc.codes);
+  }
+}
+
+// The fused per-level emission must be byte-identical to splitting the full
+// code array after the fact — streams, histograms, and the prefilled full
+// array alike.
+TEST(GInterpLevels, FusedLevelsMatchesSplit) {
+  const Dim3 dims{96, 48, 48};
+  const auto data = smooth_field(dims, 11);
+  const double eb = 1e-3;
+  const auto prof = autotune(data, dims, eb);
+  const int radius = szi::quant::kDefaultRadius;
+
+  szi::dev::Arena arena;
+  szi::dev::Workspace ws(arena);
+  const auto fused = szi::predictor::ginterp_compress_fused_levels(
+      std::span<const float>(data), dims, eb, prof.config, radius, ws);
+
+  const auto ref = ginterp_compress(std::span<const float>(data), dims, eb,
+                                    prof.config, radius);
+  ASSERT_EQ(fused.pred.codes.size(), ref.codes.size());
+  EXPECT_EQ(0, std::memcmp(fused.pred.codes.data(), ref.codes.data(),
+                           ref.codes.size() * sizeof(szi::quant::Code)));
+
+  szi::dev::Arena arena2;
+  szi::dev::Workspace ws2(arena2);
+  const auto split = szi::predictor::ginterp_split_levels(
+      ref.codes, dims, 2 * static_cast<std::size_t>(radius), ws2);
+  ASSERT_EQ(fused.levels.streams.size(), split.streams.size());
+  for (std::size_t l = 0; l < split.streams.size(); ++l) {
+    ASSERT_EQ(fused.levels.streams[l].size(), split.streams[l].size())
+        << "level " << l + 1;
+    EXPECT_EQ(0, std::memcmp(fused.levels.streams[l].data(),
+                             split.streams[l].data(),
+                             split.streams[l].size() *
+                                 sizeof(szi::quant::Code)))
+        << "level " << l + 1;
+    EXPECT_EQ(fused.levels.histograms[l], split.histograms[l])
+        << "level " << l + 1;
+  }
+}
+
+// Partial reconstruction must agree with the subsample of the full decode at
+// every level — passes at stride s only ever touch stride-s positions, so
+// stopping early changes nothing on the coarse grid.
+TEST(GInterpLevels, DecompressToLevelMatchesSubsample) {
+  const Dim3 dims{65, 33, 17};
+  const auto data = smooth_field(dims, 5);
+  const double eb = 1e-3;
+  const auto prof = autotune(data, dims, eb);
+  const int radius = szi::quant::kDefaultRadius;
+  const auto enc = ginterp_compress(std::span<const float>(data), dims, eb,
+                                    prof.config, radius);
+  const auto full = ginterp_decompress(enc.codes, enc.anchors, enc.outliers,
+                                       dims, eb, prof.config, radius);
+
+  const szi::quant::OutlierViewT<float> oview{enc.outliers.indices,
+                                              enc.outliers.values};
+  const int nlevels = szi::predictor::ginterp_level_count(dims);
+  for (int l = 1; l <= nlevels + 1; ++l) {
+    szi::dev::Arena arena;
+    szi::dev::Workspace ws(arena);
+    const auto part = szi::predictor::ginterp_decompress_to_level(
+        enc.codes, enc.anchors, oview, dims, eb, prof.config, radius, l, ws);
+    const auto sub = szi::predictor::ginterp_subsample(
+        std::span<const float>(full), dims, l);
+    ASSERT_EQ(part.size(), sub.size()) << "level " << l;
+    EXPECT_EQ(0, std::memcmp(part.data(), sub.data(),
+                             sub.size() * sizeof(float)))
+        << "level " << l;
   }
 }
 

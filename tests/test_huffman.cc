@@ -2,9 +2,11 @@
 // equivalence (§VI-A).
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <vector>
 
 #include "datagen/rng.hh"
+#include "device/arena.hh"
 #include "device/thread_pool.hh"
 #include "huffman/codebook.hh"
 #include "huffman/histogram.hh"
@@ -248,6 +250,61 @@ TEST(Histogram, NestedLaunchMatchesTopLevel) {
       1);
   for (std::size_t i = 0; i < nested.size(); ++i)
     EXPECT_EQ(nested[i], reference) << "outer launch index " << i;
+}
+
+// The serial one-pass emitter behind the SZI2 level segments must produce
+// the same bytes as the two-pass encode_with_book for every stream shape —
+// including empty streams and sizes around chunk boundaries.
+TEST(Huffman, SerialEmitterMatchesEncodeWithBook) {
+  szi::dev::Arena arena;
+  for (const std::size_t n :
+       {std::size_t{0}, std::size_t{1}, std::size_t{1023}, std::size_t{1024},
+        std::size_t{1025}, std::size_t{50000}}) {
+    const auto codes = geometric_codes(n, 0.4, 1024, 7 + n);
+    auto hist = szi::huffman::histogram(codes, 1024);
+    if (n == 0) hist.assign(1024, 0);  // empty stream, empty histogram
+    const auto book = Codebook::build(hist);
+
+    szi::dev::Workspace ws_a(arena), ws_b(arena);
+    const auto two_pass = szi::huffman::encode_with_book(
+        codes, book, szi::huffman::kDefaultChunk, ws_a);
+    const auto one_pass = szi::huffman::encode_with_book_serial(
+        codes, book, szi::huffman::kDefaultChunk, ws_b);
+    ASSERT_EQ(one_pass.size(), two_pass.size()) << "n=" << n;
+    EXPECT_EQ(0,
+              std::memcmp(one_pass.data(), two_pass.data(), two_pass.size()))
+        << "n=" << n;
+
+    const std::vector<std::byte> stream(one_pass.begin(), one_pass.end());
+    EXPECT_EQ(szi::huffman::decode(stream), codes) << "n=" << n;
+  }
+}
+
+// build_level_books is just Codebook::build per histogram — including the
+// all-zero histogram, whose empty book must still frame a decodable (empty)
+// stream.
+TEST(Huffman, LevelBooksMatchPerHistogramBuilds) {
+  std::vector<std::vector<std::uint32_t>> hists;
+  hists.push_back(szi::huffman::histogram(geometric_codes(4096, 0.5, 512, 1),
+                                          512));
+  hists.push_back(szi::huffman::histogram(geometric_codes(100, 0.2, 512, 2),
+                                          512));
+  hists.emplace_back(512, 0);  // empty level
+
+  const auto books = szi::huffman::build_level_books(hists);
+  ASSERT_EQ(books.size(), hists.size());
+  for (std::size_t i = 0; i < hists.size(); ++i) {
+    const auto ref = Codebook::build(hists[i]);
+    EXPECT_EQ(books[i].codes, ref.codes) << "book " << i;
+    EXPECT_EQ(books[i].lengths, ref.lengths) << "book " << i;
+  }
+
+  szi::dev::Arena arena;
+  szi::dev::Workspace ws(arena);
+  const auto empty = szi::huffman::encode_with_book_serial(
+      {}, books.back(), szi::huffman::kDefaultChunk, ws);
+  const std::vector<std::byte> stream(empty.begin(), empty.end());
+  EXPECT_TRUE(szi::huffman::decode(stream).empty());
 }
 
 }  // namespace

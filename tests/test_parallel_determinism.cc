@@ -19,6 +19,7 @@
 #include "device/arena.hh"
 #include "io/bin_io.hh"
 #include "metrics/stats.hh"
+#include "predictor/ginterp.hh"
 
 namespace {
 
@@ -86,6 +87,29 @@ TEST(ParallelDeterminism, ArchivesAndReconsMatchAcrossWorkerCounts) {
   EXPECT_EQ(0, std::memcmp(recon.data(), recon_bc.data(),
                            recon.size() * sizeof(float)))
       << "bitcomp decode diverges from plain decode at SZI_THREADS="
+      << threads_env;
+
+  // Full-fidelity progressive decode must be the same bytes again — raw and
+  // wrapped — and a coarse preview must be the exact subsample of the full
+  // reconstruction at every worker count.
+  const auto prog = szi::cuszi_decompress_progressive_f32(enc.bytes, 1);
+  ASSERT_EQ(prog.data.size(), recon.size());
+  EXPECT_EQ(0, std::memcmp(prog.data.data(), recon.data(),
+                           recon.size() * sizeof(float)))
+      << "progressive(1) diverges from plain decode at SZI_THREADS="
+      << threads_env;
+  const auto progw = szi::cuszi_decompress_progressive_f32(wrapped, 1);
+  ASSERT_EQ(progw.data.size(), recon.size());
+  EXPECT_EQ(0, std::memcmp(progw.data.data(), recon.data(),
+                           recon.size() * sizeof(float)))
+      << "wrapped progressive(1) diverges at SZI_THREADS=" << threads_env;
+  const auto pre = szi::cuszi_decompress_progressive_f32(enc.bytes, 2);
+  const auto sub = szi::predictor::ginterp_subsample(
+      std::span<const float>(recon), fields.front().dims, 2);
+  ASSERT_EQ(pre.data.size(), sub.size());
+  EXPECT_EQ(0,
+            std::memcmp(pre.data.data(), sub.data(), sub.size() * sizeof(float)))
+      << "level-2 preview diverges from subsample at SZI_THREADS="
       << threads_env;
 
   if (is_reference) {
