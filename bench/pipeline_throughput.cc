@@ -95,7 +95,9 @@ int main() {
     identical = batch_out[i] == seq_ref[i];
 
   const double speedup = batch_s > 0 ? seq_s / batch_s : 0.0;
-  const auto stats = dev::Arena::instance().stats();
+  // compress_many draws from the sharded per-stream pools, so the global
+  // instance() alone would report 0/0 here.
+  const auto stats = dev::Arena::aggregate_stats();
 
   std::printf("sequential loop : %8.3f ms\n", seq_s * 1e3);
   std::printf("compress_many   : %8.3f ms\n", batch_s * 1e3);

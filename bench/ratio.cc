@@ -1,0 +1,358 @@
+// Lossless-orchestration ratio bench: what the per-segment method chooser
+// (BBC2 container, src/lossless/orchestrate.hh) buys over the always-LZSS
+// wrapper, per §VI-B dataset. For each dataset the same inner SZI2 archive
+// is wrapped four ways — the three forced single-method policies and the
+// sampled Auto chooser — and the bench records:
+//   1. Wrapped bytes + ratio per policy, and Auto's delta vs always-LZSS
+//      (Auto must match or beat it everywhere: the chooser's hysteresis
+//      margin means it only deviates from LZSS when the sample says the
+//      transform clearly pays).
+//   2. The chooser's own cost: resolve_method over every wrapper segment,
+//      as a fraction of the end-to-end fused compress. The sample is capped
+//      at 256 KiB per segment, so this fraction *shrinks* with input size.
+//   3. Per-segment decisions with their audit (sample size, entropy,
+//      sampled candidate costs) — the ledger doubles as a record of *why*
+//      each segment chose its method.
+// Emits BENCH_ratio.json. `--smoke` pins Size::Small, re-measures the Auto
+// bytes per dataset, and fails (exit 1) if any dataset's archive grew >1%
+// over the committed ledger — a ratio-regression gate that needs no timing,
+// so it is CI-stable. Every wrapped archive is round-trip-verified against
+// the inner bytes in both modes.
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "core/compressor_iface.hh"
+#include "core/cuszi.hh"
+#include "core/timer.hh"
+#include "datagen/datasets.hh"
+#include "device/arena.hh"
+#include "lossless/orchestrate.hh"
+#include "metrics/stats.hh"
+
+namespace {
+using namespace szi;
+
+/// Best-of-N wall time of `fn` (minimum filters scheduler noise).
+template <typename Fn>
+double best_of(int reps, Fn&& fn) {
+  double best = -1;
+  for (int r = 0; r < reps; ++r) {
+    core::Timer t;
+    fn();
+    const double s = t.lap();
+    if (best < 0 || s < best) best = s;
+  }
+  return best;
+}
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  out += buf;
+}
+
+const std::vector<std::string> kDatasets = {"jhtdb", "miranda",  "nyx",
+                                            "qmcpack", "rtm", "s3d"};
+
+/// Wrap with `policy` and hard-fail unless the container unwraps back to
+/// the exact inner bytes — a bench that records sizes of archives that do
+/// not decode would be worse than no bench.
+std::vector<std::byte> wrap_checked(std::span<const std::byte> inner,
+                                    lossless::MethodPolicy policy,
+                                    std::vector<lossless::ChoiceAudit>* audits,
+                                    const std::string& what) {
+  auto wrapped = bitcomp_wrap_archive(inner, lossless::LzssMode::Lazy, policy,
+                                      audits);
+  const auto back = bitcomp_unwrap_archive(wrapped);
+  if (back.size() != inner.size() ||
+      std::memcmp(back.data(), inner.data(), inner.size()) != 0) {
+    std::fprintf(stderr, "error: %s wrap does not round-trip\n", what.c_str());
+    std::exit(1);
+  }
+  return wrapped;
+}
+
+/// Pulls `"auto_bytes": N` for `dataset` out of the committed ledger with
+/// plain string search — the ledger is machine-written with fixed key order,
+/// so a JSON parser would be dead weight here.
+std::size_t baseline_auto_bytes(const std::string& ledger,
+                                const std::string& dataset) {
+  const std::string anchor = "\"dataset\": \"" + dataset + "\"";
+  const auto at = ledger.find(anchor);
+  if (at == std::string::npos) return 0;
+  const auto key = ledger.find("\"auto_bytes\": ", at);
+  if (key == std::string::npos) return 0;
+  return static_cast<std::size_t>(
+      std::strtoull(ledger.c_str() + key + 14, nullptr, 10));
+}
+
+std::string read_file(const std::string& path) {
+  FILE* in = std::fopen(path.c_str(), "rb");
+  if (!in) return {};
+  std::string out;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, in)) > 0) out.append(buf, n);
+  std::fclose(in);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--smoke") smoke = true;
+
+  const CompressParams p{ErrorMode::Rel, 1e-3};
+  // The smoke gate compares byte counts against the committed ledger, so it
+  // must regenerate the exact Small-size fields the ledger was built from
+  // regardless of SZI_LARGE in the environment.
+  const auto size = smoke ? datagen::Size::Small : datagen::size_from_env();
+  const int reps = smoke ? 1 : 3;
+
+  if (smoke) {
+    const std::string ledger =
+        read_file(bench::ledger_path("BENCH_ratio.json"));
+    if (ledger.find("\"size\": \"small\"") == std::string::npos) {
+      std::fprintf(stderr,
+                   "error: committed BENCH_ratio.json missing or not a "
+                   "small-size ledger; regenerate with bench/ratio\n");
+      return 1;
+    }
+    bool ok = true;
+    for (const auto& name : kDatasets) {
+      const auto fields = datagen::make_dataset(name, size);
+      const auto& f = fields.front();
+      const auto inner = cuszi_compress(f.view(), f.dims, p);
+      const auto wrapped = wrap_checked(
+          inner, lossless::MethodPolicy::Auto, nullptr, name + " auto");
+      const std::size_t base = baseline_auto_bytes(ledger, name);
+      if (base == 0) {
+        std::fprintf(stderr, "error: no auto_bytes baseline for %s\n",
+                     name.c_str());
+        ok = false;
+        continue;
+      }
+      const double pct =
+          (static_cast<double>(wrapped.size()) / static_cast<double>(base) -
+           1.0) * 100.0;
+      std::printf("%-8s auto %8zu B  baseline %8zu B  (%+.2f%%)\n",
+                  name.c_str(), wrapped.size(), base, pct);
+      if (static_cast<double>(wrapped.size()) >
+          static_cast<double>(base) * 1.01) {
+        std::fprintf(stderr,
+                     "error: %s auto archive regressed %.2f%% over the "
+                     "committed BENCH_ratio.json baseline\n",
+                     name.c_str(), pct);
+        ok = false;
+      } else if (wrapped.size() < base) {
+        std::printf("  note: %s improved; refresh BENCH_ratio.json\n",
+                    name.c_str());
+      }
+    }
+    std::printf(ok ? "smoke run: ratio gate passed; ledger not written\n"
+                   : "smoke run: ratio gate FAILED\n");
+    return ok ? 0 : 1;
+  }
+
+  std::string json;
+  json += "{\n  \"bench\": \"ratio\",\n";
+  appendf(json, "  \"size\": \"%s\",\n",
+          size == datagen::Size::Paper ? "paper" : "small");
+  appendf(json, "  \"error_mode\": \"rel\",\n  \"error_bound\": %g,\n",
+          p.value);
+  appendf(json, "  \"lzss_mode\": \"lazy\",\n  \"reps\": %d,\n", reps);
+  json += "  \"datasets\": [\n";
+
+  int auto_wins = 0;
+  for (std::size_t di = 0; di < kDatasets.size(); ++di) {
+    const auto& name = kDatasets[di];
+    const auto fields = datagen::make_dataset(name, size);
+    const auto& f = fields.front();
+    const auto inner = cuszi_compress(f.view(), f.dims, p);
+
+    std::vector<lossless::ChoiceAudit> audits;
+    const auto w_lzss = wrap_checked(inner, lossless::MethodPolicy::ForceLzss,
+                                     nullptr, name + " lzss");
+    const auto w_rle = wrap_checked(
+        inner, lossless::MethodPolicy::ForceZeroRle, nullptr, name + " rle");
+    const auto w_bsh =
+        wrap_checked(inner, lossless::MethodPolicy::ForceBitshuffle, nullptr,
+                     name + " bitshuffle");
+    const auto w_auto = wrap_checked(inner, lossless::MethodPolicy::Auto,
+                                     &audits, name + " auto");
+    const auto view = bitcomp_parse_container(w_auto);
+    if (w_auto.size() > w_lzss.size()) {
+      std::fprintf(stderr,
+                   "error: %s auto archive (%zu B) lost to always-LZSS "
+                   "(%zu B) — the chooser margin is mis-tuned\n",
+                   name.c_str(), w_auto.size(), w_lzss.size());
+      const auto lz_view = bitcomp_parse_container(w_lzss);
+      for (std::size_t i = 0; i < view.segments.size(); ++i)
+        std::fprintf(
+            stderr,
+            "  seg %zu: auto %-10s %llu -> %llu B (lzss %llu B; sampled "
+            "%zu B, %.2f bits/B, costs %llu/%llu/%llu)\n",
+            i, lossless::method_name(view.segments[i].method),
+            static_cast<unsigned long long>(view.segments[i].raw_size),
+            static_cast<unsigned long long>(view.segments[i].size),
+            static_cast<unsigned long long>(lz_view.segments[i].size),
+            audits[i].sampled_bytes, audits[i].entropy_bits,
+            static_cast<unsigned long long>(audits[i].cost[0]),
+            static_cast<unsigned long long>(audits[i].cost[1]),
+            static_cast<unsigned long long>(audits[i].cost[2]));
+      return 1;
+    }
+    if (w_auto.size() < w_lzss.size()) ++auto_wins;
+
+    // Chooser cost alone: resolve over the same wrapper segmentation the
+    // writer uses (header+directory range, then one span per directory
+    // segment), against the end-to-end fused compress it rides on.
+    const auto segs = cuszi_archive_segments(inner);
+    dev::Workspace ws(dev::Arena::instance());
+    const double t_choose = best_of(reps, [&] {
+      auto probe = [&](std::size_t off, std::size_t len) {
+        (void)lossless::choose_method(
+            std::span<const std::byte>(inner).subspan(off, len),
+            lossless::LzssMode::Lazy, ws);
+        ws.reset();
+      };
+      probe(0, static_cast<std::size_t>(segs.front().offset));
+      for (const auto& s : segs)
+        probe(static_cast<std::size_t>(s.offset),
+              static_cast<std::size_t>(s.size));
+    });
+    const double t_e2e = best_of(reps, [&] {
+      (void)cuszi_compress_bitcomp(f.view(), f.dims, p, nullptr, ws);
+    });
+    const double chooser_pct = t_e2e > 0 ? t_choose / t_e2e * 100.0 : 0.0;
+
+    const double r_in = static_cast<double>(f.bytes());
+    std::printf("%s %s (%zux%zux%zu, %.1f MB)\n", name.c_str(),
+                f.label().c_str(), f.dims.x, f.dims.y, f.dims.z, r_in / 1e6);
+    std::printf("  wrapped: lzss %zu B (%.2fx)  zero-rle %zu B (%.2fx)  "
+                "bitshuffle %zu B (%.2fx)\n",
+                w_lzss.size(), r_in / static_cast<double>(w_lzss.size()),
+                w_rle.size(), r_in / static_cast<double>(w_rle.size()),
+                w_bsh.size(), r_in / static_cast<double>(w_bsh.size()));
+    std::printf("  auto:    %zu B (%.2fx)  vs always-lzss %+.2f%%\n",
+                w_auto.size(), r_in / static_cast<double>(w_auto.size()),
+                (static_cast<double>(w_auto.size()) /
+                     static_cast<double>(w_lzss.size()) -
+                 1.0) * 100.0);
+    std::printf("  chooser: %.3f ms of %.3f ms end-to-end (%.2f%%)\n",
+                t_choose * 1e3, t_e2e * 1e3, chooser_pct);
+    for (std::size_t i = 0; i < view.segments.size(); ++i)
+      std::printf("    seg %zu: %-10s %8llu -> %8llu B  (sampled %zu B, "
+                  "%.2f bits/B%s)\n",
+                  i, lossless::method_name(view.segments[i].method),
+                  static_cast<unsigned long long>(view.segments[i].raw_size),
+                  static_cast<unsigned long long>(view.segments[i].size),
+                  audits[i].sampled_bytes, audits[i].entropy_bits,
+                  audits[i].entropy_shortcut ? ", shortcut" : "");
+
+    appendf(json, "    {\n      \"dataset\": \"%s\",\n", name.c_str());
+    appendf(json, "      \"dims\": [%zu, %zu, %zu],\n", f.dims.x, f.dims.y,
+            f.dims.z);
+    appendf(json, "      \"input_bytes\": %zu,\n", f.bytes());
+    appendf(json, "      \"inner_bytes\": %zu,\n", inner.size());
+    appendf(json,
+            "      \"lzss_bytes\": %zu,\n      \"zero_rle_bytes\": %zu,\n"
+            "      \"bitshuffle_bytes\": %zu,\n      \"auto_bytes\": %zu,\n",
+            w_lzss.size(), w_rle.size(), w_bsh.size(), w_auto.size());
+    appendf(json,
+            "      \"lzss_ratio\": %.4f,\n      \"auto_ratio\": %.4f,\n",
+            r_in / static_cast<double>(w_lzss.size()),
+            r_in / static_cast<double>(w_auto.size()));
+    appendf(json, "      \"auto_vs_lzss_pct\": %.4f,\n",
+            (static_cast<double>(w_auto.size()) /
+                 static_cast<double>(w_lzss.size()) -
+             1.0) * 100.0);
+    appendf(json,
+            "      \"chooser_seconds\": %.6f,\n"
+            "      \"compress_seconds\": %.6f,\n"
+            "      \"chooser_pct\": %.4f,\n",
+            t_choose, t_e2e, chooser_pct);
+    json += "      \"segments\": [\n";
+    for (std::size_t i = 0; i < view.segments.size(); ++i)
+      appendf(json,
+              "        {\"method\": \"%s\", \"raw_bytes\": %llu, "
+              "\"payload_bytes\": %llu, \"sampled_bytes\": %zu, "
+              "\"entropy_bits\": %.4f, \"entropy_shortcut\": %s}%s\n",
+              lossless::method_name(view.segments[i].method),
+              static_cast<unsigned long long>(view.segments[i].raw_size),
+              static_cast<unsigned long long>(view.segments[i].size),
+              audits[i].sampled_bytes, audits[i].entropy_bits,
+              audits[i].entropy_shortcut ? "true" : "false",
+              i + 1 < view.segments.size() ? "," : "");
+    appendf(json, "      ]\n    }%s\n",
+            di + 1 < kDatasets.size() ? "," : "");
+  }
+  json += "  ],\n";
+
+  // Paper-size spot check: the chooser's cost is capped per segment (256 KiB
+  // sample), so its share of the end-to-end compress must *shrink* as the
+  // input grows — the <2% overhead claim is made at TABLE II dimensions,
+  // not at CI size. One dataset suffices to pin the scaling.
+  {
+    const auto fields = datagen::make_dataset("miranda", datagen::Size::Paper);
+    const auto& f = fields.front();
+    const auto inner = cuszi_compress(f.view(), f.dims, p);
+    const auto segs = cuszi_archive_segments(inner);
+    dev::Workspace ws(dev::Arena::instance());
+    const double t_choose = best_of(2, [&] {
+      auto probe = [&](std::size_t off, std::size_t len) {
+        (void)lossless::choose_method(
+            std::span<const std::byte>(inner).subspan(off, len),
+            lossless::LzssMode::Lazy, ws);
+        ws.reset();
+      };
+      probe(0, static_cast<std::size_t>(segs.front().offset));
+      for (const auto& s : segs)
+        probe(static_cast<std::size_t>(s.offset),
+              static_cast<std::size_t>(s.size));
+    });
+    const double t_e2e = best_of(2, [&] {
+      (void)cuszi_compress_bitcomp(f.view(), f.dims, p, nullptr, ws);
+    });
+    const double pct = t_e2e > 0 ? t_choose / t_e2e * 100.0 : 0.0;
+    std::printf("paper-size check: miranda %zux%zux%zu  chooser %.3f ms of "
+                "%.1f ms end-to-end (%.3f%%)\n",
+                f.dims.x, f.dims.y, f.dims.z, t_choose * 1e3, t_e2e * 1e3,
+                pct);
+    appendf(json,
+            "  \"paper_check\": {\"dataset\": \"miranda\", "
+            "\"dims\": [%zu, %zu, %zu], \"chooser_seconds\": %.6f, "
+            "\"compress_seconds\": %.6f, \"chooser_pct\": %.4f},\n",
+            f.dims.x, f.dims.y, f.dims.z, t_choose, t_e2e, pct);
+    appendf(json, "  \"paper_chooser_under_2pct\": %s\n",
+            pct < 2.0 ? "true" : "false");
+    if (pct >= 2.0) {
+      std::fprintf(stderr,
+                   "error: chooser overhead %.3f%% at paper size (must stay "
+                   "under 2%%)\n",
+                   pct);
+      return 1;
+    }
+  }
+  json += "}\n";
+
+  if (auto_wins < 2) {
+    std::fprintf(stderr,
+                 "error: auto beat always-LZSS on only %d dataset(s); the "
+                 "chooser is not earning its method byte\n",
+                 auto_wins);
+    return 1;
+  }
+  bench::write_ledger("BENCH_ratio.json", json);
+  return 0;
+}

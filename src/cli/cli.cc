@@ -96,6 +96,36 @@ void print_segments(std::span<const std::byte> bytes) {
   }
 }
 
+/// Per-wrapper-segment lossless-method/ratio lines for --info and --stages
+/// on a de-redundancy ('BBCP'/'BBC2') archive. Other archives are silent;
+/// a corrupt wrapper is left for the decode path to report.
+void print_wrap_segments(std::span<const std::byte> bytes) {
+  if (bytes.size() < 4) return;
+  std::uint32_t magic = 0;
+  std::memcpy(&magic, bytes.data(), 4);
+  if (magic != kBitcompWrapMagic && magic != kBitcompWrapMagicV2) return;
+  WrapContainerView view;
+  try {
+    view = bitcomp_parse_container(bytes);
+  } catch (...) {
+    return;
+  }
+  for (std::size_t i = 0; i < view.segments.size(); ++i) {
+    const auto& s = view.segments[i];
+    std::uint64_t raw = s.raw_size;
+    // Legacy containers keep the raw size in the LZSS frame header.
+    if (view.legacy && view.payloads[i].size() >= sizeof(raw))
+      std::memcpy(&raw, view.payloads[i].data(), sizeof(raw));
+    const double ratio = s.size > 0 ? static_cast<double>(raw) /
+                                          static_cast<double>(s.size)
+                                    : 0.0;
+    std::printf("wrap segment %zu: %s | %llu -> %llu bytes (%.2fx)\n", i,
+                lossless::method_name(s.method),
+                static_cast<unsigned long long>(raw),
+                static_cast<unsigned long long>(s.size), ratio);
+  }
+}
+
 }  // namespace
 
 std::string usage() {
@@ -129,6 +159,8 @@ options:
                     the pipelined decoder overlaps stages on streams, each
                     number is that stage's busy time, not a wall-clock slice —
                     plus one size/ratio line per segment of an SZI2 archive
+                    and, for --bitcomp archives, one line per wrapper segment
+                    naming the chosen lossless method and its achieved ratio
 )";
 }
 
@@ -258,7 +290,8 @@ int run(const Options& opt) {
           {0x55505A46, "fz-gpu"},
           {0x50465A43, "cuzfp"},
           {0x4C335A53, "sz3/qoz"},
-          {0x50434242, "de-redundancy wrapper"},
+          {0x50434242, "de-redundancy wrapper (legacy single-stream)"},
+          {0x32434242, "de-redundancy wrapper (per-segment orchestrated)"},
           {0x4C525750, "pointwise-rel wrapper"},
           {0x42495A53, "bundle"},
       };
@@ -272,6 +305,7 @@ int run(const Options& opt) {
                     cuszi_archive_precision(bytes) == Precision::F64 ? "f64"
                                                                      : "f32");
       if (magic == 0x32495A53) print_segments(bytes);
+      print_wrap_segments(bytes);
       return 0;
     }
     case Command::Compress: {
@@ -311,7 +345,10 @@ int run(const Options& opt) {
                   metrics::compression_ratio(field.bytes(), enc.bytes.size()),
                   metrics::bit_rate(field.size(), enc.bytes.size()),
                   enc.timings.total);
-      if (opt.stages) print_stages(enc.timings);
+      if (opt.stages) {
+        print_stages(enc.timings);
+        print_wrap_segments(enc.bytes);
+      }
       if (opt.verify) {
         const auto dec = c->decompress(enc.bytes);
         const auto d = metrics::distortion(field.data, dec);
@@ -362,7 +399,10 @@ int run(const Options& opt) {
             "-> %s in %.3f s\n",
             c->name().c_str(), r.level, r.dims.x, r.dims.y, r.dims.z,
             r.bytes_read, bytes.size(), opt.output.c_str(), secs);
-        if (opt.stages) print_segments(bytes);
+        if (opt.stages) {
+          print_segments(bytes);
+          print_wrap_segments(bytes);
+        }
         return 0;
       }
       core::Timer t;
@@ -375,6 +415,7 @@ int run(const Options& opt) {
       if (opt.stages) {
         print_stages(dt);
         print_segments(bytes);
+        print_wrap_segments(bytes);
       }
       return 0;
     }

@@ -2,26 +2,159 @@
 // over its whole archive. TABLE III's right half applies this wrapper to
 // every compressor for fairness; cuSZ-i gains the most because G-Interp
 // leaves the most pattern redundancy in its Huffman stream.
+#include <algorithm>
+#include <cstring>
 #include <stdexcept>
 #include <utility>
 
 #include "core/bytes.hh"
 #include "core/compressor_iface.hh"
+#include "core/cuszi.hh"
 #include "core/timer.hh"
 #include "lossless/bitcomp.hh"
+#include "lossless/orchestrate.hh"
 
 namespace szi {
 
+namespace {
+
+/// Wrapper-segment byte ranges of the inner archive: for a valid SZI2
+/// archive one range per directory segment plus a leading range for the
+/// header + directory; anything else (SZI1, baselines, malformed) wraps as
+/// a single segment. Pure function of the inner bytes — the fused writer
+/// computes the same split from its own directory, so the two paths agree.
+std::vector<std::pair<std::size_t, std::size_t>> wrap_partition(
+    std::span<const std::byte> bytes) {
+  std::vector<std::pair<std::size_t, std::size_t>> parts;
+  std::uint32_t magic = 0;
+  if (bytes.size() >= sizeof(magic))
+    std::memcpy(&magic, bytes.data(), sizeof(magic));
+  if (magic == 0x32495A53) {  // 'SZI2'
+    try {
+      const auto segs = cuszi_archive_segments(bytes);
+      if (!segs.empty()) {
+        parts.emplace_back(0, segs.front().offset);
+        for (const auto& s : segs) parts.emplace_back(s.offset, s.size);
+      }
+    } catch (const core::CorruptArchive&) {
+      parts.clear();
+    }
+  }
+  if (parts.empty()) parts.emplace_back(0, bytes.size());
+  return parts;
+}
+
+}  // namespace
+
 std::vector<std::byte> bitcomp_wrap_archive(std::span<const std::byte> bytes) {
+  return bitcomp_wrap_archive(bytes, lossless::LzssMode::Lazy);
+}
+
+std::vector<std::byte> bitcomp_wrap_archive(
+    std::span<const std::byte> bytes, lossless::LzssMode mode,
+    lossless::MethodPolicy policy,
+    std::vector<lossless::ChoiceAudit>* audits) {
+  const auto parts = wrap_partition(bytes);
+  if (audits) audits->assign(parts.size(), {});
+
+  dev::Workspace ws(dev::Arena::instance());
+  std::vector<WrapSegmentEntry> entries(parts.size());
+  std::vector<std::vector<std::byte>> payloads(parts.size());
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    const auto seg = bytes.subspan(parts[i].first, parts[i].second);
+    const auto m = lossless::resolve_method(policy, seg, mode, ws,
+                                            audits ? &(*audits)[i] : nullptr);
+    const auto t = lossless::method_transform(seg, m, ws);
+    payloads[i] = lossless::lzss_compress(t, lossless::kLzssBlock, mode);
+    entries[i].method = static_cast<std::uint8_t>(m);
+    entries[i].raw_size = seg.size();
+    entries[i].size = payloads[i].size();
+    ws.reset();
+  }
+
   core::ByteWriter w;
-  w.put(kBitcompWrapMagic);
-  w.put_blob(lossless::bitcomp_compress(bytes));
+  std::size_t total = sizeof(std::uint32_t) * 2 +
+                      entries.size() * sizeof(WrapSegmentEntry);
+  for (const auto& p : payloads) total += p.size();
+  w.reserve(total);
+  w.put(kBitcompWrapMagicV2);
+  w.put(static_cast<std::uint32_t>(entries.size()));
+  w.put_raw({reinterpret_cast<const std::byte*>(entries.data()),
+             entries.size() * sizeof(WrapSegmentEntry)});
+  for (const auto& p : payloads) w.put_raw(p);
   return w.take();
 }
 
 std::vector<std::byte> bitcomp_unwrap_archive(
     std::span<const std::byte> bytes) {
-  return lossless::bitcomp_decompress(bitcomp_wrapped_stream(bytes));
+  const auto view = bitcomp_parse_container(bytes);
+  if (view.legacy) return lossless::bitcomp_decompress(view.payloads[0]);
+
+  std::size_t raw_total = 0;
+  for (const auto& s : view.segments)
+    raw_total += static_cast<std::size_t>(s.raw_size);
+  std::vector<std::byte> out(raw_total);
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < view.segments.size(); ++i) {
+    const auto& s = view.segments[i];
+    const auto dec = lossless::lzss_decompress(view.payloads[i]);
+    lossless::method_untransform(
+        dec, s.method,
+        {out.data() + off, static_cast<std::size_t>(s.raw_size)});
+    off += static_cast<std::size_t>(s.raw_size);
+  }
+  return out;
+}
+
+WrapContainerView bitcomp_parse_container(std::span<const std::byte> bytes,
+                                          bool prefix_ok) {
+  core::ByteReader rd(bytes, "bitcomp-wrapper");
+  const auto magic = rd.read<std::uint32_t>();
+  WrapContainerView view;
+  if (magic == kBitcompWrapMagic) {
+    view.legacy = true;
+    const auto stream = rd.read_length_prefixed();
+    view.table_bytes = sizeof(std::uint32_t) + sizeof(std::uint64_t);
+    view.segments.push_back(
+        {lossless::Method::Lzss, 0, static_cast<std::uint64_t>(stream.size())});
+    view.payloads.push_back(stream);
+    return view;
+  }
+  if (magic != kBitcompWrapMagicV2) rd.fail("bad magic");
+
+  const auto nseg = rd.read<std::uint32_t>();
+  if (nseg == 0) rd.fail("empty segment table");
+  const auto entries = rd.read_array<WrapSegmentEntry>(nseg);
+  view.table_bytes = rd.offset();
+
+  std::uint64_t payload_total = 0;
+  std::uint64_t raw_total = 0;
+  for (const auto& e : entries) {
+    if (e.method >= lossless::kMethodCount)
+      rd.fail("unknown lossless method id");
+    if (e.reserved0 != 0 || e.reserved1 != 0 || e.reserved2 != 0)
+      rd.fail("reserved wrapper field set");
+    if (__builtin_add_overflow(payload_total, e.size, &payload_total) ||
+        __builtin_add_overflow(raw_total, e.raw_size, &raw_total))
+      rd.fail("segment sizes overflow");
+  }
+  // Exact fill is the invariant; prefix mode relaxes only the truncated
+  // direction (bytes *beyond* the table's total are still garbage).
+  if (payload_total != rd.remaining() &&
+      (!prefix_ok || payload_total < rd.remaining()))
+    rd.fail("segment payloads do not fill container");
+  rd.guard_alloc(static_cast<std::size_t>(raw_total));
+
+  view.segments.reserve(nseg);
+  view.payloads.reserve(nseg);
+  for (const auto& e : entries) {
+    view.segments.push_back(
+        {static_cast<lossless::Method>(e.method), e.raw_size, e.size});
+    const auto want = static_cast<std::size_t>(e.size);
+    view.payloads.push_back(
+        rd.read_bytes(prefix_ok ? std::min(want, rd.remaining()) : want));
+  }
+  return view;
 }
 
 std::span<const std::byte> bitcomp_wrapped_stream(

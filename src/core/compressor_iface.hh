@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/field.hh"
+#include "lossless/orchestrate.hh"
 
 namespace szi::dev {
 class Workspace;
@@ -165,22 +166,86 @@ class Compressor {
 [[nodiscard]] std::unique_ptr<Compressor> with_bitcomp(
     std::unique_ptr<Compressor> inner);
 
-/// The raw §VI-B framing used by with_bitcomp(): 'BBCP' magic + a
-/// length-prefixed LZSS stream. Exposed so typed (f64) archives and tests
-/// can apply/strip the pass without the f32 Compressor interface;
-/// unwrapping a corrupt buffer throws core::CorruptArchive.
+/// The raw §VI-B framing used by with_bitcomp(). Current archives use the
+/// 'BBC2' container: the inner archive is split at its SZI2 segment
+/// boundaries (non-SZI2 inner = one segment) and each segment is routed
+/// through the best-of-three de-redundancy pipeline picked by the sampled
+/// chooser (lossless/orchestrate.hh), then LZSS'd into its own stream. The
+/// no-argument overload wraps with LzssMode::Lazy + MethodPolicy::Auto —
+/// byte-identical to the fused cuszi_compress_bitcomp() composition. Legacy
+/// 'BBCP' archives (single implicit-LZSS stream) unwrap forever; unwrapping
+/// a corrupt buffer throws core::CorruptArchive.
 [[nodiscard]] std::vector<std::byte> bitcomp_wrap_archive(
     std::span<const std::byte> bytes);
+[[nodiscard]] std::vector<std::byte> bitcomp_wrap_archive(
+    std::span<const std::byte> bytes, lossless::LzssMode mode,
+    lossless::MethodPolicy policy = lossless::MethodPolicy::Auto,
+    std::vector<lossless::ChoiceAudit>* audits = nullptr);
 [[nodiscard]] std::vector<std::byte> bitcomp_unwrap_archive(
     std::span<const std::byte> bytes);
 
-/// 'BBCP', the §VI-B wrapper magic (shared with the fused pipeline, which
-/// emits/parses the framing without going through ByteWriter).
+/// 'BBCP', the legacy §VI-B wrapper magic: u32 magic + a length-prefixed
+/// LZSS stream over the whole inner archive. Write path is gone; the decode
+/// path keeps it alive forever.
 inline constexpr std::uint32_t kBitcompWrapMagic = 0x50434242;
 
-/// Validates the wrapper framing and returns a borrowed view of the inner
-/// LZSS stream without decompressing it — the entry point of the pipelined
-/// decompressor. Throws core::CorruptArchive on bad magic or truncation.
+/// 'BBC2', the per-segment orchestrated wrapper magic (shared with the
+/// fused pipeline, which emits/parses the framing without ByteWriter):
+///   u32 magic | u32 nseg | nseg * WrapSegmentEntry | payloads back-to-back
+/// Payload offsets are implied by contiguity; the entry sizes must fill the
+/// container exactly.
+inline constexpr std::uint32_t kBitcompWrapMagicV2 = 0x32434242;
+
+/// On-disk BBC2 segment-table entry (little-endian POD, docs/FORMAT.md).
+/// `method` is a lossless::Method byte; `raw_size` is the segment's size in
+/// the inner archive; `size` is its stored LZSS-stream size.
+struct WrapSegmentEntry {
+  std::uint8_t method = 0;
+  std::uint8_t reserved0 = 0;
+  std::uint16_t reserved1 = 0;
+  std::uint32_t reserved2 = 0;
+  std::uint64_t raw_size = 0;
+  std::uint64_t size = 0;
+};
+static_assert(sizeof(WrapSegmentEntry) == 24, "on-disk layout");
+
+/// One wrapper segment of a parsed container, either generation.
+struct WrapSegmentInfo {
+  lossless::Method method = lossless::Method::Lzss;
+  std::uint64_t raw_size = 0;  ///< 0 for legacy BBCP (lives in the stream)
+  std::uint64_t size = 0;      ///< stored payload bytes
+};
+
+/// Validated view of a wrapper container: the segment table plus borrowed
+/// views of each payload. Legacy 'BBCP' parses as a single method-0 segment
+/// whose raw_size is unknown until its LZSS frame header is read. Throws
+/// core::CorruptArchive on bad magic, reserved bits, unknown method ids, or
+/// payload sizes that don't fill the container. This is the entry point of
+/// both the pipelined decompressor and the CLI's method audit.
+///
+/// With `prefix_ok` (the progressive reader's mode) a 'BBC2' container whose
+/// payload region is *truncated* still parses: the table must be complete
+/// and valid, trailing bytes beyond the table's total are still rejected,
+/// but a payload may come back shorter than its entry's `size` (empty once
+/// the container is exhausted). Callers must compare `payloads[i].size()`
+/// against `segments[i].size` before trusting a payload — that is how a
+/// preview decode of an archive truncated at `bytes_read` distinguishes
+/// "segment past my prefix" from "segment I need is cut". Legacy 'BBCP'
+/// framing is never truncation-tolerant.
+struct WrapContainerView {
+  bool legacy = false;
+  std::size_t table_bytes = 0;  ///< header + table size = first payload base
+  std::vector<WrapSegmentInfo> segments;
+  std::vector<std::span<const std::byte>> payloads;
+};
+
+[[nodiscard]] WrapContainerView bitcomp_parse_container(
+    std::span<const std::byte> bytes, bool prefix_ok = false);
+
+/// Validates legacy 'BBCP' framing and returns a borrowed view of the inner
+/// LZSS stream without decompressing it. Kept for the v1 wrapper only —
+/// 'BBC2' containers go through bitcomp_parse_container(). Throws
+/// core::CorruptArchive on bad magic or truncation.
 [[nodiscard]] std::span<const std::byte> bitcomp_wrapped_stream(
     std::span<const std::byte> bytes);
 

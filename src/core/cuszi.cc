@@ -6,6 +6,7 @@
 #include <cstring>
 #include <deque>
 #include <exception>
+#include <functional>
 #include <limits>
 #include <stdexcept>
 
@@ -335,16 +336,20 @@ std::vector<std::byte> compress_typed(std::span<const T> data,
 }
 
 /// The fused compress-to-wrapped-archive pipeline (re-threaded for the
-/// level-segmented SZI2 layout): predict and per-level re-bucketing fuse
-/// into one pass; every level's Huffman stream is planned up front (the
-/// segment directory needs exact sizes before the first payload byte), the
-/// inner archive is assembled exactly once in workspace memory with each
-/// segment's payload emitted straight into its final slot, and a
-/// dev::Stream LZSS-compresses each 64 KiB block the moment every byte
-/// below it is final — the same rising watermark as before, now advanced
-/// segment by segment and chunk-group by chunk-group within each level.
-/// Byte-identical to bitcomp_wrap_archive(compress_typed(...)) with the
-/// same LzssMode.
+/// level-segmented SZI2 layout and the per-segment 'BBC2' container):
+/// predict and per-level re-bucketing fuse into one pass; every level's
+/// Huffman stream is planned up front (the segment directory needs exact
+/// sizes before the first payload byte), the inner archive is assembled
+/// exactly once in workspace memory with each segment's payload emitted
+/// straight into its final slot, and the de-redundancy pass rides the same
+/// rising watermark — each wrapper segment speculatively LZSS-compresses
+/// its 64 KiB blocks as raw bytes finalize (stream mode), then runs the
+/// sampled method chooser the moment the segment completes; a transform
+/// win (zero-RLE / bitshuffle) re-encodes the transformed bytes and the
+/// speculative blocks are simply dropped (their tasks finish harmlessly
+/// before the drain). Per-block output depends only on the block's bytes,
+/// so the archive is byte-identical to
+/// bitcomp_wrap_archive(compress_typed(...), mode) for every worker count.
 template <typename T>
 std::vector<std::byte> compress_bitcomp_typed(std::span<const T> data,
                                               const dev::Dim3& dims,
@@ -394,36 +399,103 @@ std::vector<std::byte> compress_bitcomp_typed(std::span<const T> data,
   if (stream_overlap_pays()) lz.emplace();
   auto raw = ws.make<std::byte>(raw_size);
 
-  // LZSS state. Blocks are submitted to the stream once the watermark of
-  // final raw bytes passes their end; each task reads only bytes below the
-  // watermark at submit time and the host thread writes only bytes above
-  // it, so the two sides never touch the same byte concurrently. On a
-  // serial machine the same watermark points run the block inline.
+  // De-redundancy state, one record per BBC2 wrapper segment: the header +
+  // directory range, then one range per inner segment (the same split
+  // wrap_partition derives from the directory, so the two paths agree).
+  // Blocks are submitted to the stream once the watermark of final raw
+  // bytes passes their end; each task reads only bytes below the watermark
+  // at submit time and the host thread writes only bytes above it, so the
+  // two sides never touch the same byte concurrently. Submissions below a
+  // segment's end speculate method 0 (LZSS over raw bytes); when the
+  // watermark closes the segment the sampled chooser runs, and a transform
+  // win re-encodes fresh blocks over the transformed bytes while the
+  // speculative tasks finish into their never-read slices. On a serial
+  // machine each segment compresses inline at its completion watermark.
   const std::size_t bs = lossless::kLzssBlock;
-  const std::size_t nblocks = raw_size == 0 ? 0 : dev::ceil_div(raw_size, bs);
   const std::size_t stride = bs + lossless::kLzssTokenSlack;
-  auto slices = ws.make<std::byte>(nblocks * stride);
-  auto enc_size = ws.make<std::uint64_t>(nblocks);
 
-  std::size_t next_block = 0;
-  const auto submit_upto = [&](std::size_t watermark) {
-    while (next_block < nblocks) {
-      const std::size_t begin = next_block * bs;
-      const std::size_t len = std::min(bs, raw_size - begin);
-      if (begin + len > watermark) break;
-      const std::size_t b = next_block++;
-      const std::byte* in = raw.data() + begin;
-      std::byte* out = slices.data() + b * stride;
-      std::uint64_t* esz = enc_size.data() + b;
-      if (lz) {
-        lz->submit([in, len, out, stride, esz, mode] {
-          *esz = lossless::lzss_compress_block({in, len}, {out, stride},
-                                               dev::Arena::instance(), mode);
-        });
-      } else {
+  struct WSeg {
+    std::size_t off = 0;  ///< raw-archive offset
+    std::size_t len = 0;  ///< raw-archive length
+    lossless::Method method = lossless::Method::Lzss;
+    std::span<const std::byte> src;  ///< stream source (raw or transformed)
+    std::size_t nblocks = 0;
+    std::span<std::byte> slices;
+    std::span<std::uint64_t> enc;
+    std::size_t next = 0;  ///< speculative submit progress
+  };
+  std::vector<WSeg> wsegs(segs.size() + 1);
+  wsegs[0].len = static_cast<std::size_t>(segs.front().offset);
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    wsegs[i + 1].off = static_cast<std::size_t>(segs[i].offset);
+    wsegs[i + 1].len = static_cast<std::size_t>(segs[i].size);
+  }
+  for (auto& wsg : wsegs) {
+    wsg.src = std::span<const std::byte>(raw.data() + wsg.off, wsg.len);
+    wsg.nblocks = wsg.len == 0 ? 0 : dev::ceil_div(wsg.len, bs);
+    wsg.slices = ws.make<std::byte>(wsg.nblocks * stride);
+    wsg.enc = ws.make<std::uint64_t>(wsg.nblocks);
+  }
+
+  const auto submit_block = [&](WSeg& wsg, std::size_t b) {
+    const std::size_t begin = b * bs;
+    const std::size_t len = std::min(bs, wsg.src.size() - begin);
+    const std::byte* in = wsg.src.data() + begin;
+    std::byte* out = wsg.slices.data() + b * stride;
+    std::uint64_t* esz = wsg.enc.data() + b;
+    if (lz) {
+      lz->submit([in, len, out, stride, esz, mode] {
         *esz = lossless::lzss_compress_block({in, len}, {out, stride},
                                              dev::Arena::instance(), mode);
+      });
+    } else {
+      *esz = lossless::lzss_compress_block({in, len}, {out, stride},
+                                           dev::Arena::instance(), mode);
+    }
+  };
+
+  const auto finalize_seg = [&](WSeg& wsg) {
+    // The chooser reads the completed raw range on the host; in-flight
+    // speculative tasks read the same bytes — both sides are read-only
+    // below the watermark, so no handshake is needed. choose_method is a
+    // pure function of (bytes, mode): this decision is byte-for-byte the
+    // one bitcomp_wrap_archive makes for the same segment.
+    const auto seg_bytes =
+        std::span<const std::byte>(raw.data() + wsg.off, wsg.len);
+    wsg.method = lossless::choose_method(seg_bytes, mode, ws);
+    if (wsg.method == lossless::Method::Lzss) {
+      // Speculation was right. Stream mode already submitted every block
+      // (the watermark covers the segment); serial mode compresses now.
+      if (!lz)
+        for (std::size_t b = 0; b < wsg.nblocks; ++b) submit_block(wsg, b);
+      return;
+    }
+    // Transform won: re-point the segment at the transformed bytes and
+    // encode fresh blocks over them. The speculative slices are dropped —
+    // any tasks still running write into memory nothing reads again.
+    wsg.src = lossless::method_transform(seg_bytes, wsg.method, ws);
+    wsg.nblocks = wsg.src.empty() ? 0 : dev::ceil_div(wsg.src.size(), bs);
+    wsg.slices = ws.make<std::byte>(wsg.nblocks * stride);
+    wsg.enc = ws.make<std::uint64_t>(wsg.nblocks);
+    for (std::size_t b = 0; b < wsg.nblocks; ++b) submit_block(wsg, b);
+  };
+
+  std::size_t cur_seg = 0;
+  const auto submit_upto = [&](std::size_t watermark) {
+    while (cur_seg < wsegs.size()) {
+      WSeg& wsg = wsegs[cur_seg];
+      if (lz) {
+        while (wsg.next < wsg.nblocks) {
+          const std::size_t bend =
+              wsg.off + std::min((wsg.next + 1) * bs, wsg.len);
+          if (bend > watermark) break;
+          submit_block(wsg, wsg.next);
+          ++wsg.next;
+        }
       }
+      if (watermark < wsg.off + wsg.len) break;
+      finalize_seg(wsg);
+      ++cur_seg;
     }
   };
 
@@ -489,19 +561,36 @@ std::vector<std::byte> compress_bitcomp_typed(std::span<const T> data,
   if (lz) lz->synchronize();
 
   // Final wrapped archive, assembled directly into the returned vector:
-  // 'BBCP' magic | u64 stream size | LZSS stream.
-  const std::size_t lz_bytes = lossless::lzss_stream_size(raw_size, bs,
-                                                          enc_size);
-  std::vector<std::byte> out(sizeof(std::uint32_t) + sizeof(std::uint64_t) +
-                             lz_bytes);
+  // 'BBC2' magic | u32 nseg | segment table | per-segment LZSS streams.
+  const std::size_t nwseg = wsegs.size();
+  std::vector<std::size_t> stream_sizes(nwseg);
+  std::size_t payload_total = 0;
+  for (std::size_t i = 0; i < nwseg; ++i) {
+    stream_sizes[i] =
+        lossless::lzss_stream_size(wsegs[i].src.size(), bs, wsegs[i].enc);
+    payload_total += stream_sizes[i];
+  }
+  std::vector<std::byte> out(2 * sizeof(std::uint32_t) +
+                             nwseg * sizeof(WrapSegmentEntry) + payload_total);
   std::byte* op = out.data();
-  std::memcpy(op, &kBitcompWrapMagic, sizeof(kBitcompWrapMagic));
-  op += sizeof(kBitcompWrapMagic);
-  const std::uint64_t sz64 = lz_bytes;
-  std::memcpy(op, &sz64, sizeof(sz64));
-  op += sizeof(sz64);
-  lossless::lzss_assemble(raw.first(raw_size), bs, slices, stride, enc_size,
-                          {op, lz_bytes});
+  std::memcpy(op, &kBitcompWrapMagicV2, sizeof(kBitcompWrapMagicV2));
+  op += sizeof(kBitcompWrapMagicV2);
+  const auto nseg32 = static_cast<std::uint32_t>(nwseg);
+  std::memcpy(op, &nseg32, sizeof(nseg32));
+  op += sizeof(nseg32);
+  for (std::size_t i = 0; i < nwseg; ++i) {
+    WrapSegmentEntry e;
+    e.method = static_cast<std::uint8_t>(wsegs[i].method);
+    e.raw_size = wsegs[i].len;
+    e.size = stream_sizes[i];
+    std::memcpy(op, &e, sizeof(e));
+    op += sizeof(e);
+  }
+  for (std::size_t i = 0; i < nwseg; ++i) {
+    lossless::lzss_assemble(wsegs[i].src, bs, wsegs[i].slices, stride,
+                            wsegs[i].enc, {op, stream_sizes[i]});
+    op += stream_sizes[i];
+  }
   ws.reset();
   t.encode = stage.lap();
   t.total = total.lap();
@@ -755,85 +844,160 @@ std::vector<T> decompress_bitcomp_typed(std::span<const std::byte> bytes,
         .count();
   };
 
-  const auto stream = bitcomp_wrapped_stream(bytes);
-  const auto frame = lossless::lzss_parse_frame(stream, ws);
-  auto raw = ws.make<std::byte>(frame.raw_size);
+  // Container-general front end: both wrapper generations parse into the
+  // same per-segment (frame, method, raw range) records, so the pipelined
+  // machinery below is identical for a legacy 'BBCP' single stream and a
+  // 'BBC2' table. All frames parse and all scratch allocates here, on the
+  // host — dev::Workspace is not thread-safe, so stream tasks only ever
+  // touch memory handed out before submission.
+  const auto container = bitcomp_parse_container(bytes);
+  const std::size_t nwseg = container.segments.size();
+  std::vector<lossless::LzssFrame> frames(nwseg);
+  std::vector<std::size_t> seg_off(nwseg);
+  std::size_t raw_size = 0;
+  for (std::size_t i = 0; i < nwseg; ++i) {
+    frames[i] = lossless::lzss_parse_frame(container.payloads[i], ws);
+    seg_off[i] = raw_size;
+    std::size_t slen = frames[i].raw_size;
+    if (!container.legacy) {
+      const auto& s = container.segments[i];
+      slen = static_cast<std::size_t>(s.raw_size);
+      // Cheap closed-form cross-checks between the table and each frame
+      // header; zero-RLE is self-describing, so its expansion is validated
+      // by the untransform instead.
+      if (s.method == lossless::Method::Lzss && frames[i].raw_size != slen)
+        throw core::CorruptArchive("bitcomp-wrapper", 0,
+                                   "segment frame size mismatch");
+      if (s.method == lossless::Method::Bitshuffle &&
+          frames[i].raw_size != lossless::bitshuffle_frame_size(slen))
+        throw core::CorruptArchive("bitcomp-wrapper", 0,
+                                   "bitshuffle payload size does not match "
+                                   "segment");
+    }
+    raw_size += slen;
+  }
+  auto raw = ws.make<std::byte>(raw_size);
 
+  // Decode units, in raw order. A method-0 segment decodes straight into
+  // its raw range in ~4-block groups (blocks of one group write disjoint
+  // ranges, so they fan out across the pool at grain 1; with one worker the
+  // launch degrades to a serial walk). A transformed segment is
+  // all-or-nothing: one unit block-decodes its LZSS stream into scratch in
+  // parallel, then untransforms into the raw range. Each unit's `end` is
+  // the raw watermark that is final once it completes.
   constexpr std::size_t kGroupBlocks = 4;
-  // Blocks of one group write disjoint raw ranges, so they fan out across
-  // the pool (grain 1 = one block per chunk); with one worker, or when the
-  // caller is itself a pool worker, the launch degrades to the old serial
-  // walk. Either way the bytes written are identical.
-  const auto decode_group = [&frame, &raw, &lzss_ns, &since](std::size_t b,
-                                                             std::size_t be) {
-    const auto t0 = std::chrono::steady_clock::now();
-    dev::ThreadPool::instance().parallel_for(
-        be - b,
-        [&](std::size_t i) {
-          const std::size_t k = b + i;
-          const std::size_t begin = k * frame.block_size;
-          const std::size_t len =
-              std::min(frame.block_size, frame.raw_size - begin);
-          lossless::lzss_decompress_block(frame, k, {raw.data() + begin, len});
-        },
-        1);
-    lzss_ns += since(t0);
+  struct DecodeUnit {
+    std::function<void()> run;
+    std::size_t end = 0;
   };
+  std::vector<DecodeUnit> units;
+  for (std::size_t i = 0; i < nwseg; ++i) {
+    const lossless::LzssFrame* fp = &frames[i];
+    const auto m = container.segments[i].method;
+    const std::size_t soff = seg_off[i];
+    const std::size_t slen = container.legacy
+                                 ? static_cast<std::size_t>(fp->raw_size)
+                                 : static_cast<std::size_t>(
+                                       container.segments[i].raw_size);
+    if (m == lossless::Method::Lzss) {
+      std::byte* base = raw.data() + soff;
+      for (std::size_t b = 0; b < fp->nblocks; b += kGroupBlocks) {
+        const std::size_t be = std::min(b + kGroupBlocks, fp->nblocks);
+        const std::size_t gend =
+            soff + std::min(be * fp->block_size,
+                            static_cast<std::size_t>(fp->raw_size));
+        units.push_back({[fp, base, b, be, &lzss_ns, &since] {
+                           const auto t0 = std::chrono::steady_clock::now();
+                           dev::ThreadPool::instance().parallel_for(
+                               be - b,
+                               [&](std::size_t k0) {
+                                 const std::size_t k = b + k0;
+                                 const std::size_t begin = k * fp->block_size;
+                                 const std::size_t len = std::min(
+                                     fp->block_size, fp->raw_size - begin);
+                                 lossless::lzss_decompress_block(
+                                     *fp, k, {base + begin, len});
+                               },
+                               1);
+                           lzss_ns += since(t0);
+                         },
+                         gend});
+      }
+    } else if (slen > 0 || fp->raw_size > 0) {
+      auto tmp = ws.make<std::byte>(fp->raw_size);
+      std::byte* dst = raw.data() + soff;
+      units.push_back({[fp, tmp, dst, m, slen, &lzss_ns, &since] {
+                         const auto t0 = std::chrono::steady_clock::now();
+                         dev::ThreadPool::instance().parallel_for(
+                             fp->nblocks,
+                             [&](std::size_t k) {
+                               const std::size_t begin = k * fp->block_size;
+                               const std::size_t len = std::min(
+                                   fp->block_size, fp->raw_size - begin);
+                               lossless::lzss_decompress_block(
+                                   *fp, k, {tmp.data() + begin, len});
+                             },
+                             1);
+                         lossless::method_untransform(tmp, m, {dst, slen});
+                         lzss_ns += since(t0);
+                       },
+                       soff + slen});
+    }
+  }
 
   std::optional<dev::Stream> lz;
-  std::vector<std::size_t> group_end;
-  std::vector<dev::Event> group_ev;
-  if (stream_overlap_pays() && frame.nblocks > 0) {
+  std::vector<dev::Event> unit_ev;
+  if (stream_overlap_pays() && !units.empty()) {
     lz.emplace();
-    for (std::size_t b = 0; b < frame.nblocks; b += kGroupBlocks) {
-      const std::size_t be = std::min(b + kGroupBlocks, frame.nblocks);
-      lz->submit([&decode_group, b, be] { decode_group(b, be); });
-      group_end.push_back(std::min(be * frame.block_size, frame.raw_size));
-      group_ev.push_back(lz->record());
+    for (auto& u : units) {
+      lz->submit(u.run);
+      unit_ev.push_back(lz->record());
     }
   }
 
   std::size_t decoded = 0;
-  std::size_t next_group = 0;
+  std::size_t next_unit = 0;
   const auto ensure = [&](std::size_t off) {
-    if (off > frame.raw_size) off = frame.raw_size;
+    if (off > raw_size) off = raw_size;
     while (decoded < off) {
+      if (next_unit >= units.size()) {
+        // Only empty segments remain past the last unit.
+        decoded = raw_size;
+        break;
+      }
       if (lz) {
-        group_ev[next_group].wait();
-        decoded = group_end[next_group++];
-        // A failed block poisons the stream before its group's event
+        unit_ev[next_unit].wait();
+        decoded = std::max(decoded, units[next_unit++].end);
+        // A failed block poisons the stream before its unit's event
         // fires; surface the CorruptArchive instead of reading
         // half-written bytes.
         if (lz->errored()) lz->synchronize();
       } else {
-        // Serial machine: pull-decode the next group right before it is
+        // Serial machine: pull-decode the next unit right before it is
         // parsed (same bytes, no thread ping-pong, cache-hot handoff).
-        const std::size_t b = next_group * kGroupBlocks;
-        const std::size_t be = std::min(b + kGroupBlocks, frame.nblocks);
-        decode_group(b, be);
-        decoded = std::min(be * frame.block_size, frame.raw_size);
-        ++next_group;
+        units[next_unit].run();
+        decoded = std::max(decoded, units[next_unit].end);
+        ++next_unit;
       }
     }
   };
   // Saturating cursor advance: lengths are attacker-controlled u64s, and
   // clamping to raw_size lets the ByteReader report the truncation.
   const auto sat = [&](std::size_t base, std::uint64_t extra) {
-    if (base >= frame.raw_size) return frame.raw_size;
-    const std::size_t room = frame.raw_size - base;
-    return extra >= room ? frame.raw_size
-                         : base + static_cast<std::size_t>(extra);
+    if (base >= raw_size) return raw_size;
+    const std::size_t room = raw_size - base;
+    return extra >= room ? raw_size : base + static_cast<std::size_t>(extra);
   };
 
   // Version dispatch on the inner magic; both layouts decode behind the
   // same frame/ensure/sat machinery.
   ensure(sizeof(std::uint32_t));
   std::uint32_t inner_magic = 0;
-  if (frame.raw_size >= sizeof(inner_magic))
+  if (raw_size >= sizeof(inner_magic))
     std::memcpy(&inner_magic, raw.data(), sizeof(inner_magic));
 
   if (inner_magic == kMagicV2) {
-    core::ByteReader rd({raw.data(), frame.raw_size}, "cusz-i");
+    core::ByteReader rd({raw.data(), raw_size}, "cusz-i");
     ensure(kInnerFixedBytes + sizeof(std::uint32_t));
     const InnerHeader h = parse_inner_header<T>(rd, kMagicV2);
     // The directory's size is derivable from dims alone, so it can be
@@ -932,7 +1096,7 @@ std::vector<T> decompress_bitcomp_typed(std::span<const std::byte> bytes,
       const std::uint64_t nchunks64 =
           csz == 0 ? 0 : nsym / csz + (nsym % csz != 0 ? 1 : 0);
       ensure(sat(hoff, hfixed + std::min<std::uint64_t>(nchunks64,
-                                                        frame.raw_size) *
+                                                        raw_size) *
                                     sizeof(std::uint64_t)));
       core::Timer plant;
       const auto plan = huffman::decode_plan(huff, ws);
@@ -944,7 +1108,7 @@ std::vector<T> decompress_bitcomp_typed(std::span<const std::byte> bytes,
       auto syms1 = ws.make<quant::Code>(plan.n);
       const std::size_t pay_off =
           plan.payload.empty()
-              ? frame.raw_size
+              ? raw_size
               : static_cast<std::size_t>(plan.payload.data() - raw.data());
       predictor::LevelScatterCursor cur(h.dims, 1);
 
@@ -967,8 +1131,16 @@ std::vector<T> decompress_bitcomp_typed(std::span<const std::byte> bytes,
         reconstruct_upto(cur.watermark());
       }
     }
-    if (lz) lz->synchronize();
-    else ensure(frame.raw_size);
+    // Drain: every unit must run even if the parser never read its bytes,
+    // so a corrupt tail block or payload throws exactly as it does in the
+    // unfused path (zero-length tail units included — ensure() may reach
+    // raw_size before running them).
+    if (lz) {
+      lz->synchronize();
+    } else {
+      for (; next_unit < units.size(); ++next_unit) units[next_unit].run();
+      decoded = raw_size;
+    }
 
     reconstruct_upto(h.volume);
     const bool overlapped = lz.has_value() || !rcs.empty();
@@ -994,7 +1166,7 @@ std::vector<T> decompress_bitcomp_typed(std::span<const std::byte> bytes,
     return out;
   }
 
-  core::ByteReader rd({raw.data(), frame.raw_size}, "cusz-i");
+  core::ByteReader rd({raw.data(), raw_size}, "cusz-i");
   ensure(kInnerFixedBytes + sizeof(std::uint64_t));
   const InnerHeader h = parse_inner_header<T>(rd);
 
@@ -1043,7 +1215,7 @@ std::vector<T> decompress_bitcomp_typed(std::span<const std::byte> bytes,
   const std::uint64_t nchunks64 =
       csz == 0 ? 0 : nsym / csz + (nsym % csz != 0 ? 1 : 0);
   ensure(sat(hoff, hfixed + std::min<std::uint64_t>(nchunks64,
-                                                    frame.raw_size) *
+                                                    raw_size) *
                                 sizeof(std::uint64_t)));
   core::Timer plant;
   const auto plan = huffman::decode_plan(huff, ws);
@@ -1054,7 +1226,7 @@ std::vector<T> decompress_bitcomp_typed(std::span<const std::byte> bytes,
   auto codes = ws.make<quant::Code>(plan.n);
   const std::size_t pay_off =
       plan.payload.empty()
-          ? frame.raw_size
+          ? raw_size
           : static_cast<std::size_t>(plan.payload.data() - raw.data());
 
   // In-place reconstruction rides the same watermark idea one level up:
@@ -1113,10 +1285,15 @@ std::vector<T> decompress_bitcomp_typed(std::span<const std::byte> bytes,
     c = cend;
     reconstruct_upto(std::min(cend * plan.chunk_size, plan.n));
   }
-  // Drain: every block must decode even if the parser never read its bytes,
-  // so a corrupt tail block throws exactly as it does in the unfused path.
-  if (lz) lz->synchronize();
-  else ensure(frame.raw_size);
+  // Drain: every unit must run even if the parser never read its bytes, so
+  // a corrupt tail block or payload throws exactly as it does in the
+  // unfused path.
+  if (lz) {
+    lz->synchronize();
+  } else {
+    for (; next_unit < units.size(); ++next_unit) units[next_unit].run();
+    decoded = raw_size;
+  }
 
   reconstruct_upto(plan.n);
   const bool overlapped = lz.has_value() || !rcs.empty();
@@ -1217,50 +1394,141 @@ ProgressiveResultT<T> progressive_v2_raw(std::span<const std::byte> bytes,
   return r;
 }
 
-/// Progressive decode through the 'BBCP' wrapper: LZSS blocks decode
-/// serially and only as far as the inner prefix the preview needs;
+/// Progressive decode through the 'BBCP'/'BBC2' wrappers: LZSS blocks
+/// decode serially and only as far as the inner prefix the preview needs;
 /// `bytes_read` counts the wrapper framing plus the compressed extent of
-/// the blocks actually decoded. A legacy (SZI1) inner archive has no
-/// directory to steer by, so it decodes every block and falls back to full
-/// decode + subsample.
+/// the payloads actually decoded. A method-0 wrapper segment consumes
+/// block by block; a transformed (zero-RLE / bitshuffle) segment is
+/// all-or-nothing — its whole payload decodes the moment any of its raw
+/// bytes are needed. A legacy (SZI1) inner archive has no directory to
+/// steer by, so it decodes everything and falls back to full decode +
+/// subsample.
+///
+/// The container parses in prefix mode and each payload's LZSS frame is
+/// parsed (and cross-checked against its table entry) only when the
+/// preview first needs that segment: an archive truncated at a previous
+/// preview's `bytes_read` — a wrapper-payload boundary, since the 'BBC2'
+/// segmentation mirrors the inner directory — decodes the same preview,
+/// while a truncation that cuts a *needed* payload still throws.
 template <typename T>
 ProgressiveResultT<T> progressive_wrapped(std::span<const std::byte> bytes,
                                           int max_level, dev::Workspace& ws) {
-  const auto stream = bitcomp_wrapped_stream(bytes);
-  const auto frame = lossless::lzss_parse_frame(stream, ws);
-  auto raw = ws.make<std::byte>(frame.raw_size);
-  std::size_t nb = 0;  // blocks decoded so far
+  // prefix_ok only relaxes the 'BBC2' branch; legacy 'BBCP' framing is
+  // never truncation-tolerant.
+  const auto container = bitcomp_parse_container(bytes, /*prefix_ok=*/true);
+  const std::size_t nwseg = container.segments.size();
+  std::vector<lossless::LzssFrame> frames(nwseg);
+  std::vector<char> parsed(nwseg, 0);
+  const auto frame_at = [&](std::size_t i) -> const lossless::LzssFrame& {
+    if (!parsed[i]) {
+      const auto& s = container.segments[i];
+      if (container.payloads[i].size() < s.size)
+        throw core::CorruptArchive("bitcomp-wrapper", 0,
+                                   "container truncated inside a segment "
+                                   "the preview needs");
+      frames[i] = lossless::lzss_parse_frame(container.payloads[i], ws);
+      if (!container.legacy) {
+        const auto slen = static_cast<std::size_t>(s.raw_size);
+        if (s.method == lossless::Method::Lzss && frames[i].raw_size != slen)
+          throw core::CorruptArchive("bitcomp-wrapper", 0,
+                                     "segment frame size mismatch");
+        if (s.method == lossless::Method::Bitshuffle &&
+            frames[i].raw_size != lossless::bitshuffle_frame_size(slen))
+          throw core::CorruptArchive("bitcomp-wrapper", 0,
+                                     "bitshuffle payload size does not match "
+                                     "segment");
+      }
+      parsed[i] = 1;
+    }
+    return frames[i];
+  };
+  std::vector<std::size_t> seg_off(nwseg);
+  std::size_t raw_size = 0;
+  for (std::size_t i = 0; i < nwseg; ++i) {
+    seg_off[i] = raw_size;
+    // Legacy has no raw_size in its table — the frame header carries it.
+    raw_size += container.legacy
+                    ? static_cast<std::size_t>(frame_at(i).raw_size)
+                    : static_cast<std::size_t>(container.segments[i].raw_size);
+  }
+  auto raw = ws.make<std::byte>(raw_size);
+
+  const auto seg_len = [&](std::size_t i) {
+    return container.legacy
+               ? static_cast<std::size_t>(frames[i].raw_size)
+               : static_cast<std::size_t>(container.segments[i].raw_size);
+  };
+  std::size_t cur = 0;  // wrapper segment cursor
+  std::size_t nb = 0;   // blocks decoded within the current method-0 segment
   std::size_t decoded = 0;
   const auto ensure = [&](std::size_t off) {
-    if (off > frame.raw_size) off = frame.raw_size;
+    if (off > raw_size) off = raw_size;
     while (decoded < off) {
-      const std::size_t begin = nb * frame.block_size;
-      const std::size_t len =
-          std::min(frame.block_size, frame.raw_size - begin);
-      lossless::lzss_decompress_block(frame, nb, {raw.data() + begin, len});
-      ++nb;
-      decoded = begin + len;
+      if (cur >= nwseg) {
+        decoded = raw_size;
+        break;
+      }
+      const auto& fr = frame_at(cur);
+      const auto m = container.segments[cur].method;
+      const std::size_t soff = seg_off[cur];
+      const std::size_t slen = seg_len(cur);
+      if (m == lossless::Method::Lzss && nb < fr.nblocks) {
+        const std::size_t begin = nb * fr.block_size;
+        const std::size_t len = std::min(fr.block_size, fr.raw_size - begin);
+        lossless::lzss_decompress_block(fr, nb,
+                                        {raw.data() + soff + begin, len});
+        ++nb;
+        decoded = std::max(decoded, soff + begin + len);
+        continue;
+      }
+      if (m != lossless::Method::Lzss) {
+        auto tmp = ws.make<std::byte>(fr.raw_size);
+        for (std::size_t k = 0; k < fr.nblocks; ++k) {
+          const std::size_t begin = k * fr.block_size;
+          const std::size_t len = std::min(fr.block_size, fr.raw_size - begin);
+          lossless::lzss_decompress_block(fr, k, {tmp.data() + begin, len});
+        }
+        lossless::method_untransform(tmp, m, {raw.data() + soff, slen});
+      }
+      // Segment complete (transformed, exhausted method-0, or empty).
+      decoded = std::max(decoded, soff + slen);
+      ++cur;
+      nb = 0;
     }
   };
   const auto sat = [&](std::size_t base, std::uint64_t extra) {
-    if (base >= frame.raw_size) return frame.raw_size;
-    const std::size_t room = frame.raw_size - base;
-    return extra >= room ? frame.raw_size
-                         : base + static_cast<std::size_t>(extra);
+    if (base >= raw_size) return raw_size;
+    const std::size_t room = raw_size - base;
+    return extra >= room ? raw_size : base + static_cast<std::size_t>(extra);
   };
-  const std::size_t framing = bytes.size() - frame.stream.size();
+  // Wrapper framing + compressed extent consumed so far. Fully-consumed
+  // payloads count whole; a partially-decoded method-0 payload counts its
+  // frame header plus the block extent, which for a legacy archive is
+  // exactly the old framing + offsets[nb] accounting.
+  const auto consumed_bytes = [&] {
+    std::size_t consumed = container.table_bytes;
+    for (std::size_t i = 0; i < cur; ++i)
+      consumed += container.payloads[i].size();
+    if (cur < nwseg && nb > 0) {
+      const auto& fr = frames[cur];
+      consumed += container.payloads[cur].size() - fr.stream.size();
+      consumed += nb < fr.nblocks ? static_cast<std::size_t>(fr.offsets[nb])
+                                  : fr.stream.size();
+    }
+    return consumed;
+  };
 
   ensure(sizeof(std::uint32_t));
   std::uint32_t inner_magic = 0;
-  if (frame.raw_size >= sizeof(inner_magic))
+  if (raw_size >= sizeof(inner_magic))
     std::memcpy(&inner_magic, raw.data(), sizeof(inner_magic));
   if (inner_magic != kMagicV2) {
-    ensure(frame.raw_size);
-    return progressive_from_full<T>({raw.data(), frame.raw_size},
-                                    bytes.size(), max_level, ws);
+    ensure(raw_size);
+    return progressive_from_full<T>({raw.data(), raw_size}, bytes.size(),
+                                    max_level, ws);
   }
 
-  core::ByteReader rd({raw.data(), frame.raw_size}, "cusz-i");
+  core::ByteReader rd({raw.data(), raw_size}, "cusz-i");
   ensure(kInnerFixedBytes + sizeof(std::uint32_t));
   const InnerHeader h = parse_inner_header<T>(rd, kMagicV2);
   const int nlevels = predictor::ginterp_level_count(h.dims);
@@ -1304,21 +1572,19 @@ ProgressiveResultT<T> progressive_wrapped(std::span<const std::byte> bytes,
       h.radius, level, ws);
   r.dims = predictor::ginterp_preview_dims(h.dims, level);
   r.level = level;
-  r.bytes_read = framing + (nb < frame.nblocks
-                                ? static_cast<std::size_t>(frame.offsets[nb])
-                                : frame.stream.size());
+  r.bytes_read = consumed_bytes();
   ws.reset();
   return r;
 }
 
-/// Version dispatch for the progressive entry points: 'BBCP' → block-lazy
-/// wrapped path, 'SZI2' → raw prefix decode, anything else ('SZI1' or
-/// garbage) → full decode + subsample (which rejects bad magic).
+/// Version dispatch for the progressive entry points: 'BBCP'/'BBC2' →
+/// payload-lazy wrapped path, 'SZI2' → raw prefix decode, anything else
+/// ('SZI1' or garbage) → full decode + subsample (which rejects bad magic).
 template <typename T>
 ProgressiveResultT<T> decompress_progressive_typed(
     std::span<const std::byte> bytes, int max_level, dev::Workspace& ws) {
   const std::uint32_t magic = peek_magic(bytes);
-  if (magic == kBitcompWrapMagic)
+  if (magic == kBitcompWrapMagic || magic == kBitcompWrapMagicV2)
     return progressive_wrapped<T>(bytes, max_level, ws);
   if (magic == kMagicV2) return progressive_v2_raw<T>(bytes, max_level, ws);
   return progressive_from_full<T>(bytes, bytes.size(), max_level, ws);
@@ -1582,7 +1848,8 @@ Precision cuszi_archive_precision(std::span<const std::byte> bytes) {
 
 std::vector<SegmentInfo> cuszi_archive_segments(
     std::span<const std::byte> bytes) {
-  if (peek_magic(bytes) == kBitcompWrapMagic) {
+  const std::uint32_t magic = peek_magic(bytes);
+  if (magic == kBitcompWrapMagic || magic == kBitcompWrapMagicV2) {
     const auto inner = bitcomp_unwrap_archive(bytes);
     return cuszi_archive_segments(inner);
   }

@@ -73,4 +73,17 @@ Arena::Stats Arena::stats() const {
   return stats_;
 }
 
+Arena::Stats Arena::aggregate_stats() {
+  Stats total = instance().stats();
+  for (std::size_t i = 0; i < kShards; ++i) {
+    const Stats s = shard(i).stats();
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.pooled_blocks += s.pooled_blocks;
+    total.pooled_bytes += s.pooled_bytes;
+    total.outstanding += s.outstanding;
+  }
+  return total;
+}
+
 }  // namespace szi::dev

@@ -76,6 +76,11 @@ class Arena {
 
   [[nodiscard]] Stats stats() const;
 
+  /// Sum of stats() across instance() and every shard() — what benches
+  /// should report, since the batch pipelines draw from the shards, not the
+  /// global pool.
+  [[nodiscard]] static Stats aggregate_stats();
+
  private:
   static constexpr std::size_t kMinBlock = 256;
   [[nodiscard]] static std::size_t bucket_of(std::size_t bytes);

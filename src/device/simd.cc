@@ -1,6 +1,11 @@
 #include "device/simd.hh"
 
 #include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
 
 namespace szi::dev {
 
@@ -15,5 +20,115 @@ bool has_avx2() {
   }();
   return ok;
 }
+
+namespace {
+/// Fixed geometry of a full bitshuffle block (lossless/bitshuffle.cc
+/// static_asserts its kShuffleBlock against this): 1024 u16 elements,
+/// 16 planes of 1024/8 = 128 bytes.
+constexpr std::size_t kBlockElems = 1024;
+constexpr std::size_t kPlaneBytes = kBlockElems / 8;
+}  // namespace
+
+#if defined(__x86_64__)
+
+[[gnu::target("avx2")]] void bitshuffle16_block_avx2(const std::uint16_t* in,
+                                                     std::uint8_t* planes) {
+  const __m256i lo_mask = _mm256_set1_epi16(0x00FF);
+  for (std::size_t j = 0; j < kBlockElems / 32; ++j) {
+    const __m256i v0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + 32 * j));
+    const __m256i v1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + 32 * j + 16));
+    // Split the 32 elements into their low and high bytes, each packed as 32
+    // consecutive bytes in element order. packus is exact here (inputs are
+    // masked/shifted below 256); the 0xD8 permute undoes its lane split.
+    const __m256i lo = _mm256_permute4x64_epi64(
+        _mm256_packus_epi16(_mm256_and_si256(v0, lo_mask),
+                            _mm256_and_si256(v1, lo_mask)),
+        0xD8);
+    const __m256i hi = _mm256_permute4x64_epi64(
+        _mm256_packus_epi16(_mm256_srli_epi16(v0, 8), _mm256_srli_epi16(v1, 8)),
+        0xD8);
+    for (unsigned k = 0; k < 8; ++k) {
+      // slli_epi64 by (7-k) <= 7 lifts each byte's bit k to bit 7 of that
+      // same byte (a shift under 8 cannot pull bits across a byte from
+      // below into position 7), so movemask collects one plane bit per
+      // element, already LSB-first in element order.
+      const auto pl = static_cast<std::uint32_t>(
+          _mm256_movemask_epi8(_mm256_slli_epi64(lo, 7 - static_cast<int>(k))));
+      const auto ph = static_cast<std::uint32_t>(
+          _mm256_movemask_epi8(_mm256_slli_epi64(hi, 7 - static_cast<int>(k))));
+      std::memcpy(planes + k * kPlaneBytes + 4 * j, &pl, 4);
+      std::memcpy(planes + (8 + k) * kPlaneBytes + 4 * j, &ph, 4);
+    }
+  }
+}
+
+[[gnu::target("avx2")]] void bitunshuffle16_block_avx2(
+    const std::uint8_t* planes, std::uint16_t* out) {
+  // Byte i of the shuffled broadcast must hold the plane byte carrying
+  // element i's bit: plane byte i/8. shuffle_epi8 indexes within each
+  // 128-bit lane of set1_epi32(w) = [w0 w1 w2 w3 | w0 w1 w2 w3] repeated.
+  const __m256i byte_idx = _mm256_setr_epi8(
+      0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1,  // elements 0..15
+      2, 2, 2, 2, 2, 2, 2, 2, 3, 3, 3, 3, 3, 3, 3, 3); // elements 16..31
+  // Byte i selects bit i%8 of its plane byte.
+  const __m256i bit_sel = _mm256_setr_epi8(
+      1, 2, 4, 8, 16, 32, 64, -128, 1, 2, 4, 8, 16, 32, 64, -128,
+      1, 2, 4, 8, 16, 32, 64, -128, 1, 2, 4, 8, 16, 32, 64, -128);
+  for (std::size_t j = 0; j < kBlockElems / 32; ++j) {
+    __m256i acc_lo = _mm256_setzero_si256();
+    __m256i acc_hi = _mm256_setzero_si256();
+    for (unsigned k = 0; k < 16; ++k) {
+      std::uint32_t w;
+      std::memcpy(&w, planes + k * kPlaneBytes + 4 * j, 4);
+      const __m256i spread = _mm256_shuffle_epi8(
+          _mm256_set1_epi32(static_cast<int>(w)), byte_idx);
+      const __m256i hit =
+          _mm256_cmpeq_epi8(_mm256_and_si256(spread, bit_sel), bit_sel);
+      const __m256i contrib = _mm256_and_si256(
+          hit, _mm256_set1_epi8(static_cast<char>(1u << (k & 7u))));
+      if (k < 8)
+        acc_lo = _mm256_or_si256(acc_lo, contrib);
+      else
+        acc_hi = _mm256_or_si256(acc_hi, contrib);
+    }
+    // Interleave low/high bytes back into u16s. The 0xD8 permutes reorder
+    // both accumulators so unpacklo yields elements 0..15 and unpackhi
+    // elements 16..31 in order.
+    const __m256i lp = _mm256_permute4x64_epi64(acc_lo, 0xD8);
+    const __m256i hp = _mm256_permute4x64_epi64(acc_hi, 0xD8);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 32 * j),
+                        _mm256_unpacklo_epi8(lp, hp));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 32 * j + 16),
+                        _mm256_unpackhi_epi8(lp, hp));
+  }
+}
+
+#else  // !defined(__x86_64__)
+
+// has_avx2() is constant-false off x86, so these are unreachable; scalar
+// mirrors keep the symbols link-safe and correct if ever called anyway.
+void bitshuffle16_block_avx2(const std::uint16_t* in, std::uint8_t* planes) {
+  std::memset(planes, 0, 16 * kPlaneBytes);
+  for (std::size_t i = 0; i < kBlockElems; ++i)
+    for (unsigned bit = 0; bit < 16; ++bit)
+      if ((in[i] >> bit) & 1u)
+        planes[bit * kPlaneBytes + i / 8] |=
+            static_cast<std::uint8_t>(1u << (i % 8));
+}
+
+void bitunshuffle16_block_avx2(const std::uint8_t* planes,
+                               std::uint16_t* out) {
+  for (std::size_t i = 0; i < kBlockElems; ++i) {
+    std::uint16_t v = 0;
+    for (unsigned bit = 0; bit < 16; ++bit)
+      if ((planes[bit * kPlaneBytes + i / 8] >> (i % 8)) & 1u)
+        v = static_cast<std::uint16_t>(v | (1u << bit));
+    out[i] = v;
+  }
+}
+
+#endif
 
 }  // namespace szi::dev

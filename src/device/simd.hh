@@ -16,11 +16,25 @@
 // determinism sweep runs one instance with SZI_NO_AVX2=1 to prove it).
 #pragma once
 
+#include <cstdint>
+
 namespace szi::dev {
 
 /// True when the host supports AVX2 and the SZI_NO_AVX2 environment
 /// variable is unset/empty (the kill switch exists for A/B testing the
 /// scalar fallbacks on AVX2 hardware). Cached after the first call.
 [[nodiscard]] bool has_avx2();
+
+/// Bit-plane transpose of one full bitshuffle block: 1024 u16 elements into
+/// 16 LSB-first bit planes of 128 bytes each (plane k, byte i/8, bit i%8 =
+/// bit k of element i — the layout lossless/bitshuffle.cc documents). Only
+/// full blocks dispatch here; tail blocks stay scalar. Integer-only, so the
+/// bit-identity contract above is structural rather than rounding-dependent.
+/// Call only behind has_avx2().
+void bitshuffle16_block_avx2(const std::uint16_t* in, std::uint8_t* planes);
+
+/// Inverse of bitshuffle16_block_avx2: one full 16x128-byte plane block back
+/// into 1024 u16 elements. Call only behind has_avx2().
+void bitunshuffle16_block_avx2(const std::uint8_t* planes, std::uint16_t* out);
 
 }  // namespace szi::dev

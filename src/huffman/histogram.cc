@@ -149,4 +149,37 @@ std::vector<std::uint32_t> histogram_topk(std::span<const quant::Code> codes,
   return histogram_topk(codes, nbins, center, k, ws);
 }
 
+double byte_entropy(std::span<const std::byte> data) {
+  if (data.empty()) return 0.0;
+  // Banked byte histogram on the stack — samples are small (the chooser
+  // caps them at a few hundred KiB), so one serial banked pass beats the
+  // worker fan-out the code histograms need.
+  std::array<std::uint32_t, kInterleave * 256> banks{};
+  const auto* p = reinterpret_cast<const std::uint8_t*>(data.data());
+  const std::size_t n = data.size();
+  std::uint32_t* h0 = banks.data();
+  std::uint32_t* h1 = banks.data() + 256;
+  std::uint32_t* h2 = banks.data() + 512;
+  std::uint32_t* h3 = banks.data() + 768;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    ++h0[p[i]];
+    ++h1[p[i + 1]];
+    ++h2[p[i + 2]];
+    ++h3[p[i + 3]];
+  }
+  for (; i < n; ++i) ++h0[p[i]];
+
+  const double inv_n = 1.0 / static_cast<double>(n);
+  double bits = 0.0;
+  for (std::size_t b = 0; b < 256; ++b) {
+    const std::uint64_t c = static_cast<std::uint64_t>(h0[b]) + h1[b] +
+                            h2[b] + h3[b];
+    if (c == 0) continue;
+    const double prob = static_cast<double>(c) * inv_n;
+    bits -= prob * std::log2(prob);
+  }
+  return bits;
+}
+
 }  // namespace szi::huffman

@@ -108,4 +108,13 @@ inline void accumulate_banked(const quant::Code* codes, std::size_t n,
     std::span<const quant::Code> codes, std::size_t nbins, std::size_t center,
     std::size_t k, dev::Workspace& ws);
 
+/// Shannon entropy of `data`'s byte distribution, in bits per byte
+/// (0 for empty or constant input, 8 for uniform). Accumulated through the
+/// same 4-bank interleaved counters as the code histograms, so concentrated
+/// streams don't serialize on one counter. The lossless orchestration layer
+/// uses this as its incompressibility shortcut: a sample within noise of
+/// 8 bits/byte cannot gain from any de-redundancy pipeline, so the sampled
+/// chooser skips the candidate compressions entirely.
+[[nodiscard]] double byte_entropy(std::span<const std::byte> data);
+
 }  // namespace szi::huffman

@@ -4,12 +4,16 @@
 #include <stdexcept>
 
 #include "device/launch.hh"
+#include "device/simd.hh"
 
 namespace szi::lossless {
 
 namespace {
 /// Byte offset of block b: every block before the tail is full (2048 bytes).
 std::size_t block_offset(std::size_t b) { return b * kShuffleBlock * 2; }
+
+// The AVX2 block kernels hardcode this geometry (dev::kBlockElems).
+static_assert(kShuffleBlock == 1024, "AVX2 block kernels assume 1024");
 }  // namespace
 
 void bitshuffle16(std::span<const std::uint16_t> in,
@@ -24,6 +28,10 @@ void bitshuffle16(std::span<const std::uint16_t> in,
         const std::size_t len = std::min(kShuffleBlock, in.size() - begin);
         const std::size_t plane_bytes = (len + 7) / 8;
         std::uint8_t* planes = out.data() + block_offset(b);
+        if (len == kShuffleBlock && dev::has_avx2()) {
+          dev::bitshuffle16_block_avx2(in.data() + begin, planes);
+          return;
+        }
         std::memset(planes, 0, 16 * plane_bytes);
         for (std::size_t i = 0; i < len; ++i) {
           const std::uint16_t v = in[begin + i];
@@ -48,6 +56,10 @@ void bitunshuffle16(std::span<const std::uint8_t> in,
         const std::size_t len = std::min(kShuffleBlock, out.size() - begin);
         const std::size_t plane_bytes = (len + 7) / 8;
         const std::uint8_t* planes = in.data() + block_offset(b);
+        if (len == kShuffleBlock && dev::has_avx2()) {
+          dev::bitunshuffle16_block_avx2(planes, out.data() + begin);
+          return;
+        }
         for (std::size_t i = 0; i < len; ++i) {
           std::uint16_t v = 0;
           for (unsigned bit = 0; bit < 16; ++bit)

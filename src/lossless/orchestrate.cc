@@ -1,0 +1,169 @@
+#include "lossless/orchestrate.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+#include "core/bytes.hh"
+#include "huffman/histogram.hh"
+#include "lossless/rle.hh"
+
+namespace szi::lossless {
+
+const char* method_name(Method m) {
+  switch (m) {
+    case Method::Lzss:
+      return "lzss";
+    case Method::ZeroRle:
+      return "zero-rle";
+    case Method::Bitshuffle:
+      return "bitshuffle";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Gathers the strided sample into ws memory, or returns the segment whole
+/// when it is small enough that sampling would not save anything.
+std::span<const std::byte> gather_sample(std::span<const std::byte> seg,
+                                         dev::Workspace& ws) {
+  const std::size_t n = seg.size();
+  if (n <= 2 * kSampleMin) return seg;
+  const std::size_t target = std::clamp(n / 64, kSampleMin, kSampleMax);
+  const std::size_t nchunks = target / kSampleChunk;
+  // step >= 2 * kSampleChunk for every n > 2*kSampleMin (nchunks is at most
+  // n / (64 * kSampleChunk), floored at 2 only when n/64 < kSampleMin <
+  // n/2), so chunk c's even-aligned start (c*step) & ~1 leaves the final
+  // chunk fully in bounds: (nchunks-1)*step + kSampleChunk <= n.
+  const std::size_t step = n / nchunks;
+  auto buf = ws.make<std::byte>(nchunks * kSampleChunk);
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    const std::size_t start = (c * step) & ~std::size_t{1};
+    std::memcpy(buf.data() + c * kSampleChunk, seg.data() + start,
+                kSampleChunk);
+  }
+  return buf;
+}
+
+}  // namespace
+
+Method choose_method(std::span<const std::byte> seg, LzssMode mode,
+                     dev::Workspace& ws, ChoiceAudit* audit) {
+  ChoiceAudit local;
+  ChoiceAudit& a = audit ? *audit : local;
+  a = ChoiceAudit{};
+  if (seg.empty()) return Method::Lzss;
+
+  const auto sample = gather_sample(seg, ws);
+  a.sampled_bytes = sample.size();
+  a.entropy_bits = huffman::byte_entropy(sample);
+  if (a.entropy_bits > kEntropyShortcutBits) {
+    a.entropy_shortcut = true;
+    return Method::Lzss;
+  }
+
+  auto cost_of = [&](Method m) -> std::uint64_t {
+    const auto t = method_transform(sample, m, ws);
+    return lzss_compress(t, kLzssBlock, ws, mode).size();
+  };
+  const std::uint64_t lz = cost_of(Method::Lzss);
+  const std::uint64_t rle = cost_of(Method::ZeroRle);
+  const std::uint64_t bs = cost_of(Method::Bitshuffle);
+  a.cost[static_cast<std::size_t>(Method::Lzss)] = lz;
+  a.cost[static_cast<std::size_t>(Method::ZeroRle)] = rle;
+  a.cost[static_cast<std::size_t>(Method::Bitshuffle)] = bs;
+
+  // A transform needs its own margin over plain LZSS to win the segment
+  // (bitshuffle's sampled advantage is biased high — see the margin docs in
+  // the header); among transforms that clear their margin, the cheaper one
+  // wins and ties go to the lower method id.
+  const auto clears = [&](std::uint64_t cost, std::uint64_t margin) {
+    return cost * 100 < lz * (100 - margin);
+  };
+  const bool rle_wins = clears(rle, kChooserMarginPct);
+  const bool bs_wins = clears(bs, kChooserBitshuffleMarginPct);
+  if (rle_wins && (!bs_wins || rle <= bs)) return Method::ZeroRle;
+  if (bs_wins) return Method::Bitshuffle;
+  return Method::Lzss;
+}
+
+Method resolve_method(MethodPolicy policy, std::span<const std::byte> seg,
+                      LzssMode mode, dev::Workspace& ws, ChoiceAudit* audit) {
+  switch (policy) {
+    case MethodPolicy::Auto:
+      return choose_method(seg, mode, ws, audit);
+    case MethodPolicy::ForceLzss:
+      return Method::Lzss;
+    case MethodPolicy::ForceZeroRle:
+      return Method::ZeroRle;
+    case MethodPolicy::ForceBitshuffle:
+      return Method::Bitshuffle;
+  }
+  return Method::Lzss;
+}
+
+std::span<const std::byte> method_transform(std::span<const std::byte> seg,
+                                            Method m, dev::Workspace& ws) {
+  switch (m) {
+    case Method::Lzss:
+      return seg;
+    case Method::ZeroRle:
+      return zero_rle_compress(seg, ws);
+    case Method::Bitshuffle: {
+      const std::size_t n = seg.size();
+      const std::size_t ne = n / 2;
+      // Archive bytes are unaligned; stage the even prefix into an aligned
+      // u16 buffer before shuffling.
+      auto elems = ws.make<std::uint16_t>(ne);
+      if (ne > 0) std::memcpy(elems.data(), seg.data(), ne * 2);
+      auto out = ws.make<std::byte>(bitshuffle_frame_size(n));
+      bitshuffle16(elems, {reinterpret_cast<std::uint8_t*>(out.data()),
+                           bitshuffle16_size(ne)});
+      if (n & 1) out.back() = seg.back();
+      return out;
+    }
+  }
+  return seg;
+}
+
+void method_untransform(std::span<const std::byte> transformed, Method m,
+                        std::span<std::byte> raw_out) {
+  constexpr std::string_view kStage = "lossless-method";
+  switch (m) {
+    case Method::Lzss:
+      if (transformed.size() != raw_out.size())
+        throw core::CorruptArchive(kStage, 0,
+                                   "raw payload size does not match segment");
+      if (!raw_out.empty())
+        std::memcpy(raw_out.data(), transformed.data(), raw_out.size());
+      return;
+    case Method::ZeroRle: {
+      const auto raw = zero_rle_decompress(transformed);
+      if (raw.size() != raw_out.size())
+        throw core::CorruptArchive(
+            kStage, 0, "zero-rle payload expands to the wrong size");
+      if (!raw_out.empty())
+        std::memcpy(raw_out.data(), raw.data(), raw.size());
+      return;
+    }
+    case Method::Bitshuffle: {
+      const std::size_t n = raw_out.size();
+      if (transformed.size() != bitshuffle_frame_size(n))
+        throw core::CorruptArchive(
+            kStage, 0, "bitshuffle payload size does not match segment");
+      const std::size_t ne = n / 2;
+      std::vector<std::uint16_t> elems(ne);
+      bitunshuffle16({reinterpret_cast<const std::uint8_t*>(transformed.data()),
+                      bitshuffle16_size(ne)},
+                     elems);
+      if (ne > 0) std::memcpy(raw_out.data(), elems.data(), ne * 2);
+      if (n & 1) raw_out.back() = transformed.back();
+      return;
+    }
+  }
+  throw core::CorruptArchive(kStage, 0, "unknown lossless method");
+}
+
+}  // namespace szi::lossless

@@ -1,0 +1,138 @@
+// Per-segment lossless orchestration (§VI-B ratio frontier).
+//
+// The level-segmented archive gives the lossless stage segments with wildly
+// different byte structure: coarse-level Huffman streams are tiny and
+// entropy-dense, fine-level streams are huge and zero-dominated, outlier
+// blobs sit in between. Forcing one de-redundancy pipeline over all of them
+// leaves ratio on the table (arXiv 2507.11165 reports double-digit gains
+// from *choosing* the pipeline per stream; cuSZ+ made the same observation
+// for RLE on sparse quant codes). This layer routes each segment through the
+// best of three candidate pipelines:
+//
+//   method 0  Lzss        LZSS over the raw segment bytes (status quo)
+//   method 1  ZeroRle     zero-RLE (32-byte units) -> LZSS
+//   method 2  Bitshuffle  bitshuffle16 bit-plane transpose -> LZSS
+//
+// selected by a sampled predictor-of-ratio: a small strided sample (~1-2% of
+// the segment, even-aligned so bit planes keep their parity) is compressed
+// through each candidate and the cheapest wins, with a byte-entropy shortcut
+// that skips the candidates entirely when the sample is near-incompressible.
+// The decision is a pure function of (segment bytes, LZSS mode), which is
+// what makes archives deterministic across worker counts and across the
+// AVX2/scalar dispatch.
+//
+// The chosen method is recorded per wrapper segment in the BBC2 container
+// (docs/FORMAT.md); method_transform/method_untransform are the exact
+// encode/decode halves the container framing delegates to.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "device/arena.hh"
+#include "lossless/bitshuffle.hh"
+#include "lossless/lzss.hh"
+
+namespace szi::lossless {
+
+/// De-redundancy pipeline applied to a wrapper segment before LZSS. The
+/// numeric values are the on-disk method bytes — append-only.
+enum class Method : std::uint8_t { Lzss = 0, ZeroRle = 1, Bitshuffle = 2 };
+
+inline constexpr std::size_t kMethodCount = 3;
+
+/// Short stable name for ledgers / CLI output ("lzss", "zero-rle",
+/// "bitshuffle").
+[[nodiscard]] const char* method_name(Method m);
+
+/// Selection policy for archive writers: Auto runs the sampled chooser;
+/// the Force* policies pin every segment to one method (ablation benches,
+/// adversarial tests).
+enum class MethodPolicy : std::uint8_t {
+  Auto,
+  ForceLzss,
+  ForceZeroRle,
+  ForceBitshuffle,
+};
+
+// ---- Sampled chooser ----------------------------------------------------
+
+/// Sample geometry: contiguous even-aligned chunks of kSampleChunk bytes,
+/// strided to cover the segment, totalling clamp(n/64, kSampleMin,
+/// kSampleMax) bytes. Segments at or below 2*kSampleMin are sampled whole.
+inline constexpr std::size_t kSampleChunk = 4096;
+inline constexpr std::size_t kSampleMin = 8 * 1024;
+inline constexpr std::size_t kSampleMax = 256 * 1024;
+
+/// Entropy shortcut: a sample above this many bits/byte is within noise of
+/// incompressible, so no transform can pay for itself — skip the candidate
+/// compressions and keep plain LZSS.
+inline constexpr double kEntropyShortcutBits = 7.9;
+
+/// Hysteresis: a transform must beat plain LZSS on the sample by more than
+/// its margin to win the segment. Sampling error on near-ties would
+/// otherwise flip methods between runs of *different* inputs for no ratio
+/// gain (the choice is still deterministic for identical bytes either way).
+/// The margins differ per method because their sampling bias differs:
+/// zero-RLE is match-transparent (collapsed runs were trivially
+/// compressible anyway), so its sampled advantage extrapolates to the full
+/// segment and a small margin suffices. Bitshuffle scatters bytes across
+/// bit planes, which destroys exactly the long-range LZSS matches a small
+/// strided sample cannot see (the sample carries almost no match history),
+/// so the sample systematically *overstates* bitshuffle — its advantage
+/// must be overwhelming before it is trusted.
+inline constexpr std::uint64_t kChooserMarginPct = 3;
+inline constexpr std::uint64_t kChooserBitshuffleMarginPct = 20;
+
+/// Why the chooser picked what it picked — surfaced in --stages and the
+/// ratio bench ledger.
+struct ChoiceAudit {
+  std::size_t sampled_bytes = 0;
+  double entropy_bits = 0.0;
+  bool entropy_shortcut = false;
+  /// Sampled compressed size per method, indexed by Method value; all zero
+  /// when the entropy shortcut fired or the segment was empty.
+  std::uint64_t cost[kMethodCount] = {0, 0, 0};
+};
+
+/// Picks the cheapest pipeline for `seg` by compressing a strided sample
+/// through each candidate. Pure function of (seg bytes, mode): no global
+/// state, no randomness — archives stay byte-identical across worker
+/// counts. Sample/scratch buffers are drawn from `ws` (freed at the
+/// caller's reset); must be called from the workspace-owning thread.
+[[nodiscard]] Method choose_method(std::span<const std::byte> seg,
+                                   LzssMode mode, dev::Workspace& ws,
+                                   ChoiceAudit* audit = nullptr);
+
+/// Policy dispatch: Auto -> choose_method, Force* -> the pinned method.
+[[nodiscard]] Method resolve_method(MethodPolicy policy,
+                                    std::span<const std::byte> seg,
+                                    LzssMode mode, dev::Workspace& ws,
+                                    ChoiceAudit* audit = nullptr);
+
+// ---- Per-method transform halves ----------------------------------------
+
+/// Exact transformed size of a Bitshuffle segment of `raw_size` bytes: the
+/// even prefix is shuffled as raw_size/2 u16 elements, an odd trailing byte
+/// is appended verbatim. Decoders validate payload sizes against this
+/// closed form before allocating.
+[[nodiscard]] constexpr std::size_t bitshuffle_frame_size(
+    std::size_t raw_size) {
+  return bitshuffle16_size(raw_size / 2) + (raw_size & 1);
+}
+
+/// Applies `m`'s pre-LZSS transform to `seg`. Lzss returns `seg` itself
+/// (no copy); ZeroRle and Bitshuffle return ws-owned buffers (valid until
+/// the Workspace resets). Deterministic byte-for-byte.
+[[nodiscard]] std::span<const std::byte> method_transform(
+    std::span<const std::byte> seg, Method m, dev::Workspace& ws);
+
+/// Inverts `m`'s transform: `transformed` (the LZSS-decoded segment
+/// payload) is validated and expanded into exactly `raw_out`. Throws
+/// core::CorruptArchive on any size/structure mismatch. Heap-only scratch —
+/// safe to call from stream worker threads.
+void method_untransform(std::span<const std::byte> transformed, Method m,
+                        std::span<std::byte> raw_out);
+
+}  // namespace szi::lossless

@@ -14,6 +14,8 @@
 #include "core/cuszi.hh"
 #include "datagen/datasets.hh"
 #include "datagen/rng.hh"
+#include "device/arena.hh"
+#include "lossless/orchestrate.hh"
 
 namespace {
 
@@ -199,6 +201,94 @@ TEST(CorruptionFuzz, V2HeaderInvariantsRejected) {
   auto bad_magic = archive;
   bad_magic[3] = std::byte{'9'};
   expect_rejected(bad_magic, "unknown magic version");
+}
+
+// Structured BBC2 wrapper coverage: each container invariant, violated one
+// at a time, must be rejected with CorruptArchive by the unwrap path, the
+// pipelined decode, and the prefix-reading progressive decode. Table
+// layout: u32 magic | u32 nseg | 24-byte entries (u8 method | u8 rsv0 |
+// u16 rsv1 | u32 rsv2 | u64 raw_size | u64 size), payloads back to back.
+TEST(CorruptionFuzz, WrapperTableInvariantsRejected) {
+  const auto& field = test_field();
+  const auto inner = szi::cuszi_compress(field.view(), field.dims,
+                                         {szi::ErrorMode::Rel, 1e-3});
+  const auto wrapped = szi::bitcomp_wrap_archive(inner);
+  constexpr std::size_t kNsegOff = 4;
+  constexpr std::size_t kEntries = 8;
+  constexpr std::size_t kEntry = sizeof(szi::WrapSegmentEntry);
+  static_assert(kEntry == 24);
+
+  szi::dev::Arena arena;
+  szi::dev::Workspace ws(arena);
+  const auto poke = [&](std::size_t at, auto v) {
+    auto bad = wrapped;
+    std::memcpy(bad.data() + at, &v, sizeof(v));
+    return bad;
+  };
+  const auto expect_rejected = [&](const std::vector<std::byte>& bad,
+                                   const char* what) {
+    EXPECT_THROW((void)szi::bitcomp_unwrap_archive(bad),
+                 szi::core::CorruptArchive)
+        << what;
+    ws.reset();
+    EXPECT_THROW((void)szi::cuszi_decompress_bitcomp_f32(bad, ws),
+                 szi::core::CorruptArchive)
+        << what << " (pipelined)";
+    EXPECT_THROW((void)szi::cuszi_decompress_progressive_f32(bad, 2),
+                 szi::core::CorruptArchive)
+        << what << " (progressive)";
+  };
+
+  std::uint32_t nseg = 0;
+  std::memcpy(&nseg, wrapped.data() + kNsegOff, sizeof(nseg));
+  ASSERT_GE(nseg, 2u);  // header+directory range plus >= 1 inner segment
+
+  expect_rejected(poke(kNsegOff, std::uint32_t{0}), "zero nseg");
+  expect_rejected(poke(kNsegOff, std::uint32_t{nseg + 1}), "inflated nseg");
+  expect_rejected(poke(kEntries, std::uint8_t{3}), "unknown method id");
+  expect_rejected(poke(kEntries + 1, std::uint8_t{1}), "reserved0 set");
+  expect_rejected(poke(kEntries + 2, std::uint16_t{1}), "reserved1 set");
+  expect_rejected(poke(kEntries + 4, std::uint32_t{7}), "reserved2 set");
+
+  // The parser itself must localize the method rejection to the wrapper
+  // stage — before any payload is touched or allocated.
+  try {
+    (void)szi::bitcomp_parse_container(poke(kEntries, std::uint8_t{0xFF}));
+    FAIL() << "unknown method id must not parse";
+  } catch (const szi::core::CorruptArchive& e) {
+    EXPECT_EQ(e.stage(), "bitcomp-wrapper");
+  }
+
+  // Payload-fill accounting: growing or shrinking any payload size breaks
+  // the exact-fill invariant; a huge raw_size trips the u64 overflow check
+  // or the decode allocation guard before any buffer is sized from it.
+  std::uint64_t size0 = 0;
+  std::memcpy(&size0, wrapped.data() + kEntries + 16, sizeof(size0));
+  expect_rejected(poke(kEntries + 16, size0 + 1), "payload overfill");
+  expect_rejected(poke(kEntries + 16, size0 - 1), "payload underfill");
+  expect_rejected(poke(kEntries + 8, ~std::uint64_t{0}), "raw_size overflow");
+
+  // Method/size mismatch on a method-0 segment: the LZSS frame inside the
+  // payload records the true raw size, so a nudged table raw_size must be
+  // caught by the frame/table cross-check (not silently mis-sized).
+  std::uint64_t raw0 = 0;
+  std::memcpy(&raw0, wrapped.data() + kEntries + 8, sizeof(raw0));
+  expect_rejected(poke(kEntries + 8, raw0 + 1), "segment frame size mismatch");
+
+  // Same cross-check for a transformed frame: force Bitshuffle so the
+  // payload's closed-form size no longer matches the nudged raw_size.
+  const auto shuffled = szi::bitcomp_wrap_archive(
+      inner, szi::lossless::LzssMode::Lazy,
+      szi::lossless::MethodPolicy::ForceBitshuffle);
+  auto bad = shuffled;
+  std::uint64_t raw_sh = 0;
+  std::memcpy(&raw_sh, bad.data() + kEntries + 8, sizeof(raw_sh));
+  // +16 bytes = +8 u16 elements: always grows the closed-form transformed
+  // size by a full plane row (smaller nudges can round away inside the
+  // 16*ceil(tail/8) tail-block term) while keeping the odd-tail parity.
+  const std::uint64_t nudged = raw_sh + 16;
+  std::memcpy(bad.data() + kEntries + 8, &nudged, sizeof(nudged));
+  expect_rejected(bad, "bitshuffle frame size mismatch");
 }
 
 TEST(CorruptionFuzz, WrappedArchivesToo) {

@@ -27,11 +27,7 @@ constexpr CompressParams kRel{ErrorMode::Rel, 1e-3};
 
 std::vector<std::byte> wrap_with_mode(std::span<const std::byte> inner,
                                       szi::lossless::LzssMode mode) {
-  szi::core::ByteWriter w;
-  w.put(szi::kBitcompWrapMagic);
-  w.put_blob(
-      szi::lossless::lzss_compress(inner, szi::lossless::kLzssBlock, mode));
-  return w.take();
+  return szi::bitcomp_wrap_archive(inner, mode);
 }
 
 // Every field of every generated dataset: fused inner archive == unfused,

@@ -26,10 +26,12 @@
 #include "core/compressor_iface.hh"
 #include "core/cuszi.hh"
 #include "datagen/rng.hh"
+#include "device/arena.hh"
 #include "fuzz_mutator.hh"
 #include "huffman/huffman.hh"
 #include "io/bundle.hh"
 #include "lossless/lzss.hh"
+#include "lossless/orchestrate.hh"
 #include "quant/outlier.hh"
 
 namespace {
@@ -367,6 +369,173 @@ TEST(FuzzDecode, LegacyV1ArchiveMutants) {
   run_trials("cusz-i-v1", archive, [](std::span<const std::byte> mutant) {
     (void)szi::cuszi_decompress_f32(mutant);
   });
+}
+
+// Mutants confined to the BBC2 wrapper table (u32 magic | u32 nseg |
+// 24-byte entries of u8 method | 7 reserved bytes | u64 raw_size |
+// u64 size): every corruption must be rejected by bitcomp_parse_container's
+// structural checks (unknown method, reserved bytes, payload fill, size
+// overflow) or surface as CorruptArchive from the per-segment frame
+// validators — through the unwrap path, the pipelined decode, AND the
+// prefix-reading progressive decode.
+TEST(FuzzDecode, WrapperTableMutants) {
+  const auto& f = tiny_field();
+  const auto inner = szi::cuszi_compress(std::span<const float>(f.data),
+                                         f.dims, {szi::ErrorMode::Rel, 1e-3});
+  const auto wrapped = szi::bitcomp_wrap_archive(inner);
+  std::uint32_t nseg = 0;
+  std::memcpy(&nseg, wrapped.data() + 4, sizeof(nseg));
+  ASSERT_GE(nseg, 2u);
+  const std::size_t table_bytes = 8 + nseg * sizeof(szi::WrapSegmentEntry);
+
+  szi::core::ScopedDecodeAllocCap cap(kAllocCap);
+  szi::dev::Arena arena;
+  szi::dev::Workspace ws(arena);
+  szi::datagen::Rng rng(seed_of("bbc2-table-mutants"));
+  for (int trial = 0; trial < kTrials; ++trial) {
+    auto mutant = wrapped;
+    const int edits = 1 + static_cast<int>(rng.next_u64() % 3);
+    for (int e = 0; e < edits; ++e) {
+      if (rng.uniform() < 0.5) {
+        const std::size_t at = rng.next_u64() % table_bytes;
+        mutant[at] ^=
+            std::byte(static_cast<std::uint8_t>(1u << (rng.next_u64() % 8)));
+      } else {
+        // Whole-u64 rewrite of a raw_size/size slot, half the time clamped
+        // near the valid range to probe off-by-one acceptance.
+        const std::size_t at =
+            rng.next_u64() % (table_bytes - sizeof(std::uint64_t) + 1);
+        std::uint64_t v = rng.next_u64();
+        if (rng.uniform() < 0.5) v %= (wrapped.size() + 7);
+        std::memcpy(mutant.data() + at, &v, sizeof(v));
+      }
+    }
+    try {
+      switch (trial % 3) {
+        case 0:
+          (void)szi::bitcomp_unwrap_archive(mutant);
+          break;
+        case 1:
+          ws.reset();
+          (void)szi::cuszi_decompress_bitcomp_f32(mutant, ws);
+          break;
+        default:
+          (void)szi::cuszi_decompress_progressive_f32(
+              mutant, 1 + static_cast<int>(rng.next_u64() % 3));
+          break;
+      }
+    } catch (const szi::core::CorruptArchive&) {
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "wrapper table mutant trial " << trial
+                    << ": decoder threw " << typeid(e).name() << " ("
+                    << e.what() << ") instead of CorruptArchive";
+      return;
+    }
+  }
+}
+
+// Directed method-byte corruption. Unknown method ids must be rejected
+// structurally by the container parser before any payload is touched;
+// swapping one valid id for another (a method/size mismatch — the payload
+// was encoded under a different transform) must either be caught by the
+// frame-size closed forms / untransform validators or decode to
+// silently-wrong bytes, never crash.
+TEST(FuzzDecode, WrapperMethodByteMutants) {
+  const auto& f = tiny_field();
+  const auto inner = szi::cuszi_compress(std::span<const float>(f.data),
+                                         f.dims, {szi::ErrorMode::Rel, 1e-3});
+  const auto wrapped = szi::bitcomp_wrap_archive(inner);
+  const auto view = szi::bitcomp_parse_container(wrapped);
+  ASSERT_FALSE(view.legacy);
+
+  szi::core::ScopedDecodeAllocCap cap(kAllocCap);
+  szi::dev::Arena arena;
+  szi::dev::Workspace ws(arena);
+  const auto entry_method_off = [](std::size_t seg) {
+    return 8 + seg * sizeof(szi::WrapSegmentEntry);
+  };
+  for (std::size_t seg = 0; seg < view.segments.size(); ++seg) {
+    // Unknown ids: the very first invalid value, a mid-range one, and the
+    // all-bits pattern must all hard-reject on every decode surface.
+    for (const std::uint8_t bad_id : {std::uint8_t{3}, std::uint8_t{0x7F},
+                                      std::uint8_t{0xFF}}) {
+      auto mutant = wrapped;
+      mutant[entry_method_off(seg)] = std::byte{bad_id};
+      EXPECT_THROW((void)szi::bitcomp_unwrap_archive(mutant),
+                   szi::core::CorruptArchive)
+          << "segment " << seg << " id " << int(bad_id);
+      ws.reset();
+      EXPECT_THROW((void)szi::cuszi_decompress_bitcomp_f32(mutant, ws),
+                   szi::core::CorruptArchive)
+          << "segment " << seg << " id " << int(bad_id) << " (pipelined)";
+      EXPECT_THROW((void)szi::cuszi_decompress_progressive_f32(mutant, 2),
+                   szi::core::CorruptArchive)
+          << "segment " << seg << " id " << int(bad_id) << " (progressive)";
+    }
+    // Valid-but-wrong ids: decode-or-CorruptArchive, all three surfaces.
+    for (std::uint8_t m = 0; m < szi::lossless::kMethodCount; ++m) {
+      if (m == static_cast<std::uint8_t>(view.segments[seg].method)) continue;
+      auto mutant = wrapped;
+      mutant[entry_method_off(seg)] = std::byte{m};
+      const auto tolerant = [&](auto&& decode, const char* label) {
+        try {
+          decode();
+        } catch (const szi::core::CorruptArchive&) {
+        } catch (const std::exception& e) {
+          ADD_FAILURE() << "segment " << seg << " method swap to " << int(m)
+                        << " (" << label << "): decoder threw "
+                        << typeid(e).name() << " (" << e.what()
+                        << ") instead of CorruptArchive";
+        }
+      };
+      tolerant([&] { (void)szi::bitcomp_unwrap_archive(mutant); }, "unwrap");
+      tolerant(
+          [&] {
+            ws.reset();
+            (void)szi::cuszi_decompress_bitcomp_f32(mutant, ws);
+          },
+          "pipelined");
+      tolerant(
+          [&] { (void)szi::cuszi_decompress_progressive_f32(mutant, 2); },
+          "progressive");
+    }
+  }
+}
+
+// Every-prefix truncation of forced-ZeroRle and forced-Bitshuffle wrapped
+// archives: cuts land inside the RLE run stream and inside bit-plane rows
+// of the shuffle frame, where a lazily validated decoder would read past
+// the end — both the unwrap path and the pipelined decode (whose serial
+// drain must still run every unit on corrupt tails) are under contract.
+TEST(FuzzDecode, TruncationSweepTransformedFrames) {
+  const auto& f = tiny_field();
+  const auto inner = szi::cuszi_compress(std::span<const float>(f.data),
+                                         f.dims, {szi::ErrorMode::Rel, 1e-3});
+  szi::core::ScopedDecodeAllocCap cap(kAllocCap);
+  szi::dev::Arena arena;
+  szi::dev::Workspace ws(arena);
+  for (const auto policy : {szi::lossless::MethodPolicy::ForceZeroRle,
+                            szi::lossless::MethodPolicy::ForceBitshuffle}) {
+    const auto wrapped = szi::bitcomp_wrap_archive(
+        inner, szi::lossless::LzssMode::Lazy, policy);
+    for (std::size_t len = 0; len <= wrapped.size(); ++len) {
+      const auto prefix = std::span<const std::byte>(wrapped).first(len);
+      try {
+        if (len % 2 == 0) {
+          (void)szi::bitcomp_unwrap_archive(prefix);
+        } else {
+          ws.reset();
+          (void)szi::cuszi_decompress_bitcomp_f32(prefix, ws);
+        }
+      } catch (const szi::core::CorruptArchive&) {
+      } catch (const std::exception& e) {
+        ADD_FAILURE() << "transformed-frame truncation at " << len
+                      << ": decoder threw " << typeid(e).name() << " ("
+                      << e.what() << ") instead of CorruptArchive";
+        return;
+      }
+    }
+  }
 }
 
 // Regression for the original OutlierSet::deserialize overflow: an 8-byte

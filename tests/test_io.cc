@@ -1,7 +1,10 @@
 // I/O tests: raw f32 files, PGM dumps, the multi-field bundle, SSIM metric.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <filesystem>
+#include <string>
 
 #include "datagen/datasets.hh"
 #include "datagen/rng.hh"
@@ -16,7 +19,11 @@ namespace fs = std::filesystem;
 class IoTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::temp_directory_path() / "szi_io_test";
+    // Per-process dir: gtest_discover_tests runs each TEST as its own ctest
+    // process, so a shared path would let one process's TearDown remove_all
+    // the directory while a concurrently scheduled sibling is mid-write.
+    dir_ = fs::temp_directory_path() /
+           ("szi_io_test_" + std::to_string(::getpid()));
     fs::create_directories(dir_);
   }
   void TearDown() override { fs::remove_all(dir_); }

@@ -69,6 +69,7 @@ TEST(ParallelDeterminism, ArchivesAndReconsMatchAcrossWorkerCounts) {
                             std::getenv("SZI_NO_AVX2") == nullptr;
   const std::string path = "parallel_determinism_golden.bin";
   const std::string recon_path = "parallel_determinism_golden_recon.bin";
+  const std::string wrap_path = "parallel_determinism_golden_wrap.bin";
 
   auto c = szi::baselines::make_compressor("cusz-i");
   const auto fields =
@@ -112,15 +113,28 @@ TEST(ParallelDeterminism, ArchivesAndReconsMatchAcrossWorkerCounts) {
       << "level-2 preview diverges from subsample at SZI_THREADS="
       << threads_env;
 
+  // The fused wrapped compress must agree with the after-the-fact wrap at
+  // this worker count too — the BBC2 segment table pins the chooser's
+  // per-segment method decisions, so any scheduling leak into the sampled
+  // chooser or the speculative block submission shows up as a byte diff.
+  szi::StageTimings wt;
+  const auto fused_wrapped = szi::cuszi_compress_bitcomp(
+      std::span<const float>(fields.front().data), fields.front().dims,
+      {ErrorMode::Rel, 1e-3}, &wt, ws);
+  EXPECT_EQ(fused_wrapped, wrapped)
+      << "fused wrapped archive diverges at SZI_THREADS=" << threads_env;
+
   if (is_reference) {
     szi::io::write_bytes(path, enc.bytes);
     szi::io::write_bytes(recon_path, recon_bytes);
+    szi::io::write_bytes(wrap_path, wrapped);
     SUCCEED() << "golden archive + reconstruction written";
   } else {
-    std::vector<std::byte> golden, golden_recon;
+    std::vector<std::byte> golden, golden_recon, golden_wrap;
     try {
       golden = szi::io::read_bytes(path);
       golden_recon = szi::io::read_bytes(recon_path);
+      golden_wrap = szi::io::read_bytes(wrap_path);
     } catch (const std::exception&) {
       GTEST_SKIP() << "goldens missing (1-thread instance not run)";
     }
@@ -131,6 +145,9 @@ TEST(ParallelDeterminism, ArchivesAndReconsMatchAcrossWorkerCounts) {
                              recon_bytes.size()))
         << "reconstruction differs between 1 and " << threads_env
         << " workers";
+    EXPECT_EQ(golden_wrap, wrapped)
+        << "wrapped archive (chosen methods) differs between 1 and "
+        << threads_env << " workers";
   }
 }
 

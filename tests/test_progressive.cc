@@ -10,8 +10,11 @@
 #include <cstring>
 #include <vector>
 
+#include "core/bytes.hh"
+#include "core/compressor_iface.hh"
 #include "core/cuszi.hh"
 #include "datagen/datasets.hh"
+#include "lossless/orchestrate.hh"
 #include "metrics/ssim.hh"
 #include "metrics/stats.hh"
 #include "predictor/ginterp.hh"
@@ -172,6 +175,47 @@ TEST(Progressive, PreviewReadsOnlyItsPrefixOfSegments) {
     ASSERT_EQ(rt.data.size(), r.data.size());
     EXPECT_EQ(0, std::memcmp(rt.data.data(), r.data.data(),
                              r.data.size() * sizeof(float)));
+  }
+}
+
+/// The wrapped ('BBC2') path honors the same truncation contract: the
+/// wrapper segmentation mirrors the inner directory, so `bytes_read` lands
+/// on a wrapper-payload boundary, truncating the wrapped archive there
+/// decodes the identical preview, and cutting one byte deeper — into a
+/// payload the preview needs — throws instead of misdecoding. Forced
+/// transformed methods take the all-or-nothing payload path.
+TEST(Progressive, WrappedPreviewDecodesFromItsOwnPrefix) {
+  const auto fields =
+      szi::datagen::make_dataset("nyx", szi::datagen::Size::Small);
+  const auto& f = fields.front();
+  const auto inner = szi::cuszi_compress(std::span<const float>(f.data),
+                                         f.dims, {ErrorMode::Rel, 1e-3});
+  const int nlevels = szi::predictor::ginterp_level_count(f.dims);
+  for (const auto policy :
+       {szi::lossless::MethodPolicy::Auto, szi::lossless::MethodPolicy::ForceZeroRle,
+        szi::lossless::MethodPolicy::ForceBitshuffle}) {
+    const auto wrapped = szi::bitcomp_wrap_archive(
+        inner, szi::lossless::LzssMode::Lazy, policy);
+    for (int L = 2; L <= nlevels + 1; ++L) {
+      const auto r = szi::cuszi_decompress_progressive_f32(wrapped, L);
+      ASSERT_GT(r.bytes_read, 0u);
+      EXPECT_LT(r.bytes_read, wrapped.size()) << "L=" << L;
+      const std::vector<std::byte> prefix(
+          wrapped.begin(),
+          wrapped.begin() + static_cast<std::ptrdiff_t>(r.bytes_read));
+      const auto rt = szi::cuszi_decompress_progressive_f32(prefix, L);
+      EXPECT_EQ(rt.bytes_read, r.bytes_read) << "L=" << L;
+      ASSERT_EQ(rt.data.size(), r.data.size());
+      EXPECT_EQ(0, std::memcmp(rt.data.data(), r.data.data(),
+                               r.data.size() * sizeof(float)))
+          << "L=" << L;
+      const std::vector<std::byte> cut(
+          wrapped.begin(),
+          wrapped.begin() + static_cast<std::ptrdiff_t>(r.bytes_read) - 1);
+      EXPECT_THROW((void)szi::cuszi_decompress_progressive_f32(cut, L),
+                   szi::core::CorruptArchive)
+          << "L=" << L;
+    }
   }
 }
 
