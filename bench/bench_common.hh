@@ -1,6 +1,8 @@
 // Shared helpers for the table/figure reproduction benches.
 #pragma once
 
+#include <sys/resource.h>
+
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -12,6 +14,7 @@
 
 #include "baselines/registry.hh"
 #include "datagen/datasets.hh"
+#include "io/archive_source.hh"
 #include "metrics/stats.hh"
 
 namespace szi::bench {
@@ -30,8 +33,25 @@ inline std::string ledger_path(const std::string& name) {
 
 /// Writes a committed benchmark ledger (BENCH_*.json) at the repo root and
 /// fails the process loudly if it cannot — a silently missing ledger reads
-/// as "bench ran and was recorded" when it wasn't.
-inline void write_ledger(const std::string& name, const std::string& json) {
+/// as "bench ran and was recorded" when it wasn't. Every ledger is stamped
+/// with resource telemetry: the process's peak RSS and the process-wide
+/// ArchiveSource byte counter (0 for benches that decode from memory),
+/// inserted as two extra members of the top-level JSON object.
+inline void write_ledger(const std::string& name, std::string json) {
+  struct rusage ru = {};
+  getrusage(RUSAGE_SELF, &ru);  // ru_maxrss is KiB on Linux
+  const auto brace = json.rfind('}');
+  if (brace != std::string::npos) {
+    char stamp[128];
+    std::snprintf(stamp, sizeof stamp,
+                  ",\n  \"peak_rss_bytes\": %llu,\n"
+                  "  \"archive_bytes_read\": %llu\n",
+                  static_cast<unsigned long long>(ru.ru_maxrss) * 1024ull,
+                  static_cast<unsigned long long>(io::archive_bytes_read()));
+    // The stamp replaces the newline that preceded the closing brace.
+    const auto at = brace > 0 && json[brace - 1] == '\n' ? brace - 1 : brace;
+    json.insert(at, stamp);
+  }
   const std::string path = ledger_path(name);
   FILE* out = std::fopen(path.c_str(), "w");
   if (!out) {

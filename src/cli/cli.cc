@@ -7,6 +7,7 @@
 #include "baselines/registry.hh"
 #include "core/cuszi.hh"
 #include "core/timer.hh"
+#include "io/archive_source.hh"
 #include "io/bin_io.hh"
 #include "metrics/stats.hh"
 
@@ -65,6 +66,28 @@ std::size_t parse_size(const std::string& s, const std::string& flag) {
   }
 }
 
+/// --roi x0:x1,y0:y1,z0:z1 — half-open ranges per axis, all three required
+/// (use 0:NZ for an axis the box spans fully).
+RoiBox parse_roi(const std::string& s) {
+  unsigned long long v[6];
+  int consumed = 0;
+  if (std::sscanf(s.c_str(), "%llu:%llu,%llu:%llu,%llu:%llu%n", &v[0], &v[1],
+                  &v[2], &v[3], &v[4], &v[5], &consumed) != 6 ||
+      static_cast<std::size_t>(consumed) != s.size())
+    throw std::invalid_argument(
+        "bad --roi (expected x0:x1,y0:y1,z0:z1): " + s);
+  for (int a = 0; a < 3; ++a)
+    if (v[2 * a + 1] <= v[2 * a])
+      throw std::invalid_argument("empty --roi range: " + s);
+  RoiBox box;
+  box.lo = {static_cast<std::size_t>(v[0]), static_cast<std::size_t>(v[2]),
+            static_cast<std::size_t>(v[4])};
+  box.ext = {static_cast<std::size_t>(v[1] - v[0]),
+             static_cast<std::size_t>(v[3] - v[2]),
+             static_cast<std::size_t>(v[5] - v[4])};
+  return box;
+}
+
 /// Per-segment size/ratio lines for --stages on a level-segmented (SZI2)
 /// archive. Legacy or non-cusz-i archives have no directory — silent.
 void print_segments(std::span<const std::byte> bytes) {
@@ -89,7 +112,9 @@ void print_segments(std::span<const std::byte> bytes) {
                   static_cast<unsigned long long>(s.size), pct);
     } else {
       std::printf("segment: %s | %llu items | %llu bytes (%.1f%%)\n",
-                  s.kind == 0 ? "anchors" : "outliers",
+                  s.kind == 0   ? "anchors"
+                  : s.kind == 1 ? "outliers"
+                                : "tile index",
                   static_cast<unsigned long long>(s.count),
                   static_cast<unsigned long long>(s.size), pct);
     }
@@ -135,7 +160,7 @@ compress:    szi -z -i <file.f32> -d NX [NY [NZ]] [-m abs|rel|rate] [-e VALUE]
                  [-c COMPRESSOR] [-t f32|f64] [--bitcomp] [-o <file.szi>]
                  [--verify]
 decompress:  szi -x -i <file.szi> -o <file.f32> [-c COMPRESSOR] [-t f32|f64]
-                 [--bitcomp] [--level N]
+                 [--bitcomp] [--level N] [--roi x0:x1,y0:y1,z0:z1]
 info:        szi --info -i <file.szi>  (identify the pipeline of an archive)
 list:        szi --list               (available compressors)
 
@@ -153,6 +178,13 @@ options:
                     onto the stride-2^(N-1) grid, reading only that prefix of
                     the archive. N is clamped to the archive's level range;
                     N = 1 is the full-fidelity decode
+  --roi RANGES      with -x: random-access sub-volume decode from a cusz-i
+                    archive — x0:x1,y0:y1,z0:z1 half-open element ranges.
+                    The archive is memory-mapped and, when it carries a tile
+                    index (SZI2), only the byte ranges covering the box are
+                    read; older archives fall back to a full decode + crop.
+                    The box is bit-identical to the same crop of a full
+                    decompress. Output holds (x1-x0)*(y1-y0)*(z1-z0) values
   --stages          print the per-stage timing breakdown. After -z: predict /
                     histogram / codebook / encode (fused stages report as one
                     entry). After -x: unwrap / huffman / reconstruct — when
@@ -220,6 +252,8 @@ Options parse(const std::vector<std::string>& args) {
       }
     } else if (a == "--level") {
       opt.level = static_cast<int>(parse_size(next("--level"), "--level"));
+    } else if (a == "--roi") {
+      opt.roi = parse_roi(next("--roi"));
     } else if (a == "--bitcomp") {
       opt.bitcomp = true;
     } else if (a == "--verify") {
@@ -248,6 +282,14 @@ Options parse(const std::vector<std::string>& args) {
     throw std::invalid_argument("--level only applies to -x");
   if (opt.level > 0 && opt.compressor != "cusz-i")
     throw std::invalid_argument("--level supports only -c cusz-i");
+  if (opt.roi) {
+    if (opt.command != Command::Decompress)
+      throw std::invalid_argument("--roi only applies to -x");
+    if (opt.compressor != "cusz-i")
+      throw std::invalid_argument("--roi supports only -c cusz-i");
+    if (opt.level > 0)
+      throw std::invalid_argument("--roi and --level are exclusive");
+  }
   if (opt.f64 && opt.compressor != "cusz-i")
     throw std::invalid_argument("-t f64 supports only -c cusz-i");
   if (opt.f64 && opt.bitcomp)
@@ -270,7 +312,9 @@ int run(const Options& opt) {
       return 0;
     }
     case Command::Info: {
-      const auto bytes = io::read_bytes(opt.input);
+      auto asrc = io::open_archive(opt.input);
+      std::vector<std::byte> scratch;
+      const auto bytes = asrc->view(0, asrc->size(), scratch);
       if (bytes.size() < 4) {
         std::printf("%s: too short to be an archive\n", opt.input.c_str());
         return 1;
@@ -358,8 +402,49 @@ int run(const Options& opt) {
     }
     case Command::Decompress: {
       DecodeTimings dt;
+      // Decode reads go through an ArchiveSource: mmap when possible, pread
+      // otherwise — the archive is never copied into RAM up front, and ROI
+      // requests against an indexed archive touch only the covering ranges.
+      auto asrc = io::open_archive(opt.input);
+      if (opt.roi) {
+        const RoiBox& box = *opt.roi;
+        const std::size_t archive = asrc->size();
+        const auto report = [&](std::size_t nvals, std::size_t bytes_read,
+                                bool indexed, const DecodeTimings& rt,
+                                double secs) {
+          std::printf(
+              "cuSZ-i%s: ROI [%zu,%zu)x[%zu,%zu)x[%zu,%zu) (%zu values) -> "
+              "%s in %.3f s (%s)\n",
+              opt.f64 ? " (f64)" : "", box.lo.x, box.lo.x + box.ext.x,
+              box.lo.y, box.lo.y + box.ext.y, box.lo.z, box.lo.z + box.ext.z,
+              nvals, opt.output.c_str(), secs,
+              indexed ? "indexed" : "full-decode fallback");
+          if (opt.stages) {
+            print_stages(rt);
+            std::printf("roi: touched %zu of %zu archive bytes (%.1f%%)\n",
+                        bytes_read, archive,
+                        archive > 0 ? 100.0 * static_cast<double>(bytes_read) /
+                                          static_cast<double>(archive)
+                                    : 0.0);
+          }
+        };
+        core::Timer t;
+        if (opt.f64) {
+          const auto r = cuszi_decompress_roi_f64(*asrc, box);
+          const double secs = t.lap();
+          io::write_f64(opt.output, r.data);
+          report(r.data.size(), r.bytes_read, r.indexed, r.timings, secs);
+        } else {
+          const auto r = cuszi_decompress_roi_f32(*asrc, box);
+          const double secs = t.lap();
+          io::write_f32(opt.output, r.data);
+          report(r.data.size(), r.bytes_read, r.indexed, r.timings, secs);
+        }
+        return 0;
+      }
+      std::vector<std::byte> scratch;
+      const auto bytes = asrc->view(0, asrc->size(), scratch);
       if (opt.f64) {
-        const auto bytes = io::read_bytes(opt.input);
         if (opt.level > 0) {
           core::Timer t;
           const auto r = cuszi_decompress_progressive_f64(bytes, opt.level);
@@ -388,7 +473,6 @@ int run(const Options& opt) {
       }
       auto c = baselines::make_compressor(opt.compressor);
       if (opt.bitcomp) c = with_bitcomp(std::move(c));
-      const auto bytes = io::read_bytes(opt.input);
       if (opt.level > 0) {
         core::Timer t;
         const auto r = c->decompress_progressive(bytes, opt.level);

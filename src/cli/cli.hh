@@ -3,7 +3,7 @@
 //   szi -z -i data.f32 -d NX NY NZ -m rel -e 1e-3 [-c cusz-i] [-t f32|f64]
 //       [--bitcomp] [-o data.szi] [--verify]
 //   szi -x -i data.szi -o data.out.f32 [-c cusz-i] [-t f32|f64] [--bitcomp]
-//       [--level N]
+//       [--level N] [--roi x0:x1,y0:y1,z0:z1]
 //   szi --info -i data.szi
 //   szi --list
 //
@@ -35,6 +35,7 @@ struct Options {
   bool verify = false;
   bool stages = false;  ///< print the per-stage timing breakdown (-z and -x)
   int level = 0;  ///< -x --level N: progressive preview decode (0 = full)
+  std::optional<RoiBox> roi;  ///< -x --roi: random-access sub-volume decode
 };
 
 /// Parses argv (argv[0] ignored). Throws std::invalid_argument with a

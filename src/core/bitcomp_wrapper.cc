@@ -219,6 +219,11 @@ ProgressiveResult Compressor::decompress_progressive(
   throw std::invalid_argument(name() + ": progressive decode not supported");
 }
 
+RoiResult Compressor::decompress_roi(std::span<const std::byte> /*bytes*/,
+                                     const RoiBox& /*box*/) {
+  throw std::invalid_argument(name() + ": ROI decode not supported");
+}
+
 namespace {
 
 class BitcompWrapped final : public Compressor {
@@ -259,6 +264,13 @@ class BitcompWrapped final : public Compressor {
   [[nodiscard]] ProgressiveResult decompress_progressive(
       std::span<const std::byte> bytes, int max_level) override {
     return inner_->decompress_progressive(bytes, max_level);
+  }
+
+  // ROI decode likewise dispatches on the archive magic inside the inner
+  // compressor ('BBC2' wrappers are read block-selectively there).
+  [[nodiscard]] RoiResult decompress_roi(std::span<const std::byte> bytes,
+                                         const RoiBox& box) override {
+    return inner_->decompress_roi(bytes, box);
   }
 
  private:

@@ -83,6 +83,30 @@ struct ProgressiveResultT {
 
 using ProgressiveResult = ProgressiveResultT<float>;
 
+/// A sub-volume request for random-access (ROI) decode: the half-open box
+/// [lo, lo + ext) in field coordinates. Empty or out-of-range boxes throw
+/// std::invalid_argument.
+struct RoiBox {
+  dev::Dim3 lo;   ///< box origin
+  dev::Dim3 ext;  ///< box extents (all axes >= 1)
+};
+
+/// Result of a random-access ROI decode: exactly the requested box,
+/// bit-identical to cropping a full decompress. `bytes_read` counts the
+/// archive bytes actually fetched — for an indexed (TIDX-bearing) archive
+/// only the directory, index, and covering blocks; for archives without an
+/// index (`indexed` false) the whole archive, via the full-decode fallback.
+template <typename T>
+struct RoiResultT {
+  std::vector<T> data;         ///< box field, ext.volume() elements
+  dev::Dim3 dims;              ///< == the request's ext
+  std::size_t bytes_read = 0;  ///< archive bytes fetched
+  bool indexed = false;        ///< true when the tile index steered the read
+  DecodeTimings timings;
+};
+
+using RoiResult = RoiResultT<float>;
+
 class Compressor {
  public:
   virtual ~Compressor() = default;
@@ -159,6 +183,15 @@ class Compressor {
   /// support it.
   [[nodiscard]] virtual ProgressiveResult decompress_progressive(
       std::span<const std::byte> bytes, int max_level);
+
+  /// Random-access ROI decode: reconstruct only the box [lo, lo + ext),
+  /// bit-identical to cropping decompress(). Indexed (TIDX-bearing SZI2)
+  /// archives read only the directory, index, and covering blocks; archives
+  /// without an index fall back to a full decode + crop. The default throws
+  /// std::invalid_argument — only tile-structured compressors (cuSZ-i)
+  /// support it.
+  [[nodiscard]] virtual RoiResult decompress_roi(
+      std::span<const std::byte> bytes, const RoiBox& box);
 };
 
 /// Wraps any compressor with the de-redundancy pass (§VI-B); TABLE III's

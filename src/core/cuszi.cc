@@ -9,6 +9,7 @@
 #include <functional>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
 #include <optional>
 
@@ -18,7 +19,9 @@
 #include "device/thread_pool.hh"
 #include "huffman/histogram.hh"
 #include "huffman/huffman.hh"
+#include "io/archive_source.hh"
 #include "metrics/stats.hh"
+#include "predictor/anchor.hh"
 #include "predictor/autotune.hh"
 #include "predictor/ginterp.hh"
 
@@ -48,10 +51,12 @@ constexpr std::size_t kInnerFixedBytes =
 /// back immediately after the directory: anchors, outliers, then one
 /// independently framed Huffman stream per interpolation level in
 /// descending level order (coarsest first), so a preview at level L is a
-/// prefix of the archive. Reserved fields are written zero and must read
-/// zero.
+/// prefix of the archive. An optional trailing kind-3 tile-index segment
+/// (TIDX) rides after the levels — behind every prefix a preview needs, so
+/// progressive reads never pay for it. Reserved fields are written zero and
+/// must read zero.
 struct SegmentEntry {
-  std::uint8_t kind = 0;   ///< kSegAnchors / kSegOutliers / kSegLevel
+  std::uint8_t kind = 0;   ///< kSegAnchors/kSegOutliers/kSegLevel/kSegTileIndex
   std::uint8_t level = 0;  ///< 1-based interpolation level (kind 2), else 0
   std::uint16_t reserved0 = 0;
   std::uint32_t reserved1 = 0;
@@ -64,6 +69,92 @@ static_assert(sizeof(SegmentEntry) == 32, "archive layout is padding-free");
 constexpr std::uint8_t kSegAnchors = 0;
 constexpr std::uint8_t kSegOutliers = 1;
 constexpr std::uint8_t kSegLevel = 2;
+constexpr std::uint8_t kSegTileIndex = 3;
+
+/// TIDX — the random-access tile index (kind 3). One entry per (level,
+/// z-slab) pair maps the slab's first level symbol to its exact coordinates
+/// in the archive: stream rank, Huffman chunk, payload byte, and the 64 KiB
+/// LZSS block a 'BBC2' wrapper would place that byte in. Every field is a
+/// closed form of (dims, per-level chunk tables), so both SZI2 writers emit
+/// identical index bytes and decoders re-derive and cross-check all of it.
+constexpr std::uint16_t kTidxVersion = 1;
+
+/// Payload header: u16 version | u16 reserved | u32 slab_z | u32 nlevels |
+/// u32 nslabs, then nlevels * nslabs entries (levels descending to match
+/// the segment order, slabs ascending within a level).
+constexpr std::size_t kTidxHeaderBytes =
+    2 * sizeof(std::uint16_t) + 3 * sizeof(std::uint32_t);
+
+struct TidxEntry {
+  std::uint64_t sym_rank;    ///< level symbols strictly below the slab plane
+  std::uint64_t code_byte;   ///< payload-relative byte of the covering chunk
+  std::uint32_t huff_chunk;  ///< Huffman chunk index containing sym_rank
+  std::uint32_t wrap_block;  ///< 64 KiB LZSS block of that byte (method 0)
+};
+static_assert(sizeof(TidxEntry) == 24, "archive layout is padding-free");
+
+/// z-slab granularity of the tile index: the reconstruction tile depth, so
+/// one index row covers exactly one reconstructor slab.
+std::size_t tidx_slab_z(const dev::Dim3& dims) {
+  return predictor::geometry_for(dims).tile.z;
+}
+
+std::size_t tidx_nslabs(const dev::Dim3& dims) {
+  return dev::ceil_div(dims.z, tidx_slab_z(dims));
+}
+
+std::uint64_t tidx_entry_count(const dev::Dim3& dims, int nlevels) {
+  return static_cast<std::uint64_t>(nlevels) * tidx_nslabs(dims);
+}
+
+std::uint64_t tidx_payload_bytes(const dev::Dim3& dims, int nlevels) {
+  return kTidxHeaderBytes + tidx_entry_count(dims, nlevels) * sizeof(TidxEntry);
+}
+
+/// Per-level stream shape the tile index derives from. Both SZI2 writers
+/// populate this from their own framing state (the plain writer by
+/// re-parsing the stream headers it just wrote, the fused writer straight
+/// from its encode plans), so the emitted index bytes agree byte-for-byte.
+struct TidxLevelMeta {
+  std::size_t chunk_size = 0;
+  std::size_t nchunks = 0;
+  std::uint64_t payload_bytes = 0;
+  std::size_t header_bytes = 0;
+  std::span<const std::uint64_t> offsets;  ///< per-chunk payload bytes
+};
+
+std::vector<std::byte> build_tidx(const dev::Dim3& dims,
+                                  std::span<const TidxLevelMeta> metas) {
+  const std::size_t slab_z = tidx_slab_z(dims);
+  const std::size_t nslabs = tidx_nslabs(dims);
+  const int nlevels = static_cast<int>(metas.size());
+  core::ByteWriter w;
+  w.reserve(static_cast<std::size_t>(tidx_payload_bytes(dims, nlevels)));
+  w.put(kTidxVersion);
+  w.put(static_cast<std::uint16_t>(0));
+  w.put(static_cast<std::uint32_t>(slab_z));
+  w.put(static_cast<std::uint32_t>(nlevels));
+  w.put(static_cast<std::uint32_t>(nslabs));
+  for (int level = nlevels; level >= 1; --level) {
+    const auto& m = metas[static_cast<std::size_t>(level - 1)];
+    for (std::size_t k = 0; k < nslabs; ++k) {
+      TidxEntry e{};
+      e.sym_rank = predictor::ginterp_level_prefix(dims, level, k * slab_z);
+      // A slab starting past the level's last symbol (all of its positions
+      // sit below the plane) points one past the payload.
+      const std::size_t chunk =
+          m.chunk_size == 0
+              ? 0
+              : static_cast<std::size_t>(e.sym_rank) / m.chunk_size;
+      e.huff_chunk = static_cast<std::uint32_t>(chunk);
+      e.code_byte = chunk < m.nchunks ? m.offsets[chunk] : m.payload_bytes;
+      e.wrap_block = static_cast<std::uint32_t>(
+          (m.header_bytes + e.code_byte) / lossless::kLzssBlock);
+      w.put(e);
+    }
+  }
+  return w.take();
+}
 
 /// Total header bytes of a v2 archive with `nseg` segments: fixed header,
 /// u32 segment count, directory. Segment payloads start here.
@@ -195,14 +286,16 @@ std::vector<std::byte> compress_v1_typed(std::span<const T> data,
 /// Builds the v2 segment directory from the prediction output and the
 /// already-framed per-level Huffman streams (indexed level-1). Offsets are
 /// assigned contiguously from the end of the header in archive order:
-/// anchors, outliers, levels descending.
+/// anchors, outliers, levels descending, then the trailing tile index
+/// (whose size is a closed form of dims, so the directory freezes before
+/// the index payload exists).
 template <typename T>
 std::vector<SegmentEntry> make_directory(
-    const predictor::GInterpViewT<T>& pred,
+    const predictor::GInterpViewT<T>& pred, const dev::Dim3& dims,
     std::span<const std::uint64_t> level_counts,
     std::span<const std::uint64_t> level_sizes) {
   const int nlevels = static_cast<int>(level_sizes.size());
-  std::vector<SegmentEntry> segs(2 + static_cast<std::size_t>(nlevels));
+  std::vector<SegmentEntry> segs(3 + static_cast<std::size_t>(nlevels));
   std::uint64_t off = v2_header_bytes(segs.size());
   segs[0].kind = kSegAnchors;
   segs[0].count = pred.anchors.size();
@@ -224,6 +317,11 @@ std::vector<SegmentEntry> make_directory(
     s.size = level_sizes[static_cast<std::size_t>(level - 1)];
     off += s.size;
   }
+  auto& tx = segs.back();
+  tx.kind = kSegTileIndex;
+  tx.count = tidx_entry_count(dims, nlevels);
+  tx.offset = off;
+  tx.size = tidx_payload_bytes(dims, nlevels);
   return segs;
 }
 
@@ -296,9 +394,23 @@ std::vector<std::byte> compress_typed(std::span<const T> data,
     counts[i] = levels.streams[i].size();
     sizes[i] = streams[i].size();
   }
+
+  // Tile index, derived from the streams just framed: re-parse each header
+  // for its chunk-offset table (header-only, no payload decode) so this
+  // writer and the fused one compute the index from identical inputs.
+  std::vector<TidxLevelMeta> metas(static_cast<std::size_t>(nlevels));
+  for (int l = 1; l <= nlevels; ++l) {
+    const auto i = static_cast<std::size_t>(l - 1);
+    const auto plan =
+        huffman::decode_plan_header(streams[i], streams[i].size(), ws);
+    metas[i] = {plan.chunk_size, plan.nchunks, plan.payload_bytes,
+                streams[i].size() - static_cast<std::size_t>(plan.payload_bytes),
+                plan.offsets};
+  }
+  const auto tidx = build_tidx(dims, metas);
   t.encode = stage.lap();
 
-  const auto segs = make_directory<T>(pred, counts, sizes);
+  const auto segs = make_directory<T>(pred, dims, counts, sizes);
   core::ByteWriter w;
   w.reserve(static_cast<std::size_t>(segs.back().offset + segs.back().size));
   w.put(kMagicV2);
@@ -315,7 +427,9 @@ std::vector<std::byte> compress_typed(std::span<const T> data,
   w.put_raw(std::as_bytes(pred.outliers.indices));
   w.put_raw(std::as_bytes(pred.outliers.values));
   for (std::size_t i = 2; i < segs.size(); ++i)
-    w.put_raw(streams[static_cast<std::size_t>(segs[i].level - 1)]);
+    if (segs[i].kind == kSegLevel)
+      w.put_raw(streams[static_cast<std::size_t>(segs[i].level - 1)]);
+  w.put_raw(tidx);
   ws.reset();
   t.total = total.lap();
   if (timings) *timings = t;
@@ -391,7 +505,7 @@ std::vector<std::byte> compress_bitcomp_typed(std::span<const T> data,
     counts[i] = fl.levels.streams[i].size();
     sizes[i] = plans[i].stream_bytes();
   }
-  const auto segs = make_directory<T>(pred, counts, sizes);
+  const auto segs = make_directory<T>(pred, dims, counts, sizes);
   const std::size_t raw_size =
       static_cast<std::size_t>(segs.back().offset + segs.back().size);
 
@@ -534,6 +648,7 @@ std::vector<std::byte> compress_bitcomp_typed(std::span<const T> data,
 
   constexpr std::uint64_t kGroupBytes = 4 * lossless::kLzssBlock;
   for (std::size_t si = 2; si < segs.size(); ++si) {
+    if (segs[si].kind != kSegLevel) continue;
     const auto i = static_cast<std::size_t>(segs[si].level - 1);
     const auto& plan = plans[i];
     const auto& book = books[i];
@@ -556,6 +671,21 @@ std::vector<std::byte> compress_bitcomp_typed(std::span<const T> data,
           c < plan.nchunks ? plan.offsets[c] : plan.payload_bytes;
       submit_upto(payload_off + static_cast<std::size_t>(done));
     }
+  }
+  {
+    // Tile index, straight from the encode plans, written into its final
+    // slot; closing the watermark then hands its wrapper segment to the
+    // chooser like any other.
+    std::vector<TidxLevelMeta> metas(static_cast<std::size_t>(nlevels));
+    for (int l = 1; l <= nlevels; ++l) {
+      const auto i = static_cast<std::size_t>(l - 1);
+      metas[i] = {plans[i].chunk_size, plans[i].nchunks,
+                  plans[i].payload_bytes, plans[i].header_bytes,
+                  plans[i].offsets};
+    }
+    const auto tidx = build_tidx(dims, metas);
+    std::memcpy(raw.data() + static_cast<std::size_t>(segs.back().offset),
+                tidx.data(), tidx.size());
   }
   submit_upto(raw_size);
   if (lz) lz->synchronize();
@@ -672,8 +802,10 @@ std::vector<SegmentEntry> parse_v2_directory(core::ByteReader& rd,
                                              const InnerHeader& h) {
   const int nlevels = predictor::ginterp_level_count(h.dims);
   const auto nseg = rd.read<std::uint32_t>();
-  if (nseg != static_cast<std::uint32_t>(nlevels) + 2)
-    rd.fail("segment count mismatch");
+  // Pre-index archives carry anchors + outliers + levels; indexed archives
+  // append one trailing kind-3 tile-index segment. Anything else is corrupt.
+  const auto base = static_cast<std::uint32_t>(nlevels) + 2;
+  if (nseg != base && nseg != base + 1) rd.fail("segment count mismatch");
   std::vector<SegmentEntry> segs(nseg);
   for (auto& s : segs) s = rd.read<SegmentEntry>();
   std::uint64_t cursor = rd.offset();
@@ -698,12 +830,19 @@ std::vector<SegmentEntry> parse_v2_directory(core::ByteReader& rd,
       if (s.size != sizeof(std::uint64_t) +
                         s.count * (sizeof(std::uint64_t) + sizeof(T)))
         rd.fail("outlier segment size mismatch");
-    } else {
+    } else if (i < 2 + static_cast<std::size_t>(nlevels)) {
       const int level = nlevels - static_cast<int>(i) + 2;
       if (s.kind != kSegLevel || s.level != level)
         rd.fail("level segments out of order");
       if (s.count != predictor::ginterp_level_volume(h.dims, level))
         rd.fail("level symbol count mismatch");
+    } else {
+      if (s.kind != kSegTileIndex || s.level != 0)
+        rd.fail("trailing segment is not the tile index");
+      if (s.count != tidx_entry_count(h.dims, nlevels))
+        rd.fail("tile index entry count mismatch");
+      if (s.size != tidx_payload_bytes(h.dims, nlevels))
+        rd.fail("tile index size mismatch");
     }
   }
   return segs;
@@ -740,7 +879,8 @@ std::vector<T> decompress_v2_typed(std::span<const std::byte> bytes,
   std::fill(codes.begin(), codes.end(), static_cast<quant::Code>(h.radius));
 
   core::Timer hufft;
-  for (std::size_t i = 2; i < segs.size(); ++i) {
+  // Stops at the trailing tile index (full decode never reads it).
+  for (std::size_t i = 2; i < segs.size() && segs[i].kind == kSegLevel; ++i) {
     const auto stream = rd.read_bytes(static_cast<std::size_t>(segs[i].size));
     const auto syms = huffman::decode(stream, ws);
     if (syms.size() != segs[i].count)
@@ -1000,13 +1140,20 @@ std::vector<T> decompress_bitcomp_typed(std::span<const std::byte> bytes,
     core::ByteReader rd({raw.data(), raw_size}, "cusz-i");
     ensure(kInnerFixedBytes + sizeof(std::uint32_t));
     const InnerHeader h = parse_inner_header<T>(rd, kMagicV2);
-    // The directory's size is derivable from dims alone, so it can be
-    // ensured before the parse: every entry read stays below the watermark,
-    // and a wrong segment count fails before any entry is read.
+    // The directory's size follows from the segment count, so peek it
+    // (clamped to the largest legal value — a hostile count cannot force a
+    // full decode) and ensure the exact directory before the parse: every
+    // entry read stays below the watermark, and a wrong segment count fails
+    // before any entry is read.
     const int nlevels = predictor::ginterp_level_count(h.dims);
+    ensure(sat(rd.offset(), sizeof(std::uint32_t)));
+    std::uint32_t nseg_peek = 0;
+    if (raw_size >= rd.offset() + sizeof(nseg_peek))
+      std::memcpy(&nseg_peek, raw.data() + rd.offset(), sizeof(nseg_peek));
+    const auto nseg_max = static_cast<std::uint32_t>(nlevels) + 3;
     ensure(sat(rd.offset(),
                sizeof(std::uint32_t) +
-                   (static_cast<std::uint64_t>(nlevels) + 2) *
+                   static_cast<std::uint64_t>(std::min(nseg_peek, nseg_max)) *
                        sizeof(SegmentEntry)));
     const auto segs = parse_v2_directory<T>(rd, h);
 
@@ -1031,8 +1178,15 @@ std::vector<T> decompress_bitcomp_typed(std::span<const std::byte> bytes,
     // segment as its bytes land and scatter it. Level 1 — the bulk — then
     // pipelines chunk groups against slab reconstruction below, exactly
     // like the v1 single stream did, with the scatter cursor's watermark
-    // standing in for the chunk count.
-    for (std::size_t i = 2; i + 1 < segs.size(); ++i) {
+    // standing in for the chunk count. A trailing tile index rides behind
+    // the last level and is never parsed here.
+    std::size_t last_level = segs.size();
+    for (std::size_t i = segs.size(); i-- > 2;)
+      if (segs[i].kind == kSegLevel) {
+        last_level = i;
+        break;
+      }
+    for (std::size_t i = 2; i < last_level; ++i) {
       ensure(sat(rd.offset(), segs[i].size));
       core::Timer huft;
       const auto syms = huffman::decode(
@@ -1072,8 +1226,8 @@ std::vector<T> decompress_bitcomp_typed(std::span<const std::byte> bytes,
       }
     };
 
-    if (segs.size() > 2) {
-      const auto& seg1 = segs.back();
+    if (last_level < segs.size()) {
+      const auto& seg1 = segs[last_level];
       const auto huff = rd.read_bytes(static_cast<std::size_t>(seg1.size));
       const std::size_t hoff = rd.offset() - huff.size();
       ensure(sat(hoff, sizeof(std::uint32_t)));
@@ -1321,6 +1475,662 @@ std::vector<T> decompress_bitcomp_typed(std::span<const std::byte> bytes,
   return out;
 }
 
+// ---- Random-access (ROI) decode ------------------------------------------
+//
+// The ROI reader never materializes the archive: every byte range it needs
+// — directory, tile index, anchor rows, outlier blob, Huffman headers, and
+// the payload chunks covering the box's tile slabs — is pulled through an
+// InnerSource, which serves inner-archive byte ranges either straight from
+// an io::ArchiveSource (raw SZI2) or by decoding only the covering 64 KiB
+// LZSS blocks of a 'BBC2' wrapper segment on demand. The per-level working
+// set is bounded by the halo'd box, so a bounded-memory reader can pull a
+// sub-volume out of a larger-than-RAM archive.
+
+/// Random-access view of the *inner* (unwrapped) archive's byte space.
+/// Views are valid only until the next view() call on the same source.
+class InnerSource {
+ public:
+  virtual ~InnerSource() = default;
+  [[nodiscard]] virtual std::size_t size() const = 0;
+  [[nodiscard]] virtual std::span<const std::byte> view(std::size_t off,
+                                                        std::size_t len) = 0;
+};
+
+/// Truncation-tolerant view: clamps the range to the source's extent so the
+/// ByteReader (not the source) reports truncation as CorruptArchive.
+std::span<const std::byte> view_pfx(InnerSource& s, std::uint64_t off,
+                                    std::uint64_t len) {
+  const std::size_t sz = s.size();
+  if (off >= sz) return {};
+  return s.view(static_cast<std::size_t>(off),
+                static_cast<std::size_t>(std::min<std::uint64_t>(len, sz - off)));
+}
+
+/// Raw SZI2 file: inner byte space == archive byte space.
+class RawInnerSource final : public InnerSource {
+ public:
+  explicit RawInnerSource(io::ArchiveSource& src) : src_(src) {}
+
+  [[nodiscard]] std::size_t size() const override { return src_.size(); }
+  [[nodiscard]] std::span<const std::byte> view(std::size_t off,
+                                                std::size_t len) override {
+    return src_.view(off, len, scratch_);
+  }
+
+ private:
+  io::ArchiveSource& src_;
+  std::vector<std::byte> scratch_;
+};
+
+/// 'BBC2' wrapper: the segment table is fetched up front (validated like
+/// bitcomp_parse_container); each wrapper segment's LZSS frame header is
+/// parsed lazily on first touch, and a method-0 segment then decodes only
+/// the 64 KiB blocks covering each requested range — the fetch that makes
+/// ROI reads of wrapped archives proportional to the box, not the field. A
+/// transformed (zero-RLE / bitshuffle) segment is all-or-nothing and
+/// materializes whole on first touch, exactly like the progressive reader.
+class WrappedInnerSource final : public InnerSource {
+ public:
+  WrappedInnerSource(io::ArchiveSource& src, dev::Workspace& ws)
+      : src_(src), ws_(ws) {
+    const std::size_t fsize = src.size();
+    constexpr std::size_t kTable = 2 * sizeof(std::uint32_t);
+    if (fsize < kTable)
+      throw core::CorruptArchive("bitcomp-wrapper", 0, "container truncated");
+    std::uint32_t nseg = 0;
+    {
+      const auto head = src_.view(0, kTable, scratch_);
+      std::memcpy(&nseg, head.data() + sizeof(std::uint32_t), sizeof(nseg));
+    }
+    if (nseg > (fsize - kTable) / sizeof(WrapSegmentEntry))
+      throw core::CorruptArchive("bitcomp-wrapper", sizeof(std::uint32_t),
+                                 "segment table exceeds container");
+    const std::size_t table_bytes = kTable + nseg * sizeof(WrapSegmentEntry);
+    segs_.resize(nseg);
+    {
+      const auto tbl =
+          src_.view(kTable, nseg * sizeof(WrapSegmentEntry), scratch_);
+      std::size_t file_off = table_bytes;
+      std::size_t raw_off = 0;
+      for (std::uint32_t i = 0; i < nseg; ++i) {
+        WrapSegmentEntry e;
+        std::memcpy(&e, tbl.data() + i * sizeof(e), sizeof(e));
+        if (e.reserved0 != 0 || e.reserved1 != 0 || e.reserved2 != 0)
+          throw core::CorruptArchive("bitcomp-wrapper", kTable,
+                                     "reserved segment field set");
+        if (e.method >= lossless::kMethodCount)
+          throw core::CorruptArchive("bitcomp-wrapper", kTable,
+                                     "unknown de-redundancy method");
+        if (e.size > fsize - file_off)
+          throw core::CorruptArchive("bitcomp-wrapper", kTable,
+                                     "segment sizes exceed the container");
+        auto& s = segs_[i];
+        s.method = static_cast<lossless::Method>(e.method);
+        s.file_off = file_off;
+        s.file_len = static_cast<std::size_t>(e.size);
+        s.raw_off = raw_off;
+        s.raw_len = static_cast<std::size_t>(e.raw_size);
+        file_off += s.file_len;
+        raw_off += s.raw_len;
+      }
+      if (file_off != fsize)
+        throw core::CorruptArchive("bitcomp-wrapper", kTable,
+                                   "segment sizes do not fill the container");
+      raw_size_ = raw_off;
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const override { return raw_size_; }
+
+  [[nodiscard]] std::span<const std::byte> view(std::size_t off,
+                                                std::size_t len) override {
+    if (len == 0) return {};
+    // The directory mirrors the wrapper partition, so well-formed requests
+    // land inside one segment; a crossing request (possible only against a
+    // hostile directory) assembles per segment into `cross_`.
+    std::size_t i = 0;
+    while (i < segs_.size() && off >= segs_[i].raw_off + segs_[i].raw_len) ++i;
+    if (i < segs_.size() && off + len <= segs_[i].raw_off + segs_[i].raw_len)
+      return fetch(segs_[i], off - segs_[i].raw_off, len);
+    cross_.resize(len);
+    std::size_t done = 0;
+    while (done < len) {
+      if (i >= segs_.size())
+        throw core::CorruptArchive("bitcomp-wrapper", 0,
+                                   "range exceeds the container");
+      auto& s = segs_[i];
+      const std::size_t rel = off + done - s.raw_off;
+      const std::size_t take = std::min(len - done, s.raw_len - rel);
+      const auto part = fetch(s, rel, take);
+      std::memcpy(cross_.data() + done, part.data(), take);
+      done += take;
+      ++i;
+    }
+    return {cross_.data(), len};
+  }
+
+ private:
+  struct Seg {
+    lossless::Method method = lossless::Method::Lzss;
+    std::size_t file_off = 0;  ///< payload start in the container
+    std::size_t file_len = 0;  ///< stored payload bytes
+    std::size_t raw_off = 0;   ///< inner-archive offset
+    std::size_t raw_len = 0;   ///< inner-archive length
+    bool frame_parsed = false;
+    bool whole = false;  ///< transformed segment fully materialized
+    lossless::LzssFrame frame;
+    std::vector<std::byte> data;  ///< decoded raw bytes (lazily filled)
+    std::vector<char> have;       ///< per-block flags (method 0)
+  };
+
+  void ensure_frame(Seg& s) {
+    if (s.frame_parsed) return;
+    // Fixed header first (raw_size | block_size | nblocks), then the exact
+    // header + offset-table extent; lzss_parse_frame_header revalidates.
+    std::size_t nblocks = 0;
+    {
+      const auto h0 =
+          src_.view(s.file_off, std::min<std::size_t>(16, s.file_len), scratch_);
+      if (h0.size() >= 16) {
+        std::uint32_t nb32 = 0;
+        std::memcpy(&nb32, h0.data() + 12, sizeof(nb32));
+        nblocks = nb32;
+      }
+    }
+    const std::size_t want = 16 + nblocks * sizeof(std::uint64_t);
+    const auto head =
+        src_.view(s.file_off, std::min(want, s.file_len), scratch_);
+    s.frame = lossless::lzss_parse_frame_header(head, s.file_len, ws_);
+    if (s.method == lossless::Method::Lzss && s.frame.raw_size != s.raw_len)
+      throw core::CorruptArchive("bitcomp-wrapper", s.file_off,
+                                 "segment frame size mismatch");
+    if (s.method == lossless::Method::Bitshuffle &&
+        s.frame.raw_size != lossless::bitshuffle_frame_size(s.raw_len))
+      throw core::CorruptArchive(
+          "bitcomp-wrapper", s.file_off,
+          "bitshuffle payload size does not match segment");
+    s.frame_parsed = true;
+  }
+
+  void decode_block(Seg& s, std::size_t b) {
+    const auto [begin, end] = lossless::lzss_block_extent(s.frame, b);
+    const auto bytes = src_.view(s.file_off + begin, end - begin, scratch_);
+    const std::size_t roff = b * s.frame.block_size;
+    const std::size_t rlen = std::min(s.frame.block_size,
+                                      s.frame.raw_size - roff);
+    lossless::lzss_decompress_block_bytes(s.frame, b, bytes,
+                                          {s.data.data() + roff, rlen});
+  }
+
+  std::span<const std::byte> fetch(Seg& s, std::size_t rel, std::size_t len) {
+    ensure_frame(s);
+    if (s.method == lossless::Method::Lzss) {
+      if (s.data.empty()) {
+        s.data.resize(s.raw_len);
+        s.have.assign(s.frame.nblocks, 0);
+      }
+      const std::size_t bs = s.frame.block_size;
+      const std::size_t b0 = bs == 0 ? 0 : rel / bs;
+      const std::size_t b1 =
+          bs == 0 ? 0 : std::min(s.frame.nblocks, dev::ceil_div(rel + len, bs));
+      for (std::size_t b = b0; b < b1; ++b)
+        if (!s.have[b]) {
+          decode_block(s, b);
+          s.have[b] = 1;
+        }
+    } else if (!s.whole) {
+      // Transformed segment: decode the whole LZSS stream into scratch and
+      // untransform once; subsequent ranges are plain memory reads.
+      s.data.resize(s.raw_len);
+      std::vector<std::byte> tmp(s.frame.raw_size);
+      for (std::size_t b = 0; b < s.frame.nblocks; ++b) decode_block_into(
+          s, b, tmp);
+      lossless::method_untransform(tmp, s.method,
+                                   {s.data.data(), s.raw_len});
+      s.whole = true;
+    }
+    return {s.data.data() + rel, len};
+  }
+
+  void decode_block_into(Seg& s, std::size_t b, std::span<std::byte> dst) {
+    const auto [begin, end] = lossless::lzss_block_extent(s.frame, b);
+    const auto bytes = src_.view(s.file_off + begin, end - begin, scratch_);
+    const std::size_t roff = b * s.frame.block_size;
+    const std::size_t rlen = std::min(s.frame.block_size,
+                                      s.frame.raw_size - roff);
+    lossless::lzss_decompress_block_bytes(s.frame, b, bytes,
+                                          {dst.data() + roff, rlen});
+  }
+
+  io::ArchiveSource& src_;
+  dev::Workspace& ws_;
+  std::vector<Seg> segs_;
+  std::size_t raw_size_ = 0;
+  std::vector<std::byte> scratch_;  ///< for src_ views
+  std::vector<std::byte> cross_;    ///< segment-crossing assembly
+};
+
+std::uint32_t inner_peek_magic(InnerSource& s) {
+  std::uint32_t m = 0;
+  const auto v = view_pfx(s, 0, sizeof(m));
+  if (v.size() == sizeof(m)) std::memcpy(&m, v.data(), sizeof(m));
+  return m;
+}
+
+/// Owned copy of the TIDX payload plus its validated header fields.
+struct TidxView {
+  std::size_t slab_z = 0;
+  std::size_t nslabs = 0;
+  std::vector<std::byte> payload;
+
+  [[nodiscard]] TidxEntry entry(std::size_t level_row, std::size_t k) const {
+    TidxEntry e;
+    std::memcpy(&e,
+                payload.data() + kTidxHeaderBytes +
+                    (level_row * nslabs + k) * sizeof(TidxEntry),
+                sizeof(e));
+    return e;
+  }
+};
+
+/// Fetches + validates the tile index header against the field's closed
+/// forms (the entry fields are cross-checked level by level once each
+/// level's decode plan exists).
+TidxView fetch_tidx(InnerSource& inner, const SegmentEntry& tseg,
+                    const dev::Dim3& dims, int nlevels) {
+  TidxView t;
+  const auto v = view_pfx(inner, tseg.offset, tseg.size);
+  if (v.size() != tseg.size)
+    throw core::CorruptArchive("cusz-i", tseg.offset, "tile index truncated");
+  t.payload.assign(v.begin(), v.end());
+  std::uint16_t ver = 0, resv = 0;
+  std::uint32_t slab32 = 0, nl32 = 0, ns32 = 0;
+  const std::byte* p = t.payload.data();
+  std::memcpy(&ver, p, sizeof(ver));
+  std::memcpy(&resv, p + 2, sizeof(resv));
+  std::memcpy(&slab32, p + 4, sizeof(slab32));
+  std::memcpy(&nl32, p + 8, sizeof(nl32));
+  std::memcpy(&ns32, p + 12, sizeof(ns32));
+  if (ver != kTidxVersion || resv != 0 || slab32 != tidx_slab_z(dims) ||
+      nl32 != static_cast<std::uint32_t>(nlevels) ||
+      ns32 != tidx_nslabs(dims))
+    throw core::CorruptArchive("cusz-i", tseg.offset,
+                               "tile index header mismatch");
+  t.slab_z = slab32;
+  t.nslabs = ns32;
+  return t;
+}
+
+/// The indexed ROI decode over an SZI2 inner archive. Returns false when
+/// the archive predates the tile index (the caller falls back to a full
+/// decode + crop); throws core::CorruptArchive when the index disagrees
+/// with the closed forms it must satisfy.
+template <typename T>
+bool roi_v2(InnerSource& inner, const RoiBox& box, dev::Workspace& ws,
+            RoiResultT<T>& r) {
+  double huff_s = 0;
+  std::atomic<std::int64_t> recon_ns{0};
+  const auto since = [](std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+
+  // Fixed header, then the exact directory (segment count peeked and
+  // clamped to the largest legal value, as the pipelined decoder does).
+  std::vector<std::byte> hdr;
+  {
+    const auto v = view_pfx(inner, 0, kInnerFixedBytes + sizeof(std::uint32_t));
+    hdr.assign(v.begin(), v.end());
+  }
+  std::uint32_t nseg_peek = 0;
+  if (hdr.size() >= kInnerFixedBytes + sizeof(nseg_peek))
+    std::memcpy(&nseg_peek, hdr.data() + kInnerFixedBytes, sizeof(nseg_peek));
+  int nlevels = 0;
+  {
+    core::ByteReader rd0({hdr.data(), hdr.size()}, "cusz-i");
+    const InnerHeader h0 = parse_inner_header<T>(rd0, kMagicV2);
+    nlevels = predictor::ginterp_level_count(h0.dims);
+  }
+  const auto nseg_max = static_cast<std::uint32_t>(nlevels) + 3;
+  {
+    const auto v =
+        view_pfx(inner, 0, v2_header_bytes(std::min(nseg_peek, nseg_max)));
+    hdr.assign(v.begin(), v.end());
+  }
+  core::ByteReader rd({hdr.data(), hdr.size()}, "cusz-i");
+  const InnerHeader h = parse_inner_header<T>(rd, kMagicV2);
+  const auto segs = parse_v2_directory<T>(rd, h);
+  if (segs.size() != static_cast<std::size_t>(nlevels) + 3)
+    return false;  // pre-index SZI2: no TIDX to steer by
+
+  const auto plan = predictor::ginterp_roi_plan(h.dims, box.lo, box.ext);
+  const TidxView tidx = fetch_tidx(inner, segs.back(), h.dims, nlevels);
+
+  // Box-local working set: radius-prefilled codes plus the output buffer
+  // anchors and outlier originals scatter into (halo positions are
+  // reconstruction scratch the crop discards).
+  const std::size_t bvol = plan.box_dims.volume();
+  auto codes = ws.make<quant::Code>(bvol);
+  std::fill(codes.begin(), codes.end(), static_cast<quant::Code>(h.radius));
+  std::vector<T> boxout(bvol, T{});
+
+  const auto box_at = [&](std::size_t x, std::size_t y, std::size_t z) {
+    return dev::linearize(plan.box_dims, x - plan.box_lo.x, y - plan.box_lo.y,
+                          z - plan.box_lo.z);
+  };
+
+  // Anchors: one contiguous file run per covered (az, ay) anchor row.
+  {
+    const auto geo = predictor::geometry_for(h.dims);
+    const dev::Dim3 ad = predictor::anchor_dims(h.dims, geo.anchor);
+    if (segs[0].count != ad.volume())
+      throw core::CorruptArchive("cusz-i", segs[0].offset,
+                                 "anchor count mismatch");
+    const auto arange = [](std::size_t lo, std::size_t extent, std::size_t s,
+                           std::size_t an) {
+      const std::size_t a0 = (lo + s - 1) / s;
+      const std::size_t a1 = std::min(an, (lo + extent - 1) / s + 1);
+      return std::pair<std::size_t, std::size_t>(a0, std::max(a0, a1));
+    };
+    const auto [ax0, ax1] =
+        arange(plan.box_lo.x, plan.box_dims.x, geo.anchor.x, ad.x);
+    const auto [ay0, ay1] =
+        arange(plan.box_lo.y, plan.box_dims.y, geo.anchor.y, ad.y);
+    const auto [az0, az1] =
+        arange(plan.box_lo.z, plan.box_dims.z, geo.anchor.z, ad.z);
+    auto row = ws.make<T>(ax1 - ax0);
+    for (std::size_t az = az0; az < az1; ++az)
+      for (std::size_t ay = ay0; ay < ay1; ++ay) {
+        const std::size_t n = ax1 - ax0;
+        if (n == 0) continue;
+        const auto bytes = view_pfx(
+            inner,
+            segs[0].offset +
+                dev::linearize(ad, ax0, ay, az) * sizeof(T),
+            n * sizeof(T));
+        if (bytes.size() != n * sizeof(T))
+          throw core::CorruptArchive("cusz-i", segs[0].offset,
+                                     "anchor segment truncated");
+        std::memcpy(row.data(), bytes.data(), bytes.size());
+        for (std::size_t ax = ax0; ax < ax1; ++ax)
+          boxout[box_at(ax * geo.anchor.x, ay * geo.anchor.y,
+                        az * geo.anchor.z)] = row[ax - ax0];
+      }
+  }
+
+  // Outliers: the blob is one small segment; fetch whole and keep only the
+  // originals that land inside the closed box.
+  {
+    const auto outliers = parse_outlier_blob<T>(
+        view_pfx(inner, segs[1].offset, segs[1].size), ws);
+    if (outliers.indices.size() != segs[1].count)
+      throw core::CorruptArchive("cusz-i", segs[1].offset,
+                                 "outlier blob count disagrees with directory");
+    for (std::size_t j = 0; j < outliers.indices.size(); ++j) {
+      const std::uint64_t idx = outliers.indices[j];
+      if (idx >= h.volume)
+        throw core::CorruptArchive("cusz-i", segs[1].offset,
+                                   "outlier index out of range");
+      const std::size_t x = static_cast<std::size_t>(idx) % h.dims.x;
+      const std::size_t y =
+          (static_cast<std::size_t>(idx) / h.dims.x) % h.dims.y;
+      const std::size_t z =
+          static_cast<std::size_t>(idx) / (h.dims.x * h.dims.y);
+      if (x >= plan.box_lo.x && x < plan.box_lo.x + plan.box_dims.x &&
+          y >= plan.box_lo.y && y < plan.box_lo.y + plan.box_dims.y &&
+          z >= plan.box_lo.z && z < plan.box_lo.z + plan.box_dims.z)
+        boxout[box_at(x, y, z)] = outliers.values[j];
+    }
+  }
+
+  // Per level: parse the stream header (header bytes only), cross-check
+  // every tile-index entry of the level against its closed form, then
+  // decode exactly the Huffman chunks covering the box's rank runs and
+  // scatter them into the box-local code array. Runs arrive in ascending
+  // rank order, so the chunks they touch merge into a short list of
+  // disjoint ranges — within a z-plane the box's y-band is a contiguous
+  // rank band, which is what keeps the read set proportional to the box
+  // in y and z, not just z.
+  for (std::size_t i = 2; i < 2 + static_cast<std::size_t>(nlevels); ++i) {
+    const auto& seg = segs[i];
+    const int level = seg.level;
+
+    std::uint32_t nbins = 0;
+    {
+      const auto v = view_pfx(inner, seg.offset, sizeof(nbins));
+      if (v.size() == sizeof(nbins))
+        std::memcpy(&nbins, v.data(), sizeof(nbins));
+    }
+    const std::size_t hfixed = sizeof(std::uint32_t) + nbins +
+                               sizeof(std::uint64_t) + sizeof(std::uint32_t) +
+                               sizeof(std::uint64_t);
+    std::uint64_t nsym = 0;
+    std::uint32_t csz = 0;
+    {
+      const auto v = view_pfx(inner, seg.offset, hfixed);
+      if (v.size() >= hfixed) {
+        std::memcpy(&nsym, v.data() + sizeof(std::uint32_t) + nbins,
+                    sizeof(nsym));
+        std::memcpy(&csz,
+                    v.data() + sizeof(std::uint32_t) + nbins + sizeof(nsym),
+                    sizeof(csz));
+      }
+    }
+    const std::uint64_t nchunks64 =
+        csz == 0 ? 0 : nsym / csz + (nsym % csz != 0 ? 1 : 0);
+    const std::uint64_t head_len =
+        hfixed + std::min<std::uint64_t>(nchunks64, seg.size) *
+                     sizeof(std::uint64_t);
+    const auto head =
+        view_pfx(inner, seg.offset, std::min<std::uint64_t>(head_len, seg.size));
+    core::Timer plant;
+    const auto hplan = huffman::decode_plan_header(head, seg.size, ws);
+    huff_s += plant.lap();
+    if (hplan.n != seg.count)
+      throw core::CorruptArchive("cusz-i", seg.offset,
+                                 "level stream symbol count mismatch");
+    const std::size_t hdr_bytes =
+        static_cast<std::size_t>(seg.size - hplan.payload_bytes);
+
+    // Every (level, slab) index entry is a closed form of (dims, this
+    // plan); any disagreement means the index would steer reads wrong.
+    for (std::size_t k = 0; k < tidx.nslabs; ++k) {
+      const TidxEntry e = tidx.entry(i - 2, k);
+      const std::uint64_t want_rank =
+          predictor::ginterp_level_prefix(h.dims, level, k * tidx.slab_z);
+      const std::size_t chunk =
+          hplan.chunk_size == 0
+              ? 0
+              : static_cast<std::size_t>(want_rank) / hplan.chunk_size;
+      const std::uint64_t want_byte =
+          chunk < hplan.nchunks ? hplan.offsets[chunk] : hplan.payload_bytes;
+      const std::uint32_t want_block = static_cast<std::uint32_t>(
+          (hdr_bytes + want_byte) / lossless::kLzssBlock);
+      if (e.sym_rank != want_rank ||
+          e.huff_chunk != static_cast<std::uint32_t>(chunk) ||
+          e.code_byte != want_byte || e.wrap_block != want_block)
+        throw core::CorruptArchive("cusz-i", segs.back().offset,
+                                   "tile index entry mismatch");
+    }
+
+    const std::size_t cs = hplan.chunk_size;
+    if (hplan.n == 0 || cs == 0) continue;
+
+    struct Run {
+      std::size_t rank, count, x0, y, z, step;
+    };
+    std::vector<Run> runs;
+    std::vector<std::pair<std::size_t, std::size_t>> spans;  // [cb, ce)
+    predictor::ginterp_level_box_runs(
+        h.dims, level, plan.box_lo, plan.box_dims,
+        [&](std::size_t rank, std::size_t count, std::size_t x0, std::size_t y,
+            std::size_t z, std::size_t step) {
+          runs.push_back({rank, count, x0, y, z, step});
+          const std::size_t cb = rank / cs;
+          const std::size_t ce = (rank + count - 1) / cs + 1;
+          if (!spans.empty() && cb <= spans.back().second)
+            spans.back().second = std::max(spans.back().second, ce);
+          else
+            spans.emplace_back(cb, ce);
+        });
+    if (runs.empty()) continue;
+
+    std::size_t ri = 0;
+    for (const auto& [cb, ce] : spans) {
+      const std::uint64_t pay_lo = hplan.offsets[cb];
+      const std::uint64_t pay_hi =
+          ce < hplan.nchunks ? hplan.offsets[ce] : hplan.payload_bytes;
+      const auto payload =
+          view_pfx(inner, seg.offset + hdr_bytes + pay_lo, pay_hi - pay_lo);
+      const std::size_t base = cb * cs;
+      const std::size_t limit = std::min(ce * cs, hplan.n);
+      auto syms = ws.make<quant::Code>(limit - base);
+      core::Timer huft;
+      huffman::decode_chunks_range(hplan, payload, pay_lo, cb, ce, syms);
+      huff_s += huft.lap();
+      for (; ri < runs.size() && runs[ri].rank < limit; ++ri) {
+        const Run& u = runs[ri];
+        const std::size_t by = u.y - plan.box_lo.y;
+        const std::size_t bz = u.z - plan.box_lo.z;
+        for (std::size_t q = 0; q < u.count; ++q)
+          codes[dev::linearize(plan.box_dims,
+                               u.x0 + q * u.step - plan.box_lo.x, by, bz)] =
+              syms[u.rank + q - base];
+      }
+    }
+  }
+
+  // Box-clipped reconstruction, slabs fanned across worker streams exactly
+  // like the full decoder (slabs are mutually independent).
+  predictor::GInterpRoiReconstructorT<T> recon(codes, plan, h.dims, h.eb,
+                                               h.cfg, h.radius,
+                                               std::span<T>(boxout));
+  const auto run_slab_timed = [&recon, &recon_ns, &since](std::size_t k) {
+    const auto t0 = std::chrono::steady_clock::now();
+    recon.run_slab(k);
+    recon_ns += since(t0);
+  };
+  std::deque<dev::Stream> rcs;
+  if (stream_overlap_pays() && recon.slab_count() > 1) {
+    const std::size_t n = std::min<std::size_t>(
+        dev::ThreadPool::instance().worker_count(), recon.slab_count());
+    for (std::size_t s = 0; s < n; ++s) rcs.emplace_back();
+  }
+  for (std::size_t k = 0; k < recon.slab_count(); ++k) {
+    if (!rcs.empty())
+      rcs[k % rcs.size()].submit([&run_slab_timed, k] { run_slab_timed(k); });
+    else
+      run_slab_timed(k);
+  }
+  {
+    std::exception_ptr err;
+    for (auto& s : rcs) {
+      try {
+        s.synchronize();
+      } catch (...) {
+        if (!err) err = std::current_exception();
+      }
+    }
+    if (err) std::rethrow_exception(err);
+  }
+
+  // Crop the requested box out of the box-local buffer (row memcpys; the
+  // halo is scratch and dies here).
+  r.data.resize(box.ext.volume());
+  const std::size_t ox = box.lo.x - plan.box_lo.x;
+  const std::size_t oy = box.lo.y - plan.box_lo.y;
+  const std::size_t oz = box.lo.z - plan.box_lo.z;
+  for (std::size_t z = 0; z < box.ext.z; ++z)
+    for (std::size_t y = 0; y < box.ext.y; ++y)
+      std::memcpy(
+          r.data.data() + dev::linearize(box.ext, 0, y, z),
+          boxout.data() + dev::linearize(plan.box_dims, ox, oy + y, oz + z),
+          box.ext.x * sizeof(T));
+  r.dims = box.ext;
+  r.indexed = true;
+  r.timings.huffman = huff_s;
+  r.timings.reconstruct = static_cast<double>(recon_ns.load()) * 1e-9;
+  r.timings.overlapped = !rcs.empty();
+  ws.reset();
+  return true;
+}
+
+/// Full-decode fallback for archives the index cannot steer (legacy SZI1,
+/// pre-index SZI2, legacy 'BBCP' wrappers): decode everything, then crop.
+template <typename T>
+void roi_fallback(io::ArchiveSource& src, const RoiBox& box,
+                  dev::Workspace& ws, RoiResultT<T>& r) {
+  std::vector<std::byte> scratch;
+  const auto all = src.view(0, src.size(), scratch);
+  const std::uint32_t magic = peek_magic(all);
+  std::vector<T> full;
+  dev::Dim3 dims;
+  const auto dims_of = [](std::span<const std::byte> bytes) {
+    core::ByteReader rd(bytes, "cusz-i");
+    const InnerHeader h = parse_inner_header<T>(
+        rd, peek_magic(bytes) == kMagicV2 ? kMagicV2 : kMagic);
+    return h.dims;
+  };
+  if (magic == kBitcompWrapMagic || magic == kBitcompWrapMagicV2) {
+    const auto inner = bitcomp_unwrap_archive(all);
+    dims = dims_of(inner);
+    full = decompress_typed<T>(inner, ws);
+  } else {
+    dims = dims_of(all);
+    full = decompress_typed<T>(all, ws);
+  }
+  const auto bad = [&](std::size_t lo, std::size_t ext, std::size_t n) {
+    return ext == 0 || ext > n || lo > n - ext;
+  };
+  if (bad(box.lo.x, box.ext.x, dims.x) || bad(box.lo.y, box.ext.y, dims.y) ||
+      bad(box.lo.z, box.ext.z, dims.z))
+    throw std::invalid_argument("cuSZ-i: ROI box is empty or exceeds field");
+  r.data.resize(box.ext.volume());
+  for (std::size_t z = 0; z < box.ext.z; ++z)
+    for (std::size_t y = 0; y < box.ext.y; ++y)
+      std::memcpy(r.data.data() + dev::linearize(box.ext, 0, y, z),
+                  full.data() + dev::linearize(dims, box.lo.x, box.lo.y + y,
+                                               box.lo.z + z),
+                  box.ext.x * sizeof(T));
+  r.dims = box.ext;
+  r.indexed = false;
+}
+
+/// Dispatch on the outermost magic: raw SZI2 and 'BBC2'-wrapped SZI2 take
+/// the indexed path when the archive carries a tile index; everything else
+/// (and pre-index archives) falls back to full decode + crop. `bytes_read`
+/// is the source's honest fetch delta either way.
+template <typename T>
+RoiResultT<T> decompress_roi_typed(io::ArchiveSource& src, const RoiBox& box) {
+  dev::Arena local;
+  dev::Workspace ws(local);
+  core::Timer wall;
+  const std::uint64_t before = src.bytes_read();
+  RoiResultT<T> r;
+  std::uint32_t magic = 0;
+  {
+    std::vector<std::byte> scratch;
+    if (src.size() >= sizeof(magic)) {
+      const auto v = src.view(0, sizeof(magic), scratch);
+      std::memcpy(&magic, v.data(), sizeof(magic));
+    }
+  }
+  bool done = false;
+  if (magic == kMagicV2) {
+    RawInnerSource inner(src);
+    done = roi_v2<T>(inner, box, ws, r);
+  } else if (magic == kBitcompWrapMagicV2) {
+    WrappedInnerSource inner(src, ws);
+    if (inner_peek_magic(inner) == kMagicV2)
+      done = roi_v2<T>(inner, box, ws, r);
+  }
+  if (!done) roi_fallback<T>(src, box, ws, r);
+  r.bytes_read = static_cast<std::size_t>(src.bytes_read() - before);
+  r.timings.total = wall.lap();
+  return r;
+}
+
 /// Full-decode fallback for progressive requests against archives without
 /// a segment directory (legacy SZI1): decode everything, then subsample
 /// onto the preview grid. `whole_size` is what bytes_read reports — the
@@ -1532,9 +2342,17 @@ ProgressiveResultT<T> progressive_wrapped(std::span<const std::byte> bytes,
   ensure(kInnerFixedBytes + sizeof(std::uint32_t));
   const InnerHeader h = parse_inner_header<T>(rd, kMagicV2);
   const int nlevels = predictor::ginterp_level_count(h.dims);
+  // Peek the segment count (clamped to the largest legal value) so the
+  // ensure covers the exact directory for both pre-index and indexed
+  // layouts; a preview never pays for bytes past it.
+  ensure(sat(rd.offset(), sizeof(std::uint32_t)));
+  std::uint32_t nseg_peek = 0;
+  if (raw_size >= rd.offset() + sizeof(nseg_peek))
+    std::memcpy(&nseg_peek, raw.data() + rd.offset(), sizeof(nseg_peek));
+  const auto nseg_max = static_cast<std::uint32_t>(nlevels) + 3;
   ensure(sat(rd.offset(),
              sizeof(std::uint32_t) +
-                 (static_cast<std::uint64_t>(nlevels) + 2) *
+                 static_cast<std::uint64_t>(std::min(nseg_peek, nseg_max)) *
                      sizeof(SegmentEntry)));
   const auto segs = parse_v2_directory<T>(rd, h);
   const int level = std::clamp(max_level, 1, nlevels + 1);
@@ -1748,6 +2566,11 @@ class Cuszi final : public Compressor {
     return decompress_progressive_typed<float>(bytes, max_level, ws);
   }
 
+  [[nodiscard]] RoiResult decompress_roi(std::span<const std::byte> bytes,
+                                         const RoiBox& box) override {
+    return cuszi_decompress_roi_f32(bytes, box);
+  }
+
  private:
   bool topk_;
 };
@@ -1908,6 +2731,28 @@ ProgressiveResultT<double> cuszi_decompress_progressive_f64(
 ProgressiveResultT<float> cuszi_decompress_progressive_f32(
     std::span<const std::byte> bytes, int max_level, dev::Workspace& ws) {
   return decompress_progressive_typed<float>(bytes, max_level, ws);
+}
+
+RoiResultT<float> cuszi_decompress_roi_f32(io::ArchiveSource& src,
+                                           const RoiBox& box) {
+  return decompress_roi_typed<float>(src, box);
+}
+
+RoiResultT<double> cuszi_decompress_roi_f64(io::ArchiveSource& src,
+                                            const RoiBox& box) {
+  return decompress_roi_typed<double>(src, box);
+}
+
+RoiResultT<float> cuszi_decompress_roi_f32(std::span<const std::byte> bytes,
+                                           const RoiBox& box) {
+  io::MemorySource ms(bytes);
+  return decompress_roi_typed<float>(ms, box);
+}
+
+RoiResultT<double> cuszi_decompress_roi_f64(std::span<const std::byte> bytes,
+                                            const RoiBox& box) {
+  io::MemorySource ms(bytes);
+  return decompress_roi_typed<double>(ms, box);
 }
 
 ProgressiveResultT<double> cuszi_decompress_progressive_f64(

@@ -28,6 +28,10 @@
 #include "device/dims.hh"
 #include "lossless/lzss.hh"
 
+namespace szi::io {
+class ArchiveSource;
+}  // namespace szi::io
+
 namespace szi {
 
 /// Factory for the cuSZ-i compressor (f32 fields through the common
@@ -138,8 +142,9 @@ enum class Precision : std::uint8_t { F32 = 0, F64 = 1 };
 /// One row of an SZI2 archive's segment directory, as validated by the
 /// decoder: kind 0 = anchor grid, 1 = outlier set, 2 = one interpolation
 /// level's Huffman stream (level is the 1-based level; segments are ordered
-/// coarsest first). `offset`/`size` are absolute byte ranges into the raw
-/// archive; `count` is the element count (anchors, outliers, or symbols).
+/// coarsest first), 3 = the trailing random-access tile index (TIDX).
+/// `offset`/`size` are absolute byte ranges into the raw archive; `count`
+/// is the element count (anchors, outliers, symbols, or index entries).
 struct SegmentInfo {
   std::uint8_t kind = 0;
   std::uint8_t level = 0;
@@ -172,6 +177,25 @@ struct SegmentInfo {
     std::span<const std::byte> bytes, int max_level, dev::Workspace& ws);
 [[nodiscard]] ProgressiveResultT<double> cuszi_decompress_progressive_f64(
     std::span<const std::byte> bytes, int max_level, dev::Workspace& ws);
+
+/// Random-access ROI decode: reconstructs exactly the box [lo, lo + ext),
+/// bit-identical to cropping a full decompress. When the archive carries
+/// the trailing tile index (TIDX) the decoder pulls only the directory,
+/// index, anchor rows, outlier set, and the Huffman chunks / LZSS blocks
+/// covering the box's tile slabs through `src` — the per-level working set
+/// is bounded by the halo'd box, never the field, and `bytes_read` reports
+/// the honest fetch total. Archives without an index (SZI1, pre-index SZI2,
+/// legacy 'BBCP' wrappers) fall back to a full decode + crop with
+/// `indexed` false. The span overloads serve in-memory archives through a
+/// MemorySource.
+[[nodiscard]] RoiResultT<float> cuszi_decompress_roi_f32(io::ArchiveSource& src,
+                                                         const RoiBox& box);
+[[nodiscard]] RoiResultT<double> cuszi_decompress_roi_f64(
+    io::ArchiveSource& src, const RoiBox& box);
+[[nodiscard]] RoiResultT<float> cuszi_decompress_roi_f32(
+    std::span<const std::byte> bytes, const RoiBox& box);
+[[nodiscard]] RoiResultT<double> cuszi_decompress_roi_f64(
+    std::span<const std::byte> bytes, const RoiBox& box);
 
 /// Decompression, typed; throws std::runtime_error if the archive's
 /// precision does not match the requested function.

@@ -236,8 +236,14 @@ std::vector<Codebook> build_level_books(
   return books;
 }
 
-DecodePlan decode_plan(std::span<const std::byte> bytes, dev::Workspace& ws) {
-  core::ByteReader rd(bytes, "huffman");
+namespace {
+
+// Shared header parse + chunk-table validation for decode_plan and
+// decode_plan_header. `stream_size` is the framed stream's total byte size
+// (the input span's size for decode_plan); the payload itself need not be
+// behind `rd`, only accounted for.
+DecodePlan parse_stream_header(core::ByteReader& rd, std::uint64_t stream_size,
+                               dev::Workspace& ws) {
   const auto nbins = rd.read<std::uint32_t>();
   auto lengths = rd.read_array<std::uint8_t>(nbins);
   const auto n64 = rd.read<std::uint64_t>();
@@ -256,7 +262,8 @@ DecodePlan decode_plan(std::span<const std::byte> bytes, dev::Workspace& ws) {
     std::memcpy(offsets.data(),
                 rd.read_bytes(nchunks * sizeof(std::uint64_t)).data(),
                 nchunks * sizeof(std::uint64_t));
-  if (rd.remaining() < payload_bytes) rd.fail("truncated payload");
+  if (stream_size < rd.offset() || stream_size - rd.offset() < payload_bytes)
+    rd.fail("truncated payload");
   // Validate the chunk table before any pointer arithmetic: offsets must
   // start at zero, stay monotone, and land inside the payload, or a corrupt
   // header could index out of bounds.
@@ -272,11 +279,25 @@ DecodePlan decode_plan(std::span<const std::byte> bytes, dev::Workspace& ws) {
   plan.nchunks = nchunks;
   plan.payload_bytes = payload_bytes;
   plan.offsets = offsets;
-  plan.payload = rd.rest().first(static_cast<std::size_t>(payload_bytes));
   // from_lengths rejects over-long or Kraft-violating length tables.
   plan.book = Codebook::from_lengths(std::move(lengths));
   plan.table = FastDecodeTable::from(plan.book);
   return plan;
+}
+
+}  // namespace
+
+DecodePlan decode_plan(std::span<const std::byte> bytes, dev::Workspace& ws) {
+  core::ByteReader rd(bytes, "huffman");
+  DecodePlan plan = parse_stream_header(rd, bytes.size(), ws);
+  plan.payload = rd.rest().first(static_cast<std::size_t>(plan.payload_bytes));
+  return plan;
+}
+
+DecodePlan decode_plan_header(std::span<const std::byte> head,
+                              std::uint64_t stream_size, dev::Workspace& ws) {
+  core::ByteReader rd(head, "huffman");
+  return parse_stream_header(rd, stream_size, ws);
 }
 
 namespace {
@@ -293,11 +314,13 @@ void check_chunk_extent(const lossless::BitReader& br, std::size_t chunk_bytes,
         "chunk decoded past its extent (chunk " + std::to_string(c) + ")");
 }
 
+// Chunk iteration against an arbitrary payload window: `payload` points at
+// the stream payload byte `payload_off`, and must cover every chunk of the
+// range. The classic full-payload iteration is the payload_off == 0 case.
 template <typename ChunkBody>
-void for_each_chunk(const DecodePlan& plan, std::size_t chunk_begin,
-                    std::size_t chunk_end, const ChunkBody& body) {
-  const auto* payload =
-      reinterpret_cast<const std::uint8_t*>(plan.payload.data());
+void for_each_chunk_at(const DecodePlan& plan, const std::uint8_t* payload,
+                       std::uint64_t payload_off, std::size_t chunk_begin,
+                       std::size_t chunk_end, const ChunkBody& body) {
   dev::launch_linear(
       chunk_end - chunk_begin,
       [&](std::size_t k) {
@@ -308,40 +331,87 @@ void for_each_chunk(const DecodePlan& plan, std::size_t chunk_begin,
         const std::size_t chunk_end_byte =
             (c + 1 < plan.nchunks) ? plan.offsets[c + 1] : plan.payload_bytes;
         const std::size_t chunk_bytes = chunk_end_byte - plan.offsets[c];
-        lossless::BitReader br({payload + plan.offsets[c], chunk_bytes});
+        lossless::BitReader br(
+            {payload + (plan.offsets[c] - payload_off), chunk_bytes});
         body(br, begin, end);
         check_chunk_extent(br, chunk_bytes, plan.offsets[c], c);
       },
       1);
 }
 
+template <typename ChunkBody>
+void for_each_chunk(const DecodePlan& plan, std::size_t chunk_begin,
+                    std::size_t chunk_end, const ChunkBody& body) {
+  for_each_chunk_at(plan,
+                    reinterpret_cast<const std::uint8_t*>(plan.payload.data()),
+                    0, chunk_begin, chunk_end, body);
+}
+
+// The pack-table decode loop shared by decode_chunks and
+// decode_chunks_range — one body, so ranged decode is bit-identical by
+// construction. `dst` points at the output slot for symbol `i`.
+//
+// Multi-symbol fast path: one pack-table probe emits up to kMaxPack
+// codewords. The loop bound leaves room for a full pack; the remainder (and
+// any window whose first code exceeds kLutBits) goes through the
+// single-symbol decoder, which consumes the same bits per symbol, so
+// position() agrees with the reference decoder at every symbol boundary.
+inline void decode_pack_body(const DecodePlan& plan, lossless::BitReader& br,
+                             std::size_t i, std::size_t end,
+                             quant::Code* dst) {
+  using Fast = FastDecodeTable;
+  while (i + Fast::kMaxPack <= end) {
+    const Fast::PackEntry& e = plan.table.pack[br.peek(Fast::kLutBits)];
+    if (e.nsym == 0) {
+      *dst++ = plan.table.decode(br);
+      ++i;
+      continue;
+    }
+    for (unsigned k = 0; k < e.nsym; ++k) dst[k] = e.sym[k];
+    dst += e.nsym;
+    i += e.nsym;
+    br.skip(e.nbits);
+  }
+  while (i < end) {
+    *dst++ = plan.table.decode(br);
+    ++i;
+  }
+}
+
 }  // namespace
 
 void decode_chunks(const DecodePlan& plan, std::size_t chunk_begin,
                    std::size_t chunk_end, std::span<quant::Code> out) {
-  using Fast = FastDecodeTable;
   for_each_chunk(plan, chunk_begin, chunk_end,
                  [&](lossless::BitReader& br, std::size_t i, std::size_t end) {
-                   // Multi-symbol fast path: one pack-table probe emits up
-                   // to kMaxPack codewords. The loop bound leaves room for a
-                   // full pack; the remainder (and any window whose first
-                   // code exceeds kLutBits) goes through the single-symbol
-                   // decoder, which consumes the same bits per symbol, so
-                   // position() agrees with the reference decoder at every
-                   // symbol boundary.
-                   while (i + Fast::kMaxPack <= end) {
-                     const Fast::PackEntry& e =
-                         plan.table.pack[br.peek(Fast::kLutBits)];
-                     if (e.nsym == 0) {
-                       out[i++] = plan.table.decode(br);
-                       continue;
-                     }
-                     for (unsigned k = 0; k < e.nsym; ++k) out[i + k] = e.sym[k];
-                     i += e.nsym;
-                     br.skip(e.nbits);
-                   }
-                   while (i < end) out[i++] = plan.table.decode(br);
+                   decode_pack_body(plan, br, i, end, out.data() + i);
                  });
+}
+
+void decode_chunks_range(const DecodePlan& plan,
+                         std::span<const std::byte> payload,
+                         std::uint64_t payload_off, std::size_t chunk_begin,
+                         std::size_t chunk_end, std::span<quant::Code> out) {
+  if (chunk_begin >= chunk_end) return;
+  if (chunk_end > plan.nchunks)
+    throw core::CorruptArchive("huffman", 0, "chunk range past chunk table");
+  const std::uint64_t lo = plan.offsets[chunk_begin];
+  const std::uint64_t hi = (chunk_end < plan.nchunks) ? plan.offsets[chunk_end]
+                                                      : plan.payload_bytes;
+  if (lo < payload_off || hi - payload_off > payload.size())
+    throw core::CorruptArchive("huffman", static_cast<std::size_t>(lo),
+                               "payload slice does not cover chunk range");
+  const std::size_t sym_base = chunk_begin * plan.chunk_size;
+  const std::size_t sym_end =
+      std::min<std::size_t>(chunk_end * plan.chunk_size, plan.n);
+  if (out.size() != sym_end - sym_base)
+    throw core::CorruptArchive("huffman", 0, "chunk-range output size mismatch");
+  for_each_chunk_at(
+      plan, reinterpret_cast<const std::uint8_t*>(payload.data()), payload_off,
+      chunk_begin, chunk_end,
+      [&](lossless::BitReader& br, std::size_t i, std::size_t end) {
+        decode_pack_body(plan, br, i, end, out.data() + (i - sym_base));
+      });
 }
 
 void decode_chunks_reference(const DecodePlan& plan, std::size_t chunk_begin,

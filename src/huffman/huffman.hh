@@ -149,6 +149,17 @@ struct DecodePlan {
 [[nodiscard]] DecodePlan decode_plan(std::span<const std::byte> bytes,
                                      dev::Workspace& ws);
 
+/// decode_plan over only the stream's leading header bytes — for
+/// random-access readers that fetch the payload selectively. `head` must
+/// cover the full header (its offset table included); `stream_size` is the
+/// framed stream's total size and must cover header + payload. Identical
+/// parse and validation to decode_plan, but `plan.payload` is left empty:
+/// pair with decode_chunks_range, handing it the payload bytes each chunk
+/// run needs.
+[[nodiscard]] DecodePlan decode_plan_header(std::span<const std::byte> head,
+                                            std::uint64_t stream_size,
+                                            dev::Workspace& ws);
+
 /// Decodes chunks [chunk_begin, chunk_end) into `out` (the full n-element
 /// span; chunk c writes symbols [c*chunk_size, min((c+1)*chunk_size, n))).
 /// Uses the multi-symbol pack table: several short codewords resolve per
@@ -156,6 +167,17 @@ struct DecodePlan {
 /// decode_chunks_reference (tests/test_decode_equiv.cc holds them equal).
 void decode_chunks(const DecodePlan& plan, std::size_t chunk_begin,
                    std::size_t chunk_end, std::span<quant::Code> out);
+
+/// decode_chunks against caller-provided payload bytes (for plans built by
+/// decode_plan_header, whose own payload view is empty): `payload` holds
+/// the stream's payload range [payload_off, payload_off + payload.size()),
+/// which must cover chunks [chunk_begin, chunk_end). Symbols land at
+/// out[i - chunk_begin*chunk_size] — `out` spans exactly the range's
+/// symbols. Decode is bit-identical to decode_chunks over the same chunks.
+void decode_chunks_range(const DecodePlan& plan,
+                         std::span<const std::byte> payload,
+                         std::uint64_t payload_off, std::size_t chunk_begin,
+                         std::size_t chunk_end, std::span<quant::Code> out);
 
 /// The pre-overhaul single-symbol-per-probe chunk decoder, retained as the
 /// equivalence reference for decode_chunks and for the decode ablation

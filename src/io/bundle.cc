@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/bytes.hh"
+#include "io/archive_source.hh"
 #include "io/bin_io.hh"
 
 namespace szi::io {
@@ -87,7 +88,12 @@ void Bundle::save(const std::string& path) const {
 }
 
 Bundle Bundle::load(const std::string& path) {
-  return deserialize(read_bytes(path));
+  // Served through an ArchiveSource (mmap when available) so loading a
+  // bundle never double-buffers the file: deserialize copies each entry's
+  // archive straight out of the mapping.
+  const auto src = open_archive(path);
+  std::vector<std::byte> scratch;
+  return deserialize(src->view(0, src->size(), scratch));
 }
 
 }  // namespace szi::io

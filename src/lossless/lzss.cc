@@ -413,9 +413,14 @@ std::span<const std::byte> lzss_compress(std::span<const std::byte> data,
   return out;
 }
 
-LzssFrame lzss_parse_frame(std::span<const std::byte> data,
-                           dev::Workspace& ws) {
-  core::ByteReader rd(data, "lzss");
+namespace {
+
+// Shared header parse + offset validation for lzss_parse_frame and
+// lzss_parse_frame_header: `stream_size` is the framed stream's total byte
+// size (the span's own size when the whole stream is in memory).
+LzssFrame parse_frame_impl(std::span<const std::byte> head,
+                           std::size_t stream_size, dev::Workspace& ws) {
+  core::ByteReader rd(head, "lzss");
   const auto raw_size64 = rd.read<std::uint64_t>();
   const auto block_size = rd.read<std::uint32_t>();
   const auto nblocks = rd.read<std::uint32_t>();
@@ -438,7 +443,7 @@ LzssFrame lzss_parse_frame(std::span<const std::byte> data,
     // Each block begins with a mode byte after the offset table and blocks
     // are laid out in order, so offsets must be strictly increasing views
     // into the stream.
-    if (offsets[b] < header_end || offsets[b] >= data.size() ||
+    if (offsets[b] < header_end || offsets[b] >= stream_size ||
         (b > 0 && offsets[b] <= offsets[b - 1]))
       rd.fail("corrupt block offsets");
   }
@@ -446,9 +451,23 @@ LzssFrame lzss_parse_frame(std::span<const std::byte> data,
   f.raw_size = raw_size;
   f.block_size = block_size;
   f.nblocks = nblocks;
+  f.stream_size = stream_size;
   f.offsets = offsets;
+  return f;
+}
+
+}  // namespace
+
+LzssFrame lzss_parse_frame(std::span<const std::byte> data,
+                           dev::Workspace& ws) {
+  LzssFrame f = parse_frame_impl(data, data.size(), ws);
   f.stream = data;
   return f;
+}
+
+LzssFrame lzss_parse_frame_header(std::span<const std::byte> head,
+                                  std::size_t stream_size, dev::Workspace& ws) {
+  return parse_frame_impl(head, stream_size, ws);
 }
 
 void lzss_decompress_block(const LzssFrame& frame, std::size_t b,
@@ -470,6 +489,40 @@ void lzss_decompress_block(const LzssFrame& frame, std::size_t b,
     std::memcpy(dst, src + off, len);
   } else {
     decompress_block(src + off, end - off, dst, len, b);
+  }
+}
+
+std::pair<std::size_t, std::size_t> lzss_block_extent(const LzssFrame& frame,
+                                                      std::size_t b) {
+  if (b >= frame.nblocks)
+    throw std::invalid_argument("lzss_block_extent: block out of range");
+  const std::size_t begin = static_cast<std::size_t>(frame.offsets[b]);
+  const std::size_t end = (b + 1 < frame.nblocks)
+                              ? static_cast<std::size_t>(frame.offsets[b + 1])
+                              : frame.stream_size;
+  return {begin, end};
+}
+
+void lzss_decompress_block_bytes(const LzssFrame& frame, std::size_t b,
+                                 std::span<const std::byte> block_bytes,
+                                 std::span<std::byte> raw_out) {
+  const std::size_t begin = b * frame.block_size;
+  const std::size_t len =
+      std::min<std::size_t>(frame.block_size, frame.raw_size - begin);
+  if (b >= frame.nblocks || raw_out.size() != len)
+    throw std::invalid_argument("lzss_decompress_block_bytes: bad block/extent");
+  const auto [lo, hi] = lzss_block_extent(frame, b);
+  if (block_bytes.size() != hi - lo)
+    throw std::invalid_argument("lzss_decompress_block_bytes: slice size");
+  const auto* src = reinterpret_cast<const std::uint8_t*>(block_bytes.data());
+  const std::uint8_t mode = src[0];
+  auto* dst = reinterpret_cast<std::uint8_t*>(raw_out.data());
+  if (mode == 0) {
+    if (block_bytes.size() - 1 < len)
+      throw core::CorruptArchive("lzss", lo, "truncated raw block");
+    std::memcpy(dst, src + 1, len);
+  } else {
+    decompress_block(src + 1, block_bytes.size() - 1, dst, len, b);
   }
 }
 

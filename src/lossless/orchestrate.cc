@@ -33,17 +33,35 @@ std::span<const std::byte> gather_sample(std::span<const std::byte> seg,
   if (n <= 2 * kSampleMin) return seg;
   const std::size_t target = std::clamp(n / 64, kSampleMin, kSampleMax);
   const std::size_t nchunks = target / kSampleChunk;
-  // step >= 2 * kSampleChunk for every n > 2*kSampleMin (nchunks is at most
-  // n / (64 * kSampleChunk), floored at 2 only when n/64 < kSampleMin <
-  // n/2), so chunk c's even-aligned start (c*step) & ~1 leaves the final
-  // chunk fully in bounds: (nchunks-1)*step + kSampleChunk <= n.
-  const std::size_t step = n / nchunks;
-  auto buf = ws.make<std::byte>(nchunks * kSampleChunk);
-  for (std::size_t c = 0; c < nchunks; ++c) {
+  // The sample budget splits into strided chunks over the prefix plus one
+  // contiguous tail window (match history for the dictionary-coder costs —
+  // see the geometry note in the header). A window shorter than
+  // kSampleTailChunks carries no more history than a lone strided chunk and
+  // only skews coverage, so the split engages only when the budget affords
+  // a full window; small budgets keep pure strided coverage of the whole
+  // segment (tail_start == n, step == n / nchunks, as before).
+  const std::size_t tail_chunks =
+      nchunks >= 2 * kSampleTailChunks ? kSampleTailChunks : 0;
+  const std::size_t tail_bytes = tail_chunks * kSampleChunk;
+  const std::size_t tail_start =
+      tail_bytes > 0 ? (n - tail_bytes) & ~std::size_t{1} : n;
+  const std::size_t nstrided = nchunks - tail_chunks;
+  // tail_start >= nstrided * kSampleChunk in every clamp regime (the prefix
+  // is always far larger than the sample drawn from it: nstrided chunks
+  // total at most n/64 bytes and the tail claims at most 16 KiB of an
+  // >= 2 MiB segment), so chunk c's even-aligned start (c*step) & ~1 leaves
+  // the final strided chunk fully inside the prefix:
+  // (nstrided-1)*step + kSampleChunk <= tail_start.
+  const std::size_t step = tail_start / nstrided;
+  auto buf = ws.make<std::byte>(nstrided * kSampleChunk + tail_bytes);
+  for (std::size_t c = 0; c < nstrided; ++c) {
     const std::size_t start = (c * step) & ~std::size_t{1};
     std::memcpy(buf.data() + c * kSampleChunk, seg.data() + start,
                 kSampleChunk);
   }
+  if (tail_bytes > 0)
+    std::memcpy(buf.data() + nstrided * kSampleChunk, seg.data() + tail_start,
+                tail_bytes);
   return buf;
 }
 

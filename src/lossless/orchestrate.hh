@@ -58,10 +58,20 @@ enum class MethodPolicy : std::uint8_t {
 
 // ---- Sampled chooser ----------------------------------------------------
 
-/// Sample geometry: contiguous even-aligned chunks of kSampleChunk bytes,
-/// strided to cover the segment, totalling clamp(n/64, kSampleMin,
-/// kSampleMax) bytes. Segments at or below 2*kSampleMin are sampled whole.
+/// Sample geometry: contiguous even-aligned chunks of kSampleChunk bytes
+/// strided across the segment prefix, plus one contiguous tail window of
+/// kSampleTailChunks chunks, together totalling clamp(n/64, kSampleMin,
+/// kSampleMax) bytes. Isolated 4 KiB chunks carry almost no LZSS match
+/// history, so costs measured on them are blind to the long-range matches
+/// dictionary coding lives on; the tail window restores match history at
+/// window scale so transforms that destroy those matches (bitshuffle) pay a
+/// visible price in the sampled costs. The window engages only when the
+/// budget affords all kSampleTailChunks of it (a shorter window adds no
+/// history, only coverage skew) — in practice the multi-MiB fine-level
+/// segments where dictionary coding dominates. Segments at or below
+/// 2*kSampleMin are sampled whole.
 inline constexpr std::size_t kSampleChunk = 4096;
+inline constexpr std::size_t kSampleTailChunks = 4;
 inline constexpr std::size_t kSampleMin = 8 * 1024;
 inline constexpr std::size_t kSampleMax = 256 * 1024;
 
@@ -78,10 +88,12 @@ inline constexpr double kEntropyShortcutBits = 7.9;
 /// zero-RLE is match-transparent (collapsed runs were trivially
 /// compressible anyway), so its sampled advantage extrapolates to the full
 /// segment and a small margin suffices. Bitshuffle scatters bytes across
-/// bit planes, which destroys exactly the long-range LZSS matches a small
-/// strided sample cannot see (the sample carries almost no match history),
-/// so the sample systematically *overstates* bitshuffle — its advantage
-/// must be overwhelming before it is trusted.
+/// bit planes, which destroys exactly the long-range LZSS matches the
+/// strided chunks cannot see. The contiguous tail window puts window-scale
+/// match history back into the sample, so part of that destruction now
+/// shows up in the sampled cost — but matches that span beyond the window
+/// remain invisible, so the sample still *overstates* bitshuffle and its
+/// advantage must stay overwhelming before it is trusted.
 inline constexpr std::uint64_t kChooserMarginPct = 3;
 inline constexpr std::uint64_t kChooserBitshuffleMarginPct = 20;
 

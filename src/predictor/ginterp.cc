@@ -528,6 +528,84 @@ void run_one_tile(const dev::BlockIdx& blk, std::span<const T> in,
   }
 }
 
+/// run_one_tile<false> against a box-local buffer: tile `blk` is addressed
+/// in global tile-grid coordinates and its clamps (origin/owned/extent) use
+/// the GLOBAL dims — identical to the full decompressor's — but the loads,
+/// write-backs and code lookups are box-local: `box` and `codes_in` span
+/// the closed box [box_lo, box_lo + box_dims), which must contain the
+/// tile's whole closed region. tile_pass consumes dims only through its
+/// linear strides, so handing it the box dims with a box-local `gorigin`
+/// walks byte-identical arithmetic over re-based indices; the AVX2
+/// vector/scalar split may land elsewhere (codes_in ends sooner), which is
+/// immaterial because the scalar tail computes the exact same expressions.
+template <typename T>
+void run_one_tile_box(const dev::BlockIdx& blk, std::span<T> box,
+                      std::span<const quant::Code> codes_in,
+                      const dev::Dim3& dims, const dev::Dim3& box_lo,
+                      const dev::Dim3& box_dims, const InterpConfig& cfg,
+                      const Geometry& geo,
+                      std::span<const quant::Quantizer> level_qz,
+                      PlaneOverride<T> po = {}) {
+  TileView<T> t;
+  t.origin = {blk.x * geo.tile.x, blk.y * geo.tile.y, blk.z * geo.tile.z};
+  for (int i = 0; i < 3; ++i) {
+    const std::size_t nd = dim_of(dims, i);
+    const std::size_t td = dim_of(geo.tile, i);
+    t.owned[i] = std::min(td, nd - t.origin[i]);
+    t.extent[i] = std::min(td + 1, nd - t.origin[i]);
+  }
+  t.lstride = {1, t.extent[0], t.extent[0] * t.extent[1]};
+
+  // Box-local tile origin; the plan guarantees origin >= box_lo and
+  // origin + extent <= box_lo + box_dims per axis.
+  const std::array<std::size_t, 3> bo = {t.origin[0] - box_lo.x,
+                                         t.origin[1] - box_lo.y,
+                                         t.origin[2] - box_lo.z};
+
+  // Load the closed region box-locally; a +z plane crossing an interior
+  // slab boundary loads from the box-sized snapshot in `po`, exactly like
+  // the full reconstructor's cross-slab load.
+  for (std::size_t z = 0; z < t.extent[2]; ++z) {
+    const std::size_t gz = t.origin[2] + z;
+    const T* splane = (po.plane != nullptr && gz == po.z) ? po.plane : nullptr;
+    for (std::size_t y = 0; y < t.extent[1]; ++y) {
+      const std::size_t lrow = y * t.lstride[1] + z * t.lstride[2];
+      const T* grow =
+          splane != nullptr
+              ? splane + (bo[1] + y) * box_dims.x + bo[0]
+              : box.data() +
+                    dev::linearize(box_dims, bo[0], bo[1] + y, bo[2] + z);
+      std::memcpy(t.buf.data() + lrow, grow, t.extent[0] * sizeof(T));
+    }
+  }
+
+  const std::size_t gorigin = dev::linearize(box_dims, bo[0], bo[1], bo[2]);
+  for (std::size_t s = geo.top_stride; s >= 1; s >>= 1) {
+    std::array<bool, 3> done{false, false, false};
+    const quant::Quantizer& qz =
+        level_qz[static_cast<std::size_t>(level_of_stride(s) - 1)];
+    for (int k = 0; k < 3; ++k) {
+      const int d = cfg.dim_order[k];
+      // Degenerate dims skip on the GLOBAL dims, as in run_one_tile.
+      if (dim_of(dims, d) == 1) continue;
+      tile_pass<false>(t, d, s, done, qz,
+                       cfg.cubic[static_cast<std::size_t>(d)], box_dims, {},
+                       codes_in, gorigin);
+      done[static_cast<std::size_t>(d)] = true;
+    }
+  }
+
+  // Write back the owned region box-locally.
+  for (std::size_t z = 0; z < t.owned[2]; ++z)
+    for (std::size_t y = 0; y < t.owned[1]; ++y) {
+      const std::size_t lrow = y * t.lstride[1] + z * t.lstride[2];
+      const std::size_t grow =
+          dev::linearize(box_dims, bo[0], bo[1] + y, bo[2] + z);
+      std::memcpy(box.data() + grow, t.buf.data() + lrow,
+                  t.owned[0] * sizeof(T));
+    }
+}
+
 template <bool kCompress, typename T>
 void run_tiles(std::span<const T> in, std::span<T> out,
                std::span<quant::Code> codes,
@@ -992,6 +1070,144 @@ void GInterpReconstructorT<T>::run_slab(std::size_t bz) {
 
 template class GInterpReconstructorT<float>;
 template class GInterpReconstructorT<double>;
+
+// ---- Random-access (ROI) reconstruction ----------------------------------
+
+GInterpRoiPlan ginterp_roi_plan(const dev::Dim3& dims, const dev::Dim3& lo,
+                                const dev::Dim3& ext) {
+  const auto bad = [](const char* what) {
+    throw std::invalid_argument(std::string("ginterp_roi_plan: ") + what);
+  };
+  if (ext.x == 0 || ext.y == 0 || ext.z == 0) bad("empty ROI");
+  if (lo.x > dims.x || ext.x > dims.x - lo.x || lo.y > dims.y ||
+      ext.y > dims.y - lo.y || lo.z > dims.z || ext.z > dims.z - lo.z)
+    bad("ROI exceeds field");
+
+  const Geometry geo = geometry_for(dims);
+  GInterpRoiPlan p;
+  p.tile_lo = {lo.x / geo.tile.x, lo.y / geo.tile.y, lo.z / geo.tile.z};
+  p.tile_hi = {dev::ceil_div(lo.x + ext.x, geo.tile.x),
+               dev::ceil_div(lo.y + ext.y, geo.tile.y),
+               dev::ceil_div(lo.z + ext.z, geo.tile.z)};
+  p.box_lo = {p.tile_lo.x * geo.tile.x, p.tile_lo.y * geo.tile.y,
+              p.tile_lo.z * geo.tile.z};
+  // Closed box: one plane past the covered tiles' owned extent on every
+  // positive side (the tiles' borrowed border), clipped to the field.
+  p.box_dims = {
+      std::min<std::size_t>(p.tile_hi.x * geo.tile.x + 1, dims.x) - p.box_lo.x,
+      std::min<std::size_t>(p.tile_hi.y * geo.tile.y + 1, dims.y) - p.box_lo.y,
+      std::min<std::size_t>(p.tile_hi.z * geo.tile.z + 1, dims.z) - p.box_lo.z};
+  return p;
+}
+
+std::size_t ginterp_level_prefix(const dev::Dim3& dims, int level,
+                                 std::size_t z) {
+  const InterpDims id = interp_dims_of(dims);
+  if (level < 1 || level > id.nlevels)
+    throw std::invalid_argument("ginterp_level_prefix: level out of range");
+  const std::size_t s = std::size_t{1} << (level - 1);
+  return level_box(dims.x, dims.y, std::min<std::size_t>(z, dims.z), id, s);
+}
+
+void ginterp_level_box_runs(const dev::Dim3& dims, int level,
+                            const dev::Dim3& lo, const dev::Dim3& ext,
+                            const GInterpRunFn& fn) {
+  const InterpDims id = interp_dims_of(dims);
+  if (level < 1 || level > id.nlevels)
+    throw std::invalid_argument("ginterp_level_box_runs: level out of range");
+  const int v = level - 1;
+  const std::size_t s = std::size_t{1} << v;
+  const std::size_t xend = lo.x + ext.x;
+  for (std::size_t z = lo.z; z < lo.z + ext.z; ++z)
+    for (std::size_t y = lo.y; y < lo.y + ext.y; ++y) {
+      const RowPattern p = row_pattern(y, z, id, v, s);
+      if (p.step == 0) continue;
+      const std::size_t x0 =
+          lo.x <= p.start
+              ? p.start
+              : p.start + dev::ceil_div(lo.x - p.start, p.step) * p.step;
+      if (x0 >= xend) continue;
+      const std::size_t n = (xend - 1 - x0) / p.step + 1;
+      fn(level_rank(dims, id, v, x0, y, z), n, x0, y, z, p.step);
+    }
+}
+
+template <typename T>
+GInterpRoiReconstructorT<T>::GInterpRoiReconstructorT(
+    std::span<const quant::Code> codes, const GInterpRoiPlan& plan,
+    const dev::Dim3& dims, double eb, const InterpConfig& cfg, int radius,
+    std::span<T> out)
+    : codes_(codes),
+      out_(out),
+      dims_(dims),
+      plan_(plan),
+      geo_(geometry_for(dims)),
+      cfg_(cfg),
+      level_qz_(make_level_quantizers(eb, cfg, geo_, radius)) {
+  if (codes.size() != plan.box_dims.volume() ||
+      out.size() != plan.box_dims.volume())
+    throw std::invalid_argument("ginterp_roi: size/box mismatch");
+  if (plan.tile_lo.x >= plan.tile_hi.x || plan.tile_lo.y >= plan.tile_hi.y ||
+      plan.tile_lo.z >= plan.tile_hi.z)
+    throw std::invalid_argument("ginterp_roi: empty tile cover");
+
+  // Snapshot the box-interior slab-boundary planes, exactly as the full
+  // reconstructor snapshots the field's: the caller just finished the
+  // scatter, so these planes hold anchors + outlier originals — the only
+  // loaded values a tile's +z border consumes — and reading them from the
+  // snapshot makes covered slabs schedulable in any order. The last covered
+  // slab's +z closed plane needs no snapshot: no covered tile owns (writes)
+  // it, so the live buffer stays at the post-scatter values anyway.
+  const std::size_t nslabs = plan_.tile_hi.z - plan_.tile_lo.z;
+  if (nslabs > 1) {
+    const std::size_t plane = plan_.box_dims.x * plan_.box_dims.y;
+    border_.resize((nslabs - 1) * plane);
+    dev::launch_linear(
+        nslabs - 1,
+        [&](std::size_t k) {
+          const std::size_t z =
+              (plan_.tile_lo.z + k + 1) * geo_.tile.z - plan_.box_lo.z;
+          std::memcpy(border_.data() + k * plane, out_.data() + z * plane,
+                      plane * sizeof(T));
+        },
+        1);
+  }
+}
+
+template <typename T>
+void GInterpRoiReconstructorT<T>::run_slab(std::size_t k) {
+  const std::size_t bz = plan_.tile_lo.z + k;
+  PlaneOverride<T> po;
+  if (k + 1 < slab_count()) {
+    po.plane = border_.data() + k * plan_.box_dims.x * plan_.box_dims.y;
+    po.z = (bz + 1) * geo_.tile.z;
+  }
+  // The same four (bx, by)-parity waves as the full reconstructor, over the
+  // covering block range only; parity is on the global block index, so
+  // same-wave tiles stay >= 2 blocks apart.
+  for (unsigned color = 0; color < 4; ++color) {
+    const std::size_t px = color & 1u;
+    const std::size_t py = color >> 1u;
+    const std::size_t bx0 = plan_.tile_lo.x + ((px ^ (plan_.tile_lo.x & 1)) & 1);
+    const std::size_t by0 = plan_.tile_lo.y + ((py ^ (plan_.tile_lo.y & 1)) & 1);
+    if (bx0 >= plan_.tile_hi.x || by0 >= plan_.tile_hi.y) continue;
+    const std::size_t nx = (plan_.tile_hi.x - bx0 + 1) / 2;
+    const std::size_t ny = (plan_.tile_hi.y - by0 + 1) / 2;
+    dev::launch_linear(
+        nx * ny,
+        [&](std::size_t t) {
+          const std::size_t bx = bx0 + 2 * (t % nx);
+          const std::size_t by = by0 + 2 * (t / nx);
+          const dev::BlockIdx blk{bx, by, bz, t};
+          run_one_tile_box<T>(blk, out_, codes_, dims_, plan_.box_lo,
+                              plan_.box_dims, cfg_, geo_, level_qz_, po);
+        },
+        1);
+  }
+}
+
+template class GInterpRoiReconstructorT<float>;
+template class GInterpRoiReconstructorT<double>;
 
 namespace {
 

@@ -21,6 +21,7 @@
 // production deployment must handle.
 #pragma once
 
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -322,5 +323,94 @@ using GInterpReconstructor = GInterpReconstructorT<float>;
 
 extern template class GInterpReconstructorT<float>;
 extern template class GInterpReconstructorT<double>;
+
+// ---- Random-access (ROI) reconstruction ----------------------------------
+//
+// Tiles are self-seeding: the first interpolation pass's inputs are all
+// anchor positions, and the only *loaded* values a tile ever consumes are
+// anchors and outlier originals. A box-local buffer that holds exactly the
+// post-scatter state of the covering tiles' closed regions therefore
+// reconstructs those tiles bit-identically to a full decompress — no tile
+// outside the cover has to run. The closed forms above (ginterp_level_*)
+// locate each level's covered symbols inside its per-level stream, so a
+// random-access reader decodes only the Huffman chunks those rank runs
+// touch.
+
+/// Covering-tile plan of the ROI box [lo, lo + ext): the tile block range
+/// and the tile-aligned closed box that contains every covering tile's
+/// closed region. Throws std::invalid_argument when the ROI is empty or
+/// exceeds the field.
+struct GInterpRoiPlan {
+  dev::Dim3 tile_lo;   ///< first covering tile block per axis
+  dev::Dim3 tile_hi;   ///< one past the last covering tile block
+  dev::Dim3 box_lo;    ///< closed box origin (tile_lo * tile)
+  dev::Dim3 box_dims;  ///< closed box extents, clipped to the field
+};
+
+[[nodiscard]] GInterpRoiPlan ginterp_roi_plan(const dev::Dim3& dims,
+                                              const dev::Dim3& lo,
+                                              const dev::Dim3& ext);
+
+/// Count of level-`level` (1-based) positions in the z-plane prefix [0, z)
+/// — the rank at which a z-slab's symbols start within the level stream.
+/// Closed form; z is clamped to dims.z.
+[[nodiscard]] std::size_t ginterp_level_prefix(const dev::Dim3& dims,
+                                               int level, std::size_t z);
+
+/// Enumerates, in ascending rank order, the x-runs of level-`level`
+/// positions inside the box [lo, lo + ext): fn(rank, count, x0, y, z, step)
+/// describes `count` positions at global coordinates (x0 + i*step, y, z)
+/// occupying ranks [rank, rank + count) of the level's stream.
+using GInterpRunFn =
+    std::function<void(std::size_t rank, std::size_t count, std::size_t x0,
+                       std::size_t y, std::size_t z, std::size_t step)>;
+void ginterp_level_box_runs(const dev::Dim3& dims, int level,
+                            const dev::Dim3& lo, const dev::Dim3& ext,
+                            const GInterpRunFn& fn);
+
+/// Box-clipped counterpart of GInterpReconstructorT: reconstructs only the
+/// plan's covering tiles inside a box-local buffer. `codes` and `out` are
+/// box-local arrays of plan.box_dims.volume() elements; the caller has
+/// already radius-prefilled `codes`, scattered every covered level's
+/// symbols into it, and scattered anchors + outlier originals into `out`
+/// (all at box-local indices). Tile clamps, pass walks and per-point
+/// arithmetic are shared with the full reconstructor, so the owned region
+/// of every covering tile comes out bit-identical to the same tile of a
+/// full decompress; positions of `out` outside those owned regions (the
+/// halo) hold reconstruction scratch and must be discarded by the crop.
+template <typename T>
+class GInterpRoiReconstructorT {
+ public:
+  GInterpRoiReconstructorT(std::span<const quant::Code> codes,
+                           const GInterpRoiPlan& plan, const dev::Dim3& dims,
+                           double eb, const InterpConfig& cfg, int radius,
+                           std::span<T> out);
+
+  /// Covered tile slabs along z; slab k holds tile block z = tile_lo.z + k.
+  [[nodiscard]] std::size_t slab_count() const {
+    return plan_.tile_hi.z - plan_.tile_lo.z;
+  }
+
+  /// Reconstructs every covering tile of slab k. As with the full
+  /// reconstructor, slabs are mutually independent (interior slab
+  /// boundaries load from a post-scatter snapshot) and may run concurrently
+  /// — each k exactly once.
+  void run_slab(std::size_t k);
+
+ private:
+  std::span<const quant::Code> codes_;
+  std::span<T> out_;
+  dev::Dim3 dims_;
+  GInterpRoiPlan plan_;
+  Geometry geo_;
+  InterpConfig cfg_;
+  std::vector<quant::Quantizer> level_qz_;
+  /// Post-scatter snapshot of the box-interior slab-boundary z-planes
+  /// (box_dims.x * box_dims.y elements each), one per interior boundary.
+  std::vector<T> border_;
+};
+
+extern template class GInterpRoiReconstructorT<float>;
+extern template class GInterpRoiReconstructorT<double>;
 
 }  // namespace szi::predictor

@@ -291,6 +291,81 @@ TEST(CorruptionFuzz, WrapperTableInvariantsRejected) {
   expect_rejected(bad, "bitshuffle frame size mismatch");
 }
 
+// Structured tile-index coverage: each TIDX invariant the ROI decoder
+// validates, violated one at a time, must be rejected with CorruptArchive
+// whose stage and detail localize the fault to the index — while the full
+// decoder, which never reads the index payload, keeps decoding the same
+// mutated bytes bit-identically. Payload layout: u16 version | u16 reserved
+// | u32 slab_z | u32 nlevels | u32 nslabs, then 24-byte entries
+// (u64 sym_rank | u64 code_byte | u32 huff_chunk | u32 wrap_block), levels
+// descending, slabs ascending.
+TEST(CorruptionFuzz, TileIndexInvariantsRejected) {
+  const auto& field = test_field();
+  const auto archive = szi::cuszi_compress(field.view(), field.dims,
+                                           {szi::ErrorMode::Rel, 1e-3});
+  const auto segs = szi::cuszi_archive_segments(archive);
+  ASSERT_EQ(segs.back().kind, 3u);  // trailing tile index
+  const auto off = static_cast<std::size_t>(segs.back().offset);
+  const szi::RoiBox box{{10, 20, 30}, {16, 16, 16}};
+  const auto ref = szi::cuszi_decompress_f32(archive);
+
+  const auto poke = [&](std::size_t at, auto v) {
+    auto bad = archive;
+    std::memcpy(bad.data() + at, &v, sizeof(v));
+    return bad;
+  };
+  const auto expect_rejected = [&](const std::vector<std::byte>& bad,
+                                   const char* detail, const char* what) {
+    try {
+      (void)szi::cuszi_decompress_roi_f32(bad, box);
+      ADD_FAILURE() << what << ": ROI decode accepted a corrupt tile index";
+    } catch (const szi::core::CorruptArchive& e) {
+      EXPECT_EQ(e.stage(), "cusz-i") << what;
+      EXPECT_NE(std::string(e.what()).find(detail), std::string::npos)
+          << what << ": got \"" << e.what() << '"';
+    }
+    // The index only steers ROI reads; every other surface ignores it.
+    EXPECT_EQ(szi::cuszi_decompress_f32(bad), ref) << what;
+  };
+
+  expect_rejected(poke(off, std::uint16_t{2}), "tile index header mismatch",
+                  "bad version");
+  expect_rejected(poke(off + 2, std::uint16_t{1}),
+                  "tile index header mismatch", "reserved set");
+  expect_rejected(poke(off + 4, std::uint32_t{4}),
+                  "tile index header mismatch", "wrong slab_z");
+  expect_rejected(poke(off + 8, std::uint32_t{1}),
+                  "tile index header mismatch", "wrong nlevels");
+  expect_rejected(poke(off + 12, std::uint32_t{1}),
+                  "tile index header mismatch", "wrong nslabs");
+
+  // Entry fields are closed forms of (dims, per-level chunk tables): nudge
+  // each field of the first entry (coarsest level, slab 0) off by one.
+  const std::size_t entry0 = off + 16;
+  expect_rejected(poke(entry0, std::uint64_t{1}), "tile index entry mismatch",
+                  "sym_rank nudged");
+  expect_rejected(poke(entry0 + 8, std::uint64_t{1}),
+                  "tile index entry mismatch", "code_byte nudged");
+  expect_rejected(poke(entry0 + 16, std::uint32_t{1}),
+                  "tile index entry mismatch", "huff_chunk nudged");
+  expect_rejected(poke(entry0 + 20, std::uint32_t{7}),
+                  "tile index entry mismatch", "wrap_block nudged");
+
+  // An archive cut inside the index payload: the directory still promises
+  // the full index, so the short read is localized to the index fetch.
+  auto cut = archive;
+  cut.resize(off + 8);
+  try {
+    (void)szi::cuszi_decompress_roi_f32(cut, box);
+    ADD_FAILURE() << "ROI decode accepted a truncated tile index";
+  } catch (const szi::core::CorruptArchive& e) {
+    EXPECT_EQ(e.stage(), "cusz-i");
+    EXPECT_NE(std::string(e.what()).find("tile index truncated"),
+              std::string::npos)
+        << "got \"" << e.what() << '"';
+  }
+}
+
 TEST(CorruptionFuzz, WrappedArchivesToo) {
   auto c = szi::with_bitcomp(make_compressor("cusz-i"));
   const auto enc =

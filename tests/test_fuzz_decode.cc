@@ -538,6 +538,88 @@ TEST(FuzzDecode, TruncationSweepTransformedFrames) {
   }
 }
 
+// Mutants confined to the trailing TIDX segment (tile-index header + entry
+// table): the ROI decoder re-derives every index field from closed forms of
+// (dims, per-level chunk tables) and cross-checks all of them before
+// steering any read, so every corruption must surface as CorruptArchive
+// from the index validators — never any other exception. The full decoder
+// never reads the index payload, so the same mutants must keep decoding
+// bit-identically there.
+TEST(FuzzDecode, TileIndexTableMutants) {
+  const auto& f = tiny_field();
+  const auto archive = szi::cuszi_compress(std::span<const float>(f.data),
+                                           f.dims, {szi::ErrorMode::Rel, 1e-3});
+  const auto segs = szi::cuszi_archive_segments(archive);
+  ASSERT_FALSE(segs.empty());
+  ASSERT_EQ(segs.back().kind, 3u);  // trailing tile index
+  const auto tidx_off = static_cast<std::size_t>(segs.back().offset);
+  const auto tidx_bytes = static_cast<std::size_t>(segs.back().size);
+  ASSERT_GE(tidx_bytes, sizeof(std::uint64_t));
+  const auto ref = szi::cuszi_decompress_f32(archive);
+  const szi::RoiBox box{{3, 2, 1}, {12, 9, 6}};
+
+  szi::core::ScopedDecodeAllocCap cap(kAllocCap);
+  szi::datagen::Rng rng(seed_of("tidx-table-mutants"));
+  for (int trial = 0; trial < kTrials; ++trial) {
+    auto mutant = archive;
+    const int edits = 1 + static_cast<int>(rng.next_u64() % 3);
+    for (int e = 0; e < edits; ++e) {
+      if (rng.uniform() < 0.5) {
+        const std::size_t at = tidx_off + rng.next_u64() % tidx_bytes;
+        mutant[at] ^=
+            std::byte(static_cast<std::uint8_t>(1u << (rng.next_u64() % 8)));
+      } else {
+        // Whole-u64 rewrite of a rank/byte/chunk slot, half the time clamped
+        // near the valid range to probe off-by-one acceptance.
+        const std::size_t at =
+            tidx_off +
+            rng.next_u64() % (tidx_bytes - sizeof(std::uint64_t) + 1);
+        std::uint64_t v = rng.next_u64();
+        if (rng.uniform() < 0.5) v %= (archive.size() + 7);
+        std::memcpy(mutant.data() + at, &v, sizeof(v));
+      }
+    }
+    try {
+      (void)szi::cuszi_decompress_roi_f32(mutant, box);
+    } catch (const szi::core::CorruptArchive&) {
+      // the structured rejection path — expected for most mutants
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "tidx mutant trial " << trial << ": decoder threw "
+                    << typeid(e).name() << " (" << e.what()
+                    << ") instead of CorruptArchive";
+      return;
+    }
+    if (trial % 100 == 0)
+      EXPECT_EQ(szi::cuszi_decompress_f32(mutant), ref)
+          << "full decode must ignore the index payload (trial " << trial
+          << ")";
+  }
+}
+
+// Every-prefix truncation through the ROI decoder: cuts inside the
+// directory, anchor rows, outlier blob, Huffman headers/payloads, and the
+// trailing tile index (plus the pre-index fallback the shortest prefixes
+// take) must all surface as CorruptArchive, never any other exception.
+TEST(FuzzDecode, TruncationSweepRoiDecode) {
+  const auto& f = tiny_field();
+  const auto archive = szi::cuszi_compress(std::span<const float>(f.data),
+                                           f.dims, {szi::ErrorMode::Rel, 1e-3});
+  const szi::RoiBox box{{3, 2, 1}, {12, 9, 6}};
+  szi::core::ScopedDecodeAllocCap cap(kAllocCap);
+  for (std::size_t len = 0; len <= archive.size(); ++len) {
+    try {
+      (void)szi::cuszi_decompress_roi_f32(
+          std::span<const std::byte>(archive).first(len), box);
+    } catch (const szi::core::CorruptArchive&) {
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "ROI truncation at " << len << ": decoder threw "
+                    << typeid(e).name() << " (" << e.what()
+                    << ") instead of CorruptArchive";
+      return;
+    }
+  }
+}
+
 // Regression for the original OutlierSet::deserialize overflow: an 8-byte
 // header claiming n = 0x2000000000000000 made n * (8 + 4) wrap size_t, so
 // the old truncation check passed and the copy ran off the buffer. The

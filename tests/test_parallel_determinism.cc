@@ -9,6 +9,7 @@
 // neither scheduling nor vector width may ever leak into the output.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 
@@ -70,6 +71,7 @@ TEST(ParallelDeterminism, ArchivesAndReconsMatchAcrossWorkerCounts) {
   const std::string path = "parallel_determinism_golden.bin";
   const std::string recon_path = "parallel_determinism_golden_recon.bin";
   const std::string wrap_path = "parallel_determinism_golden_wrap.bin";
+  const std::string roi_path = "parallel_determinism_golden_roi.bin";
 
   auto c = szi::baselines::make_compressor("cusz-i");
   const auto fields =
@@ -124,17 +126,44 @@ TEST(ParallelDeterminism, ArchivesAndReconsMatchAcrossWorkerCounts) {
   EXPECT_EQ(fused_wrapped, wrapped)
       << "fused wrapped archive diverges at SZI_THREADS=" << threads_env;
 
+  // The index-steered ROI decode fans slabs out across the pool just like
+  // the full decode, but over a clipped working set with ranged segment
+  // reads — a scheduling leak there would produce a box that differs from
+  // the cropped full reconstruction only at some worker counts. Pin it to
+  // the same golden mechanism: an interior box that straddles tile-slab
+  // boundaries, decoded through the tile index at every worker count.
+  const szi::RoiBox box{{17, 30, 41}, {34, 25, 20}};
+  const auto roi = szi::cuszi_decompress_roi_f32(enc.bytes, box);
+  EXPECT_TRUE(roi.indexed)
+      << "SZI2 archive lost its tile index at SZI_THREADS=" << threads_env;
+  const auto roi_bytes = std::as_bytes(std::span<const float>(roi.data));
+  for (std::uint32_t z = 0; z < box.ext.z; ++z)
+    for (std::uint32_t y = 0; y < box.ext.y; ++y)
+      for (std::uint32_t x = 0; x < box.ext.x; ++x) {
+        const auto full = recon[((box.lo.z + z) * fields.front().dims.y +
+                                 (box.lo.y + y)) *
+                                    fields.front().dims.x +
+                                (box.lo.x + x)];
+        const auto got = roi.data[(z * box.ext.y + y) * box.ext.x + x];
+        ASSERT_EQ(std::memcmp(&full, &got, sizeof(float)), 0)
+            << "ROI decode diverges from cropped full decode at "
+            << "SZI_THREADS=" << threads_env << " (" << x << "," << y << ","
+            << z << ")";
+      }
+
   if (is_reference) {
     szi::io::write_bytes(path, enc.bytes);
     szi::io::write_bytes(recon_path, recon_bytes);
     szi::io::write_bytes(wrap_path, wrapped);
+    szi::io::write_bytes(roi_path, roi_bytes);
     SUCCEED() << "golden archive + reconstruction written";
   } else {
-    std::vector<std::byte> golden, golden_recon, golden_wrap;
+    std::vector<std::byte> golden, golden_recon, golden_wrap, golden_roi;
     try {
       golden = szi::io::read_bytes(path);
       golden_recon = szi::io::read_bytes(recon_path);
       golden_wrap = szi::io::read_bytes(wrap_path);
+      golden_roi = szi::io::read_bytes(roi_path);
     } catch (const std::exception&) {
       GTEST_SKIP() << "goldens missing (1-thread instance not run)";
     }
@@ -148,6 +177,10 @@ TEST(ParallelDeterminism, ArchivesAndReconsMatchAcrossWorkerCounts) {
     EXPECT_EQ(golden_wrap, wrapped)
         << "wrapped archive (chosen methods) differs between 1 and "
         << threads_env << " workers";
+    ASSERT_EQ(golden_roi.size(), roi_bytes.size());
+    EXPECT_EQ(0,
+              std::memcmp(golden_roi.data(), roi_bytes.data(), roi_bytes.size()))
+        << "ROI decode differs between 1 and " << threads_env << " workers";
   }
 }
 

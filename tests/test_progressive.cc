@@ -103,20 +103,36 @@ TEST(Progressive, FullFidelityIsBitIdenticalToPlainDecode) {
   const auto bytes = szi::cuszi_compress(std::span<const float>(f.data),
                                          f.dims, {ErrorMode::Rel, 1e-3});
   const auto full = szi::cuszi_decompress_f32(bytes);
+  // The archive ends with the tile index, which previews never need: full
+  // fidelity consumes exactly through the last level segment.
+  const auto segs = szi::cuszi_archive_segments(bytes);
+  std::uint64_t level_extent = 0;
+  for (const auto& s : segs)
+    if (s.kind == 2) level_extent = s.offset + s.size;
   for (const int L : {1, 0, -5}) {  // clamped to 1
     const auto r = szi::cuszi_decompress_progressive_f32(bytes, L);
     EXPECT_EQ(r.level, 1);
     ASSERT_EQ(r.data.size(), full.size());
     EXPECT_EQ(0, std::memcmp(r.data.data(), full.data(),
                              full.size() * sizeof(float)));
-    EXPECT_EQ(r.bytes_read, bytes.size());
+    EXPECT_EQ(r.bytes_read, level_extent);
+    EXPECT_LT(r.bytes_read, bytes.size());
   }
   const auto wrapped = szi::bitcomp_wrap_archive(bytes);
   const auto rw = szi::cuszi_decompress_progressive_f32(wrapped, 1);
   ASSERT_EQ(rw.data.size(), full.size());
   EXPECT_EQ(0, std::memcmp(rw.data.data(), full.data(),
                            full.size() * sizeof(float)));
-  EXPECT_EQ(rw.bytes_read, wrapped.size());
+  // Wrapped: the tile index's wrapper payload trails everything the full
+  // preview reads; the consumed prefix still decodes the identical field.
+  EXPECT_LT(rw.bytes_read, wrapped.size());
+  const std::vector<std::byte> prefix(
+      wrapped.begin(),
+      wrapped.begin() + static_cast<std::ptrdiff_t>(rw.bytes_read));
+  const auto rt = szi::cuszi_decompress_progressive_f32(prefix, 1);
+  ASSERT_EQ(rt.data.size(), full.size());
+  EXPECT_EQ(0, std::memcmp(rt.data.data(), full.data(),
+                           full.size() * sizeof(float)));
 }
 
 /// Streaming refinement: as max_level decreases toward full fidelity, the
@@ -156,7 +172,7 @@ TEST(Progressive, PreviewReadsOnlyItsPrefixOfSegments) {
                                          f.dims, {ErrorMode::Rel, 1e-3});
   const auto segs = szi::cuszi_archive_segments(bytes);
   const int nlevels = szi::predictor::ginterp_level_count(f.dims);
-  ASSERT_EQ(segs.size(), static_cast<std::size_t>(nlevels) + 2);
+  ASSERT_EQ(segs.size(), static_cast<std::size_t>(nlevels) + 3);
   for (int L = 2; L <= nlevels + 1; ++L) {
     const auto r = szi::cuszi_decompress_progressive_f32(bytes, L);
     // Last segment the preview needs: the deepest with level >= L (or the
@@ -339,7 +355,7 @@ TEST(Progressive, ArchiveSegmentsDirectoryView) {
                                          f.dims, {ErrorMode::Rel, 1e-3});
   const auto segs = szi::cuszi_archive_segments(bytes);
   const int nlevels = szi::predictor::ginterp_level_count(f.dims);
-  ASSERT_EQ(segs.size(), static_cast<std::size_t>(nlevels) + 2);
+  ASSERT_EQ(segs.size(), static_cast<std::size_t>(nlevels) + 3);
   EXPECT_EQ(segs[0].kind, 0);
   EXPECT_EQ(segs[1].kind, 1);
   std::uint64_t cursor = segs[0].offset;
@@ -347,7 +363,7 @@ TEST(Progressive, ArchiveSegmentsDirectoryView) {
   for (std::size_t i = 0; i < segs.size(); ++i) {
     EXPECT_EQ(segs[i].offset, cursor) << "segment " << i;
     cursor += segs[i].size;
-    if (i >= 2) {
+    if (i >= 2 && segs[i].kind == 2) {
       EXPECT_EQ(static_cast<int>(segs[i].level),
                 nlevels - static_cast<int>(i) + 2);
       EXPECT_EQ(segs[i].count, szi::predictor::ginterp_level_volume(
@@ -355,6 +371,10 @@ TEST(Progressive, ArchiveSegmentsDirectoryView) {
       symbols += segs[i].count;
     }
   }
+  // The trailing tile index: one entry per (level, tile z-slab).
+  EXPECT_EQ(segs.back().kind, 3);
+  EXPECT_EQ(segs.back().level, 0);
+  EXPECT_GT(segs.back().count, 0u);
   EXPECT_EQ(cursor, bytes.size());
   // Levels + anchors partition the volume.
   EXPECT_EQ(symbols + segs[0].count, f.dims.volume());
