@@ -1,8 +1,13 @@
 #include "cli/cli.hh"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <random>
 #include <stdexcept>
+#include <thread>
 
 #include "baselines/registry.hh"
 #include "core/cuszi.hh"
@@ -10,6 +15,7 @@
 #include "io/archive_source.hh"
 #include "io/bin_io.hh"
 #include "metrics/stats.hh"
+#include "serve/serve.hh"
 
 namespace szi::cli {
 
@@ -151,6 +157,104 @@ void print_wrap_segments(std::span<const std::byte> bytes) {
   }
 }
 
+/// --serve-bench: an in-process probe of the szi::serve layer. Deterministic
+/// Poisson arrivals over a mixed workload (two f32 compress size classes,
+/// decompress, ROI), every response checked byte-identical against the
+/// direct library call. Returns nonzero on any mismatch or failure.
+int run_serve_bench(std::size_t n) {
+  using Clock = std::chrono::steady_clock;
+  CompressParams params{ErrorMode::Rel, 1e-3};
+
+  auto synth = [](std::size_t nx, std::size_t ny, std::size_t nz) {
+    Field f("serve", "bench", {nx, ny, nz});
+    for (std::size_t i = 0; i < f.data.size(); ++i)
+      f.data[i] = std::sin(0.013f * float(i)) + std::cos(0.0041f * float(i));
+    return f;
+  };
+  const Field small = synth(24, 20, 16);
+  const Field medium = synth(48, 40, 32);
+  const auto small_arc = cuszi_compress(small.view(), small.dims, params);
+  const auto medium_arc = cuszi_compress(medium.view(), medium.dims, params);
+  const auto decomp_direct = cuszi_decompress_f32(small_arc);
+  const RoiBox box{{8, 6, 4}, {12, 10, 8}};
+  const auto roi_direct = cuszi_decompress_roi_f32(medium_arc, box).data;
+
+  std::mt19937_64 rng(42);
+  std::exponential_distribution<double> gap(600.0);
+  std::discrete_distribution<int> kind({35, 30, 25, 10});
+
+  serve::Service svc;
+  std::printf("serve-bench: %zu requests, Poisson 600/s, %s dispatch\n", n,
+              svc.inline_mode() ? "inline (single-core host)" : "scheduled");
+  std::vector<std::pair<int, serve::Ticket>> tickets;
+  tickets.reserve(n);
+  const auto start = Clock::now();
+  double t = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    t += gap(rng);
+    std::this_thread::sleep_until(start + std::chrono::duration<double>(t));
+    const int k = kind(rng);
+    switch (k) {
+      case 0:
+        tickets.emplace_back(
+            k, svc.submit_compress("cli", small.view(), small.dims, params));
+        break;
+      case 1:
+        tickets.emplace_back(
+            k, svc.submit_compress("cli", medium.view(), medium.dims, params));
+        break;
+      case 2:
+        tickets.emplace_back(k, svc.submit_decompress("cli", small_arc));
+        break;
+      default:
+        tickets.emplace_back(k, svc.submit_roi("cli", medium_arc, box));
+    }
+  }
+  for (const auto& [k, tk] : tickets) (void)tk.wait();
+  svc.drain();
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  bool identical = true;
+  std::size_t failed = 0;
+  std::vector<double> lat;
+  lat.reserve(n);
+  for (const auto& [k, tk] : tickets) {
+    const auto& r = tk.wait();
+    if (r.status != serve::Status::Ok) {
+      ++failed;
+      continue;
+    }
+    lat.push_back(r.total_seconds * 1e3);
+    switch (k) {
+      case 0: identical = identical && r.archive == small_arc; break;
+      case 1: identical = identical && r.archive == medium_arc; break;
+      case 2: identical = identical && r.data == decomp_direct; break;
+      default: identical = identical && r.data == roi_direct;
+    }
+  }
+  std::sort(lat.begin(), lat.end());
+  auto pct = [&](double q) {
+    if (lat.empty()) return 0.0;
+    const auto idx =
+        static_cast<std::size_t>(std::ceil(q * double(lat.size()))) - 1;
+    return lat[std::min(idx, lat.size() - 1)];
+  };
+  const auto s = svc.stats();
+  std::printf("  %.2f s | %.1f req/s | p50 %.3f ms | p95 %.3f ms | "
+              "p99 %.3f ms\n",
+              wall, wall > 0 ? double(n) / wall : 0.0, pct(0.50), pct(0.95),
+              pct(0.99));
+  std::printf("  waves %llu | coalesced %llu | failed %zu | arena high-water "
+              "%zu B\n",
+              static_cast<unsigned long long>(s.waves),
+              static_cast<unsigned long long>(s.coalesced), failed,
+              s.arena_high_water_bytes);
+  std::printf("  byte-identical to direct calls: %s\n",
+              identical ? "yes" : "NO");
+  return identical && failed == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 std::string usage() {
@@ -163,6 +267,10 @@ decompress:  szi -x -i <file.szi> -o <file.f32> [-c COMPRESSOR] [-t f32|f64]
                  [--bitcomp] [--level N] [--roi x0:x1,y0:y1,z0:z1]
 info:        szi --info -i <file.szi>  (identify the pipeline of an archive)
 list:        szi --list               (available compressors)
+serve-bench: szi --serve-bench [N]   (in-process service-layer load probe:
+                 N mixed compress/decompress/ROI requests through szi::serve,
+                 Poisson arrivals; prints sustained rate + p50/p95/p99 latency
+                 and checks every response byte-identical to the direct call)
 
 options:
   -m abs|rel|rate   error mode: absolute bound, value-range-relative bound
@@ -218,6 +326,11 @@ Options parse(const std::vector<std::string>& args) {
     } else if (a == "--info") {
       opt.command = Command::Info;
       have_command = true;
+    } else if (a == "--serve-bench") {
+      opt.command = Command::ServeBench;
+      have_command = true;
+      if (i + 1 < args.size() && !args[i + 1].empty() && args[i + 1][0] != '-')
+        opt.serve_requests = parse_size(args[++i], "--serve-bench");
     } else if (a == "-h" || a == "--help") {
       opt.command = Command::Help;
       have_command = true;
@@ -278,6 +391,8 @@ Options parse(const std::vector<std::string>& args) {
   }
   if (opt.command == Command::Info && opt.input.empty())
     throw std::invalid_argument("--info requires -i");
+  if (opt.command == Command::ServeBench && opt.serve_requests == 0)
+    throw std::invalid_argument("--serve-bench needs a positive count");
   if (opt.level > 0 && opt.command != Command::Decompress)
     throw std::invalid_argument("--level only applies to -x");
   if (opt.level > 0 && opt.compressor != "cusz-i")
@@ -311,6 +426,8 @@ int run(const Options& opt) {
       std::printf("sz3\nqoz\n");
       return 0;
     }
+    case Command::ServeBench:
+      return run_serve_bench(opt.serve_requests);
     case Command::Info: {
       auto asrc = io::open_archive(opt.input);
       std::vector<std::byte> scratch;

@@ -6,6 +6,7 @@
 //       [--level N] [--roi x0:x1,y0:y1,z0:z1]
 //   szi --info -i data.szi
 //   szi --list
+//   szi --serve-bench [N]
 //
 // Parsing is separated from execution so it can be unit-tested.
 #pragma once
@@ -20,7 +21,7 @@
 
 namespace szi::cli {
 
-enum class Command { Compress, Decompress, Info, List, Help };
+enum class Command { Compress, Decompress, Info, List, Help, ServeBench };
 
 struct Options {
   Command command = Command::Help;
@@ -36,6 +37,7 @@ struct Options {
   bool stages = false;  ///< print the per-stage timing breakdown (-z and -x)
   int level = 0;  ///< -x --level N: progressive preview decode (0 = full)
   std::optional<RoiBox> roi;  ///< -x --roi: random-access sub-volume decode
+  std::size_t serve_requests = 64;  ///< --serve-bench [N]: request count
 };
 
 /// Parses argv (argv[0] ignored). Throws std::invalid_argument with a

@@ -2426,56 +2426,72 @@ std::vector<SegmentInfo> archive_segments_typed(
   return out;
 }
 
-/// The batched pipeline behind cuszi_compress_many() and
-/// Cuszi::compress_batch: fields go round-robin onto `streams` in-order
-/// async queues. `streams == 0` means auto — one stream per pool worker
-/// (capped by the field count), so the batch front end scales with
-/// SZI_THREADS instead of a caller-guessed constant. Each stream reuses one
-/// Workspace over its own partitioned arena shard, so field k+streams's
-/// buffers are field k's pages — warm, already faulted in — and concurrent
-/// streams never contend on one free-list mutex. On a multi-core host the
-/// streams also overlap (field B's interpolation runs while field A
-/// encodes); outputs stay byte-identical because every kernel is
-/// deterministic regardless of scheduling.
-std::vector<std::vector<std::byte>> compress_many_impl(
+/// The batched pipeline behind cuszi_compress_many(),
+/// cuszi_compress_many_checked(), and Cuszi::compress_batch: fields go
+/// round-robin onto `streams` in-order async queues. `streams == 0` means
+/// auto — one stream per pool worker (capped by the field count), so the
+/// batch front end scales with SZI_THREADS instead of a caller-guessed
+/// constant. Each stream reuses one Workspace over its own partitioned
+/// arena shard, so field k+streams's buffers are field k's pages — warm,
+/// already faulted in — and concurrent streams never contend on one
+/// free-list mutex. On a multi-core host the streams also overlap (field
+/// B's interpolation runs while field A encodes); outputs stay
+/// byte-identical because every kernel is deterministic regardless of
+/// scheduling.
+///
+/// Failure isolation: each field's exception is caught inside its own task
+/// and parked in its BatchItem, so a throwing field never poisons its
+/// stream — the wave's other fields (including later fields on the same
+/// stream) still compress. A task that threw may have left the shared
+/// Workspace holding blocks mid-flight; reset() before the next field
+/// reuses it.
+std::vector<BatchItem> compress_many_checked_impl(
     std::span<const FieldView> fields, const CompressParams& params,
-    std::vector<StageTimings>* timings, std::size_t streams) {
+    std::size_t streams) {
   const std::size_t nf = fields.size();
-  std::vector<std::vector<std::byte>> out(nf);
-  std::vector<StageTimings> times(nf);
+  std::vector<BatchItem> out(nf);
   if (streams == 0)
     streams = std::max<std::size_t>(
         1, dev::ThreadPool::instance().worker_count());
   if (nf > 0 && streams > nf) streams = nf;
 
-  {
-    // Deques: Stream and Workspace are non-movable.
-    std::deque<dev::Stream> ss(streams);
-    std::deque<dev::Workspace> wss;
-    for (std::size_t s = 0; s < streams; ++s)
-      wss.emplace_back(dev::Arena::shard(s));
+  // Deques: Stream and Workspace are non-movable.
+  std::deque<dev::Stream> ss(streams);
+  std::deque<dev::Workspace> wss;
+  for (std::size_t s = 0; s < streams; ++s)
+    wss.emplace_back(dev::Arena::shard(s));
 
-    for (std::size_t f = 0; f < nf; ++f) {
-      dev::Workspace& ws = wss[f % streams];
-      ss[f % streams].submit([f, &ws, fields, params, &out, &times] {
-        out[f] = compress_typed<float>(fields[f].data, fields[f].dims, params,
-                                       &times[f], /*fused=*/true,
-                                       /*topk=*/true, ws);
-      });
-    }
-
-    // Drain every stream before rethrowing, so no task still references the
-    // local state; the first failure wins, matching sequential behavior for
-    // a bad field 0.
-    std::exception_ptr err;
-    for (auto& s : ss) {
+  for (std::size_t f = 0; f < nf; ++f) {
+    dev::Workspace& ws = wss[f % streams];
+    ss[f % streams].submit([f, &ws, fields, params, &out] {
       try {
-        s.synchronize();
+        out[f].bytes = compress_typed<float>(fields[f].data, fields[f].dims,
+                                             params, &out[f].timings,
+                                             /*fused=*/true,
+                                             /*topk=*/true, ws);
       } catch (...) {
-        if (!err) err = std::current_exception();
+        out[f].error = std::current_exception();
+        ws.reset();
       }
-    }
-    if (err) std::rethrow_exception(err);
+    });
+  }
+  for (auto& s : ss) s.synchronize();
+  return out;
+}
+
+std::vector<std::vector<std::byte>> compress_many_impl(
+    std::span<const FieldView> fields, const CompressParams& params,
+    std::vector<StageTimings>* timings, std::size_t streams) {
+  auto items = compress_many_checked_impl(fields, params, streams);
+  // Legacy contract: the whole batch throws. The lowest-index failure wins,
+  // matching what a sequential per-field loop would have raised first.
+  for (const auto& it : items)
+    if (!it.ok()) std::rethrow_exception(it.error);
+  std::vector<std::vector<std::byte>> out(items.size());
+  std::vector<StageTimings> times(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    out[i] = std::move(items[i].bytes);
+    times[i] = items[i].timings;
   }
   if (timings) *timings = std::move(times);
   return out;
@@ -2509,6 +2525,21 @@ class Cuszi final : public Compressor {
     for (std::size_t i = 0; i < archives.size(); ++i) {
       out[i].bytes = std::move(archives[i]);
       out[i].timings = times[i];
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::vector<CheckedCompressResult> compress_batch_checked(
+      std::span<const Field> fields, const CompressParams& p) override {
+    std::vector<FieldView> views;
+    views.reserve(fields.size());
+    for (const auto& f : fields) views.push_back({f.view(), f.dims});
+    auto items = compress_many_checked_impl(views, p, /*streams=*/0);
+    std::vector<CheckedCompressResult> out(items.size());
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      out[i].result.bytes = std::move(items[i].bytes);
+      out[i].result.timings = items[i].timings;
+      out[i].error = items[i].error;
     }
     return out;
   }
@@ -2655,6 +2686,12 @@ std::vector<std::vector<std::byte>> cuszi_compress_many(
     std::span<const FieldView> fields, const CompressParams& params,
     std::vector<StageTimings>* timings, std::size_t streams) {
   return compress_many_impl(fields, params, timings, streams);
+}
+
+std::vector<BatchItem> cuszi_compress_many_checked(
+    std::span<const FieldView> fields, const CompressParams& params,
+    std::size_t streams) {
+  return compress_many_checked_impl(fields, params, streams);
 }
 
 Precision cuszi_archive_precision(std::span<const std::byte> bytes) {

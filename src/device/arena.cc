@@ -34,12 +34,19 @@ std::byte* Arena::acquire(std::size_t bytes, std::size_t& capacity) {
       list.pop_back();
       ++stats_.hits;
       ++stats_.outstanding;
+      stats_.outstanding_bytes += capacity;
       --stats_.pooled_blocks;
       stats_.pooled_bytes -= capacity;
       return p;
     }
     ++stats_.misses;
     ++stats_.outstanding;
+    stats_.outstanding_bytes += capacity;
+    // A miss grows the OS footprint; hits recycle held bytes, so held_bytes
+    // and the high-water move only here and in trim().
+    stats_.held_bytes += capacity;
+    stats_.high_water_bytes =
+        std::max(stats_.high_water_bytes, stats_.held_bytes);
   }
   // Allocate outside the lock; 64-byte alignment keeps any element type and
   // cache-line-sensitive kernels happy.
@@ -53,6 +60,7 @@ void Arena::release(std::byte* p, std::size_t capacity) noexcept {
   std::lock_guard lk(mu_);
   free_[b].push_back(p);
   --stats_.outstanding;
+  stats_.outstanding_bytes -= capacity;
   ++stats_.pooled_blocks;
   stats_.pooled_bytes += capacity;
 }
@@ -64,8 +72,14 @@ void Arena::trim() noexcept {
       ::operator delete(p, std::size_t{1} << b, std::align_val_t{64});
     free_[b].clear();
   }
+  stats_.held_bytes -= stats_.pooled_bytes;
   stats_.pooled_blocks = 0;
   stats_.pooled_bytes = 0;
+}
+
+void Arena::reset_high_water() noexcept {
+  std::lock_guard lk(mu_);
+  stats_.high_water_bytes = stats_.held_bytes;
 }
 
 Arena::Stats Arena::stats() const {
@@ -82,8 +96,23 @@ Arena::Stats Arena::aggregate_stats() {
     total.pooled_blocks += s.pooled_blocks;
     total.pooled_bytes += s.pooled_bytes;
     total.outstanding += s.outstanding;
+    total.outstanding_bytes += s.outstanding_bytes;
+    total.held_bytes += s.held_bytes;
+    total.high_water_bytes += s.high_water_bytes;
   }
   return total;
+}
+
+std::size_t Arena::trim_all() noexcept {
+  const std::size_t before = aggregate_stats().held_bytes;
+  instance().trim();
+  for (std::size_t i = 0; i < kShards; ++i) shard(i).trim();
+  return before - aggregate_stats().held_bytes;
+}
+
+void Arena::reset_high_water_all() noexcept {
+  instance().reset_high_water();
+  for (std::size_t i = 0; i < kShards; ++i) shard(i).reset_high_water();
 }
 
 }  // namespace szi::dev

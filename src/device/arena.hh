@@ -61,6 +61,16 @@ class Arena {
     std::size_t pooled_blocks = 0;
     std::size_t pooled_bytes = 0;
     std::size_t outstanding = 0; ///< blocks currently acquired
+    std::size_t outstanding_bytes = 0;  ///< bytes currently acquired
+    /// Bytes currently held from the OS: outstanding + pooled. This is the
+    /// arena's real footprint — release() moves bytes from outstanding to
+    /// pooled without returning them, only trim() shrinks it.
+    std::size_t held_bytes = 0;
+    /// Peak of held_bytes since construction (or the last
+    /// reset_high_water()). The admission controller in szi::serve budgets
+    /// against this — it is the honest "how much workspace did the fleet
+    /// ever pin" number the bench ledgers report.
+    std::size_t high_water_bytes = 0;
   };
 
   /// Returns a block of at least `bytes` (rounded up to the bucket size,
@@ -74,12 +84,28 @@ class Arena {
   /// Frees every idle block back to the OS (outstanding blocks unaffected).
   void trim() noexcept;
 
+  /// Restarts high-water tracking from the current held_bytes; phase-scoped
+  /// peak measurements (the serve bench's per-config ledger rows) bracket a
+  /// phase with reset + read.
+  void reset_high_water() noexcept;
+
   [[nodiscard]] Stats stats() const;
 
   /// Sum of stats() across instance() and every shard() — what benches
   /// should report, since the batch pipelines draw from the shards, not the
-  /// global pool.
+  /// global pool. high_water_bytes is the sum of the per-arena peaks: an
+  /// upper bound on the true simultaneous peak (the arenas need not have
+  /// peaked at the same instant), which is the conservative direction for
+  /// admission control.
   [[nodiscard]] static Stats aggregate_stats();
+
+  /// trim() on instance() and every shard(); returns the number of bytes
+  /// released back to the OS. The serve layer calls this when an idle
+  /// service's pooled pages should be given back.
+  static std::size_t trim_all() noexcept;
+
+  /// reset_high_water() on instance() and every shard().
+  static void reset_high_water_all() noexcept;
 
  private:
   static constexpr std::size_t kMinBlock = 256;

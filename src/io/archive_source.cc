@@ -16,11 +16,28 @@ namespace {
 
 std::atomic<std::uint64_t> g_bytes_read{0};
 
+detail::PreadFn g_pread_hook = nullptr;
+
+ssize_t do_pread(int fd, void* buf, std::size_t count, off_t off) {
+  return g_pread_hook ? g_pread_hook(fd, buf, count, off)
+                      : ::pread(fd, buf, count, off);
+}
+
 [[noreturn]] void fail_sys(const std::string& what, const std::string& path) {
   throw std::runtime_error(what + ": " + path + ": " + std::strerror(errno));
 }
 
 }  // namespace
+
+namespace detail {
+
+PreadFn set_pread_hook(PreadFn fn) noexcept {
+  PreadFn prev = g_pread_hook;
+  g_pread_hook = fn;
+  return prev;
+}
+
+}  // namespace detail
 
 std::uint64_t archive_bytes_read() noexcept {
   return g_bytes_read.load(std::memory_order_relaxed);
@@ -36,7 +53,7 @@ void ArchiveSource::check_range(std::size_t off, std::size_t len) const {
 }
 
 void ArchiveSource::account(std::size_t len) noexcept {
-  bytes_read_ += len;
+  bytes_read_.fetch_add(len, std::memory_order_relaxed);
   g_bytes_read.fetch_add(len, std::memory_order_relaxed);
 }
 
@@ -103,8 +120,8 @@ std::span<const std::byte> StreamSource::view(std::size_t off, std::size_t len,
   scratch.resize(len);
   std::size_t got = 0;
   while (got < len) {
-    const ssize_t r = ::pread(fd_, scratch.data() + got, len - got,
-                              static_cast<off_t>(off + got));
+    const ssize_t r = do_pread(fd_, scratch.data() + got, len - got,
+                               static_cast<off_t>(off + got));
     if (r < 0) {
       if (errno == EINTR) continue;
       throw std::runtime_error(std::string("ArchiveSource: pread failed: ") +

@@ -7,6 +7,9 @@
 // number the bench ledger and the CLI's --stages bytes-touched line print.
 #pragma once
 
+#include <sys/types.h>
+
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -24,6 +27,12 @@ namespace szi::io {
 void reset_archive_bytes_read() noexcept;
 
 /// Abstract random-access view of an archive's bytes.
+///
+/// Thread safety: concurrent view() calls on one source are safe as long as
+/// every caller passes its own `scratch` buffer — the multi-tenant ROI
+/// pattern of many readers sharing one mmap'd archive. Memory/mmap views
+/// are immutable storage, pread carries no shared file offset, and the
+/// byte accounting is atomic.
 class ArchiveSource {
  public:
   virtual ~ArchiveSource() = default;
@@ -42,7 +51,7 @@ class ArchiveSource {
 
   /// Total bytes this source has served.
   [[nodiscard]] std::uint64_t bytes_read() const noexcept {
-    return bytes_read_;
+    return bytes_read_.load(std::memory_order_relaxed);
   }
 
  protected:
@@ -52,7 +61,7 @@ class ArchiveSource {
   void account(std::size_t len) noexcept;
 
  private:
-  std::uint64_t bytes_read_ = 0;
+  std::atomic<std::uint64_t> bytes_read_{0};
 };
 
 /// Borrowed in-memory bytes (the compress-then-decompress round trips of
@@ -113,5 +122,19 @@ class StreamSource final : public ArchiveSource {
 /// mapping fails (empty files, filesystems without mmap).
 [[nodiscard]] std::unique_ptr<ArchiveSource> open_archive(
     const std::string& path);
+
+namespace detail {
+
+/// Test seam for StreamSource's read loop: when a hook is installed, it is
+/// called in place of ::pread, letting tests exercise the EINTR-retry and
+/// short-read reassembly paths that a healthy local filesystem never takes
+/// (pread on a regular file is atomic in practice, but NFS, FUSE, and
+/// signal-heavy processes do produce partial reads and EINTR). Returns the
+/// previously installed hook; nullptr restores ::pread. Not thread-safe
+/// against concurrent StreamSource reads — install before spawning readers.
+using PreadFn = ssize_t (*)(int fd, void* buf, std::size_t count, off_t off);
+PreadFn set_pread_hook(PreadFn fn) noexcept;
+
+}  // namespace detail
 
 }  // namespace szi::io

@@ -1,0 +1,264 @@
+// szi::serve — a batched multi-tenant compression service over the
+// Stream/Arena substrate.
+//
+// The one-shot CLI and library entry points serve exactly one request at a
+// time; a fleet-scale deployment sees thousands of concurrent
+// compress/decompress/ROI requests for fields of wildly mixed sizes. What
+// unlocks throughput there is not per-field micro-optimization but
+// coarse-grained batching (cuSZ+, Tian et al. 2021): amortizing scheduling,
+// keeping arena pages warm across requests of similar size, and running
+// whole waves through the pipelined batch front end. The Service implements
+// that shape on the host:
+//
+//   submit_*()  --> bounded queues (backpressure: submit blocks when full)
+//                     | compress requests shard by size class + params
+//                     | decompress/ROI requests queue separately
+//   scheduler   --> coalesces same-class compress requests into
+//                   compress_batch waves (cuszi_compress_many_checked);
+//                   fans decompress/ROI waves across dev::Streams with
+//                   per-shard Workspaces
+//   admission   --> a wave is held (or a request rejected, per config)
+//                   when the pooled-arena high-water would exceed the
+//                   configured workspace budget
+//
+// Outputs are byte-identical to the direct Compressor/library calls — the
+// scheduler only changes *when* work runs, never *what* runs (the worker-
+// count determinism suite and bench/serve_load's golden pinning enforce
+// this). On a single-core host the service degrades gracefully to inline
+// execution: submit() runs the request synchronously on the caller's
+// thread, no scheduler thread, no queues, same bytes.
+//
+// Failure isolation: one bad field fails only its own request
+// (Status::Failed with the exception text); the rest of its wave completes
+// normally via the checked batch API.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/compressor_iface.hh"
+#include "device/dims.hh"
+
+namespace szi::serve {
+
+struct ServeConfig {
+  /// Maximum compress requests coalesced into one compress_batch wave (and
+  /// the decompress/ROI wave width). 1 disables wave formation.
+  std::size_t max_wave = 8;
+
+  /// Coalesce same-size-class compress requests into batch waves. Off, each
+  /// request becomes its own single-field wave (the bench's uncoalesced
+  /// ablation).
+  bool coalesce = true;
+
+  /// Total queued requests across all queues before submit() blocks — the
+  /// backpressure bound that keeps an open-loop overload from ballooning
+  /// memory. Must be >= 1.
+  std::size_t queue_capacity = 1024;
+
+  /// Workspace budget for admission control, in bytes; 0 = unlimited.
+  /// Budgeted against the pooled arenas' held bytes (Arena::aggregate_stats
+  /// held_bytes / high_water_bytes) plus the estimated footprint of
+  /// in-flight waves.
+  std::size_t workspace_budget_bytes = 0;
+
+  /// Over-budget behavior. Queue: the scheduler holds the wave until
+  /// in-flight work retires (a lone wave always dispatches — holding it
+  /// with nothing in flight would starve). Reject: submit() fails the
+  /// request immediately with Status::Rejected, never blocking on budget.
+  enum class OverBudget { Queue, Reject };
+  OverBudget over_budget = OverBudget::Queue;
+
+  /// Execution mode. Auto picks Inline when the thread pool has one worker
+  /// (single-core host: a scheduler thread would only add context switches
+  /// and latency) and Scheduler otherwise.
+  enum class Dispatch { Auto, Scheduler, Inline };
+  Dispatch dispatch = Dispatch::Auto;
+};
+
+enum class Status : std::uint8_t { Ok, Rejected, Failed };
+
+/// Completed request. Exactly one of archive/data is populated on Ok,
+/// matching the request kind; `error` carries the exception text on Failed
+/// and the rejection reason on Rejected.
+struct Response {
+  Status status = Status::Ok;
+  std::string error;
+  std::vector<std::byte> archive;  ///< compress output
+  std::vector<float> data;         ///< f32 decompress/ROI output
+  std::vector<double> data_f64;    ///< f64 decompress output
+  std::size_t bytes_in = 0;
+  std::size_t bytes_out = 0;
+  double queue_seconds = 0;    ///< submit -> wave dispatch
+  double service_seconds = 0;  ///< wave dispatch -> completion
+  double total_seconds = 0;    ///< submit -> completion
+};
+
+namespace detail {
+struct RequestState;
+}  // namespace detail
+
+/// Future-like handle for a submitted request. Copyable; copies share the
+/// completion state. Default-constructed tickets are empty (valid() false).
+class Ticket {
+ public:
+  Ticket() = default;
+
+  [[nodiscard]] bool valid() const { return st_ != nullptr; }
+
+  /// Blocks until the request completes; returns the response (stable
+  /// reference, alive as long as any ticket copy).
+  const Response& wait() const;
+
+  /// Non-blocking completion check.
+  [[nodiscard]] bool ready() const;
+
+ private:
+  friend class Service;
+  explicit Ticket(std::shared_ptr<detail::RequestState> st)
+      : st_(std::move(st)) {}
+  std::shared_ptr<detail::RequestState> st_;
+};
+
+/// Per-tenant accounting, returned by Service::tenant_stats().
+struct TenantStats {
+  std::uint64_t requests = 0;   ///< accepted (Ok + Failed)
+  std::uint64_t rejected = 0;   ///< admission-rejected
+  std::uint64_t failed = 0;     ///< completed with Status::Failed
+  std::uint64_t bytes_in = 0;   ///< request payload bytes
+  std::uint64_t bytes_out = 0;  ///< response payload bytes
+  double busy_seconds = 0;      ///< summed service time
+  double queue_seconds = 0;     ///< summed queue wait
+};
+
+/// Whole-service counters, returned by Service::stats().
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t waves = 0;      ///< batches dispatched
+  std::uint64_t coalesced = 0;  ///< compress requests that shared a wave
+  std::uint64_t admission_deferrals = 0;  ///< waves held for budget
+  std::uint64_t admission_rejects = 0;    ///< requests rejected for budget
+  std::size_t peak_inflight_estimate = 0;  ///< estimator bytes, peak
+  /// Arena::aggregate_stats().high_water_bytes at the time of the call —
+  /// the real peak workspace footprint behind the estimates.
+  std::size_t arena_high_water_bytes = 0;
+};
+
+/// The service. One instance owns one scheduler thread (or none, inline
+/// mode) and serves any number of concurrently submitting tenants.
+///
+/// Lifetime: request payloads (`data`, `archive` spans) are borrowed — the
+/// caller must keep them alive until the request's ticket completes.
+/// Destruction drains: every accepted request completes before the
+/// destructor returns.
+class Service {
+ public:
+  explicit Service(ServeConfig cfg = {});
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Compress an f32 field to a cuSZ-i archive (byte-identical to
+  /// cuszi_compress / Compressor::compress with the same params).
+  [[nodiscard]] Ticket submit_compress(std::string tenant,
+                                       std::span<const float> data,
+                                       const dev::Dim3& dims,
+                                       const CompressParams& params);
+
+  /// Compress an f64 field. f64 requests are not coalesced (the batch
+  /// front end is f32); they dispatch as single-request waves.
+  [[nodiscard]] Ticket submit_compress_f64(std::string tenant,
+                                           std::span<const double> data,
+                                           const dev::Dim3& dims,
+                                           const CompressParams& params);
+
+  /// Decompress a cuSZ-i archive (SZI1/SZI2, raw or de-redundancy-wrapped
+  /// — dispatched on the magic, like the CLI).
+  [[nodiscard]] Ticket submit_decompress(std::string tenant,
+                                         std::span<const std::byte> archive);
+  [[nodiscard]] Ticket submit_decompress_f64(
+      std::string tenant, std::span<const std::byte> archive);
+
+  /// Random-access ROI decode of the box from a cuSZ-i archive.
+  [[nodiscard]] Ticket submit_roi(std::string tenant,
+                                  std::span<const std::byte> archive,
+                                  const RoiBox& box);
+
+  /// Blocks until every accepted request has completed.
+  void drain();
+
+  /// True when this instance executes requests inline (single-core host or
+  /// Dispatch::Inline).
+  [[nodiscard]] bool inline_mode() const { return inline_; }
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] TenantStats tenant_stats(const std::string& tenant) const;
+  [[nodiscard]] std::vector<std::pair<std::string, TenantStats>>
+  all_tenant_stats() const;
+
+  /// Estimated transient workspace bytes a request pins while in service —
+  /// what admission control budgets with. Deliberately conservative (the
+  /// arenas round up to power-of-two buckets and pipelines hold several
+  /// intermediates at once).
+  [[nodiscard]] static std::size_t estimate_workspace_bytes(
+      std::size_t payload_bytes);
+
+ private:
+  using ReqPtr = std::shared_ptr<detail::RequestState>;
+
+  /// Compress coalescing key: same size class (log2 bucket of the raw
+  /// payload) + identical params batch together.
+  struct WaveKey {
+    unsigned size_class;
+    int mode;
+    double value;
+    auto operator<=>(const WaveKey&) const = default;
+  };
+
+  Ticket enqueue(ReqPtr req);
+  void execute_inline(const ReqPtr& req);
+  void scheduler_loop();
+  /// Pops the next wave (same-key compress requests up to max_wave, or a
+  /// batch of direct requests) under mu_. Empty when nothing is queued.
+  std::vector<ReqPtr> pop_wave();
+  void run_compress_wave(const std::vector<ReqPtr>& wave);
+  void run_direct_wave(const std::vector<ReqPtr>& wave);
+  void finish(const ReqPtr& req);
+  void account_finish(const ReqPtr& req);
+
+  ServeConfig cfg_;
+  bool inline_ = false;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;   ///< scheduler: queues non-empty / stop
+  std::condition_variable cv_space_;  ///< submitters: queue has capacity
+  std::condition_variable cv_drain_;  ///< drain(): all work retired
+  std::map<WaveKey, std::deque<ReqPtr>> compress_q_;
+  std::deque<ReqPtr> direct_q_;  ///< decompress / ROI / f64 compress
+  std::size_t queued_ = 0;
+  std::size_t inflight_ = 0;           ///< requests dispatched, not finished
+  std::size_t inflight_estimate_ = 0;  ///< estimator bytes in flight
+  bool stop_ = false;
+
+  mutable std::mutex stats_mu_;
+  ServiceStats stats_;
+  std::map<std::string, TenantStats> tenants_;
+
+  std::thread scheduler_;
+};
+
+}  // namespace szi::serve

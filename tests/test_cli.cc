@@ -72,6 +72,22 @@ TEST(CliParse, HelpAndList) {
   EXPECT_FALSE(szi::cli::usage().empty());
 }
 
+TEST(CliParse, ServeBench) {
+  const Options def = parse({"--serve-bench"});
+  EXPECT_EQ(def.command, Command::ServeBench);
+  EXPECT_EQ(def.serve_requests, 64u);
+  EXPECT_EQ(parse({"--serve-bench", "200"}).serve_requests, 200u);
+  EXPECT_THROW((void)parse({"--serve-bench", "0"}), std::invalid_argument);
+  EXPECT_THROW((void)parse({"--serve-bench", "abc"}), std::invalid_argument);
+}
+
+TEST(CliRun, ServeBenchCompletesByteIdentical) {
+  Options o;
+  o.command = Command::ServeBench;
+  o.serve_requests = 16;
+  EXPECT_EQ(szi::cli::run(o), 0);  // nonzero on any mismatch or failure
+}
+
 TEST(CliRun, CompressDecompressRoundTrip) {
   namespace fs = std::filesystem;
   const fs::path dir = fs::temp_directory_path() / "szi_cli_test";

@@ -1,13 +1,21 @@
-// I/O tests: raw f32 files, PGM dumps, the multi-field bundle, SSIM metric.
+// I/O tests: raw f32 files, PGM dumps, the multi-field bundle, SSIM metric,
+// and the ArchiveSource random-access layer (pread retry/short-read paths,
+// concurrent mmap readers).
 #include <gtest/gtest.h>
 
 #include <unistd.h>
 
+#include <cerrno>
+#include <cstring>
 #include <filesystem>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "core/cuszi.hh"
 #include "datagen/datasets.hh"
 #include "datagen/rng.hh"
+#include "io/archive_source.hh"
 #include "io/bin_io.hh"
 #include "io/bundle.hh"
 #include "metrics/ssim.hh"
@@ -93,6 +101,161 @@ TEST_F(IoTest, BundleRoundTrip) {
 TEST_F(IoTest, BundleRejectsCorruptStream) {
   std::vector<std::byte> junk(32, std::byte{0x42});
   EXPECT_THROW((void)szi::io::Bundle::deserialize(junk), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// ArchiveSource: the pread loop's EINTR/short-read handling and concurrent
+// readers on a shared mmap source (the multi-tenant ROI access pattern).
+
+/// RAII install/restore of the StreamSource pread test seam.
+class PreadHookGuard {
+ public:
+  explicit PreadHookGuard(szi::io::detail::PreadFn fn)
+      : prev_(szi::io::detail::set_pread_hook(fn)) {}
+  ~PreadHookGuard() { szi::io::detail::set_pread_hook(prev_); }
+
+ private:
+  szi::io::detail::PreadFn prev_;
+};
+
+int g_eintr_remaining = 0;
+
+ssize_t pread_eintr(int fd, void* buf, std::size_t count, off_t off) {
+  if (g_eintr_remaining > 0) {
+    --g_eintr_remaining;
+    errno = EINTR;
+    return -1;
+  }
+  return ::pread(fd, buf, count, off);
+}
+
+// Caps every read at 7 bytes — the loop must reassemble the range from
+// many partial reads at advancing offsets.
+ssize_t pread_short(int fd, void* buf, std::size_t count, off_t off) {
+  return ::pread(fd, buf, count < 7 ? count : 7, off);
+}
+
+ssize_t pread_eof(int, void*, std::size_t, off_t) { return 0; }
+
+ssize_t pread_eio(int, void*, std::size_t, off_t) {
+  errno = EIO;
+  return -1;
+}
+
+class ArchiveSourceTest : public IoTest {
+ protected:
+  std::string write_pattern(std::size_t n) {
+    std::vector<std::byte> bytes(n);
+    for (std::size_t i = 0; i < n; ++i)
+      bytes[i] = static_cast<std::byte>(i * 37 + 11);
+    const auto path = (dir_ / "archive.bin").string();
+    szi::io::write_bytes(path, bytes);
+    pattern_ = std::move(bytes);
+    return path;
+  }
+  std::vector<std::byte> pattern_;
+};
+
+TEST_F(ArchiveSourceTest, StreamSourceRetriesEintr) {
+  const auto path = write_pattern(256);
+  szi::io::StreamSource src(path);
+  g_eintr_remaining = 3;
+  PreadHookGuard guard(pread_eintr);
+  std::vector<std::byte> scratch;
+  const auto v = src.view(0, 256, scratch);
+  EXPECT_EQ(g_eintr_remaining, 0);
+  ASSERT_EQ(v.size(), 256u);
+  EXPECT_EQ(0, std::memcmp(v.data(), pattern_.data(), 256));
+  // The interrupted attempts transferred nothing; accounting counts the
+  // range served, once.
+  EXPECT_EQ(src.bytes_read(), 256u);
+}
+
+TEST_F(ArchiveSourceTest, StreamSourceReassemblesShortReads) {
+  const auto path = write_pattern(100);
+  szi::io::StreamSource src(path);
+  PreadHookGuard guard(pread_short);
+  std::vector<std::byte> scratch;
+  const auto v = src.view(5, 90, scratch);  // 13 partial reads
+  ASSERT_EQ(v.size(), 90u);
+  EXPECT_EQ(0, std::memcmp(v.data(), pattern_.data() + 5, 90));
+  EXPECT_EQ(src.bytes_read(), 90u);
+}
+
+TEST_F(ArchiveSourceTest, StreamSourceThrowsOnTruncationMidRead) {
+  const auto path = write_pattern(64);
+  szi::io::StreamSource src(path);
+  PreadHookGuard guard(pread_eof);
+  std::vector<std::byte> scratch;
+  EXPECT_THROW((void)src.view(0, 64, scratch), std::runtime_error);
+  EXPECT_EQ(src.bytes_read(), 0u);  // failed views account nothing
+}
+
+TEST_F(ArchiveSourceTest, StreamSourceThrowsOnHardError) {
+  const auto path = write_pattern(64);
+  szi::io::StreamSource src(path);
+  PreadHookGuard guard(pread_eio);
+  std::vector<std::byte> scratch;
+  EXPECT_THROW((void)src.view(0, 64, scratch), std::runtime_error);
+}
+
+TEST_F(ArchiveSourceTest, ViewRejectsRangePastEnd) {
+  const auto path = write_pattern(32);
+  szi::io::StreamSource src(path);
+  std::vector<std::byte> scratch;
+  EXPECT_THROW((void)src.view(16, 17, scratch), std::out_of_range);
+  EXPECT_THROW((void)src.view(33, 0, scratch), std::out_of_range);
+}
+
+// Many readers, one mmap'd archive: the multi-tenant ROI pattern szi::serve
+// schedules. Every thread decodes its own box through the shared source;
+// results must match the cropped full decode, and the (atomic) byte
+// accounting must cover all readers.
+TEST_F(ArchiveSourceTest, MmapSourceConcurrentRoiReaders) {
+  const auto fields = szi::datagen::miranda(szi::datagen::Size::Small);
+  const auto& f = fields.front();
+  const auto archive =
+      szi::cuszi_compress(f.view(), f.dims, {szi::ErrorMode::Rel, 1e-3});
+  const auto path = (dir_ / "field.szi").string();
+  szi::io::write_bytes(path, archive);
+
+  const auto full = szi::cuszi_decompress_f32(archive);
+  szi::io::MmapSource src(path);
+
+  constexpr int kReaders = 8;
+  std::vector<szi::RoiBox> boxes;
+  for (int i = 0; i < kReaders; ++i) {
+    const std::size_t x0 = static_cast<std::size_t>(i) % 4 * (f.dims.x / 8);
+    const std::size_t z0 = static_cast<std::size_t>(i) / 4 * (f.dims.z / 4);
+    boxes.push_back({{x0, 0, z0},
+                     {f.dims.x / 4, f.dims.y / 2, std::min<std::size_t>(
+                                                      f.dims.z - z0, 8)}});
+  }
+  std::vector<std::vector<float>> got(kReaders);
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int i = 0; i < kReaders; ++i)
+    readers.emplace_back([&, i] {
+      got[static_cast<std::size_t>(i)] =
+          szi::cuszi_decompress_roi_f32(src, boxes[static_cast<std::size_t>(i)])
+              .data;
+    });
+  for (auto& t : readers) t.join();
+
+  for (int i = 0; i < kReaders; ++i) {
+    const auto& box = boxes[static_cast<std::size_t>(i)];
+    const auto& out = got[static_cast<std::size_t>(i)];
+    ASSERT_EQ(out.size(), box.ext.volume()) << "reader " << i;
+    for (std::size_t z = 0; z < box.ext.z; ++z)
+      for (std::size_t y = 0; y < box.ext.y; ++y)
+        for (std::size_t x = 0; x < box.ext.x; ++x) {
+          const float want = full[szi::dev::linearize(
+              f.dims, box.lo.x + x, box.lo.y + y, box.lo.z + z)];
+          const float have = out[szi::dev::linearize(box.ext, x, y, z)];
+          ASSERT_EQ(want, have) << "reader " << i;
+        }
+  }
+  EXPECT_GT(src.bytes_read(), 0u);
 }
 
 TEST(Ssim, IdenticalFieldsScoreOne) {

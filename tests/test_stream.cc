@@ -247,4 +247,63 @@ TEST(PooledBufferTest, ConcurrentAcquireReleaseFromKernels) {
   EXPECT_EQ(a.stats().outstanding, 0u);
 }
 
+TEST(Arena, TracksHeldAndHighWaterBytes) {
+  Arena a;
+  std::size_t cap1 = 0, cap2 = 0;
+  std::byte* p = a.acquire(5000, cap1);
+  std::byte* q = a.acquire(50000, cap2);
+  auto st = a.stats();
+  EXPECT_EQ(st.outstanding_bytes, cap1 + cap2);
+  EXPECT_EQ(st.held_bytes, cap1 + cap2);
+  EXPECT_EQ(st.high_water_bytes, cap1 + cap2);
+
+  a.release(p, cap1);
+  a.release(q, cap2);
+  st = a.stats();
+  EXPECT_EQ(st.outstanding_bytes, 0u);
+  // Released blocks stay pooled: the OS footprint (held) is unchanged, and
+  // the peak never drops on release.
+  EXPECT_EQ(st.held_bytes, cap1 + cap2);
+  EXPECT_EQ(st.high_water_bytes, cap1 + cap2);
+
+  // A pool hit recycles held bytes: no new footprint, no new peak.
+  std::size_t cap3 = 0;
+  std::byte* r = a.acquire(cap2, cap3);
+  EXPECT_EQ(a.stats().held_bytes, cap1 + cap2);
+  EXPECT_EQ(a.stats().high_water_bytes, cap1 + cap2);
+  a.release(r, cap3);
+
+  a.trim();
+  st = a.stats();
+  EXPECT_EQ(st.held_bytes, 0u);
+  EXPECT_EQ(st.high_water_bytes, cap1 + cap2);  // trim never lowers the peak
+
+  a.reset_high_water();
+  EXPECT_EQ(a.stats().high_water_bytes, 0u);  // restarts from held (now 0)
+}
+
+TEST(Arena, TrimAllReleasesPooledAcrossGlobalArenas) {
+  {
+    Workspace ws(Arena::instance());
+    (void)ws.make<float>(4096);
+    Workspace ws3(Arena::shard(3));
+    (void)ws3.make<float>(4096);
+  }
+  const auto before = Arena::aggregate_stats();
+  EXPECT_GT(before.pooled_bytes, 0u);
+  EXPECT_GT(before.held_bytes, 0u);
+  EXPECT_GT(before.high_water_bytes, 0u);
+
+  const std::size_t released = Arena::trim_all();
+  EXPECT_GT(released, 0u);
+  const auto after = Arena::aggregate_stats();
+  EXPECT_EQ(after.pooled_bytes, 0u);
+  EXPECT_EQ(after.held_bytes, before.held_bytes - released);
+  EXPECT_GE(after.high_water_bytes, before.high_water_bytes);
+
+  Arena::reset_high_water_all();
+  const auto reset = Arena::aggregate_stats();
+  EXPECT_EQ(reset.high_water_bytes, reset.held_bytes);
+}
+
 }  // namespace
